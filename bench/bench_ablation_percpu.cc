@@ -1,0 +1,147 @@
+/**
+ * @file
+ * §4.3 ablations:
+ *
+ *  (1) Per-CPU knode fast-path lists vs. kmap-only lookups. The
+ *      paper reports the lists cut rbtree accesses by 54%.
+ *  (2) Split rbtree-cache/rbtree-slab vs. a single per-knode tree.
+ *      The paper measured ~10 memory references per traversal of a
+ *      single big tree, motivating the split.
+ */
+
+#include "bench/harness.hh"
+
+using namespace kloc;
+using namespace kloc::bench;
+
+namespace {
+
+struct LookupResult
+{
+    double hitRate = 0;
+    uint64_t treeVisits = 0;
+    Tick elapsed = 0;
+};
+
+/** Drive the knode lookup path like syscall-heavy file churn. */
+LookupResult
+driveLookups(bool use_per_cpu)
+{
+    TwoTierPlatform platform(twoTierConfig());
+    System &sys = platform.sys();
+    platform.applyStrategy(StrategyKind::Kloc);
+    KlocManager &kloc = sys.kloc();
+    kloc.setUsePerCpuLists(use_per_cpu);
+
+    // A file population like RocksDB's: hundreds of knodes, zipfian
+    // access concentrated per CPU (threads own hot file sets).
+    constexpr unsigned kKnodes = 512;
+    std::vector<Knode *> knodes;
+    for (unsigned i = 0; i < kKnodes; ++i)
+        knodes.push_back(kloc.mapKnode(1000 + i));
+
+    ZipfianGenerator zipf(kKnodes, 0.99, 42);
+    const uint64_t before_visits = kloc.treeNodesVisited();
+    const Tick before = sys.machine().now();
+    constexpr unsigned kLookups = 200000;
+    for (unsigned i = 0; i < kLookups; ++i) {
+        // Each CPU leans on its own hot subset, like per-thread fds.
+        const unsigned cpu = i % sys.machine().cpuCount();
+        sys.machine().setCurrentCpu(cpu);
+        const uint64_t pick = (zipf.next() + cpu * 3) % kKnodes;
+        Knode *knode = kloc.findKnode(1000 + pick);
+        if (knode)
+            kloc.markActive(knode);
+    }
+    LookupResult result;
+    result.elapsed = sys.machine().now() - before;
+    result.treeVisits = kloc.treeNodesVisited() - before_visits;
+    const auto &stats = kloc.stats();
+    result.hitRate = stats.perCpuHits + stats.perCpuMisses > 0
+        ? static_cast<double>(stats.perCpuHits) /
+          static_cast<double>(stats.perCpuHits + stats.perCpuMisses)
+        : 0.0;
+    for (Knode *knode : knodes)
+        kloc.unmapKnode(knode);
+    return result;
+}
+
+/** Measure per-knode object-tree traversal work, split vs merged. */
+std::pair<double, double>
+driveTreeShape(bool split)
+{
+    TwoTierPlatform platform(twoTierConfig());
+    System &sys = platform.sys();
+    platform.applyStrategy(StrategyKind::Kloc);
+    KlocManager &kloc = sys.kloc();
+    kloc.setSplitTrees(split);
+
+    Knode *knode = kloc.mapKnode(77);
+    // A big file's object population: cache pages + slab metadata.
+    constexpr unsigned kObjects = 20000;
+    std::vector<std::unique_ptr<KernelObject>> objects;
+    const uint64_t before = kloc.treeNodesVisited();
+    for (unsigned i = 0; i < kObjects; ++i) {
+        const KobjKind kind = i % 2 == 0 ? KobjKind::PageCachePage
+                                         : KobjKind::Extent;
+        auto obj = std::make_unique<KernelObject>(kind);
+        if (!sys.heap().allocBacking(*obj, true, knode->id))
+            break;
+        kloc.addObject(knode, obj.get());
+        objects.push_back(std::move(obj));
+    }
+    const double insert_visits =
+        static_cast<double>(kloc.treeNodesVisited() - before) /
+        static_cast<double>(objects.size());
+    const uint64_t before_remove = kloc.treeNodesVisited();
+    for (auto &obj : objects) {
+        kloc.removeObject(obj.get());
+        sys.heap().freeBacking(*obj);
+    }
+    const double remove_visits =
+        static_cast<double>(kloc.treeNodesVisited() - before_remove) /
+        static_cast<double>(objects.size());
+    kloc.unmapKnode(knode);
+    return {insert_visits, remove_visits};
+}
+
+} // namespace
+
+int
+main()
+{
+    section("Ablation: per-CPU knode fast-path lists (§4.3)");
+    const LookupResult with_lists = driveLookups(true);
+    const LookupResult without = driveLookups(false);
+    std::printf("%-18s %10s %14s %12s\n", "config", "hit rate",
+                "tree visits", "time (ms)");
+    std::printf("%-18s %9.1f%% %14llu %12.2f\n", "per-cpu lists",
+                100.0 * with_lists.hitRate,
+                (unsigned long long)with_lists.treeVisits,
+                static_cast<double>(with_lists.elapsed) / kMillisecond);
+    std::printf("%-18s %9.1f%% %14llu %12.2f\n", "kmap only", 0.0,
+                (unsigned long long)without.treeVisits,
+                static_cast<double>(without.elapsed) / kMillisecond);
+    if (without.treeVisits > 0) {
+        std::printf("-> per-CPU lists cut rbtree accesses by %.0f%% "
+                    "(paper: 54%%)\n",
+                    100.0 *
+                        (1.0 - static_cast<double>(with_lists.treeVisits) /
+                               static_cast<double>(without.treeVisits)));
+    }
+    std::printf("   (the real-world win is avoided kmap *contention*; "
+                "this single-threaded\n    model only surfaces the "
+                "access-count reduction, not the lock scaling)\n");
+
+    section("Ablation: split rbtree-cache/rbtree-slab vs single tree");
+    const auto [split_ins, split_rem] = driveTreeShape(true);
+    const auto [one_ins, one_rem] = driveTreeShape(false);
+    std::printf("%-18s %16s %16s\n", "config", "insert visits/op",
+                "remove visits/op");
+    std::printf("%-18s %16.1f %16.1f\n", "split trees", split_ins,
+                split_rem);
+    std::printf("%-18s %16.1f %16.1f\n", "single tree", one_ins, one_rem);
+    std::printf("-> paper: a single tree costs ~10 references per "
+                "traversal; the split roughly halves the depth\n");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * §7.3 ablation: KLOCs and I/O prefetching.
+ *
+ * Runs RocksDB with the adaptive readahead on and off under Naive
+ * and under KLOCs. The paper: prefetching amplifies fast-memory
+ * pollution under Naive/Nimble (prefetched-but-cold pages linger),
+ * while KLOCs can identify the kernel objects tied to cold pages
+ * and demote them — readahead + KLOCs improves RocksDB by ~1.26x.
+ */
+
+#include "bench/harness.hh"
+
+using namespace kloc;
+using namespace kloc::bench;
+
+namespace {
+
+double
+run(const std::string &workload_name, StrategyKind kind, bool readahead)
+{
+    // Memory-scarce configuration: total memory below the dataset so
+    // cold reads exist and prefetching has something to hide.
+    TwoTierPlatform::Config platform_config = twoTierConfig();
+    platform_config.fastCapacity = 4 * kGiB;
+    platform_config.slowCapacity = 16 * kGiB;
+    platform_config.system.fs.readaheadEnabled = readahead;
+    TwoTierPlatform platform(platform_config);
+    System &sys = platform.sys();
+    platform.applyStrategy(kind);
+    sys.fs().startDaemons();
+    auto workload = makeWorkload(workload_name, workloadConfig());
+    const WorkloadResult result = runMeasured(sys, *workload);
+    workload->teardown(sys);
+    return result.throughput();
+}
+
+} // namespace
+
+int
+main()
+{
+    for (const char *workload : {"rocksdb", "filebench"}) {
+        std::printf("\n==== Ablation: readahead x strategy (%s, "
+                    "memory-scarce) ====\n", workload);
+        std::printf("%-18s %14s %14s %10s\n", "strategy", "no prefetch",
+                    "prefetch", "gain");
+        for (const StrategyKind kind :
+             {StrategyKind::Naive, StrategyKind::NimblePlusPlus,
+              StrategyKind::Kloc}) {
+            const double off = run(workload, kind, false);
+            const double on = run(workload, kind, true);
+            std::printf("%-18s %14.0f %14.0f %9.2fx\n",
+                        strategyName(kind), off, on,
+                        off > 0 ? on / off : 1.0);
+            std::fflush(stdout);
+        }
+    }
+    std::printf("\npaper: prefetching helps KLOCs most (~1.26x on "
+                "RocksDB) because cold prefetched pages are demoted "
+                "promptly\n");
+    return 0;
+}

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Figure 2: prevalence of kernel objects.
+ *
+ *  2a: per-workload breakdown of allocated pages by class (app vs
+ *      page cache vs FS slab vs network), with raw page counts.
+ *  2b: app-vs-OS allocation split for Small (10 GB) and Large
+ *      (40 GB) inputs.
+ *  2c: share of memory *references* to kernel objects vs user data.
+ *  2d: lifetimes of application pages vs slab objects vs page-cache
+ *      pages (the paper: app pages minutes, slab ~36 ms, cache
+ *      ~160 ms).
+ *
+ * Characterisation runs on the stock greedy (Naive) configuration:
+ * it measures the workloads, not a tiering policy.
+ */
+
+#include "bench/harness.hh"
+
+using namespace kloc;
+using namespace kloc::bench;
+
+namespace {
+
+struct Characterization
+{
+    uint64_t pagesByClass[kNumObjClasses] = {};
+    uint64_t kernelRefs = 0;
+    uint64_t userRefs = 0;
+    double appLifetimeMs = 0;
+    double slabLifetimeMs = 0;
+    double cacheLifetimeMs = 0;
+};
+
+Characterization
+characterize(const std::string &workload_name, bool small_input)
+{
+    TwoTierPlatform platform(twoTierConfig());
+    System &sys = platform.sys();
+    platform.applyStrategy(StrategyKind::Naive);
+    sys.fs().startDaemons();
+
+    WorkloadConfig config = workloadConfig();
+    config.smallInput = small_input;
+    auto workload = makeWorkload(workload_name, config);
+    runMeasured(sys, *workload);
+    workload->teardown(sys);
+
+    Characterization result;
+    result.pagesByClass[static_cast<unsigned>(ObjClass::App)] =
+        sys.heap().cumulativeAppPages();
+    for (unsigned c = 1; c < kNumObjClasses; ++c) {
+        result.pagesByClass[c] =
+            sys.tiers().cumulativeAllocPages(static_cast<ObjClass>(c));
+    }
+    result.kernelRefs = sys.machine().kernelRefs();
+    result.userRefs = sys.machine().userRefs();
+    result.appLifetimeMs =
+        sys.tiers().lifetimeHist(ObjClass::App).dist().mean() /
+        kMillisecond;
+    // Slab object lifetime: average across the slab-allocated kinds.
+    double slab_sum = 0;
+    uint64_t slab_count = 0;
+    for (unsigned k = 0; k < kNumKobjKinds; ++k) {
+        const auto kind = static_cast<KobjKind>(k);
+        if (!kobjIsSlab(kind))
+            continue;
+        const auto &hist = sys.heap().objLifetimeHist(kind);
+        slab_sum += hist.dist().sum();
+        slab_count += hist.dist().count();
+    }
+    result.slabLifetimeMs =
+        slab_count ? slab_sum / static_cast<double>(slab_count) /
+                     kMillisecond
+                   : 0;
+    result.cacheLifetimeMs =
+        sys.heap().objLifetimeHist(KobjKind::PageCachePage).dist().mean() /
+        kMillisecond;
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::vector<std::pair<std::string, Characterization>> large;
+    std::vector<std::pair<std::string, Characterization>> small;
+    for (const std::string &name : workloadNames()) {
+        large.emplace_back(name, characterize(name, false));
+        small.emplace_back(name, characterize(name, true));
+    }
+
+    section("Figure 2a: page allocations by class (Large inputs)");
+    std::printf("%-11s %10s %10s %8s %8s %8s %8s | %s\n", "workload",
+                "app", "pagecache", "journal", "fs_slab", "sock_buf",
+                "block_io", "OS share");
+    for (auto &[name, c] : large) {
+        uint64_t total = 0, kernel = 0;
+        for (unsigned i = 0; i < kNumObjClasses; ++i) {
+            total += c.pagesByClass[i];
+            if (isKernelClass(static_cast<ObjClass>(i)))
+                kernel += c.pagesByClass[i];
+        }
+        std::printf(
+            "%-11s %10llu %10llu %8llu %8llu %8llu %8llu | %5.1f%%\n",
+            name.c_str(),
+            (unsigned long long)c.pagesByClass[0],
+            (unsigned long long)c.pagesByClass[1],
+            (unsigned long long)c.pagesByClass[2],
+            (unsigned long long)c.pagesByClass[3],
+            (unsigned long long)c.pagesByClass[4],
+            (unsigned long long)c.pagesByClass[5],
+            total ? 100.0 * static_cast<double>(kernel) /
+                    static_cast<double>(total)
+                  : 0.0);
+    }
+
+    section("Figure 2b: OS share of page allocations, Small vs Large");
+    std::printf("%-11s %12s %12s\n", "workload", "small(10GB)",
+                "large(40GB)");
+    for (size_t i = 0; i < large.size(); ++i) {
+        auto os_share = [](const Characterization &c) {
+            uint64_t total = 0, kernel = 0;
+            for (unsigned j = 0; j < kNumObjClasses; ++j) {
+                total += c.pagesByClass[j];
+                if (isKernelClass(static_cast<ObjClass>(j)))
+                    kernel += c.pagesByClass[j];
+            }
+            return total ? 100.0 * static_cast<double>(kernel) /
+                           static_cast<double>(total)
+                         : 0.0;
+        };
+        std::printf("%-11s %11.1f%% %11.1f%%\n",
+                    large[i].first.c_str(), os_share(small[i].second),
+                    os_share(large[i].second));
+    }
+
+    section("Figure 2c: share of memory references to kernel objects");
+    std::printf("%-11s %10s\n", "workload", "OS refs");
+    for (auto &[name, c] : large) {
+        const uint64_t total = c.kernelRefs + c.userRefs;
+        std::printf("%-11s %9.1f%%\n", name.c_str(),
+                    total ? 100.0 * static_cast<double>(c.kernelRefs) /
+                            static_cast<double>(total)
+                          : 0.0);
+    }
+
+    section("Figure 2d: mean object lifetimes (ms, log-scale in paper)");
+    std::printf("%-11s %12s %12s %12s\n", "workload", "app pages",
+                "slab objs", "cache pages");
+    for (auto &[name, c] : large) {
+        std::printf("%-11s %12.1f %12.2f %12.2f\n", name.c_str(),
+                    c.appLifetimeMs, c.slabLifetimeMs,
+                    c.cacheLifetimeMs);
+    }
+    std::printf("\nlifetime distribution detail (RocksDB, ms):\n");
+    {
+        TwoTierPlatform platform(twoTierConfig());
+        System &sys = platform.sys();
+        platform.applyStrategy(StrategyKind::Naive);
+        sys.fs().startDaemons();
+        auto workload = makeWorkload("rocksdb", workloadConfig());
+        runMeasured(sys, *workload);
+        workload->teardown(sys);
+        const struct
+        {
+            const char *label;
+            KobjKind kind;
+        } kinds[] = {{"journal_record", KobjKind::JournalRecord},
+                     {"bio", KobjKind::Bio},
+                     {"dentry", KobjKind::Dentry},
+                     {"radix_node", KobjKind::RadixNode},
+                     {"page_cache", KobjKind::PageCachePage}};
+        std::printf("  %-16s %10s %10s %10s\n", "kind", "p50", "p99",
+                    "count");
+        for (const auto &row : kinds) {
+            const Histogram &hist = sys.heap().objLifetimeHist(row.kind);
+            if (hist.dist().count() == 0)
+                continue;
+            std::printf("  %-16s %10.2f %10.2f %10llu\n", row.label,
+                        static_cast<double>(
+                            hist.percentileUpperBound(0.5)) /
+                            kMillisecond,
+                        static_cast<double>(
+                            hist.percentileUpperBound(0.99)) /
+                            kMillisecond,
+                        (unsigned long long)hist.dist().count());
+        }
+    }
+    std::printf("\nexpected shape: slab objects live ~ms, cache pages "
+                "somewhat longer, app pages orders of magnitude longer\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 4: overall performance on the two-tier memory platform.
+ *
+ * For every workload, runs all Table 5 strategies plus the AllFast /
+ * AllSlow bounds and prints speedup relative to AllSlow — the same
+ * series as the paper's Fig. 4 bars.
+ *
+ * Expected shape (paper): KLOCs outperforms Naive/Nimble/Nimble++
+ * everywhere except Cassandra (where it ties Nimble++); AllFast is
+ * the upper bound.
+ */
+
+#include "bench/harness.hh"
+
+using namespace kloc;
+using namespace kloc::bench;
+
+int
+main()
+{
+    const std::vector<StrategyKind> strategies = {
+        StrategyKind::AllSlow,         StrategyKind::Naive,
+        StrategyKind::Nimble,          StrategyKind::NimblePlusPlus,
+        StrategyKind::KlocNoMigration, StrategyKind::Kloc,
+        StrategyKind::AllFast,
+    };
+
+    section("Figure 4: two-tier speedup vs All Slow Mem");
+    std::printf("platform: fast %llu MiB @ 1:%u bandwidth ratio, "
+                "%llu ops/run, scale 1:%u\n",
+                static_cast<unsigned long long>(
+                    twoTierConfig().fastCapacity / defaultScale() / kMiB),
+                twoTierConfig().bandwidthRatio,
+                static_cast<unsigned long long>(defaultOps()),
+                defaultScale());
+
+    std::printf("\n%-11s", "workload");
+    for (const StrategyKind kind : strategies)
+        std::printf(" %17s", strategyName(kind));
+    std::printf("\n");
+
+    for (const std::string &workload : workloadNames()) {
+        std::printf("%-11s", workload.c_str());
+        std::fflush(stdout);
+        double all_slow = 0.0;
+        for (const StrategyKind kind : strategies) {
+            const RunOutcome outcome = runTwoTier(
+                workload, kind, twoTierConfig(), workloadConfig());
+            if (kind == StrategyKind::AllSlow)
+                all_slow = outcome.throughput;
+            std::printf(" %9.0f (%4.2fx)", outcome.throughput,
+                        all_slow > 0 ? outcome.throughput / all_slow
+                                     : 1.0);
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+    std::printf("\nvalues: ops/s (speedup vs all_slow)\n");
+    return 0;
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Shared experiment harness for the per-figure bench binaries.
+ *
+ * Each figure binary builds fresh platforms per configuration, runs
+ * the measured protocol (setup -> quiesce -> measure), and prints
+ * the same rows/series the paper reports. Environment knobs:
+ *
+ *   KLOC_BENCH_QUICK=1   quarter-size runs for smoke testing
+ *   KLOC_BENCH_OPS=N     override measured operations per run
+ *   KLOC_BENCH_SCALE=N   override the 1:N platform scale
+ */
+
+#ifndef KLOC_BENCH_HARNESS_HH
+#define KLOC_BENCH_HARNESS_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/optane.hh"
+#include "platform/two_tier.hh"
+#include "workload/runner.hh"
+#include "workload/workload.hh"
+
+namespace kloc {
+namespace bench {
+
+/** Measured operations per run (paper-shape default). */
+inline uint64_t
+defaultOps()
+{
+    if (const char *env = std::getenv("KLOC_BENCH_OPS"))
+        return std::strtoull(env, nullptr, 10);
+    if (std::getenv("KLOC_BENCH_QUICK"))
+        return 15000;
+    return 60000;
+}
+
+/** Platform/dataset scale divisor. */
+inline unsigned
+defaultScale()
+{
+    if (const char *env = std::getenv("KLOC_BENCH_SCALE"))
+        return static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    if (std::getenv("KLOC_BENCH_QUICK"))
+        return 256;
+    return 64;
+}
+
+/** Outcome of one measured two-tier run. */
+struct RunOutcome
+{
+    double throughput = 0.0;
+    WorkloadResult result;
+    MigrationStats migration;
+    uint64_t slowPageCacheAllocPages = 0;
+    uint64_t slowSlabAllocPages = 0;
+    Bytes klocPeakMetadata = 0;
+    uint64_t kernelRefs = 0;
+    uint64_t userRefs = 0;
+};
+
+/**
+ * Build a two-tier platform, apply @p kind, run @p workload_name
+ * once, and collect the outcome.
+ */
+inline RunOutcome
+runTwoTier(const std::string &workload_name, StrategyKind kind,
+           TwoTierPlatform::Config platform_config,
+           WorkloadConfig workload_config)
+{
+    // The AllFast bound needs a fast tier that holds everything.
+    if (kind == StrategyKind::AllFast) {
+        platform_config.fastCapacity += platform_config.slowCapacity;
+    }
+    TwoTierPlatform platform(platform_config);
+    System &sys = platform.sys();
+    platform.applyStrategy(kind);
+    sys.fs().startDaemons();
+
+    auto workload = makeWorkload(workload_name, workload_config);
+    const WorkloadResult result = runMeasured(sys, *workload);
+
+    RunOutcome outcome;
+    outcome.throughput = result.throughput();
+    outcome.result = result;
+    outcome.migration = sys.migrator().stats();
+    const Tier &slow = sys.tiers().tier(platform.slowTier());
+    outcome.slowPageCacheAllocPages =
+        slow.cumulativeAllocPages(ObjClass::PageCache);
+    outcome.slowSlabAllocPages =
+        slow.cumulativeAllocPages(ObjClass::FsSlab) +
+        slow.cumulativeAllocPages(ObjClass::Journal) +
+        slow.cumulativeAllocPages(ObjClass::BlockIo) +
+        slow.cumulativeAllocPages(ObjClass::SockBuf);
+    outcome.klocPeakMetadata = sys.kloc().peakMetadataBytes();
+    outcome.kernelRefs = sys.machine().kernelRefs();
+    outcome.userRefs = sys.machine().userRefs();
+    workload->teardown(sys);
+    return outcome;
+}
+
+/** Default two-tier platform config at bench scale. */
+inline TwoTierPlatform::Config
+twoTierConfig()
+{
+    TwoTierPlatform::Config config;
+    config.scale = defaultScale();
+    return config;
+}
+
+/** Default workload config at bench scale. */
+inline WorkloadConfig
+workloadConfig()
+{
+    WorkloadConfig config;
+    config.scale = defaultScale();
+    config.operations = defaultOps();
+    return config;
+}
+
+/** Print a separator + section title. */
+inline void
+section(const char *title)
+{
+    std::printf("\n==== %s ====\n", title);
+}
+
+} // namespace bench
+} // namespace kloc
+
+#endif // KLOC_BENCH_HARNESS_HH

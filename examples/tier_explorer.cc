@@ -1,0 +1,95 @@
+/**
+ * @file
+ * tier_explorer: interactive sweep over fast-memory capacity and
+ * bandwidth ratio for one workload and strategy — a CLI version of
+ * the Fig. 6 sensitivity study.
+ *
+ *   $ ./tier_explorer [workload] [strategy] [ops]
+ *
+ * e.g.  ./tier_explorer rocksdb klocs 40000
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "platform/two_tier.hh"
+#include "workload/runner.hh"
+#include "workload/workload.hh"
+
+using namespace kloc;
+
+namespace {
+
+StrategyKind
+parseStrategy(const std::string &name)
+{
+    for (const StrategyKind kind :
+         {StrategyKind::AllFast, StrategyKind::AllSlow,
+          StrategyKind::Naive, StrategyKind::Nimble,
+          StrategyKind::NimblePlusPlus, StrategyKind::KlocNoMigration,
+          StrategyKind::Kloc}) {
+        if (name == strategyName(kind))
+            return kind;
+    }
+    fatal("unknown strategy '%s'", name.c_str());
+}
+
+double
+run(const std::string &workload_name, StrategyKind kind, Bytes capacity,
+    unsigned ratio, uint64_t ops)
+{
+    TwoTierPlatform::Config config;
+    config.scale = 64;
+    config.fastCapacity = capacity;
+    config.bandwidthRatio = ratio;
+    TwoTierPlatform platform(config);
+    System &sys = platform.sys();
+    platform.applyStrategy(kind);
+    sys.fs().startDaemons();
+
+    WorkloadConfig wl_config;
+    wl_config.scale = 64;
+    wl_config.operations = ops;
+    auto workload = makeWorkload(workload_name, wl_config);
+    const WorkloadResult result = runMeasured(sys, *workload);
+    workload->teardown(sys);
+    return result.throughput();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "rocksdb";
+    const StrategyKind kind =
+        parseStrategy(argc > 2 ? argv[2] : "klocs");
+    const uint64_t ops =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 40000;
+
+    std::printf("tier_explorer: %s under %s, %llu ops "
+                "(speedup vs all_slow at each point)\n\n",
+                workload.c_str(), strategyName(kind),
+                static_cast<unsigned long long>(ops));
+
+    std::printf("%-12s", "fast \\ bw");
+    for (const unsigned ratio : {8u, 4u, 2u})
+        std::printf("      1:%u", ratio);
+    std::printf("\n");
+    for (const Bytes capacity : {4 * kGiB, 8 * kGiB, 16 * kGiB,
+                                 32 * kGiB}) {
+        std::printf("%3llu GB      ",
+                    static_cast<unsigned long long>(capacity / kGiB));
+        for (const unsigned ratio : {8u, 4u, 2u}) {
+            const double slow =
+                run(workload, StrategyKind::AllSlow, capacity, ratio,
+                    ops);
+            const double fast = run(workload, kind, capacity, ratio, ops);
+            std::printf("   %5.2fx", slow > 0 ? fast / slow : 1.0);
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

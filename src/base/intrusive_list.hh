@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Intrusive doubly-linked list in the style of Linux's list_head.
+ *
+ * Used for LRU active/inactive lists, per-CPU knode fast-path lists,
+ * and slab partial/full lists. Nodes unlink themselves in O(1) and a
+ * node always knows whether it is linked, which the LRU engine relies
+ * on when objects are freed while queued for migration.
+ */
+
+#ifndef KLOC_BASE_INTRUSIVE_LIST_HH
+#define KLOC_BASE_INTRUSIVE_LIST_HH
+
+#include <cstddef>
+
+#include "base/logging.hh"
+
+namespace kloc {
+
+/** Embedded list hook; place one per list membership in the object. */
+struct ListHook
+{
+    ListHook *prev = nullptr;
+    ListHook *next = nullptr;
+
+    /** True when this hook is currently on some list. */
+    bool linked() const { return next != nullptr; }
+
+    /** Remove from whatever list holds it; no-op if unlinked. */
+    void
+    unlink()
+    {
+        if (!linked())
+            return;
+        prev->next = next;
+        next->prev = prev;
+        prev = next = nullptr;
+    }
+};
+
+/**
+ * Intrusive list of T, where @p HookMember points at the ListHook
+ * inside T. The list does not own its elements.
+ */
+template <typename T, ListHook T::*HookMember>
+class IntrusiveList
+{
+  public:
+    IntrusiveList()
+    {
+        _head.prev = &_head;
+        _head.next = &_head;
+    }
+
+    IntrusiveList(const IntrusiveList &) = delete;
+    IntrusiveList &operator=(const IntrusiveList &) = delete;
+
+    bool empty() const { return _head.next == &_head; }
+
+    size_t size() const { return _size; }
+
+    /** Insert at the front (most-recently-used end by convention). */
+    void
+    pushFront(T *obj)
+    {
+        ListHook *hook = &(obj->*HookMember);
+        KLOC_ASSERT(!hook->linked(), "pushFront of already-linked node");
+        hook->next = _head.next;
+        hook->prev = &_head;
+        _head.next->prev = hook;
+        _head.next = hook;
+        ++_size;
+    }
+
+    /** Insert at the back (least-recently-used end by convention). */
+    void
+    pushBack(T *obj)
+    {
+        ListHook *hook = &(obj->*HookMember);
+        KLOC_ASSERT(!hook->linked(), "pushBack of already-linked node");
+        hook->prev = _head.prev;
+        hook->next = &_head;
+        _head.prev->next = hook;
+        _head.prev = hook;
+        ++_size;
+    }
+
+    /** Remove an element known to be on this list. */
+    void
+    remove(T *obj)
+    {
+        ListHook *hook = &(obj->*HookMember);
+        KLOC_ASSERT(hook->linked(), "remove of unlinked node");
+        hook->unlink();
+        --_size;
+    }
+
+    /** Front element or nullptr when empty. */
+    T *
+    front() const
+    {
+        return empty() ? nullptr : fromHook(_head.next);
+    }
+
+    /** Back element or nullptr when empty. */
+    T *
+    back() const
+    {
+        return empty() ? nullptr : fromHook(_head.prev);
+    }
+
+    /** Pop and return the front element; nullptr when empty. */
+    T *
+    popFront()
+    {
+        T *obj = front();
+        if (obj)
+            remove(obj);
+        return obj;
+    }
+
+    /** Pop and return the back element; nullptr when empty. */
+    T *
+    popBack()
+    {
+        T *obj = back();
+        if (obj)
+            remove(obj);
+        return obj;
+    }
+
+    /** Move @p obj to the front; it must already be on this list. */
+    void
+    moveToFront(T *obj)
+    {
+        remove(obj);
+        pushFront(obj);
+    }
+
+    /** Element before @p obj, or nullptr when @p obj is the front. */
+    T *
+    prev(T *obj) const
+    {
+        ListHook *hook = &(obj->*HookMember);
+        KLOC_ASSERT(hook->linked(), "prev of unlinked node");
+        return hook->prev == &_head ? nullptr : fromHook(hook->prev);
+    }
+
+    /** Minimal forward iterator; stable across removal of *other* nodes. */
+    class iterator
+    {
+      public:
+        iterator(ListHook *pos, const ListHook *head)
+            : _pos(pos), _headSentinel(head)
+        {}
+
+        T *operator*() const { return fromHook(_pos); }
+
+        iterator &
+        operator++()
+        {
+            _pos = _pos->next;
+            return *this;
+        }
+
+        bool operator!=(const iterator &o) const { return _pos != o._pos; }
+        bool operator==(const iterator &o) const { return _pos == o._pos; }
+
+      private:
+        ListHook *_pos;
+        const ListHook *_headSentinel;
+    };
+
+    iterator begin() { return iterator(_head.next, &_head); }
+    iterator end() { return iterator(&_head, &_head); }
+
+  private:
+    static T *
+    fromHook(ListHook *hook)
+    {
+        // Recover the containing object from the embedded hook.
+        const auto offset = reinterpret_cast<size_t>(
+            &(reinterpret_cast<T *>(0)->*HookMember));
+        return reinterpret_cast<T *>(
+            reinterpret_cast<char *>(hook) - offset);
+    }
+
+    ListHook _head;
+    size_t _size = 0;
+};
+
+} // namespace kloc
+
+#endif // KLOC_BASE_INTRUSIVE_LIST_HH

@@ -1,0 +1,90 @@
+#include "base/logging.hh"
+
+namespace kloc {
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::log(LogLevel level, const char *fmt, va_list args)
+{
+    if (static_cast<int>(level) < static_cast<int>(_level))
+        return;
+    const char *prefix = "";
+    switch (level) {
+      case LogLevel::Debug: prefix = "debug: "; break;
+      case LogLevel::Info:  prefix = "info: ";  break;
+      case LogLevel::Warn:  prefix = "warn: ";  break;
+      case LogLevel::Error: prefix = "error: "; break;
+    }
+    std::fputs(prefix, stderr);
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    Logger::instance().log(LogLevel::Info, fmt, args);
+    va_end(args);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    Logger::instance().log(LogLevel::Warn, fmt, args);
+    va_end(args);
+}
+
+void
+debugLog(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    Logger::instance().log(LogLevel::Debug, fmt, args);
+    va_end(args);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    Logger::instance().log(LogLevel::Error, fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    Logger::instance().log(LogLevel::Error, fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+panicAssert(const char *cond, const char *file, int line, const char *fmt,
+            ...)
+{
+    std::fprintf(stderr, "panic: assertion '%s' failed at %s:%d: ", cond,
+                 file, line);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+    std::abort();
+}
+
+} // namespace kloc

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the gem5 tradition.
+ *
+ * panic() is for internal invariant violations (simulator bugs) and
+ * aborts; fatal() is for unrecoverable user/configuration errors and
+ * exits cleanly; warn()/inform() report conditions without stopping.
+ */
+
+#ifndef KLOC_BASE_LOGGING_HH
+#define KLOC_BASE_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace kloc {
+
+/** Severity of a log message. */
+enum class LogLevel { Debug, Info, Warn, Error };
+
+/**
+ * Global log sink. Messages below the threshold are suppressed.
+ * Defaults to Warn so simulations stay quiet unless asked.
+ */
+class Logger
+{
+  public:
+    /** Access the process-wide logger. */
+    static Logger &instance();
+
+    /** Set the minimum level that will be printed. */
+    void setLevel(LogLevel level) { _level = level; }
+
+    /** Current minimum level. */
+    LogLevel level() const { return _level; }
+
+    /** Emit one formatted message if @p level passes the threshold. */
+    void log(LogLevel level, const char *fmt, va_list args);
+
+  private:
+    Logger() = default;
+
+    LogLevel _level = LogLevel::Warn;
+};
+
+/** Print an informational message (LogLevel::Info). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning (LogLevel::Warn). */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a debug trace message (LogLevel::Debug). */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1).
+ * Use for conditions that are the caller's fault, not a library bug.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a broken internal invariant and abort().
+ * Use for conditions that should be impossible regardless of input.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Helper behind KLOC_ASSERT; aborts with full context. */
+[[noreturn]] void panicAssert(const char *cond, const char *file, int line,
+                              const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/** panic() with file/line context when @p cond is false. */
+#define KLOC_ASSERT(cond, ...)                                               \
+    do {                                                                     \
+        if (__builtin_expect(!(cond), 0)) {                                  \
+            ::kloc::panicAssert(#cond, __FILE__, __LINE__, __VA_ARGS__);     \
+        }                                                                    \
+    } while (0)
+
+} // namespace kloc
+
+#endif // KLOC_BASE_LOGGING_HH

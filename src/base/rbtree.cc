@@ -1,0 +1,333 @@
+#include "base/rbtree.hh"
+
+namespace kloc {
+
+namespace {
+
+bool
+isRed(const RbNode *node)
+{
+    return node != nullptr && node->red;
+}
+
+void
+rotateLeft(RbRoot &root, RbNode *x)
+{
+    RbNode *y = x->right;
+    x->right = y->left;
+    if (y->left)
+        y->left->parent = x;
+    y->parent = x->parent;
+    if (!x->parent)
+        root.node = y;
+    else if (x == x->parent->left)
+        x->parent->left = y;
+    else
+        x->parent->right = y;
+    y->left = x;
+    x->parent = y;
+}
+
+void
+rotateRight(RbRoot &root, RbNode *x)
+{
+    RbNode *y = x->left;
+    x->left = y->right;
+    if (y->right)
+        y->right->parent = x;
+    y->parent = x->parent;
+    if (!x->parent)
+        root.node = y;
+    else if (x == x->parent->right)
+        x->parent->right = y;
+    else
+        x->parent->left = y;
+    y->right = x;
+    x->parent = y;
+}
+
+void
+insertFixup(RbRoot &root, RbNode *z)
+{
+    while (isRed(z->parent)) {
+        RbNode *parent = z->parent;
+        RbNode *grand = parent->parent;
+        if (parent == grand->left) {
+            RbNode *uncle = grand->right;
+            if (isRed(uncle)) {
+                parent->red = false;
+                uncle->red = false;
+                grand->red = true;
+                z = grand;
+            } else {
+                if (z == parent->right) {
+                    z = parent;
+                    rotateLeft(root, z);
+                    parent = z->parent;
+                    grand = parent->parent;
+                }
+                parent->red = false;
+                grand->red = true;
+                rotateRight(root, grand);
+            }
+        } else {
+            RbNode *uncle = grand->left;
+            if (isRed(uncle)) {
+                parent->red = false;
+                uncle->red = false;
+                grand->red = true;
+                z = grand;
+            } else {
+                if (z == parent->left) {
+                    z = parent;
+                    rotateRight(root, z);
+                    parent = z->parent;
+                    grand = parent->parent;
+                }
+                parent->red = false;
+                grand->red = true;
+                rotateLeft(root, grand);
+            }
+        }
+    }
+    root.node->red = false;
+}
+
+/**
+ * Rebalance after removing a black node whose (possibly null) child
+ * @p x now occupies its position under @p parent.
+ */
+void
+eraseFixup(RbRoot &root, RbNode *x, RbNode *parent)
+{
+    while (x != root.node && !isRed(x)) {
+        if (x == parent->left) {
+            RbNode *sib = parent->right;
+            if (isRed(sib)) {
+                sib->red = false;
+                parent->red = true;
+                rotateLeft(root, parent);
+                sib = parent->right;
+            }
+            if (!isRed(sib->left) && !isRed(sib->right)) {
+                sib->red = true;
+                x = parent;
+                parent = x->parent;
+            } else {
+                if (!isRed(sib->right)) {
+                    if (sib->left)
+                        sib->left->red = false;
+                    sib->red = true;
+                    rotateRight(root, sib);
+                    sib = parent->right;
+                }
+                sib->red = parent->red;
+                parent->red = false;
+                if (sib->right)
+                    sib->right->red = false;
+                rotateLeft(root, parent);
+                x = root.node;
+                parent = nullptr;
+            }
+        } else {
+            RbNode *sib = parent->left;
+            if (isRed(sib)) {
+                sib->red = false;
+                parent->red = true;
+                rotateRight(root, parent);
+                sib = parent->left;
+            }
+            if (!isRed(sib->right) && !isRed(sib->left)) {
+                sib->red = true;
+                x = parent;
+                parent = x->parent;
+            } else {
+                if (!isRed(sib->left)) {
+                    if (sib->right)
+                        sib->right->red = false;
+                    sib->red = true;
+                    rotateLeft(root, sib);
+                    sib = parent->left;
+                }
+                sib->red = parent->red;
+                parent->red = false;
+                if (sib->left)
+                    sib->left->red = false;
+                rotateRight(root, parent);
+                x = root.node;
+                parent = nullptr;
+            }
+        }
+    }
+    if (x)
+        x->red = false;
+}
+
+} // namespace
+
+void
+rbLinkAndBalance(RbRoot &root, RbNode *fresh, RbNode *parent, RbNode **link)
+{
+    KLOC_ASSERT(!fresh->linked(), "inserting an already-linked RbNode");
+    fresh->parent = parent;
+    fresh->left = fresh->right = nullptr;
+    fresh->red = true;
+    fresh->inTree = true;
+    *link = fresh;
+    insertFixup(root, fresh);
+}
+
+void
+rbErase(RbRoot &root, RbNode *victim)
+{
+    KLOC_ASSERT(victim->linked(), "erasing an unlinked RbNode");
+
+    RbNode *replacement;   // subtree that takes the removed slot
+    RbNode *fixupParent;   // parent of that subtree after splice
+    bool removedBlack;
+
+    if (!victim->left || !victim->right) {
+        // At most one child: splice the victim out directly.
+        replacement = victim->left ? victim->left : victim->right;
+        fixupParent = victim->parent;
+        removedBlack = !victim->red;
+        if (replacement)
+            replacement->parent = victim->parent;
+        if (!victim->parent)
+            root.node = replacement;
+        else if (victim == victim->parent->left)
+            victim->parent->left = replacement;
+        else
+            victim->parent->right = replacement;
+    } else {
+        // Two children: the in-order successor takes the victim's
+        // place, and the fixup happens where the successor used to be.
+        RbNode *succ = victim->right;
+        while (succ->left)
+            succ = succ->left;
+        removedBlack = !succ->red;
+        replacement = succ->right;
+
+        if (succ->parent == victim) {
+            fixupParent = succ;
+        } else {
+            fixupParent = succ->parent;
+            succ->parent->left = replacement;
+            if (replacement)
+                replacement->parent = succ->parent;
+            succ->right = victim->right;
+            victim->right->parent = succ;
+        }
+
+        succ->parent = victim->parent;
+        succ->left = victim->left;
+        victim->left->parent = succ;
+        succ->red = victim->red;
+        if (!victim->parent)
+            root.node = succ;
+        else if (victim == victim->parent->left)
+            victim->parent->left = succ;
+        else
+            victim->parent->right = succ;
+    }
+
+    victim->parent = victim->left = victim->right = nullptr;
+    victim->red = false;
+    victim->inTree = false;
+
+    if (removedBlack)
+        eraseFixup(root, replacement, fixupParent);
+}
+
+RbNode *
+rbFirst(const RbRoot &root)
+{
+    RbNode *node = root.node;
+    if (!node)
+        return nullptr;
+    while (node->left)
+        node = node->left;
+    return node;
+}
+
+RbNode *
+rbLast(const RbRoot &root)
+{
+    RbNode *node = root.node;
+    if (!node)
+        return nullptr;
+    while (node->right)
+        node = node->right;
+    return node;
+}
+
+RbNode *
+rbNext(const RbNode *node)
+{
+    if (node->right) {
+        const RbNode *walk = node->right;
+        while (walk->left)
+            walk = walk->left;
+        return const_cast<RbNode *>(walk);
+    }
+    const RbNode *parent = node->parent;
+    while (parent && node == parent->right) {
+        node = parent;
+        parent = parent->parent;
+    }
+    return const_cast<RbNode *>(parent);
+}
+
+RbNode *
+rbPrev(const RbNode *node)
+{
+    if (node->left) {
+        const RbNode *walk = node->left;
+        while (walk->right)
+            walk = walk->right;
+        return const_cast<RbNode *>(walk);
+    }
+    const RbNode *parent = node->parent;
+    while (parent && node == parent->left) {
+        node = parent;
+        parent = parent->parent;
+    }
+    return const_cast<RbNode *>(parent);
+}
+
+namespace {
+
+int
+validateSubtree(const RbNode *node)
+{
+    if (!node)
+        return 1;
+    if (node->red) {
+        KLOC_ASSERT(!isRed(node->left) && !isRed(node->right),
+                    "red node with red child");
+    }
+    if (node->left) {
+        KLOC_ASSERT(node->left->parent == node, "broken parent link");
+    }
+    if (node->right) {
+        KLOC_ASSERT(node->right->parent == node, "broken parent link");
+    }
+    const int lh = validateSubtree(node->left);
+    const int rh = validateSubtree(node->right);
+    KLOC_ASSERT(lh == rh, "black-height mismatch");
+    return lh + (node->red ? 0 : 1);
+}
+
+} // namespace
+
+int
+rbValidate(const RbRoot &root)
+{
+    if (root.node) {
+        KLOC_ASSERT(!root.node->red, "red root");
+        KLOC_ASSERT(root.node->parent == nullptr, "root has a parent");
+    }
+    return validateSubtree(root.node);
+}
+
+} // namespace kloc

@@ -1,0 +1,107 @@
+#include "base/rng.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace kloc {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : _state)
+        word = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(_state[1] * 5, 7) * 9;
+    const uint64_t t = _state[1] << 17;
+    _state[2] ^= _state[0];
+    _state[3] ^= _state[1];
+    _state[1] ^= _state[2];
+    _state[0] ^= _state[3];
+    _state[2] ^= t;
+    _state[3] = rotl(_state[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBounded(uint64_t bound)
+{
+    KLOC_ASSERT(bound != 0, "nextBounded with zero bound");
+    // Lemire-style multiply-shift; the tiny modulo bias is irrelevant
+    // for workload sampling.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * bound) >> 64);
+}
+
+double
+Rng::nextDouble()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta, uint64_t seed)
+    : _rng(seed), _items(n), _theta(theta)
+{
+    KLOC_ASSERT(n > 0, "Zipfian over empty domain");
+    _zetaN = zeta(n);
+    _alpha = 1.0 / (1.0 - theta);
+    const double zeta2 = zeta(2);
+    _eta = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2 / _zetaN);
+}
+
+double
+ZipfianGenerator::zeta(uint64_t n) const
+{
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), _theta);
+    return sum;
+}
+
+uint64_t
+ZipfianGenerator::next()
+{
+    const double u = _rng.nextDouble();
+    const double uz = u * _zetaN;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, _theta))
+        return 1;
+    const auto idx = static_cast<uint64_t>(
+        static_cast<double>(_items) *
+        std::pow(_eta * u - _eta + 1.0, _alpha));
+    return idx >= _items ? _items - 1 : idx;
+}
+
+} // namespace kloc

@@ -1,0 +1,53 @@
+#include "base/stats.hh"
+
+#include <sstream>
+
+namespace kloc {
+
+uint64_t
+Histogram::percentileUpperBound(double fraction) const
+{
+    const uint64_t total = _dist.count();
+    if (total == 0)
+        return 0;
+    const auto target = static_cast<uint64_t>(fraction * total);
+    uint64_t seen = 0;
+    for (unsigned bucket = 0; bucket < kBuckets; ++bucket) {
+        seen += _buckets[bucket];
+        if (seen >= target)
+            return bucket == 0 ? 0 : (1ULL << bucket) - 1;
+    }
+    return ~0ULL;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &bucket : _buckets)
+        bucket = 0;
+    _dist.reset();
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    auto it = _values.find(name);
+    return it == _values.end() ? 0.0 : it->second;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return _values.find(name) != _values.end();
+}
+
+std::string
+StatSet::toString() const
+{
+    std::ostringstream out;
+    for (const auto &[name, value] : _values)
+        out << name << " " << value << "\n";
+    return out.str();
+}
+
+} // namespace kloc

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Strongly-named scalar units used throughout the simulator.
+ *
+ * The virtual clock counts nanoseconds in a signed 64-bit Tick;
+ * capacities and sizes count bytes in unsigned 64-bit. Helper
+ * constants keep magnitudes readable at call sites.
+ */
+
+#ifndef KLOC_BASE_UNITS_HH
+#define KLOC_BASE_UNITS_HH
+
+#include <cstdint>
+
+namespace kloc {
+
+/** Virtual time in nanoseconds. */
+using Tick = int64_t;
+
+/** Capacity or transfer size in bytes. */
+using Bytes = uint64_t;
+
+/** Simulated physical frame number. */
+using Pfn = uint64_t;
+
+/** Sentinel for "no frame". */
+inline constexpr Pfn kInvalidPfn = ~0ULL;
+
+/** Simulated page size. Everything in the kernel is 4 KB-page based. */
+inline constexpr Bytes kPageSize = 4096;
+inline constexpr unsigned kPageShift = 12;
+
+// Time helpers (ns-denominated Ticks).
+inline constexpr Tick kNanosecond = 1;
+inline constexpr Tick kMicrosecond = 1000 * kNanosecond;
+inline constexpr Tick kMillisecond = 1000 * kMicrosecond;
+inline constexpr Tick kSecond = 1000 * kMillisecond;
+
+// Size helpers.
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+/** Round @p bytes up to whole pages. */
+constexpr uint64_t
+pagesFor(Bytes bytes)
+{
+    return (bytes + kPageSize - 1) >> kPageShift;
+}
+
+/**
+ * Time to move @p bytes at @p bytes_per_sec of bandwidth, in Ticks.
+ * Uses 128-bit intermediates so multi-GiB transfers cannot overflow.
+ */
+constexpr Tick
+transferTime(Bytes bytes, Bytes bytes_per_sec)
+{
+    if (bytes_per_sec == 0)
+        return 0;
+    return static_cast<Tick>(
+        (static_cast<__int128>(bytes) * kSecond) / bytes_per_sec);
+}
+
+} // namespace kloc
+
+#endif // KLOC_BASE_UNITS_HH

@@ -1,0 +1,532 @@
+#include "core/kloc_manager.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "base/logging.hh"
+
+namespace kloc {
+
+namespace {
+
+/** CPU cost per rbtree node visited during a descent (cached). */
+constexpr Tick kTreeStepCost = 10;
+/** CPU cost per per-CPU list entry scanned. */
+constexpr Tick kListStepCost = 5;
+/** Daemon bookkeeping cost per object visited. */
+constexpr Tick kObjVisitCost = 30;
+/** Knodes processed per daemon queue drain. */
+constexpr size_t kQueueBatch = 128;
+
+} // namespace
+
+KlocManager::KlocManager(KernelHeap &heap, MigrationEngine &migrator)
+    : _heap(heap), _migrator(migrator), _machine(heap.mem().machine())
+{
+    _knodeCache = std::make_unique<KmemCache>(
+        _heap.mem(), _heap.tiers(), "knode_cache", kKnodeSize,
+        ObjClass::KlocMeta);
+    _perCpu.resize(_machine.cpuCount());
+}
+
+KlocManager::~KlocManager()
+{
+    // Tear down any knodes subsystems did not unmap.
+    while (Knode *knode = _kmap.first()) {
+        _kmap.erase(knode);
+        if (knode->backing.valid())
+            _knodeCache->free(knode->backing);
+        delete knode;
+    }
+}
+
+namespace {
+
+void
+dropFromList(std::vector<Knode *> &list, const Knode *knode)
+{
+    for (size_t i = 0; i < list.size(); ++i) {
+        if (list[i] == knode) {
+            list.erase(list.begin() + static_cast<ptrdiff_t>(i));
+            return;
+        }
+    }
+}
+
+} // namespace
+
+void
+KlocManager::setTierOrder(std::vector<TierId> order)
+{
+    KLOC_ASSERT(!order.empty(), "empty tier order");
+    _tierOrder = std::move(order);
+    _memLimits.assign(_heap.tiers().tierCount(), 0);
+}
+
+void
+KlocManager::touchKnodeMeta(Knode *knode, AccessType type)
+{
+    if (knode->backing.valid())
+        _heap.mem().touch(knode->backing.frame, kKnodeSize, type);
+}
+
+Knode *
+KlocManager::mapKnode(uint64_t inode_id)
+{
+    if (!_enabled)
+        return nullptr;
+    KLOC_ASSERT(!_tierOrder.empty(), "KLOC enabled without tier order");
+
+    auto *knode = new Knode(inode_id);
+    // Knodes are slab-allocated for speed and always placed in fast
+    // memory; they are few and small (§4.2.2).
+    knode->backing = _knodeCache->alloc(_tierOrder);
+    knode->lastActiveTick = _machine.now();
+
+    const uint64_t visits_before = _kmap.nodesVisited();
+    const bool inserted = _kmap.insert(knode);
+    KLOC_ASSERT(inserted, "duplicate knode for inode %llu",
+                static_cast<unsigned long long>(inode_id));
+    _machine.cpuWork(static_cast<Tick>(_kmap.nodesVisited() -
+                                       visits_before) * kTreeStepCost);
+    touchKnodeMeta(knode, AccessType::Write);
+
+    cacheOnCpu(knode);
+    ++_stats.knodesCreated;
+    noteMetadata();
+    return knode;
+}
+
+void
+KlocManager::unmapKnode(Knode *knode)
+{
+    KLOC_ASSERT(knode->rbCache.empty() && knode->rbSlab.empty(),
+                "unmapping knode %llu with %llu live objects",
+                static_cast<unsigned long long>(knode->id),
+                static_cast<unsigned long long>(knode->objectCount()));
+    for (auto &list : _perCpu)
+        dropFromList(list, knode);
+    _kmap.erase(knode);
+    _knodeTreeVisitsRetired += knode->rbCache.nodesVisited() +
+                               knode->rbSlab.nodesVisited();
+    if (knode->backing.valid())
+        _knodeCache->free(knode->backing);
+    ++_stats.knodesDeleted;
+    delete knode;
+}
+
+Knode *
+KlocManager::findKnode(uint64_t inode_id)
+{
+    if (!_enabled)
+        return nullptr;
+    // Fast path: the current CPU's recently-used knode list (§4.3).
+    if (_usePerCpuLists) {
+        auto &list = _perCpu[_machine.currentCpu()];
+        for (size_t i = 0; i < list.size(); ++i) {
+            if (list[i]->id == inode_id) {
+                Knode *knode = list[i];
+                _machine.cpuWork(static_cast<Tick>(i + 1) *
+                                 kListStepCost);
+                // MRU rotation.
+                list.erase(list.begin() + static_cast<ptrdiff_t>(i));
+                list.insert(list.begin(), knode);
+                ++_stats.perCpuHits;
+                return knode;
+            }
+        }
+        _machine.cpuWork(static_cast<Tick>(list.size()) * kListStepCost);
+    }
+
+    // Slow path: the global kmap rbtree.
+    const uint64_t visits_before = _kmap.nodesVisited();
+    Knode *knode = _kmap.find(inode_id);
+    _machine.cpuWork(static_cast<Tick>(_kmap.nodesVisited() -
+                                       visits_before) * kTreeStepCost);
+    ++_stats.perCpuMisses;
+    if (knode && _usePerCpuLists)
+        cacheOnCpu(knode);
+    return knode;
+}
+
+uint64_t
+KlocManager::treeNodesVisited() const
+{
+    uint64_t total = _kmap.nodesVisited() + _knodeTreeVisitsRetired;
+    for (Knode *knode = _kmap.first(); knode != nullptr;
+         knode = _kmap.next(knode)) {
+        total += knode->rbCache.nodesVisited() +
+                 knode->rbSlab.nodesVisited();
+    }
+    return total;
+}
+
+void
+KlocManager::cacheOnCpu(Knode *knode)
+{
+    if (!_usePerCpuLists)
+        return;
+    auto &list = _perCpu[_machine.currentCpu()];
+    dropFromList(list, knode);
+    list.insert(list.begin(), knode);
+    if (list.size() > kPerCpuCap)
+        list.pop_back();
+    noteMetadata();
+}
+
+void
+KlocManager::addObject(Knode *knode, KernelObject *obj)
+{
+    KLOC_ASSERT(obj->knode == nullptr, "object already tracked");
+    KLOC_ASSERT(obj->backed(), "tracking an unbacked object");
+    obj->objId = knode->nextObjId++;
+    obj->knode = knode;
+
+    Knode::ObjTree &tree = (_splitTrees && !obj->page) ? knode->rbSlab
+                                                       : knode->rbCache;
+    const uint64_t visits_before = tree.nodesVisited();
+    const bool inserted = tree.insert(obj);
+    KLOC_ASSERT(inserted, "duplicate object id in knode tree");
+    // Tree nodes are hot kernel metadata: the descent is CPU work on
+    // cached lines, not cold memory traffic.
+    _machine.cpuWork(static_cast<Tick>(tree.nodesVisited() -
+                                       visits_before) * kTreeStepCost);
+    if (obj->frame())
+        obj->frame()->owner = knode;
+
+    ++_trackedObjects;
+    ++_stats.objectsTracked;
+    noteMetadata();
+}
+
+void
+KlocManager::removeObject(KernelObject *obj)
+{
+    auto *knode = static_cast<Knode *>(obj->knode);
+    KLOC_ASSERT(knode != nullptr, "removing untracked object");
+    // Mirror addObject's tree selection (do not flip setSplitTrees
+    // while objects are tracked).
+    Knode::ObjTree &tree = (_splitTrees && !obj->page) ? knode->rbSlab
+                                                       : knode->rbCache;
+    tree.erase(obj);
+    obj->knode = nullptr;
+    if (obj->frame())
+        obj->frame()->owner = nullptr;
+    _machine.cpuWork(3 * kTreeStepCost);
+    KLOC_ASSERT(_trackedObjects > 0, "tracked object underflow");
+    --_trackedObjects;
+}
+
+void
+KlocManager::forEachSlabObj(Knode *knode,
+                            const std::function<void(KernelObject *)> &fn)
+{
+    for (KernelObject *obj = knode->rbSlab.first(); obj != nullptr;
+         obj = knode->rbSlab.next(obj)) {
+        fn(obj);
+    }
+}
+
+void
+KlocManager::forEachCacheObj(Knode *knode,
+                             const std::function<void(KernelObject *)> &fn)
+{
+    for (KernelObject *obj = knode->rbCache.first(); obj != nullptr;
+         obj = knode->rbCache.next(obj)) {
+        fn(obj);
+    }
+}
+
+std::vector<Knode *>
+KlocManager::lruKnodes(size_t max)
+{
+    std::vector<Knode *> all;
+    all.reserve(_kmap.size());
+    for (Knode *knode = _kmap.first(); knode != nullptr;
+         knode = _kmap.next(knode)) {
+        all.push_back(knode);
+    }
+    _machine.backgroundTraffic(static_cast<Tick>(all.size()) *
+                               kTreeStepCost);
+    std::sort(all.begin(), all.end(), [](const Knode *a, const Knode *b) {
+        if (a->inuse != b->inuse)
+            return !a->inuse;  // inactive first
+        if (a->age != b->age)
+            return a->age > b->age;  // older (colder) first
+        return a->lastActiveTick < b->lastActiveTick;
+    });
+    if (all.size() > max)
+        all.resize(max);
+    return all;
+}
+
+void
+KlocManager::setMemLimit(TierId tier, Bytes bytes)
+{
+    KLOC_ASSERT(tier >= 0 &&
+                static_cast<size_t>(tier) < _memLimits.size(),
+                "bad tier for memsize");
+    _memLimits[static_cast<size_t>(tier)] = bytes;
+}
+
+bool
+KlocManager::overMemLimit(TierId tier) const
+{
+    if (tier < 0 || static_cast<size_t>(tier) >= _memLimits.size())
+        return false;
+    const Bytes cap = _memLimits[static_cast<size_t>(tier)];
+    if (cap == 0)
+        return false;
+    const Tier &t = _heap.tiers().tier(tier);
+    Bytes kernel_bytes = 0;
+    for (unsigned c = 0; c < kNumObjClasses; ++c) {
+        const auto cls = static_cast<ObjClass>(c);
+        if (isKernelClass(cls))
+            kernel_bytes += t.residentPages(cls) * kPageSize;
+    }
+    return kernel_bytes >= cap;
+}
+
+void
+KlocManager::markActive(Knode *knode)
+{
+    const bool was_inactive = !knode->inuse;
+    knode->inuse = true;
+    knode->age = 0;
+    knode->lastCpu = static_cast<int>(_machine.currentCpu());
+    knode->lastActiveTick = _machine.now();
+    knode->pendingDemote = false;
+    // Setting the active flag is "a fast operation" (§5): the knode
+    // line is hot in cache on the syscall path.
+    _machine.cpuWork(kListStepCost);
+    cacheOnCpu(knode);
+    // Re-activation does not bulk-promote: demoted objects return
+    // through maybePromoteOnTouch() as they are actually re-used,
+    // which keeps reverse migrations the small, cache-page-dominated
+    // fraction the paper reports (4-12%, §4.4).
+    (void)was_inactive;
+}
+
+void
+KlocManager::maybePromoteOnTouch(Frame *frame, Knode *knode)
+{
+    if (!_enabled || !knode || !knode->inuse)
+        return;
+    // Promotion requires earned LRU standing (two touches activate a
+    // frame), so single-pass streaming reads never promote.
+    if (frame->tier == fastTier() || !frame->onActiveList)
+        return;
+    if (!classManaged(frame->objClass))
+        return;
+    // Promotions stop short of the demotion trigger so the two
+    // passes cannot form a promote/demote conveyor, and respect the
+    // sys_kloc_memsize cap like the allocation path does.
+    const Tier &fast = _heap.tiers().tier(fastTier());
+    if (fast.utilization() >= kPromoteCeiling)
+        return;
+    if (overMemLimit(fastTier()))
+        return;
+    const uint64_t pages = frame->pages();
+    if (_migrator.migrateOne(frame, fastTier()))
+        _stats.promotedPages += pages;
+}
+
+void
+KlocManager::markInactive(Knode *knode)
+{
+    knode->inuse = false;
+    knode->pendingPromote = false;
+    _machine.cpuWork(kListStepCost);
+    if (!knode->pendingDemote) {
+        // The whole KLOC is cold: queue immediate demotion without
+        // waiting for LRU scans (§4.5).
+        knode->pendingDemote = true;
+        _demoteQueue.push_back(knode->id);
+        noteMetadata();
+    }
+}
+
+uint64_t
+KlocManager::migrateKnodeObjects(Knode *knode, TierId dst)
+{
+    std::unordered_set<Frame *> seen;
+    std::vector<FrameRef> batch;
+    uint64_t visited = 0;
+    auto collect = [&](KernelObject *obj) {
+        ++visited;
+        Frame *frame = obj->frame();
+        if (frame && frame->tier != dst && classManaged(frame->objClass) &&
+            seen.insert(frame).second) {
+            batch.emplace_back(frame);
+        }
+    };
+    forEachCacheObj(knode, collect);
+    forEachSlabObj(knode, collect);
+    _machine.backgroundTraffic(static_cast<Tick>(visited) * kObjVisitCost);
+    if (batch.empty())
+        return 0;
+    return _migrator.migrate(batch, dst);
+}
+
+uint64_t
+KlocManager::runDemotePass()
+{
+    ++_stats.demotePasses;
+    // Migration aggressiveness follows memory pressure (§4.1): with
+    // plenty of free fast memory there is nothing to make room for,
+    // so inactive KLOCs may stay where they are. Their entries are
+    // drained (pendingDemote cleared); if pressure appears later the
+    // watermark pass demotes the coldest knodes.
+    if (!_tierOrder.empty() &&
+        _heap.tiers().tier(fastTier()).utilization() < kLowWatermark) {
+        while (!_demoteQueue.empty()) {
+            Knode *knode = _kmap.find(_demoteQueue.front());
+            _demoteQueue.pop_front();
+            if (knode)
+                knode->pendingDemote = false;
+        }
+        return 0;
+    }
+    uint64_t moved = 0;
+    size_t budget = kQueueBatch;
+    while (budget-- > 0 && !_demoteQueue.empty()) {
+        const uint64_t id = _demoteQueue.front();
+        _demoteQueue.pop_front();
+        Knode *knode = _kmap.find(id);
+        if (!knode || !knode->pendingDemote)
+            continue;
+        if (knode->inuse) {
+            knode->pendingDemote = false;
+            continue;  // re-activated while queued
+        }
+        if (_machine.now() - knode->lastActiveTick < kDemoteGrace) {
+            // Closed only moments ago: files like LSM tables are
+            // frequently reopened immediately; wait out the grace
+            // window before paying a whole-KLOC migration.
+            _demoteQueue.push_back(id);
+            continue;
+        }
+        knode->pendingDemote = false;
+        moved += migrateKnodeObjects(knode, slowTier());
+    }
+    _stats.demotedPages += moved;
+    return moved;
+}
+
+uint64_t
+KlocManager::runPromotePass()
+{
+    ++_stats.promotePasses;
+    uint64_t moved = 0;
+    size_t budget = kQueueBatch;
+    while (budget-- > 0 && !_promoteQueue.empty()) {
+        const uint64_t id = _promoteQueue.front();
+        _promoteQueue.pop_front();
+        Knode *knode = _kmap.find(id);
+        if (!knode || !knode->pendingPromote)
+            continue;
+        knode->pendingPromote = false;
+        if (!knode->inuse)
+            continue;  // went cold again while queued
+
+        // Respect the fast tier's KLOC capacity cap, if configured.
+        const Tier &fast = _heap.tiers().tier(fastTier());
+        const Bytes cap = _memLimits[static_cast<size_t>(fastTier())];
+        if (cap > 0) {
+            Bytes kloc_bytes = 0;
+            for (unsigned c = 0; c < kNumObjClasses; ++c) {
+                const auto cls = static_cast<ObjClass>(c);
+                if (isKernelClass(cls))
+                    kloc_bytes += fast.residentPages(cls) * kPageSize;
+            }
+            if (kloc_bytes >= cap)
+                continue;
+        }
+        if (fast.utilization() >= kPromoteCeiling)
+            continue;  // stop short of the demotion trigger
+        moved += migrateKnodeObjects(knode, fastTier());
+    }
+    _stats.promotedPages += moved;
+    return moved;
+}
+
+uint64_t
+KlocManager::runWatermarkPass()
+{
+    const Tier &fast = _heap.tiers().tier(fastTier());
+    if (fast.utilization() < kHighWatermark)
+        return 0;
+    // Hysteresis: once over the high watermark, demote down to the
+    // low watermark so the pass doesn't re-trigger every tick.
+    uint64_t moved = 0;
+    for (Knode *knode : lruKnodes(kQueueBatch)) {
+        if (fast.utilization() < kLowWatermark)
+            break;
+        // Inactive KLOCs demote unconditionally; open files must be
+        // genuinely idle ("accessed long ago", §3.2) — a burst of
+        // syscall-free time like an fsync must not evict a hot file.
+        const bool idle = _machine.now() - knode->lastActiveTick >
+                          kActiveIdleThreshold;
+        if (!knode->inuse || idle) {
+            moved += migrateKnodeObjects(knode, slowTier());
+        } else {
+            // Scanned but spared: the knode ages (§4.3).
+            ++knode->age;
+        }
+    }
+    _stats.demotedPages += moved;
+    return moved;
+}
+
+void
+KlocManager::daemonTick(Tick period)
+{
+    if (!_daemonRunning)
+        return;
+    runDemotePass();
+    runPromotePass();
+    runWatermarkPass();
+    _machine.events().schedule(
+        _machine.now() + period,
+        [this, period, weak = std::weak_ptr<int>(_alive)] {
+            if (!weak.expired())
+                daemonTick(period);
+        });
+}
+
+void
+KlocManager::startDaemon(Tick period)
+{
+    KLOC_ASSERT(period > 0, "daemon period must be positive");
+    if (_daemonRunning)
+        return;
+    _daemonRunning = true;
+    _machine.events().schedule(
+        _machine.now() + period,
+        [this, period, weak = std::weak_ptr<int>(_alive)] {
+            if (!weak.expired())
+                daemonTick(period);
+        });
+}
+
+Bytes
+KlocManager::metadataBytes() const
+{
+    Bytes per_cpu_entries = 0;
+    for (const auto &list : _perCpu)
+        per_cpu_entries += list.size();
+    return _kmap.size() * kKnodeSize +          // knode structures
+           _trackedObjects * 8 +                 // rbtree pointers
+           per_cpu_entries * 16 +                // per-CPU list nodes
+           (_demoteQueue.size() + _promoteQueue.size()) * 8;
+}
+
+void
+KlocManager::noteMetadata()
+{
+    const Bytes current = metadataBytes();
+    if (current > _peakMetadata)
+        _peakMetadata = current;
+}
+
+} // namespace kloc

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Knode: the per-inode "table of contents" of the KLOC abstraction.
+ *
+ * Every file or socket inode owns one knode. The knode tracks every
+ * kernel object created on behalf of that inode in two red-black
+ * trees — rbtree-cache for page-backed objects and rbtree-slab for
+ * slab-backed ones (§4.2.3) — so that when the OS decides the inode
+ * is cold, all associated objects can be found and migrated en masse
+ * without scanning page tables.
+ */
+
+#ifndef KLOC_CORE_KNODE_HH
+#define KLOC_CORE_KNODE_HH
+
+#include <cstdint>
+
+#include "alloc/slab.hh"
+#include "base/intrusive_list.hh"
+#include "base/rbtree.hh"
+#include "kobj/kobject.hh"
+
+namespace kloc {
+
+/** Key extractor for knode object trees. */
+struct ObjIdKey
+{
+    uint64_t operator()(const KernelObject &obj) const { return obj.objId; }
+};
+
+/** Per-inode kernel-object context. */
+struct Knode
+{
+    using ObjTree = RbTree<KernelObject, &KernelObject::knodeHook, ObjIdKey>;
+
+    explicit Knode(uint64_t inode_id) : id(inode_id) {}
+
+    Knode(const Knode &) = delete;
+    Knode &operator=(const Knode &) = delete;
+
+    /** Inode number this knode is bound to. */
+    uint64_t id;
+
+    /** Active flag: the file/socket is open and in use (§4.1). */
+    bool inuse = true;
+
+    /**
+     * LRU age: reset to zero on access, incremented by scans that do
+     * not evict (§4.3). Larger = colder.
+     */
+    uint32_t age = 0;
+
+    /** CPU that last touched this knode (find_cpu API). */
+    int lastCpu = -1;
+
+    /** Slab backing of the knode structure itself (64 B, fast mem). */
+    SlabRef backing;
+
+    /** Membership in the global kmap. */
+    RbNode kmapHook;
+
+    /** Page-backed member objects (page cache, journal pages, ...). */
+    ObjTree rbCache;
+
+    /** Slab-backed member objects (inode, dentry, extents, ...). */
+    ObjTree rbSlab;
+
+    /** Monotonic id source for member objects. */
+    uint64_t nextObjId = 1;
+
+    Tick lastActiveTick = 0;
+
+    /** Queued for the migration daemon's demote pass. */
+    bool pendingDemote = false;
+    /** Queued for the migration daemon's promote pass. */
+    bool pendingPromote = false;
+
+    uint64_t objectCount() const { return rbCache.size() + rbSlab.size(); }
+};
+
+/** Key extractor for the kmap. */
+struct KnodeIdKey
+{
+    uint64_t operator()(const Knode &knode) const { return knode.id; }
+};
+
+} // namespace kloc
+
+#endif // KLOC_CORE_KNODE_HH

@@ -1,0 +1,79 @@
+#include "fs/block_layer.hh"
+
+#include "base/logging.hh"
+
+namespace kloc {
+
+BlockLayer::BlockLayer(KernelHeap &heap, KlocManager *kloc,
+                       BlockDevice &device)
+    : _heap(heap), _kloc(kloc), _device(device)
+{
+    _ctxs.resize(heap.mem().machine().cpuCount());
+}
+
+BlockLayer::~BlockLayer()
+{
+    for (auto &ctx : _ctxs) {
+        if (ctx)
+            _heap.freeBacking(*ctx);
+    }
+}
+
+BlkMqCtx *
+BlockLayer::ctxForCpu(unsigned cpu)
+{
+    auto &slot = _ctxs[cpu];
+    if (!slot) {
+        slot = std::make_unique<BlkMqCtx>();
+        slot->cpu = cpu;
+        // blk-mq contexts are global per-CPU structures: allocated
+        // once, never knode-tracked, hot for the process lifetime.
+        const bool ok = _heap.allocBacking(*slot, true, 0);
+        KLOC_ASSERT(ok, "no memory for blk_mq ctx");
+    }
+    return slot.get();
+}
+
+void
+BlockLayer::submit(Knode *knode, bool active, uint64_t sector, Bytes length,
+                   bool write, bool foreground)
+{
+    Machine &machine = _heap.mem().machine();
+
+    // Allocate the bio and run the dispatch path.
+    auto bio = std::make_unique<Bio>();
+    bio->sector = sector;
+    bio->length = length;
+    bio->write = write;
+    const uint64_t group = knode ? knode->id : 0;
+    if (!_heap.allocBacking(*bio, active, group)) {
+        // Memory exhaustion on the I/O path: fall back to charging
+        // the device cost without the bio bookkeeping.
+        if (foreground)
+            _device.submitForeground(sector, length);
+        else
+            _device.submitBackground(sector, length);
+        return;
+    }
+    if (_kloc && knode)
+        _kloc->addObject(knode, bio.get());
+
+    _heap.touchObject(*bio, AccessType::Write);
+    BlkMqCtx *ctx = ctxForCpu(machine.currentCpu());
+    _heap.touchObject(*ctx, AccessType::Write);
+    ++ctx->dispatched;
+    machine.cpuWork(kDispatchCost);
+
+    if (foreground)
+        _device.submitForeground(sector, length);
+    else
+        _device.submitBackground(sector, length);
+
+    // Completion: bio is freed.
+    if (_kloc && bio->knode)
+        _kloc->removeObject(bio.get());
+    _heap.freeBacking(*bio);
+    ++_bios;
+}
+
+} // namespace kloc

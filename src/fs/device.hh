@@ -1,0 +1,82 @@
+/**
+ * @file
+ * NVMe-like block device timing model.
+ *
+ * Matches Table 4's storage row: 512 GB NVMe with 1.2 GB/s
+ * sequential and 412 MB/s random bandwidth. Sequentiality is judged
+ * per submission against the last accessed sector. Device work can
+ * be charged as foreground (a read the caller blocks on) or
+ * background (writeback and journal commits).
+ */
+
+#ifndef KLOC_FS_DEVICE_HH
+#define KLOC_FS_DEVICE_HH
+
+#include <cstdint>
+
+#include "sim/machine.hh"
+
+namespace kloc {
+
+/** Block device timing model. */
+class BlockDevice
+{
+  public:
+    struct Config
+    {
+        Bytes seqBandwidth = 1200 * kMiB;  ///< sequential B/s
+        Bytes randBandwidth = 412 * kMiB;  ///< random B/s
+        Tick accessLatency = 80 * kMicrosecond;
+        Bytes capacity = 512 * kGiB;
+    };
+
+    BlockDevice(Machine &machine, const Config &config)
+        : _machine(machine), _config(config)
+    {}
+
+    /**
+     * Cost of transferring @p bytes starting at @p sector. Updates
+     * the sequentiality cursor.
+     */
+    Tick
+    transferCost(uint64_t sector, Bytes bytes)
+    {
+        const bool sequential = sector == _nextSector;
+        _nextSector = sector + bytes / kSectorSize;
+        const Bytes bw = sequential ? _config.seqBandwidth
+                                    : _config.randBandwidth;
+        ++_requests;
+        _bytesTransferred += bytes;
+        return _config.accessLatency + transferTime(bytes, bw);
+    }
+
+    /** Charge a transfer the caller blocks on (cold read, fsync). */
+    void
+    submitForeground(uint64_t sector, Bytes bytes)
+    {
+        _machine.charge(transferCost(sector, bytes));
+    }
+
+    /** Charge an asynchronous transfer (writeback, journal flush). */
+    void
+    submitBackground(uint64_t sector, Bytes bytes)
+    {
+        _machine.backgroundTraffic(transferCost(sector, bytes));
+    }
+
+    uint64_t requests() const { return _requests; }
+    Bytes bytesTransferred() const { return _bytesTransferred; }
+
+    static constexpr Bytes kSectorSize = 512;
+
+  private:
+    Machine &_machine;
+    Config _config;
+    uint64_t _nextSector = 0;
+    uint64_t _requests = 0;
+    Bytes _bytesTransferred = 0;
+};
+
+} // namespace kloc
+
+#endif // KLOC_FS_DEVICE_HH

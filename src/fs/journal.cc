@@ -1,0 +1,146 @@
+#include "fs/journal.hh"
+
+#include <algorithm>
+
+namespace kloc {
+
+Journal::Journal(KernelHeap &heap, KlocManager *kloc, BlockLayer &block)
+    : _heap(heap), _kloc(kloc), _block(block)
+{
+}
+
+Journal::~Journal()
+{
+    // Drop any uncommitted transaction state.
+    for (auto &rec : _records) {
+        if (_kloc && rec->knode)
+            _kloc->removeObject(rec.get());
+        _heap.freeBacking(*rec);
+    }
+    for (auto &page : _pages) {
+        if (_kloc && page->knode)
+            _kloc->removeObject(page.get());
+        _heap.freeBacking(*page);
+    }
+}
+
+void
+Journal::logMetadata(Knode *knode, bool active, uint64_t inode_id,
+                     Bytes meta_bytes)
+{
+    Machine &machine = _heap.mem().machine();
+    machine.cpuWork(kLogCost);
+
+    auto rec = std::make_unique<JournalRecord>();
+    rec->inodeId = inode_id;
+    rec->txId = _txId;
+    const uint64_t group = knode ? knode->id : 0;
+    if (!_heap.allocBacking(*rec, active, group))
+        return;  // exhausted: drop the record, keep running
+    if (_kloc && knode)
+        _kloc->addObject(knode, rec.get());
+    _heap.touchObject(*rec, AccessType::Write);
+    _records.push_back(std::move(rec));
+
+    // Every page worth of logged metadata pins a journal buffer page.
+    _pendingMetaBytes += meta_bytes;
+    while (_pendingMetaBytes >= kPageSize) {
+        _pendingMetaBytes -= kPageSize;
+        auto page = std::make_unique<JournalPage>();
+        page->txId = _txId;
+        page->inodeId = inode_id;
+        if (!_heap.allocBacking(*page, active, group))
+            break;
+        if (_kloc && knode)
+            _kloc->addObject(knode, page.get());
+        _heap.touchObject(*page, AccessType::Write);
+        _pages.push_back(std::move(page));
+    }
+}
+
+void
+Journal::commit(bool foreground)
+{
+    if (_records.empty() && _pages.empty())
+        return;
+    // Charging time below dispatches async events, which can include
+    // our own commit timer: guard against re-entering mid-iteration.
+    if (_committing)
+        return;
+    _committing = true;
+
+    // Write the transaction's buffer pages to the journal area.
+    // Journal writes are sequential by construction, so they batch
+    // into large bios (jbd2 submits whole descriptor blocks).
+    constexpr size_t batch_pages = 128;
+    for (size_t i = 0; i < _pages.size(); i += batch_pages) {
+        const size_t run = std::min(batch_pages, _pages.size() - i);
+        for (size_t j = i; j < i + run; ++j)
+            _heap.touchObject(*_pages[j], AccessType::Read);
+        _block.submit(nullptr, false, _journalSector, run * kPageSize,
+                      /*write=*/true, foreground);
+        _journalSector += run * kPageSize / BlockDevice::kSectorSize;
+    }
+
+    // Transaction done: free every record and page.
+    for (auto &rec : _records) {
+        if (_kloc && rec->knode)
+            _kloc->removeObject(rec.get());
+        _heap.freeBacking(*rec);
+    }
+    for (auto &page : _pages) {
+        if (_kloc && page->knode)
+            _kloc->removeObject(page.get());
+        _heap.freeBacking(*page);
+    }
+    _records.clear();
+    _pages.clear();
+    ++_txId;
+    ++_committedTxs;
+    _committing = false;
+}
+
+void
+Journal::detachInode(uint64_t inode_id)
+{
+    for (auto &rec : _records) {
+        if (rec->inodeId == inode_id && _kloc && rec->knode)
+            _kloc->removeObject(rec.get());
+    }
+    for (auto &page : _pages) {
+        if (page->inodeId == inode_id && _kloc && page->knode)
+            _kloc->removeObject(page.get());
+    }
+}
+
+void
+Journal::timerTick(Tick period)
+{
+    if (!_timerRunning)
+        return;
+    commit(/*foreground=*/false);
+    Machine &machine = _heap.mem().machine();
+    machine.events().schedule(
+        machine.now() + period,
+        [this, period, weak = std::weak_ptr<int>(_alive)] {
+            if (!weak.expired())
+                timerTick(period);
+        });
+}
+
+void
+Journal::startCommitTimer(Tick period)
+{
+    if (_timerRunning)
+        return;
+    _timerRunning = true;
+    Machine &machine = _heap.mem().machine();
+    machine.events().schedule(
+        machine.now() + period,
+        [this, period, weak = std::weak_ptr<int>(_alive)] {
+            if (!weak.expired())
+                timerTick(period);
+        });
+}
+
+} // namespace kloc

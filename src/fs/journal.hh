@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Write-ahead journal in the style of jbd2.
+ *
+ * Metadata updates add journal records (slab journal_heads) to the
+ * running transaction; every kPageSize of logged metadata also pins a
+ * journal data page. Commit writes the transaction's pages to the
+ * on-disk journal area sequentially and frees all records — making
+ * journal objects some of the shortest-lived kernel objects the
+ * paper measures.
+ */
+
+#ifndef KLOC_FS_JOURNAL_HH
+#define KLOC_FS_JOURNAL_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/kloc_manager.hh"
+#include "fs/block_layer.hh"
+#include "fs/objects.hh"
+#include "kobj/kernel_heap.hh"
+
+namespace kloc {
+
+/** jbd2-like journal over the block layer. */
+class Journal
+{
+  public:
+    /** CPU cost of adding one record to the running transaction. */
+    static constexpr Tick kLogCost = 250;
+    /** Journal area start sector (writes are sequential within it). */
+    static constexpr uint64_t kJournalStartSector = 1ULL << 30;
+
+    Journal(KernelHeap &heap, KlocManager *kloc, BlockLayer &block);
+    ~Journal();
+
+    /**
+     * Log @p meta_bytes of metadata for @p knode's inode into the
+     * running transaction.
+     */
+    void logMetadata(Knode *knode, bool active, uint64_t inode_id,
+                     Bytes meta_bytes);
+
+    /**
+     * Commit the running transaction: write its pages to the journal
+     * area and free every record.
+     * @param foreground true when a caller blocks on it (fsync).
+     */
+    void commit(bool foreground);
+
+    /**
+     * Untrack any in-flight records/pages belonging to @p inode_id
+     * from their knode (called before the knode is destroyed on
+     * unlink). The objects stay allocated until commit.
+     */
+    void detachInode(uint64_t inode_id);
+
+    /** Schedule periodic background commits every @p period. */
+    void startCommitTimer(Tick period);
+
+    void stopCommitTimer() { _timerRunning = false; }
+
+    uint64_t committedTxs() const { return _committedTxs; }
+    uint64_t liveRecords() const { return _records.size(); }
+
+  private:
+    void timerTick(Tick period);
+
+    KernelHeap &_heap;
+    KlocManager *_kloc;
+    BlockLayer &_block;
+
+    uint64_t _txId = 1;
+    std::vector<std::unique_ptr<JournalRecord>> _records;
+    std::vector<std::unique_ptr<JournalPage>> _pages;
+    Bytes _pendingMetaBytes = 0;
+    uint64_t _journalSector = kJournalStartSector;
+    uint64_t _committedTxs = 0;
+    bool _timerRunning = false;
+    bool _committing = false;
+    /** Liveness token for the commit-timer lambdas. */
+    std::shared_ptr<int> _alive = std::make_shared<int>(0);
+};
+
+} // namespace kloc
+
+#endif // KLOC_FS_JOURNAL_HH

@@ -1,0 +1,139 @@
+#include "kobj/kernel_heap.hh"
+
+#include "base/logging.hh"
+
+namespace kloc {
+
+KernelHeap::KernelHeap(MemAccessor &mem, TierManager &tiers)
+    : _mem(mem), _tiers(tiers)
+{
+    for (unsigned i = 0; i < kNumKobjKinds; ++i) {
+        const auto kind = static_cast<KobjKind>(i);
+        if (!kobjIsSlab(kind))
+            continue;
+        _caches[i] = std::make_unique<KmemCache>(
+            _mem, _tiers, std::string(kobjKindName(kind)) + "_cache",
+            kobjSize(kind), kobjClass(kind));
+    }
+}
+
+void
+KernelHeap::setKlocInterface(bool enabled)
+{
+    _klocInterface = enabled;
+    for (auto &cache : _caches) {
+        if (cache)
+            cache->setKlocMode(enabled);
+    }
+}
+
+KmemCache &
+KernelHeap::cache(KobjKind kind)
+{
+    auto &ptr = _caches[static_cast<unsigned>(kind)];
+    KLOC_ASSERT(ptr != nullptr, "kind %s is not slab-backed",
+                kobjKindName(kind));
+    return *ptr;
+}
+
+void
+KernelHeap::maybeKswapd(const std::vector<TierId> &pref, bool hot)
+{
+    if (!_reclaim || !hot || pref.size() < 2)
+        return;
+    if (_reclaimBackoff > 0) {
+        --_reclaimBackoff;
+        return;
+    }
+    Tier &preferred = _tiers.tier(pref.front());
+    if (preferred.freePages() >= kKswapdLowWater)
+        return;
+    if (_reclaim(pref.front(), kKswapdBatch) == 0) {
+        // Nothing evictable: back off so full tiers don't pay a
+        // fruitless LRU walk on every allocation.
+        _reclaimBackoff = 64;
+    }
+}
+
+bool
+KernelHeap::allocBacking(KernelObject &obj, bool knode_active,
+                         uint64_t group_key)
+{
+    KLOC_ASSERT(_policy != nullptr, "KernelHeap used without a policy");
+    KLOC_ASSERT(!obj.backed(), "double allocation of %s",
+                kobjKindName(obj.kind));
+
+    const auto pref =
+        _policy->kernelPreference(kobjClass(obj.kind), knode_active);
+    maybeKswapd(pref, knode_active);
+    obj.allocTick = _mem.machine().now();
+
+    if (kobjIsSlab(obj.kind)) {
+        obj.slab = cache(obj.kind).alloc(
+            pref, _klocInterface ? group_key : 0);
+        return obj.slab.valid();
+    }
+
+    // Page-backed kinds. Page-cache and journal pages are always
+    // relocatable (they are virtually mapped); packet data buffers
+    // and rx rings are physically referenced and become relocatable
+    // only through the KLOC interface.
+    const bool relocatable =
+        obj.kind == KobjKind::PageCachePage ||
+        obj.kind == KobjKind::JournalPage || _klocInterface;
+    obj.page = _tiers.alloc(0, kobjClass(obj.kind), relocatable, pref);
+    if (!obj.page)
+        return false;
+    obj.page->owner = nullptr;
+    // Page allocator path cost.
+    _mem.machine().cpuWork(KmemCache::kSlowPathCost);
+    return true;
+}
+
+void
+KernelHeap::freeBacking(KernelObject &obj)
+{
+    if (obj.backed()) {
+        _objLifetimes[static_cast<unsigned>(obj.kind)].sample(
+            static_cast<uint64_t>(_mem.machine().now() - obj.allocTick));
+    }
+    if (obj.slab.valid()) {
+        obj.slab.cache->free(obj.slab);
+    } else if (obj.page) {
+        _tiers.free(obj.page);
+        obj.page = nullptr;
+        _mem.machine().cpuWork(KmemCache::kSlowPathCost);
+    }
+}
+
+Frame *
+KernelHeap::allocAppPage()
+{
+    return allocAppPages(0);
+}
+
+Frame *
+KernelHeap::allocAppPages(unsigned order)
+{
+    KLOC_ASSERT(_policy != nullptr, "KernelHeap used without a policy");
+    const auto pref = _policy->appPreference();
+    maybeKswapd(pref, true);
+    Frame *frame = _tiers.alloc(order, ObjClass::App, true, pref);
+    if (frame) {
+        _liveAppPages += frame->pages();
+        _cumAppPages += frame->pages();
+    }
+    return frame;
+}
+
+void
+KernelHeap::freeAppPage(Frame *frame)
+{
+    KLOC_ASSERT(frame->objClass == ObjClass::App, "not an app page");
+    KLOC_ASSERT(_liveAppPages >= frame->pages(),
+                "app page accounting underflow");
+    _liveAppPages -= frame->pages();
+    _tiers.free(frame);
+}
+
+} // namespace kloc

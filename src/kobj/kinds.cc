@@ -1,0 +1,98 @@
+#include "kobj/kinds.hh"
+
+#include "base/logging.hh"
+
+namespace kloc {
+
+Bytes
+kobjSize(KobjKind kind)
+{
+    // Sizes mirror the corresponding Linux structures (ext4, jbd2,
+    // block, net) rounded to their slab size classes.
+    switch (kind) {
+      case KobjKind::Inode:         return 1024;  // ext4_inode_info
+      case KobjKind::Dentry:        return 192;
+      case KobjKind::JournalRecord: return 120;   // journal_head
+      case KobjKind::Extent:        return 64;    // extent_status
+      case KobjKind::Bio:           return 200;
+      case KobjKind::BlkMqCtx:      return 384;
+      case KobjKind::RadixNode:     return 576;   // radix_tree_node
+      case KobjKind::Sock:          return 1088;  // tcp_sock class
+      case KobjKind::SkbuffHead:    return 232;   // sk_buff
+      case KobjKind::DirBuffer:     return 1024;
+      case KobjKind::PageCachePage: return kPageSize;
+      case KobjKind::JournalPage:   return kPageSize;
+      case KobjKind::SkbuffData:    return kPageSize;
+      case KobjKind::RxBuf:         return kPageSize;
+      case KobjKind::NumKinds:      break;
+    }
+    panic("bad kobj kind %u", static_cast<unsigned>(kind));
+}
+
+ObjClass
+kobjClass(KobjKind kind)
+{
+    switch (kind) {
+      case KobjKind::Inode:
+      case KobjKind::Dentry:
+      case KobjKind::Extent:
+      case KobjKind::RadixNode:
+      case KobjKind::DirBuffer:
+        return ObjClass::FsSlab;
+      case KobjKind::JournalRecord:
+      case KobjKind::JournalPage:
+        return ObjClass::Journal;
+      case KobjKind::Bio:
+      case KobjKind::BlkMqCtx:
+        return ObjClass::BlockIo;
+      case KobjKind::Sock:
+      case KobjKind::SkbuffHead:
+      case KobjKind::SkbuffData:
+      case KobjKind::RxBuf:
+        return ObjClass::SockBuf;
+      case KobjKind::PageCachePage:
+        return ObjClass::PageCache;
+      case KobjKind::NumKinds:
+        break;
+    }
+    panic("bad kobj kind %u", static_cast<unsigned>(kind));
+}
+
+bool
+kobjIsSlab(KobjKind kind)
+{
+    switch (kind) {
+      case KobjKind::PageCachePage:
+      case KobjKind::JournalPage:
+      case KobjKind::SkbuffData:
+      case KobjKind::RxBuf:
+        return false;
+      default:
+        return true;
+    }
+}
+
+const char *
+kobjKindName(KobjKind kind)
+{
+    switch (kind) {
+      case KobjKind::Inode:         return "inode";
+      case KobjKind::Dentry:        return "dentry";
+      case KobjKind::JournalRecord: return "journal_record";
+      case KobjKind::Extent:        return "extent";
+      case KobjKind::Bio:           return "bio";
+      case KobjKind::BlkMqCtx:      return "blk_mq_ctx";
+      case KobjKind::RadixNode:     return "radix_node";
+      case KobjKind::Sock:          return "sock";
+      case KobjKind::SkbuffHead:    return "skbuff";
+      case KobjKind::DirBuffer:     return "dir_buffer";
+      case KobjKind::PageCachePage: return "page_cache_page";
+      case KobjKind::JournalPage:   return "journal_page";
+      case KobjKind::SkbuffData:    return "skbuff_data";
+      case KobjKind::RxBuf:         return "rx_buf";
+      case KobjKind::NumKinds:      break;
+    }
+    return "unknown";
+}
+
+} // namespace kloc

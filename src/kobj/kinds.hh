@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The kernel-object taxonomy of Table 1: every filesystem and
+ * networking object the paper tracks, with realistic per-object
+ * sizes, the allocator each uses in a stock kernel, and the coarse
+ * accounting class used in the evaluation figures.
+ */
+
+#ifndef KLOC_KOBJ_KINDS_HH
+#define KLOC_KOBJ_KINDS_HH
+
+#include <cstdint>
+
+#include "base/units.hh"
+#include "mem/frame.hh"
+
+namespace kloc {
+
+/** Concrete kernel object kinds (Table 1, plus radix-tree nodes). */
+enum class KobjKind : uint8_t {
+    // Slab-allocated (kmalloc / kmem_cache_alloc in a stock kernel).
+    Inode = 0,      ///< per-file inode (FS and network)
+    Dentry,         ///< name resolution entry
+    JournalRecord,  ///< journal descriptor / journal_head
+    Extent,         ///< contiguous-block grouping structure
+    Bio,            ///< block I/O request structure
+    BlkMqCtx,       ///< block layer multi-queue context
+    RadixNode,      ///< page-cache radix tree interior node
+    Sock,           ///< socket object
+    SkbuffHead,     ///< packet buffer header
+    DirBuffer,      ///< directory read buffer
+
+    // Page-backed (page_alloc / vmalloc in a stock kernel).
+    PageCachePage,  ///< buffer-cache page
+    JournalPage,    ///< journal data buffer page
+    SkbuffData,     ///< packet payload buffer
+    RxBuf,          ///< network receive driver buffer
+
+    NumKinds
+};
+
+inline constexpr unsigned kNumKobjKinds =
+    static_cast<unsigned>(KobjKind::NumKinds);
+
+/** Bytes per object of @p kind. */
+Bytes kobjSize(KobjKind kind);
+
+/** Coarse accounting class for @p kind. */
+ObjClass kobjClass(KobjKind kind);
+
+/** True when a stock kernel would slab-allocate @p kind. */
+bool kobjIsSlab(KobjKind kind);
+
+/** Diagnostic name. */
+const char *kobjKindName(KobjKind kind);
+
+} // namespace kloc
+
+#endif // KLOC_KOBJ_KINDS_HH

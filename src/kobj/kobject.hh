@@ -1,0 +1,67 @@
+/**
+ * @file
+ * KernelObject: common base for every simulated kernel object.
+ *
+ * An object records its kind, its backing (one slab slot or one
+ * whole page frame), and its membership hook for the owning knode's
+ * red-black tree — the "table of contents" structure at the heart of
+ * the KLOC abstraction (Fig. 1).
+ */
+
+#ifndef KLOC_KOBJ_KOBJECT_HH
+#define KLOC_KOBJ_KOBJECT_HH
+
+#include <cstdint>
+
+#include "alloc/slab.hh"
+#include "base/rbtree.hh"
+#include "kobj/kinds.hh"
+
+namespace kloc {
+
+/** Base of all simulated kernel objects. */
+struct KernelObject
+{
+    explicit KernelObject(KobjKind k) : kind(k) {}
+
+    KernelObject(const KernelObject &) = delete;
+    KernelObject &operator=(const KernelObject &) = delete;
+    virtual ~KernelObject() = default;
+
+    KobjKind kind;
+
+    /** Backing when slab-allocated. */
+    SlabRef slab;
+    /** Backing when page-backed (whole frames). */
+    Frame *page = nullptr;
+
+    /** Membership in the owning knode's rbtree-slab / rbtree-cache. */
+    RbNode knodeHook;
+    /** Key within that tree (monotonic per-knode object id). */
+    uint64_t objId = 0;
+    /** Owning Knode, when KLOC tracking is enabled (else nullptr). */
+    void *knode = nullptr;
+
+    /** When the backing was allocated (object-lifetime accounting). */
+    Tick allocTick = 0;
+
+    /** Frame currently backing this object. */
+    Frame *
+    frame() const
+    {
+        return page ? page : slab.frame;
+    }
+
+    /** Simulated size of this object in bytes. */
+    Bytes
+    size() const
+    {
+        return kobjSize(kind);
+    }
+
+    bool backed() const { return page != nullptr || slab.valid(); }
+};
+
+} // namespace kloc
+
+#endif // KLOC_KOBJ_KOBJECT_HH

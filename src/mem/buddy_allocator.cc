@@ -1,0 +1,122 @@
+#include "mem/buddy_allocator.hh"
+
+#include "base/logging.hh"
+
+namespace kloc {
+
+BuddyAllocator::BuddyAllocator(uint64_t frames)
+    : _totalFrames(frames), _freeOrder(frames, kNotFreeHead)
+{
+    KLOC_ASSERT(frames > 0, "buddy allocator over empty frame space");
+    // Seed the free lists with maximal aligned blocks.
+    Pfn pfn = 0;
+    while (pfn < frames) {
+        unsigned order = kMaxOrder;
+        // Largest order that is aligned at pfn and fits below frames.
+        while (order > 0 &&
+               ((pfn & ((1ULL << order) - 1)) != 0 ||
+                pfn + (1ULL << order) > frames)) {
+            --order;
+        }
+        if (pfn + (1ULL << order) > frames)
+            break;  // trailing frames that fit no block stay unusable
+        insertFree(pfn, order);
+        pfn += 1ULL << order;
+    }
+}
+
+void
+BuddyAllocator::insertFree(Pfn pfn, unsigned order)
+{
+    _freeLists[order].insert(pfn);
+    _freeOrder[pfn] = static_cast<uint8_t>(order);
+}
+
+void
+BuddyAllocator::removeFree(Pfn pfn, unsigned order)
+{
+    const auto erased = _freeLists[order].erase(pfn);
+    KLOC_ASSERT(erased == 1, "free block %llu missing from order %u list",
+                static_cast<unsigned long long>(pfn), order);
+    _freeOrder[pfn] = kNotFreeHead;
+}
+
+Pfn
+BuddyAllocator::alloc(unsigned order)
+{
+    KLOC_ASSERT(order <= kMaxOrder, "order %u too large", order);
+    // Find the smallest order with a free block.
+    unsigned avail = order;
+    while (avail <= kMaxOrder && _freeLists[avail].empty())
+        ++avail;
+    if (avail > kMaxOrder)
+        return kInvalidPfn;
+
+    const Pfn pfn = *_freeLists[avail].begin();
+    removeFree(pfn, avail);
+    // Split the block down to the requested order, returning the
+    // low half and freeing the high halves.
+    while (avail > order) {
+        --avail;
+        insertFree(pfn + (1ULL << avail), avail);
+    }
+    _usedFrames += 1ULL << order;
+    return pfn;
+}
+
+void
+BuddyAllocator::free(Pfn pfn, unsigned order)
+{
+    KLOC_ASSERT(order <= kMaxOrder, "order %u too large", order);
+    KLOC_ASSERT(pfn + (1ULL << order) <= _totalFrames,
+                "free beyond frame space");
+    KLOC_ASSERT((pfn & ((1ULL << order) - 1)) == 0,
+                "misaligned free of pfn %llu order %u",
+                static_cast<unsigned long long>(pfn), order);
+    KLOC_ASSERT(_freeOrder[pfn] == kNotFreeHead, "double free of pfn %llu",
+                static_cast<unsigned long long>(pfn));
+    _usedFrames -= 1ULL << order;
+
+    // Coalesce with the buddy while possible.
+    while (order < kMaxOrder) {
+        const Pfn buddy = pfn ^ (1ULL << order);
+        if (buddy >= _totalFrames || _freeOrder[buddy] != order)
+            break;
+        removeFree(buddy, order);
+        pfn = pfn < buddy ? pfn : buddy;
+        ++order;
+    }
+    insertFree(pfn, order);
+}
+
+int
+BuddyAllocator::maxAvailableOrder() const
+{
+    for (int order = kMaxOrder; order >= 0; --order) {
+        if (!_freeLists[order].empty())
+            return order;
+    }
+    return -1;
+}
+
+void
+BuddyAllocator::validate() const
+{
+    uint64_t free_frames = 0;
+    for (unsigned order = 0; order <= kMaxOrder; ++order) {
+        for (const Pfn pfn : _freeLists[order]) {
+            KLOC_ASSERT(_freeOrder[pfn] == order,
+                        "freeOrder mismatch at pfn %llu",
+                        static_cast<unsigned long long>(pfn));
+            KLOC_ASSERT((pfn & ((1ULL << order) - 1)) == 0,
+                        "misaligned free block");
+            free_frames += 1ULL << order;
+        }
+    }
+    KLOC_ASSERT(free_frames == freeFrames(),
+                "free frame accounting mismatch: %llu vs %llu",
+                static_cast<unsigned long long>(free_frames),
+                static_cast<unsigned long long>(freeFrames()));
+}
+
+} // namespace kloc

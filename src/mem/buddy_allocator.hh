@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Binary buddy allocator over one tier's physical frame space,
+ * modelled on Linux's zoned buddy allocator (mm/page_alloc.c).
+ *
+ * Allocation returns the lowest-addressed suitable block so runs are
+ * deterministic. Orders range 0..kMaxOrder (4 KB .. 4 MB), matching
+ * MAX_ORDER-1 = 10 in the kernel.
+ */
+
+#ifndef KLOC_MEM_BUDDY_ALLOCATOR_HH
+#define KLOC_MEM_BUDDY_ALLOCATOR_HH
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "base/units.hh"
+
+namespace kloc {
+
+/** Buddy allocator over pfns [0, frames). */
+class BuddyAllocator
+{
+  public:
+    static constexpr unsigned kMaxOrder = 10;
+
+    /** @param frames Total frames managed; rounded down to even. */
+    explicit BuddyAllocator(uint64_t frames);
+
+    /**
+     * Allocate a 2^order-page block.
+     * @return base pfn, or kInvalidPfn when no block fits.
+     */
+    Pfn alloc(unsigned order);
+
+    /** Free the block at @p pfn previously allocated with @p order. */
+    void free(Pfn pfn, unsigned order);
+
+    /** Frames currently allocated. */
+    uint64_t usedFrames() const { return _usedFrames; }
+
+    /** Frames currently free. */
+    uint64_t freeFrames() const { return _totalFrames - _usedFrames; }
+
+    uint64_t totalFrames() const { return _totalFrames; }
+
+    /** Largest order that can currently be satisfied; -1 if none. */
+    int maxAvailableOrder() const;
+
+    /** Verify internal consistency; panics on corruption (tests). */
+    void validate() const;
+
+  private:
+    static constexpr uint8_t kNotFreeHead = 0xFF;
+
+    void insertFree(Pfn pfn, unsigned order);
+    void removeFree(Pfn pfn, unsigned order);
+
+    uint64_t _totalFrames;
+    uint64_t _usedFrames = 0;
+    /** Per-order ordered sets of free block base pfns. */
+    std::set<Pfn> _freeLists[kMaxOrder + 1];
+    /** freeOrder[pfn] = order when a free block starts there. */
+    std::vector<uint8_t> _freeOrder;
+};
+
+} // namespace kloc
+
+#endif // KLOC_MEM_BUDDY_ALLOCATOR_HH

@@ -1,0 +1,207 @@
+#include "mem/lru.hh"
+
+namespace kloc {
+
+LruEngine::LruEngine(Machine &machine, TierManager &tiers)
+    : _machine(machine), _tiers(tiers)
+{
+    _tiers.addAllocObserver([this](Frame *frame) { onAllocated(frame); });
+    _tiers.addFreeObserver([this](Frame *frame) { onFreed(frame); });
+}
+
+void
+LruEngine::onAllocated(Frame *frame)
+{
+    // Like Linux, fresh pages start on the inactive list and must
+    // prove themselves via references.
+    frame->onActiveList = false;
+    frame->referenced = false;
+    _tiers.tier(frame->tier).inactiveList().pushFront(frame);
+}
+
+void
+LruEngine::onFreed(Frame *frame)
+{
+    if (frame->lruHook.linked()) {
+        Tier &t = _tiers.tier(frame->tier);
+        if (frame->onActiveList)
+            t.activeList().remove(frame);
+        else
+            t.inactiveList().remove(frame);
+    }
+}
+
+void
+LruEngine::onAccessed(Frame *frame)
+{
+    frame->lastAccessTick = _machine.now();
+    if (!frame->lruHook.linked())
+        return;
+    Tier &t = _tiers.tier(frame->tier);
+    if (frame->onActiveList) {
+        frame->referenced = true;
+        return;
+    }
+    if (frame->referenced) {
+        // Second touch while inactive: promote (mark_page_accessed).
+        t.inactiveList().remove(frame);
+        t.activeList().pushFront(frame);
+        frame->onActiveList = true;
+        frame->referenced = false;
+    } else {
+        frame->referenced = true;
+    }
+}
+
+void
+LruEngine::onMigrated(Frame *frame, TierId old_tier)
+{
+    // The frame changed tier; move its list membership along,
+    // preserving active/inactive standing.
+    if (!frame->lruHook.linked())
+        return;
+    Tier &from = _tiers.tier(old_tier);
+    if (frame->onActiveList)
+        from.activeList().remove(frame);
+    else
+        from.inactiveList().remove(frame);
+    Tier &to = _tiers.tier(frame->tier);
+    if (frame->onActiveList)
+        to.activeList().pushFront(frame);
+    else
+        to.inactiveList().pushFront(frame);
+}
+
+void
+LruEngine::deactivate(Frame *frame)
+{
+    frame->referenced = false;
+    if (!frame->lruHook.linked()) {
+        frame->onActiveList = false;
+        return;
+    }
+    Tier &t = _tiers.tier(frame->tier);
+    if (frame->onActiveList) {
+        t.activeList().remove(frame);
+        t.inactiveList().pushFront(frame);
+        frame->onActiveList = false;
+    }
+}
+
+ScanResult
+LruEngine::scanTier(TierId tier, uint64_t max_scan)
+{
+    ScanResult result;
+    Tier &t = _tiers.tier(tier);
+
+    // Pass 1: age the active list from the cold end. Referenced
+    // frames get another round; unreferenced ones deactivate.
+    uint64_t budget = max_scan;
+    uint64_t active_len = t.activeList().size();
+    while (budget > 0 && active_len > 0) {
+        Frame *frame = t.activeList().back();
+        --active_len;
+        --budget;
+        ++result.scanned;
+        if (frame->referenced) {
+            frame->referenced = false;
+            t.activeList().moveToFront(frame);
+        } else {
+            t.activeList().remove(frame);
+            t.inactiveList().pushFront(frame);
+            frame->onActiveList = false;
+        }
+    }
+
+    // Pass 2: find cold frames at the tail of the inactive list.
+    uint64_t inactive_len = t.inactiveList().size();
+    while (budget > 0 && inactive_len > 0) {
+        Frame *frame = t.inactiveList().back();
+        --inactive_len;
+        --budget;
+        ++result.scanned;
+        if (frame->referenced) {
+            // Referenced while inactive: second chance.
+            frame->referenced = false;
+            t.inactiveList().moveToFront(frame);
+        } else {
+            // Cold. Rotate so the next scan sees different frames,
+            // and report as a demotion candidate.
+            t.inactiveList().moveToFront(frame);
+            result.demoteCandidates.emplace_back(frame);
+        }
+    }
+
+    _totalScanned += result.scanned;
+    // kswapd-style scans run on a dedicated thread; their cost leaks
+    // into foreground time as background work.
+    _machine.backgroundTraffic(
+        static_cast<Tick>(result.scanned) * kScanCostPerPage);
+    return result;
+}
+
+std::vector<FrameRef>
+LruEngine::collectHot(TierId tier, uint64_t max)
+{
+    std::vector<FrameRef> hot;
+    Tier &t = _tiers.tier(tier);
+    uint64_t scanned = 0;
+    for (Frame *frame : t.activeList()) {
+        if (hot.size() >= max)
+            break;
+        ++scanned;
+        // Two-scan confirmation, like NUMA-balancing's fault
+        // sampling: a frame is only promotion-eligible once a prior
+        // scan has already seen it hot. This is the detection
+        // latency that makes scan-driven promotion miss short-lived
+        // kernel objects (§3.3).
+        if (frame->scanMarks == 0) {
+            frame->scanMarks = 1;
+            continue;
+        }
+        hot.emplace_back(frame);
+    }
+    _totalScanned += scanned;
+    _machine.backgroundTraffic(
+        static_cast<Tick>(scanned) * kScanCostPerPage);
+    return hot;
+}
+
+std::vector<FrameRef>
+LruEngine::collectReferenced(TierId tier, uint64_t max)
+{
+    std::vector<FrameRef> hot;
+    Tier &t = _tiers.tier(tier);
+    uint64_t scanned = 0;
+    for (Frame *frame : t.activeList()) {
+        if (hot.size() >= max)
+            break;
+        ++scanned;
+        hot.emplace_back(frame);
+    }
+    for (Frame *frame : t.inactiveList()) {
+        if (hot.size() >= max)
+            break;
+        ++scanned;
+        if (frame->referenced)
+            hot.emplace_back(frame);
+    }
+    _totalScanned += scanned;
+    _machine.backgroundTraffic(
+        static_cast<Tick>(scanned) * kScanCostPerPage);
+    return hot;
+}
+
+uint64_t
+LruEngine::activeCount(TierId tier)
+{
+    return _tiers.tier(tier).activeList().size();
+}
+
+uint64_t
+LruEngine::inactiveCount(TierId tier)
+{
+    return _tiers.tier(tier).inactiveList().size();
+}
+
+} // namespace kloc

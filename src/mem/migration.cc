@@ -1,0 +1,92 @@
+#include "mem/migration.hh"
+
+#include "base/logging.hh"
+
+namespace kloc {
+
+void
+MigrationEngine::setParallelism(unsigned width)
+{
+    KLOC_ASSERT(width >= 1, "migration parallelism below 1");
+    _parallelism = width;
+}
+
+bool
+MigrationEngine::moveFrame(Frame *frame, TierId dst, Tick &copy_cost,
+                           Tick &fixed_cost)
+{
+    ++_stats.attempts;
+    if (!frame->relocatable) {
+        ++_stats.failedNotRelocatable;
+        return false;
+    }
+    const TierId src = frame->tier;
+    if (!_tiers.migrate(frame, dst)) {
+        // TierManager::migrate fails on pin, damping, same-tier, or
+        // destination exhaustion; only exhaustion is common here.
+        ++_stats.failedNoSpace;
+        return false;
+    }
+    _lru.onMigrated(frame, src);
+    frame->scanMarks = 0;
+    if (dst > src) {
+        // Demotion resets LRU standing: the page must prove reuse
+        // before any policy promotes it again.
+        _lru.deactivate(frame);
+    }
+
+    const Bytes bytes = frame->bytes();
+    copy_cost += _machine.memModel().rawCost(src, bytes, AccessType::Read,
+                                             _machine.currentSocket());
+    copy_cost += _machine.memModel().rawCost(dst, bytes, AccessType::Write,
+                                             _machine.currentSocket());
+    fixed_cost += kPerPageOverhead * static_cast<Tick>(frame->pages());
+
+    _stats.migratedPages += frame->pages();
+    _stats.migratedPagesByClass[static_cast<unsigned>(frame->objClass)] +=
+        frame->pages();
+    if (dst > src)
+        _stats.demotedPages += frame->pages();
+    else
+        _stats.promotedPages += frame->pages();
+    return true;
+}
+
+uint64_t
+MigrationEngine::migrate(const std::vector<FrameRef> &batch, TierId dst)
+{
+    Tick copy_cost = 0;
+    Tick fixed_cost = 0;
+    uint64_t moved_pages = 0;
+    for (const FrameRef &ref : batch) {
+        if (!ref.valid()) {
+            ++_stats.failedStale;
+            continue;
+        }
+        Frame *frame = ref.get();
+        if (frame->tier == dst)
+            continue;
+        const uint64_t before = _stats.migratedPages;
+        if (moveFrame(frame, dst, copy_cost, fixed_cost))
+            moved_pages += _stats.migratedPages - before;
+    }
+    // Migration threads run on dedicated CPUs (§5): both the copy
+    // traffic and the unmap/remap work spread across them.
+    const Tick total =
+        (copy_cost + fixed_cost) / static_cast<Tick>(_parallelism);
+    _machine.backgroundTraffic(total);
+    return moved_pages;
+}
+
+bool
+MigrationEngine::migrateOne(Frame *frame, TierId dst)
+{
+    Tick copy_cost = 0;
+    Tick fixed_cost = 0;
+    const bool ok = moveFrame(frame, dst, copy_cost, fixed_cost);
+    _machine.backgroundTraffic(
+        (copy_cost + fixed_cost) / static_cast<Tick>(_parallelism));
+    return ok;
+}
+
+} // namespace kloc

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * PlacementPolicy: the oracle subsystems consult at allocation time.
+ *
+ * Every tiering strategy in Table 5 reduces to (i) where allocations
+ * of each class start out, and (ii) what gets migrated when. This
+ * interface covers (i); migration behaviour lives in the policy
+ * objects themselves (src/policy).
+ */
+
+#ifndef KLOC_MEM_PLACEMENT_HH
+#define KLOC_MEM_PLACEMENT_HH
+
+#include <vector>
+
+#include "mem/frame.hh"
+#include "sim/memory_model.hh"
+
+namespace kloc {
+
+/** Allocation-time tier preference oracle. */
+class PlacementPolicy
+{
+  public:
+    virtual ~PlacementPolicy() = default;
+
+    /**
+     * Tier preference for a kernel-object allocation of class @p cls.
+     * @param knode_active Whether the owning KLOC is active (only
+     *        meaningful for KLOC-family policies; others ignore it).
+     */
+    virtual std::vector<TierId>
+    kernelPreference(ObjClass cls, bool knode_active) = 0;
+
+    /** Tier preference for an application page allocation. */
+    virtual std::vector<TierId> appPreference() = 0;
+};
+
+/** Fixed-order placement (used for AllFast / AllSlow / tests). */
+class StaticPlacement : public PlacementPolicy
+{
+  public:
+    StaticPlacement(std::vector<TierId> kernel_pref,
+                    std::vector<TierId> app_pref)
+        : _kernelPref(std::move(kernel_pref)), _appPref(std::move(app_pref))
+    {}
+
+    std::vector<TierId>
+    kernelPreference(ObjClass, bool) override
+    {
+        return _kernelPref;
+    }
+
+    std::vector<TierId> appPreference() override { return _appPref; }
+
+  private:
+    std::vector<TierId> _kernelPref;
+    std::vector<TierId> _appPref;
+};
+
+} // namespace kloc
+
+#endif // KLOC_MEM_PLACEMENT_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * One memory tier: a buddy-managed frame space plus Linux-style LRU
+ * lists and per-class residency accounting.
+ */
+
+#ifndef KLOC_MEM_TIER_HH
+#define KLOC_MEM_TIER_HH
+
+#include <cstdint>
+
+#include "base/intrusive_list.hh"
+#include "mem/buddy_allocator.hh"
+#include "mem/frame.hh"
+#include "sim/memory_model.hh"
+
+namespace kloc {
+
+/** LRU list pair for a tier. */
+using FrameList = IntrusiveList<Frame, &Frame::lruHook>;
+
+/** A memory tier's dynamic state. */
+class Tier
+{
+  public:
+    Tier(TierId id, const TierSpec &spec)
+        : _id(id), _spec(spec), _buddy(spec.capacity / kPageSize)
+    {}
+
+    TierId id() const { return _id; }
+    const TierSpec &spec() const { return _spec; }
+
+    BuddyAllocator &buddy() { return _buddy; }
+    const BuddyAllocator &buddy() const { return _buddy; }
+
+    /** Linux-style active/inactive LRU lists for this tier. */
+    FrameList &activeList() { return _active; }
+    FrameList &inactiveList() { return _inactive; }
+
+    uint64_t totalPages() const { return _buddy.totalFrames(); }
+    uint64_t usedPages() const { return _buddy.usedFrames(); }
+    uint64_t freePages() const { return _buddy.freeFrames(); }
+
+    /** Fraction of the tier currently allocated, in [0,1]. */
+    double
+    utilization() const
+    {
+        return totalPages() == 0
+            ? 0.0
+            : static_cast<double>(usedPages()) /
+              static_cast<double>(totalPages());
+    }
+
+    /** Pages currently resident for @p cls. */
+    uint64_t
+    residentPages(ObjClass cls) const
+    {
+        return _residentPages[static_cast<unsigned>(cls)];
+    }
+
+    /** Cumulative pages ever allocated here for @p cls. */
+    uint64_t
+    cumulativeAllocPages(ObjClass cls) const
+    {
+        return _cumAllocPages[static_cast<unsigned>(cls)];
+    }
+
+    /** Residency bookkeeping, used by TierManager only. */
+    void
+    noteAlloc(ObjClass cls, uint64_t pages)
+    {
+        _residentPages[static_cast<unsigned>(cls)] += pages;
+        _cumAllocPages[static_cast<unsigned>(cls)] += pages;
+    }
+
+    void
+    noteFree(ObjClass cls, uint64_t pages)
+    {
+        KLOC_ASSERT(_residentPages[static_cast<unsigned>(cls)] >= pages,
+                    "resident page underflow for class %s",
+                    objClassName(cls));
+        _residentPages[static_cast<unsigned>(cls)] -= pages;
+    }
+
+    /** noteAlloc without the cumulative count (migration arrivals). */
+    void
+    noteArrive(ObjClass cls, uint64_t pages)
+    {
+        _residentPages[static_cast<unsigned>(cls)] += pages;
+    }
+
+  private:
+    TierId _id;
+    TierSpec _spec;
+    BuddyAllocator _buddy;
+    FrameList _active;
+    FrameList _inactive;
+    uint64_t _residentPages[kNumObjClasses] = {};
+    uint64_t _cumAllocPages[kNumObjClasses] = {};
+};
+
+} // namespace kloc
+
+#endif // KLOC_MEM_TIER_HH

@@ -1,0 +1,167 @@
+#include "mem/tier_manager.hh"
+
+#include "base/logging.hh"
+
+namespace kloc {
+
+const char *
+objClassName(ObjClass cls)
+{
+    switch (cls) {
+      case ObjClass::App:       return "app";
+      case ObjClass::PageCache: return "page_cache";
+      case ObjClass::Journal:   return "journal";
+      case ObjClass::FsSlab:    return "fs_slab";
+      case ObjClass::SockBuf:   return "sock_buf";
+      case ObjClass::BlockIo:   return "block_io";
+      case ObjClass::KlocMeta:  return "kloc_meta";
+      case ObjClass::NumClasses: break;
+    }
+    return "unknown";
+}
+
+TierId
+TierManager::addTier(const TierSpec &spec)
+{
+    const TierId id = _machine.memModel().addTier(spec);
+    KLOC_ASSERT(static_cast<size_t>(id) == _tiers.size(),
+                "tier id out of sync with memory model");
+    _tiers.push_back(std::make_unique<Tier>(id, spec));
+    return id;
+}
+
+Tier &
+TierManager::tier(TierId id)
+{
+    KLOC_ASSERT(id >= 0 && static_cast<size_t>(id) < _tiers.size(),
+                "bad tier id %d", id);
+    return *_tiers[static_cast<size_t>(id)];
+}
+
+const Tier &
+TierManager::tier(TierId id) const
+{
+    KLOC_ASSERT(id >= 0 && static_cast<size_t>(id) < _tiers.size(),
+                "bad tier id %d", id);
+    return *_tiers[static_cast<size_t>(id)];
+}
+
+Frame *
+TierManager::alloc(unsigned order, ObjClass cls, bool relocatable,
+                   const std::vector<TierId> &preference)
+{
+    for (const TierId tid : preference) {
+        Tier &t = tier(tid);
+        const Pfn pfn = t.buddy().alloc(order);
+        if (pfn == kInvalidPfn)
+            continue;
+
+        Frame *frame;
+        if (!_freeFrameObjs.empty()) {
+            frame = _freeFrameObjs.back();
+            _freeFrameObjs.pop_back();
+            const uint64_t gen = frame->generation;
+            *frame = Frame{};
+            frame->generation = gen;
+        } else {
+            frame = &_framePool.emplace_back();
+        }
+        frame->tier = tid;
+        frame->pfn = pfn;
+        frame->order = static_cast<uint8_t>(order);
+        frame->objClass = cls;
+        frame->relocatable = relocatable;
+        frame->allocTick = _machine.now();
+        frame->lastAccessTick = _machine.now();
+
+        t.noteAlloc(cls, frame->pages());
+        _cumAllocPagesByClass[static_cast<unsigned>(cls)] += frame->pages();
+        ++_liveFrames;
+
+        for (const auto &obs : _allocObservers)
+            obs(frame);
+        return frame;
+    }
+    return nullptr;
+}
+
+void
+TierManager::free(Frame *frame)
+{
+    KLOC_ASSERT(frame != nullptr, "free of null frame");
+    KLOC_ASSERT(frame->tier != kInvalidTier, "double free of frame");
+
+    for (const auto &obs : _freeObservers)
+        obs(frame);
+    KLOC_ASSERT(!frame->lruHook.linked(),
+                "freeing frame still on an LRU list");
+
+    const Tick lifetime = _machine.now() - frame->allocTick;
+    _lifetimes[static_cast<unsigned>(frame->objClass)]
+        .sample(static_cast<uint64_t>(lifetime));
+
+    Tier &t = tier(frame->tier);
+    t.noteFree(frame->objClass, frame->pages());
+    t.buddy().free(frame->pfn, frame->order);
+
+    frame->tier = kInvalidTier;
+    frame->pfn = kInvalidPfn;
+    frame->owner = nullptr;
+    ++frame->generation;
+    --_liveFrames;
+    _freeFrameObjs.push_back(frame);
+}
+
+bool
+TierManager::migrate(Frame *frame, TierId dst)
+{
+    KLOC_ASSERT(frame->tier != kInvalidTier, "migrating freed frame");
+    if (!frame->relocatable || frame->pinned() || frame->tier == dst)
+        return false;
+    // Ping-pong damping (§4.5): a page migrated many times is
+    // retained where it is rather than demoted again. Promotions
+    // (toward lower tier ids) stay allowed so the page can settle
+    // in fast memory, which is where the paper retains such pages.
+    if (frame->migrateCount >= kRetainThreshold && dst > frame->tier)
+        return false;
+    if (frame->migrateCount == 0xFF)
+        return false;  // absolute cap on the 8-bit counter
+
+    Tier &to = tier(dst);
+    const Pfn new_pfn = to.buddy().alloc(frame->order);
+    if (new_pfn == kInvalidPfn)
+        return false;
+
+    Tier &from = tier(frame->tier);
+    from.noteFree(frame->objClass, frame->pages());
+    from.buddy().free(frame->pfn, frame->order);
+
+    frame->tier = dst;
+    frame->pfn = new_pfn;
+    ++frame->migrateCount;
+    to.noteArrive(frame->objClass, frame->pages());
+    return true;
+}
+
+void
+TierManager::addAllocObserver(FrameObserver obs)
+{
+    _allocObservers.push_back(std::move(obs));
+}
+
+void
+TierManager::addFreeObserver(FrameObserver obs)
+{
+    _freeObservers.push_back(std::move(obs));
+}
+
+void
+TierManager::resetCumulativeStats()
+{
+    for (auto &count : _cumAllocPagesByClass)
+        count = 0;
+    for (auto &hist : _lifetimes)
+        hist.reset();
+}
+
+} // namespace kloc

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * TierManager: the machine's physical memory — every tier, every
+ * live Frame, and the accounting behind Figs. 2a/2b/2d and 5b.
+ *
+ * Placement policy is expressed by the caller through the tier
+ * preference order passed to alloc(); the manager walks it until a
+ * tier has room. Migration re-homes a Frame in place so that kernel
+ * objects holding Frame* never see a pointer change.
+ */
+
+#ifndef KLOC_MEM_TIER_MANAGER_HH
+#define KLOC_MEM_TIER_MANAGER_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "base/stats.hh"
+#include "mem/tier.hh"
+#include "sim/machine.hh"
+
+namespace kloc {
+
+/** Owner of all tiers and frames. */
+class TierManager
+{
+  public:
+    using FrameObserver = std::function<void(Frame *)>;
+
+    /** Migration count beyond which a page is retained (no demote). */
+    static constexpr uint8_t kRetainThreshold = 8;
+
+    explicit TierManager(Machine &machine) : _machine(machine) {}
+
+    /** Create a tier (also registered with the machine's MemoryModel). */
+    TierId addTier(const TierSpec &spec);
+
+    Tier &tier(TierId id);
+    const Tier &tier(TierId id) const;
+    size_t tierCount() const { return _tiers.size(); }
+
+    /**
+     * Allocate a 2^order-page frame for @p cls, trying tiers in
+     * @p preference order.
+     * @return the frame, or nullptr when every tier is full.
+     */
+    Frame *alloc(unsigned order, ObjClass cls, bool relocatable,
+                 const std::vector<TierId> &preference);
+
+    /** Release @p frame and record its lifetime. */
+    void free(Frame *frame);
+
+    /**
+     * Re-home @p frame onto @p dst. Space bookkeeping only — the
+     * MigrationEngine charges copy costs. Fails (returns false) when
+     * the frame is non-relocatable, pinned, or @p dst is full.
+     */
+    bool migrate(Frame *frame, TierId dst);
+
+    /** Observer invoked after a successful alloc(). */
+    void addAllocObserver(FrameObserver obs);
+
+    /** Observer invoked just before a frame is freed. */
+    void addFreeObserver(FrameObserver obs);
+
+    /** Live frames across all tiers. */
+    uint64_t liveFrames() const { return _liveFrames; }
+
+    /** Cumulative page allocations per class (Fig. 2a/2b footprints). */
+    uint64_t
+    cumulativeAllocPages(ObjClass cls) const
+    {
+        return _cumAllocPagesByClass[static_cast<unsigned>(cls)];
+    }
+
+    /** Lifetime distribution per class in Ticks (Fig. 2d). */
+    const Histogram &
+    lifetimeHist(ObjClass cls) const
+    {
+        return _lifetimes[static_cast<unsigned>(cls)];
+    }
+
+    /** Reset cumulative counters (between experiment phases). */
+    void resetCumulativeStats();
+
+  private:
+    Machine &_machine;
+    std::vector<std::unique_ptr<Tier>> _tiers;
+
+    // Frame pool with stable addresses.
+    std::deque<Frame> _framePool;
+    std::vector<Frame *> _freeFrameObjs;
+    uint64_t _liveFrames = 0;
+
+    uint64_t _cumAllocPagesByClass[kNumObjClasses] = {};
+    Histogram _lifetimes[kNumObjClasses];
+
+    std::vector<FrameObserver> _allocObservers;
+    std::vector<FrameObserver> _freeObservers;
+};
+
+} // namespace kloc
+
+#endif // KLOC_MEM_TIER_MANAGER_HH

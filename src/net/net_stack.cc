@@ -1,0 +1,331 @@
+#include "net/net_stack.hh"
+
+#include "base/logging.hh"
+
+namespace kloc {
+
+NetworkStack::NetworkStack(KernelHeap &heap, KlocManager *kloc,
+                           const Config &config)
+    : _heap(heap), _kloc(kloc), _config(config)
+{
+}
+
+void
+NetworkStack::ensureRxRing()
+{
+    if (!_rxRing.empty())
+        return;
+    // Fill the driver receive ring. Ring buffers are global driver
+    // state: allocated once, reused for every incoming packet, and
+    // only relocatable through the KLOC interface. Filled lazily so
+    // the placement policy is installed by the time they allocate.
+    for (unsigned i = 0; i < _config.rxRingSize; ++i) {
+        auto buf = std::make_unique<RxBufPage>();
+        if (_heap.allocBacking(*buf, true, 0))
+            _rxRing.push_back(std::move(buf));
+    }
+    KLOC_ASSERT(!_rxRing.empty(), "no memory for the rx ring");
+}
+
+NetworkStack::~NetworkStack()
+{
+    std::vector<int> sds;
+    sds.reserve(_sockets.size());
+    for (auto &[sd, sock] : _sockets)
+        sds.push_back(sd);
+    for (const int sd : sds)
+        closeSocket(sd);
+    for (auto &buf : _rxRing)
+        _heap.freeBacking(*buf);
+}
+
+NetworkStack::Socket *
+NetworkStack::socketFor(int sd)
+{
+    auto it = _sockets.find(sd);
+    return it == _sockets.end() ? nullptr : &it->second;
+}
+
+const NetworkStack::Socket *
+NetworkStack::socketFor(int sd) const
+{
+    auto it = _sockets.find(sd);
+    return it == _sockets.end() ? nullptr : &it->second;
+}
+
+int
+NetworkStack::socket()
+{
+    Machine &machine = _heap.mem().machine();
+    machine.cpuWork(500);  // socket() syscall path
+    ++_stats.socketsCreated;
+
+    Socket sock;
+    sock.inodeId = _heap.allocInodeId();
+    sock.knode = _kloc ? _kloc->mapKnode(sock.inodeId) : nullptr;
+    const uint64_t group = sock.knode ? sock.knode->id : 0;
+
+    sock.inode = std::make_unique<Inode>(sock.inodeId);
+    sock.inode->isSocket = true;
+    sock.inode->refCount = 1;
+    if (_heap.allocBacking(*sock.inode, true, group)) {
+        if (_kloc && sock.knode)
+            _kloc->addObject(sock.knode, sock.inode.get());
+        _heap.touchObject(*sock.inode, AccessType::Write);
+    }
+
+    sock.sock = std::make_unique<SockObj>();
+    if (_heap.allocBacking(*sock.sock, true, group)) {
+        if (_kloc && sock.knode)
+            _kloc->addObject(sock.knode, sock.sock.get());
+        _heap.touchObject(*sock.sock, AccessType::Write);
+    }
+
+    if (_kloc && sock.knode)
+        _kloc->markActive(sock.knode);
+
+    const int sd = _nextSd++;
+    _sockets.emplace(sd, std::move(sock));
+    return sd;
+}
+
+void
+NetworkStack::closeSocket(int sd)
+{
+    Socket *sock = socketFor(sd);
+    if (!sock)
+        return;
+    Machine &machine = _heap.mem().machine();
+    machine.cpuWork(500);
+    ++_stats.socketsClosed;
+
+    while (!sock->rxQueue.empty()) {
+        freeSkb(sock->rxQueue.front());
+        sock->rxQueue.pop_front();
+    }
+    if (sock->sock->backed()) {
+        if (_kloc && sock->sock->knode)
+            _kloc->removeObject(sock->sock.get());
+        _heap.freeBacking(*sock->sock);
+    }
+    if (sock->inode->backed()) {
+        if (_kloc && sock->inode->knode)
+            _kloc->removeObject(sock->inode.get());
+        _heap.freeBacking(*sock->inode);
+    }
+    if (_kloc && sock->knode)
+        _kloc->unmapKnode(sock->knode);
+    _sockets.erase(sd);
+}
+
+bool
+NetworkStack::allocSkb(SkBuff &skb, Knode *knode, bool active)
+{
+    const uint64_t group = knode ? knode->id : 0;
+    skb.head = std::make_unique<SkbHead>();
+    if (!_heap.allocBacking(*skb.head, active, group))
+        return false;
+    skb.data = std::make_unique<SkbuffDataPage>();
+    if (!_heap.allocBacking(*skb.data, active, group)) {
+        _heap.freeBacking(*skb.head);
+        return false;
+    }
+    if (_kloc && knode) {
+        _kloc->addObject(knode, skb.head.get());
+        _kloc->addObject(knode, skb.data.get());
+    }
+    return true;
+}
+
+void
+NetworkStack::freeSkb(SkBuff &skb)
+{
+    if (skb.head && skb.head->backed()) {
+        if (_kloc && skb.head->knode)
+            _kloc->removeObject(skb.head.get());
+        _heap.freeBacking(*skb.head);
+    }
+    if (skb.data && skb.data->backed()) {
+        if (_kloc && skb.data->knode)
+            _kloc->removeObject(skb.data.get());
+        _heap.freeBacking(*skb.data);
+    }
+    skb.head.reset();
+    skb.data.reset();
+}
+
+Bytes
+NetworkStack::send(int sd, Bytes length)
+{
+    Socket *sock = socketFor(sd);
+    if (!sock || length == 0)
+        return 0;
+    Machine &machine = _heap.mem().machine();
+    machine.cpuWork(300);  // send() syscall entry
+    if (_kloc && sock->knode)
+        _kloc->markActive(sock->knode);
+
+    const uint64_t packets = (length + kPacketBytes - 1) / kPacketBytes;
+    Bytes sent = 0;
+    for (uint64_t i = 0; i < packets; ++i) {
+        const Bytes chunk =
+            std::min<Bytes>(kPacketBytes, length - sent);
+        SkBuff skb;
+        const bool active = sock->knode ? sock->knode->inuse : true;
+        if (!allocSkb(skb, sock->knode, active)) {
+            // No memory for tx buffers: stall-equivalent penalty.
+            machine.cpuWork(_config.wireCost);
+            sent += chunk;
+            continue;
+        }
+        // Copy from userspace into the packet buffer.
+        _heap.touchObject(*skb.data, AccessType::Write);
+        _heap.touchObject(*skb.head, AccessType::Write);
+        // TCP -> IP -> driver.
+        machine.cpuWork(3 * _config.perLayerCost + _config.wireCost);
+        _heap.touchObject(*skb.head, AccessType::Read);
+        // TX completion frees the buffers.
+        freeSkb(skb);
+        ++_stats.packetsSent;
+        sent += chunk;
+    }
+    return sent;
+}
+
+void
+NetworkStack::deliver(int sd, Bytes length)
+{
+    Socket *sock = socketFor(sd);
+    if (!sock || length == 0)
+        return;
+    ensureRxRing();
+    Machine &machine = _heap.mem().machine();
+
+    const uint64_t packets = (length + kPacketBytes - 1) / kPacketBytes;
+    Bytes remaining = length;
+    for (uint64_t i = 0; i < packets; ++i) {
+        const Bytes chunk = std::min<Bytes>(kPacketBytes, remaining);
+        remaining -= chunk;
+
+        // Driver: DMA lands in the next rx-ring buffer.
+        RxBufPage *ring_buf = _rxRing[_rxCursor].get();
+        _rxCursor = (_rxCursor + 1) % _rxRing.size();
+        _heap.touchObject(*ring_buf, AccessType::Write);
+        machine.cpuWork(_config.perLayerCost);
+        if (_config.klocEarlyDemux && _kloc && sock->knode &&
+            ring_buf->backed()) {
+            // With the socket known in the driver (§4.2.3), rx-ring
+            // pages count as the receiving KLOC's objects: hot ring
+            // pages get pulled into fast memory.
+            _kloc->maybePromoteOnTouch(ring_buf->frame(), sock->knode);
+        }
+
+        // The driver allocates the skb. Without early demux the
+        // owning socket is unknown here, so the skb cannot join its
+        // knode yet (§4.2.3).
+        SkBuff skb;
+        Knode *alloc_knode = nullptr;
+        bool active = true;
+        if (_config.klocEarlyDemux && _kloc) {
+            // KLOC extension: extract the socket in the driver.
+            machine.cpuWork(_config.earlyDemuxCost);
+            alloc_knode = sock->knode;
+            active = sock->knode ? sock->knode->inuse : true;
+            ++_stats.earlyDemuxPackets;
+        }
+        if (!allocSkb(skb, alloc_knode, active)) {
+            ++_stats.rxDrops;
+            continue;
+        }
+        if (skb.head)
+            skb.head->socketHint =
+                _config.klocEarlyDemux ? sock->inodeId : 0;
+        skb.payload = chunk;
+        // Payload copy out of the ring buffer.
+        _heap.touchObject(*ring_buf, AccessType::Read);
+        _heap.touchObject(*skb.data, AccessType::Write);
+
+        // IP layer.
+        machine.cpuWork(_config.perLayerCost);
+        _heap.touchObject(*skb.head, AccessType::Read);
+
+        // TCP layer: demux to the socket.
+        machine.cpuWork(_config.perLayerCost);
+        if (_config.klocEarlyDemux && _kloc) {
+            // The 8-byte hint elides the socket lookup.
+            machine.cpuWork(_config.demuxCost / 4);
+        } else {
+            machine.cpuWork(_config.demuxCost);
+            ++_stats.lateDemuxPackets;
+            // Late knode association happens only now.
+            if (_kloc && sock->knode) {
+                _kloc->addObject(sock->knode, skb.head.get());
+                _kloc->addObject(sock->knode, skb.data.get());
+            }
+        }
+        _heap.touchObject(*sock->sock, AccessType::Write);
+
+        sock->rxQueuedBytes += chunk;
+        sock->rxQueue.push_back(std::move(skb));
+        ++_stats.packetsDelivered;
+    }
+}
+
+Bytes
+NetworkStack::recv(int sd, Bytes max_length)
+{
+    Socket *sock = socketFor(sd);
+    if (!sock)
+        return 0;
+    Machine &machine = _heap.mem().machine();
+    machine.cpuWork(300);  // recv() syscall entry
+    if (_kloc && sock->knode)
+        _kloc->markActive(sock->knode);
+
+    Bytes received = 0;
+    while (!sock->rxQueue.empty() && received < max_length) {
+        SkBuff &skb = sock->rxQueue.front();
+        if (received + skb.payload > max_length)
+            break;
+        // Copy to userspace.
+        _heap.touchObject(*skb.data, AccessType::Read);
+        _heap.touchObject(*skb.head, AccessType::Read);
+        received += skb.payload;
+        sock->rxQueuedBytes -= skb.payload;
+        freeSkb(skb);
+        sock->rxQueue.pop_front();
+        ++_stats.packetsReceived;
+    }
+    return received;
+}
+
+Bytes
+NetworkStack::pendingBytes(int sd) const
+{
+    const Socket *sock = socketFor(sd);
+    return sock ? sock->rxQueuedBytes : 0;
+}
+
+bool
+NetworkStack::poll(int sd)
+{
+    Socket *sock = socketFor(sd);
+    if (!sock)
+        return false;
+    Machine &machine = _heap.mem().machine();
+    machine.cpuWork(150);  // poll/epoll syscall path
+    if (sock->sock->backed())
+        _heap.touchObject(*sock->sock, AccessType::Read);
+    if (_kloc && sock->knode)
+        _kloc->markActive(sock->knode);
+    return sock->rxQueuedBytes > 0;
+}
+
+Knode *
+NetworkStack::knodeOf(int sd) const
+{
+    const Socket *sock = socketFor(sd);
+    return sock ? sock->knode : nullptr;
+}
+
+} // namespace kloc

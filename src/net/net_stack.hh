@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Simplified networking stack: sockets, skbuffs, a driver rx ring,
+ * and layered ingress/egress processing.
+ *
+ * The structural point the paper makes about networking (§4.2.3) is
+ * reproduced: on the ingress path the driver allocates a generic
+ * packet buffer *before* the owning socket is known — the socket is
+ * resolved only at the TCP layer (late demux), which delays knode
+ * association. The KLOC extension adds an 8-byte socket field
+ * extracted in the driver (early demux), associating buffers with
+ * their KLOC immediately and eliding redundant work higher up.
+ *
+ * Packets are modelled as GRO-aggregated 4 KB super-packets: one
+ * SkbuffHead (slab) plus one SkbuffData page each.
+ */
+
+#ifndef KLOC_NET_NET_STACK_HH
+#define KLOC_NET_NET_STACK_HH
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/kloc_manager.hh"
+#include "fs/objects.hh"
+#include "kobj/kernel_heap.hh"
+
+namespace kloc {
+
+/** Packet payload buffer (page-backed). */
+struct SkbuffDataPage : KernelObject
+{
+    SkbuffDataPage() : KernelObject(KobjKind::SkbuffData) {}
+};
+
+/** Receive-ring driver buffer (page-backed, reused). */
+struct RxBufPage : KernelObject
+{
+    RxBufPage() : KernelObject(KobjKind::RxBuf) {}
+};
+
+/** Packet-header object (struct sk_buff). */
+struct SkbHead : KernelObject
+{
+    SkbHead() : KernelObject(KobjKind::SkbuffHead) {}
+
+    /** The 8-byte early-demux socket field (KLOC extension). */
+    uint64_t socketHint = 0;
+};
+
+/** Socket kernel object (struct sock). */
+struct SockObj : KernelObject
+{
+    SockObj() : KernelObject(KobjKind::Sock) {}
+};
+
+/** Networking statistics for the experiments. */
+struct NetStats
+{
+    uint64_t socketsCreated = 0;
+    uint64_t socketsClosed = 0;
+    uint64_t packetsSent = 0;
+    uint64_t packetsReceived = 0;
+    uint64_t packetsDelivered = 0;  ///< handed to a socket's rx queue
+    uint64_t earlyDemuxPackets = 0;
+    uint64_t lateDemuxPackets = 0;
+    uint64_t rxDrops = 0;           ///< no memory for skbs
+};
+
+/** The network stack. */
+class NetworkStack
+{
+  public:
+    struct Config
+    {
+        unsigned rxRingSize = 256;
+        /** Extract the socket in the driver (the KLOC extension). */
+        bool klocEarlyDemux = false;
+        /** CPU per layer traversed (driver, IP, TCP). */
+        Tick perLayerCost = 350;
+        /** CPU of the TCP-layer socket lookup (late demux). */
+        Tick demuxCost = 500;
+        /** Extra driver CPU for the early-demux extraction. */
+        Tick earlyDemuxCost = 80;
+        /** Fixed wire+NIC cost per packet. */
+        Tick wireCost = 1200;
+    };
+
+    /** Simulated super-packet payload (GRO-aggregated). */
+    static constexpr Bytes kPacketBytes = kPageSize;
+
+    NetworkStack(KernelHeap &heap, KlocManager *kloc,
+                 const Config &config);
+    ~NetworkStack();
+
+    NetworkStack(const NetworkStack &) = delete;
+    NetworkStack &operator=(const NetworkStack &) = delete;
+
+    /** Flip the early-demux driver extension (per-strategy). */
+    void setEarlyDemux(bool enabled) { _config.klocEarlyDemux = enabled; }
+
+    bool earlyDemux() const { return _config.klocEarlyDemux; }
+
+    /** Create a socket; returns the socket descriptor. */
+    int socket();
+
+    /** Close @p sd, freeing its objects and knode. */
+    void closeSocket(int sd);
+
+    /** Egress: send @p length bytes on @p sd. */
+    Bytes send(int sd, Bytes length);
+
+    /**
+     * Simulate NIC ingress of @p length bytes destined for @p sd:
+     * rx-ring fill, skb allocation, layered processing, demux, and
+     * enqueue on the socket's receive queue.
+     */
+    void deliver(int sd, Bytes length);
+
+    /** App-side receive: drain up to @p max_length queued bytes. */
+    Bytes recv(int sd, Bytes max_length);
+
+    /** Bytes waiting on @p sd's receive queue. */
+    Bytes pendingBytes(int sd) const;
+
+    /**
+     * poll(): check @p sd for readability. Marks the socket's KLOC
+     * active (applications polling a socket keep it hot, §4.2.3).
+     * @return true when data is queued.
+     */
+    bool poll(int sd);
+
+    const NetStats &stats() const { return _stats; }
+
+    /** Knode backing @p sd's socket (nullptr when KLOC is off). */
+    Knode *knodeOf(int sd) const;
+
+    uint64_t liveSockets() const { return _sockets.size(); }
+
+  private:
+    struct SkBuff
+    {
+        std::unique_ptr<SkbHead> head;
+        std::unique_ptr<SkbuffDataPage> data;
+        Bytes payload = 0;
+    };
+
+    struct Socket
+    {
+        uint64_t inodeId = 0;
+        std::unique_ptr<Inode> inode;
+        std::unique_ptr<SockObj> sock;
+        Knode *knode = nullptr;
+        std::deque<SkBuff> rxQueue;
+        Bytes rxQueuedBytes = 0;
+    };
+
+    Socket *socketFor(int sd);
+    const Socket *socketFor(int sd) const;
+    bool allocSkb(SkBuff &skb, Knode *knode, bool active);
+    void freeSkb(SkBuff &skb);
+    void ensureRxRing();
+
+    KernelHeap &_heap;
+    KlocManager *_kloc;
+    Config _config;
+
+    std::unordered_map<int, Socket> _sockets;
+    int _nextSd = 3;  // 0/1/2 are taken, as tradition demands
+
+    /** Driver receive ring: preallocated, reused page buffers. */
+    std::vector<std::unique_ptr<RxBufPage>> _rxRing;
+    size_t _rxCursor = 0;
+
+    NetStats _stats;
+};
+
+} // namespace kloc
+
+#endif // KLOC_NET_NET_STACK_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The Optane Memory-Mode platform of Table 4: two sockets, each a
+ * 16 GB hardware-managed DRAM L4 cache in front of 128 GB of
+ * persistent memory. Software moves data *between* sockets
+ * (AutoNUMA-style); hardware tiers *within* a socket.
+ *
+ * The DRAM cache is folded into each socket tier's effective timing
+ * via a configurable hit fraction: eff = h*dram + (1-h)*pmem, with
+ * pmem at 3x read / 5x write latency and a quarter of the bandwidth
+ * (§2). A streaming interferer multiplies access costs on one socket
+ * (Fig. 5a's experimental setup).
+ */
+
+#ifndef KLOC_PLATFORM_OPTANE_HH
+#define KLOC_PLATFORM_OPTANE_HH
+
+#include <memory>
+#include <vector>
+
+#include "platform/system.hh"
+#include "policy/autonuma.hh"
+
+namespace kloc {
+
+/** Optane Memory-Mode platform builder. */
+class OptanePlatform
+{
+  public:
+    struct Config
+    {
+        unsigned scale = 64;
+        /** Paper-scale per-socket capacity (128 GB PMEM). */
+        Bytes socketCapacity = 128 * kGiB;
+        /** DRAM L4 cache hit fraction folded into timing. */
+        double dramCacheHitFraction = 0.70;
+        Tick dramLatency = 80;
+        Bytes dramBandwidth = 30ULL * 1000 * kMiB;
+        /** Interference factor on the loaded socket. */
+        double interferenceFactor = 1.8;
+        int interferedSocket = 0;
+        System::Config system;
+    };
+
+    explicit OptanePlatform(const Config &config);
+
+    OptanePlatform() : OptanePlatform(Config{}) {}
+
+    ~OptanePlatform();
+
+    System &sys() { return *_system; }
+
+    /** Tier hosting each socket's memory. */
+    const std::vector<TierId> &socketTiers() const { return _socketTiers; }
+
+    /**
+     * Pin the simulated task to @p socket: subsequent workload CPU
+     * rotation stays within that socket's cores.
+     */
+    void moveTaskToSocket(int socket);
+
+    int taskSocket() const { return _taskSocket; }
+
+    /** CPUs belonging to the task's socket. */
+    std::vector<unsigned> taskCpus() const;
+
+    /** Turn the streaming interferer on/off. */
+    void setInterference(bool enabled);
+
+    /** Install and start an AutoNUMA-family policy. */
+    AutoNumaPolicy &applyPolicy(AutoNumaPolicy::Mode mode,
+                                AutoNumaPolicy::Config config);
+
+    AutoNumaPolicy &applyPolicy(AutoNumaPolicy::Mode mode);
+
+    AutoNumaPolicy *policy() { return _policy.get(); }
+
+    const Config &config() const { return _config; }
+
+  private:
+    Config _config;
+    /** Outlives _system; see TwoTierPlatform::_teardownPlacement. */
+    std::unique_ptr<StaticPlacement> _teardownPlacement;
+    std::unique_ptr<System> _system;
+    std::vector<TierId> _socketTiers;
+    std::unique_ptr<AutoNumaPolicy> _policy;
+    int _taskSocket = 0;
+};
+
+} // namespace kloc
+
+#endif // KLOC_PLATFORM_OPTANE_HH

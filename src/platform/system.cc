@@ -1,0 +1,92 @@
+#include "platform/system.hh"
+
+namespace kloc {
+
+StatSet
+System::snapshot() const
+{
+    StatSet stats;
+    stats.set("time_ms", static_cast<double>(_machine.now()) /
+                         static_cast<double>(kMillisecond));
+    stats.set("kernel_refs", static_cast<double>(_machine.kernelRefs()));
+    stats.set("user_refs", static_cast<double>(_machine.userRefs()));
+    stats.set("kernel_ref_ms",
+              static_cast<double>(_machine.kernelRefTicks()) /
+              static_cast<double>(kMillisecond));
+    stats.set("user_ref_ms",
+              static_cast<double>(_machine.userRefTicks()) /
+              static_cast<double>(kMillisecond));
+
+    for (size_t t = 0; t < _tiers.tierCount(); ++t) {
+        const Tier &tier = _tiers.tier(static_cast<TierId>(t));
+        const std::string prefix = "tier." + tier.spec().name + ".";
+        stats.set(prefix + "used_pages",
+                  static_cast<double>(tier.usedPages()));
+        stats.set(prefix + "utilization", tier.utilization());
+        for (unsigned c = 0; c < kNumObjClasses; ++c) {
+            const auto cls = static_cast<ObjClass>(c);
+            stats.set(prefix + "resident." + objClassName(cls),
+                      static_cast<double>(tier.residentPages(cls)));
+        }
+    }
+
+    const MigrationStats &mig = _migrator.stats();
+    stats.set("migration.pages", static_cast<double>(mig.migratedPages));
+    stats.set("migration.demoted",
+              static_cast<double>(mig.demotedPages));
+    stats.set("migration.promoted",
+              static_cast<double>(mig.promotedPages));
+    stats.set("migration.failed_not_relocatable",
+              static_cast<double>(mig.failedNotRelocatable));
+
+    const KlocStats &ks = _kloc.stats();
+    stats.set("kloc.enabled", _kloc.enabled() ? 1 : 0);
+    stats.set("kloc.knodes_created",
+              static_cast<double>(ks.knodesCreated));
+    stats.set("kloc.knodes_live", static_cast<double>(_kloc.knodeCount()));
+    stats.set("kloc.objects_tracked",
+              static_cast<double>(ks.objectsTracked));
+    stats.set("kloc.percpu_hits", static_cast<double>(ks.perCpuHits));
+    stats.set("kloc.percpu_misses",
+              static_cast<double>(ks.perCpuMisses));
+    stats.set("kloc.metadata_peak_bytes",
+              static_cast<double>(_kloc.peakMetadataBytes()));
+
+    if (_fs) {
+        const FsStats &fss = _fs->stats();
+        stats.set("fs.reads", static_cast<double>(fss.reads));
+        stats.set("fs.writes", static_cast<double>(fss.writes));
+        stats.set("fs.read_hits", static_cast<double>(fss.readPageHits));
+        stats.set("fs.read_misses",
+                  static_cast<double>(fss.readPageMisses));
+        stats.set("fs.readahead_pages",
+                  static_cast<double>(fss.readaheadPages));
+        stats.set("fs.reclaimed_pages",
+                  static_cast<double>(fss.reclaimedPages));
+        stats.set("fs.writeback_pages",
+                  static_cast<double>(fss.writebackPages));
+        stats.set("fs.cached_pages",
+                  static_cast<double>(_fs->cachedPages()));
+        stats.set("fs.live_inodes",
+                  static_cast<double>(_fs->liveInodes()));
+        stats.set("fs.device_requests",
+                  static_cast<double>(_fs->device().requests()));
+        stats.set("fs.journal_commits",
+                  static_cast<double>(_fs->journal().committedTxs()));
+    }
+    if (_net) {
+        const NetStats &ns = _net->stats();
+        stats.set("net.packets_delivered",
+                  static_cast<double>(ns.packetsDelivered));
+        stats.set("net.packets_sent",
+                  static_cast<double>(ns.packetsSent));
+        stats.set("net.early_demux",
+                  static_cast<double>(ns.earlyDemuxPackets));
+        stats.set("net.rx_drops", static_cast<double>(ns.rxDrops));
+        stats.set("net.live_sockets",
+                  static_cast<double>(_net->liveSockets()));
+    }
+    return stats;
+}
+
+} // namespace kloc

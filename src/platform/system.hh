@@ -1,0 +1,94 @@
+/**
+ * @file
+ * System: the fully composed simulated machine — memory tiers,
+ * allocators, KLOC, filesystem, and network stack — in dependency
+ * order. Platforms (two-tier, Optane) build one of these with their
+ * tier layout, then strategies and workloads run against it.
+ */
+
+#ifndef KLOC_PLATFORM_SYSTEM_HH
+#define KLOC_PLATFORM_SYSTEM_HH
+
+#include <memory>
+
+#include "core/kloc_manager.hh"
+#include "fs/vfs.hh"
+#include "kobj/kernel_heap.hh"
+#include "mem/accessor.hh"
+#include "mem/lru.hh"
+#include "mem/migration.hh"
+#include "mem/tier_manager.hh"
+#include "net/net_stack.hh"
+#include "sim/machine.hh"
+
+namespace kloc {
+
+/** The composed simulated kernel + machine. */
+class System
+{
+  public:
+    struct Config
+    {
+        unsigned cpus = 16;
+        unsigned sockets = 1;
+        double llcHitFraction = 0.35;
+        FileSystem::Config fs;
+        NetworkStack::Config net;
+    };
+
+    explicit System(const Config &config)
+        : _machine(config.cpus, config.sockets),
+          _tiers(_machine),
+          _lru(_machine, _tiers),
+          _mem(_machine, _lru),
+          _migrator(_machine, _tiers, _lru),
+          _heap(_mem, _tiers),
+          _kloc(_heap, _migrator),
+          _config(config)
+    {
+        _machine.memModel().setLlcHitFraction(config.llcHitFraction);
+    }
+
+    /** Create the FS and network stacks (after tiers are added). */
+    void
+    buildSubsystems()
+    {
+        _fs = std::make_unique<FileSystem>(_heap, &_kloc, _config.fs);
+        _net = std::make_unique<NetworkStack>(_heap, &_kloc, _config.net);
+    }
+
+    Machine &machine() { return _machine; }
+    TierManager &tiers() { return _tiers; }
+    LruEngine &lru() { return _lru; }
+    MemAccessor &mem() { return _mem; }
+    MigrationEngine &migrator() { return _migrator; }
+    KernelHeap &heap() { return _heap; }
+    KlocManager &kloc() { return _kloc; }
+    FileSystem &fs() { return *_fs; }
+    NetworkStack &net() { return *_net; }
+
+    const Config &config() const { return _config; }
+
+    /**
+     * Snapshot every interesting counter into a StatSet — the
+     * single reporting surface examples, the CLI, and experiment
+     * logs share.
+     */
+    StatSet snapshot() const;
+
+  private:
+    Machine _machine;
+    TierManager _tiers;
+    LruEngine _lru;
+    MemAccessor _mem;
+    MigrationEngine _migrator;
+    KernelHeap _heap;
+    KlocManager _kloc;
+    Config _config;
+    std::unique_ptr<FileSystem> _fs;
+    std::unique_ptr<NetworkStack> _net;
+};
+
+} // namespace kloc
+
+#endif // KLOC_PLATFORM_SYSTEM_HH

@@ -1,0 +1,74 @@
+#include "platform/two_tier.hh"
+
+#include "base/logging.hh"
+
+namespace kloc {
+
+TwoTierPlatform::TwoTierPlatform(const Config &config) : _config(config)
+{
+    KLOC_ASSERT(config.scale >= 1, "scale must be >= 1");
+    KLOC_ASSERT(config.bandwidthRatio >= 1, "bad bandwidth ratio");
+
+    _system = std::make_unique<System>(config.system);
+
+    TierSpec fast;
+    fast.name = "fast-dram";
+    fast.capacity = config.fastCapacity / config.scale;
+    fast.readLatency = config.dramLatency;
+    fast.writeLatency = config.dramLatency;
+    fast.readBandwidth = config.fastBandwidth;
+    fast.writeBandwidth = config.fastBandwidth;
+    fast.socket = 0;
+    _fast = _system->tiers().addTier(fast);
+
+    TierSpec slow;
+    slow.name = "slow-dram";
+    slow.capacity = config.slowCapacity / config.scale;
+    slow.readLatency = config.dramLatency;
+    slow.writeLatency = config.dramLatency;
+    slow.readBandwidth = config.fastBandwidth / config.bandwidthRatio;
+    slow.writeBandwidth = config.fastBandwidth / config.bandwidthRatio;
+    slow.socket = 0;  // same socket: throttled DRAM, not NUMA
+    _slow = _system->tiers().addTier(slow);
+
+    _system->buildSubsystems();
+    _teardownPlacement = std::make_unique<StaticPlacement>(
+        std::vector<TierId>{_fast, _slow},
+        std::vector<TierId>{_fast, _slow});
+    _system->heap().setPolicy(_teardownPlacement.get());
+}
+
+TwoTierPlatform::~TwoTierPlatform()
+{
+    if (_strategy)
+        _strategy->stop();
+    // The strategy dies before the System; teardown allocations
+    // (unlink journalling) fall back to the static placement.
+    _system->heap().setPolicy(_teardownPlacement.get());
+}
+
+TieringStrategy &
+TwoTierPlatform::applyStrategy(StrategyKind kind,
+                               TieringStrategy::Config config)
+{
+    if (_strategy)
+        _strategy->stop();
+    _strategy = std::make_unique<TieringStrategy>(
+        kind, _system->heap(), _system->lru(), _system->migrator(),
+        &_system->kloc(), _fast, _slow, config);
+    _strategy->install();
+    // The KLOC strategies also use the early-demux driver extension.
+    const bool kloc_on = kind == StrategyKind::KlocNoMigration ||
+                         kind == StrategyKind::Kloc;
+    _system->net().setEarlyDemux(kloc_on);
+    _strategy->start();
+    return *_strategy;
+}
+
+TieringStrategy &
+TwoTierPlatform::applyStrategy(StrategyKind kind)
+{
+    return applyStrategy(kind, TieringStrategy::Config{});
+}
+
+} // namespace kloc

@@ -1,0 +1,143 @@
+#include "policy/autonuma.hh"
+
+#include "base/logging.hh"
+
+namespace kloc {
+
+AutoNumaPolicy::AutoNumaPolicy(Mode mode, KernelHeap &heap, LruEngine &lru,
+                               MigrationEngine &migrator, KlocManager *kloc,
+                               std::vector<TierId> socket_tiers,
+                               Config config)
+    : _mode(mode),
+      _heap(heap),
+      _lru(lru),
+      _migrator(migrator),
+      _kloc(kloc),
+      _socketTiers(std::move(socket_tiers)),
+      _config(config)
+{
+    KLOC_ASSERT(_socketTiers.size() >= 2, "AutoNUMA needs >= 2 sockets");
+    KLOC_ASSERT(_mode != Mode::Kloc || _kloc != nullptr,
+                "KLOC mode requires a KlocManager");
+}
+
+TierId
+AutoNumaPolicy::localTier() const
+{
+    const int socket = _heap.mem().machine().currentSocket();
+    KLOC_ASSERT(static_cast<size_t>(socket) < _socketTiers.size(),
+                "socket %d has no tier", socket);
+    return _socketTiers[static_cast<size_t>(socket)];
+}
+
+std::vector<TierId>
+AutoNumaPolicy::localFirst() const
+{
+    std::vector<TierId> pref;
+    pref.push_back(localTier());
+    for (const TierId tier : _socketTiers) {
+        if (tier != pref.front())
+            pref.push_back(tier);
+    }
+    return pref;
+}
+
+std::vector<TierId>
+AutoNumaPolicy::kernelPreference(ObjClass, bool)
+{
+    // Kernel objects allocate on the socket running the allocating
+    // CPU — what every stock kernel does (§3.3).
+    return localFirst();
+}
+
+std::vector<TierId>
+AutoNumaPolicy::appPreference()
+{
+    return localFirst();
+}
+
+void
+AutoNumaPolicy::install()
+{
+    _heap.setPolicy(this);
+    const bool kloc_on = _mode == Mode::Kloc;
+    if (_kloc) {
+        _kloc->setEnabled(kloc_on);
+        if (kloc_on) {
+            // Tier order is task-relative; re-pointed every tick.
+            _kloc->setTierOrder(localFirst());
+            _heap.setKlocInterface(true);
+        } else {
+            _heap.setKlocInterface(false);
+        }
+    }
+    _migrator.setParallelism(
+        _mode == Mode::NimbleApp || _mode == Mode::Kloc
+            ? _config.nimbleParallelism
+            : 1);
+}
+
+void
+AutoNumaPolicy::balanceTick()
+{
+    if (!_running)
+        return;
+    ++_ticks;
+    Machine &machine = _heap.mem().machine();
+    const TierId local = localTier();
+
+    // NUMA-balancing pass: pages the task touched on remote sockets
+    // migrate toward it, like hinting-fault-driven migration. Stock
+    // AutoNUMA only moves app pages.
+    for (const TierId tier : _socketTiers) {
+        if (tier == local)
+            continue;
+        auto hot = _lru.collectReferenced(tier, _config.migrateBatch);
+        std::vector<FrameRef> movers;
+        for (const FrameRef &ref : hot) {
+            if (ref.valid() && ref->objClass == ObjClass::App)
+                movers.push_back(ref);
+        }
+        _migrator.migrate(movers, local);
+    }
+
+    if (_mode == Mode::Kloc && _kloc) {
+        // KLOC extension (§4.5): for active KLOCs, check member
+        // objects' placement and pull remote ones local.
+        _kloc->setTierOrder(localFirst());
+        for (Knode *knode : _kloc->lruKnodes(~0ULL)) {
+            if (knode->inuse)
+                _kloc->migrateKnodeObjects(knode, local);
+        }
+    }
+
+    machine.events().schedule(
+        machine.now() + _config.scanPeriod,
+        [this, weak = std::weak_ptr<int>(_alive)] {
+            if (!weak.expired())
+                balanceTick();
+        });
+}
+
+void
+AutoNumaPolicy::start()
+{
+    if (_running || _mode == Mode::Static)
+        return;
+    _running = true;
+    Machine &machine = _heap.mem().machine();
+    machine.events().schedule(
+        machine.now() + _config.scanPeriod,
+        [this, weak = std::weak_ptr<int>(_alive)] {
+            if (!weak.expired())
+                balanceTick();
+        });
+}
+
+void
+AutoNumaPolicy::stop()
+{
+    _running = false;
+}
+
+} // namespace kloc

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * AutoNUMA-style policies for the Optane Memory-Mode platform
+ * (§4.5, §6.2, Fig. 5a).
+ *
+ * The platform is two sockets, each a DRAM-cache-fronted persistent
+ * memory tier. A streaming interferer degrades one socket; the
+ * scheduler moves the task to the other socket, and the policy
+ * decides which pages follow:
+ *
+ *  - Static:   nothing migrates (the all-remote worst case).
+ *  - AutoNuma: hot application pages migrate to the task's socket;
+ *    kernel objects are ignored (stock Linux behaviour).
+ *  - NimbleApp: AutoNuma with parallelised page copy.
+ *  - Kloc:     AutoNuma plus kernel-object migration through knodes.
+ */
+
+#ifndef KLOC_POLICY_AUTONUMA_HH
+#define KLOC_POLICY_AUTONUMA_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/kloc_manager.hh"
+#include "mem/lru.hh"
+#include "mem/migration.hh"
+#include "mem/placement.hh"
+
+namespace kloc {
+
+/** NUMA balancing policy variants compared in Fig. 5a. */
+class AutoNumaPolicy : public PlacementPolicy
+{
+  public:
+    enum class Mode { Static, AutoNuma, NimbleApp, Kloc };
+
+    struct Config
+    {
+        Tick scanPeriod = 50 * kMillisecond;
+        uint64_t migrateBatch = 8192;
+        unsigned nimbleParallelism = 8;
+    };
+
+    /**
+     * @param socket_tiers tier id hosting each socket's memory,
+     *                     indexed by socket number.
+     */
+    AutoNumaPolicy(Mode mode, KernelHeap &heap, LruEngine &lru,
+                   MigrationEngine &migrator, KlocManager *kloc,
+                   std::vector<TierId> socket_tiers, Config config);
+
+    /** Convenience overload using the default Config. */
+    AutoNumaPolicy(Mode mode, KernelHeap &heap, LruEngine &lru,
+                   MigrationEngine &migrator, KlocManager *kloc,
+                   std::vector<TierId> socket_tiers)
+        : AutoNumaPolicy(mode, heap, lru, migrator, kloc,
+                         std::move(socket_tiers), Config{})
+    {}
+
+    Mode mode() const { return _mode; }
+
+    /** Install as the heap's policy; configure KLOC and parallelism. */
+    void install();
+
+    void start();
+    void stop();
+
+    /** Tier local to the task's current socket. */
+    TierId localTier() const;
+
+    // -- PlacementPolicy ----------------------------------------------------
+    std::vector<TierId> kernelPreference(ObjClass cls,
+                                         bool knode_active) override;
+    std::vector<TierId> appPreference() override;
+
+    uint64_t balanceTicks() const { return _ticks; }
+
+  private:
+    void balanceTick();
+    std::vector<TierId> localFirst() const;
+
+    /** Liveness token for scheduled tick lambdas (see strategy.hh). */
+    std::shared_ptr<int> _alive = std::make_shared<int>(0);
+
+    Mode _mode;
+    KernelHeap &_heap;
+    LruEngine &_lru;
+    MigrationEngine &_migrator;
+    KlocManager *_kloc;
+    std::vector<TierId> _socketTiers;
+    Config _config;
+    bool _running = false;
+    uint64_t _ticks = 0;
+};
+
+} // namespace kloc
+
+#endif // KLOC_POLICY_AUTONUMA_HH

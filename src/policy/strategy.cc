@@ -1,0 +1,213 @@
+#include "policy/strategy.hh"
+
+#include "base/logging.hh"
+
+namespace kloc {
+
+const char *
+strategyName(StrategyKind kind)
+{
+    switch (kind) {
+      case StrategyKind::AllFast:         return "all_fast";
+      case StrategyKind::AllSlow:         return "all_slow";
+      case StrategyKind::Naive:           return "naive";
+      case StrategyKind::Nimble:          return "nimble";
+      case StrategyKind::NimblePlusPlus:  return "nimble++";
+      case StrategyKind::KlocNoMigration: return "klocs_nomigration";
+      case StrategyKind::Kloc:            return "klocs";
+    }
+    return "unknown";
+}
+
+TieringStrategy::TieringStrategy(StrategyKind kind, KernelHeap &heap,
+                                 LruEngine &lru, MigrationEngine &migrator,
+                                 KlocManager *kloc, TierId fast, TierId slow,
+                                 Config config)
+    : _kind(kind),
+      _heap(heap),
+      _lru(lru),
+      _migrator(migrator),
+      _kloc(kloc),
+      _fast(fast),
+      _slow(slow),
+      _config(config)
+{
+    const bool needs_kloc = kind == StrategyKind::KlocNoMigration ||
+                            kind == StrategyKind::Kloc;
+    KLOC_ASSERT(!needs_kloc || kloc != nullptr,
+                "strategy %s requires a KlocManager", strategyName(kind));
+}
+
+void
+TieringStrategy::install()
+{
+    _heap.setPolicy(this);
+    const bool kloc_on = _kind == StrategyKind::KlocNoMigration ||
+                         _kind == StrategyKind::Kloc;
+    if (_kloc) {
+        _kloc->setEnabled(kloc_on);
+        if (kloc_on) {
+            _kloc->setTierOrder({_fast, _slow});
+            _heap.setKlocInterface(true);
+        } else {
+            _heap.setKlocInterface(false);
+        }
+    }
+    _migrator.setParallelism(
+        _kind == StrategyKind::Nimble ||
+        _kind == StrategyKind::NimblePlusPlus ||
+        _kind == StrategyKind::KlocNoMigration ||
+        _kind == StrategyKind::Kloc
+            ? _config.migrationParallelism
+            : 1);
+}
+
+bool
+TieringStrategy::usesAppMigration() const
+{
+    // Nimble's app-page tiering is also reused by both KLOC modes
+    // (Table 5: "Original Nimble policies ... for application pages").
+    return _kind == StrategyKind::Nimble ||
+           _kind == StrategyKind::NimblePlusPlus ||
+           _kind == StrategyKind::KlocNoMigration ||
+           _kind == StrategyKind::Kloc;
+}
+
+bool
+TieringStrategy::usesKernelScanMigration() const
+{
+    // Only Nimble++ migrates kernel pages through LRU scans; the
+    // KLOC strategies migrate them through knodes instead.
+    return _kind == StrategyKind::NimblePlusPlus;
+}
+
+std::vector<TierId>
+TieringStrategy::kernelPreference(ObjClass cls, bool knode_active)
+{
+    switch (_kind) {
+      case StrategyKind::AllFast:
+        return {_fast};
+      case StrategyKind::AllSlow:
+        return {_slow};
+      case StrategyKind::Naive:
+      case StrategyKind::NimblePlusPlus:
+        // Greedy: fast until full.
+        return {_fast, _slow};
+      case StrategyKind::Nimble:
+        // Prior art places kernel objects in slow memory on two-tier
+        // systems (§3.2), except KLOC's own metadata does not exist.
+        return {_slow, _fast};
+      case StrategyKind::KlocNoMigration:
+      case StrategyKind::Kloc:
+        // KLOC metadata and unmanaged classes are pinned fast; the
+        // managed classes follow knode hotness (§4.2.2). A
+        // sys_kloc_memsize cap diverts kernel objects once their
+        // fast-tier residency reaches it.
+        if (cls == ObjClass::KlocMeta)
+            return {_fast, _slow};
+        if (_kloc && !_kloc->classManaged(cls))
+            return {_fast, _slow};
+        if (_kloc && _kloc->overMemLimit(_fast))
+            return {_slow, _fast};
+        return knode_active ? std::vector<TierId>{_fast, _slow}
+                            : std::vector<TierId>{_slow, _fast};
+    }
+    return {_fast, _slow};
+}
+
+std::vector<TierId>
+TieringStrategy::appPreference()
+{
+    switch (_kind) {
+      case StrategyKind::AllFast:
+        return {_fast};
+      case StrategyKind::AllSlow:
+        return {_slow};
+      default:
+        // Application pages are prioritised for fast memory by every
+        // dynamic strategy.
+        return {_fast, _slow};
+    }
+}
+
+void
+TieringStrategy::scanTick()
+{
+    if (!_running)
+        return;
+    ++_scanTicks;
+    Machine &machine = _heap.mem().machine();
+    TierManager &tiers = _heap.tiers();
+
+    const bool kernel_scope = usesKernelScanMigration();
+
+    // Demote cold pages off the fast tier under pressure.
+    if (tiers.tier(_fast).utilization() > _config.demoteWatermark) {
+        ScanResult result = _lru.scanTier(_fast, _config.scanBatch);
+        std::vector<FrameRef> victims;
+        for (const FrameRef &ref : result.demoteCandidates) {
+            if (!ref.valid())
+                continue;
+            const ObjClass cls = ref->objClass;
+            if (cls == ObjClass::App ||
+                (kernel_scope && isKernelClass(cls) &&
+                 cls != ObjClass::KlocMeta)) {
+                victims.push_back(ref);
+            }
+        }
+        _migrator.migrate(victims, _slow);
+    }
+
+    // Promote hot pages from the slow tier when there is headroom.
+    if (tiers.tier(_fast).utilization() < _config.promoteWatermark) {
+        auto hot = _lru.collectHot(_slow, _config.promoteBatch);
+        std::vector<FrameRef> rising;
+        for (const FrameRef &ref : hot) {
+            if (!ref.valid())
+                continue;
+            const ObjClass cls = ref->objClass;
+            if (cls == ObjClass::App ||
+                (kernel_scope && isKernelClass(cls) &&
+                 cls != ObjClass::KlocMeta)) {
+                rising.push_back(ref);
+            }
+        }
+        _migrator.migrate(rising, _fast);
+    }
+
+    machine.events().schedule(
+        machine.now() + _config.scanPeriod,
+        [this, weak = std::weak_ptr<int>(_alive)] {
+            if (!weak.expired())
+                scanTick();
+        });
+}
+
+void
+TieringStrategy::start()
+{
+    if (_running)
+        return;
+    Machine &machine = _heap.mem().machine();
+    if (usesAppMigration()) {
+        _running = true;
+        machine.events().schedule(
+            machine.now() + _config.scanPeriod,
+            [this, weak = std::weak_ptr<int>(_alive)] {
+                if (!weak.expired())
+                    scanTick();
+            });
+    }
+    if (_kind == StrategyKind::Kloc && _kloc)
+        _kloc->startDaemon(_config.klocDaemonPeriod);
+}
+
+void
+TieringStrategy::stop()
+{
+    _running = false;
+    if (_kloc)
+        _kloc->stopDaemon();
+}
+
+} // namespace kloc

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The Table 5 tiering strategies for the two-tier platform.
+ *
+ * Each strategy answers (i) where allocations of each class start
+ * (PlacementPolicy) and (ii) what migrates when (its periodic tick).
+ *
+ *  - AllFast / AllSlow: static bounds.
+ *  - Naive: greedy first-come-first-served into fast memory; no
+ *    migration at all.
+ *  - Nimble: application-page tiering with parallelised page copy;
+ *    kernel objects live in slow memory (what prior art does for
+ *    two-tier systems, §3.2).
+ *  - Nimble++: Nimble's scan-driven mechanisms extended to kernel
+ *    pages, without the KLOC abstraction — slab pages stay
+ *    non-relocatable and scan latency exceeds kernel object
+ *    lifetimes, so hot kernel objects rarely return to fast memory.
+ *  - KlocNoMigration: KLOC direct allocation (active knodes' objects
+ *    to fast memory) but no kernel-object migration.
+ *  - Kloc: the full system — direct allocation, immediate demotion
+ *    of inactive KLOCs, promotion on re-activation, watermark
+ *    pressure handling, plus Nimble's app-page tiering.
+ */
+
+#ifndef KLOC_POLICY_STRATEGY_HH
+#define KLOC_POLICY_STRATEGY_HH
+
+#include <memory>
+#include <string>
+
+#include "core/kloc_manager.hh"
+#include "mem/lru.hh"
+#include "mem/migration.hh"
+#include "mem/placement.hh"
+
+namespace kloc {
+
+/** The strategies of Table 5 (two-tier platform). */
+enum class StrategyKind {
+    AllFast,
+    AllSlow,
+    Naive,
+    Nimble,
+    NimblePlusPlus,
+    KlocNoMigration,
+    Kloc,
+};
+
+const char *strategyName(StrategyKind kind);
+
+/** One configured tiering strategy. */
+class TieringStrategy : public PlacementPolicy
+{
+  public:
+    struct Config
+    {
+        Tick scanPeriod = 100 * kMillisecond;
+        uint64_t scanBatch = 32768;
+        uint64_t promoteBatch = 4096;
+        /** Fast-tier utilization that triggers demotion. */
+        double demoteWatermark = 0.85;
+        /** Fast-tier utilization below which promotion is allowed. */
+        double promoteWatermark = 0.90;
+        /** Nimble's parallel page-copy width. */
+        unsigned migrationParallelism = 8;
+        /** KLOC daemon wakeup period. */
+        Tick klocDaemonPeriod = 2 * kMillisecond;
+    };
+
+    /**
+     * @param kloc May be null for strategies that don't use KLOC
+     *             (required non-null for the KLOC strategies).
+     */
+    TieringStrategy(StrategyKind kind, KernelHeap &heap, LruEngine &lru,
+                    MigrationEngine &migrator, KlocManager *kloc,
+                    TierId fast, TierId slow, Config config);
+
+    /** Convenience overload using the default Config. */
+    TieringStrategy(StrategyKind kind, KernelHeap &heap, LruEngine &lru,
+                    MigrationEngine &migrator, KlocManager *kloc,
+                    TierId fast, TierId slow)
+        : TieringStrategy(kind, heap, lru, migrator, kloc, fast, slow,
+                          Config{})
+    {}
+
+    StrategyKind kind() const { return _kind; }
+    const char *name() const { return strategyName(_kind); }
+
+    /**
+     * Apply the strategy: installs itself as the heap's placement
+     * policy, flips the KLOC interface / manager state, and sets
+     * migration parallelism.
+     */
+    void install();
+
+    /** Begin periodic scan/migration work. */
+    void start();
+
+    /** Stop periodic work. */
+    void stop();
+
+    // -- PlacementPolicy ----------------------------------------------------
+    std::vector<TierId> kernelPreference(ObjClass cls,
+                                         bool knode_active) override;
+    std::vector<TierId> appPreference() override;
+
+    /** Scan ticks executed (diagnostics). */
+    uint64_t scanTicks() const { return _scanTicks; }
+
+  private:
+    bool usesAppMigration() const;
+    bool usesKernelScanMigration() const;
+    void scanTick();
+
+    /**
+     * Liveness token for scheduled tick lambdas: events capture a
+     * weak_ptr so a tick scheduled before this strategy was replaced
+     * cannot touch the freed object.
+     */
+    std::shared_ptr<int> _alive = std::make_shared<int>(0);
+
+    StrategyKind _kind;
+    KernelHeap &_heap;
+    LruEngine &_lru;
+    MigrationEngine &_migrator;
+    KlocManager *_kloc;
+    TierId _fast;
+    TierId _slow;
+    Config _config;
+    bool _running = false;
+    uint64_t _scanTicks = 0;
+};
+
+} // namespace kloc
+
+#endif // KLOC_POLICY_STRATEGY_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deterministic deadline-ordered event queue for asynchronous kernel
+ * work: the KLOC migration daemon, LRU scanner wakeups, journal
+ * commits, and writeback all run as events.
+ *
+ * Ties are broken by insertion order so runs are bit-reproducible.
+ */
+
+#ifndef KLOC_SIM_EVENT_QUEUE_HH
+#define KLOC_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "base/units.hh"
+
+namespace kloc {
+
+/** Deadline-ordered queue of callbacks. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p fn to run once the clock reaches @p when. */
+    void
+    schedule(Tick when, Callback fn)
+    {
+        _events.push(Event{when, _sequence++, std::move(fn)});
+    }
+
+    /** Deadline of the earliest pending event; -1 when empty. */
+    Tick
+    nextDeadline() const
+    {
+        return _events.empty() ? -1 : _events.top().when;
+    }
+
+    bool empty() const { return _events.empty(); }
+    size_t size() const { return _events.size(); }
+
+    /**
+     * Run every event with deadline <= @p now, in deadline order.
+     * Events scheduled while draining run too if already due.
+     * @return number of events executed.
+     */
+    size_t
+    runDue(Tick now)
+    {
+        size_t ran = 0;
+        while (!_events.empty() && _events.top().when <= now) {
+            // Move the callback out before popping so an event that
+            // schedules new events doesn't invalidate the top().
+            Callback fn = std::move(_events.top().fn);
+            _events.pop();
+            fn();
+            ++ran;
+        }
+        return ran;
+    }
+
+    /** Drop all pending events (between experiment runs). */
+    void
+    clear()
+    {
+        _events = {};
+        _sequence = 0;
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        uint64_t seq;
+        mutable Callback fn;
+
+        bool
+        operator>(const Event &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> _events;
+    uint64_t _sequence = 0;
+};
+
+} // namespace kloc
+
+#endif // KLOC_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Shared run protocol for experiments: setup, quiesce, measure.
+ *
+ * Between the load phase and the measured phase every configuration
+ * gets the same treatment: dirty state is flushed and the virtual
+ * clock advances through a settle window so daemons (writeback,
+ * journal commit, LRU scans, the KLOC migration daemon) reach steady
+ * state. Without this, configurations whose load phase happens to be
+ * slower enter measurement with less background debt and win for the
+ * wrong reason.
+ */
+
+#ifndef KLOC_WORKLOAD_RUNNER_HH
+#define KLOC_WORKLOAD_RUNNER_HH
+
+#include "workload/workload.hh"
+
+namespace kloc {
+
+/** Settle window between load and measurement. */
+inline constexpr Tick kQuiesceWindow = 200 * kMillisecond;
+
+/**
+ * Run @p workload on @p sys under the currently installed strategy:
+ * setup, quiesce, measure. The caller tears down afterwards (or
+ * reuses the loaded state for more measurements).
+ */
+inline WorkloadResult
+runMeasured(System &sys, Workload &workload)
+{
+    workload.setup(sys);
+    sys.fs().syncAll();
+    sys.machine().charge(kQuiesceWindow);
+    return workload.run(sys);
+}
+
+} // namespace kloc
+
+#endif // KLOC_WORKLOAD_RUNNER_HH

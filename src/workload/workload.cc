@@ -1,0 +1,161 @@
+#include "workload/workload.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "workload/cassandra.hh"
+#include "workload/filebench.hh"
+#include "workload/redis.hh"
+#include "workload/rocksdb.hh"
+#include "workload/spark.hh"
+#include "workload/varmail.hh"
+#include "workload/webserver.hh"
+
+namespace kloc {
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, const WorkloadConfig &config)
+{
+    if (name == "rocksdb")
+        return std::make_unique<RocksDbWorkload>(config);
+    if (name == "redis")
+        return std::make_unique<RedisWorkload>(config);
+    if (name == "filebench")
+        return std::make_unique<FilebenchWorkload>(config);
+    if (name == "cassandra")
+        return std::make_unique<CassandraWorkload>(config);
+    if (name == "spark")
+        return std::make_unique<SparkWorkload>(config);
+    if (name == "varmail")
+        return std::make_unique<VarmailWorkload>(config);  // extension
+    if (name == "webserver")
+        return std::make_unique<WebserverWorkload>(config);  // extension
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    return {"rocksdb", "redis", "filebench", "cassandra", "spark"};
+}
+
+void
+Workload::rotateCpu(System &sys)
+{
+    Machine &machine = sys.machine();
+    if (_config.cpus.empty()) {
+        machine.setCurrentCpu(
+            static_cast<unsigned>(_cpuCursor % machine.cpuCount()));
+    } else {
+        machine.setCurrentCpu(
+            _config.cpus[_cpuCursor % _config.cpus.size()]);
+    }
+    ++_cpuCursor;
+}
+
+Frame *
+Workload::appAlloc(System &sys)
+{
+    Frame *frame = sys.heap().allocAppPage();
+    if (!frame) {
+        sys.fs().reclaimPages(64);
+        frame = sys.heap().allocAppPage();
+    }
+    return frame;
+}
+
+void
+Workload::growArena(System &sys, uint64_t count)
+{
+    // THP mode: back the arena with order-9 (2 MB) blocks where the
+    // requested size allows, falling back to base pages.
+    constexpr unsigned kHugeOrder = 9;
+    uint64_t remaining = count;
+    while (remaining > 0) {
+        Frame *frame = nullptr;
+        if (_config.hugePages && remaining >= (1ULL << kHugeOrder)) {
+            frame = sys.heap().allocAppPages(kHugeOrder);
+        }
+        if (!frame)
+            frame = appAlloc(sys);
+        if (!frame) {
+            warn("workload %s: app arena truncated at %llu pages",
+                 name(), static_cast<unsigned long long>(_arena.size()));
+            return;
+        }
+        // First-touch (fault + zero).
+        sys.mem().touch(frame, frame->bytes(), AccessType::Write);
+        remaining -= std::min(remaining, frame->pages());
+        _arena.push_back(frame);
+    }
+}
+
+void
+Workload::touchArena(System &sys, uint64_t idx, Bytes bytes,
+                     AccessType type)
+{
+    if (_arena.empty())
+        return;
+    Frame *frame = _arena[idx % _arena.size()];
+    sys.mem().touch(frame, bytes, type);
+}
+
+void
+Workload::releaseArena(System &sys)
+{
+    for (Frame *frame : _arena)
+        sys.heap().freeAppPage(frame);
+    _arena.clear();
+}
+
+void
+Workload::teardown(System &sys)
+{
+    releaseArena(sys);
+}
+
+int
+FdCache::get(System &sys, const std::string &name)
+{
+    for (size_t i = 0; i < _entries.size(); ++i) {
+        if (_entries[i].first == name) {
+            auto entry = _entries[i];
+            _entries.erase(_entries.begin() +
+                           static_cast<ptrdiff_t>(i));
+            _entries.insert(_entries.begin(), entry);
+            return entry.second;
+        }
+    }
+    const int fd = sys.fs().open(name);
+    if (fd < 0)
+        return -1;
+    _entries.insert(_entries.begin(), {name, fd});
+    while (_entries.size() > _capacity) {
+        sys.fs().close(_entries.back().second);
+        _entries.pop_back();
+    }
+    return fd;
+}
+
+void
+FdCache::drop(System &sys, const std::string &name)
+{
+    for (size_t i = 0; i < _entries.size(); ++i) {
+        if (_entries[i].first == name) {
+            sys.fs().close(_entries[i].second);
+            _entries.erase(_entries.begin() +
+                           static_cast<ptrdiff_t>(i));
+            return;
+        }
+    }
+}
+
+void
+FdCache::clear(System &sys)
+{
+    for (auto &[name, fd] : _entries)
+        sys.fs().close(fd);
+    _entries.clear();
+}
+
+} // namespace kloc

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Intrusive list tests: linkage discipline, LRU-style rotations,
+ * reverse traversal, and size bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/intrusive_list.hh"
+
+namespace kloc {
+namespace {
+
+struct Node
+{
+    explicit Node(int v) : value(v) {}
+
+    int value;
+    ListHook hook;
+};
+
+using List = IntrusiveList<Node, &Node::hook>;
+
+TEST(IntrusiveList, EmptyList)
+{
+    List list;
+    EXPECT_TRUE(list.empty());
+    EXPECT_EQ(list.size(), 0u);
+    EXPECT_EQ(list.front(), nullptr);
+    EXPECT_EQ(list.back(), nullptr);
+    EXPECT_EQ(list.popFront(), nullptr);
+    EXPECT_EQ(list.popBack(), nullptr);
+}
+
+TEST(IntrusiveList, PushFrontBackOrdering)
+{
+    List list;
+    Node a(1), b(2), c(3);
+    list.pushFront(&a);   // [a]
+    list.pushBack(&b);    // [a b]
+    list.pushFront(&c);   // [c a b]
+    EXPECT_EQ(list.size(), 3u);
+    EXPECT_EQ(list.front(), &c);
+    EXPECT_EQ(list.back(), &b);
+
+    std::vector<int> seen;
+    for (Node *node : list)
+        seen.push_back(node->value);
+    EXPECT_EQ(seen, (std::vector<int>{3, 1, 2}));
+}
+
+TEST(IntrusiveList, LinkedFlagTracksMembership)
+{
+    List list;
+    Node a(1);
+    EXPECT_FALSE(a.hook.linked());
+    list.pushBack(&a);
+    EXPECT_TRUE(a.hook.linked());
+    list.remove(&a);
+    EXPECT_FALSE(a.hook.linked());
+}
+
+TEST(IntrusiveList, MoveToFrontRotation)
+{
+    List list;
+    Node a(1), b(2), c(3);
+    list.pushBack(&a);
+    list.pushBack(&b);
+    list.pushBack(&c);
+    list.moveToFront(&c);  // [c a b]
+    EXPECT_EQ(list.front(), &c);
+    EXPECT_EQ(list.back(), &b);
+    EXPECT_EQ(list.size(), 3u);
+    list.moveToFront(&c);  // no-op rotation
+    EXPECT_EQ(list.front(), &c);
+}
+
+TEST(IntrusiveList, PopBothEnds)
+{
+    List list;
+    Node a(1), b(2), c(3);
+    list.pushBack(&a);
+    list.pushBack(&b);
+    list.pushBack(&c);
+    EXPECT_EQ(list.popFront(), &a);
+    EXPECT_EQ(list.popBack(), &c);
+    EXPECT_EQ(list.popFront(), &b);
+    EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveList, PrevWalksBackward)
+{
+    List list;
+    Node a(1), b(2), c(3);
+    list.pushBack(&a);
+    list.pushBack(&b);
+    list.pushBack(&c);
+    // Walk from the cold (back) end to the front.
+    std::vector<int> seen;
+    for (Node *node = list.back(); node; node = list.prev(node))
+        seen.push_back(node->value);
+    EXPECT_EQ(seen, (std::vector<int>{3, 2, 1}));
+}
+
+TEST(IntrusiveList, RemoveMiddleKeepsNeighbors)
+{
+    List list;
+    Node a(1), b(2), c(3);
+    list.pushBack(&a);
+    list.pushBack(&b);
+    list.pushBack(&c);
+    list.remove(&b);
+    EXPECT_EQ(list.size(), 2u);
+    EXPECT_EQ(list.prev(list.back()), &a);
+    std::vector<int> seen;
+    for (Node *node : list)
+        seen.push_back(node->value);
+    EXPECT_EQ(seen, (std::vector<int>{1, 3}));
+}
+
+TEST(IntrusiveList, NodeMovesBetweenLists)
+{
+    List list1, list2;
+    Node a(1);
+    list1.pushBack(&a);
+    list1.remove(&a);
+    list2.pushBack(&a);
+    EXPECT_TRUE(list1.empty());
+    EXPECT_EQ(list2.front(), &a);
+}
+
+TEST(IntrusiveList, StressChurn)
+{
+    List list;
+    std::vector<Node> nodes;
+    nodes.reserve(1000);
+    for (int i = 0; i < 1000; ++i)
+        nodes.emplace_back(i);
+    for (auto &node : nodes)
+        list.pushBack(&node);
+    EXPECT_EQ(list.size(), 1000u);
+    // Remove the evens, rotate the odds.
+    for (auto &node : nodes) {
+        if (node.value % 2 == 0)
+            list.remove(&node);
+        else
+            list.moveToFront(&node);
+    }
+    EXPECT_EQ(list.size(), 500u);
+    // The last-rotated odd value is at the front.
+    EXPECT_EQ(list.front()->value, 999);
+}
+
+} // namespace
+} // namespace kloc

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Logging tests: level filtering, fatal/panic termination semantics
+ * (gem5 discipline: fatal = user error, clean exit; panic = internal
+ * bug, abort), and the KLOC_ASSERT macro.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+
+namespace kloc {
+namespace {
+
+TEST(Logging, LevelRoundTrip)
+{
+    Logger &logger = Logger::instance();
+    const LogLevel before = logger.level();
+    logger.setLevel(LogLevel::Debug);
+    EXPECT_EQ(logger.level(), LogLevel::Debug);
+    logger.setLevel(LogLevel::Error);
+    EXPECT_EQ(logger.level(), LogLevel::Error);
+    logger.setLevel(before);
+}
+
+TEST(LoggingDeath, FatalExitsCleanly)
+{
+    EXPECT_EXIT({ fatal("user misconfigured %s", "everything"); },
+                ::testing::ExitedWithCode(1), "misconfigured");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH({ panic("impossible state %d", 42); }, "impossible");
+}
+
+TEST(LoggingDeath, AssertMacroCarriesContext)
+{
+    EXPECT_DEATH(
+        {
+            const int x = 3;
+            KLOC_ASSERT(x == 4, "x was %d", x);
+        },
+        "x == 4");
+}
+
+TEST(Logging, AssertPassesSilently)
+{
+    KLOC_ASSERT(1 + 1 == 2, "arithmetic broke");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace kloc

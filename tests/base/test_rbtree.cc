@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Red-black tree unit and property tests: structural invariants are
+ * validated against the textbook definition after every mutation,
+ * and behaviour is checked against std::map as a reference model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "base/rbtree.hh"
+#include "base/rng.hh"
+
+namespace kloc {
+namespace {
+
+struct Item
+{
+    explicit Item(uint64_t k) : key(k) {}
+
+    uint64_t key;
+    RbNode hook;
+};
+
+struct ItemKey
+{
+    uint64_t operator()(const Item &item) const { return item.key; }
+};
+
+using Tree = RbTree<Item, &Item::hook, ItemKey>;
+
+TEST(RbTree, EmptyTree)
+{
+    Tree tree;
+    EXPECT_TRUE(tree.empty());
+    EXPECT_EQ(tree.size(), 0u);
+    EXPECT_EQ(tree.find(42u), nullptr);
+    EXPECT_EQ(tree.first(), nullptr);
+    tree.validate();
+}
+
+TEST(RbTree, SingleInsertFind)
+{
+    Tree tree;
+    Item item(7);
+    EXPECT_TRUE(tree.insert(&item));
+    EXPECT_EQ(tree.size(), 1u);
+    EXPECT_EQ(tree.find(7u), &item);
+    EXPECT_EQ(tree.find(8u), nullptr);
+    EXPECT_TRUE(item.hook.linked());
+    tree.validate();
+}
+
+TEST(RbTree, DuplicateRejected)
+{
+    Tree tree;
+    Item a(5), b(5);
+    EXPECT_TRUE(tree.insert(&a));
+    EXPECT_FALSE(tree.insert(&b));
+    EXPECT_EQ(tree.size(), 1u);
+    EXPECT_FALSE(b.hook.linked());
+}
+
+TEST(RbTree, EraseRestoresUnlinked)
+{
+    Tree tree;
+    Item item(3);
+    tree.insert(&item);
+    tree.erase(&item);
+    EXPECT_FALSE(item.hook.linked());
+    EXPECT_TRUE(tree.empty());
+    // Reinsertion after erase works.
+    EXPECT_TRUE(tree.insert(&item));
+    EXPECT_EQ(tree.find(3u), &item);
+}
+
+TEST(RbTree, InOrderIteration)
+{
+    Tree tree;
+    std::vector<std::unique_ptr<Item>> storage;
+    const std::vector<uint64_t> keys = {5, 1, 9, 3, 7, 2, 8, 4, 6, 0};
+    for (const uint64_t key : keys) {
+        storage.push_back(std::make_unique<Item>(key));
+        tree.insert(storage.back().get());
+    }
+    uint64_t expected = 0;
+    for (Item *item = tree.first(); item; item = tree.next(item))
+        EXPECT_EQ(item->key, expected++);
+    EXPECT_EQ(expected, keys.size());
+}
+
+TEST(RbTree, LowerBound)
+{
+    Tree tree;
+    std::vector<std::unique_ptr<Item>> storage;
+    for (uint64_t key : {10u, 20u, 30u}) {
+        storage.push_back(std::make_unique<Item>(key));
+        tree.insert(storage.back().get());
+    }
+    EXPECT_EQ(tree.lowerBound(5u)->key, 10u);
+    EXPECT_EQ(tree.lowerBound(10u)->key, 10u);
+    EXPECT_EQ(tree.lowerBound(11u)->key, 20u);
+    EXPECT_EQ(tree.lowerBound(30u)->key, 30u);
+    EXPECT_EQ(tree.lowerBound(31u), nullptr);
+}
+
+TEST(RbTree, NodesVisitedGrowsLogarithmically)
+{
+    Tree tree;
+    std::vector<std::unique_ptr<Item>> storage;
+    for (uint64_t key = 0; key < 1024; ++key) {
+        storage.push_back(std::make_unique<Item>(key));
+        tree.insert(storage.back().get());
+    }
+    const uint64_t before = tree.nodesVisited();
+    tree.find(777u);
+    const uint64_t depth = tree.nodesVisited() - before;
+    // A 1024-node red-black tree has height <= 2*log2(1025) ~= 20.
+    EXPECT_GE(depth, 1u);
+    EXPECT_LE(depth, 20u);
+}
+
+/** Parameterised random-operation property test vs. std::map. */
+class RbTreeProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RbTreeProperty, MatchesReferenceModel)
+{
+    const int seed = GetParam();
+    Rng rng(static_cast<uint64_t>(seed));
+    Tree tree;
+    std::map<uint64_t, std::unique_ptr<Item>> model;
+
+    for (int step = 0; step < 4000; ++step) {
+        const uint64_t key = rng.nextBounded(512);
+        const double action = rng.nextDouble();
+        if (action < 0.55) {
+            auto item = std::make_unique<Item>(key);
+            const bool inserted = tree.insert(item.get());
+            const bool expected = model.find(key) == model.end();
+            ASSERT_EQ(inserted, expected) << "key " << key;
+            if (inserted)
+                model.emplace(key, std::move(item));
+        } else if (action < 0.9) {
+            auto it = model.find(key);
+            Item *found = tree.find(key);
+            if (it == model.end()) {
+                ASSERT_EQ(found, nullptr);
+            } else {
+                ASSERT_EQ(found, it->second.get());
+                tree.erase(found);
+                model.erase(it);
+            }
+        } else {
+            ASSERT_EQ(tree.size(), model.size());
+            tree.validate();
+        }
+    }
+    tree.validate();
+    ASSERT_EQ(tree.size(), model.size());
+    // Full in-order sweep agrees with the model.
+    auto model_it = model.begin();
+    for (Item *item = tree.first(); item; item = tree.next(item)) {
+        ASSERT_NE(model_it, model.end());
+        EXPECT_EQ(item->key, model_it->first);
+        ++model_it;
+    }
+    EXPECT_EQ(model_it, model.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RbTreeProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 99, 12345));
+
+TEST(RbTree, AscendingAndDescendingInsertStayBalanced)
+{
+    for (const bool ascending : {true, false}) {
+        Tree tree;
+        std::vector<std::unique_ptr<Item>> storage;
+        for (uint64_t i = 0; i < 2048; ++i) {
+            const uint64_t key = ascending ? i : 2048 - i;
+            storage.push_back(std::make_unique<Item>(key));
+            tree.insert(storage.back().get());
+        }
+        tree.validate();
+        const uint64_t before = tree.nodesVisited();
+        tree.find(ascending ? 2047u : 1u);
+        EXPECT_LE(tree.nodesVisited() - before, 24u)
+            << "degenerate tree detected";
+    }
+}
+
+} // namespace
+} // namespace kloc

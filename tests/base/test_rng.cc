@@ -1,0 +1,130 @@
+/**
+ * @file
+ * PRNG and Zipfian generator tests: determinism, bounds, and
+ * distribution-shape properties (skew, coverage).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/rng.hh"
+
+namespace kloc {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(7);
+    for (const uint64_t bound : {1ULL, 2ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(rng.nextBounded(bound), bound);
+    }
+}
+
+TEST(Rng, BoundOneAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i)
+        ASSERT_EQ(rng.nextBounded(1), 0u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.nextDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.nextBool(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_FALSE(rng.nextBool(0.0));
+        ASSERT_TRUE(rng.nextBool(1.0));
+    }
+}
+
+TEST(Rng, UniformCoverage)
+{
+    Rng rng(17);
+    std::vector<int> buckets(16, 0);
+    for (int i = 0; i < 16000; ++i)
+        ++buckets[rng.nextBounded(16)];
+    for (const int count : buckets)
+        EXPECT_NEAR(count, 1000, 200);
+}
+
+TEST(Zipfian, InRangeAndDeterministic)
+{
+    ZipfianGenerator a(1000, 0.99, 5);
+    ZipfianGenerator b(1000, 0.99, 5);
+    for (int i = 0; i < 1000; ++i) {
+        const uint64_t v = a.next();
+        ASSERT_LT(v, 1000u);
+        ASSERT_EQ(v, b.next());
+    }
+}
+
+TEST(Zipfian, SkewConcentratesOnLowIndices)
+{
+    ZipfianGenerator zipf(10000, 0.99, 21);
+    uint64_t in_top_100 = 0;
+    const int samples = 20000;
+    for (int i = 0; i < samples; ++i) {
+        if (zipf.next() < 100)
+            ++in_top_100;
+    }
+    // Under theta=0.99, the top 1% of items draws >40% of samples.
+    EXPECT_GT(in_top_100, static_cast<uint64_t>(samples) * 4 / 10);
+}
+
+TEST(Zipfian, LowerThetaIsFlatter)
+{
+    ZipfianGenerator hot(10000, 0.99, 23);
+    ZipfianGenerator mild(10000, 0.5, 23);
+    uint64_t hot_top = 0, mild_top = 0;
+    for (int i = 0; i < 20000; ++i) {
+        hot_top += hot.next() < 100 ? 1 : 0;
+        mild_top += mild.next() < 100 ? 1 : 0;
+    }
+    EXPECT_GT(hot_top, mild_top * 2);
+}
+
+TEST(Zipfian, SingleItemDomain)
+{
+    ZipfianGenerator zipf(1, 0.99, 31);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(zipf.next(), 0u);
+}
+
+} // namespace
+} // namespace kloc

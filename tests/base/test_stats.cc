@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Statistics facility tests: distributions, log-bucketed histograms
+ * (the Fig. 2d reporting primitive), and StatSet snapshots.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/stats.hh"
+
+namespace kloc {
+namespace {
+
+TEST(Distribution, EmptyIsZero)
+{
+    Distribution dist;
+    EXPECT_EQ(dist.count(), 0u);
+    EXPECT_EQ(dist.mean(), 0.0);
+    EXPECT_EQ(dist.min(), 0.0);
+    EXPECT_EQ(dist.max(), 0.0);
+}
+
+TEST(Distribution, TracksMoments)
+{
+    Distribution dist;
+    for (const double v : {4.0, 8.0, 6.0})
+        dist.sample(v);
+    EXPECT_EQ(dist.count(), 3u);
+    EXPECT_DOUBLE_EQ(dist.sum(), 18.0);
+    EXPECT_DOUBLE_EQ(dist.mean(), 6.0);
+    EXPECT_DOUBLE_EQ(dist.min(), 4.0);
+    EXPECT_DOUBLE_EQ(dist.max(), 8.0);
+}
+
+TEST(Distribution, ResetForgets)
+{
+    Distribution dist;
+    dist.sample(100);
+    dist.reset();
+    EXPECT_EQ(dist.count(), 0u);
+    dist.sample(5);
+    EXPECT_DOUBLE_EQ(dist.min(), 5.0);
+    EXPECT_DOUBLE_EQ(dist.max(), 5.0);
+}
+
+TEST(Histogram, BucketsByBitWidth)
+{
+    Histogram hist;
+    hist.sample(0);    // bucket 0
+    hist.sample(1);    // bucket 1
+    hist.sample(2);    // bucket 2
+    hist.sample(3);    // bucket 2
+    hist.sample(255);  // bucket 8
+    hist.sample(256);  // bucket 9
+    EXPECT_EQ(hist.bucketCount(0), 1u);
+    EXPECT_EQ(hist.bucketCount(1), 1u);
+    EXPECT_EQ(hist.bucketCount(2), 2u);
+    EXPECT_EQ(hist.bucketCount(8), 1u);
+    EXPECT_EQ(hist.bucketCount(9), 1u);
+    EXPECT_EQ(hist.dist().count(), 6u);
+}
+
+TEST(Histogram, PercentileUpperBound)
+{
+    Histogram hist;
+    // 90 small samples, 10 large ones.
+    for (int i = 0; i < 90; ++i)
+        hist.sample(10);
+    for (int i = 0; i < 10; ++i)
+        hist.sample(100000);
+    EXPECT_LE(hist.percentileUpperBound(0.5), 15u);
+    EXPECT_GT(hist.percentileUpperBound(0.99), 65000u);
+}
+
+TEST(Histogram, HugeValuesClampToLastBucket)
+{
+    Histogram hist;
+    hist.sample(~0ULL);
+    EXPECT_EQ(hist.bucketCount(Histogram::kBuckets - 1), 1u);
+}
+
+TEST(StatSet, SetGetHas)
+{
+    StatSet stats;
+    EXPECT_FALSE(stats.has("x"));
+    EXPECT_EQ(stats.get("x"), 0.0);
+    stats.set("x", 3.5);
+    EXPECT_TRUE(stats.has("x"));
+    EXPECT_DOUBLE_EQ(stats.get("x"), 3.5);
+    stats.set("x", 4.0);  // overwrite
+    EXPECT_DOUBLE_EQ(stats.get("x"), 4.0);
+}
+
+TEST(StatSet, ToStringListsAll)
+{
+    StatSet stats;
+    stats.set("alpha", 1);
+    stats.set("beta", 2);
+    const std::string text = stats.toString();
+    EXPECT_NE(text.find("alpha 1"), std::string::npos);
+    EXPECT_NE(text.find("beta 2"), std::string::npos);
+}
+
+} // namespace
+} // namespace kloc

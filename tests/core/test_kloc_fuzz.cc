@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Randomised invariant test of the KLOC manager: a long random
+ * sequence of knode lifecycle operations, object tracking, hotness
+ * transitions, daemon passes, and migrations, with global invariants
+ * checked throughout:
+ *
+ *  - object counts in knode trees match a shadow model
+ *  - frames' owner back-pointers track their knode
+ *  - metadata accounting never underflows
+ *  - every frame is freed by the end (no leaks)
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "base/rng.hh"
+#include "core/kloc_manager.hh"
+#include "fs/objects.hh"
+#include "mem/placement.hh"
+#include "sim/machine.hh"
+
+namespace kloc {
+namespace {
+
+class KlocFuzz : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(KlocFuzz, InvariantsHoldUnderChurn)
+{
+    Machine machine(8, 1);
+    TierManager tiers(machine);
+    LruEngine lru(machine, tiers);
+    MemAccessor mem(machine, lru);
+    MigrationEngine migrator(machine, tiers, lru);
+    KernelHeap heap(mem, tiers);
+    KlocManager kloc(heap, migrator);
+
+    TierSpec spec;
+    spec.name = "fast";
+    spec.capacity = 512 * kPageSize;
+    spec.readLatency = 80;
+    spec.writeLatency = 80;
+    spec.readBandwidth = 10 * kGiB;
+    spec.writeBandwidth = 10 * kGiB;
+    const TierId fast = tiers.addTier(spec);
+    spec.name = "slow";
+    spec.capacity = 2048 * kPageSize;
+    const TierId slow = tiers.addTier(spec);
+
+    StaticPlacement placement({fast, slow}, {fast, slow});
+    heap.setPolicy(&placement);
+    heap.setKlocInterface(true);
+    kloc.setEnabled(true);
+    kloc.setTierOrder({fast, slow});
+
+    Rng rng(static_cast<uint64_t>(GetParam()));
+    struct Shadow
+    {
+        Knode *knode;
+        std::vector<std::unique_ptr<KernelObject>> objects;
+    };
+    std::map<uint64_t, Shadow> model;
+    uint64_t next_id = 1;
+
+    auto random_entry = [&]() -> Shadow * {
+        if (model.empty())
+            return nullptr;
+        auto it = model.begin();
+        std::advance(it, static_cast<long>(
+                             rng.nextBounded(model.size())));
+        return &it->second;
+    };
+
+    for (int step = 0; step < 8000; ++step) {
+        const double action = rng.nextDouble();
+        if (action < 0.12) {
+            const uint64_t id = next_id++;
+            Knode *knode = kloc.mapKnode(id);
+            ASSERT_NE(knode, nullptr);
+            model[id] = Shadow{knode, {}};
+        } else if (action < 0.42) {
+            Shadow *entry = random_entry();
+            if (!entry)
+                continue;
+            const KobjKind kind = rng.nextBool(0.5)
+                ? KobjKind::PageCachePage
+                : (rng.nextBool(0.5) ? KobjKind::Extent
+                                     : KobjKind::JournalRecord);
+            auto obj = std::make_unique<KernelObject>(kind);
+            if (!heap.allocBacking(*obj, entry->knode->inuse,
+                                   entry->knode->id)) {
+                continue;
+            }
+            kloc.addObject(entry->knode, obj.get());
+            ASSERT_EQ(obj->knode, entry->knode);
+            ASSERT_EQ(obj->frame()->owner, entry->knode);
+            entry->objects.push_back(std::move(obj));
+        } else if (action < 0.6) {
+            Shadow *entry = random_entry();
+            if (!entry || entry->objects.empty())
+                continue;
+            const auto idx = rng.nextBounded(entry->objects.size());
+            auto obj = std::move(entry->objects[idx]);
+            entry->objects[idx] = std::move(entry->objects.back());
+            entry->objects.pop_back();
+            kloc.removeObject(obj.get());
+            heap.freeBacking(*obj);
+        } else if (action < 0.72) {
+            Shadow *entry = random_entry();
+            if (!entry)
+                continue;
+            machine.setCurrentCpu(
+                static_cast<unsigned>(rng.nextBounded(8)));
+            if (rng.nextBool(0.6))
+                kloc.markActive(entry->knode);
+            else
+                kloc.markInactive(entry->knode);
+        } else if (action < 0.8) {
+            machine.charge(
+                static_cast<Tick>(rng.nextBounded(30)) * kMillisecond);
+            kloc.runDemotePass();
+            kloc.runPromotePass();
+            kloc.runWatermarkPass();
+        } else if (action < 0.88) {
+            Shadow *entry = random_entry();
+            if (entry) {
+                kloc.migrateKnodeObjects(
+                    entry->knode, rng.nextBool(0.5) ? slow : fast);
+            }
+        } else if (action < 0.95) {
+            // Lookup path + invariant spot checks.
+            Shadow *entry = random_entry();
+            if (!entry)
+                continue;
+            ASSERT_EQ(kloc.findKnode(entry->knode->id), entry->knode);
+            ASSERT_EQ(entry->knode->objectCount(),
+                      entry->objects.size());
+        } else {
+            // Destroy a whole KLOC.
+            Shadow *entry = random_entry();
+            if (!entry)
+                continue;
+            const uint64_t id = entry->knode->id;
+            for (auto &obj : entry->objects) {
+                kloc.removeObject(obj.get());
+                heap.freeBacking(*obj);
+            }
+            entry->objects.clear();
+            kloc.unmapKnode(entry->knode);
+            model.erase(id);
+        }
+        if (step % 1000 == 0) {
+            ASSERT_EQ(kloc.knodeCount(), model.size());
+            ASSERT_GE(kloc.peakMetadataBytes(), kloc.metadataBytes());
+        }
+    }
+
+    // Drain: everything must come back.
+    for (auto &[id, entry] : model) {
+        for (auto &obj : entry.objects) {
+            kloc.removeObject(obj.get());
+            heap.freeBacking(*obj);
+        }
+        entry.objects.clear();
+        kloc.unmapKnode(entry.knode);
+    }
+    model.clear();
+    EXPECT_EQ(kloc.knodeCount(), 0u);
+    // The only frames left are slab empty-pool retention.
+    EXPECT_LE(tiers.liveFrames(), 3 * KmemCache::kEmptyRetention);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KlocFuzz,
+                         ::testing::Values(7, 77, 777, 7777));
+
+} // namespace
+} // namespace kloc

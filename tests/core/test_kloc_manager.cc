@@ -1,0 +1,340 @@
+/**
+ * @file
+ * KLOC core tests: the Table 2 API surface, knode/kmap lifecycle,
+ * per-CPU fast paths, object tracking in the split rbtrees, the
+ * migration daemon's demote/promote/watermark behaviour, the class
+ * mask (Fig. 5c), and metadata accounting (Table 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/kloc_manager.hh"
+#include "fs/objects.hh"
+#include "mem/placement.hh"
+#include "sim/machine.hh"
+
+namespace kloc {
+namespace {
+
+class KlocTest : public ::testing::Test
+{
+  protected:
+    KlocTest()
+        : machine(4, 1), tiers(machine), lru(machine, tiers),
+          mem(machine, lru), migrator(machine, tiers, lru),
+          heap(mem, tiers), kloc(heap, migrator)
+    {
+        TierSpec spec;
+        spec.name = "fast";
+        spec.capacity = 256 * kPageSize;
+        spec.readLatency = 80;
+        spec.writeLatency = 80;
+        spec.readBandwidth = 10 * kGiB;
+        spec.writeBandwidth = 10 * kGiB;
+        fastId = tiers.addTier(spec);
+        spec.name = "slow";
+        spec.capacity = 1024 * kPageSize;
+        slowId = tiers.addTier(spec);
+
+        placement = std::make_unique<StaticPlacement>(
+            std::vector<TierId>{fastId, slowId},
+            std::vector<TierId>{fastId, slowId});
+        heap.setPolicy(placement.get());
+        heap.setKlocInterface(true);
+        kloc.setEnabled(true);
+        kloc.setTierOrder({fastId, slowId});
+    }
+
+    /**
+     * Push the fast tier above the low watermark so demote passes
+     * actually migrate (they are pressure-gated, §4.1).
+     */
+    void
+    applyPressure()
+    {
+        Tier &fast = tiers.tier(fastId);
+        while (fast.utilization() < KlocManager::kLowWatermark) {
+            Frame *frame =
+                tiers.alloc(0, ObjClass::App, true, {fastId});
+            ASSERT_NE(frame, nullptr);
+            _pressure.push_back(frame);
+        }
+    }
+
+    /** Make a tracked page-cache page under @p knode. */
+    PageCachePage *
+    makePage(Knode *knode)
+    {
+        auto *page = new PageCachePage();
+        EXPECT_TRUE(heap.allocBacking(*page, knode->inuse, knode->id));
+        kloc.addObject(knode, page);
+        return page;
+    }
+
+    void
+    destroyPage(PageCachePage *page)
+    {
+        if (page->knode)
+            kloc.removeObject(page);
+        heap.freeBacking(*page);
+        delete page;
+    }
+
+    Machine machine;
+    TierManager tiers;
+    LruEngine lru;
+    MemAccessor mem;
+    MigrationEngine migrator;
+    KernelHeap heap;
+    KlocManager kloc;
+    std::unique_ptr<StaticPlacement> placement;
+    std::vector<Frame *> _pressure;
+    TierId fastId = kInvalidTier;
+    TierId slowId = kInvalidTier;
+};
+
+TEST_F(KlocTest, DisabledManagerReturnsNull)
+{
+    kloc.setEnabled(false);
+    EXPECT_EQ(kloc.mapKnode(1), nullptr);
+    EXPECT_EQ(kloc.findKnode(1), nullptr);
+}
+
+TEST_F(KlocTest, MapAndFindKnode)
+{
+    Knode *knode = kloc.mapKnode(42);
+    ASSERT_NE(knode, nullptr);
+    EXPECT_EQ(knode->id, 42u);
+    EXPECT_TRUE(knode->inuse);
+    EXPECT_TRUE(knode->backing.valid());
+    EXPECT_EQ(knode->backing.frame->objClass, ObjClass::KlocMeta);
+    EXPECT_EQ(kloc.findKnode(42), knode);
+    EXPECT_EQ(kloc.findKnode(43), nullptr);
+    EXPECT_EQ(kloc.knodeCount(), 1u);
+    kloc.unmapKnode(knode);
+    EXPECT_EQ(kloc.knodeCount(), 0u);
+}
+
+TEST_F(KlocTest, PerCpuFastPathHitsAndMisses)
+{
+    Knode *knode = kloc.mapKnode(7);
+    machine.setCurrentCpu(0);
+    kloc.markActive(knode);  // cached on cpu 0
+    kloc.resetStats();
+    EXPECT_EQ(kloc.findKnode(7), knode);
+    EXPECT_EQ(kloc.stats().perCpuHits, 1u);
+    // Another CPU misses its own list and falls back to the kmap.
+    machine.setCurrentCpu(1);
+    EXPECT_EQ(kloc.findKnode(7), knode);
+    EXPECT_EQ(kloc.stats().perCpuMisses, 1u);
+    // ...but is cached there now.
+    EXPECT_EQ(kloc.findKnode(7), knode);
+    EXPECT_EQ(kloc.stats().perCpuHits, 2u);
+    kloc.unmapKnode(knode);
+}
+
+TEST_F(KlocTest, ObjectsSplitAcrossCacheAndSlabTrees)
+{
+    Knode *knode = kloc.mapKnode(1);
+    PageCachePage *page = makePage(knode);
+    auto *dentry = new Dentry();
+    ASSERT_TRUE(heap.allocBacking(*dentry, true, knode->id));
+    kloc.addObject(knode, dentry);
+
+    EXPECT_EQ(knode->rbCache.size(), 1u);  // page-backed
+    EXPECT_EQ(knode->rbSlab.size(), 1u);   // slab-backed
+    EXPECT_EQ(knode->objectCount(), 2u);
+    EXPECT_EQ(page->knode, knode);
+    EXPECT_EQ(page->frame()->owner, knode);
+
+    int cache_count = 0, slab_count = 0;
+    kloc.forEachCacheObj(knode, [&](KernelObject *) { ++cache_count; });
+    kloc.forEachSlabObj(knode, [&](KernelObject *) { ++slab_count; });
+    EXPECT_EQ(cache_count, 1);
+    EXPECT_EQ(slab_count, 1);
+
+    kloc.removeObject(dentry);
+    heap.freeBacking(*dentry);
+    delete dentry;
+    destroyPage(page);
+    EXPECT_EQ(knode->objectCount(), 0u);
+    kloc.unmapKnode(knode);
+}
+
+TEST_F(KlocTest, MigrateKnodeObjectsMovesWholeKloc)
+{
+    Knode *knode = kloc.mapKnode(1);
+    std::vector<PageCachePage *> pages;
+    for (int i = 0; i < 8; ++i)
+        pages.push_back(makePage(knode));
+    for (PageCachePage *page : pages)
+        EXPECT_EQ(page->frame()->tier, fastId);
+
+    const uint64_t moved = kloc.migrateKnodeObjects(knode, slowId);
+    EXPECT_GE(moved, 8u);
+    for (PageCachePage *page : pages)
+        EXPECT_EQ(page->frame()->tier, slowId);
+
+    for (PageCachePage *page : pages)
+        destroyPage(page);
+    kloc.unmapKnode(knode);
+}
+
+TEST_F(KlocTest, DemotePassHonoursGraceAndReactivation)
+{
+    applyPressure();
+    Knode *knode = kloc.mapKnode(1);
+    PageCachePage *page = makePage(knode);
+    kloc.markInactive(knode);
+
+    // Within the grace window nothing moves.
+    kloc.runDemotePass();
+    EXPECT_EQ(page->frame()->tier, fastId);
+
+    // Re-activation cancels the queued demotion entirely.
+    kloc.markActive(knode);
+    machine.charge(KlocManager::kDemoteGrace + kMillisecond);
+    kloc.runDemotePass();
+    EXPECT_EQ(page->frame()->tier, fastId);
+
+    // A real close followed by the grace window demotes.
+    kloc.markInactive(knode);
+    machine.charge(KlocManager::kDemoteGrace + kMillisecond);
+    kloc.runDemotePass();
+    EXPECT_EQ(page->frame()->tier, slowId);
+    EXPECT_GT(kloc.stats().demotedPages, 0u);
+
+    destroyPage(page);
+    kloc.unmapKnode(knode);
+}
+
+TEST_F(KlocTest, TouchPromotionRequiresReuse)
+{
+    applyPressure();
+    Knode *knode = kloc.mapKnode(1);
+    PageCachePage *page = makePage(knode);
+    // Demote it first.
+    kloc.markInactive(knode);
+    machine.charge(KlocManager::kDemoteGrace + kMillisecond);
+    kloc.runDemotePass();
+    ASSERT_EQ(page->frame()->tier, slowId);
+    kloc.markActive(knode);
+
+    // First touch: referenced bit set but no promotion.
+    mem.touch(page->frame(), kPageSize, AccessType::Read);
+    kloc.maybePromoteOnTouch(page->frame(), knode);
+    EXPECT_EQ(page->frame()->tier, slowId);
+    // Second touch: promoted.
+    mem.touch(page->frame(), kPageSize, AccessType::Read);
+    kloc.maybePromoteOnTouch(page->frame(), knode);
+    EXPECT_EQ(page->frame()->tier, fastId);
+    EXPECT_GT(kloc.stats().promotedPages, 0u);
+
+    destroyPage(page);
+    kloc.unmapKnode(knode);
+}
+
+TEST_F(KlocTest, ClassMaskExcludesObjects)
+{
+    Knode *knode = kloc.mapKnode(1);
+    PageCachePage *page = makePage(knode);
+    // Manage everything except page-cache pages.
+    kloc.setManagedClasses(
+        ~(1u << static_cast<unsigned>(ObjClass::PageCache)));
+    EXPECT_FALSE(kloc.classManaged(ObjClass::PageCache));
+    EXPECT_TRUE(kloc.classManaged(ObjClass::Journal));
+    EXPECT_EQ(kloc.migrateKnodeObjects(knode, slowId), 0u);
+    EXPECT_EQ(page->frame()->tier, fastId);
+    kloc.setManagedClasses(~0u);
+    destroyPage(page);
+    kloc.unmapKnode(knode);
+}
+
+TEST_F(KlocTest, LruKnodesOrdersColdestFirst)
+{
+    Knode *active = kloc.mapKnode(1);
+    Knode *idle = kloc.mapKnode(2);
+    Knode *aged = kloc.mapKnode(3);
+    kloc.markActive(active);
+    kloc.markInactive(idle);
+    aged->age = 5;
+
+    auto order = kloc.lruKnodes(10);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], idle) << "inactive knode must sort coldest";
+    EXPECT_EQ(order[1], aged);
+    EXPECT_EQ(order[2], active);
+
+    kloc.unmapKnode(active);
+    kloc.unmapKnode(idle);
+    kloc.unmapKnode(aged);
+}
+
+TEST_F(KlocTest, FindCpuReportsLastToucher)
+{
+    Knode *knode = kloc.mapKnode(1);
+    machine.setCurrentCpu(3);
+    kloc.markActive(knode);
+    EXPECT_EQ(kloc.findCpu(knode), 3);
+    kloc.unmapKnode(knode);
+}
+
+TEST_F(KlocTest, MetadataBytesTracksStructures)
+{
+    EXPECT_EQ(kloc.metadataBytes(), 0u);
+    Knode *knode = kloc.mapKnode(1);
+    const Bytes with_knode = kloc.metadataBytes();
+    EXPECT_GE(with_knode, KlocManager::kKnodeSize);
+    PageCachePage *page = makePage(knode);
+    EXPECT_GE(kloc.metadataBytes(), with_knode + 8);
+    EXPECT_GE(kloc.peakMetadataBytes(), kloc.metadataBytes());
+    destroyPage(page);
+    kloc.unmapKnode(knode);
+}
+
+TEST_F(KlocTest, DaemonRunsOnSchedule)
+{
+    applyPressure();
+    Knode *knode = kloc.mapKnode(1);
+    PageCachePage *page = makePage(knode);
+    kloc.markInactive(knode);
+    kloc.startDaemon(kMillisecond);
+    machine.charge(KlocManager::kDemoteGrace + 5 * kMillisecond);
+    EXPECT_EQ(page->frame()->tier, slowId)
+        << "daemon failed to demote the inactive KLOC";
+    kloc.stopDaemon();
+    destroyPage(page);
+    kloc.unmapKnode(knode);
+}
+
+TEST_F(KlocTest, MemLimitCapsFastTierUse)
+{
+    applyPressure();
+    kloc.setMemLimit(fastId, kPageSize);  // absurdly small cap
+    // The promote pass respects the cap (indirect check: call the
+    // pass with a queued knode and verify nothing is pulled up).
+    Knode *knode = kloc.mapKnode(1);
+    PageCachePage *page = makePage(knode);
+    kloc.markInactive(knode);
+    machine.charge(KlocManager::kDemoteGrace + kMillisecond);
+    kloc.runDemotePass();
+    ASSERT_EQ(page->frame()->tier, slowId);
+    kloc.markActive(knode);
+    kloc.runPromotePass();
+    EXPECT_EQ(page->frame()->tier, slowId) << "promoted past the cap";
+    destroyPage(page);
+    kloc.unmapKnode(knode);
+}
+
+TEST_F(KlocTest, UnmapReleasesKnodeBacking)
+{
+    const uint64_t before = tiers.liveFrames();
+    Knode *knode = kloc.mapKnode(9);
+    kloc.unmapKnode(knode);
+    EXPECT_EQ(tiers.liveFrames(), before + 1)
+        << "knode slab page should be retained by the empty pool only";
+    EXPECT_EQ(kloc.stats().knodesDeleted, 1u);
+}
+
+} // namespace
+} // namespace kloc

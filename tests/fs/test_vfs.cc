@@ -1,0 +1,296 @@
+/**
+ * @file
+ * VFS integration tests: syscall semantics, data integrity in
+ * data-backed mode, the knode lifecycle rules of §3.2, readahead,
+ * writeback, reclaim, and the dentry cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "fs/vfs.hh"
+#include "mem/placement.hh"
+#include "sim/machine.hh"
+
+namespace kloc {
+namespace {
+
+class VfsTest : public ::testing::Test
+{
+  protected:
+    explicit VfsTest(bool data_backed = false)
+        : machine(4, 1), tiers(machine), lru(machine, tiers),
+          mem(machine, lru), migrator(machine, tiers, lru),
+          heap(mem, tiers), kloc(heap, migrator)
+    {
+        TierSpec spec;
+        spec.name = "fast";
+        spec.capacity = 1024 * kPageSize;
+        spec.readLatency = 80;
+        spec.writeLatency = 80;
+        spec.readBandwidth = 10 * kGiB;
+        spec.writeBandwidth = 10 * kGiB;
+        fastId = tiers.addTier(spec);
+        spec.name = "slow";
+        spec.capacity = 4096 * kPageSize;
+        slowId = tiers.addTier(spec);
+        placement = std::make_unique<StaticPlacement>(
+            std::vector<TierId>{fastId, slowId},
+            std::vector<TierId>{fastId, slowId});
+        heap.setPolicy(placement.get());
+        heap.setKlocInterface(true);
+        kloc.setEnabled(true);
+        kloc.setTierOrder({fastId, slowId});
+
+        FileSystem::Config config;
+        config.dataBacked = data_backed;
+        fs = std::make_unique<FileSystem>(heap, &kloc, config);
+    }
+
+    Machine machine;
+    TierManager tiers;
+    LruEngine lru;
+    MemAccessor mem;
+    MigrationEngine migrator;
+    KernelHeap heap;
+    KlocManager kloc;
+    std::unique_ptr<StaticPlacement> placement;
+    std::unique_ptr<FileSystem> fs;
+    TierId fastId = kInvalidTier;
+    TierId slowId = kInvalidTier;
+};
+
+TEST_F(VfsTest, CreateOpenCloseSemantics)
+{
+    const int fd = fs->create("a");
+    ASSERT_GE(fd, 0);
+    EXPECT_TRUE(fs->exists("a"));
+    EXPECT_EQ(fs->create("a"), -1) << "duplicate create must fail";
+    EXPECT_EQ(fs->open("missing"), -1);
+    const int fd2 = fs->open("a");
+    ASSERT_GE(fd2, 0);
+    EXPECT_NE(fd, fd2);
+    fs->close(fd);
+    fs->close(fd2);
+    EXPECT_EQ(fs->liveInodes(), 1u);
+}
+
+TEST_F(VfsTest, WriteExtendsAndReadClamps)
+{
+    const int fd = fs->create("f");
+    EXPECT_EQ(fs->write(fd, 0, 10000), 10000u);
+    EXPECT_EQ(fs->fileSize("f"), 10000u);
+    EXPECT_EQ(fs->write(fd, 5000, 1000), 1000u);  // overwrite
+    EXPECT_EQ(fs->fileSize("f"), 10000u);
+    EXPECT_EQ(fs->read(fd, 0, 20000), 10000u) << "read past EOF";
+    EXPECT_EQ(fs->read(fd, 10000, 100), 0u);
+    fs->close(fd);
+}
+
+TEST_F(VfsTest, UnlinkRules)
+{
+    const int fd = fs->create("f");
+    fs->write(fd, 0, kPageSize * 4);
+    EXPECT_FALSE(fs->unlink("f")) << "unlink of an open file";
+    fs->close(fd);
+    const uint64_t cached_before = fs->cachedPages();
+    EXPECT_GT(cached_before, 0u);
+    EXPECT_TRUE(fs->unlink("f"));
+    EXPECT_FALSE(fs->exists("f"));
+    EXPECT_EQ(fs->liveInodes(), 0u);
+    EXPECT_EQ(fs->cachedPages(), 0u)
+        << "unlink must deallocate cached pages (§3.2)";
+    EXPECT_FALSE(fs->unlink("f")) << "double unlink";
+}
+
+TEST_F(VfsTest, KnodeLifecycleFollowsFile)
+{
+    ASSERT_EQ(kloc.knodeCount(), 0u);
+    const int fd = fs->create("f");
+    EXPECT_EQ(kloc.knodeCount(), 1u);
+    Knode *knode = fs->knodeOf("f");
+    ASSERT_NE(knode, nullptr);
+    EXPECT_TRUE(knode->inuse);
+    // Inode + dentry are tracked immediately.
+    EXPECT_GE(knode->objectCount(), 2u);
+
+    fs->write(fd, 0, 64 * kKiB);
+    EXPECT_GT(knode->rbCache.size(), 0u) << "cache pages not tracked";
+
+    fs->close(fd);
+    EXPECT_FALSE(knode->inuse) << "close must mark the KLOC inactive";
+
+    fs->unlink("f");
+    EXPECT_EQ(kloc.knodeCount(), 0u) << "knode must die with the inode";
+}
+
+TEST_F(VfsTest, PageCacheHitsAfterFirstRead)
+{
+    const int fd = fs->create("f");
+    fs->write(fd, 0, 256 * kPageSize);
+    fs->fsync(fd);
+    // First read may be served from cache (written pages are
+    // uptodate); stats must show pure hits.
+    fs->read(fd, 0, 256 * kPageSize);
+    EXPECT_EQ(fs->stats().readPageMisses, 0u);
+    EXPECT_GT(fs->stats().readPageHits, 0u);
+    fs->close(fd);
+}
+
+TEST_F(VfsTest, ReadMissHitsDevice)
+{
+    const int fd = fs->create("f");
+    fs->write(fd, 0, 64 * kPageSize);
+    fs->fsync(fd);
+    fs->close(fd);
+    // Drop the cache via reclaim, then re-read.
+    const uint64_t freed = fs->reclaimPages(64);
+    EXPECT_GT(freed, 0u);
+    const uint64_t reqs_before = fs->device().requests();
+    const int fd2 = fs->open("f");
+    fs->read(fd2, 0, 64 * kPageSize);
+    EXPECT_GT(fs->stats().readPageMisses, 0u);
+    EXPECT_GT(fs->device().requests(), reqs_before);
+    fs->close(fd2);
+}
+
+TEST_F(VfsTest, FsyncCleansDirtyPages)
+{
+    const int fd = fs->create("f");
+    fs->write(fd, 0, 128 * kPageSize);
+    const uint64_t reqs_before = fs->device().requests();
+    fs->fsync(fd);
+    EXPECT_GT(fs->device().requests(), reqs_before);
+    EXPECT_GT(fs->stats().writebackPages, 0u);
+    // Second fsync with nothing dirty is cheap.
+    const uint64_t reqs_after = fs->device().requests();
+    fs->fsync(fd);
+    EXPECT_EQ(fs->stats().writebackPages, 128u);
+    EXPECT_LE(fs->device().requests(), reqs_after + 1);
+    fs->close(fd);
+}
+
+TEST_F(VfsTest, WritebackDaemonDrainsInBackground)
+{
+    fs->startDaemons();
+    const int fd = fs->create("f");
+    fs->write(fd, 0, 64 * kPageSize);
+    machine.charge(100 * kMillisecond);
+    EXPECT_GE(fs->stats().writebackPages, 64u)
+        << "daemon did not write back dirty pages";
+    fs->close(fd);
+    fs->stopDaemons();
+}
+
+TEST_F(VfsTest, ReadaheadPrefetchesSequentialStreams)
+{
+    const int fd = fs->create("f");
+    fs->write(fd, 0, 256 * kPageSize);
+    fs->fsync(fd);
+    fs->close(fd);
+    fs->reclaimPages(256);
+    const int fd2 = fs->open("f");
+    // Two sequential reads trigger the prefetcher.
+    fs->read(fd2, 0, kPageSize);
+    fs->read(fd2, kPageSize, kPageSize);
+    EXPECT_GT(fs->stats().readaheadPages, 0u);
+    fs->close(fd2);
+}
+
+TEST_F(VfsTest, RandomReadsDoNotPrefetch)
+{
+    const int fd = fs->create("f");
+    fs->write(fd, 0, 256 * kPageSize);
+    fs->read(fd, 100 * kPageSize, kPageSize);
+    fs->read(fd, 3 * kPageSize, kPageSize);
+    fs->read(fd, 77 * kPageSize, kPageSize);
+    EXPECT_EQ(fs->stats().readaheadPages, 0u);
+    fs->close(fd);
+}
+
+TEST_F(VfsTest, ReclaimSkipsDirtyButWritesThemBack)
+{
+    const int fd = fs->create("f");
+    fs->write(fd, 0, 32 * kPageSize);
+    // All pages dirty: reclaim writes back, rotates, and may free
+    // only what became clean.
+    fs->reclaimPages(8);
+    EXPECT_GT(fs->stats().writebackPages, 0u);
+    fs->close(fd);
+}
+
+TEST_F(VfsTest, FdsAreRecycled)
+{
+    const int fd = fs->create("f");
+    fs->close(fd);
+    const int fd2 = fs->open("f");
+    EXPECT_EQ(fd, fd2) << "fd slots should be reused";
+    fs->close(fd2);
+}
+
+TEST_F(VfsTest, SyncAllFlushesEverything)
+{
+    const int a = fs->create("a");
+    const int b = fs->create("b");
+    fs->write(a, 0, 16 * kPageSize);
+    fs->write(b, 0, 16 * kPageSize);
+    fs->syncAll();
+    EXPECT_GE(fs->stats().writebackPages, 32u);
+    fs->close(a);
+    fs->close(b);
+}
+
+TEST_F(VfsTest, ReopenReactivatesKnode)
+{
+    const int fd = fs->create("f");
+    fs->write(fd, 0, kPageSize);
+    fs->close(fd);
+    Knode *knode = fs->knodeOf("f");
+    ASSERT_FALSE(knode->inuse);
+    const int fd2 = fs->open("f");
+    EXPECT_TRUE(knode->inuse);
+    fs->close(fd2);
+}
+
+/** Data-backed variant verifying byte-level integrity. */
+class VfsDataTest : public VfsTest
+{
+  protected:
+    VfsDataTest() : VfsTest(/*data_backed=*/true) {}
+};
+
+TEST_F(VfsDataTest, RoundTripsBytes)
+{
+    const int fd = fs->create("data");
+    std::vector<char> out(3 * kPageSize);
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = static_cast<char>((i * 31 + 7) & 0xFF);
+    ASSERT_EQ(fs->write(fd, 0, out.size(), out.data()), out.size());
+
+    std::vector<char> in(out.size(), 0);
+    ASSERT_EQ(fs->read(fd, 0, in.size(), in.data()), in.size());
+    EXPECT_EQ(std::memcmp(out.data(), in.data(), out.size()), 0);
+    fs->close(fd);
+}
+
+TEST_F(VfsDataTest, UnalignedOverwrite)
+{
+    const int fd = fs->create("data");
+    std::vector<char> base(2 * kPageSize, 'A');
+    fs->write(fd, 0, base.size(), base.data());
+    // Overwrite a span crossing the page boundary.
+    std::vector<char> patch(1000, 'B');
+    fs->write(fd, kPageSize - 500, patch.size(), patch.data());
+
+    std::vector<char> in(2 * kPageSize, 0);
+    fs->read(fd, 0, in.size(), in.data());
+    EXPECT_EQ(in[kPageSize - 501], 'A');
+    EXPECT_EQ(in[kPageSize - 500], 'B');
+    EXPECT_EQ(in[kPageSize + 499], 'B');
+    EXPECT_EQ(in[kPageSize + 500], 'A');
+    fs->close(fd);
+}
+
+} // namespace
+} // namespace kloc

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Integration tests asserting the *shapes* the paper's evaluation
+ * reports, at reduced scale so they run inside the test suite:
+ *
+ *  - Fig. 2: kernel objects dominate footprints and references; slab
+ *    objects are shorter-lived than cache pages, which are shorter-
+ *    lived than app pages.
+ *  - Fig. 4: KLOCs beats AllSlow and Nimble; AllFast is the bound.
+ *  - Fig. 5b: KLOCs allocates less in slow memory than Naive and its
+ *    migrations are demotion-dominated.
+ *  - Fig. 5a protocol: KLOCs on the Optane platform beats static
+ *    placement after the task escapes the interferer.
+ *  - Table 6: KLOC metadata stays below 1% of memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/optane.hh"
+#include "platform/two_tier.hh"
+#include "workload/runner.hh"
+#include "workload/workload.hh"
+
+namespace kloc {
+namespace {
+
+WorkloadConfig
+midConfig()
+{
+    WorkloadConfig config;
+    config.scale = 256;
+    config.operations = 15000;
+    return config;
+}
+
+TwoTierPlatform::Config
+midPlatform()
+{
+    TwoTierPlatform::Config config;
+    config.scale = 256;
+    return config;
+}
+
+double
+runStrategy(const std::string &workload_name, StrategyKind kind,
+            MigrationStats *migration = nullptr,
+            uint64_t *slow_cache_allocs = nullptr)
+{
+    TwoTierPlatform::Config platform_config = midPlatform();
+    if (kind == StrategyKind::AllFast)
+        platform_config.fastCapacity += platform_config.slowCapacity;
+    TwoTierPlatform platform(platform_config);
+    System &sys = platform.sys();
+    platform.applyStrategy(kind);
+    sys.fs().startDaemons();
+    auto workload = makeWorkload(workload_name, midConfig());
+    const WorkloadResult result = runMeasured(sys, *workload);
+    if (migration)
+        *migration = sys.migrator().stats();
+    if (slow_cache_allocs) {
+        *slow_cache_allocs =
+            sys.tiers().tier(platform.slowTier())
+                .cumulativeAllocPages(ObjClass::PageCache);
+    }
+    workload->teardown(sys);
+    return result.throughput();
+}
+
+TEST(Fig2Shape, KernelObjectsDominateFootprint)
+{
+    TwoTierPlatform platform(midPlatform());
+    System &sys = platform.sys();
+    platform.applyStrategy(StrategyKind::Naive);
+    sys.fs().startDaemons();
+    auto workload = makeWorkload("rocksdb", midConfig());
+    runMeasured(sys, *workload);
+
+    uint64_t kernel_pages = 0;
+    for (unsigned c = 1; c < kNumObjClasses; ++c) {
+        kernel_pages +=
+            sys.tiers().cumulativeAllocPages(static_cast<ObjClass>(c));
+    }
+    const uint64_t app_pages = sys.heap().cumulativeAppPages();
+    EXPECT_GT(kernel_pages, app_pages)
+        << "I/O-intensive workloads allocate more kernel pages than "
+           "app pages (Fig. 2a)";
+    workload->teardown(sys);
+}
+
+TEST(Fig2Shape, KernelReferencesAreMajor)
+{
+    TwoTierPlatform platform(midPlatform());
+    System &sys = platform.sys();
+    platform.applyStrategy(StrategyKind::Naive);
+    sys.fs().startDaemons();
+    auto workload = makeWorkload("filebench", midConfig());
+    runMeasured(sys, *workload);
+    const double kernel_share =
+        static_cast<double>(sys.machine().kernelRefs()) /
+        static_cast<double>(sys.machine().kernelRefs() +
+                            sys.machine().userRefs());
+    EXPECT_GT(kernel_share, 0.5)
+        << "filebench spends most references in the kernel (Fig. 2c)";
+    workload->teardown(sys);
+}
+
+TEST(Fig2Shape, LifetimeOrderingSlabCacheApp)
+{
+    TwoTierPlatform platform(midPlatform());
+    System &sys = platform.sys();
+    platform.applyStrategy(StrategyKind::Naive);
+    sys.fs().startDaemons();
+    auto workload = makeWorkload("redis", midConfig());
+    runMeasured(sys, *workload);
+    workload->teardown(sys);  // frees the arena -> app lifetimes
+
+    const double skb_ms =
+        sys.heap().objLifetimeHist(KobjKind::SkbuffHead).dist().mean();
+    const double cache_ms =
+        sys.heap()
+            .objLifetimeHist(KobjKind::PageCachePage)
+            .dist()
+            .mean();
+    const double app_ms =
+        sys.tiers().lifetimeHist(ObjClass::App).dist().mean();
+    ASSERT_GT(skb_ms, 0.0);
+    ASSERT_GT(cache_ms, 0.0);
+    ASSERT_GT(app_ms, 0.0);
+    EXPECT_LT(skb_ms, cache_ms)
+        << "socket buffers must be shorter-lived than cache pages";
+    EXPECT_LT(cache_ms, app_ms)
+        << "cache pages must be shorter-lived than app pages (Fig. 2d)";
+}
+
+TEST(Fig4Shape, KlocsBeatsBaselinesOnRocksDb)
+{
+    const double all_slow =
+        runStrategy("rocksdb", StrategyKind::AllSlow);
+    const double nimble = runStrategy("rocksdb", StrategyKind::Nimble);
+    const double klocs = runStrategy("rocksdb", StrategyKind::Kloc);
+    const double all_fast =
+        runStrategy("rocksdb", StrategyKind::AllFast);
+    EXPECT_GT(klocs, all_slow * 1.2)
+        << "KLOCs must clearly beat the all-slow bound";
+    EXPECT_GT(klocs, nimble)
+        << "KLOCs must beat application-only tiering (Nimble)";
+    EXPECT_GT(all_fast, klocs) << "AllFast is the upper bound";
+}
+
+TEST(Fig5bShape, KlocsAvoidsSlowAllocationsAndDemotes)
+{
+    MigrationStats naive_migration, klocs_migration;
+    uint64_t naive_slow = 0, klocs_slow = 0;
+    runStrategy("rocksdb", StrategyKind::Naive, &naive_migration,
+                &naive_slow);
+    runStrategy("rocksdb", StrategyKind::Kloc, &klocs_migration,
+                &klocs_slow);
+    EXPECT_LT(klocs_slow, naive_slow)
+        << "KLOCs allocates page-cache pages in slow memory less often";
+    EXPECT_EQ(naive_migration.migratedPages, 0u);
+    ASSERT_GT(klocs_migration.migratedPages, 0u);
+    const double demote_share =
+        static_cast<double>(klocs_migration.demotedPages) /
+        static_cast<double>(klocs_migration.migratedPages);
+    EXPECT_GT(demote_share, 0.7)
+        << "paper: ~88% of KLOC migrations are demotions";
+}
+
+TEST(Fig5aShape, KlocsFollowsTheTaskAcrossSockets)
+{
+    auto run_optane = [](AutoNumaPolicy::Mode mode) {
+        OptanePlatform::Config config;
+        config.scale = 256;
+        OptanePlatform platform(config);
+        System &sys = platform.sys();
+        platform.setInterference(true);
+        platform.applyPolicy(mode);
+        sys.fs().startDaemons();
+        WorkloadConfig wl_config = midConfig();
+        platform.moveTaskToSocket(0);
+        wl_config.cpus = platform.taskCpus();
+        auto workload = makeWorkload("filebench", wl_config);
+        workload->setup(sys);
+        sys.fs().syncAll();
+        platform.moveTaskToSocket(1);
+        workload->setCpus(platform.taskCpus());
+        sys.machine().charge(kQuiesceWindow);
+        workload->run(sys);  // warm-up / convergence window
+        const WorkloadResult result = workload->run(sys);
+        workload->teardown(sys);
+        return result.throughput();
+    };
+    const double remote = run_optane(AutoNumaPolicy::Mode::Static);
+    const double klocs = run_optane(AutoNumaPolicy::Mode::Kloc);
+    EXPECT_GT(klocs, remote * 1.1)
+        << "KLOCs must pull kernel objects to the task's socket";
+}
+
+TEST(Table6Shape, MetadataBelowOnePercent)
+{
+    TwoTierPlatform platform(midPlatform());
+    System &sys = platform.sys();
+    platform.applyStrategy(StrategyKind::Kloc);
+    sys.fs().startDaemons();
+    auto workload = makeWorkload("rocksdb", midConfig());
+    runMeasured(sys, *workload);
+    const Bytes total_memory =
+        sys.tiers().tier(platform.fastTier()).spec().capacity +
+        sys.tiers().tier(platform.slowTier()).spec().capacity;
+    EXPECT_LT(sys.kloc().peakMetadataBytes(), total_memory / 100)
+        << "KLOC metadata must stay below 1% of memory (Table 6)";
+    EXPECT_GT(sys.kloc().peakMetadataBytes(), 0u);
+    workload->teardown(sys);
+}
+
+TEST(AblationShape, PerCpuListsCutTreeAccesses)
+{
+    auto drive = [](bool lists) {
+        TwoTierPlatform platform(midPlatform());
+        System &sys = platform.sys();
+        platform.applyStrategy(StrategyKind::Kloc);
+        sys.kloc().setUsePerCpuLists(lists);
+        std::vector<Knode *> knodes;
+        for (unsigned i = 0; i < 64; ++i)
+            knodes.push_back(sys.kloc().mapKnode(5000 + i));
+        ZipfianGenerator zipf(64, 0.99, 3);
+        const uint64_t before = sys.kloc().treeNodesVisited();
+        for (unsigned i = 0; i < 20000; ++i) {
+            sys.machine().setCurrentCpu(i % 16);
+            sys.kloc().findKnode(5000 + zipf.next());
+        }
+        const uint64_t visits = sys.kloc().treeNodesVisited() - before;
+        for (Knode *knode : knodes)
+            sys.kloc().unmapKnode(knode);
+        return visits;
+    };
+    const uint64_t with_lists = drive(true);
+    const uint64_t without = drive(false);
+    EXPECT_LT(with_lists, without / 2)
+        << "per-CPU lists should cut rbtree accesses roughly in half "
+           "(paper: 54%)";
+}
+
+} // namespace
+} // namespace kloc

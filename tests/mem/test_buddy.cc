@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Buddy allocator tests: split/coalesce correctness, alignment,
+ * determinism, exhaustion behaviour, and a random churn property
+ * test validated with the allocator's own consistency checker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "base/rng.hh"
+#include "mem/buddy_allocator.hh"
+
+namespace kloc {
+namespace {
+
+TEST(Buddy, FreshAllocatorIsEmpty)
+{
+    BuddyAllocator buddy(1024);
+    EXPECT_EQ(buddy.totalFrames(), 1024u);
+    EXPECT_EQ(buddy.usedFrames(), 0u);
+    EXPECT_EQ(buddy.freeFrames(), 1024u);
+    EXPECT_EQ(buddy.maxAvailableOrder(), 10);
+    buddy.validate();
+}
+
+TEST(Buddy, Order0AllocFree)
+{
+    BuddyAllocator buddy(64);
+    const Pfn pfn = buddy.alloc(0);
+    ASSERT_NE(pfn, kInvalidPfn);
+    EXPECT_EQ(buddy.usedFrames(), 1u);
+    buddy.free(pfn, 0);
+    EXPECT_EQ(buddy.usedFrames(), 0u);
+    buddy.validate();
+}
+
+TEST(Buddy, HighOrderAlignment)
+{
+    BuddyAllocator buddy(4096);
+    for (unsigned order = 1; order <= 10; ++order) {
+        const Pfn pfn = buddy.alloc(order);
+        ASSERT_NE(pfn, kInvalidPfn);
+        EXPECT_EQ(pfn & ((1ULL << order) - 1), 0u)
+            << "order " << order << " misaligned";
+        buddy.free(pfn, order);
+    }
+    EXPECT_EQ(buddy.freeFrames(), 4096u);
+    buddy.validate();
+}
+
+TEST(Buddy, CoalescingRestoresMaxOrder)
+{
+    BuddyAllocator buddy(1024);
+    std::vector<Pfn> pfns;
+    for (int i = 0; i < 1024; ++i) {
+        const Pfn pfn = buddy.alloc(0);
+        ASSERT_NE(pfn, kInvalidPfn);
+        pfns.push_back(pfn);
+    }
+    EXPECT_EQ(buddy.maxAvailableOrder(), -1);
+    for (const Pfn pfn : pfns)
+        buddy.free(pfn, 0);
+    EXPECT_EQ(buddy.maxAvailableOrder(), 10);
+    buddy.validate();
+}
+
+TEST(Buddy, ExhaustionReturnsInvalid)
+{
+    BuddyAllocator buddy(4);
+    EXPECT_NE(buddy.alloc(2), kInvalidPfn);
+    EXPECT_EQ(buddy.alloc(0), kInvalidPfn);
+    EXPECT_EQ(buddy.alloc(2), kInvalidPfn);
+}
+
+TEST(Buddy, AllocationsDoNotOverlap)
+{
+    BuddyAllocator buddy(512);
+    Rng rng(3);
+    std::set<Pfn> owned;
+    std::vector<std::pair<Pfn, unsigned>> blocks;
+    while (true) {
+        const auto order = static_cast<unsigned>(rng.nextBounded(4));
+        const Pfn pfn = buddy.alloc(order);
+        if (pfn == kInvalidPfn)
+            break;
+        for (Pfn p = pfn; p < pfn + (1ULL << order); ++p) {
+            ASSERT_TRUE(owned.insert(p).second)
+                << "frame " << p << " double-allocated";
+        }
+        blocks.emplace_back(pfn, order);
+    }
+    for (auto &[pfn, order] : blocks)
+        buddy.free(pfn, order);
+    buddy.validate();
+    EXPECT_EQ(buddy.freeFrames(), 512u);
+}
+
+TEST(Buddy, DeterministicLowestAddressFirst)
+{
+    BuddyAllocator a(256), b(256);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(a.alloc(0), b.alloc(0));
+}
+
+TEST(Buddy, NonPowerOfTwoFrameSpace)
+{
+    // 1000 frames: trailing frames covered by smaller blocks.
+    BuddyAllocator buddy(1000);
+    buddy.validate();
+    std::vector<Pfn> pfns;
+    Pfn pfn;
+    while ((pfn = buddy.alloc(0)) != kInvalidPfn)
+        pfns.push_back(pfn);
+    EXPECT_EQ(pfns.size(), 1000u);
+    for (const Pfn p : pfns)
+        buddy.free(p, 0);
+    buddy.validate();
+}
+
+class BuddyChurn : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(BuddyChurn, RandomAllocFreeKeepsConsistency)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()));
+    BuddyAllocator buddy(2048);
+    std::vector<std::pair<Pfn, unsigned>> live;
+    for (int step = 0; step < 5000; ++step) {
+        if (live.empty() || rng.nextBool(0.55)) {
+            const auto order = static_cast<unsigned>(rng.nextBounded(6));
+            const Pfn pfn = buddy.alloc(order);
+            if (pfn != kInvalidPfn)
+                live.emplace_back(pfn, order);
+        } else {
+            const auto idx = rng.nextBounded(live.size());
+            buddy.free(live[idx].first, live[idx].second);
+            live[idx] = live.back();
+            live.pop_back();
+        }
+        if (step % 500 == 0)
+            buddy.validate();
+    }
+    uint64_t live_frames = 0;
+    for (auto &[pfn, order] : live)
+        live_frames += 1ULL << order;
+    EXPECT_EQ(buddy.usedFrames(), live_frames);
+    for (auto &[pfn, order] : live)
+        buddy.free(pfn, order);
+    buddy.validate();
+    EXPECT_EQ(buddy.usedFrames(), 0u);
+    EXPECT_EQ(buddy.maxAvailableOrder(), 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuddyChurn,
+                         ::testing::Values(2, 4, 8, 16, 32, 64));
+
+} // namespace
+} // namespace kloc

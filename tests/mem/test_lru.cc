@@ -1,0 +1,166 @@
+/**
+ * @file
+ * LRU engine tests: two-list promotion dynamics, scan aging and
+ * demotion candidates, two-scan promotion confirmation, migration
+ * list handoff, and scan cost accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/lru.hh"
+#include "mem/migration.hh"
+#include "sim/machine.hh"
+
+namespace kloc {
+namespace {
+
+class LruTest : public ::testing::Test
+{
+  protected:
+    LruTest() : machine(2, 1), tiers(machine), lru(machine, tiers)
+    {
+        TierSpec spec;
+        spec.name = "fast";
+        spec.capacity = 128 * kPageSize;
+        spec.readLatency = 80;
+        spec.writeLatency = 80;
+        spec.readBandwidth = 10 * kGiB;
+        spec.writeBandwidth = 10 * kGiB;
+        fastId = tiers.addTier(spec);
+        spec.name = "slow";
+        spec.capacity = 128 * kPageSize;
+        slowId = tiers.addTier(spec);
+    }
+
+    Frame *
+    alloc(TierId tier)
+    {
+        Frame *frame = tiers.alloc(0, ObjClass::PageCache, true, {tier});
+        EXPECT_NE(frame, nullptr);
+        return frame;
+    }
+
+    Machine machine;
+    TierManager tiers;
+    LruEngine lru;
+    TierId fastId = kInvalidTier;
+    TierId slowId = kInvalidTier;
+};
+
+TEST_F(LruTest, FreshFramesStartInactive)
+{
+    Frame *frame = alloc(fastId);
+    EXPECT_FALSE(frame->onActiveList);
+    EXPECT_EQ(lru.inactiveCount(fastId), 1u);
+    EXPECT_EQ(lru.activeCount(fastId), 0u);
+    tiers.free(frame);
+    EXPECT_EQ(lru.inactiveCount(fastId), 0u);
+}
+
+TEST_F(LruTest, SecondTouchActivates)
+{
+    Frame *frame = alloc(fastId);
+    lru.onAccessed(frame);
+    EXPECT_FALSE(frame->onActiveList) << "one touch must not activate";
+    lru.onAccessed(frame);
+    EXPECT_TRUE(frame->onActiveList);
+    EXPECT_EQ(lru.activeCount(fastId), 1u);
+    tiers.free(frame);
+}
+
+TEST_F(LruTest, ScanDeactivatesUnreferencedActives)
+{
+    Frame *frame = alloc(fastId);
+    lru.onAccessed(frame);
+    lru.onAccessed(frame);
+    ASSERT_TRUE(frame->onActiveList);
+    // First scan clears the referenced bit set by activation...
+    lru.scanTier(fastId, 100);
+    // ...the next scan (no touches in between) deactivates.
+    lru.scanTier(fastId, 100);
+    EXPECT_FALSE(frame->onActiveList);
+    tiers.free(frame);
+}
+
+TEST_F(LruTest, ColdInactiveFramesAreDemoteCandidates)
+{
+    Frame *hot = alloc(fastId);
+    Frame *cold = alloc(fastId);
+    lru.onAccessed(hot);  // referenced while inactive
+    ScanResult result = lru.scanTier(fastId, 100);
+    ASSERT_EQ(result.demoteCandidates.size(), 1u);
+    EXPECT_EQ(result.demoteCandidates[0].get(), cold);
+    tiers.free(hot);
+    tiers.free(cold);
+}
+
+TEST_F(LruTest, ScanChargesPaperCalibratedCost)
+{
+    for (int i = 0; i < 100; ++i)
+        alloc(fastId);
+    const Tick before = machine.now();
+    ScanResult result = lru.scanTier(fastId, 100);
+    EXPECT_EQ(result.scanned, 100u);
+    // 2 us per page, divided by the background factor of 4.
+    EXPECT_EQ(machine.now() - before,
+              100 * LruEngine::kScanCostPerPage / 4);
+    EXPECT_EQ(lru.totalScanned(), 100u);
+}
+
+TEST_F(LruTest, CollectHotRequiresTwoScans)
+{
+    Frame *frame = alloc(slowId);
+    lru.onAccessed(frame);
+    lru.onAccessed(frame);
+    ASSERT_TRUE(frame->onActiveList);
+    auto first = lru.collectHot(slowId, 10);
+    EXPECT_TRUE(first.empty()) << "promoted without confirmation scan";
+    auto second = lru.collectHot(slowId, 10);
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_EQ(second[0].get(), frame);
+    tiers.free(frame);
+}
+
+TEST_F(LruTest, MigrationMovesListMembership)
+{
+    Machine &m = machine;
+    (void)m;
+    MigrationEngine migrator(machine, tiers, lru);
+    Frame *frame = alloc(fastId);
+    lru.onAccessed(frame);
+    lru.onAccessed(frame);
+    ASSERT_TRUE(frame->onActiveList);
+    ASSERT_TRUE(migrator.migrateOne(frame, slowId));
+    EXPECT_EQ(frame->tier, slowId);
+    EXPECT_EQ(lru.activeCount(fastId), 0u);
+    // Demotion strips active standing (deactivate-on-demote).
+    EXPECT_EQ(lru.inactiveCount(slowId), 1u);
+    EXPECT_FALSE(frame->onActiveList);
+    EXPECT_FALSE(frame->referenced);
+    tiers.free(frame);
+}
+
+TEST_F(LruTest, DeactivateStripsStanding)
+{
+    Frame *frame = alloc(fastId);
+    lru.onAccessed(frame);
+    lru.onAccessed(frame);
+    ASSERT_TRUE(frame->onActiveList);
+    lru.deactivate(frame);
+    EXPECT_FALSE(frame->onActiveList);
+    EXPECT_FALSE(frame->referenced);
+    EXPECT_EQ(lru.inactiveCount(fastId), 1u);
+    tiers.free(frame);
+}
+
+TEST_F(LruTest, ScanBudgetLimitsWork)
+{
+    for (int i = 0; i < 50; ++i)
+        alloc(fastId);
+    ScanResult result = lru.scanTier(fastId, 10);
+    EXPECT_EQ(result.scanned, 10u);
+    EXPECT_LE(result.demoteCandidates.size(), 10u);
+}
+
+} // namespace
+} // namespace kloc

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * TierManager tests: preference-order allocation with fallback,
+ * residency/cumulative accounting, lifetime histograms, migration
+ * bookkeeping (identity stability, damping), FrameRef generations,
+ * and observers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/tier_manager.hh"
+#include "sim/machine.hh"
+
+namespace kloc {
+namespace {
+
+class TierManagerTest : public ::testing::Test
+{
+  protected:
+    TierManagerTest() : machine(4, 1), tiers(machine)
+    {
+        TierSpec fast;
+        fast.name = "fast";
+        fast.capacity = 64 * kPageSize;
+        fast.readLatency = 80;
+        fast.writeLatency = 80;
+        fast.readBandwidth = 10 * kGiB;
+        fast.writeBandwidth = 10 * kGiB;
+        fastId = tiers.addTier(fast);
+
+        TierSpec slow = fast;
+        slow.name = "slow";
+        slow.capacity = 256 * kPageSize;
+        slowId = tiers.addTier(slow);
+    }
+
+    Machine machine;
+    TierManager tiers;
+    TierId fastId = kInvalidTier;
+    TierId slowId = kInvalidTier;
+};
+
+TEST_F(TierManagerTest, AllocHonoursPreferenceOrder)
+{
+    Frame *frame = tiers.alloc(0, ObjClass::App, true, {fastId, slowId});
+    ASSERT_NE(frame, nullptr);
+    EXPECT_EQ(frame->tier, fastId);
+    EXPECT_EQ(frame->objClass, ObjClass::App);
+    EXPECT_TRUE(frame->relocatable);
+    tiers.free(frame);
+}
+
+TEST_F(TierManagerTest, FallbackWhenPreferredFull)
+{
+    std::vector<Frame *> frames;
+    for (int i = 0; i < 64; ++i) {
+        Frame *frame =
+            tiers.alloc(0, ObjClass::PageCache, true, {fastId, slowId});
+        ASSERT_NE(frame, nullptr);
+        EXPECT_EQ(frame->tier, fastId);
+        frames.push_back(frame);
+    }
+    Frame *spilled =
+        tiers.alloc(0, ObjClass::PageCache, true, {fastId, slowId});
+    ASSERT_NE(spilled, nullptr);
+    EXPECT_EQ(spilled->tier, slowId);
+    tiers.free(spilled);
+    for (Frame *frame : frames)
+        tiers.free(frame);
+}
+
+TEST_F(TierManagerTest, ExhaustionReturnsNull)
+{
+    std::vector<Frame *> frames;
+    while (Frame *f = tiers.alloc(0, ObjClass::App, true,
+                                  {fastId, slowId})) {
+        frames.push_back(f);
+    }
+    EXPECT_EQ(frames.size(), 64u + 256u);
+    EXPECT_EQ(tiers.alloc(0, ObjClass::App, true, {fastId, slowId}),
+              nullptr);
+    for (Frame *frame : frames)
+        tiers.free(frame);
+    EXPECT_EQ(tiers.liveFrames(), 0u);
+}
+
+TEST_F(TierManagerTest, ResidencyAndCumulativeAccounting)
+{
+    Frame *a = tiers.alloc(0, ObjClass::Journal, true, {fastId});
+    Frame *b = tiers.alloc(2, ObjClass::Journal, true, {fastId});
+    EXPECT_EQ(tiers.tier(fastId).residentPages(ObjClass::Journal), 5u);
+    EXPECT_EQ(tiers.tier(fastId).cumulativeAllocPages(ObjClass::Journal),
+              5u);
+    EXPECT_EQ(tiers.cumulativeAllocPages(ObjClass::Journal), 5u);
+    tiers.free(a);
+    EXPECT_EQ(tiers.tier(fastId).residentPages(ObjClass::Journal), 4u);
+    // Cumulative never decreases.
+    EXPECT_EQ(tiers.cumulativeAllocPages(ObjClass::Journal), 5u);
+    tiers.free(b);
+}
+
+TEST_F(TierManagerTest, LifetimeHistogramSampled)
+{
+    Frame *frame = tiers.alloc(0, ObjClass::FsSlab, true, {fastId});
+    machine.charge(1000);
+    tiers.free(frame);
+    const Histogram &hist = tiers.lifetimeHist(ObjClass::FsSlab);
+    EXPECT_EQ(hist.dist().count(), 1u);
+    EXPECT_DOUBLE_EQ(hist.dist().mean(), 1000.0);
+}
+
+TEST_F(TierManagerTest, MigratePreservesFrameIdentity)
+{
+    Frame *frame = tiers.alloc(0, ObjClass::PageCache, true, {fastId});
+    Frame *before = frame;
+    ASSERT_TRUE(tiers.migrate(frame, slowId));
+    EXPECT_EQ(frame, before);
+    EXPECT_EQ(frame->tier, slowId);
+    EXPECT_EQ(frame->migrateCount, 1);
+    EXPECT_EQ(tiers.tier(fastId).residentPages(ObjClass::PageCache), 0u);
+    EXPECT_EQ(tiers.tier(slowId).residentPages(ObjClass::PageCache), 1u);
+    // Migration arrivals do not count as new allocations.
+    EXPECT_EQ(tiers.tier(slowId).cumulativeAllocPages(ObjClass::PageCache),
+              0u);
+    tiers.free(frame);
+}
+
+TEST_F(TierManagerTest, MigrateRefusals)
+{
+    Frame *fixed = tiers.alloc(0, ObjClass::FsSlab, false, {fastId});
+    EXPECT_FALSE(tiers.migrate(fixed, slowId)) << "non-relocatable moved";
+
+    Frame *pinned = tiers.alloc(0, ObjClass::App, true, {fastId});
+    pinned->pinCount = 1;
+    EXPECT_FALSE(tiers.migrate(pinned, slowId)) << "pinned frame moved";
+    pinned->pinCount = 0;
+
+    Frame *same = tiers.alloc(0, ObjClass::App, true, {fastId});
+    EXPECT_FALSE(tiers.migrate(same, fastId)) << "same-tier move";
+
+    tiers.free(fixed);
+    tiers.free(pinned);
+    tiers.free(same);
+}
+
+TEST_F(TierManagerTest, PingPongDampingRetainsInFast)
+{
+    Frame *frame = tiers.alloc(0, ObjClass::PageCache, true, {fastId});
+    // Bounce until the retain threshold trips.
+    for (int i = 0; i < TierManager::kRetainThreshold / 2; ++i) {
+        ASSERT_TRUE(tiers.migrate(frame, slowId));
+        ASSERT_TRUE(tiers.migrate(frame, fastId));
+    }
+    EXPECT_GE(frame->migrateCount, TierManager::kRetainThreshold);
+    // Demotion now refused; promotion would still be allowed.
+    EXPECT_FALSE(tiers.migrate(frame, slowId));
+    EXPECT_EQ(frame->tier, fastId);
+    tiers.free(frame);
+}
+
+TEST_F(TierManagerTest, FrameRefDetectsFreeAndRecycle)
+{
+    Frame *frame = tiers.alloc(0, ObjClass::App, true, {fastId});
+    FrameRef ref(frame);
+    EXPECT_TRUE(ref.valid());
+    tiers.free(frame);
+    EXPECT_FALSE(ref.valid()) << "ref to freed frame still valid";
+    // Recycle the slot: the generation must differ.
+    Frame *recycled = tiers.alloc(0, ObjClass::App, true, {fastId});
+    if (recycled == frame) {
+        EXPECT_FALSE(ref.valid()) << "ref to recycled frame still valid";
+    }
+    tiers.free(recycled);
+}
+
+TEST_F(TierManagerTest, ObserversFire)
+{
+    int allocs = 0, frees = 0;
+    tiers.addAllocObserver([&](Frame *) { ++allocs; });
+    tiers.addFreeObserver([&](Frame *) { ++frees; });
+    Frame *frame = tiers.alloc(0, ObjClass::App, true, {fastId});
+    EXPECT_EQ(allocs, 1);
+    EXPECT_EQ(frees, 0);
+    tiers.free(frame);
+    EXPECT_EQ(frees, 1);
+}
+
+} // namespace
+} // namespace kloc

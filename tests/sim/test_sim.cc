@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Simulation-layer tests: virtual clock, event queue ordering and
+ * re-entrancy, memory timing model, and Machine accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.hh"
+#include "sim/event_queue.hh"
+#include "sim/machine.hh"
+#include "sim/memory_model.hh"
+
+namespace kloc {
+namespace {
+
+TEST(VirtualClock, AdvancesMonotonically)
+{
+    VirtualClock clock;
+    EXPECT_EQ(clock.now(), 0);
+    clock.advance(100);
+    clock.advance(0);
+    EXPECT_EQ(clock.now(), 100);
+    clock.advanceTo(250);
+    EXPECT_EQ(clock.now(), 250);
+    clock.reset();
+    EXPECT_EQ(clock.now(), 0);
+}
+
+TEST(EventQueue, RunsInDeadlineOrder)
+{
+    EventQueue events;
+    std::vector<int> order;
+    events.schedule(30, [&] { order.push_back(3); });
+    events.schedule(10, [&] { order.push_back(1); });
+    events.schedule(20, [&] { order.push_back(2); });
+    EXPECT_EQ(events.nextDeadline(), 10);
+    EXPECT_EQ(events.runDue(25), 2u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(events.runDue(100), 1u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(events.empty());
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue events;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        events.schedule(50, [&order, i] { order.push_back(i); });
+    events.runDue(50);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventSchedulingDueEventRunsInSameDrain)
+{
+    EventQueue events;
+    std::vector<int> order;
+    events.schedule(10, [&] {
+        order.push_back(1);
+        events.schedule(10, [&] { order.push_back(2); });
+    });
+    events.runDue(15);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, FutureEventStaysQueued)
+{
+    EventQueue events;
+    int fired = 0;
+    events.schedule(100, [&] { ++fired; });
+    EXPECT_EQ(events.runDue(99), 0u);
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(events.runDue(100), 1u);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(MemoryModel, AccessCostScalesWithSizeAndTier)
+{
+    MemoryModel model;
+    TierSpec fast;
+    fast.name = "fast";
+    fast.capacity = kMiB;
+    fast.readLatency = 80;
+    fast.writeLatency = 80;
+    fast.readBandwidth = 30ULL * 1000 * kMiB;
+    fast.writeBandwidth = 30ULL * 1000 * kMiB;
+    const TierId f = model.addTier(fast);
+
+    TierSpec slow = fast;
+    slow.name = "slow";
+    slow.readBandwidth /= 8;
+    slow.writeBandwidth /= 8;
+    const TierId s = model.addTier(slow);
+
+    const Tick f_cost = model.rawCost(f, kPageSize, AccessType::Read, 0);
+    const Tick s_cost = model.rawCost(s, kPageSize, AccessType::Read, 0);
+    EXPECT_GT(s_cost, f_cost * 3);
+    EXPECT_GT(model.rawCost(f, 64 * kKiB, AccessType::Read, 0), f_cost);
+}
+
+TEST(MemoryModel, LlcFilteringReducesExpectedCost)
+{
+    MemoryModel model;
+    TierSpec spec;
+    spec.name = "t";
+    spec.capacity = kMiB;
+    spec.readLatency = 100;
+    spec.writeLatency = 100;
+    spec.readBandwidth = 10 * kGiB;
+    spec.writeBandwidth = 10 * kGiB;
+    const TierId t = model.addTier(spec);
+    const Tick raw = model.accessCost(t, 4096, AccessType::Read, 0);
+    model.setLlcHitFraction(0.5);
+    const Tick filtered = model.accessCost(t, 4096, AccessType::Read, 0);
+    EXPECT_LT(filtered, raw);
+    EXPECT_GT(filtered, raw / 3);
+}
+
+TEST(MemoryModel, RemotePenaltyAndInterference)
+{
+    MemoryModel model;
+    TierSpec spec;
+    spec.name = "s0";
+    spec.capacity = kMiB;
+    spec.readLatency = 80;
+    spec.writeLatency = 80;
+    spec.readBandwidth = 10 * kGiB;
+    spec.writeBandwidth = 10 * kGiB;
+    spec.socket = 0;
+    const TierId t = model.addTier(spec);
+
+    const Tick local = model.rawCost(t, 64, AccessType::Read, 0);
+    const Tick remote = model.rawCost(t, 64, AccessType::Read, 1);
+    EXPECT_GT(remote, local);
+
+    model.setInterference(0, 2.0);
+    const Tick loaded = model.rawCost(t, 64, AccessType::Read, 0);
+    EXPECT_NEAR(static_cast<double>(loaded),
+                2.0 * static_cast<double>(local), 2.0);
+    model.clearInterference();
+    EXPECT_EQ(model.rawCost(t, 64, AccessType::Read, 0), local);
+}
+
+TEST(Machine, SocketTopology)
+{
+    Machine machine(16, 2);
+    EXPECT_EQ(machine.cpuCount(), 16u);
+    EXPECT_EQ(machine.socketCount(), 2u);
+    EXPECT_EQ(machine.socketOf(0), 0);
+    EXPECT_EQ(machine.socketOf(7), 0);
+    EXPECT_EQ(machine.socketOf(8), 1);
+    EXPECT_EQ(machine.socketOf(15), 1);
+    machine.setCurrentCpu(9);
+    EXPECT_EQ(machine.currentSocket(), 1);
+}
+
+TEST(Machine, ChargeRunsDueEvents)
+{
+    Machine machine(1, 1);
+    int fired = 0;
+    machine.events().schedule(500, [&] { ++fired; });
+    machine.charge(499);
+    EXPECT_EQ(fired, 0);
+    machine.charge(1);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Machine, CpuWorkDividesByParallelism)
+{
+    Machine machine(4, 1);
+    machine.setCpuParallelism(4);
+    const Tick start = machine.now();
+    machine.cpuWork(400);
+    EXPECT_EQ(machine.now() - start, 100);
+    machine.setCpuParallelism(1);
+    machine.cpuWork(400);
+    EXPECT_EQ(machine.now() - start, 500);
+}
+
+TEST(Machine, RefAccountingSplitsDomains)
+{
+    Machine machine(1, 1);
+    TierSpec spec;
+    spec.name = "t";
+    spec.capacity = kMiB;
+    spec.readLatency = 80;
+    spec.writeLatency = 80;
+    spec.readBandwidth = kGiB;
+    spec.writeBandwidth = kGiB;
+    const TierId t = machine.memModel().addTier(spec);
+    machine.access(t, 4096, AccessType::Read, RefDomain::Kernel);
+    machine.access(t, 4096, AccessType::Write, RefDomain::User);
+    machine.access(t, 64, AccessType::Read, RefDomain::Kernel);
+    EXPECT_EQ(machine.kernelRefs(), 2u);
+    EXPECT_EQ(machine.userRefs(), 1u);
+    EXPECT_GT(machine.kernelRefTicks(), 0);
+    EXPECT_GT(machine.userRefTicks(), 0);
+    machine.reset();
+    EXPECT_EQ(machine.kernelRefs(), 0u);
+    EXPECT_EQ(machine.now(), 0);
+}
+
+} // namespace
+} // namespace kloc

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * klocsim — command-line front end to the KLOC simulator.
+ *
+ *   klocsim list
+ *   klocsim run [--workload W] [--strategy S] [--ops N] [--scale K]
+ *               [--ratio R] [--fast-gb G] [--huge-pages]
+ *   klocsim optane [--workload W] [--mode M] [--ops N] [--scale K]
+ *   klocsim characterize [--workload W] [--scale K]
+ *
+ * Strategies: all_fast all_slow naive nimble nimble++
+ *             klocs_nomigration klocs
+ * Optane modes: static autonuma nimble klocs
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "platform/optane.hh"
+#include "platform/two_tier.hh"
+#include "workload/runner.hh"
+#include "workload/workload.hh"
+
+using namespace kloc;
+
+namespace {
+
+struct Args
+{
+    std::string workload = "rocksdb";
+    std::string strategy = "klocs";
+    std::string mode = "klocs";
+    uint64_t ops = 60000;
+    unsigned scale = 64;
+    unsigned ratio = 8;
+    Bytes fastGb = 8;
+    bool hugePages = false;
+    bool fullStats = false;
+};
+
+Args
+parseArgs(int argc, char **argv, int first)
+{
+    Args args;
+    for (int i = first; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("flag %s needs a value", flag.c_str());
+            return argv[++i];
+        };
+        if (flag == "--workload")
+            args.workload = value();
+        else if (flag == "--strategy")
+            args.strategy = value();
+        else if (flag == "--mode")
+            args.mode = value();
+        else if (flag == "--ops")
+            args.ops = std::strtoull(value(), nullptr, 10);
+        else if (flag == "--scale")
+            args.scale = static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10));
+        else if (flag == "--ratio")
+            args.ratio = static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10));
+        else if (flag == "--fast-gb")
+            args.fastGb = std::strtoull(value(), nullptr, 10);
+        else if (flag == "--huge-pages")
+            args.hugePages = true;
+        else if (flag == "--stats")
+            args.fullStats = true;
+        else
+            fatal("unknown flag '%s'", flag.c_str());
+    }
+    return args;
+}
+
+StrategyKind
+parseStrategy(const std::string &name)
+{
+    for (const StrategyKind kind :
+         {StrategyKind::AllFast, StrategyKind::AllSlow,
+          StrategyKind::Naive, StrategyKind::Nimble,
+          StrategyKind::NimblePlusPlus, StrategyKind::KlocNoMigration,
+          StrategyKind::Kloc}) {
+        if (name == strategyName(kind))
+            return kind;
+    }
+    fatal("unknown strategy '%s'", name.c_str());
+}
+
+AutoNumaPolicy::Mode
+parseMode(const std::string &name)
+{
+    static const std::map<std::string, AutoNumaPolicy::Mode> modes = {
+        {"static", AutoNumaPolicy::Mode::Static},
+        {"autonuma", AutoNumaPolicy::Mode::AutoNuma},
+        {"nimble", AutoNumaPolicy::Mode::NimbleApp},
+        {"klocs", AutoNumaPolicy::Mode::Kloc},
+    };
+    auto it = modes.find(name);
+    if (it == modes.end())
+        fatal("unknown optane mode '%s'", name.c_str());
+    return it->second;
+}
+
+int
+cmdList()
+{
+    std::printf("workloads:\n");
+    for (const auto &name : workloadNames())
+        std::printf("  %s\n", name.c_str());
+    std::printf("strategies (two-tier):\n");
+    for (const StrategyKind kind :
+         {StrategyKind::AllFast, StrategyKind::AllSlow,
+          StrategyKind::Naive, StrategyKind::Nimble,
+          StrategyKind::NimblePlusPlus, StrategyKind::KlocNoMigration,
+          StrategyKind::Kloc}) {
+        std::printf("  %s\n", strategyName(kind));
+    }
+    std::printf("optane modes:\n  static\n  autonuma\n  nimble\n"
+                "  klocs\n");
+    return 0;
+}
+
+void
+printCommonStats(System &sys)
+{
+    const MigrationStats &mig = sys.migrator().stats();
+    std::printf("  migrations      %llu pages (%llu demoted / %llu "
+                "promoted)\n",
+                (unsigned long long)mig.migratedPages,
+                (unsigned long long)mig.demotedPages,
+                (unsigned long long)mig.promotedPages);
+    const uint64_t refs =
+        sys.machine().kernelRefs() + sys.machine().userRefs();
+    std::printf("  kernel refs     %.1f%% of %llu\n",
+                refs ? 100.0 *
+                       static_cast<double>(sys.machine().kernelRefs()) /
+                       static_cast<double>(refs)
+                     : 0.0,
+                (unsigned long long)refs);
+    if (sys.kloc().enabled()) {
+        const KlocStats &ks = sys.kloc().stats();
+        std::printf("  kloc            %llu knodes, %llu objects "
+                    "tracked, %.1f KiB metadata peak\n",
+                    (unsigned long long)ks.knodesCreated,
+                    (unsigned long long)ks.objectsTracked,
+                    static_cast<double>(sys.kloc().peakMetadataBytes()) /
+                        kKiB);
+    }
+}
+
+int
+cmdRun(const Args &args)
+{
+    TwoTierPlatform::Config config;
+    config.scale = args.scale;
+    config.fastCapacity = args.fastGb * kGiB;
+    config.bandwidthRatio = args.ratio;
+    const StrategyKind kind = parseStrategy(args.strategy);
+    if (kind == StrategyKind::AllFast)
+        config.fastCapacity += config.slowCapacity;
+    TwoTierPlatform platform(config);
+    System &sys = platform.sys();
+    platform.applyStrategy(kind);
+    sys.fs().startDaemons();
+
+    WorkloadConfig wl_config;
+    wl_config.scale = args.scale;
+    wl_config.operations = args.ops;
+    wl_config.hugePages = args.hugePages;
+    auto workload = makeWorkload(args.workload, wl_config);
+    const WorkloadResult result = runMeasured(sys, *workload);
+
+    std::printf("%s under %s: %.0f ops/s (%llu ops, %.1f ms virtual)\n",
+                args.workload.c_str(), strategyName(kind),
+                result.throughput(),
+                (unsigned long long)result.operations,
+                static_cast<double>(result.elapsed) / kMillisecond);
+    printCommonStats(sys);
+    if (args.fullStats)
+        std::fputs(sys.snapshot().toString().c_str(), stdout);
+    workload->teardown(sys);
+    return 0;
+}
+
+int
+cmdOptane(const Args &args)
+{
+    OptanePlatform::Config config;
+    config.scale = args.scale;
+    OptanePlatform platform(config);
+    System &sys = platform.sys();
+    platform.setInterference(true);
+    platform.applyPolicy(parseMode(args.mode));
+    sys.fs().startDaemons();
+
+    WorkloadConfig wl_config;
+    wl_config.scale = args.scale;
+    wl_config.operations = args.ops;
+    platform.moveTaskToSocket(0);
+    wl_config.cpus = platform.taskCpus();
+    auto workload = makeWorkload(args.workload, wl_config);
+    workload->setup(sys);
+    sys.fs().syncAll();
+    platform.moveTaskToSocket(1);
+    workload->setCpus(platform.taskCpus());
+    sys.machine().charge(kQuiesceWindow);
+    workload->run(sys);  // convergence warm-up
+    const WorkloadResult result = workload->run(sys);
+
+    std::printf("%s on optane (%s): %.0f ops/s\n",
+                args.workload.c_str(), args.mode.c_str(),
+                result.throughput());
+    printCommonStats(sys);
+    workload->teardown(sys);
+    return 0;
+}
+
+int
+cmdCharacterize(const Args &args)
+{
+    TwoTierPlatform::Config config;
+    config.scale = args.scale;
+    TwoTierPlatform platform(config);
+    System &sys = platform.sys();
+    platform.applyStrategy(StrategyKind::Naive);
+    sys.fs().startDaemons();
+    WorkloadConfig wl_config;
+    wl_config.scale = args.scale;
+    wl_config.operations = args.ops;
+    auto workload = makeWorkload(args.workload, wl_config);
+    runMeasured(sys, *workload);
+    workload->teardown(sys);
+
+    std::printf("%s characterization:\n", args.workload.c_str());
+    std::printf("  cumulative pages by class:\n");
+    std::printf("    %-12s %llu\n", "app",
+                (unsigned long long)sys.heap().cumulativeAppPages());
+    for (unsigned c = 1; c < kNumObjClasses; ++c) {
+        const auto cls = static_cast<ObjClass>(c);
+        std::printf("    %-12s %llu\n", objClassName(cls),
+                    (unsigned long long)
+                        sys.tiers().cumulativeAllocPages(cls));
+    }
+    std::printf("  object lifetimes (mean ms):\n");
+    for (unsigned k = 0; k < kNumKobjKinds; ++k) {
+        const auto kind = static_cast<KobjKind>(k);
+        const auto &hist = sys.heap().objLifetimeHist(kind);
+        if (hist.dist().count() == 0)
+            continue;
+        std::printf("    %-16s %10.3f  (n=%llu)\n", kobjKindName(kind),
+                    hist.dist().mean() / kMillisecond,
+                    (unsigned long long)hist.dist().count());
+    }
+    printCommonStats(sys);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: klocsim <list|run|optane|characterize> "
+                     "[flags]\n");
+        return 1;
+    }
+    const std::string command = argv[1];
+    if (command == "list")
+        return cmdList();
+    const Args args = parseArgs(argc, argv, 2);
+    if (command == "run")
+        return cmdRun(args);
+    if (command == "optane")
+        return cmdOptane(args);
+    if (command == "characterize")
+        return cmdCharacterize(args);
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return 1;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_thp.dir/bench_ablation_thp.cc.o"
+  "CMakeFiles/bench_ablation_thp.dir/bench_ablation_thp.cc.o.d"
+  "bench_ablation_thp"
+  "bench_ablation_thp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_thp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

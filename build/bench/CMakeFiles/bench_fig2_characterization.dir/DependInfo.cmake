@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_characterization.cc" "bench/CMakeFiles/bench_fig2_characterization.dir/bench_fig2_characterization.cc.o" "gcc" "bench/CMakeFiles/bench_fig2_characterization.dir/bench_fig2_characterization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/kloc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/kloc_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/kloc_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/kloc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/kloc_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/kloc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kobj/CMakeFiles/kloc_kobj.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/kloc_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/kloc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kloc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/kloc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_twotier.dir/bench_fig4_twotier.cc.o"
+  "CMakeFiles/bench_fig4_twotier.dir/bench_fig4_twotier.cc.o.d"
+  "bench_fig4_twotier"
+  "bench_fig4_twotier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_twotier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

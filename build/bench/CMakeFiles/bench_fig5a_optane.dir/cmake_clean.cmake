@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5a_optane.dir/bench_fig5a_optane.cc.o"
+  "CMakeFiles/bench_fig5a_optane.dir/bench_fig5a_optane.cc.o.d"
+  "bench_fig5a_optane"
+  "bench_fig5a_optane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5a_optane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

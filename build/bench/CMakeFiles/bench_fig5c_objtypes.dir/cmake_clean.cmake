@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5c_objtypes.dir/bench_fig5c_objtypes.cc.o"
+  "CMakeFiles/bench_fig5c_objtypes.dir/bench_fig5c_objtypes.cc.o.d"
+  "bench_fig5c_objtypes"
+  "bench_fig5c_objtypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5c_objtypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

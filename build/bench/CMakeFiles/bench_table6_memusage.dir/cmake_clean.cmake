@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_memusage.dir/bench_table6_memusage.cc.o"
+  "CMakeFiles/bench_table6_memusage.dir/bench_table6_memusage.cc.o.d"
+  "bench_table6_memusage"
+  "bench_table6_memusage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_memusage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tier_explorer.dir/tier_explorer.cc.o"
+  "CMakeFiles/tier_explorer.dir/tier_explorer.cc.o.d"
+  "tier_explorer"
+  "tier_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tier_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

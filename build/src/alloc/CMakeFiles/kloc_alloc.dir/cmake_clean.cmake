@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kloc_alloc.dir/slab.cc.o"
+  "CMakeFiles/kloc_alloc.dir/slab.cc.o.d"
+  "libkloc_alloc.a"
+  "libkloc_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kloc_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

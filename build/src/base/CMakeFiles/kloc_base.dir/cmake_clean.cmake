@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kloc_base.dir/logging.cc.o"
+  "CMakeFiles/kloc_base.dir/logging.cc.o.d"
+  "CMakeFiles/kloc_base.dir/radix_tree.cc.o"
+  "CMakeFiles/kloc_base.dir/radix_tree.cc.o.d"
+  "CMakeFiles/kloc_base.dir/rbtree.cc.o"
+  "CMakeFiles/kloc_base.dir/rbtree.cc.o.d"
+  "CMakeFiles/kloc_base.dir/rng.cc.o"
+  "CMakeFiles/kloc_base.dir/rng.cc.o.d"
+  "CMakeFiles/kloc_base.dir/stats.cc.o"
+  "CMakeFiles/kloc_base.dir/stats.cc.o.d"
+  "libkloc_base.a"
+  "libkloc_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kloc_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kloc_core.dir/kloc_manager.cc.o"
+  "CMakeFiles/kloc_core.dir/kloc_manager.cc.o.d"
+  "libkloc_core.a"
+  "libkloc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kloc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

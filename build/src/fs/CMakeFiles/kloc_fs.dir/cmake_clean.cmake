@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kloc_fs.dir/block_layer.cc.o"
+  "CMakeFiles/kloc_fs.dir/block_layer.cc.o.d"
+  "CMakeFiles/kloc_fs.dir/journal.cc.o"
+  "CMakeFiles/kloc_fs.dir/journal.cc.o.d"
+  "CMakeFiles/kloc_fs.dir/page_cache.cc.o"
+  "CMakeFiles/kloc_fs.dir/page_cache.cc.o.d"
+  "CMakeFiles/kloc_fs.dir/vfs.cc.o"
+  "CMakeFiles/kloc_fs.dir/vfs.cc.o.d"
+  "libkloc_fs.a"
+  "libkloc_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kloc_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

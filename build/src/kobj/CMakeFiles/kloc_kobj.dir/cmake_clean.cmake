@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kloc_kobj.dir/kernel_heap.cc.o"
+  "CMakeFiles/kloc_kobj.dir/kernel_heap.cc.o.d"
+  "CMakeFiles/kloc_kobj.dir/kinds.cc.o"
+  "CMakeFiles/kloc_kobj.dir/kinds.cc.o.d"
+  "libkloc_kobj.a"
+  "libkloc_kobj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kloc_kobj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for kloc_kobj.
+# This may be replaced when dependencies are built.

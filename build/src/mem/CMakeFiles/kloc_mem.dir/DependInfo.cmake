@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/buddy_allocator.cc" "src/mem/CMakeFiles/kloc_mem.dir/buddy_allocator.cc.o" "gcc" "src/mem/CMakeFiles/kloc_mem.dir/buddy_allocator.cc.o.d"
+  "/root/repo/src/mem/lru.cc" "src/mem/CMakeFiles/kloc_mem.dir/lru.cc.o" "gcc" "src/mem/CMakeFiles/kloc_mem.dir/lru.cc.o.d"
+  "/root/repo/src/mem/migration.cc" "src/mem/CMakeFiles/kloc_mem.dir/migration.cc.o" "gcc" "src/mem/CMakeFiles/kloc_mem.dir/migration.cc.o.d"
+  "/root/repo/src/mem/tier_manager.cc" "src/mem/CMakeFiles/kloc_mem.dir/tier_manager.cc.o" "gcc" "src/mem/CMakeFiles/kloc_mem.dir/tier_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/kloc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/kloc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kloc_mem.dir/buddy_allocator.cc.o"
+  "CMakeFiles/kloc_mem.dir/buddy_allocator.cc.o.d"
+  "CMakeFiles/kloc_mem.dir/lru.cc.o"
+  "CMakeFiles/kloc_mem.dir/lru.cc.o.d"
+  "CMakeFiles/kloc_mem.dir/migration.cc.o"
+  "CMakeFiles/kloc_mem.dir/migration.cc.o.d"
+  "CMakeFiles/kloc_mem.dir/tier_manager.cc.o"
+  "CMakeFiles/kloc_mem.dir/tier_manager.cc.o.d"
+  "libkloc_mem.a"
+  "libkloc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kloc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

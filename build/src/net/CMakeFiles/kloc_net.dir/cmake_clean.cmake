@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kloc_net.dir/net_stack.cc.o"
+  "CMakeFiles/kloc_net.dir/net_stack.cc.o.d"
+  "libkloc_net.a"
+  "libkloc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kloc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

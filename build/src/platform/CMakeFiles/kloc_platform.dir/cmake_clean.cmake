@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kloc_platform.dir/optane.cc.o"
+  "CMakeFiles/kloc_platform.dir/optane.cc.o.d"
+  "CMakeFiles/kloc_platform.dir/system.cc.o"
+  "CMakeFiles/kloc_platform.dir/system.cc.o.d"
+  "CMakeFiles/kloc_platform.dir/two_tier.cc.o"
+  "CMakeFiles/kloc_platform.dir/two_tier.cc.o.d"
+  "libkloc_platform.a"
+  "libkloc_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kloc_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kloc_policy.dir/autonuma.cc.o"
+  "CMakeFiles/kloc_policy.dir/autonuma.cc.o.d"
+  "CMakeFiles/kloc_policy.dir/strategy.cc.o"
+  "CMakeFiles/kloc_policy.dir/strategy.cc.o.d"
+  "libkloc_policy.a"
+  "libkloc_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kloc_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

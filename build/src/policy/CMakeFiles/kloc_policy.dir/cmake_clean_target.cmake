@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkloc_policy.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kloc_sim.dir/machine.cc.o"
+  "CMakeFiles/kloc_sim.dir/machine.cc.o.d"
+  "CMakeFiles/kloc_sim.dir/memory_model.cc.o"
+  "CMakeFiles/kloc_sim.dir/memory_model.cc.o.d"
+  "libkloc_sim.a"
+  "libkloc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kloc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

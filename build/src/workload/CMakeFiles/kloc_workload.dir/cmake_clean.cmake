@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kloc_workload.dir/cassandra.cc.o"
+  "CMakeFiles/kloc_workload.dir/cassandra.cc.o.d"
+  "CMakeFiles/kloc_workload.dir/filebench.cc.o"
+  "CMakeFiles/kloc_workload.dir/filebench.cc.o.d"
+  "CMakeFiles/kloc_workload.dir/redis.cc.o"
+  "CMakeFiles/kloc_workload.dir/redis.cc.o.d"
+  "CMakeFiles/kloc_workload.dir/rocksdb.cc.o"
+  "CMakeFiles/kloc_workload.dir/rocksdb.cc.o.d"
+  "CMakeFiles/kloc_workload.dir/spark.cc.o"
+  "CMakeFiles/kloc_workload.dir/spark.cc.o.d"
+  "CMakeFiles/kloc_workload.dir/varmail.cc.o"
+  "CMakeFiles/kloc_workload.dir/varmail.cc.o.d"
+  "CMakeFiles/kloc_workload.dir/webserver.cc.o"
+  "CMakeFiles/kloc_workload.dir/webserver.cc.o.d"
+  "CMakeFiles/kloc_workload.dir/workload.cc.o"
+  "CMakeFiles/kloc_workload.dir/workload.cc.o.d"
+  "libkloc_workload.a"
+  "libkloc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kloc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_base.dir/base/test_intrusive_list.cc.o"
+  "CMakeFiles/test_base.dir/base/test_intrusive_list.cc.o.d"
+  "CMakeFiles/test_base.dir/base/test_logging.cc.o"
+  "CMakeFiles/test_base.dir/base/test_logging.cc.o.d"
+  "CMakeFiles/test_base.dir/base/test_radix_tree.cc.o"
+  "CMakeFiles/test_base.dir/base/test_radix_tree.cc.o.d"
+  "CMakeFiles/test_base.dir/base/test_rbtree.cc.o"
+  "CMakeFiles/test_base.dir/base/test_rbtree.cc.o.d"
+  "CMakeFiles/test_base.dir/base/test_rng.cc.o"
+  "CMakeFiles/test_base.dir/base/test_rng.cc.o.d"
+  "CMakeFiles/test_base.dir/base/test_stats.cc.o"
+  "CMakeFiles/test_base.dir/base/test_stats.cc.o.d"
+  "test_base"
+  "test_base.pdb"
+  "test_base[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fs.dir/fs/test_fs_units.cc.o"
+  "CMakeFiles/test_fs.dir/fs/test_fs_units.cc.o.d"
+  "CMakeFiles/test_fs.dir/fs/test_truncate_poll_snapshot.cc.o"
+  "CMakeFiles/test_fs.dir/fs/test_truncate_poll_snapshot.cc.o.d"
+  "CMakeFiles/test_fs.dir/fs/test_vfs.cc.o"
+  "CMakeFiles/test_fs.dir/fs/test_vfs.cc.o.d"
+  "CMakeFiles/test_fs.dir/fs/test_vfs_extended.cc.o"
+  "CMakeFiles/test_fs.dir/fs/test_vfs_extended.cc.o.d"
+  "CMakeFiles/test_fs.dir/fs/test_vfs_property.cc.o"
+  "CMakeFiles/test_fs.dir/fs/test_vfs_property.cc.o.d"
+  "test_fs"
+  "test_fs.pdb"
+  "test_fs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

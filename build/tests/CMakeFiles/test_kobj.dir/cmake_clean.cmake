@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kobj.dir/kobj/test_kernel_heap.cc.o"
+  "CMakeFiles/test_kobj.dir/kobj/test_kernel_heap.cc.o.d"
+  "test_kobj"
+  "test_kobj.pdb"
+  "test_kobj[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kobj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

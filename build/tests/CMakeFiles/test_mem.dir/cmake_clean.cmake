@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/mem/test_buddy.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_buddy.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_lru.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_lru.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_migration.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_migration.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_tier_manager.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_tier_manager.cc.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/klocsim.dir/klocsim.cc.o"
+  "CMakeFiles/klocsim.dir/klocsim.cc.o.d"
+  "klocsim"
+  "klocsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/klocsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Repo check: configure, build, run the full test suite, then verify
+# that event tracing is deterministic end-to-end (two identical
+# klocsim runs must dump byte-identical traces, with the invariant
+# checker clean on both).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+JOBS=${JOBS:-$(nproc)}
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+# Golden-style determinism check on the CLI path: same command, two
+# fresh processes, identical serialized traces, zero violations.
+tracedir=$(mktemp -d)
+trap 'rm -rf "$tracedir"' EXIT
+run_traced() {
+    "$BUILD_DIR"/tools/klocsim run --workload rocksdb --ops 2000 \
+        --scale 16 --trace "$1" --check > "$1.out"
+}
+run_traced "$tracedir/a.trace"
+run_traced "$tracedir/b.trace"
+cmp "$tracedir/a.trace" "$tracedir/b.trace" || {
+    echo "FAIL: klocsim traces differ between identical runs" >&2
+    exit 1
+}
+echo "check.sh: build, tests, and trace determinism all OK"

@@ -14,8 +14,12 @@ Histogram::percentileUpperBound(double fraction) const
     uint64_t seen = 0;
     for (unsigned bucket = 0; bucket < kBuckets; ++bucket) {
         seen += _buckets[bucket];
-        if (seen >= target)
-            return bucket == 0 ? 0 : (1ULL << bucket) - 1;
+        if (seen >= target) {
+            if (bucket == 0)
+                return 0;
+            // Bucket 64 spans up to UINT64_MAX; 1<<64 would overflow.
+            return bucket >= 64 ? ~0ULL : (1ULL << bucket) - 1;
+        }
     }
     return ~0ULL;
 }

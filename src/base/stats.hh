@@ -63,15 +63,17 @@ class Distribution
 class Histogram
 {
   public:
-    static constexpr unsigned kBuckets = 64;
+    // Bucket index is the sample's bit width (0..64), so values with
+    // the top bit set (width 64) need their own bucket — 65 in all.
+    static constexpr unsigned kBuckets = 65;
 
     /** Record one sample. */
     void
     sample(uint64_t value)
     {
-        unsigned bucket = value == 0 ? 0 : 64 - __builtin_clzll(value);
-        if (bucket >= kBuckets)
-            bucket = kBuckets - 1;
+        const unsigned bucket =
+            value == 0 ? 0 : 64 - static_cast<unsigned>(
+                                      __builtin_clzll(value));
         ++_buckets[bucket];
         _dist.sample(static_cast<double>(value));
     }

@@ -93,6 +93,7 @@ KlocManager::mapKnode(uint64_t inode_id)
 
     cacheOnCpu(knode);
     ++_stats.knodesCreated;
+    _machine.tracer().emit(TraceEventType::KnodeMap, inode_id);
     noteMetadata();
     return knode;
 }
@@ -104,6 +105,7 @@ KlocManager::unmapKnode(Knode *knode)
                 "unmapping knode %llu with %llu live objects",
                 static_cast<unsigned long long>(knode->id),
                 static_cast<unsigned long long>(knode->objectCount()));
+    _machine.tracer().emit(TraceEventType::KnodeUnmap, knode->id);
     for (auto &list : _perCpu)
         dropFromList(list, knode);
     _kmap.erase(knode);
@@ -191,8 +193,12 @@ KlocManager::addObject(Knode *knode, KernelObject *obj)
     // cached lines, not cold memory traffic.
     _machine.cpuWork(static_cast<Tick>(tree.nodesVisited() -
                                        visits_before) * kTreeStepCost);
-    if (obj->frame())
+    if (obj->frame()) {
         obj->frame()->owner = knode;
+        _machine.tracer().emit(TraceEventType::ObjTrack, knode->id,
+                               static_cast<uint64_t>(obj->kind),
+                               obj->frame()->tier, obj->frame()->pfn);
+    }
 
     ++_trackedObjects;
     ++_stats.objectsTracked;
@@ -210,8 +216,12 @@ KlocManager::removeObject(KernelObject *obj)
                                                        : knode->rbCache;
     tree.erase(obj);
     obj->knode = nullptr;
-    if (obj->frame())
+    if (obj->frame()) {
+        _machine.tracer().emit(TraceEventType::ObjUntrack, knode->id,
+                               static_cast<uint64_t>(obj->kind),
+                               obj->frame()->tier, obj->frame()->pfn);
         obj->frame()->owner = nullptr;
+    }
     _machine.cpuWork(3 * kTreeStepCost);
     KLOC_ASSERT(_trackedObjects > 0, "tracked object underflow");
     --_trackedObjects;
@@ -291,6 +301,8 @@ void
 KlocManager::markActive(Knode *knode)
 {
     const bool was_inactive = !knode->inuse;
+    if (was_inactive)
+        _machine.tracer().emit(TraceEventType::KnodeActivate, knode->id);
     knode->inuse = true;
     knode->age = 0;
     knode->lastCpu = static_cast<int>(_machine.currentCpu());
@@ -334,6 +346,8 @@ KlocManager::maybePromoteOnTouch(Frame *frame, Knode *knode)
 void
 KlocManager::markInactive(Knode *knode)
 {
+    if (knode->inuse)
+        _machine.tracer().emit(TraceEventType::KnodeInactivate, knode->id);
     knode->inuse = false;
     knode->pendingPromote = false;
     _machine.cpuWork(kListStepCost);

@@ -59,6 +59,16 @@ BlockLayer::submit(Knode *knode, bool active, uint64_t sector, Bytes length,
         _kloc->addObject(knode, bio.get());
 
     _heap.touchObject(*bio, AccessType::Write);
+    const uint64_t bio_id = ++_bioSeq;
+    Frame *backing = bio->frame();
+    // The device charge below can dispatch async daemon work that
+    // migrates frames; a frame with an in-flight bio must stay put
+    // (the DMA targets its physical address), so pin it for the
+    // duration of the submission.
+    ++backing->pinCount;
+    machine.tracer().emit(TraceEventType::BioSubmit, bio_id,
+                          traceFrameKey(backing->tier, backing->pfn),
+                          sector, write ? 1 : 0);
     BlkMqCtx *ctx = ctxForCpu(machine.currentCpu());
     _heap.touchObject(*ctx, AccessType::Write);
     ++ctx->dispatched;
@@ -70,6 +80,8 @@ BlockLayer::submit(Knode *knode, bool active, uint64_t sector, Bytes length,
         _device.submitBackground(sector, length);
 
     // Completion: bio is freed.
+    machine.tracer().emit(TraceEventType::BioComplete, bio_id);
+    --backing->pinCount;
     if (_kloc && bio->knode)
         _kloc->removeObject(bio.get());
     _heap.freeBacking(*bio);

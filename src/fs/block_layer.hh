@@ -54,6 +54,7 @@ class BlockLayer
     /** Lazily created per-CPU blk-mq contexts (global, not tracked). */
     std::vector<std::unique_ptr<BlkMqCtx>> _ctxs;
     uint64_t _bios = 0;
+    uint64_t _bioSeq = 0;  ///< stable per-layer bio ids for tracing
 };
 
 } // namespace kloc

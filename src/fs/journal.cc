@@ -11,7 +11,11 @@ Journal::Journal(KernelHeap &heap, KlocManager *kloc, BlockLayer &block)
 
 Journal::~Journal()
 {
-    // Drop any uncommitted transaction state.
+    // Drop any uncommitted transaction state. This is an abort, not a
+    // commit, but it still releases journal objects — open a detach
+    // window so the invariant checker sees a sanctioned release.
+    Tracer &tracer = _heap.mem().machine().tracer();
+    tracer.emit(TraceEventType::JournalDetachStart, 0);
     for (auto &rec : _records) {
         if (_kloc && rec->knode)
             _kloc->removeObject(rec.get());
@@ -22,6 +26,7 @@ Journal::~Journal()
             _kloc->removeObject(page.get());
         _heap.freeBacking(*page);
     }
+    tracer.emit(TraceEventType::JournalDetachEnd, 0);
 }
 
 void
@@ -68,6 +73,9 @@ Journal::commit(bool foreground)
     if (_committing)
         return;
     _committing = true;
+    Tracer &tracer = _heap.mem().machine().tracer();
+    tracer.emit(TraceEventType::JournalCommitStart, _txId, _records.size(),
+                _pages.size(), foreground ? 1 : 0);
 
     // Write the transaction's buffer pages to the journal area.
     // Journal writes are sequential by construction, so they batch
@@ -95,6 +103,7 @@ Journal::commit(bool foreground)
     }
     _records.clear();
     _pages.clear();
+    tracer.emit(TraceEventType::JournalCommitEnd, _txId);
     ++_txId;
     ++_committedTxs;
     _committing = false;
@@ -103,6 +112,8 @@ Journal::commit(bool foreground)
 void
 Journal::detachInode(uint64_t inode_id)
 {
+    Tracer &tracer = _heap.mem().machine().tracer();
+    tracer.emit(TraceEventType::JournalDetachStart, inode_id);
     for (auto &rec : _records) {
         if (rec->inodeId == inode_id && _kloc && rec->knode)
             _kloc->removeObject(rec.get());
@@ -111,6 +122,7 @@ Journal::detachInode(uint64_t inode_id)
         if (page->inodeId == inode_id && _kloc && page->knode)
             _kloc->removeObject(page.get());
     }
+    tracer.emit(TraceEventType::JournalDetachEnd, inode_id);
 }
 
 void

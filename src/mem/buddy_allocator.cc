@@ -59,6 +59,10 @@ BuddyAllocator::alloc(unsigned order)
     while (avail > order) {
         --avail;
         insertFree(pfn + (1ULL << avail), avail);
+        if (_trace) {
+            _trace->emit(TraceEventType::BuddySplit, _traceTier,
+                         pfn + (1ULL << avail), avail);
+        }
     }
     _usedFrames += 1ULL << order;
     return pfn;
@@ -85,6 +89,9 @@ BuddyAllocator::free(Pfn pfn, unsigned order)
         removeFree(buddy, order);
         pfn = pfn < buddy ? pfn : buddy;
         ++order;
+        if (_trace)
+            _trace->emit(TraceEventType::BuddyCoalesce, _traceTier, pfn,
+                         order);
     }
     insertFree(pfn, order);
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "base/units.hh"
+#include "trace/trace.hh"
 
 namespace kloc {
 
@@ -51,12 +52,22 @@ class BuddyAllocator
     /** Verify internal consistency; panics on corruption (tests). */
     void validate() const;
 
+    /** Route split/coalesce events to @p tracer, tagged @p tier. */
+    void
+    setTrace(Tracer *tracer, int tier)
+    {
+        _trace = tracer;
+        _traceTier = tier;
+    }
+
   private:
     static constexpr uint8_t kNotFreeHead = 0xFF;
 
     void insertFree(Pfn pfn, unsigned order);
     void removeFree(Pfn pfn, unsigned order);
 
+    Tracer *_trace = nullptr;
+    int _traceTier = -1;
     uint64_t _totalFrames;
     uint64_t _usedFrames = 0;
     /** Per-order ordered sets of free block base pfns. */

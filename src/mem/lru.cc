@@ -48,6 +48,8 @@ LruEngine::onAccessed(Frame *frame)
         t.activeList().pushFront(frame);
         frame->onActiveList = true;
         frame->referenced = false;
+        _machine.tracer().emit(TraceEventType::LruActivate, frame->tier,
+                               frame->pfn);
     } else {
         frame->referenced = true;
     }
@@ -85,6 +87,8 @@ LruEngine::deactivate(Frame *frame)
         t.activeList().remove(frame);
         t.inactiveList().pushFront(frame);
         frame->onActiveList = false;
+        _machine.tracer().emit(TraceEventType::LruDeactivate, frame->tier,
+                               frame->pfn);
     }
 }
 
@@ -110,6 +114,8 @@ LruEngine::scanTier(TierId tier, uint64_t max_scan)
             t.activeList().remove(frame);
             t.inactiveList().pushFront(frame);
             frame->onActiveList = false;
+            _machine.tracer().emit(TraceEventType::LruDeactivate,
+                                   frame->tier, frame->pfn);
         }
     }
 
@@ -133,6 +139,8 @@ LruEngine::scanTier(TierId tier, uint64_t max_scan)
     }
 
     _totalScanned += result.scanned;
+    _machine.tracer().emit(TraceEventType::LruScan, tier, result.scanned,
+                           t.activeList().size(), t.inactiveList().size());
     // kswapd-style scans run on a dedicated thread; their cost leaks
     // into foreground time as background work.
     _machine.backgroundTraffic(

@@ -21,12 +21,15 @@ MigrationEngine::moveFrame(Frame *frame, TierId dst, Tick &copy_cost,
         return false;
     }
     const TierId src = frame->tier;
+    const Pfn src_pfn = frame->pfn;
     if (!_tiers.migrate(frame, dst)) {
         // TierManager::migrate fails on pin, damping, same-tier, or
         // destination exhaustion; only exhaustion is common here.
         ++_stats.failedNoSpace;
         return false;
     }
+    _machine.tracer().emit(TraceEventType::MigStart, src, src_pfn, dst,
+                           frame->pfn);
     _lru.onMigrated(frame, src);
     frame->scanMarks = 0;
     if (dst > src) {
@@ -34,6 +37,8 @@ MigrationEngine::moveFrame(Frame *frame, TierId dst, Tick &copy_cost,
         // before any policy promotes it again.
         _lru.deactivate(frame);
     }
+    _machine.tracer().emit(TraceEventType::MigComplete, dst, frame->pfn,
+                           frame->pages(), dst > src ? 1 : 0);
 
     const Bytes bytes = frame->bytes();
     copy_cost += _machine.memModel().rawCost(src, bytes, AccessType::Read,

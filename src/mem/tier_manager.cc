@@ -27,6 +27,7 @@ TierManager::addTier(const TierSpec &spec)
     KLOC_ASSERT(static_cast<size_t>(id) == _tiers.size(),
                 "tier id out of sync with memory model");
     _tiers.push_back(std::make_unique<Tier>(id, spec));
+    _tiers.back()->buddy().setTrace(&_machine.tracer(), id);
     return id;
 }
 
@@ -80,6 +81,8 @@ TierManager::alloc(unsigned order, ObjClass cls, bool relocatable,
 
         for (const auto &obs : _allocObservers)
             obs(frame);
+        _machine.tracer().emit(TraceEventType::FrameAlloc, tid, pfn, order,
+                               static_cast<uint64_t>(cls));
         return frame;
     }
     return nullptr;
@@ -95,6 +98,9 @@ TierManager::free(Frame *frame)
         obs(frame);
     KLOC_ASSERT(!frame->lruHook.linked(),
                 "freeing frame still on an LRU list");
+    _machine.tracer().emit(TraceEventType::FrameFree, frame->tier,
+                           frame->pfn, frame->order,
+                           static_cast<uint64_t>(frame->objClass));
 
     const Tick lifetime = _machine.now() - frame->allocTick;
     _lifetimes[static_cast<unsigned>(frame->objClass)]

@@ -18,6 +18,7 @@
 #include "sim/clock.hh"
 #include "sim/event_queue.hh"
 #include "sim/memory_model.hh"
+#include "trace/trace.hh"
 
 namespace kloc {
 
@@ -91,6 +92,10 @@ class Machine
     EventQueue &events() { return _events; }
     VirtualClock &clock() { return _clock; }
 
+    /** Event tracer every subsystem emits through (off by default). */
+    Tracer &tracer() { return _tracer; }
+    const Tracer &tracer() const { return _tracer; }
+
     // -- memory -----------------------------------------------------------
     MemoryModel &memModel() { return _memModel; }
     const MemoryModel &memModel() const { return _memModel; }
@@ -142,6 +147,7 @@ class Machine
     VirtualClock _clock;
     EventQueue _events;
     MemoryModel _memModel;
+    Tracer _tracer{_clock};
     unsigned _numCpus;
     unsigned _numSockets;
     unsigned _currentCpu = 0;

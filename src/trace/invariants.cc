@@ -1,0 +1,426 @@
+#include "trace/invariants.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "mem/frame.hh"
+
+namespace kloc {
+
+namespace {
+
+constexpr uint64_t kJournalClass =
+    static_cast<uint64_t>(ObjClass::Journal);
+
+} // namespace
+
+InvariantChecker::InvariantChecker(Tracer &tracer, bool strict)
+    : _tracer(tracer), _strict(strict)
+{
+    _listenerId = _tracer.addListener(
+        [this](const TraceEvent &event) { consume(event); });
+}
+
+InvariantChecker::~InvariantChecker()
+{
+    _tracer.removeListener(_listenerId);
+}
+
+void
+InvariantChecker::violation(const TraceEvent &event, const char *fmt, ...)
+{
+    char buf[256];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    char line[384];
+    std::snprintf(line, sizeof(line), "[seq %llu @%lld %s] %s",
+                  static_cast<unsigned long long>(event.seq),
+                  static_cast<long long>(event.tick),
+                  traceEventName(event.type), buf);
+    _violations.emplace_back(line);
+}
+
+InvariantChecker::FrameState &
+InvariantChecker::frameFor(uint64_t key, bool on_active_list)
+{
+    auto it = _frames.find(key);
+    if (it != _frames.end())
+        return it->second;
+    // First sighting without an alloc event: the checker attached
+    // mid-run. Adopt the frame with inferred state and stop trusting
+    // absolute list counts.
+    _sawAdoption = true;
+    FrameState state;
+    state.adopted = true;
+    state.active = on_active_list;
+    auto [pos, inserted] = _frames.emplace(key, state);
+    (void)inserted;
+    auto &tc = counts(traceKeyTier(key));
+    if (on_active_list)
+        ++tc.active;
+    else
+        ++tc.inactive;
+    return pos->second;
+}
+
+InvariantChecker::TierCounts &
+InvariantChecker::counts(int tier)
+{
+    if (tier < 0)
+        tier = 0;
+    if (static_cast<size_t>(tier) >= _tierCounts.size())
+        _tierCounts.resize(static_cast<size_t>(tier) + 1);
+    return _tierCounts[static_cast<size_t>(tier)];
+}
+
+void
+InvariantChecker::consume(const TraceEvent &event)
+{
+    ++_eventsChecked;
+    const uint64_t a = event.args[0];
+    const uint64_t b = event.args[1];
+    const uint64_t c = event.args[2];
+    const uint64_t d = event.args[3];
+
+    switch (event.type) {
+      case TraceEventType::FrameAlloc: {
+        const uint64_t key = traceFrameKey(static_cast<int>(a), b);
+        if (_frames.count(key)) {
+            violation(event, "alloc over live frame tier=%llu pfn=%llu",
+                      (unsigned long long)a, (unsigned long long)b);
+            break;
+        }
+        FrameState state;
+        state.cls = d;
+        _frames.emplace(key, state);
+        // Fresh frames enter the inactive LRU list.
+        ++counts(static_cast<int>(a)).inactive;
+        break;
+      }
+
+      case TraceEventType::FrameFree: {
+        const uint64_t key = traceFrameKey(static_cast<int>(a), b);
+        auto it = _frames.find(key);
+        if (it == _frames.end()) {
+            if (_strict) {
+                violation(event, "free of unknown frame tier=%llu pfn=%llu",
+                          (unsigned long long)a, (unsigned long long)b);
+            }
+            break;
+        }
+        FrameState &frame = it->second;
+        if (frame.trackedRefs > 0) {
+            violation(event,
+                      "frame tier=%llu pfn=%llu freed with %llu tracked "
+                      "knode objects still referencing it",
+                      (unsigned long long)a, (unsigned long long)b,
+                      (unsigned long long)frame.trackedRefs);
+        }
+        if (frame.inflightBios > 0) {
+            violation(event,
+                      "frame tier=%llu pfn=%llu freed with %llu bios in "
+                      "flight",
+                      (unsigned long long)a, (unsigned long long)b,
+                      (unsigned long long)frame.inflightBios);
+        }
+        if (frame.migrating) {
+            violation(event, "frame tier=%llu pfn=%llu freed mid-migration",
+                      (unsigned long long)a, (unsigned long long)b);
+        }
+        if (frame.cls == kJournalClass && _journalArmed &&
+            _journalWindows == 0) {
+            violation(event,
+                      "journal frame tier=%llu pfn=%llu freed outside a "
+                      "journal commit/detach window",
+                      (unsigned long long)a, (unsigned long long)b);
+        }
+        auto &tc = counts(static_cast<int>(a));
+        if (frame.active)
+            --tc.active;
+        else
+            --tc.inactive;
+        _frames.erase(it);
+        break;
+      }
+
+      case TraceEventType::BuddySplit:
+      case TraceEventType::BuddyCoalesce:
+        // Pure allocator bookkeeping; the buddy self-validates.
+        break;
+
+      case TraceEventType::LruActivate: {
+        FrameState &frame = frameFor(traceFrameKey(static_cast<int>(a), b),
+                                     false);
+        if (frame.active) {
+            violation(event, "activate of already-active frame tier=%llu "
+                      "pfn=%llu",
+                      (unsigned long long)a, (unsigned long long)b);
+            break;
+        }
+        frame.active = true;
+        auto &tc = counts(static_cast<int>(a));
+        ++tc.active;
+        --tc.inactive;
+        break;
+      }
+
+      case TraceEventType::LruDeactivate: {
+        FrameState &frame = frameFor(traceFrameKey(static_cast<int>(a), b),
+                                     true);
+        if (!frame.active) {
+            violation(event, "deactivate of inactive frame tier=%llu "
+                      "pfn=%llu",
+                      (unsigned long long)a, (unsigned long long)b);
+            break;
+        }
+        frame.active = false;
+        auto &tc = counts(static_cast<int>(a));
+        --tc.active;
+        ++tc.inactive;
+        break;
+      }
+
+      case TraceEventType::LruScan: {
+        if (_sawAdoption)
+            break;  // absolute counts unknown after a mid-run attach
+        const auto &tc = counts(static_cast<int>(a));
+        if (tc.active != static_cast<int64_t>(c) ||
+            tc.inactive != static_cast<int64_t>(d)) {
+            violation(event,
+                      "LRU count mismatch on tier %llu: model "
+                      "%lld/%lld vs scanned %llu/%llu (active/inactive)",
+                      (unsigned long long)a,
+                      (long long)tc.active, (long long)tc.inactive,
+                      (unsigned long long)c, (unsigned long long)d);
+        }
+        break;
+      }
+
+      case TraceEventType::MigStart: {
+        const uint64_t src_key = traceFrameKey(static_cast<int>(a), b);
+        const uint64_t dst_key = traceFrameKey(static_cast<int>(c), d);
+        FrameState frame = frameFor(src_key, false);
+        if (frame.inflightBios > 0) {
+            violation(event,
+                      "migration of frame tier=%llu pfn=%llu with %llu "
+                      "bios in flight",
+                      (unsigned long long)a, (unsigned long long)b,
+                      (unsigned long long)frame.inflightBios);
+        }
+        if (frame.migrating) {
+            violation(event, "nested migration of frame tier=%llu pfn=%llu",
+                      (unsigned long long)a, (unsigned long long)b);
+        }
+        _frames.erase(src_key);
+        if (_frames.count(dst_key)) {
+            violation(event, "migration lands on live frame tier=%llu "
+                      "pfn=%llu",
+                      (unsigned long long)c, (unsigned long long)d);
+            break;
+        }
+        // List membership follows the frame to the destination tier.
+        auto &from = counts(static_cast<int>(a));
+        auto &to = counts(static_cast<int>(c));
+        if (frame.active) {
+            --from.active;
+            ++to.active;
+        } else {
+            --from.inactive;
+            ++to.inactive;
+        }
+        frame.migrating = true;
+        _frames.emplace(dst_key, frame);
+        break;
+      }
+
+      case TraceEventType::MigComplete: {
+        const uint64_t key = traceFrameKey(static_cast<int>(a), b);
+        auto it = _frames.find(key);
+        if (it == _frames.end()) {
+            if (_strict) {
+                violation(event, "migration complete for unknown frame "
+                          "tier=%llu pfn=%llu",
+                          (unsigned long long)a, (unsigned long long)b);
+            }
+            break;
+        }
+        if (!it->second.migrating) {
+            violation(event, "migration complete without start for frame "
+                      "tier=%llu pfn=%llu",
+                      (unsigned long long)a, (unsigned long long)b);
+            break;
+        }
+        it->second.migrating = false;
+        break;
+      }
+
+      case TraceEventType::KnodeMap:
+        if (_knodes.count(a)) {
+            violation(event, "duplicate knode for inode %llu",
+                      (unsigned long long)a);
+            break;
+        }
+        _knodes.emplace(a, 0);
+        break;
+
+      case TraceEventType::KnodeUnmap: {
+        auto it = _knodes.find(a);
+        if (it == _knodes.end()) {
+            if (_strict) {
+                violation(event, "unmap of unknown knode inode=%llu",
+                          (unsigned long long)a);
+            }
+            break;
+        }
+        if (it->second > 0) {
+            violation(event, "knode inode=%llu unmapped with %llu live "
+                      "tracked objects",
+                      (unsigned long long)a,
+                      (unsigned long long)it->second);
+        }
+        _knodes.erase(it);
+        break;
+      }
+
+      case TraceEventType::KnodeActivate:
+      case TraceEventType::KnodeInactivate:
+        if (!_knodes.count(a)) {
+            if (_strict) {
+                violation(event, "hotness change on unknown knode "
+                          "inode=%llu", (unsigned long long)a);
+            } else {
+                _sawAdoption = true;
+                _knodes.emplace(a, 0);
+            }
+        }
+        break;
+
+      case TraceEventType::ObjTrack: {
+        auto it = _knodes.find(a);
+        if (it == _knodes.end()) {
+            if (_strict) {
+                violation(event, "object tracked under unknown knode "
+                          "inode=%llu", (unsigned long long)a);
+                break;
+            }
+            _sawAdoption = true;
+            it = _knodes.emplace(a, 0).first;
+        }
+        ++it->second;
+        FrameState &frame = frameFor(traceFrameKey(static_cast<int>(c), d),
+                                     false);
+        ++frame.trackedRefs;
+        break;
+      }
+
+      case TraceEventType::ObjUntrack: {
+        auto it = _knodes.find(a);
+        if (it == _knodes.end()) {
+            if (_strict) {
+                violation(event, "object untracked under unknown knode "
+                          "inode=%llu", (unsigned long long)a);
+            }
+        } else if (it->second > 0) {
+            --it->second;
+        } else if (_strict) {
+            violation(event, "object count underflow on knode inode=%llu",
+                      (unsigned long long)a);
+        }
+        const uint64_t key = traceFrameKey(static_cast<int>(c), d);
+        auto fit = _frames.find(key);
+        if (fit == _frames.end()) {
+            violation(event,
+                      "knode inode=%llu untracked an object whose frame "
+                      "tier=%llu pfn=%llu is already freed",
+                      (unsigned long long)a, (unsigned long long)c,
+                      (unsigned long long)d);
+            break;
+        }
+        FrameState &frame = fit->second;
+        if (frame.trackedRefs > 0) {
+            --frame.trackedRefs;
+        } else if (_strict && !frame.adopted) {
+            violation(event, "tracked-ref underflow on frame tier=%llu "
+                      "pfn=%llu",
+                      (unsigned long long)c, (unsigned long long)d);
+        }
+        if (frame.cls == kJournalClass && _journalArmed &&
+            _journalWindows == 0) {
+            violation(event,
+                      "journal object released outside a commit/detach "
+                      "window (inode=%llu)",
+                      (unsigned long long)a);
+        }
+        break;
+      }
+
+      case TraceEventType::JournalCommitStart:
+      case TraceEventType::JournalDetachStart:
+        _journalArmed = true;
+        ++_journalWindows;
+        break;
+
+      case TraceEventType::JournalCommitEnd:
+      case TraceEventType::JournalDetachEnd:
+        if (_journalWindows == 0) {
+            violation(event, "journal window close without open");
+            break;
+        }
+        --_journalWindows;
+        break;
+
+      case TraceEventType::BioSubmit: {
+        if (_bioFrames.count(a)) {
+            violation(event, "duplicate bio id %llu",
+                      (unsigned long long)a);
+            break;
+        }
+        FrameState &frame =
+            frameFor(b, false);
+        ++frame.inflightBios;
+        _bioFrames.emplace(a, b);
+        break;
+      }
+
+      case TraceEventType::BioComplete: {
+        auto it = _bioFrames.find(a);
+        if (it == _bioFrames.end()) {
+            if (_strict) {
+                violation(event, "completion of unknown bio %llu",
+                          (unsigned long long)a);
+            }
+            break;
+        }
+        auto fit = _frames.find(it->second);
+        if (fit != _frames.end() && fit->second.inflightBios > 0)
+            --fit->second.inflightBios;
+        _bioFrames.erase(it);
+        break;
+      }
+
+      case TraceEventType::NumTypes:
+        violation(event, "malformed event type");
+        break;
+    }
+}
+
+std::string
+InvariantChecker::report() const
+{
+    if (_violations.empty())
+        return "invariants: clean (" + std::to_string(_eventsChecked) +
+               " events checked)\n";
+    std::string out = "invariants: " + std::to_string(_violations.size()) +
+                      " violation(s) over " +
+                      std::to_string(_eventsChecked) + " events\n";
+    for (const std::string &v : _violations) {
+        out += "  ";
+        out += v;
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace kloc

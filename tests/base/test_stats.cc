@@ -79,6 +79,35 @@ TEST(Histogram, HugeValuesClampToLastBucket)
     EXPECT_EQ(hist.bucketCount(Histogram::kBuckets - 1), 1u);
 }
 
+TEST(Histogram, EdgeValuesPinExactBuckets)
+{
+    // Bucket index is the value's bit width: 64-bit-wide values get
+    // their own bucket 64 instead of folding into bucket 63 (which
+    // holds widths of 63, i.e. values up to 2^63 - 1).
+    Histogram hist;
+    hist.sample(0);                  // width 0  -> bucket 0
+    hist.sample(1);                  // width 1  -> bucket 1
+    hist.sample((1ULL << 63) - 1);   // width 63 -> bucket 63
+    hist.sample(1ULL << 63);         // width 64 -> bucket 64
+    hist.sample(~0ULL);              // width 64 -> bucket 64
+    EXPECT_EQ(hist.bucketCount(0), 1u);
+    EXPECT_EQ(hist.bucketCount(1), 1u);
+    EXPECT_EQ(hist.bucketCount(63), 1u);
+    EXPECT_EQ(hist.bucketCount(64), 2u);
+    EXPECT_EQ(hist.dist().count(), 5u);
+}
+
+TEST(Histogram, TopBucketPercentileDoesNotOverflow)
+{
+    Histogram hist;
+    for (int i = 0; i < 4; ++i)
+        hist.sample(~0ULL);
+    // All mass sits in bucket 64, whose upper bound is UINT64_MAX —
+    // not (1 << 64), which would be undefined.
+    EXPECT_EQ(hist.percentileUpperBound(0.5), ~0ULL);
+    EXPECT_EQ(hist.percentileUpperBound(1.0), ~0ULL);
+}
+
 TEST(StatSet, SetGetHas)
 {
     StatSet stats;

@@ -9,6 +9,10 @@
  *  - frames' owner back-pointers track their knode
  *  - metadata accounting never underflows
  *  - every frame is freed by the end (no leaks)
+ *
+ * The whole run also executes with tracing on and the trace-level
+ * InvariantChecker attached in strict mode, so the cross-subsystem
+ * ordering rules hold under random churn too.
  */
 
 #include <gtest/gtest.h>
@@ -22,6 +26,7 @@
 #include "fs/objects.hh"
 #include "mem/placement.hh"
 #include "sim/machine.hh"
+#include "trace/invariants.hh"
 
 namespace kloc {
 namespace {
@@ -56,6 +61,11 @@ TEST_P(KlocFuzz, InvariantsHoldUnderChurn)
     heap.setKlocInterface(true);
     kloc.setEnabled(true);
     kloc.setTierOrder({fast, slow});
+
+    // Trace every event of the run and check cross-subsystem
+    // invariants online. Strict: nothing was allocated yet.
+    machine.tracer().setEnabled(true);
+    InvariantChecker checker(machine.tracer(), /*strict=*/true);
 
     Rng rng(static_cast<uint64_t>(GetParam()));
     struct Shadow
@@ -172,6 +182,10 @@ TEST_P(KlocFuzz, InvariantsHoldUnderChurn)
     EXPECT_EQ(kloc.knodeCount(), 0u);
     // The only frames left are slab empty-pool retention.
     EXPECT_LE(tiers.liveFrames(), 3 * KmemCache::kEmptyRetention);
+
+    EXPECT_GT(checker.eventsChecked(), 0u);
+    EXPECT_TRUE(checker.clean()) << checker.report();
+    machine.tracer().setEnabled(false);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, KlocFuzz,

@@ -10,6 +10,7 @@
 #include "mem/lru.hh"
 #include "mem/migration.hh"
 #include "sim/machine.hh"
+#include "trace/invariants.hh"
 
 namespace kloc {
 namespace {
@@ -148,6 +149,56 @@ TEST_F(MigrationTest, ParallelismReducesChargedTime)
     const Tick serial = run_with(1);
     const Tick parallel = run_with(8);
     EXPECT_GT(serial, parallel * 6);
+}
+
+TEST_F(MigrationTest, DemotionOfActiveFrameStripsLruStanding)
+{
+    machine.tracer().setEnabled(true);
+    InvariantChecker checker(machine.tracer(), /*strict=*/true);
+
+    Frame *frame = tiers.alloc(0, ObjClass::PageCache, true, {fastId});
+    lru.onAccessed(frame);
+    lru.onAccessed(frame);  // second touch promotes to the active list
+    ASSERT_TRUE(frame->onActiveList);
+    ASSERT_EQ(lru.activeCount(fastId), 1u);
+
+    ASSERT_TRUE(migrator.migrateOne(frame, slowId));
+    // The demoted frame lands on the slow tier's inactive list: it
+    // must re-earn active standing through genuine reuse.
+    EXPECT_EQ(frame->tier, slowId);
+    EXPECT_FALSE(frame->onActiveList);
+    EXPECT_EQ(lru.activeCount(fastId), 0u);
+    EXPECT_EQ(lru.inactiveCount(fastId), 0u);
+    EXPECT_EQ(lru.activeCount(slowId), 0u);
+    EXPECT_EQ(lru.inactiveCount(slowId), 1u);
+
+    tiers.free(frame);
+    EXPECT_TRUE(checker.clean()) << checker.report();
+    EXPECT_GT(checker.eventsChecked(), 0u);
+}
+
+TEST_F(MigrationTest, PromotionOfActiveFramePreservesLruStanding)
+{
+    machine.tracer().setEnabled(true);
+    InvariantChecker checker(machine.tracer(), /*strict=*/true);
+
+    Frame *frame = tiers.alloc(0, ObjClass::PageCache, true, {slowId});
+    lru.onAccessed(frame);
+    lru.onAccessed(frame);
+    ASSERT_TRUE(frame->onActiveList);
+
+    ASSERT_TRUE(migrator.migrateOne(frame, fastId));
+    // Promotion keeps the earned standing on the destination tier.
+    EXPECT_EQ(frame->tier, fastId);
+    EXPECT_TRUE(frame->onActiveList);
+    EXPECT_EQ(lru.activeCount(fastId), 1u);
+    EXPECT_EQ(lru.activeCount(slowId), 0u);
+    EXPECT_EQ(lru.inactiveCount(slowId), 0u);
+
+    lru.deactivate(frame);  // strip standing so free is list-clean
+    EXPECT_EQ(lru.inactiveCount(fastId), 1u);
+    tiers.free(frame);
+    EXPECT_TRUE(checker.clean()) << checker.report();
 }
 
 TEST_F(MigrationTest, ResetStatsClears)

@@ -11,16 +11,23 @@
  * Strategies: all_fast all_slow naive nimble nimble++
  *             klocs_nomigration klocs
  * Optane modes: static autonuma nimble klocs
+ *
+ * All run commands also accept --trace FILE (dump the event trace)
+ * and --check (enforce cross-subsystem invariants; exit 2 on
+ * violation).
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "platform/optane.hh"
 #include "platform/two_tier.hh"
+#include "trace/invariants.hh"
 #include "workload/runner.hh"
 #include "workload/workload.hh"
 
@@ -39,6 +46,8 @@ struct Args
     Bytes fastGb = 8;
     bool hugePages = false;
     bool fullStats = false;
+    std::string tracePath;
+    bool check = false;
 };
 
 Args
@@ -72,6 +81,10 @@ parseArgs(int argc, char **argv, int first)
             args.hugePages = true;
         else if (flag == "--stats")
             args.fullStats = true;
+        else if (flag == "--trace")
+            args.tracePath = value();
+        else if (flag == "--check")
+            args.check = true;
         else
             fatal("unknown flag '%s'", flag.c_str());
     }
@@ -126,6 +139,51 @@ cmdList()
     return 0;
 }
 
+/**
+ * Turn on tracing (and the invariant checker) per --trace/--check.
+ * Called after platform construction, so the checker runs in its
+ * adopting mode for frames that predate the attach.
+ */
+std::unique_ptr<InvariantChecker>
+startTracing(System &sys, const Args &args)
+{
+    if (args.tracePath.empty() && !args.check)
+        return nullptr;
+    sys.machine().tracer().setEnabled(true);
+    if (!args.check)
+        return nullptr;
+    return std::make_unique<InvariantChecker>(sys.machine().tracer());
+}
+
+/**
+ * Stop tracing, dump the ring to --trace's file, and report checker
+ * results. @return 0, or 2 when invariants were violated.
+ */
+int
+finishTracing(System &sys, const Args &args,
+              std::unique_ptr<InvariantChecker> checker)
+{
+    Tracer &tracer = sys.machine().tracer();
+    if (!tracer.enabled())
+        return 0;
+    tracer.setEnabled(false);
+    if (!args.tracePath.empty()) {
+        std::ofstream out(args.tracePath,
+                          std::ios::binary | std::ios::trunc);
+        if (!out)
+            fatal("cannot write trace to '%s'", args.tracePath.c_str());
+        out << tracer.serialize();
+        std::printf("trace: %llu events (%llu dropped) -> %s\n",
+                    (unsigned long long)tracer.emitted(),
+                    (unsigned long long)tracer.dropped(),
+                    args.tracePath.c_str());
+    }
+    if (!checker)
+        return 0;
+    std::fputs(checker->report().c_str(), stdout);
+    return checker->clean() ? 0 : 2;
+}
+
 void
 printCommonStats(System &sys)
 {
@@ -168,6 +226,7 @@ cmdRun(const Args &args)
     System &sys = platform.sys();
     platform.applyStrategy(kind);
     sys.fs().startDaemons();
+    auto checker = startTracing(sys, args);
 
     WorkloadConfig wl_config;
     wl_config.scale = args.scale;
@@ -184,8 +243,9 @@ cmdRun(const Args &args)
     printCommonStats(sys);
     if (args.fullStats)
         std::fputs(sys.snapshot().toString().c_str(), stdout);
+    const int trace_rc = finishTracing(sys, args, std::move(checker));
     workload->teardown(sys);
-    return 0;
+    return trace_rc;
 }
 
 int
@@ -198,6 +258,7 @@ cmdOptane(const Args &args)
     platform.setInterference(true);
     platform.applyPolicy(parseMode(args.mode));
     sys.fs().startDaemons();
+    auto checker = startTracing(sys, args);
 
     WorkloadConfig wl_config;
     wl_config.scale = args.scale;
@@ -217,8 +278,9 @@ cmdOptane(const Args &args)
                 args.workload.c_str(), args.mode.c_str(),
                 result.throughput());
     printCommonStats(sys);
+    const int trace_rc = finishTracing(sys, args, std::move(checker));
     workload->teardown(sys);
-    return 0;
+    return trace_rc;
 }
 
 int
@@ -230,11 +292,13 @@ cmdCharacterize(const Args &args)
     System &sys = platform.sys();
     platform.applyStrategy(StrategyKind::Naive);
     sys.fs().startDaemons();
+    auto checker = startTracing(sys, args);
     WorkloadConfig wl_config;
     wl_config.scale = args.scale;
     wl_config.operations = args.ops;
     auto workload = makeWorkload(args.workload, wl_config);
     runMeasured(sys, *workload);
+    const int trace_rc = finishTracing(sys, args, std::move(checker));
     workload->teardown(sys);
 
     std::printf("%s characterization:\n", args.workload.c_str());
@@ -258,7 +322,7 @@ cmdCharacterize(const Args &args)
                     (unsigned long long)hist.dist().count());
     }
     printCommonStats(sys);
-    return 0;
+    return trace_rc;
 }
 
 } // namespace

@@ -28,4 +28,32 @@ cmp "$tracedir/a.trace" "$tracedir/b.trace" || {
     echo "FAIL: klocsim traces differ between identical runs" >&2
     exit 1
 }
-echo "check.sh: build, tests, and trace determinism all OK"
+
+# Same check with fault injection armed: injected faults, retries,
+# and recovery must land on the same virtual ticks in both runs.
+cat > "$tracedir/faults.txt" <<'EOF'
+seed 11
+device_write prob 0.02
+device_read prob 0.01
+device_timeout prob 0.005
+migration_no_space prob 0.1
+journal_commit_crash prob 0.1
+EOF
+run_faulted() {
+    "$BUILD_DIR"/tools/klocsim run --workload rocksdb --ops 2000 \
+        --scale 16 --fault-spec "$tracedir/faults.txt" \
+        --trace "$1" --check > "$1.out"
+}
+run_faulted "$tracedir/fa.trace"
+run_faulted "$tracedir/fb.trace"
+cmp "$tracedir/fa.trace" "$tracedir/fb.trace" || {
+    echo "FAIL: klocsim traces differ between identical faulted runs" >&2
+    exit 1
+}
+
+# The randomized fault fuzz must be invariant-clean on every seed.
+"$BUILD_DIR"/tests/test_fault --gtest_filter='Seeds/*' > /dev/null || {
+    echo "FAIL: fault fuzz reported invariant violations" >&2
+    exit 1
+}
+echo "check.sh: build, tests, trace and fault determinism all OK"

@@ -1,0 +1,207 @@
+#include "fault/fault.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace kloc {
+
+namespace {
+
+const char *const kSiteNames[kNumFaultSites] = {
+    "device_read",
+    "device_write",
+    "device_timeout",
+    "migration_no_space",
+    "journal_commit_crash",
+};
+
+/** Odd multiplier decorrelating per-site PRNG streams from one seed. */
+constexpr uint64_t kSiteSeedStride = 0x9E3779B97F4A7C15ULL;
+
+bool
+parseU64(const std::string &tok, uint64_t &out)
+{
+    if (tok.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(tok.c_str(), &end, 10);
+    return end && *end == '\0';
+}
+
+bool
+parseDouble(const std::string &tok, double &out)
+{
+    if (tok.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(tok.c_str(), &end);
+    return end && *end == '\0';
+}
+
+} // namespace
+
+const char *
+faultSiteName(FaultSite site)
+{
+    const auto index = static_cast<unsigned>(site);
+    return index < kNumFaultSites ? kSiteNames[index] : "unknown";
+}
+
+bool
+parseFaultSite(const std::string &name, FaultSite &out)
+{
+    for (unsigned i = 0; i < kNumFaultSites; ++i) {
+        if (name == kSiteNames[i]) {
+            out = static_cast<FaultSite>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+FaultSpec::armed() const
+{
+    if (!tierEvents.empty())
+        return true;
+    for (const FaultRule &rule : rules) {
+        if (rule.armed())
+            return true;
+    }
+    return false;
+}
+
+bool
+FaultSpec::parse(const std::string &text, FaultSpec &out, std::string *err)
+{
+    auto fail = [&](unsigned lineno, const std::string &why) {
+        if (err) {
+            *err = "fault spec line " + std::to_string(lineno) + ": " +
+                   why;
+        }
+        return false;
+    };
+
+    out = FaultSpec{};
+    std::istringstream in(text);
+    std::string line;
+    unsigned lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::istringstream fields(line);
+        std::vector<std::string> tok;
+        std::string word;
+        while (fields >> word) {
+            if (word[0] == '#')
+                break;
+            tok.push_back(word);
+        }
+        if (tok.empty())
+            continue;
+
+        if (tok[0] == "seed") {
+            if (tok.size() != 2 || !parseU64(tok[1], out.seed))
+                return fail(lineno, "expected 'seed <n>'");
+            continue;
+        }
+
+        if (tok[0] == "tier_offline" || tok[0] == "tier_online") {
+            // tier_offline at <tick> tier <id>
+            uint64_t tick = 0, tier = 0;
+            if (tok.size() != 5 || tok[1] != "at" || tok[3] != "tier" ||
+                !parseU64(tok[2], tick) || !parseU64(tok[4], tier)) {
+                return fail(lineno, "expected '" + tok[0] +
+                                    " at <tick> tier <id>'");
+            }
+            TierFaultEvent event;
+            event.at = static_cast<Tick>(tick);
+            event.tier = static_cast<TierId>(tier);
+            event.offline = tok[0] == "tier_offline";
+            out.tierEvents.push_back(event);
+            continue;
+        }
+
+        FaultSite site;
+        if (!parseFaultSite(tok[0], site))
+            return fail(lineno, "unknown fault site '" + tok[0] + "'");
+        if (tok.size() < 3)
+            return fail(lineno, "expected '<site> <mode> <value>'");
+
+        FaultRule rule;
+        if (tok[1] == "prob") {
+            rule.mode = FaultRule::Mode::Probability;
+            if (!parseDouble(tok[2], rule.probability) ||
+                rule.probability < 0.0 || rule.probability > 1.0) {
+                return fail(lineno, "prob needs a value in [0,1]");
+            }
+        } else if (tok[1] == "period") {
+            rule.mode = FaultRule::Mode::Period;
+            if (!parseU64(tok[2], rule.period) || rule.period == 0)
+                return fail(lineno, "period needs a positive count");
+        } else if (tok[1] == "oneshot") {
+            rule.mode = FaultRule::Mode::OneShot;
+            if (!parseU64(tok[2], rule.oneshot) || rule.oneshot == 0)
+                return fail(lineno, "oneshot needs a positive consult #");
+        } else {
+            return fail(lineno, "unknown mode '" + tok[1] + "'");
+        }
+
+        if (tok.size() == 5 && tok[3] == "max") {
+            if (!parseU64(tok[4], rule.maxFires) || rule.maxFires == 0)
+                return fail(lineno, "max needs a positive count");
+        } else if (tok.size() != 3) {
+            return fail(lineno, "trailing tokens (expected 'max <n>')");
+        }
+        out.rules[static_cast<unsigned>(site)] = rule;
+    }
+    return true;
+}
+
+void
+FaultInjector::configure(const FaultSpec &spec)
+{
+    _spec = spec;
+    _armed = spec.armed();
+    _totalFires = 0;
+    for (SiteStats &stats : _stats)
+        stats = SiteStats{};
+    _rngs.clear();
+    for (unsigned i = 0; i < kNumFaultSites; ++i)
+        _rngs.emplace_back(spec.seed + kSiteSeedStride * (i + 1));
+}
+
+bool
+FaultInjector::consult(FaultSite site)
+{
+    const auto index = static_cast<unsigned>(site);
+    SiteStats &stats = _stats[index];
+    ++stats.consults;
+    const FaultRule &rule = _spec.rules[index];
+
+    bool fire = false;
+    switch (rule.mode) {
+      case FaultRule::Mode::Never:
+        break;
+      case FaultRule::Mode::Probability:
+        // Always draw, so the per-site random sequence advances one
+        // step per consult regardless of the outcome or the cap.
+        fire = _rngs[index].nextBool(rule.probability);
+        break;
+      case FaultRule::Mode::Period:
+        fire = stats.consults % rule.period == 0;
+        break;
+      case FaultRule::Mode::OneShot:
+        fire = stats.consults == rule.oneshot;
+        break;
+    }
+    if (fire && stats.fires >= rule.maxFires)
+        fire = false;
+    if (fire) {
+        ++stats.fires;
+        ++_totalFires;
+        _tracer.emit(TraceEventType::FaultInject, index, stats.fires);
+    }
+    return fire;
+}
+
+} // namespace kloc

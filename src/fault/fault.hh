@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Deterministic fault injection for the simulator.
+ *
+ * A FaultInjector is consulted by subsystems at well-defined fault
+ * points (device I/O completion, migration target allocation, journal
+ * commit). Whether a consult fires is decided purely by the configured
+ * FaultSpec and a per-site seeded PRNG, never by host state, so two
+ * runs with the same seed and spec inject byte-identically — faults,
+ * retries, and recovery all land on the same virtual ticks and the
+ * serialized trace stays a golden-testable artifact.
+ *
+ * Rules come in three modes per site:
+ *   - prob P      every consult fires with probability P
+ *   - period N    every N-th consult fires
+ *   - oneshot N   exactly the N-th consult fires
+ * plus an optional `max M` cap on total fires. Tier offline/online
+ * events are scheduled at absolute virtual ticks rather than consults
+ * (they model an operator or a hot-unplug, not a per-request error).
+ */
+
+#ifndef KLOC_FAULT_FAULT_HH
+#define KLOC_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+#include "sim/memory_model.hh"
+#include "trace/trace.hh"
+
+namespace kloc {
+
+/** Every point in the stack that consults the injector. */
+enum class FaultSite : uint8_t {
+    DeviceRead = 0,     ///< block device read completes with error
+    DeviceWrite,        ///< block device write completes with error
+    DeviceTimeout,      ///< device stalls, request times out
+    MigrationNoSpace,   ///< target tier reports transient OOM
+    JournalCommitCrash, ///< crash during a journal commit
+    NumSites
+};
+
+inline constexpr unsigned kNumFaultSites =
+    static_cast<unsigned>(FaultSite::NumSites);
+
+/** Stable spec-file/trace name of @p site (e.g. "device_read"). */
+const char *faultSiteName(FaultSite site);
+
+/** @return false when @p name matches no site. */
+bool parseFaultSite(const std::string &name, FaultSite &out);
+
+/** When/how often one fault site fires. */
+struct FaultRule
+{
+    enum class Mode : uint8_t { Never, Probability, Period, OneShot };
+
+    Mode mode = Mode::Never;
+    double probability = 0.0;  ///< Probability mode: chance per consult
+    uint64_t period = 0;       ///< Period mode: every N-th consult
+    uint64_t oneshot = 0;      ///< OneShot mode: exactly this consult
+    uint64_t maxFires = UINT64_MAX;
+
+    bool armed() const { return mode != Mode::Never; }
+};
+
+/** A scheduled tier offline/online transition at a virtual tick. */
+struct TierFaultEvent
+{
+    Tick at = 0;
+    TierId tier = kInvalidTier;
+    bool offline = true;
+};
+
+/** Parsed fault specification (one rule per site + tier schedule). */
+struct FaultSpec
+{
+    FaultRule rules[kNumFaultSites];
+    std::vector<TierFaultEvent> tierEvents;
+    uint64_t seed = 1;
+
+    /** True when any rule or tier event is configured. */
+    bool armed() const;
+
+    /**
+     * Parse the text spec format (see docs/FAULTS.md):
+     *
+     *   # comment
+     *   seed 42
+     *   device_write prob 0.01 max 5
+     *   device_read period 50
+     *   journal_commit_crash oneshot 3
+     *   tier_offline at 5000000 tier 1
+     *   tier_online at 9000000 tier 1
+     *
+     * @return false on malformed input; @p err (if non-null) gets a
+     *         one-line description naming the offending line.
+     */
+    static bool parse(const std::string &text, FaultSpec &out,
+                      std::string *err = nullptr);
+};
+
+/**
+ * The machine-wide injector. Owned by Machine next to the Tracer;
+ * unconfigured it answers every consult with "no fault" at the cost
+ * of one predicted branch.
+ */
+class FaultInjector
+{
+  public:
+    struct SiteStats
+    {
+        uint64_t consults = 0;
+        uint64_t fires = 0;
+    };
+
+    explicit FaultInjector(Tracer &tracer) : _tracer(tracer) {}
+
+    /** Install @p spec and reseed; resets all consult/fire counters. */
+    void configure(const FaultSpec &spec);
+
+    /** Drop all rules and counters (back to never-fires). */
+    void clear() { configure(FaultSpec{}); }
+
+    bool armed() const { return _armed; }
+
+    const FaultSpec &spec() const { return _spec; }
+
+    /**
+     * Consult the injector at @p site. Deterministic in the consult
+     * sequence; emits a fault_inject trace event when it fires.
+     */
+    bool
+    shouldFire(FaultSite site)
+    {
+        if (__builtin_expect(!_armed, 1))
+            return false;
+        return consult(site);
+    }
+
+    const SiteStats &
+    siteStats(FaultSite site) const
+    {
+        return _stats[static_cast<unsigned>(site)];
+    }
+
+    uint64_t totalFires() const { return _totalFires; }
+
+  private:
+    bool consult(FaultSite site);
+
+    Tracer &_tracer;
+    FaultSpec _spec;
+    bool _armed = false;
+    std::vector<Rng> _rngs;  ///< one per site, independently seeded
+    SiteStats _stats[kNumFaultSites];
+    uint64_t _totalFires = 0;
+};
+
+} // namespace kloc
+
+#endif // KLOC_FAULT_FAULT_HH

@@ -34,7 +34,7 @@ BlockLayer::ctxForCpu(unsigned cpu)
     return slot.get();
 }
 
-void
+IoStatus
 BlockLayer::submit(Knode *knode, bool active, uint64_t sector, Bytes length,
                    bool write, bool foreground)
 {
@@ -48,12 +48,11 @@ BlockLayer::submit(Knode *knode, bool active, uint64_t sector, Bytes length,
     const uint64_t group = knode ? knode->id : 0;
     if (!_heap.allocBacking(*bio, active, group)) {
         // Memory exhaustion on the I/O path: fall back to charging
-        // the device cost without the bio bookkeeping.
-        if (foreground)
-            _device.submitForeground(sector, length);
-        else
-            _device.submitBackground(sector, length);
-        return;
+        // the device cost without the bio bookkeeping. Single
+        // attempt; there is no bio to park while backing off.
+        return foreground
+            ? _device.submitForeground(sector, length, write)
+            : _device.submitBackground(sector, length, write);
     }
     if (_kloc && knode)
         _kloc->addObject(knode, bio.get());
@@ -61,31 +60,59 @@ BlockLayer::submit(Knode *knode, bool active, uint64_t sector, Bytes length,
     _heap.touchObject(*bio, AccessType::Write);
     const uint64_t bio_id = ++_bioSeq;
     Frame *backing = bio->frame();
+    const uint64_t frame_key = traceFrameKey(backing->tier, backing->pfn);
     // The device charge below can dispatch async daemon work that
     // migrates frames; a frame with an in-flight bio must stay put
     // (the DMA targets its physical address), so pin it for the
-    // duration of the submission.
+    // duration of the submission — including every retry backoff,
+    // which also advances the clock.
     ++backing->pinCount;
-    machine.tracer().emit(TraceEventType::BioSubmit, bio_id,
-                          traceFrameKey(backing->tier, backing->pfn),
+    machine.tracer().emit(TraceEventType::FramePin, backing->tier,
+                          backing->pfn);
+    machine.tracer().emit(TraceEventType::BioSubmit, bio_id, frame_key,
                           sector, write ? 1 : 0);
     BlkMqCtx *ctx = ctxForCpu(machine.currentCpu());
     _heap.touchObject(*ctx, AccessType::Write);
     ++ctx->dispatched;
     machine.cpuWork(kDispatchCost);
 
-    if (foreground)
-        _device.submitForeground(sector, length);
-    else
-        _device.submitBackground(sector, length);
+    IoStatus status = IoStatus::Ok;
+    for (unsigned attempt = 0; ; ++attempt) {
+        status = foreground
+            ? _device.submitForeground(sector, length, write)
+            : _device.submitBackground(sector, length, write);
+        if (status == IoStatus::Ok || attempt >= kMaxRetries)
+            break;
+        // Transient failure: park the bio for an exponentially
+        // growing delay, then resubmit. Foreground callers eat the
+        // whole delay; background requeues overlap like any other
+        // async work.
+        const Tick backoff = kRetryBackoffBase << attempt;
+        ++_bioRetries;
+        machine.tracer().emit(TraceEventType::BioRetry, bio_id,
+                              attempt + 1, static_cast<uint64_t>(backoff));
+        if (foreground)
+            machine.charge(backoff);
+        else
+            machine.backgroundTraffic(backoff);
+    }
+    if (status != IoStatus::Ok) {
+        ++_bioErrors;
+        machine.tracer().emit(TraceEventType::BioError, bio_id,
+                              kMaxRetries + 1);
+    }
 
-    // Completion: bio is freed.
+    // Completion (success or retry exhaustion): the pin is released
+    // and the bio freed on every path.
     machine.tracer().emit(TraceEventType::BioComplete, bio_id);
+    machine.tracer().emit(TraceEventType::FrameUnpin, backing->tier,
+                          backing->pfn);
     --backing->pinCount;
     if (_kloc && bio->knode)
         _kloc->removeObject(bio.get());
     _heap.freeBacking(*bio);
     ++_bios;
+    return status;
 }
 
 } // namespace kloc

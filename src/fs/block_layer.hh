@@ -29,21 +29,32 @@ class BlockLayer
     /** CPU cost of the submit_bio -> blk_mq dispatch path. */
     static constexpr Tick kDispatchCost = 600;
 
+    /** Retries after the first failed attempt before giving up. */
+    static constexpr unsigned kMaxRetries = 4;
+
+    /** First retry delay; doubles per attempt (bounded by kMaxRetries). */
+    static constexpr Tick kRetryBackoffBase = 100 * kMicrosecond;
+
     BlockLayer(KernelHeap &heap, KlocManager *kloc, BlockDevice &device);
     ~BlockLayer();
 
     /**
-     * Submit one I/O.
+     * Submit one I/O. Transient device errors and timeouts are
+     * retried with exponential backoff; the returned status is the
+     * final outcome after retries are exhausted.
+     *
      * @param knode      Owning KLOC for object tracking (may be null).
      * @param active     Hotness hint for placement.
      * @param foreground Caller blocks on completion (reads/fsync).
      */
-    void submit(Knode *knode, bool active, uint64_t sector, Bytes length,
-                bool write, bool foreground);
+    IoStatus submit(Knode *knode, bool active, uint64_t sector,
+                    Bytes length, bool write, bool foreground);
 
     BlockDevice &device() { return _device; }
 
     uint64_t biosSubmitted() const { return _bios; }
+    uint64_t bioRetries() const { return _bioRetries; }
+    uint64_t bioErrors() const { return _bioErrors; }
 
   private:
     BlkMqCtx *ctxForCpu(unsigned cpu);
@@ -55,6 +66,8 @@ class BlockLayer
     std::vector<std::unique_ptr<BlkMqCtx>> _ctxs;
     uint64_t _bios = 0;
     uint64_t _bioSeq = 0;  ///< stable per-layer bio ids for tracing
+    uint64_t _bioRetries = 0;
+    uint64_t _bioErrors = 0;  ///< bios failed after retry exhaustion
 };
 
 } // namespace kloc

@@ -7,6 +7,12 @@
  * per submission against the last accessed sector. Device work can
  * be charged as foreground (a read the caller blocks on) or
  * background (writeback and journal commits).
+ *
+ * The device consults the machine's FaultInjector per submission:
+ * a request can complete with a transient media error (charged the
+ * access latency spent discovering it) or time out (charged the
+ * full timeout window). Callers — the block layer — decide whether
+ * and how to retry.
  */
 
 #ifndef KLOC_FS_DEVICE_HH
@@ -18,6 +24,13 @@
 
 namespace kloc {
 
+/** How one device submission completed. */
+enum class IoStatus : uint8_t {
+    Ok = 0,
+    Error,     ///< transient media error (retryable)
+    Timeout,   ///< request timed out (retryable)
+};
+
 /** Block device timing model. */
 class BlockDevice
 {
@@ -28,6 +41,9 @@ class BlockDevice
         Bytes randBandwidth = 412 * kMiB;  ///< random B/s
         Tick accessLatency = 80 * kMicrosecond;
         Bytes capacity = 512 * kGiB;
+        /** Wall time burned before a stalled request is declared
+         *  timed out (NVMe-ish multi-ms watchdog). */
+        Tick timeoutLatency = 4 * kMillisecond;
     };
 
     BlockDevice(Machine &machine, const Config &config)
@@ -51,30 +67,79 @@ class BlockDevice
     }
 
     /** Charge a transfer the caller blocks on (cold read, fsync). */
-    void
-    submitForeground(uint64_t sector, Bytes bytes)
+    IoStatus
+    submitForeground(uint64_t sector, Bytes bytes, bool write = false)
     {
-        _machine.charge(transferCost(sector, bytes));
+        const IoStatus status = completionStatus(write);
+        _machine.charge(faultAdjustedCost(status, sector, bytes));
+        return status;
     }
 
     /** Charge an asynchronous transfer (writeback, journal flush). */
-    void
-    submitBackground(uint64_t sector, Bytes bytes)
+    IoStatus
+    submitBackground(uint64_t sector, Bytes bytes, bool write = false)
     {
-        _machine.backgroundTraffic(transferCost(sector, bytes));
+        const IoStatus status = completionStatus(write);
+        _machine.backgroundTraffic(
+            faultAdjustedCost(status, sector, bytes));
+        return status;
     }
 
     uint64_t requests() const { return _requests; }
     Bytes bytesTransferred() const { return _bytesTransferred; }
+    uint64_t ioErrors() const { return _ioErrors; }
+    uint64_t timeouts() const { return _timeouts; }
 
     static constexpr Bytes kSectorSize = 512;
 
   private:
+    /** Consult the injector for this submission's completion mode. */
+    IoStatus
+    completionStatus(bool write)
+    {
+        FaultInjector &faults = _machine.faults();
+        if (faults.shouldFire(FaultSite::DeviceTimeout)) {
+            ++_timeouts;
+            return IoStatus::Timeout;
+        }
+        const FaultSite site =
+            write ? FaultSite::DeviceWrite : FaultSite::DeviceRead;
+        if (faults.shouldFire(site)) {
+            ++_ioErrors;
+            return IoStatus::Error;
+        }
+        return IoStatus::Ok;
+    }
+
+    /**
+     * Time a submission occupies the caller. Errors surface after the
+     * access latency (the controller reports them fast); timeouts eat
+     * the whole watchdog window. Neither moves data, so the
+     * sequentiality cursor and byte counters only advance on Ok.
+     */
+    Tick
+    faultAdjustedCost(IoStatus status, uint64_t sector, Bytes bytes)
+    {
+        switch (status) {
+          case IoStatus::Ok:
+            return transferCost(sector, bytes);
+          case IoStatus::Error:
+            ++_requests;
+            return _config.accessLatency;
+          case IoStatus::Timeout:
+            ++_requests;
+            return _config.timeoutLatency;
+        }
+        return 0;
+    }
+
     Machine &_machine;
     Config _config;
     uint64_t _nextSector = 0;
     uint64_t _requests = 0;
     Bytes _bytesTransferred = 0;
+    uint64_t _ioErrors = 0;
+    uint64_t _timeouts = 0;
 };
 
 } // namespace kloc

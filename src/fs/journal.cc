@@ -64,33 +64,8 @@ Journal::logMetadata(Knode *knode, bool active, uint64_t inode_id,
 }
 
 void
-Journal::commit(bool foreground)
+Journal::releaseTransaction()
 {
-    if (_records.empty() && _pages.empty())
-        return;
-    // Charging time below dispatches async events, which can include
-    // our own commit timer: guard against re-entering mid-iteration.
-    if (_committing)
-        return;
-    _committing = true;
-    Tracer &tracer = _heap.mem().machine().tracer();
-    tracer.emit(TraceEventType::JournalCommitStart, _txId, _records.size(),
-                _pages.size(), foreground ? 1 : 0);
-
-    // Write the transaction's buffer pages to the journal area.
-    // Journal writes are sequential by construction, so they batch
-    // into large bios (jbd2 submits whole descriptor blocks).
-    constexpr size_t batch_pages = 128;
-    for (size_t i = 0; i < _pages.size(); i += batch_pages) {
-        const size_t run = std::min(batch_pages, _pages.size() - i);
-        for (size_t j = i; j < i + run; ++j)
-            _heap.touchObject(*_pages[j], AccessType::Read);
-        _block.submit(nullptr, false, _journalSector, run * kPageSize,
-                      /*write=*/true, foreground);
-        _journalSector += run * kPageSize / BlockDevice::kSectorSize;
-    }
-
-    // Transaction done: free every record and page.
     for (auto &rec : _records) {
         if (_kloc && rec->knode)
             _kloc->removeObject(rec.get());
@@ -103,10 +78,144 @@ Journal::commit(bool foreground)
     }
     _records.clear();
     _pages.clear();
+}
+
+void
+Journal::commit(bool foreground)
+{
+    // Charging time below dispatches async events, which can include
+    // our own commit timer: guard against re-entering mid-iteration.
+    if (_committing)
+        return;
+    if (_crashed) {
+        // Write-ahead contract: the crashed transaction must replay
+        // before anything newer commits.
+        _committing = true;
+        recover(foreground);
+        _committing = false;
+        return;
+    }
+    if (_records.empty() && _pages.empty())
+        return;
+    _committing = true;
+    Machine &machine = _heap.mem().machine();
+    Tracer &tracer = machine.tracer();
+    FaultInjector &faults = machine.faults();
+    const uint64_t tx_start = _journalSector;
+    tracer.emit(TraceEventType::JournalCommitStart, _txId, _records.size(),
+                _pages.size(), foreground ? 1 : 0);
+
+    // A crash freezes the transaction where it stands: records and
+    // pages stay queued, the cursor rewinds to the transaction start,
+    // and the next commit() replays the whole thing.
+    auto crash = [&](uint64_t pages_written) {
+        tracer.emit(TraceEventType::JournalCrash, _txId, pages_written);
+        _crashed = true;
+        _crashedTx = _txId;
+        ++_crashes;
+        _journalSector = tx_start;
+        _committing = false;
+    };
+
+    // Crash point 1: after the transaction is sealed, before any
+    // journal write reaches the device.
+    if (faults.shouldFire(FaultSite::JournalCommitCrash)) {
+        crash(0);
+        return;
+    }
+
+    // Write the transaction's buffer pages to the journal area.
+    // Journal writes are sequential by construction, so they batch
+    // into large bios (jbd2 submits whole descriptor blocks).
+    constexpr size_t batch_pages = 128;
+    uint64_t pages_written = 0;
+    for (size_t i = 0; i < _pages.size(); i += batch_pages) {
+        const size_t run = std::min(batch_pages, _pages.size() - i);
+        for (size_t j = i; j < i + run; ++j)
+            _heap.touchObject(*_pages[j], AccessType::Read);
+        const IoStatus status =
+            _block.submit(nullptr, false, _journalSector, run * kPageSize,
+                          /*write=*/true, foreground);
+        if (status != IoStatus::Ok) {
+            // The journal area write never made it even after the
+            // block layer's retries: abort this commit, rewind the
+            // cursor, and keep the transaction queued for the next
+            // attempt.
+            tracer.emit(TraceEventType::JournalCommitAbort, _txId);
+            ++_commitAborts;
+            _journalSector = tx_start;
+            _committing = false;
+            return;
+        }
+        _journalSector += run * kPageSize / BlockDevice::kSectorSize;
+        pages_written += run;
+        // Crash point 2: between journal batch writes.
+        if (faults.shouldFire(FaultSite::JournalCommitCrash)) {
+            crash(pages_written);
+            return;
+        }
+    }
+
+    // Crash point 3: pages durable, but the commit record (the free
+    // of the in-memory transaction) never happens.
+    if (faults.shouldFire(FaultSite::JournalCommitCrash)) {
+        crash(pages_written);
+        return;
+    }
+
+    // Transaction done: free every record and page.
+    releaseTransaction();
     tracer.emit(TraceEventType::JournalCommitEnd, _txId);
     ++_txId;
     ++_committedTxs;
     _committing = false;
+}
+
+bool
+Journal::recover(bool foreground)
+{
+    Tracer &tracer = _heap.mem().machine().tracer();
+    tracer.emit(TraceEventType::JournalReplayStart, _crashedTx,
+                _records.size(), _pages.size());
+
+    // Rewrite the whole transaction from its start sector (the crash
+    // rewound the cursor there). Replay consults no crash points —
+    // the injected crash already happened; recovery is the part we
+    // are proving correct.
+    const uint64_t replay_start = _journalSector;
+    constexpr size_t batch_pages = 128;
+    bool ok = true;
+    for (size_t i = 0; i < _pages.size(); i += batch_pages) {
+        const size_t run = std::min(batch_pages, _pages.size() - i);
+        for (size_t j = i; j < i + run; ++j)
+            _heap.touchObject(*_pages[j], AccessType::Read);
+        const IoStatus status =
+            _block.submit(nullptr, false, _journalSector, run * kPageSize,
+                          /*write=*/true, foreground);
+        if (status != IoStatus::Ok) {
+            ok = false;
+            break;
+        }
+        _journalSector += run * kPageSize / BlockDevice::kSectorSize;
+    }
+    if (!ok) {
+        // Device still failing: stay crashed, retry at the next
+        // commit. Nothing was freed, so no update is lost.
+        _journalSector = replay_start;
+        tracer.emit(TraceEventType::JournalReplayEnd, _crashedTx, 0);
+        return false;
+    }
+
+    // Replayed durably: release the transaction inside the replay
+    // window and resume normal numbering after the recovered tx.
+    releaseTransaction();
+    tracer.emit(TraceEventType::JournalReplayEnd, _crashedTx, 1);
+    ++_committedTxs;
+    ++_recoveredTxs;
+    _txId = _crashedTx + 1;
+    _crashed = false;
+    _pendingMetaBytes = 0;
+    return true;
 }
 
 void

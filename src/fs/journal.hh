@@ -8,6 +8,15 @@
  * on-disk journal area sequentially and frees all records — making
  * journal objects some of the shortest-lived kernel objects the
  * paper measures.
+ *
+ * Commit can fail two ways. A write error that survives the block
+ * layer's retries aborts the commit: the journal cursor rewinds to
+ * the transaction's start and the records stay queued for the next
+ * commit attempt. A crash (injected at the JournalCommitCrash fault
+ * site, before/between/after the page writes) freezes the
+ * transaction; the next commit() call replays it from the start of
+ * its journal area before any new transaction may commit — the
+ * write-ahead contract.
  */
 
 #ifndef KLOC_FS_JOURNAL_HH
@@ -64,8 +73,20 @@ class Journal
     uint64_t committedTxs() const { return _committedTxs; }
     uint64_t liveRecords() const { return _records.size(); }
 
+    /** True between a crash and its successful replay. */
+    bool crashed() const { return _crashed; }
+    uint64_t crashes() const { return _crashes; }
+    uint64_t recoveredTxs() const { return _recoveredTxs; }
+    uint64_t commitAborts() const { return _commitAborts; }
+
   private:
     void timerTick(Tick period);
+
+    /** Replay the crashed transaction. @return true on success. */
+    bool recover(bool foreground);
+
+    /** Free every queued record and page (transaction complete). */
+    void releaseTransaction();
 
     KernelHeap &_heap;
     KlocManager *_kloc;
@@ -79,6 +100,11 @@ class Journal
     uint64_t _committedTxs = 0;
     bool _timerRunning = false;
     bool _committing = false;
+    bool _crashed = false;
+    uint64_t _crashedTx = 0;
+    uint64_t _crashes = 0;
+    uint64_t _recoveredTxs = 0;
+    uint64_t _commitAborts = 0;
     /** Liveness token for the commit-timer lambdas. */
     std::shared_ptr<int> _alive = std::make_shared<int>(0);
 };

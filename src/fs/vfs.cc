@@ -410,16 +410,22 @@ FileSystem::read(int fd, Bytes offset, Bytes length, char *buf)
             }
             // Cold read from the device through the extent map.
             chargeExtentLookup(*info, index);
-            _blockLayer->submit(info->knode,
-                                info->knode && info->knode->inuse,
-                                sectorFor(info->inode->inodeId, index),
-                                kPageSize, false, true);
+            const IoStatus status =
+                _blockLayer->submit(info->knode,
+                                    info->knode && info->knode->inuse,
+                                    sectorFor(info->inode->inodeId,
+                                              index),
+                                    kPageSize, false, true);
+            if (status != IoStatus::Ok)
+                ++_stats.readErrors;
             if (!page) {
                 ++_stats.cacheBypasses;
                 read_bytes += chunk;
                 continue;
             }
-            page->uptodate = true;
+            // A failed read leaves the page !uptodate: the next read
+            // of this index misses again and retries the device.
+            page->uptodate = status == IoStatus::Ok;
         }
         _heap.mem().touch(page->frame(), chunk, AccessType::Read);
         if (_kloc && info->knode)
@@ -454,16 +460,19 @@ FileSystem::issueReadahead(InodeInfo &info, uint64_t next_index)
         PageCachePage *page = info.cache->insertNew(index, active);
         if (!page)
             break;  // no memory: stop prefetching
-        page->uptodate = true;
         touchGlobalLru(page);
-        _blockLayer->submit(info.knode, active,
-                            sectorFor(info.inode->inodeId, index),
-                            kPageSize, false, /*foreground=*/false);
+        const IoStatus status =
+            _blockLayer->submit(info.knode, active,
+                                sectorFor(info.inode->inodeId, index),
+                                kPageSize, false, /*foreground=*/false);
+        // A failed prefetch leaves the page !uptodate; a later real
+        // read of it misses and retries as a foreground read.
+        page->uptodate = status == IoStatus::Ok;
         ++_stats.readaheadPages;
     }
 }
 
-void
+uint64_t
 FileSystem::writebackInode(InodeInfo &info, unsigned max_pages,
                            bool foreground)
 {
@@ -471,6 +480,7 @@ FileSystem::writebackInode(InodeInfo &info, unsigned max_pages,
     // writeback code building multi-page requests — the device sees
     // sequential bandwidth, not per-page latency.
     auto dirty = info.cache->dirtyPages(0, max_pages);
+    uint64_t written = 0;
     size_t i = 0;
     while (i < dirty.size()) {
         size_t run = 1;
@@ -480,23 +490,38 @@ FileSystem::writebackInode(InodeInfo &info, unsigned max_pages,
                run < 128) {
             ++run;
         }
+        // Clear dirty before submitting (like PG_dirty) so a
+        // re-entrant writeback triggered by the device charge does
+        // not pick the same run up again.
         for (size_t j = i; j < i + run; ++j) {
             _heap.mem().touch(dirty[j]->frame(), kPageSize,
                               AccessType::Read);
             info.cache->clearDirty(dirty[j]);
-            ++_stats.writebackPages;
         }
-        _blockLayer->submit(info.knode,
-                            info.knode && info.knode->inuse,
-                            sectorFor(info.inode->inodeId,
-                                      dirty[i]->pageIndex),
-                            run * kPageSize, true, foreground);
+        const IoStatus status =
+            _blockLayer->submit(info.knode,
+                                info.knode && info.knode->inuse,
+                                sectorFor(info.inode->inodeId,
+                                          dirty[i]->pageIndex),
+                                run * kPageSize, true, foreground);
+        if (status == IoStatus::Ok) {
+            _stats.writebackPages += run;
+            written += run;
+        } else {
+            // The run never reached the device even after the block
+            // layer's retries: the pages are still dirty data. Redirty
+            // them so nothing is lost and a later pass tries again.
+            ++_stats.writebackErrors;
+            for (size_t j = i; j < i + run; ++j)
+                info.cache->markDirty(dirty[j]);
+        }
         i += run;
     }
     if (info.cache->dirtyCount() == 0 && info.onDirtyList) {
         _dirtyInodes.erase(info.inode->inodeId);
         info.onDirtyList = false;
     }
+    return written;
 }
 
 void
@@ -508,8 +533,12 @@ FileSystem::fsync(int fd)
     if (!info)
         return;
     markActive(*info);
-    while (info->cache->dirtyCount() > 0)
-        writebackInode(*info, _config.writebackBatch, true);
+    // Bounded by progress: a device that keeps failing leaves the
+    // pages dirty, and looping on them forever would hang the sim.
+    while (info->cache->dirtyCount() > 0) {
+        if (writebackInode(*info, _config.writebackBatch, true) == 0)
+            break;
+    }
     _journal->commit(/*foreground=*/true);
 }
 
@@ -679,8 +708,11 @@ FileSystem::syncAll()
         InodeInfo *info = infoForId(id);
         if (!info)
             continue;
-        while (info->cache->dirtyCount() > 0)
-            writebackInode(*info, _config.writebackBatch, true);
+        // Progress-bounded for the same reason as fsync().
+        while (info->cache->dirtyCount() > 0) {
+            if (writebackInode(*info, _config.writebackBatch, true) == 0)
+                break;
+        }
     }
     _journal->commit(true);
 }
@@ -703,12 +735,19 @@ FileSystem::reclaimPages(uint64_t target)
             PageCache *cache = page->owner;
             _heap.mem().touch(page->frame(), kPageSize,
                               AccessType::Read);
-            _blockLayer->submit(cache->knode(), false,
-                                sectorFor(page->inodeId,
-                                          page->pageIndex),
-                                kPageSize, true, false);
-            cache->clearDirty(page);
-            ++_stats.writebackPages;
+            const IoStatus status =
+                _blockLayer->submit(cache->knode(), false,
+                                    sectorFor(page->inodeId,
+                                              page->pageIndex),
+                                    kPageSize, true, false);
+            if (status == IoStatus::Ok) {
+                cache->clearDirty(page);
+                ++_stats.writebackPages;
+            } else {
+                // Still dirty: not reclaimable. Rotate it away so the
+                // scan moves on instead of spinning on this page.
+                ++_stats.writebackErrors;
+            }
             _globalLru.moveToFront(page);
             continue;
         }

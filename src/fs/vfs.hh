@@ -43,6 +43,8 @@ struct FsStats
     uint64_t reclaimedPages = 0;
     uint64_t writebackPages = 0;
     uint64_t cacheBypasses = 0;   ///< allocation failed even after reclaim
+    uint64_t readErrors = 0;      ///< reads whose device I/O never succeeded
+    uint64_t writebackErrors = 0; ///< writeback runs abandoned after retries
 };
 
 /** The simulated filesystem. */
@@ -191,8 +193,10 @@ class FileSystem
     void ensureExtents(InodeInfo &info, uint64_t last_page);
     void chargeExtentLookup(InodeInfo &info, uint64_t page_index);
     void issueReadahead(InodeInfo &info, uint64_t next_index);
-    void writebackInode(InodeInfo &info, unsigned max_pages,
-                        bool foreground);
+    /** @return pages successfully written back (failed runs stay
+     *  dirty, so callers can detect lack of progress). */
+    uint64_t writebackInode(InodeInfo &info, unsigned max_pages,
+                            bool foreground);
     void writebackTick();
     Dentry *lookupDentry(const std::string &name);
     Dentry *insertDentry(const std::string &name, uint64_t inode_id,

@@ -75,7 +75,14 @@ class KernelHeap
     void
     touchObject(KernelObject &obj, AccessType type)
     {
-        _mem.touch(obj.frame(), obj.size(), type);
+        // Objects can legitimately lose the race for backing under
+        // memory exhaustion (e.g. a tier offlined while the rest is
+        // full); callers keep using them and the access is simply
+        // uncharged rather than a null dereference.
+        Frame *frame = obj.frame();
+        if (frame == nullptr)
+            return;
+        _mem.touch(frame, obj.size(), type);
     }
 
     /** Allocate one application page. */

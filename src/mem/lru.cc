@@ -92,6 +92,18 @@ LruEngine::deactivate(Frame *frame)
     }
 }
 
+void
+LruEngine::requeue(Frame *frame)
+{
+    if (!frame->lruHook.linked())
+        return;
+    Tier &t = _tiers.tier(frame->tier);
+    if (frame->onActiveList)
+        t.activeList().moveToFront(frame);
+    else
+        t.inactiveList().moveToFront(frame);
+}
+
 ScanResult
 LruEngine::scanTier(TierId tier, uint64_t max_scan)
 {

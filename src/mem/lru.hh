@@ -62,6 +62,13 @@ class LruEngine
     void deactivate(Frame *frame);
 
     /**
+     * Rotate @p frame to the hot end of whichever list it is on —
+     * used when a migration is abandoned so the same cold frame is
+     * not immediately re-picked by the next scan.
+     */
+    void requeue(Frame *frame);
+
+    /**
      * Age @p tier's lists, visiting at most @p max_scan frames, and
      * return cold demotion candidates. Charges scan cost.
      */

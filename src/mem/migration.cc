@@ -11,23 +11,44 @@ MigrationEngine::setParallelism(unsigned width)
     _parallelism = width;
 }
 
-bool
+MigrateResult
 MigrationEngine::moveFrame(Frame *frame, TierId dst, Tick &copy_cost,
                            Tick &fixed_cost)
 {
     ++_stats.attempts;
-    if (!frame->relocatable) {
-        ++_stats.failedNotRelocatable;
-        return false;
-    }
     const TierId src = frame->tier;
     const Pfn src_pfn = frame->pfn;
-    if (!_tiers.migrate(frame, dst)) {
-        // TierManager::migrate fails on pin, damping, same-tier, or
-        // destination exhaustion; only exhaustion is common here.
-        ++_stats.failedNoSpace;
-        return false;
+
+    MigrateResult result;
+    if (_machine.faults().shouldFire(FaultSite::MigrationNoSpace)) {
+        // Injected transient exhaustion: the destination allocator
+        // reports no frames even though space may exist.
+        result = MigrateResult::NoSpace;
+    } else {
+        result = _tiers.migrateEx(frame, dst);
     }
+    switch (result) {
+      case MigrateResult::Ok:
+        break;
+      case MigrateResult::NotRelocatable:
+        ++_stats.failedNotRelocatable;
+        return result;
+      case MigrateResult::Pinned:
+        ++_stats.failedPinned;
+        return result;
+      case MigrateResult::Damped:
+        ++_stats.failedDamped;
+        return result;
+      case MigrateResult::SameTier:
+        return result;
+      case MigrateResult::Offline:
+        ++_stats.failedOffline;
+        return result;
+      case MigrateResult::NoSpace:
+        // Counted once, at abandonment, by moveWithRetry.
+        return result;
+    }
+
     _machine.tracer().emit(TraceEventType::MigStart, src, src_pfn, dst,
                            frame->pfn);
     _lru.onMigrated(frame, src);
@@ -54,7 +75,50 @@ MigrationEngine::moveFrame(Frame *frame, TierId dst, Tick &copy_cost,
         _stats.demotedPages += frame->pages();
     else
         _stats.promotedPages += frame->pages();
-    return true;
+    return result;
+}
+
+bool
+MigrationEngine::moveWithRetry(const FrameRef &ref, TierId dst,
+                               Tick &copy_cost, Tick &fixed_cost,
+                               bool &fail_fast)
+{
+    for (unsigned attempt = 0; ; ++attempt) {
+        // Backoff charges time, and charged time can run async work
+        // that frees the frame — re-validate every iteration.
+        if (!ref.valid()) {
+            ++_stats.failedStale;
+            return false;
+        }
+        Frame *frame = ref.get();
+        const TierId src = frame->tier;
+        const Pfn src_pfn = frame->pfn;
+        const MigrateResult result =
+            moveFrame(frame, dst, copy_cost, fixed_cost);
+        if (result == MigrateResult::Ok)
+            return true;
+        if (result != MigrateResult::NoSpace)
+            return false;
+        if (fail_fast || attempt >= kMaxNoSpaceRetries) {
+            // Abandon: the frame stays where it is, degraded but
+            // consistent. Rotate it hot so the next scan picks
+            // different candidates instead of respinning on it, and
+            // fail the rest of the batch fast — the destination has
+            // proven itself exhausted.
+            ++_stats.failedNoSpace;
+            fail_fast = true;
+            _machine.tracer().emit(
+                TraceEventType::MigAbandon, src, src_pfn,
+                static_cast<uint64_t>(dst),
+                static_cast<uint64_t>(result));
+            _lru.requeue(frame);
+            return false;
+        }
+        ++_stats.noSpaceRetries;
+        _machine.tracer().emit(TraceEventType::MigRetry, src, src_pfn,
+                               static_cast<uint64_t>(dst), attempt + 1);
+        _machine.backgroundTraffic(kRetryBackoffBase << attempt);
+    }
 }
 
 uint64_t
@@ -63,16 +127,16 @@ MigrationEngine::migrate(const std::vector<FrameRef> &batch, TierId dst)
     Tick copy_cost = 0;
     Tick fixed_cost = 0;
     uint64_t moved_pages = 0;
+    bool fail_fast = false;
     for (const FrameRef &ref : batch) {
         if (!ref.valid()) {
             ++_stats.failedStale;
             continue;
         }
-        Frame *frame = ref.get();
-        if (frame->tier == dst)
+        if (ref.get()->tier == dst)
             continue;
         const uint64_t before = _stats.migratedPages;
-        if (moveFrame(frame, dst, copy_cost, fixed_cost))
+        if (moveWithRetry(ref, dst, copy_cost, fixed_cost, fail_fast))
             moved_pages += _stats.migratedPages - before;
     }
     // Migration threads run on dedicated CPUs (§5): both the copy
@@ -88,10 +152,82 @@ MigrationEngine::migrateOne(Frame *frame, TierId dst)
 {
     Tick copy_cost = 0;
     Tick fixed_cost = 0;
-    const bool ok = moveFrame(frame, dst, copy_cost, fixed_cost);
+    bool fail_fast = false;
+    const bool ok = moveWithRetry(FrameRef(frame), dst, copy_cost,
+                                  fixed_cost, fail_fast);
     _machine.backgroundTraffic(
         (copy_cost + fixed_cost) / static_cast<Tick>(_parallelism));
     return ok;
+}
+
+uint64_t
+MigrationEngine::offlineTier(TierId id)
+{
+    _tiers.setTierOnline(id, false);
+
+    // Drain: every live frame resident on the tier is offered to the
+    // remaining online tiers, fastest first. Destinations that prove
+    // exhausted are skipped for the rest of the drain.
+    std::vector<FrameRef> frames = _tiers.collectFramesOn(id);
+    std::vector<bool> exhausted(_tiers.tierCount(), false);
+    uint64_t moved_pages = 0;
+    uint64_t stranded = 0;
+    for (const FrameRef &ref : frames) {
+        if (!ref.valid() || ref.get()->tier != id)
+            continue;  // freed or relocated by async work meanwhile
+        bool ok = false;
+        for (size_t t = 0; t < _tiers.tierCount() && !ok; ++t) {
+            const TierId dst = static_cast<TierId>(t);
+            if (dst == id || exhausted[t] || !_tiers.tier(dst).online())
+                continue;
+            Tick copy_cost = 0;
+            Tick fixed_cost = 0;
+            bool fail_fast = false;
+            const uint64_t before = _stats.migratedPages;
+            ok = moveWithRetry(ref, dst, copy_cost, fixed_cost,
+                               fail_fast);
+            _machine.backgroundTraffic(
+                (copy_cost + fixed_cost) /
+                static_cast<Tick>(_parallelism));
+            if (ok) {
+                moved_pages += _stats.migratedPages - before;
+                break;
+            }
+            if (fail_fast)
+                exhausted[t] = true;
+            // A frame-local obstacle (freed, pinned, non-relocatable)
+            // blocks every destination equally; stop offering it.
+            if (!ref.valid() || !ref.get()->relocatable ||
+                ref.get()->pinned()) {
+                break;
+            }
+        }
+        if (!ok && ref.valid() && ref.get()->tier == id)
+            ++stranded;
+    }
+    _machine.tracer().emit(TraceEventType::TierDrain,
+                           static_cast<uint64_t>(id), moved_pages,
+                           stranded);
+    return stranded;
+}
+
+void
+MigrationEngine::onlineTier(TierId id)
+{
+    _tiers.setTierOnline(id, true);
+}
+
+void
+MigrationEngine::scheduleTierEvents()
+{
+    for (const TierFaultEvent &event : _machine.faults().spec().tierEvents) {
+        _machine.events().schedule(event.at, [this, event] {
+            if (event.offline)
+                offlineTier(event.tier);
+            else
+                onlineTier(event.tier);
+        });
+    }
 }
 
 } // namespace kloc

@@ -9,6 +9,18 @@
  * divisor on copy traffic; the fixed per-page kernel work does not
  * parallelise.
  *
+ * Transient destination exhaustion (the target tier momentarily out
+ * of frames, including injected faults) is retried with bounded
+ * exponential backoff; a frame whose move is abandoned stays where
+ * it is and is rotated to the hot end of its LRU list so the next
+ * scan picks different candidates. Every failure is accounted per
+ * reason in MigrationStats.
+ *
+ * The engine also drives tier offlining: offlineTier() flips the
+ * tier's online flag and drains its resident frames to the remaining
+ * online tiers, leaving pinned/non-relocatable frames stranded until
+ * they are released.
+ *
  * Direction accounting (fast->slow vs. slow->fast) keys Fig. 5b.
  */
 
@@ -18,6 +30,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "mem/lru.hh"
 #include "mem/tier_manager.hh"
 #include "sim/machine.hh"
@@ -32,8 +45,12 @@ struct MigrationStats
     uint64_t demotedPages = 0;    ///< toward slower tiers (higher id)
     uint64_t promotedPages = 0;   ///< toward faster tiers (lower id)
     uint64_t failedNotRelocatable = 0;
-    uint64_t failedNoSpace = 0;
+    uint64_t failedNoSpace = 0;   ///< abandons after retries exhausted
     uint64_t failedStale = 0;     ///< freed before the move happened
+    uint64_t failedPinned = 0;    ///< in-flight I/O held the frame
+    uint64_t failedDamped = 0;    ///< ping-pong damping retained it
+    uint64_t failedOffline = 0;   ///< destination tier was offline
+    uint64_t noSpaceRetries = 0;  ///< backoff retries (not failures)
     uint64_t migratedPagesByClass[kNumObjClasses] = {};
 };
 
@@ -43,6 +60,12 @@ class MigrationEngine
   public:
     /** Fixed kernel work per migrated page (unmap, TLB, remap). */
     static constexpr Tick kPerPageOverhead = 1500;
+
+    /** Retries after a NoSpace failure before abandoning the move. */
+    static constexpr unsigned kMaxNoSpaceRetries = 3;
+
+    /** First retry delay; doubles per attempt. */
+    static constexpr Tick kRetryBackoffBase = 50 * kMicrosecond;
 
     MigrationEngine(Machine &machine, TierManager &tiers, LruEngine &lru)
         : _machine(machine), _tiers(tiers), _lru(lru)
@@ -59,7 +82,9 @@ class MigrationEngine
     /**
      * Migrate every still-valid frame in @p batch to @p dst.
      * Cost is charged once, after the whole batch has moved, so no
-     * asynchronous work can free batch members mid-flight.
+     * asynchronous work can free batch members mid-flight — except
+     * during retry backoff, which charges time and re-validates the
+     * frame afterwards.
      * @return pages successfully moved.
      */
     uint64_t migrate(const std::vector<FrameRef> &batch, TierId dst);
@@ -67,14 +92,41 @@ class MigrationEngine
     /** Convenience for a single frame. */
     bool migrateOne(Frame *frame, TierId dst);
 
+    /**
+     * Take @p id offline: no new allocations land there, and its
+     * resident relocatable frames are drained to the remaining
+     * online tiers (ascending id order). Pinned or non-relocatable
+     * frames stay stranded on the offline tier until released.
+     * @return frames left stranded.
+     */
+    uint64_t offlineTier(TierId id);
+
+    /** Bring @p id back online. */
+    void onlineTier(TierId id);
+
+    /**
+     * Schedule the fault spec's tier offline/online events on the
+     * machine's event queue. Call once after configuring faults.
+     */
+    void scheduleTierEvents();
+
     const MigrationStats &stats() const { return _stats; }
 
     void resetStats() { _stats = MigrationStats{}; }
 
   private:
-    /** Move one frame, accumulating cost; no charging. */
-    bool moveFrame(Frame *frame, TierId dst, Tick &copy_cost,
-                   Tick &fixed_cost);
+    /** Move one frame, accumulating cost; no charging, no retry. */
+    MigrateResult moveFrame(Frame *frame, TierId dst, Tick &copy_cost,
+                            Tick &fixed_cost);
+
+    /**
+     * moveFrame plus NoSpace retry/backoff/abandon handling.
+     * @p fail_fast suppresses retries (the caller already proved the
+     * destination exhausted within this batch).
+     * @return true when the frame moved.
+     */
+    bool moveWithRetry(const FrameRef &ref, TierId dst, Tick &copy_cost,
+                       Tick &fixed_cost, bool &fail_fast);
 
     Machine &_machine;
     TierManager &_tiers;

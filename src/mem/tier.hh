@@ -30,6 +30,11 @@ class Tier
     TierId id() const { return _id; }
     const TierSpec &spec() const { return _spec; }
 
+    /** Offline tiers take no new allocations or migration arrivals;
+     *  resident frames stay addressable until drained. */
+    bool online() const { return _online; }
+    void setOnline(bool online) { _online = online; }
+
     BuddyAllocator &buddy() { return _buddy; }
     const BuddyAllocator &buddy() const { return _buddy; }
 
@@ -92,6 +97,7 @@ class Tier
   private:
     TierId _id;
     TierSpec _spec;
+    bool _online = true;
     BuddyAllocator _buddy;
     FrameList _active;
     FrameList _inactive;

@@ -20,6 +20,21 @@ objClassName(ObjClass cls)
     return "unknown";
 }
 
+const char *
+migrateResultName(MigrateResult result)
+{
+    switch (result) {
+      case MigrateResult::Ok:             return "ok";
+      case MigrateResult::NotRelocatable: return "not_relocatable";
+      case MigrateResult::Pinned:         return "pinned";
+      case MigrateResult::Damped:         return "damped";
+      case MigrateResult::SameTier:       return "same_tier";
+      case MigrateResult::Offline:        return "offline";
+      case MigrateResult::NoSpace:        return "no_space";
+    }
+    return "unknown";
+}
+
 TierId
 TierManager::addTier(const TierSpec &spec)
 {
@@ -53,6 +68,8 @@ TierManager::alloc(unsigned order, ObjClass cls, bool relocatable,
 {
     for (const TierId tid : preference) {
         Tier &t = tier(tid);
+        if (!t.online())
+            continue;
         const Pfn pfn = t.buddy().alloc(order);
         if (pfn == kInvalidPfn)
             continue;
@@ -121,22 +138,34 @@ TierManager::free(Frame *frame)
 bool
 TierManager::migrate(Frame *frame, TierId dst)
 {
+    return migrateEx(frame, dst) == MigrateResult::Ok;
+}
+
+MigrateResult
+TierManager::migrateEx(Frame *frame, TierId dst)
+{
     KLOC_ASSERT(frame->tier != kInvalidTier, "migrating freed frame");
-    if (!frame->relocatable || frame->pinned() || frame->tier == dst)
-        return false;
+    if (!frame->relocatable)
+        return MigrateResult::NotRelocatable;
+    if (frame->pinned())
+        return MigrateResult::Pinned;
+    if (frame->tier == dst)
+        return MigrateResult::SameTier;
     // Ping-pong damping (§4.5): a page migrated many times is
     // retained where it is rather than demoted again. Promotions
     // (toward lower tier ids) stay allowed so the page can settle
     // in fast memory, which is where the paper retains such pages.
     if (frame->migrateCount >= kRetainThreshold && dst > frame->tier)
-        return false;
+        return MigrateResult::Damped;
     if (frame->migrateCount == 0xFF)
-        return false;  // absolute cap on the 8-bit counter
+        return MigrateResult::Damped;  // absolute cap on the counter
 
     Tier &to = tier(dst);
+    if (!to.online())
+        return MigrateResult::Offline;
     const Pfn new_pfn = to.buddy().alloc(frame->order);
     if (new_pfn == kInvalidPfn)
-        return false;
+        return MigrateResult::NoSpace;
 
     Tier &from = tier(frame->tier);
     from.noteFree(frame->objClass, frame->pages());
@@ -146,7 +175,32 @@ TierManager::migrate(Frame *frame, TierId dst)
     frame->pfn = new_pfn;
     ++frame->migrateCount;
     to.noteArrive(frame->objClass, frame->pages());
-    return true;
+    return MigrateResult::Ok;
+}
+
+void
+TierManager::setTierOnline(TierId id, bool online)
+{
+    Tier &t = tier(id);
+    if (t.online() == online)
+        return;
+    t.setOnline(online);
+    _machine.tracer().emit(online ? TraceEventType::TierOnline
+                                  : TraceEventType::TierOffline,
+                           static_cast<uint64_t>(id));
+}
+
+std::vector<FrameRef>
+TierManager::collectFramesOn(TierId id)
+{
+    std::vector<FrameRef> frames;
+    // Deque order is allocation order and deterministic; freed slots
+    // are recognised by their invalid tier.
+    for (Frame &frame : _framePool) {
+        if (frame.tier == id)
+            frames.emplace_back(&frame);
+    }
+    return frames;
 }
 
 void

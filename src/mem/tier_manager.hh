@@ -23,6 +23,20 @@
 
 namespace kloc {
 
+/** Why (or that) a single-frame migration attempt resolved. */
+enum class MigrateResult : uint8_t
+{
+    Ok = 0,
+    NotRelocatable,  ///< the frame may never move
+    Pinned,          ///< in-flight I/O holds the frame in place
+    Damped,          ///< ping-pong damping retains the page (§4.5)
+    SameTier,        ///< already resident on the destination
+    Offline,         ///< destination tier is offline
+    NoSpace,         ///< destination allocator is exhausted
+};
+
+const char *migrateResultName(MigrateResult result);
+
 /** Owner of all tiers and frames. */
 class TierManager
 {
@@ -58,6 +72,20 @@ class TierManager
      * the frame is non-relocatable, pinned, or @p dst is full.
      */
     bool migrate(Frame *frame, TierId dst);
+
+    /** migrate() with the failure reason surfaced. */
+    MigrateResult migrateEx(Frame *frame, TierId dst);
+
+    /**
+     * Take @p id offline or bring it back. Offlining only flips the
+     * flag and emits the trace event — draining resident frames is
+     * the MigrationEngine's job (it owns cost charging).
+     */
+    void setTierOnline(TierId id, bool online);
+
+    /** Live frames currently resident on @p id, in stable (frame
+     *  pool) order — the drain work-list for offlining. */
+    std::vector<FrameRef> collectFramesOn(TierId id);
 
     /** Observer invoked after a successful alloc(). */
     void addAllocObserver(FrameObserver obs);

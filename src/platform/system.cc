@@ -38,6 +38,24 @@ System::snapshot() const
               static_cast<double>(mig.promotedPages));
     stats.set("migration.failed_not_relocatable",
               static_cast<double>(mig.failedNotRelocatable));
+    stats.set("migration.failed_no_space",
+              static_cast<double>(mig.failedNoSpace));
+    stats.set("migration.failed_pinned",
+              static_cast<double>(mig.failedPinned));
+    stats.set("migration.failed_damped",
+              static_cast<double>(mig.failedDamped));
+    stats.set("migration.failed_offline",
+              static_cast<double>(mig.failedOffline));
+    stats.set("migration.failed_stale",
+              static_cast<double>(mig.failedStale));
+    stats.set("migration.no_space_retries",
+              static_cast<double>(mig.noSpaceRetries));
+
+    const FaultInjector &faults = _machine.faults();
+    if (faults.armed()) {
+        stats.set("faults.total_fires",
+                  static_cast<double>(faults.totalFires()));
+    }
 
     const KlocStats &ks = _kloc.stats();
     stats.set("kloc.enabled", _kloc.enabled() ? 1 : 0);
@@ -73,6 +91,24 @@ System::snapshot() const
                   static_cast<double>(_fs->device().requests()));
         stats.set("fs.journal_commits",
                   static_cast<double>(_fs->journal().committedTxs()));
+        stats.set("fs.device_io_errors",
+                  static_cast<double>(_fs->device().ioErrors()));
+        stats.set("fs.device_timeouts",
+                  static_cast<double>(_fs->device().timeouts()));
+        stats.set("fs.bio_retries",
+                  static_cast<double>(_fs->blockLayer().bioRetries()));
+        stats.set("fs.bio_errors",
+                  static_cast<double>(_fs->blockLayer().bioErrors()));
+        stats.set("fs.read_errors",
+                  static_cast<double>(fss.readErrors));
+        stats.set("fs.writeback_errors",
+                  static_cast<double>(fss.writebackErrors));
+        stats.set("fs.journal_crashes",
+                  static_cast<double>(_fs->journal().crashes()));
+        stats.set("fs.journal_recovered",
+                  static_cast<double>(_fs->journal().recoveredTxs()));
+        stats.set("fs.journal_commit_aborts",
+                  static_cast<double>(_fs->journal().commitAborts()));
     }
     if (_net) {
         const NetStats &ns = _net->stats();

@@ -15,6 +15,7 @@
 
 #include "base/logging.hh"
 #include "base/units.hh"
+#include "fault/fault.hh"
 #include "sim/clock.hh"
 #include "sim/event_queue.hh"
 #include "sim/memory_model.hh"
@@ -96,6 +97,11 @@ class Machine
     Tracer &tracer() { return _tracer; }
     const Tracer &tracer() const { return _tracer; }
 
+    /** Fault injector consulted at device/migration/journal fault
+     *  points (answers "no fault" until configured). */
+    FaultInjector &faults() { return _faults; }
+    const FaultInjector &faults() const { return _faults; }
+
     // -- memory -----------------------------------------------------------
     MemoryModel &memModel() { return _memModel; }
     const MemoryModel &memModel() const { return _memModel; }
@@ -148,6 +154,7 @@ class Machine
     EventQueue _events;
     MemoryModel _memModel;
     Tracer _tracer{_clock};
+    FaultInjector _faults{_tracer};
     unsigned _numCpus;
     unsigned _numSockets;
     unsigned _currentCpu = 0;

@@ -92,6 +92,10 @@ InvariantChecker::consume(const TraceEvent &event)
                       (unsigned long long)a, (unsigned long long)b);
             break;
         }
+        if (a < _tierOffline.size() && _tierOffline[a]) {
+            violation(event, "allocation on offline tier %llu pfn=%llu",
+                      (unsigned long long)a, (unsigned long long)b);
+        }
         FrameState state;
         state.cls = d;
         _frames.emplace(key, state);
@@ -128,6 +132,13 @@ InvariantChecker::consume(const TraceEvent &event)
         if (frame.migrating) {
             violation(event, "frame tier=%llu pfn=%llu freed mid-migration",
                       (unsigned long long)a, (unsigned long long)b);
+        }
+        if (frame.pins > 0) {
+            violation(event,
+                      "frame tier=%llu pfn=%llu freed with %llu "
+                      "unreleased pins",
+                      (unsigned long long)a, (unsigned long long)b,
+                      (unsigned long long)frame.pins);
         }
         if (frame.cls == kJournalClass && _journalArmed &&
             _journalWindows == 0) {
@@ -213,6 +224,18 @@ InvariantChecker::consume(const TraceEvent &event)
             violation(event, "nested migration of frame tier=%llu pfn=%llu",
                       (unsigned long long)a, (unsigned long long)b);
         }
+        if (frame.pins > 0) {
+            violation(event,
+                      "migration of pinned frame tier=%llu pfn=%llu "
+                      "(%llu pins)",
+                      (unsigned long long)a, (unsigned long long)b,
+                      (unsigned long long)frame.pins);
+        }
+        if (c < _tierOffline.size() && _tierOffline[c]) {
+            violation(event,
+                      "migration arrives on offline tier %llu pfn=%llu",
+                      (unsigned long long)c, (unsigned long long)d);
+        }
         _frames.erase(src_key);
         if (_frames.count(dst_key)) {
             violation(event, "migration lands on live frame tier=%llu "
@@ -221,6 +244,10 @@ InvariantChecker::consume(const TraceEvent &event)
             break;
         }
         // List membership follows the frame to the destination tier.
+        // counts() may grow the tier vector; materialize both entries
+        // before taking references or the first one dangles.
+        counts(static_cast<int>(a));
+        counts(static_cast<int>(c));
         auto &from = counts(static_cast<int>(a));
         auto &to = counts(static_cast<int>(c));
         if (frame.active) {
@@ -358,12 +385,16 @@ InvariantChecker::consume(const TraceEvent &event)
 
       case TraceEventType::JournalCommitStart:
       case TraceEventType::JournalDetachStart:
+      case TraceEventType::JournalReplayStart:
         _journalArmed = true;
         ++_journalWindows;
         break;
 
       case TraceEventType::JournalCommitEnd:
       case TraceEventType::JournalDetachEnd:
+      case TraceEventType::JournalCrash:
+      case TraceEventType::JournalCommitAbort:
+      case TraceEventType::JournalReplayEnd:
         if (_journalWindows == 0) {
             violation(event, "journal window close without open");
             break;
@@ -400,10 +431,79 @@ InvariantChecker::consume(const TraceEvent &event)
         break;
       }
 
+      case TraceEventType::FramePin: {
+        FrameState &frame = frameFor(traceFrameKey(static_cast<int>(a), b),
+                                     false);
+        ++frame.pins;
+        break;
+      }
+
+      case TraceEventType::FrameUnpin: {
+        const uint64_t key = traceFrameKey(static_cast<int>(a), b);
+        auto it = _frames.find(key);
+        if (it == _frames.end()) {
+            violation(event, "unpin of unknown frame tier=%llu pfn=%llu",
+                      (unsigned long long)a, (unsigned long long)b);
+            break;
+        }
+        FrameState &frame = it->second;
+        if (frame.pins > 0) {
+            --frame.pins;
+        } else if (_strict || !frame.adopted) {
+            violation(event, "unpin without pin on frame tier=%llu "
+                      "pfn=%llu",
+                      (unsigned long long)a, (unsigned long long)b);
+        }
+        break;
+      }
+
+      case TraceEventType::TierOffline: {
+        if (a >= _tierOffline.size())
+            _tierOffline.resize(a + 1, false);
+        if (_tierOffline[a]) {
+            violation(event, "offline of already-offline tier %llu",
+                      (unsigned long long)a);
+        }
+        _tierOffline[a] = true;
+        break;
+      }
+
+      case TraceEventType::TierOnline: {
+        if (a >= _tierOffline.size())
+            _tierOffline.resize(a + 1, false);
+        if (!_tierOffline[a] && _strict) {
+            violation(event, "online of tier %llu that was not offline",
+                      (unsigned long long)a);
+        }
+        _tierOffline[a] = false;
+        break;
+      }
+
+      case TraceEventType::FaultInject:
+      case TraceEventType::BioRetry:
+      case TraceEventType::BioError:
+      case TraceEventType::MigRetry:
+      case TraceEventType::MigAbandon:
+      case TraceEventType::TierDrain:
+        // Informational; the surrounding brackets carry the state.
+        break;
+
       case TraceEventType::NumTypes:
         violation(event, "malformed event type");
         break;
     }
+}
+
+uint64_t
+InvariantChecker::outstandingPins() const
+{
+    uint64_t pinned = 0;
+    for (const auto &[key, frame] : _frames) {
+        (void)key;
+        if (frame.pins > 0)
+            ++pinned;
+    }
+    return pinned;
 }
 
 std::string

@@ -12,8 +12,13 @@
  *    report (count consistency)
  *  - a knode must never reference a freed frame (tracked objects pin
  *    their frame's liveness), and must be empty when unmapped
- *  - journal-class frames are only released inside a journal commit
- *    or detach window — commit precedes journal-frame reclaim
+ *  - journal-class frames are only released inside a journal commit,
+ *    detach, or crash-replay window — commit precedes journal-frame
+ *    reclaim, even across a crash and recovery
+ *  - pin/unpin counts balance per frame: no unpin without a pin, no
+ *    free or migration of a frame while pins are outstanding
+ *  - an offlined tier receives no new allocations and no migration
+ *    arrivals until it is onlined again
  *
  * Violations are collected, not fatal, so tests can assert on the
  * full list and tools can report totals.
@@ -62,6 +67,9 @@ class InvariantChecker
 
     uint64_t eventsChecked() const { return _eventsChecked; }
 
+    /** Frames currently holding at least one unreleased pin. */
+    uint64_t outstandingPins() const;
+
     /** All violations joined into a printable report. */
     std::string report() const;
 
@@ -74,6 +82,7 @@ class InvariantChecker
         bool adopted = false;    ///< first seen mid-run (no alloc event)
         uint64_t trackedRefs = 0;///< knode objects referencing it
         uint64_t inflightBios = 0;
+        uint64_t pins = 0;       ///< frame_pin minus frame_unpin
     };
 
     struct TierCounts
@@ -98,6 +107,7 @@ class InvariantChecker
     std::unordered_map<uint64_t, uint64_t> _knodes;    ///< inode -> objs
     std::unordered_map<uint64_t, uint64_t> _bioFrames; ///< bio -> key
     std::vector<TierCounts> _tierCounts;
+    std::vector<bool> _tierOffline;    ///< per-tier offline flag
     int _journalWindows = 0;   ///< nesting depth of commit/detach windows
     bool _journalArmed = false;///< a journal subsystem has shown itself
     bool _sawAdoption = false; ///< attach was mid-run; relax counting

@@ -41,6 +41,21 @@ const EventSpec kEventSpecs[kNumTraceEventTypes] = {
     {"journal_detach_end",   1, {"inode", nullptr, nullptr, nullptr}},
     {"bio_submit",           4, {"bio", "frame", "sector", "write"}},
     {"bio_complete",         1, {"bio", nullptr, nullptr, nullptr}},
+    {"fault_inject",         2, {"site", "fire", nullptr, nullptr}},
+    {"frame_pin",            2, {"tier", "pfn", nullptr, nullptr}},
+    {"frame_unpin",          2, {"tier", "pfn", nullptr, nullptr}},
+    {"bio_retry",            3, {"bio", "attempt", "backoff", nullptr}},
+    {"bio_error",            2, {"bio", "attempts", nullptr, nullptr}},
+    {"mig_retry",            4, {"src_tier", "src_pfn", "dst_tier",
+                                 "attempt"}},
+    {"mig_abandon",          4, {"tier", "pfn", "dst_tier", "reason"}},
+    {"tier_offline",         1, {"tier", nullptr, nullptr, nullptr}},
+    {"tier_online",          1, {"tier", nullptr, nullptr, nullptr}},
+    {"tier_drain",           3, {"tier", "moved", "stranded", nullptr}},
+    {"journal_crash",        2, {"tx", "written", nullptr, nullptr}},
+    {"journal_commit_abort", 1, {"tx", nullptr, nullptr, nullptr}},
+    {"journal_replay_start", 3, {"tx", "records", "pages", nullptr}},
+    {"journal_replay_end",   2, {"tx", "ok", nullptr, nullptr}},
 };
 
 const EventSpec &

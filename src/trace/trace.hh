@@ -60,6 +60,21 @@ enum class TraceEventType : uint8_t {
     // fs/block_layer: I/O brackets.
     BioSubmit,          ///< bio, frame_key, sector, write
     BioComplete,        ///< bio
+    // fault/*: injection and the recovery machinery it exercises.
+    FaultInject,        ///< site, fire#
+    FramePin,           ///< tier, pfn
+    FrameUnpin,         ///< tier, pfn
+    BioRetry,           ///< bio, attempt, backoff
+    BioError,           ///< bio, attempts
+    MigRetry,           ///< src_tier, src_pfn, dst_tier, attempt
+    MigAbandon,         ///< tier, pfn, dst_tier, reason
+    TierOffline,        ///< tier
+    TierOnline,         ///< tier
+    TierDrain,          ///< tier, moved_pages, stranded
+    JournalCrash,       ///< tx, pages_written
+    JournalCommitAbort, ///< tx
+    JournalReplayStart, ///< tx, records, pages
+    JournalReplayEnd,   ///< tx, ok
     NumTypes
 };
 

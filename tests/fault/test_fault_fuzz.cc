@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Randomised fault fuzzing: a full filesystem stack runs a random
+ * syscall workload while the fault injector fires device errors,
+ * timeouts, migration OOM, and journal commit crashes, and a tier is
+ * offlined and onlined mid-run. The whole run executes with tracing
+ * on and the InvariantChecker attached in strict mode, so every
+ * recovery path must preserve the cross-subsystem ordering rules:
+ * pins balance, journal frames are only released inside commit/replay
+ * windows, offline tiers take no arrivals, and nothing leaks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+#include "core/kloc_manager.hh"
+#include "fault/fault.hh"
+#include "fs/vfs.hh"
+#include "kobj/kernel_heap.hh"
+#include "mem/placement.hh"
+#include "sim/machine.hh"
+#include "trace/invariants.hh"
+
+namespace kloc {
+namespace {
+
+class FaultFuzz : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(FaultFuzz, InvariantsHoldUnderInjectedFaults)
+{
+    const uint64_t seed = static_cast<uint64_t>(GetParam());
+
+    Machine machine(4, 1);
+    TierManager tiers(machine);
+    LruEngine lru(machine, tiers);
+    MemAccessor mem(machine, lru);
+    MigrationEngine migrator(machine, tiers, lru);
+    KernelHeap heap(mem, tiers);
+    KlocManager kloc(heap, migrator);
+
+    TierSpec tspec;
+    tspec.name = "fast";
+    tspec.capacity = 512 * kPageSize;
+    tspec.readLatency = 80;
+    tspec.writeLatency = 80;
+    tspec.readBandwidth = 10 * kGiB;
+    tspec.writeBandwidth = 10 * kGiB;
+    const TierId fast = tiers.addTier(tspec);
+    tspec.name = "slow";
+    tspec.capacity = 1024 * kPageSize;
+    tspec.readLatency = 300;
+    tspec.writeLatency = 300;
+    tspec.readBandwidth = 2 * kGiB;
+    tspec.writeBandwidth = 2 * kGiB;
+    const TierId slow = tiers.addTier(tspec);
+
+    StaticPlacement placement({fast, slow}, {fast, slow});
+    heap.setPolicy(&placement);
+    heap.setKlocInterface(true);
+    kloc.setEnabled(true);
+    kloc.setTierOrder({fast, slow});
+
+    // Attach the checker before any allocation so strict mode sees
+    // every entity's full lifecycle.
+    machine.tracer().setEnabled(true);
+    InvariantChecker checker(machine.tracer(), /*strict=*/true);
+
+    FileSystem::Config config;
+    config.journalCommitPeriod = 20 * kMillisecond;
+    config.writebackPeriod = 5 * kMillisecond;
+    auto fs = std::make_unique<FileSystem>(heap, &kloc, config);
+
+    // Arm every fault site at once, plus a mid-run offline/online
+    // cycle of the slow tier. Rates are high enough that every
+    // recovery path runs many times per seed.
+    FaultSpec fspec;
+    std::string err;
+    ASSERT_TRUE(FaultSpec::parse(
+        "seed " + std::to_string(seed) + "\n"
+        "device_read prob 0.05\n"
+        "device_write prob 0.05\n"
+        "device_timeout prob 0.02\n"
+        "migration_no_space prob 0.2\n"
+        "journal_commit_crash prob 0.25\n"
+        "tier_offline at 30000000 tier 1\n"
+        "tier_online at 60000000 tier 1\n",
+        fspec, &err)) << err;
+    machine.faults().configure(fspec);
+    migrator.scheduleTierEvents();
+
+    fs->startDaemons();
+
+    Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+    struct FileState
+    {
+        std::string name;
+        int fd = -1;  ///< -1 while closed
+    };
+    std::vector<FileState> files;
+    uint64_t next_file = 0;
+
+    auto random_file = [&]() -> FileState * {
+        if (files.empty())
+            return nullptr;
+        return &files[rng.nextBounded(files.size())];
+    };
+
+    for (int step = 0; step < 1200; ++step) {
+        machine.setCurrentCpu(static_cast<unsigned>(rng.nextBounded(4)));
+        const double action = rng.nextDouble();
+        if (action < 0.08 && files.size() < 24) {
+            FileState fstate;
+            fstate.name = "f" + std::to_string(next_file++);
+            fstate.fd = fs->create(fstate.name);
+            ASSERT_GE(fstate.fd, 0);
+            files.push_back(fstate);
+        } else if (action < 0.16) {
+            FileState *f = random_file();
+            if (f && f->fd < 0)
+                f->fd = fs->open(f->name);
+        } else if (action < 0.42) {
+            FileState *f = random_file();
+            if (!f || f->fd < 0)
+                continue;
+            const Bytes offset = rng.nextBounded(32) * kPageSize;
+            const Bytes length = (1 + rng.nextBounded(16)) * kPageSize;
+            fs->write(f->fd, offset, length);
+        } else if (action < 0.62) {
+            FileState *f = random_file();
+            if (!f || f->fd < 0)
+                continue;
+            const Bytes offset = rng.nextBounded(48) * kPageSize;
+            fs->read(f->fd, offset, (1 + rng.nextBounded(8)) * kPageSize);
+        } else if (action < 0.68) {
+            FileState *f = random_file();
+            if (f && f->fd >= 0)
+                fs->fsync(f->fd);
+        } else if (action < 0.72) {
+            FileState *f = random_file();
+            if (f && f->fd >= 0)
+                fs->truncate(f->fd, rng.nextBounded(24) * kPageSize);
+        } else if (action < 0.80) {
+            FileState *f = random_file();
+            if (f && f->fd >= 0) {
+                fs->close(f->fd);
+                f->fd = -1;
+            }
+        } else if (action < 0.84) {
+            // Unlink a closed file.
+            for (size_t i = 0; i < files.size(); ++i) {
+                if (files[i].fd < 0) {
+                    EXPECT_TRUE(fs->unlink(files[i].name));
+                    files[i] = files.back();
+                    files.pop_back();
+                    break;
+                }
+            }
+        } else if (action < 0.89) {
+            // Exercise the migration fault site from both directions.
+            ScanResult scan = lru.scanTier(fast, 64);
+            if (!scan.demoteCandidates.empty())
+                migrator.migrate(scan.demoteCandidates, slow);
+            auto hot = lru.collectHot(slow, 32);
+            if (!hot.empty())
+                migrator.migrate(hot, fast);
+        } else if (action < 0.93) {
+            fs->reclaimPages(1 + rng.nextBounded(32));
+        } else {
+            // Idle time lets the daemons and scheduled tier events run.
+            machine.charge(
+                static_cast<Tick>(1 + rng.nextBounded(4)) * kMillisecond);
+        }
+    }
+
+    // Make sure the scheduled offline *and* online events both fired.
+    machine.charge(100 * kMillisecond);
+    EXPECT_TRUE(tiers.tier(slow).online());
+
+    // Heal the device so teardown's flush-and-replay can complete,
+    // then tear the filesystem down completely.
+    machine.faults().clear();
+    for (FileState &f : files) {
+        if (f.fd >= 0) {
+            fs->close(f.fd);
+            f.fd = -1;
+        }
+    }
+    fs->stopDaemons();
+    fs->syncAll();
+    EXPECT_FALSE(fs->journal().crashed());
+    for (FileState &f : files)
+        EXPECT_TRUE(fs->unlink(f.name));
+    files.clear();
+    fs.reset();
+
+    // Everything must have come back: no leaked frames beyond slab
+    // empty-pool retention, no outstanding pins, no violations.
+    EXPECT_LE(tiers.liveFrames(), 16 * KmemCache::kEmptyRetention);
+    EXPECT_EQ(checker.outstandingPins(), 0u);
+    EXPECT_GT(checker.eventsChecked(), 0u);
+    EXPECT_TRUE(checker.clean()) << checker.report();
+    machine.tracer().setEnabled(false);
+}
+
+// Acceptance floor is 20 clean seeds; run a few extra.
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzz, ::testing::Range(1, 25));
+
+} // namespace
+} // namespace kloc

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "core/kloc_manager.hh"
+#include "fault/fault.hh"
 #include "fs/block_layer.hh"
 #include "fs/device.hh"
 #include "fs/journal.hh"
@@ -171,6 +172,45 @@ runJournalBackedEviction(std::string *report)
     return s.machine.tracer().serialize();
 }
 
+/**
+ * Scenario C: a foreground write bio hits an injected device error
+ * on its first attempt, backs off, and succeeds on the retry — the
+ * trace brackets the whole episode (pin, submit, fault, retry,
+ * complete, unpin) and the pin balances.
+ */
+std::string
+runDeviceErrorRetry(std::string *report)
+{
+    TraceStack s(/*kernel_fast_first=*/true);
+    BlockDevice device(s.machine, BlockDevice::Config{});
+    BlockLayer block(s.heap, &s.kloc, device);
+
+    FaultSpec spec;
+    std::string err;
+    EXPECT_TRUE(FaultSpec::parse("seed 7\ndevice_write oneshot 1\n",
+                                 spec, &err)) << err;
+    s.machine.faults().configure(spec);
+
+    Knode *knode = s.kloc.mapKnode(3);
+    EXPECT_NE(knode, nullptr);
+    s.kloc.markActive(knode);
+
+    const IoStatus status = block.submit(knode, true, /*sector=*/4096,
+                                         kPageSize, /*write=*/true,
+                                         /*foreground=*/true);
+    EXPECT_EQ(status, IoStatus::Ok);
+    EXPECT_EQ(device.ioErrors(), 1u);
+    EXPECT_EQ(block.bioRetries(), 1u);
+    EXPECT_EQ(block.bioErrors(), 0u);
+
+    s.kloc.unmapKnode(knode);
+
+    EXPECT_TRUE(s.checker->clean()) << s.checker->report();
+    EXPECT_EQ(s.checker->outstandingPins(), 0u);
+    *report = s.checker->report();
+    return s.machine.tracer().serialize();
+}
+
 std::string
 goldenPath(const std::string &name)
 {
@@ -221,6 +261,16 @@ TEST(GoldenTrace, JournalBackedEvictionDeterministicAndGolden)
     EXPECT_EQ(first, second) << "trace not deterministic across runs";
     EXPECT_GT(parseTrace(first).size(), 0u);
     compareGolden("journal_backed_eviction", first);
+}
+
+TEST(GoldenTrace, DeviceErrorRetryDeterministicAndGolden)
+{
+    std::string report1, report2;
+    const std::string first = runDeviceErrorRetry(&report1);
+    const std::string second = runDeviceErrorRetry(&report2);
+    EXPECT_EQ(first, second) << "trace not deterministic across runs";
+    EXPECT_GT(parseTrace(first).size(), 0u);
+    compareGolden("device_error_retry", first);
 }
 
 } // namespace

@@ -12,15 +12,17 @@
  *             klocs_nomigration klocs
  * Optane modes: static autonuma nimble klocs
  *
- * All run commands also accept --trace FILE (dump the event trace)
- * and --check (enforce cross-subsystem invariants; exit 2 on
- * violation).
+ * All run commands also accept --trace FILE (dump the event trace),
+ * --check (enforce cross-subsystem invariants; exit 2 on violation),
+ * --fault-spec FILE (deterministic fault injection; see
+ * docs/FAULTS.md) and --fault-seed N (override the spec's seed).
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <string>
@@ -48,6 +50,8 @@ struct Args
     bool fullStats = false;
     std::string tracePath;
     bool check = false;
+    std::string faultSpecPath;
+    uint64_t faultSeed = 0;  ///< 0 = keep the spec file's seed
 };
 
 Args
@@ -85,6 +89,10 @@ parseArgs(int argc, char **argv, int first)
             args.tracePath = value();
         else if (flag == "--check")
             args.check = true;
+        else if (flag == "--fault-spec")
+            args.faultSpecPath = value();
+        else if (flag == "--fault-seed")
+            args.faultSeed = std::strtoull(value(), nullptr, 10);
         else
             fatal("unknown flag '%s'", flag.c_str());
     }
@@ -137,6 +145,77 @@ cmdList()
     std::printf("optane modes:\n  static\n  autonuma\n  nimble\n"
                 "  klocs\n");
     return 0;
+}
+
+/**
+ * Configure fault injection from --fault-spec/--fault-seed. Called
+ * after platform construction so tier offline/online events can be
+ * scheduled against real tiers.
+ */
+void
+applyFaults(System &sys, const Args &args)
+{
+    if (args.faultSpecPath.empty())
+        return;
+    std::ifstream in(args.faultSpecPath);
+    if (!in)
+        fatal("cannot read fault spec '%s'", args.faultSpecPath.c_str());
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    FaultSpec spec;
+    std::string err;
+    if (!FaultSpec::parse(text, spec, &err))
+        fatal("bad fault spec '%s': %s", args.faultSpecPath.c_str(),
+              err.c_str());
+    if (args.faultSeed != 0)
+        spec.seed = args.faultSeed;
+    for (const TierFaultEvent &event : spec.tierEvents) {
+        if (event.tier < 0 ||
+            static_cast<size_t>(event.tier) >= sys.tiers().tierCount()) {
+            fatal("fault spec references tier %d; platform has %zu",
+                  event.tier, sys.tiers().tierCount());
+        }
+    }
+    sys.machine().faults().configure(spec);
+    sys.migrator().scheduleTierEvents();
+}
+
+/** One-line fault/recovery summary when injection is armed. */
+void
+printFaultStats(System &sys)
+{
+    const FaultInjector &faults = sys.machine().faults();
+    if (!faults.armed())
+        return;
+    std::printf("  faults          %llu injected",
+                (unsigned long long)faults.totalFires());
+    for (unsigned s = 0; s < kNumFaultSites; ++s) {
+        const auto site = static_cast<FaultSite>(s);
+        const auto &st = faults.siteStats(site);
+        if (st.fires > 0) {
+            std::printf(" %s=%llu/%llu", faultSiteName(site),
+                        (unsigned long long)st.fires,
+                        (unsigned long long)st.consults);
+        }
+    }
+    std::printf("\n");
+    const BlockLayer &blk = sys.fs().blockLayer();
+    const Journal &journal = sys.fs().journal();
+    const MigrationStats &mig = sys.migrator().stats();
+    std::printf("  recovery        bio retries %llu, bio errors %llu, "
+                "mig retries %llu, mig abandons %llu\n",
+                (unsigned long long)blk.bioRetries(),
+                (unsigned long long)blk.bioErrors(),
+                (unsigned long long)mig.noSpaceRetries,
+                (unsigned long long)mig.failedNoSpace);
+    if (journal.crashes() > 0 || journal.commitAborts() > 0) {
+        std::printf("  journal         %llu crashes, %llu recovered, "
+                    "%llu commit aborts%s\n",
+                    (unsigned long long)journal.crashes(),
+                    (unsigned long long)journal.recoveredTxs(),
+                    (unsigned long long)journal.commitAborts(),
+                    journal.crashed() ? " (still crashed)" : "");
+    }
 }
 
 /**
@@ -225,6 +304,7 @@ cmdRun(const Args &args)
     TwoTierPlatform platform(config);
     System &sys = platform.sys();
     platform.applyStrategy(kind);
+    applyFaults(sys, args);
     sys.fs().startDaemons();
     auto checker = startTracing(sys, args);
 
@@ -241,6 +321,7 @@ cmdRun(const Args &args)
                 (unsigned long long)result.operations,
                 static_cast<double>(result.elapsed) / kMillisecond);
     printCommonStats(sys);
+    printFaultStats(sys);
     if (args.fullStats)
         std::fputs(sys.snapshot().toString().c_str(), stdout);
     const int trace_rc = finishTracing(sys, args, std::move(checker));
@@ -257,6 +338,7 @@ cmdOptane(const Args &args)
     System &sys = platform.sys();
     platform.setInterference(true);
     platform.applyPolicy(parseMode(args.mode));
+    applyFaults(sys, args);
     sys.fs().startDaemons();
     auto checker = startTracing(sys, args);
 
@@ -278,6 +360,7 @@ cmdOptane(const Args &args)
                 args.workload.c_str(), args.mode.c_str(),
                 result.throughput());
     printCommonStats(sys);
+    printFaultStats(sys);
     const int trace_rc = finishTracing(sys, args, std::move(checker));
     workload->teardown(sys);
     return trace_rc;
@@ -291,6 +374,7 @@ cmdCharacterize(const Args &args)
     TwoTierPlatform platform(config);
     System &sys = platform.sys();
     platform.applyStrategy(StrategyKind::Naive);
+    applyFaults(sys, args);
     sys.fs().startDaemons();
     auto checker = startTracing(sys, args);
     WorkloadConfig wl_config;
@@ -321,7 +405,27 @@ cmdCharacterize(const Args &args)
                     hist.dist().mean() / kMillisecond,
                     (unsigned long long)hist.dist().count());
     }
+    const MigrationStats &mig = sys.migrator().stats();
+    std::printf("  migration outcomes (of %llu attempts):\n",
+                (unsigned long long)mig.attempts);
+    std::printf("    %-16s %llu\n", "moved_pages",
+                (unsigned long long)mig.migratedPages);
+    std::printf("    %-16s %llu\n", "no_space",
+                (unsigned long long)mig.failedNoSpace);
+    std::printf("    %-16s %llu\n", "no_space_retries",
+                (unsigned long long)mig.noSpaceRetries);
+    std::printf("    %-16s %llu\n", "not_relocatable",
+                (unsigned long long)mig.failedNotRelocatable);
+    std::printf("    %-16s %llu\n", "pinned",
+                (unsigned long long)mig.failedPinned);
+    std::printf("    %-16s %llu\n", "damped",
+                (unsigned long long)mig.failedDamped);
+    std::printf("    %-16s %llu\n", "offline",
+                (unsigned long long)mig.failedOffline);
+    std::printf("    %-16s %llu\n", "stale",
+                (unsigned long long)mig.failedStale);
     printCommonStats(sys);
+    printFaultStats(sys);
     return trace_rc;
 }
 

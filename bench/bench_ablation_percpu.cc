@@ -20,7 +20,7 @@ struct LookupResult
 {
     double hitRate = 0;
     uint64_t treeVisits = 0;
-    Tick elapsed = 0;
+    Tick elapsed{};
 };
 
 /** Drive the knode lookup path like syscall-heavy file churn. */

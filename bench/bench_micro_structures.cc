@@ -94,7 +94,7 @@ BENCHMARK(BM_RadixInsertLookupErase)->Arg(4096)->Arg(65536);
 void
 BM_BuddyAllocFree(benchmark::State &state)
 {
-    BuddyAllocator buddy(1 << 16);
+    BuddyAllocator buddy(FrameCount{1 << 16});
     std::vector<Pfn> pfns;
     pfns.reserve(1024);
     for (auto _ : state) {
@@ -119,12 +119,12 @@ BM_SlabAllocFree(benchmark::State &state)
     TierSpec spec;
     spec.name = "t";
     spec.capacity = 4096 * kPageSize;
-    spec.readLatency = 80;
-    spec.writeLatency = 80;
+    spec.readLatency = Tick{80};
+    spec.writeLatency = Tick{80};
     spec.readBandwidth = 10 * kGiB;
     spec.writeBandwidth = 10 * kGiB;
     const TierId tier = tiers.addTier(spec);
-    KmemCache cache(mem, tiers, "bench", 256, ObjClass::FsSlab);
+    KmemCache cache(mem, tiers, "bench", Bytes{256}, ObjClass::FsSlab);
     std::vector<SlabRef> refs;
     refs.reserve(512);
     for (auto _ : state) {
@@ -153,8 +153,8 @@ BM_LruScanRate(benchmark::State &state)
     TierSpec spec;
     spec.name = "t";
     spec.capacity = 8192 * kPageSize;
-    spec.readLatency = 80;
-    spec.writeLatency = 80;
+    spec.readLatency = Tick{80};
+    spec.writeLatency = Tick{80};
     spec.readBandwidth = 10 * kGiB;
     spec.writeBandwidth = 10 * kGiB;
     const TierId tier = tiers.addTier(spec);
@@ -162,11 +162,11 @@ BM_LruScanRate(benchmark::State &state)
     for (int i = 0; i < 8192; ++i)
         frames.push_back(tiers.alloc(0, ObjClass::App, true, {tier}));
 
-    Tick sim_time = 0;
+    Tick sim_time{};
     uint64_t scanned = 0;
     for (auto _ : state) {
         const Tick before = machine.now();
-        ScanResult result = lru.scanTier(tier, 8192);
+        ScanResult result = lru.scanTier(tier, FrameCount{8192});
         sim_time += machine.now() - before;
         scanned += result.scanned;
     }
@@ -189,9 +189,9 @@ BM_EventQueueChurn(benchmark::State &state)
     for (auto _ : state) {
         EventQueue events;
         int sink = 0;
-        for (Tick t = 0; t < 4096; ++t)
-            events.schedule(t, [&sink] { ++sink; });
-        events.runDue(4096);
+        for (int64_t t = 0; t < 4096; ++t)
+            events.schedule(Tick{t}, [&sink] { ++sink; });
+        events.runDue(Tick{4096});
         benchmark::DoNotOptimize(sink);
     }
     state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *

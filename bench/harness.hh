@@ -58,7 +58,7 @@ struct RunOutcome
     MigrationStats migration;
     uint64_t slowPageCacheAllocPages = 0;
     uint64_t slowSlabAllocPages = 0;
-    Bytes klocPeakMetadata = 0;
+    Bytes klocPeakMetadata{};
     uint64_t kernelRefs = 0;
     uint64_t userRefs = 0;
 };

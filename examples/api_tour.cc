@@ -33,8 +33,8 @@ main()
     TierSpec spec;
     spec.name = "fast";
     spec.capacity = 16 * kMiB;
-    spec.readLatency = 80;
-    spec.writeLatency = 80;
+    spec.readLatency = Tick{80};
+    spec.writeLatency = Tick{80};
     spec.readBandwidth = 30ULL * 1000 * kMiB;
     spec.writeBandwidth = 30ULL * 1000 * kMiB;
     const TierId fast = tiers.addTier(spec);

@@ -3,12 +3,29 @@
 # that event tracing is deterministic end-to-end (two identical
 # klocsim runs must dump byte-identical traces, with the invariant
 # checker clean on both).
+#
+# Optional stages (any combination, default is build+test+determinism):
+#   --lint      run klint and, when available, clang-tidy over src/
+#   --sanitize  rebuild with -DKLOC_SANITIZE=ON (ASan+UBSan) in
+#               BUILD_DIR-asan and run the full test suite there
+#   --all       everything above
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
 JOBS=${JOBS:-$(nproc)}
+
+DO_LINT=0
+DO_SANITIZE=0
+for arg in "$@"; do
+    case "$arg" in
+      --lint) DO_LINT=1 ;;
+      --sanitize) DO_SANITIZE=1 ;;
+      --all) DO_LINT=1; DO_SANITIZE=1 ;;
+      *) echo "usage: check.sh [--lint] [--sanitize] [--all]" >&2; exit 2 ;;
+    esac
+done
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$JOBS"
@@ -56,4 +73,36 @@ cmp "$tracedir/fa.trace" "$tracedir/fb.trace" || {
     echo "FAIL: fault fuzz reported invariant violations" >&2
     exit 1
 }
+
+if [ "$DO_LINT" = 1 ]; then
+    # klint: the repo's own static analysis (see docs/ANALYSIS.md).
+    "$BUILD_DIR"/tools/klint --root=. || {
+        echo "FAIL: klint reported findings" >&2
+        exit 1
+    }
+    # clang-tidy is best-effort: run it when installed (CI installs
+    # it; a bare container may not have it).
+    if command -v clang-tidy >/dev/null 2>&1; then
+        cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+            > /dev/null
+        mapfile -t tidy_files < <(git ls-files 'src/*.cc')
+        clang-tidy -p "$BUILD_DIR" --quiet "${tidy_files[@]}" || {
+            echo "FAIL: clang-tidy reported findings" >&2
+            exit 1
+        }
+    else
+        echo "check.sh: clang-tidy not installed, skipping"
+    fi
+    echo "check.sh: lint stage OK"
+fi
+
+if [ "$DO_SANITIZE" = 1 ]; then
+    ASAN_DIR="${BUILD_DIR}-asan"
+    cmake -B "$ASAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DKLOC_SANITIZE=ON
+    cmake --build "$ASAN_DIR" -j "$JOBS"
+    ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$JOBS"
+    echo "check.sh: sanitizer stage OK"
+fi
+
 echo "check.sh: build, tests, trace and fault determinism all OK"

@@ -49,9 +49,9 @@ class KmemCache
 {
   public:
     /** CPU cost of a magazine-hit allocation/free. */
-    static constexpr Tick kFastPathCost = 90;
+    static constexpr Tick kFastPathCost{90};
     /** CPU cost of the slow path (slab list manipulation). */
-    static constexpr Tick kSlowPathCost = 350;
+    static constexpr Tick kSlowPathCost{350};
     /** Empty slabs retained per cache before frames are returned. */
     static constexpr unsigned kEmptyRetention = 2;
     /** Magazine capacity per CPU. */

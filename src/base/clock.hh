@@ -10,8 +10,8 @@
  * its deadline.
  */
 
-#ifndef KLOC_SIM_CLOCK_HH
-#define KLOC_SIM_CLOCK_HH
+#ifndef KLOC_BASE_CLOCK_HH
+#define KLOC_BASE_CLOCK_HH
 
 #include "base/logging.hh"
 #include "base/units.hh"
@@ -43,12 +43,12 @@ class VirtualClock
     }
 
     /** Reset to zero (between experiment runs). */
-    void reset() { _now = 0; }
+    void reset() { _now = Tick{}; }
 
   private:
-    Tick _now = 0;
+    Tick _now{};
 };
 
 } // namespace kloc
 
-#endif // KLOC_SIM_CLOCK_HH
+#endif // KLOC_BASE_CLOCK_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Coarse occupancy classes of simulated physical frames.
+ *
+ * These are the groups the paper reports footprints for (Fig. 2a) and
+ * incrementally enables KLOC support for (Fig. 5c). The enum lives in
+ * base/ because both the memory subsystem (frame metadata) and the
+ * trace invariant checker key accounting off it.
+ */
+
+#ifndef KLOC_BASE_OBJCLASS_HH
+#define KLOC_BASE_OBJCLASS_HH
+
+#include <cstdint>
+
+namespace kloc {
+
+/** Coarse occupancy class of a frame. */
+enum class ObjClass : uint8_t {
+    App = 0,       ///< application (userspace) pages
+    PageCache,     ///< buffer-cache pages
+    Journal,       ///< filesystem journal buffers
+    FsSlab,        ///< inodes, dentries, extents, radix nodes, ...
+    SockBuf,       ///< socket buffers: skbuff heads + data, rx bufs
+    BlockIo,       ///< bio / blk-mq structures
+    KlocMeta,      ///< KLOC's own metadata (knodes, kmap, lists)
+    NumClasses
+};
+
+inline constexpr unsigned kNumObjClasses =
+    static_cast<unsigned>(ObjClass::NumClasses);
+
+/** Human-readable class name for reports. */
+constexpr const char *
+objClassName(ObjClass cls)
+{
+    switch (cls) {
+      case ObjClass::App:       return "app";
+      case ObjClass::PageCache: return "page_cache";
+      case ObjClass::Journal:   return "journal";
+      case ObjClass::FsSlab:    return "fs_slab";
+      case ObjClass::SockBuf:   return "sock_buf";
+      case ObjClass::BlockIo:   return "block_io";
+      case ObjClass::KlocMeta:  return "kloc_meta";
+      case ObjClass::NumClasses: break;
+    }
+    return "unknown";
+}
+
+/** True for every class except App. */
+constexpr bool
+isKernelClass(ObjClass cls)
+{
+    return cls != ObjClass::App;
+}
+
+} // namespace kloc
+
+#endif // KLOC_BASE_OBJCLASS_HH

@@ -10,11 +10,11 @@ namespace kloc {
 namespace {
 
 /** CPU cost per rbtree node visited during a descent (cached). */
-constexpr Tick kTreeStepCost = 10;
+constexpr Tick kTreeStepCost{10};
 /** CPU cost per per-CPU list entry scanned. */
-constexpr Tick kListStepCost = 5;
+constexpr Tick kListStepCost{5};
 /** Daemon bookkeeping cost per object visited. */
-constexpr Tick kObjVisitCost = 30;
+constexpr Tick kObjVisitCost{30};
 /** Knodes processed per daemon queue drain. */
 constexpr size_t kQueueBatch = 128;
 
@@ -60,7 +60,7 @@ KlocManager::setTierOrder(std::vector<TierId> order)
 {
     KLOC_ASSERT(!order.empty(), "empty tier order");
     _tierOrder = std::move(order);
-    _memLimits.assign(_heap.tiers().tierCount(), 0);
+    _memLimits.assign(_heap.tiers().tierCount(), Bytes{});
 }
 
 void
@@ -87,7 +87,7 @@ KlocManager::mapKnode(uint64_t inode_id)
     const bool inserted = _kmap.insert(knode);
     KLOC_ASSERT(inserted, "duplicate knode for inode %llu",
                 static_cast<unsigned long long>(inode_id));
-    _machine.cpuWork(static_cast<Tick>(_kmap.nodesVisited() -
+    _machine.cpuWork(static_cast<int64_t>(_kmap.nodesVisited() -
                                        visits_before) * kTreeStepCost);
     touchKnodeMeta(knode, AccessType::Write);
 
@@ -128,7 +128,7 @@ KlocManager::findKnode(uint64_t inode_id)
         for (size_t i = 0; i < list.size(); ++i) {
             if (list[i]->id == inode_id) {
                 Knode *knode = list[i];
-                _machine.cpuWork(static_cast<Tick>(i + 1) *
+                _machine.cpuWork(static_cast<int64_t>(i + 1) *
                                  kListStepCost);
                 // MRU rotation.
                 list.erase(list.begin() + static_cast<ptrdiff_t>(i));
@@ -137,13 +137,13 @@ KlocManager::findKnode(uint64_t inode_id)
                 return knode;
             }
         }
-        _machine.cpuWork(static_cast<Tick>(list.size()) * kListStepCost);
+        _machine.cpuWork(static_cast<int64_t>(list.size()) * kListStepCost);
     }
 
     // Slow path: the global kmap rbtree.
     const uint64_t visits_before = _kmap.nodesVisited();
     Knode *knode = _kmap.find(inode_id);
-    _machine.cpuWork(static_cast<Tick>(_kmap.nodesVisited() -
+    _machine.cpuWork(static_cast<int64_t>(_kmap.nodesVisited() -
                                        visits_before) * kTreeStepCost);
     ++_stats.perCpuMisses;
     if (knode && _usePerCpuLists)
@@ -191,7 +191,7 @@ KlocManager::addObject(Knode *knode, KernelObject *obj)
     KLOC_ASSERT(inserted, "duplicate object id in knode tree");
     // Tree nodes are hot kernel metadata: the descent is CPU work on
     // cached lines, not cold memory traffic.
-    _machine.cpuWork(static_cast<Tick>(tree.nodesVisited() -
+    _machine.cpuWork(static_cast<int64_t>(tree.nodesVisited() -
                                        visits_before) * kTreeStepCost);
     if (obj->frame()) {
         obj->frame()->owner = knode;
@@ -256,7 +256,7 @@ KlocManager::lruKnodes(size_t max)
          knode = _kmap.next(knode)) {
         all.push_back(knode);
     }
-    _machine.backgroundTraffic(static_cast<Tick>(all.size()) *
+    _machine.backgroundTraffic(static_cast<int64_t>(all.size()) *
                                kTreeStepCost);
     std::sort(all.begin(), all.end(), [](const Knode *a, const Knode *b) {
         if (a->inuse != b->inuse)
@@ -288,7 +288,7 @@ KlocManager::overMemLimit(TierId tier) const
     if (cap == 0)
         return false;
     const Tier &t = _heap.tiers().tier(tier);
-    Bytes kernel_bytes = 0;
+    Bytes kernel_bytes{};
     for (unsigned c = 0; c < kNumObjClasses; ++c) {
         const auto cls = static_cast<ObjClass>(c);
         if (isKernelClass(cls))
@@ -376,7 +376,7 @@ KlocManager::migrateKnodeObjects(Knode *knode, TierId dst)
     };
     forEachCacheObj(knode, collect);
     forEachSlabObj(knode, collect);
-    _machine.backgroundTraffic(static_cast<Tick>(visited) * kObjVisitCost);
+    _machine.backgroundTraffic(static_cast<int64_t>(visited) * kObjVisitCost);
     if (batch.empty())
         return 0;
     return _migrator.migrate(batch, dst);
@@ -447,7 +447,7 @@ KlocManager::runPromotePass()
         const Tier &fast = _heap.tiers().tier(fastTier());
         const Bytes cap = _memLimits[static_cast<size_t>(fastTier())];
         if (cap > 0) {
-            Bytes kloc_bytes = 0;
+            Bytes kloc_bytes{};
             for (unsigned c = 0; c < kNumObjClasses; ++c) {
                 const auto cls = static_cast<ObjClass>(c);
                 if (isKernelClass(cls))
@@ -526,13 +526,13 @@ KlocManager::startDaemon(Tick period)
 Bytes
 KlocManager::metadataBytes() const
 {
-    Bytes per_cpu_entries = 0;
+    uint64_t per_cpu_entries = 0;
     for (const auto &list : _perCpu)
         per_cpu_entries += list.size();
-    return _kmap.size() * kKnodeSize +          // knode structures
-           _trackedObjects * 8 +                 // rbtree pointers
-           per_cpu_entries * 16 +                // per-CPU list nodes
-           (_demoteQueue.size() + _promoteQueue.size()) * 8;
+    return _kmap.size() * kKnodeSize +            // knode structures
+           Bytes{_trackedObjects * 8} +           // rbtree pointers
+           Bytes{per_cpu_entries * 16} +          // per-CPU list nodes
+           Bytes{(_demoteQueue.size() + _promoteQueue.size()) * 8};
 }
 
 void

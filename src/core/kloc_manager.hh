@@ -46,7 +46,7 @@ class KlocManager
 {
   public:
     /** Size of the knode structure charged per open inode (§7.1). */
-    static constexpr Bytes kKnodeSize = 64;
+    static constexpr Bytes kKnodeSize{64};
     /** Per-CPU fast-path list capacity. */
     static constexpr unsigned kPerCpuCap = 64;
     /** Fast-tier utilization above which the daemon demotes. */
@@ -277,7 +277,7 @@ class KlocManager
     uint64_t _knodeTreeVisitsRetired = 0;  ///< from deleted knodes
     KlocStats _stats;
     uint64_t _trackedObjects = 0;   ///< live tracked objects
-    Bytes _peakMetadata = 0;
+    Bytes _peakMetadata{};
 };
 
 } // namespace kloc

@@ -68,7 +68,7 @@ struct Knode
     /** Monotonic id source for member objects. */
     uint64_t nextObjId = 1;
 
-    Tick lastActiveTick = 0;
+    Tick lastActiveTick{};
 
     /** Queued for the migration daemon's demote pass. */
     bool pendingDemote = false;

@@ -27,7 +27,7 @@
 #include <vector>
 
 #include "base/rng.hh"
-#include "sim/memory_model.hh"
+#include "base/units.hh"
 #include "trace/trace.hh"
 
 namespace kloc {
@@ -68,7 +68,7 @@ struct FaultRule
 /** A scheduled tier offline/online transition at a virtual tick. */
 struct TierFaultEvent
 {
-    Tick at = 0;
+    Tick at{};
     TierId tier = kInvalidTier;
     bool offline = true;
 };

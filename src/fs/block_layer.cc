@@ -87,7 +87,7 @@ BlockLayer::submit(Knode *knode, bool active, uint64_t sector, Bytes length,
         // growing delay, then resubmit. Foreground callers eat the
         // whole delay; background requeues overlap like any other
         // async work.
-        const Tick backoff = kRetryBackoffBase << attempt;
+        const Tick backoff = kRetryBackoffBase * (int64_t{1} << attempt);
         ++_bioRetries;
         machine.tracer().emit(TraceEventType::BioRetry, bio_id,
                               attempt + 1, static_cast<uint64_t>(backoff));

@@ -27,7 +27,7 @@ class BlockLayer
 {
   public:
     /** CPU cost of the submit_bio -> blk_mq dispatch path. */
-    static constexpr Tick kDispatchCost = 600;
+    static constexpr Tick kDispatchCost{600};
 
     /** Retries after the first failed attempt before giving up. */
     static constexpr unsigned kMaxRetries = 4;

@@ -90,7 +90,7 @@ class BlockDevice
     uint64_t ioErrors() const { return _ioErrors; }
     uint64_t timeouts() const { return _timeouts; }
 
-    static constexpr Bytes kSectorSize = 512;
+    static constexpr Bytes kSectorSize{512};
 
   private:
     /** Consult the injector for this submission's completion mode. */
@@ -130,14 +130,14 @@ class BlockDevice
             ++_requests;
             return _config.timeoutLatency;
         }
-        return 0;
+        return Tick{};
     }
 
     Machine &_machine;
     Config _config;
     uint64_t _nextSector = 0;
     uint64_t _requests = 0;
-    Bytes _bytesTransferred = 0;
+    Bytes _bytesTransferred{};
     uint64_t _ioErrors = 0;
     uint64_t _timeouts = 0;
 };

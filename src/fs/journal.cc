@@ -214,7 +214,7 @@ Journal::recover(bool foreground)
     ++_recoveredTxs;
     _txId = _crashedTx + 1;
     _crashed = false;
-    _pendingMetaBytes = 0;
+    _pendingMetaBytes = Bytes{};
     return true;
 }
 

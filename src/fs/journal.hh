@@ -37,7 +37,7 @@ class Journal
 {
   public:
     /** CPU cost of adding one record to the running transaction. */
-    static constexpr Tick kLogCost = 250;
+    static constexpr Tick kLogCost{250};
     /** Journal area start sector (writes are sequential within it). */
     static constexpr uint64_t kJournalStartSector = 1ULL << 30;
 
@@ -95,7 +95,7 @@ class Journal
     uint64_t _txId = 1;
     std::vector<std::unique_ptr<JournalRecord>> _records;
     std::vector<std::unique_ptr<JournalPage>> _pages;
-    Bytes _pendingMetaBytes = 0;
+    Bytes _pendingMetaBytes{};
     uint64_t _journalSector = kJournalStartSector;
     uint64_t _committedTxs = 0;
     bool _timerRunning = false;

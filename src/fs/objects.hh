@@ -29,7 +29,7 @@ struct Inode : KernelObject
     {}
 
     uint64_t inodeId;
-    Bytes fileSize = 0;
+    Bytes fileSize{};
     uint32_t refCount = 0;   ///< open file descriptors
     uint32_t linkCount = 1;  ///< directory entries
     bool isSocket = false;
@@ -102,7 +102,7 @@ struct Bio : KernelObject
     Bio() : KernelObject(KobjKind::Bio) {}
 
     uint64_t sector = 0;
-    Bytes length = 0;
+    Bytes length{};
     bool write = false;
 };
 

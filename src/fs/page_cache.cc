@@ -61,7 +61,7 @@ PageCache::chargeDescent(uint64_t before)
     if (!repr->backed())
         return;
     for (uint64_t i = 0; i < visited; ++i)
-        _heap.mem().touch(repr->frame(), 8, AccessType::Read);
+        _heap.mem().touch(repr->frame(), Bytes{8}, AccessType::Read);
 }
 
 PageCachePage *
@@ -137,10 +137,10 @@ PageCache::clearDirty(PageCachePage *page)
 }
 
 std::vector<PageCachePage *>
-PageCache::dirtyPages(uint64_t start, unsigned max)
+PageCache::dirtyPages(uint64_t start_index, unsigned max)
 {
     std::vector<PageCachePage *> result;
-    for (auto &[index, item] : _tree.gangLookupTag(start, max,
+    for (auto &[index, item] : _tree.gangLookupTag(start_index, max,
                                                    RadixTag::Dirty)) {
         result.push_back(static_cast<PageCachePage *>(item));
     }

@@ -1,5 +1,7 @@
 #include "fs/vfs.hh"
 
+#include "base/ordered.hh"
+
 #include <algorithm>
 #include <cstring>
 
@@ -22,11 +24,7 @@ FileSystem::~FileSystem()
     stopDaemons();
     // Tear down every inode: pages off the global LRU, objects
     // untracked and freed, knodes unmapped.
-    std::vector<std::string> names;
-    names.reserve(_names.size());
-    for (const auto &[name, id] : _names)
-        names.push_back(name);
-    for (const auto &name : names) {
+    for (const auto &name : sortedSnapshot(_names)) {
         // Force-close any lingering fds.
         auto it = _names.find(name);
         if (it == _names.end())
@@ -151,7 +149,7 @@ FileSystem::create(const std::string &name)
     info.inode = std::make_unique<Inode>(id);
     const uint64_t group = info.knode ? info.knode->id : 0;
     if (!_heap.allocBacking(*info.inode, true, group)) {
-        reclaimPages(64);
+        reclaimPages(FrameCount{64});
         if (!_heap.allocBacking(*info.inode, true, group))
             fatal("out of simulated memory allocating inode");
     }
@@ -165,7 +163,7 @@ FileSystem::create(const std::string &name)
     info.dentry = insertDentry(name, id, info.knode, true);
     info.inode->refCount = 1;
 
-    _journal->logMetadata(info.knode, true, id, 256);
+    _journal->logMetadata(info.knode, true, id, Bytes{256});
     _names.emplace(name, id);
     auto [it, inserted] = _inodes.emplace(id, std::move(info));
     KLOC_ASSERT(inserted, "inode id collision");
@@ -278,7 +276,7 @@ FileSystem::ensureExtents(InodeInfo &info, uint64_t last_page)
         if (_kloc && info.knode)
             _kloc->addObject(info.knode, extent.get());
         _heap.touchObject(*extent, AccessType::Write);
-        _journal->logMetadata(info.knode, true, info.inode->inodeId, 64);
+        _journal->logMetadata(info.knode, true, info.inode->inodeId, Bytes{64});
         info.extents.push_back(std::move(extent));
     }
 }
@@ -301,7 +299,7 @@ FileSystem::getOrAllocPage(InodeInfo &info, uint64_t index, bool)
     page = info.cache->insertNew(index, active);
     if (!page) {
         // Memory pressure: reclaim cold cache pages and retry once.
-        reclaimPages(64);
+        reclaimPages(FrameCount{64});
         page = info.cache->insertNew(index, active);
     }
     if (page)
@@ -316,7 +314,7 @@ FileSystem::write(int fd, Bytes offset, Bytes length, const char *buf)
     machine.cpuWork(kSyscallCost);
     InodeInfo *info = infoForFd(fd);
     if (!info || length == 0)
-        return 0;
+        return Bytes{};
     ++_stats.writes;
     markActive(*info);
     _heap.touchObject(*info->inode, AccessType::Write);
@@ -325,9 +323,9 @@ FileSystem::write(int fd, Bytes offset, Bytes length, const char *buf)
     const uint64_t last_page = (offset + length - 1) >> kPageShift;
     ensureExtents(*info, last_page);
 
-    Bytes written = 0;
+    Bytes written{};
     for (uint64_t index = first_page; index <= last_page; ++index) {
-        const Bytes page_start = index << kPageShift;
+        const Bytes page_start{index << kPageShift};
         const Bytes start = std::max(offset, page_start);
         const Bytes end =
             std::min(offset + length, page_start + kPageSize);
@@ -375,9 +373,9 @@ FileSystem::read(int fd, Bytes offset, Bytes length, char *buf)
     machine.cpuWork(kSyscallCost);
     InodeInfo *info = infoForFd(fd);
     if (!info || length == 0)
-        return 0;
+        return Bytes{};
     if (offset >= info->inode->fileSize)
-        return 0;
+        return Bytes{};
     length = std::min(length, info->inode->fileSize - offset);
     ++_stats.reads;
     markActive(*info);
@@ -386,9 +384,9 @@ FileSystem::read(int fd, Bytes offset, Bytes length, char *buf)
     const uint64_t first_page = offset >> kPageShift;
     const uint64_t last_page = (offset + length - 1) >> kPageShift;
 
-    Bytes read_bytes = 0;
+    Bytes read_bytes{};
     for (uint64_t index = first_page; index <= last_page; ++index) {
-        const Bytes page_start = index << kPageShift;
+        const Bytes page_start{index << kPageShift};
         const Bytes start = std::max(offset, page_start);
         const Bytes end =
             std::min(offset + length, page_start + kPageSize);
@@ -404,7 +402,7 @@ FileSystem::read(int fd, Bytes offset, Bytes length, char *buf)
                     info->knode ? info->knode->inuse : true;
                 page = info->cache->insertNew(index, active);
                 if (!page) {
-                    reclaimPages(64);
+                    reclaimPages(FrameCount{64});
                     page = info->cache->insertNew(index, active);
                 }
             }
@@ -583,7 +581,7 @@ FileSystem::truncate(int fd, Bytes length)
             info->onDirtyList = false;
         }
     }
-    _journal->logMetadata(info->knode, true, info->inode->inodeId, 128);
+    _journal->logMetadata(info->knode, true, info->inode->inodeId, Bytes{128});
     info->inode->fileSize = length;
     return true;
 }
@@ -603,7 +601,7 @@ FileSystem::unlink(const std::string &name)
     if (info->inode->refCount > 0)
         return false;  // still open
 
-    _journal->logMetadata(info->knode, false, id, 256);
+    _journal->logMetadata(info->knode, false, id, Bytes{256});
     _names.erase(it);
     destroyInode(id);
     return true;
@@ -661,8 +659,9 @@ FileSystem::writebackTick()
 {
     if (!_daemonsRunning)
         return;
-    // Snapshot: writebackInode mutates _dirtyInodes.
-    std::vector<uint64_t> ids(_dirtyInodes.begin(), _dirtyInodes.end());
+    // Snapshot (writebackInode mutates _dirtyInodes), sorted so
+    // writeback order never depends on hash-table layout.
+    const std::vector<uint64_t> ids = sortedSnapshot(_dirtyInodes);
     for (const uint64_t id : ids) {
         InodeInfo *info = infoForId(id);
         if (info)
@@ -703,7 +702,7 @@ FileSystem::stopDaemons()
 void
 FileSystem::syncAll()
 {
-    std::vector<uint64_t> ids(_dirtyInodes.begin(), _dirtyInodes.end());
+    const std::vector<uint64_t> ids = sortedSnapshot(_dirtyInodes);
     for (const uint64_t id : ids) {
         InodeInfo *info = infoForId(id);
         if (!info)
@@ -717,8 +716,8 @@ FileSystem::syncAll()
     _journal->commit(true);
 }
 
-uint64_t
-FileSystem::reclaimPages(uint64_t target)
+FrameCount
+FileSystem::reclaimPages(FrameCount target)
 {
     Machine &machine = _heap.mem().machine();
     uint64_t freed = 0;
@@ -728,7 +727,7 @@ FileSystem::reclaimPages(uint64_t target)
            !_globalLru.empty()) {
         PageCachePage *page = _globalLru.back();
         ++examined;
-        machine.cpuWork(200);
+        machine.cpuWork(Tick{200});
         if (page->dirty) {
             // Write it back, then it becomes reclaimable; rotate so
             // we make progress meanwhile.
@@ -757,11 +756,11 @@ FileSystem::reclaimPages(uint64_t target)
         cache->removeAndFree(page);
         ++_stats.reclaimedPages;
     }
-    return freed;
+    return FrameCount{freed};
 }
 
-uint64_t
-FileSystem::reclaimTierPages(TierId tier, uint64_t target)
+FrameCount
+FileSystem::reclaimTierPages(TierId tier, FrameCount target)
 {
     Machine &machine = _heap.mem().machine();
     uint64_t freed = 0;
@@ -771,7 +770,7 @@ FileSystem::reclaimTierPages(TierId tier, uint64_t target)
     while (page && freed < target && examined < max_examine) {
         PageCachePage *next = _globalLru.prev(page);
         ++examined;
-        machine.cpuWork(200);
+        machine.cpuWork(Tick{200});
         if (!page->dirty && page->frame() &&
             page->frame()->tier == tier) {
             dropFromGlobalLru(page);
@@ -781,7 +780,7 @@ FileSystem::reclaimTierPages(TierId tier, uint64_t target)
         }
         page = next;
     }
-    return freed;
+    return FrameCount{freed};
 }
 
 bool
@@ -799,7 +798,7 @@ FileSystem::readdir()
     names.reserve(_names.size());
     size_t in_buffer = 0;
     std::unique_ptr<DirBuffer> dir_buf;
-    for (const auto &[name, id] : _names) {
+    for (const std::string &name : sortedSnapshot(_names)) {
         if (in_buffer == 0) {
             // Fill a fresh dirent buffer (getdents chunking).
             if (dir_buf) {
@@ -830,9 +829,9 @@ FileSystem::fileSize(const std::string &name) const
 {
     auto it = _names.find(name);
     if (it == _names.end())
-        return 0;
+        return Bytes{};
     const InodeInfo *info = infoForId(it->second);
-    return info ? info->inode->fileSize : 0;
+    return info ? info->inode->fileSize : Bytes{};
 }
 
 Knode *

@@ -64,11 +64,11 @@ class FileSystem
     };
 
     /** CPU cost of entering/leaving a filesystem system call. */
-    static constexpr Tick kSyscallCost = 200;
+    static constexpr Tick kSyscallCost{200};
     /** File pages covered by one extent descriptor (2 MiB). */
     static constexpr uint64_t kPagesPerExtent = 512;
     /** Metadata bytes journalled per dirtied page. */
-    static constexpr Bytes kMetaPerPage = 128;
+    static constexpr Bytes kMetaPerPage{128};
 
     FileSystem(KernelHeap &heap, KlocManager *kloc, const Config &config);
     ~FileSystem();
@@ -140,7 +140,7 @@ class FileSystem
      * of the global list (dirty ones are written back first).
      * @return pages actually freed.
      */
-    uint64_t reclaimPages(uint64_t target);
+    FrameCount reclaimPages(FrameCount target);
 
     /**
      * kswapd-style per-tier reclaim: free up to @p target clean
@@ -148,7 +148,7 @@ class FileSystem
      * pages are skipped (the writeback daemon handles them).
      * @return pages freed.
      */
-    uint64_t reclaimTierPages(TierId tier, uint64_t target);
+    FrameCount reclaimTierPages(TierId tier, FrameCount target);
 
     // -- introspection ------------------------------------------------------
 

@@ -10,16 +10,16 @@ kobjSize(KobjKind kind)
     // Sizes mirror the corresponding Linux structures (ext4, jbd2,
     // block, net) rounded to their slab size classes.
     switch (kind) {
-      case KobjKind::Inode:         return 1024;  // ext4_inode_info
-      case KobjKind::Dentry:        return 192;
-      case KobjKind::JournalRecord: return 120;   // journal_head
-      case KobjKind::Extent:        return 64;    // extent_status
-      case KobjKind::Bio:           return 200;
-      case KobjKind::BlkMqCtx:      return 384;
-      case KobjKind::RadixNode:     return 576;   // radix_tree_node
-      case KobjKind::Sock:          return 1088;  // tcp_sock class
-      case KobjKind::SkbuffHead:    return 232;   // sk_buff
-      case KobjKind::DirBuffer:     return 1024;
+      case KobjKind::Inode:         return Bytes{1024};  // ext4_inode_info
+      case KobjKind::Dentry:        return Bytes{192};
+      case KobjKind::JournalRecord: return Bytes{120};   // journal_head
+      case KobjKind::Extent:        return Bytes{64};    // extent_status
+      case KobjKind::Bio:           return Bytes{200};
+      case KobjKind::BlkMqCtx:      return Bytes{384};
+      case KobjKind::RadixNode:     return Bytes{576};   // radix_tree_node
+      case KobjKind::Sock:          return Bytes{1088};  // tcp_sock class
+      case KobjKind::SkbuffHead:    return Bytes{232};   // sk_buff
+      case KobjKind::DirBuffer:     return Bytes{1024};
       case KobjKind::PageCachePage: return kPageSize;
       case KobjKind::JournalPage:   return kPageSize;
       case KobjKind::SkbuffData:    return kPageSize;

@@ -43,7 +43,7 @@ struct KernelObject
     void *knode = nullptr;
 
     /** When the backing was allocated (object-lifetime accounting). */
-    Tick allocTick = 0;
+    Tick allocTick{};
 
     /** Frame currently backing this object. */
     Frame *

@@ -4,12 +4,12 @@
 
 namespace kloc {
 
-BuddyAllocator::BuddyAllocator(uint64_t frames)
+BuddyAllocator::BuddyAllocator(FrameCount frames)
     : _totalFrames(frames), _freeOrder(frames, kNotFreeHead)
 {
     KLOC_ASSERT(frames > 0, "buddy allocator over empty frame space");
     // Seed the free lists with maximal aligned blocks.
-    Pfn pfn = 0;
+    Pfn pfn{};
     while (pfn < frames) {
         unsigned order = kMaxOrder;
         // Largest order that is aligned at pfn and fits below frames.
@@ -64,7 +64,7 @@ BuddyAllocator::alloc(unsigned order)
                          pfn + (1ULL << avail), avail);
         }
     }
-    _usedFrames += 1ULL << order;
+    _usedFrames += FrameCount{1ULL << order};
     return pfn;
 }
 
@@ -79,11 +79,11 @@ BuddyAllocator::free(Pfn pfn, unsigned order)
                 static_cast<unsigned long long>(pfn), order);
     KLOC_ASSERT(_freeOrder[pfn] == kNotFreeHead, "double free of pfn %llu",
                 static_cast<unsigned long long>(pfn));
-    _usedFrames -= 1ULL << order;
+    _usedFrames -= FrameCount{1ULL << order};
 
     // Coalesce with the buddy while possible.
     while (order < kMaxOrder) {
-        const Pfn buddy = pfn ^ (1ULL << order);
+        const Pfn buddy{pfn ^ (1ULL << order)};
         if (buddy >= _totalFrames || _freeOrder[buddy] != order)
             break;
         removeFree(buddy, order);

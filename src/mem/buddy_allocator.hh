@@ -27,7 +27,7 @@ class BuddyAllocator
     static constexpr unsigned kMaxOrder = 10;
 
     /** @param frames Total frames managed; rounded down to even. */
-    explicit BuddyAllocator(uint64_t frames);
+    explicit BuddyAllocator(FrameCount frames);
 
     /**
      * Allocate a 2^order-page block.
@@ -39,12 +39,12 @@ class BuddyAllocator
     void free(Pfn pfn, unsigned order);
 
     /** Frames currently allocated. */
-    uint64_t usedFrames() const { return _usedFrames; }
+    FrameCount usedFrames() const { return _usedFrames; }
 
     /** Frames currently free. */
-    uint64_t freeFrames() const { return _totalFrames - _usedFrames; }
+    FrameCount freeFrames() const { return _totalFrames - _usedFrames; }
 
-    uint64_t totalFrames() const { return _totalFrames; }
+    FrameCount totalFrames() const { return _totalFrames; }
 
     /** Largest order that can currently be satisfied; -1 if none. */
     int maxAvailableOrder() const;
@@ -68,8 +68,8 @@ class BuddyAllocator
 
     Tracer *_trace = nullptr;
     int _traceTier = -1;
-    uint64_t _totalFrames;
-    uint64_t _usedFrames = 0;
+    FrameCount _totalFrames;
+    FrameCount _usedFrames{};
     /** Per-order ordered sets of free block base pfns. */
     std::set<Pfn> _freeLists[kMaxOrder + 1];
     /** freeOrder[pfn] = order when a free block starts there. */

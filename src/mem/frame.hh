@@ -19,39 +19,10 @@
 #include <cstdint>
 
 #include "base/intrusive_list.hh"
+#include "base/objclass.hh"
 #include "base/units.hh"
-#include "sim/memory_model.hh"
 
 namespace kloc {
-
-/**
- * Coarse occupancy class of a frame. These are the groups the paper
- * reports footprints for (Fig. 2a) and incrementally enables KLOC
- * support for (Fig. 5c).
- */
-enum class ObjClass : uint8_t {
-    App = 0,       ///< application (userspace) pages
-    PageCache,     ///< buffer-cache pages
-    Journal,       ///< filesystem journal buffers
-    FsSlab,        ///< inodes, dentries, extents, radix nodes, ...
-    SockBuf,       ///< socket buffers: skbuff heads + data, rx bufs
-    BlockIo,       ///< bio / blk-mq structures
-    KlocMeta,      ///< KLOC's own metadata (knodes, kmap, lists)
-    NumClasses
-};
-
-inline constexpr unsigned kNumObjClasses =
-    static_cast<unsigned>(ObjClass::NumClasses);
-
-/** Human-readable class name for reports. */
-const char *objClassName(ObjClass cls);
-
-/** True for every class except App. */
-constexpr bool
-isKernelClass(ObjClass cls)
-{
-    return cls != ObjClass::App;
-}
 
 /** Metadata for one simulated physical frame allocation. */
 struct Frame
@@ -74,8 +45,8 @@ struct Frame
     // Dirty state (writeback interacts with migration).
     bool dirty = false;
 
-    Tick allocTick = 0;
-    Tick lastAccessTick = 0;
+    Tick allocTick{};
+    Tick lastAccessTick{};
 
     ListHook lruHook;              ///< tier active/inactive list
 
@@ -89,7 +60,7 @@ struct Frame
     uint64_t generation = 0;
 
     /** Pages covered by this allocation. */
-    uint64_t pages() const { return 1ULL << order; }
+    FrameCount pages() const { return FrameCount{1ULL << order}; }
 
     /** Bytes covered by this allocation. */
     Bytes bytes() const { return pages() * kPageSize; }

@@ -105,7 +105,7 @@ LruEngine::requeue(Frame *frame)
 }
 
 ScanResult
-LruEngine::scanTier(TierId tier, uint64_t max_scan)
+LruEngine::scanTier(TierId tier, FrameCount max_scan)
 {
     ScanResult result;
     Tier &t = _tiers.tier(tier);
@@ -156,12 +156,12 @@ LruEngine::scanTier(TierId tier, uint64_t max_scan)
     // kswapd-style scans run on a dedicated thread; their cost leaks
     // into foreground time as background work.
     _machine.backgroundTraffic(
-        static_cast<Tick>(result.scanned) * kScanCostPerPage);
+        kScanCostPerPage * static_cast<int64_t>(result.scanned));
     return result;
 }
 
 std::vector<FrameRef>
-LruEngine::collectHot(TierId tier, uint64_t max)
+LruEngine::collectHot(TierId tier, FrameCount max)
 {
     std::vector<FrameRef> hot;
     Tier &t = _tiers.tier(tier);
@@ -183,12 +183,12 @@ LruEngine::collectHot(TierId tier, uint64_t max)
     }
     _totalScanned += scanned;
     _machine.backgroundTraffic(
-        static_cast<Tick>(scanned) * kScanCostPerPage);
+        kScanCostPerPage * static_cast<int64_t>(scanned));
     return hot;
 }
 
 std::vector<FrameRef>
-LruEngine::collectReferenced(TierId tier, uint64_t max)
+LruEngine::collectReferenced(TierId tier, FrameCount max)
 {
     std::vector<FrameRef> hot;
     Tier &t = _tiers.tier(tier);
@@ -208,7 +208,7 @@ LruEngine::collectReferenced(TierId tier, uint64_t max)
     }
     _totalScanned += scanned;
     _machine.backgroundTraffic(
-        static_cast<Tick>(scanned) * kScanCostPerPage);
+        kScanCostPerPage * static_cast<int64_t>(scanned));
     return hot;
 }
 

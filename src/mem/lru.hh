@@ -37,7 +37,7 @@ class LruEngine
 {
   public:
     /** Cost of visiting one frame during a scan (2 s / 1 M pages). */
-    static constexpr Tick kScanCostPerPage = 2000;
+    static constexpr Tick kScanCostPerPage{2000};
 
     LruEngine(Machine &machine, TierManager &tiers);
 
@@ -72,14 +72,14 @@ class LruEngine
      * Age @p tier's lists, visiting at most @p max_scan frames, and
      * return cold demotion candidates. Charges scan cost.
      */
-    ScanResult scanTier(TierId tier, uint64_t max_scan);
+    ScanResult scanTier(TierId tier, FrameCount max_scan);
 
     /**
      * Collect up to @p max hot frames resident on @p tier (promotion
      * candidates for policies that upgrade to fast memory). Walks the
      * active list from the hot end; charges scan cost.
      */
-    std::vector<FrameRef> collectHot(TierId tier, uint64_t max);
+    std::vector<FrameRef> collectHot(TierId tier, FrameCount max);
 
     /**
      * Collect up to @p max frames on @p tier that were referenced
@@ -87,7 +87,7 @@ class LruEngine
      * the sampling NUMA-balancing hinting faults provide. Walks
      * both lists from the hot end; charges scan cost.
      */
-    std::vector<FrameRef> collectReferenced(TierId tier, uint64_t max);
+    std::vector<FrameRef> collectReferenced(TierId tier, FrameCount max);
 
     /** Total frames scanned to date. */
     uint64_t totalScanned() const { return _totalScanned; }

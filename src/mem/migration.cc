@@ -66,7 +66,7 @@ MigrationEngine::moveFrame(Frame *frame, TierId dst, Tick &copy_cost,
                                              _machine.currentSocket());
     copy_cost += _machine.memModel().rawCost(dst, bytes, AccessType::Write,
                                              _machine.currentSocket());
-    fixed_cost += kPerPageOverhead * static_cast<Tick>(frame->pages());
+    fixed_cost += kPerPageOverhead * frame->pages().value();
 
     _stats.migratedPages += frame->pages();
     _stats.migratedPagesByClass[static_cast<unsigned>(frame->objClass)] +=
@@ -117,15 +117,15 @@ MigrationEngine::moveWithRetry(const FrameRef &ref, TierId dst,
         ++_stats.noSpaceRetries;
         _machine.tracer().emit(TraceEventType::MigRetry, src, src_pfn,
                                static_cast<uint64_t>(dst), attempt + 1);
-        _machine.backgroundTraffic(kRetryBackoffBase << attempt);
+        _machine.backgroundTraffic(kRetryBackoffBase * (int64_t{1} << attempt));
     }
 }
 
 uint64_t
 MigrationEngine::migrate(const std::vector<FrameRef> &batch, TierId dst)
 {
-    Tick copy_cost = 0;
-    Tick fixed_cost = 0;
+    Tick copy_cost{};
+    Tick fixed_cost{};
     uint64_t moved_pages = 0;
     bool fail_fast = false;
     for (const FrameRef &ref : batch) {
@@ -142,7 +142,7 @@ MigrationEngine::migrate(const std::vector<FrameRef> &batch, TierId dst)
     // Migration threads run on dedicated CPUs (§5): both the copy
     // traffic and the unmap/remap work spread across them.
     const Tick total =
-        (copy_cost + fixed_cost) / static_cast<Tick>(_parallelism);
+        (copy_cost + fixed_cost) / static_cast<int64_t>(_parallelism);
     _machine.backgroundTraffic(total);
     return moved_pages;
 }
@@ -150,13 +150,13 @@ MigrationEngine::migrate(const std::vector<FrameRef> &batch, TierId dst)
 bool
 MigrationEngine::migrateOne(Frame *frame, TierId dst)
 {
-    Tick copy_cost = 0;
-    Tick fixed_cost = 0;
+    Tick copy_cost{};
+    Tick fixed_cost{};
     bool fail_fast = false;
     const bool ok = moveWithRetry(FrameRef(frame), dst, copy_cost,
                                   fixed_cost, fail_fast);
     _machine.backgroundTraffic(
-        (copy_cost + fixed_cost) / static_cast<Tick>(_parallelism));
+        (copy_cost + fixed_cost) / static_cast<int64_t>(_parallelism));
     return ok;
 }
 
@@ -180,15 +180,15 @@ MigrationEngine::offlineTier(TierId id)
             const TierId dst = static_cast<TierId>(t);
             if (dst == id || exhausted[t] || !_tiers.tier(dst).online())
                 continue;
-            Tick copy_cost = 0;
-            Tick fixed_cost = 0;
+            Tick copy_cost{};
+            Tick fixed_cost{};
             bool fail_fast = false;
             const uint64_t before = _stats.migratedPages;
             ok = moveWithRetry(ref, dst, copy_cost, fixed_cost,
                                fail_fast);
             _machine.backgroundTraffic(
                 (copy_cost + fixed_cost) /
-                static_cast<Tick>(_parallelism));
+                static_cast<int64_t>(_parallelism));
             if (ok) {
                 moved_pages += _stats.migratedPages - before;
                 break;

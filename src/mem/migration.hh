@@ -59,7 +59,7 @@ class MigrationEngine
 {
   public:
     /** Fixed kernel work per migrated page (unmap, TLB, remap). */
-    static constexpr Tick kPerPageOverhead = 1500;
+    static constexpr Tick kPerPageOverhead{1500};
 
     /** Retries after a NoSpace failure before abandoning the move. */
     static constexpr unsigned kMaxNoSpaceRetries = 3;

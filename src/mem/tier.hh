@@ -24,7 +24,7 @@ class Tier
 {
   public:
     Tier(TierId id, const TierSpec &spec)
-        : _id(id), _spec(spec), _buddy(spec.capacity / kPageSize)
+        : _id(id), _spec(spec), _buddy(framesIn(spec.capacity))
     {}
 
     TierId id() const { return _id; }
@@ -42,9 +42,9 @@ class Tier
     FrameList &activeList() { return _active; }
     FrameList &inactiveList() { return _inactive; }
 
-    uint64_t totalPages() const { return _buddy.totalFrames(); }
-    uint64_t usedPages() const { return _buddy.usedFrames(); }
-    uint64_t freePages() const { return _buddy.freeFrames(); }
+    FrameCount totalPages() const { return _buddy.totalFrames(); }
+    FrameCount usedPages() const { return _buddy.usedFrames(); }
+    FrameCount freePages() const { return _buddy.freeFrames(); }
 
     /** Fraction of the tier currently allocated, in [0,1]. */
     double
@@ -57,14 +57,14 @@ class Tier
     }
 
     /** Pages currently resident for @p cls. */
-    uint64_t
+    FrameCount
     residentPages(ObjClass cls) const
     {
         return _residentPages[static_cast<unsigned>(cls)];
     }
 
     /** Cumulative pages ever allocated here for @p cls. */
-    uint64_t
+    FrameCount
     cumulativeAllocPages(ObjClass cls) const
     {
         return _cumAllocPages[static_cast<unsigned>(cls)];
@@ -72,14 +72,14 @@ class Tier
 
     /** Residency bookkeeping, used by TierManager only. */
     void
-    noteAlloc(ObjClass cls, uint64_t pages)
+    noteAlloc(ObjClass cls, FrameCount pages)
     {
         _residentPages[static_cast<unsigned>(cls)] += pages;
         _cumAllocPages[static_cast<unsigned>(cls)] += pages;
     }
 
     void
-    noteFree(ObjClass cls, uint64_t pages)
+    noteFree(ObjClass cls, FrameCount pages)
     {
         KLOC_ASSERT(_residentPages[static_cast<unsigned>(cls)] >= pages,
                     "resident page underflow for class %s",
@@ -89,7 +89,7 @@ class Tier
 
     /** noteAlloc without the cumulative count (migration arrivals). */
     void
-    noteArrive(ObjClass cls, uint64_t pages)
+    noteArrive(ObjClass cls, FrameCount pages)
     {
         _residentPages[static_cast<unsigned>(cls)] += pages;
     }
@@ -101,8 +101,8 @@ class Tier
     BuddyAllocator _buddy;
     FrameList _active;
     FrameList _inactive;
-    uint64_t _residentPages[kNumObjClasses] = {};
-    uint64_t _cumAllocPages[kNumObjClasses] = {};
+    FrameCount _residentPages[kNumObjClasses] = {};
+    FrameCount _cumAllocPages[kNumObjClasses] = {};
 };
 
 } // namespace kloc

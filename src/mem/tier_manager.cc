@@ -5,22 +5,6 @@
 namespace kloc {
 
 const char *
-objClassName(ObjClass cls)
-{
-    switch (cls) {
-      case ObjClass::App:       return "app";
-      case ObjClass::PageCache: return "page_cache";
-      case ObjClass::Journal:   return "journal";
-      case ObjClass::FsSlab:    return "fs_slab";
-      case ObjClass::SockBuf:   return "sock_buf";
-      case ObjClass::BlockIo:   return "block_io";
-      case ObjClass::KlocMeta:  return "kloc_meta";
-      case ObjClass::NumClasses: break;
-    }
-    return "unknown";
-}
-
-const char *
 migrateResultName(MigrateResult result)
 {
     switch (result) {

@@ -1,5 +1,7 @@
 #include "net/net_stack.hh"
 
+#include "base/ordered.hh"
+
 #include "base/logging.hh"
 
 namespace kloc {
@@ -29,11 +31,9 @@ NetworkStack::ensureRxRing()
 
 NetworkStack::~NetworkStack()
 {
-    std::vector<int> sds;
-    sds.reserve(_sockets.size());
-    for (auto &[sd, sock] : _sockets)
-        sds.push_back(sd);
-    for (const int sd : sds)
+    // Close in sorted descriptor order so teardown traffic is
+    // independent of hash-table layout.
+    for (const int sd : sortedSnapshot(_sockets))
         closeSocket(sd);
     for (auto &buf : _rxRing)
         _heap.freeBacking(*buf);
@@ -57,7 +57,7 @@ int
 NetworkStack::socket()
 {
     Machine &machine = _heap.mem().machine();
-    machine.cpuWork(500);  // socket() syscall path
+    machine.cpuWork(Tick{500});  // socket() syscall path
     ++_stats.socketsCreated;
 
     Socket sock;
@@ -96,7 +96,7 @@ NetworkStack::closeSocket(int sd)
     if (!sock)
         return;
     Machine &machine = _heap.mem().machine();
-    machine.cpuWork(500);
+    machine.cpuWork(Tick{500});
     ++_stats.socketsClosed;
 
     while (!sock->rxQueue.empty()) {
@@ -159,14 +159,14 @@ NetworkStack::send(int sd, Bytes length)
 {
     Socket *sock = socketFor(sd);
     if (!sock || length == 0)
-        return 0;
+        return Bytes{};
     Machine &machine = _heap.mem().machine();
-    machine.cpuWork(300);  // send() syscall entry
+    machine.cpuWork(Tick{300});  // send() syscall entry
     if (_kloc && sock->knode)
         _kloc->markActive(sock->knode);
 
     const uint64_t packets = (length + kPacketBytes - 1) / kPacketBytes;
-    Bytes sent = 0;
+    Bytes sent{};
     for (uint64_t i = 0; i < packets; ++i) {
         const Bytes chunk =
             std::min<Bytes>(kPacketBytes, length - sent);
@@ -276,13 +276,13 @@ NetworkStack::recv(int sd, Bytes max_length)
 {
     Socket *sock = socketFor(sd);
     if (!sock)
-        return 0;
+        return Bytes{};
     Machine &machine = _heap.mem().machine();
-    machine.cpuWork(300);  // recv() syscall entry
+    machine.cpuWork(Tick{300});  // recv() syscall entry
     if (_kloc && sock->knode)
         _kloc->markActive(sock->knode);
 
-    Bytes received = 0;
+    Bytes received{};
     while (!sock->rxQueue.empty() && received < max_length) {
         SkBuff &skb = sock->rxQueue.front();
         if (received + skb.payload > max_length)
@@ -303,7 +303,7 @@ Bytes
 NetworkStack::pendingBytes(int sd) const
 {
     const Socket *sock = socketFor(sd);
-    return sock ? sock->rxQueuedBytes : 0;
+    return sock ? sock->rxQueuedBytes : Bytes{};
 }
 
 bool
@@ -313,7 +313,7 @@ NetworkStack::poll(int sd)
     if (!sock)
         return false;
     Machine &machine = _heap.mem().machine();
-    machine.cpuWork(150);  // poll/epoll syscall path
+    machine.cpuWork(Tick{150});  // poll/epoll syscall path
     if (sock->sock->backed())
         _heap.touchObject(*sock->sock, AccessType::Read);
     if (_kloc && sock->knode)

@@ -79,13 +79,13 @@ class NetworkStack
         /** Extract the socket in the driver (the KLOC extension). */
         bool klocEarlyDemux = false;
         /** CPU per layer traversed (driver, IP, TCP). */
-        Tick perLayerCost = 350;
+        Tick perLayerCost{350};
         /** CPU of the TCP-layer socket lookup (late demux). */
-        Tick demuxCost = 500;
+        Tick demuxCost{500};
         /** Extra driver CPU for the early-demux extraction. */
-        Tick earlyDemuxCost = 80;
+        Tick earlyDemuxCost{80};
         /** Fixed wire+NIC cost per packet. */
-        Tick wireCost = 1200;
+        Tick wireCost{1200};
     };
 
     /** Simulated super-packet payload (GRO-aggregated). */
@@ -144,7 +144,7 @@ class NetworkStack
     {
         std::unique_ptr<SkbHead> head;
         std::unique_ptr<SkbuffDataPage> data;
-        Bytes payload = 0;
+        Bytes payload{};
     };
 
     struct Socket
@@ -154,7 +154,7 @@ class NetworkStack
         std::unique_ptr<SockObj> sock;
         Knode *knode = nullptr;
         std::deque<SkBuff> rxQueue;
-        Bytes rxQueuedBytes = 0;
+        Bytes rxQueuedBytes{};
     };
 
     Socket *socketFor(int sd);

@@ -34,7 +34,7 @@ class OptanePlatform
         Bytes socketCapacity = 128 * kGiB;
         /** DRAM L4 cache hit fraction folded into timing. */
         double dramCacheHitFraction = 0.70;
-        Tick dramLatency = 80;
+        Tick dramLatency{80};
         Bytes dramBandwidth = 30ULL * 1000 * kMiB;
         /** Interference factor on the loaded socket. */
         double interferenceFactor = 1.8;

@@ -36,7 +36,7 @@ class TwoTierPlatform
         Bytes fastBandwidth = 30ULL * 1000 * kMiB;
         /** Fast:slow bandwidth ratio (Fig. 6 sweeps 8/4/2). */
         unsigned bandwidthRatio = 8;
-        Tick dramLatency = 80;
+        Tick dramLatency{80};
         System::Config system;
     };
 

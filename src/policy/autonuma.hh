@@ -37,7 +37,7 @@ class AutoNumaPolicy : public PlacementPolicy
     struct Config
     {
         Tick scanPeriod = 50 * kMillisecond;
-        uint64_t migrateBatch = 8192;
+        FrameCount migrateBatch{8192};
         unsigned nimbleParallelism = 8;
     };
 

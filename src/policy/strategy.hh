@@ -55,8 +55,8 @@ class TieringStrategy : public PlacementPolicy
     struct Config
     {
         Tick scanPeriod = 100 * kMillisecond;
-        uint64_t scanBatch = 32768;
-        uint64_t promoteBatch = 4096;
+        FrameCount scanBatch{32768};
+        FrameCount promoteBatch{4096};
         /** Fast-tier utilization that triggers demotion. */
         double demoteWatermark = 0.85;
         /** Fast-tier utilization below which promotion is allowed. */

@@ -36,7 +36,7 @@ class EventQueue
     Tick
     nextDeadline() const
     {
-        return _events.empty() ? -1 : _events.top().when;
+        return _events.empty() ? Tick{-1} : _events.top().when;
     }
 
     bool empty() const { return _events.empty(); }

@@ -18,8 +18,8 @@ Machine::reset()
     _currentCpu = 0;
     _kernelRefs = 0;
     _userRefs = 0;
-    _kernelRefTicks = 0;
-    _userRefTicks = 0;
+    _kernelRefTicks = Tick{};
+    _userRefTicks = Tick{};
 }
 
 } // namespace kloc

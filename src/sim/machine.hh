@@ -16,7 +16,7 @@
 #include "base/logging.hh"
 #include "base/units.hh"
 #include "fault/fault.hh"
-#include "sim/clock.hh"
+#include "base/clock.hh"
 #include "sim/event_queue.hh"
 #include "sim/memory_model.hh"
 #include "trace/trace.hh"
@@ -87,7 +87,7 @@ class Machine
     setCpuParallelism(unsigned factor)
     {
         KLOC_ASSERT(factor >= 1, "cpu parallelism below 1");
-        _cpuParallelism = static_cast<Tick>(factor);
+        _cpuParallelism = static_cast<int64_t>(factor);
     }
 
     EventQueue &events() { return _events; }
@@ -158,12 +158,12 @@ class Machine
     unsigned _numCpus;
     unsigned _numSockets;
     unsigned _currentCpu = 0;
-    Tick _cpuParallelism = 8;
+    int64_t _cpuParallelism = 8;
 
     uint64_t _kernelRefs = 0;
     uint64_t _userRefs = 0;
-    Tick _kernelRefTicks = 0;
-    Tick _userRefTicks = 0;
+    Tick _kernelRefTicks{};
+    Tick _userRefTicks{};
 };
 
 } // namespace kloc

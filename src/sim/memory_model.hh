@@ -22,20 +22,15 @@
 
 namespace kloc {
 
-/** Identifier of a memory tier; index into MemoryModel's spec table. */
-using TierId = int;
-
-inline constexpr TierId kInvalidTier = -1;
-
 /** Static description of one memory tier. */
 struct TierSpec
 {
     std::string name;          ///< e.g. "fast-dram", "slow-dram", "pmem"
-    Bytes capacity = 0;        ///< bytes of simulated frames
-    Tick readLatency = 0;      ///< ns per access
-    Tick writeLatency = 0;     ///< ns per access
-    Bytes readBandwidth = 0;   ///< bytes/sec
-    Bytes writeBandwidth = 0;  ///< bytes/sec
+    Bytes capacity{};        ///< bytes of simulated frames
+    Tick readLatency{};      ///< ns per access
+    Tick writeLatency{};     ///< ns per access
+    Bytes readBandwidth{};   ///< bytes/sec
+    Bytes writeBandwidth{};  ///< bytes/sec
     int socket = 0;            ///< NUMA socket hosting the tier
 };
 
@@ -89,8 +84,8 @@ class MemoryModel
     std::vector<TierSpec> _tiers;
     std::vector<double> _interference;  // per socket, 1.0 = none
     double _llcHitFraction = 0.0;
-    Tick _llcLatency = 12;     // ~LLC hit latency in ns
-    Tick _remotePenalty = 60;  // ns per cross-socket access
+    Tick _llcLatency{12};     // ~LLC hit latency in ns
+    Tick _remotePenalty{60};  // ns per cross-socket access
 };
 
 } // namespace kloc

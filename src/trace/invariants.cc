@@ -3,7 +3,7 @@
 #include <cstdarg>
 #include <cstdio>
 
-#include "mem/frame.hh"
+#include "base/objclass.hh"
 
 namespace kloc {
 
@@ -86,7 +86,7 @@ InvariantChecker::consume(const TraceEvent &event)
 
     switch (event.type) {
       case TraceEventType::FrameAlloc: {
-        const uint64_t key = traceFrameKey(static_cast<int>(a), b);
+        const uint64_t key = traceFrameKey(static_cast<int>(a), Pfn{b});
         if (_frames.count(key)) {
             violation(event, "alloc over live frame tier=%llu pfn=%llu",
                       (unsigned long long)a, (unsigned long long)b);
@@ -105,7 +105,7 @@ InvariantChecker::consume(const TraceEvent &event)
       }
 
       case TraceEventType::FrameFree: {
-        const uint64_t key = traceFrameKey(static_cast<int>(a), b);
+        const uint64_t key = traceFrameKey(static_cast<int>(a), Pfn{b});
         auto it = _frames.find(key);
         if (it == _frames.end()) {
             if (_strict) {
@@ -162,7 +162,7 @@ InvariantChecker::consume(const TraceEvent &event)
         break;
 
       case TraceEventType::LruActivate: {
-        FrameState &frame = frameFor(traceFrameKey(static_cast<int>(a), b),
+        FrameState &frame = frameFor(traceFrameKey(static_cast<int>(a), Pfn{b}),
                                      false);
         if (frame.active) {
             violation(event, "activate of already-active frame tier=%llu "
@@ -178,7 +178,7 @@ InvariantChecker::consume(const TraceEvent &event)
       }
 
       case TraceEventType::LruDeactivate: {
-        FrameState &frame = frameFor(traceFrameKey(static_cast<int>(a), b),
+        FrameState &frame = frameFor(traceFrameKey(static_cast<int>(a), Pfn{b}),
                                      true);
         if (!frame.active) {
             violation(event, "deactivate of inactive frame tier=%llu "
@@ -210,8 +210,8 @@ InvariantChecker::consume(const TraceEvent &event)
       }
 
       case TraceEventType::MigStart: {
-        const uint64_t src_key = traceFrameKey(static_cast<int>(a), b);
-        const uint64_t dst_key = traceFrameKey(static_cast<int>(c), d);
+        const uint64_t src_key = traceFrameKey(static_cast<int>(a), Pfn{b});
+        const uint64_t dst_key = traceFrameKey(static_cast<int>(c), Pfn{d});
         FrameState frame = frameFor(src_key, false);
         if (frame.inflightBios > 0) {
             violation(event,
@@ -263,7 +263,7 @@ InvariantChecker::consume(const TraceEvent &event)
       }
 
       case TraceEventType::MigComplete: {
-        const uint64_t key = traceFrameKey(static_cast<int>(a), b);
+        const uint64_t key = traceFrameKey(static_cast<int>(a), Pfn{b});
         auto it = _frames.find(key);
         if (it == _frames.end()) {
             if (_strict) {
@@ -336,7 +336,7 @@ InvariantChecker::consume(const TraceEvent &event)
             it = _knodes.emplace(a, 0).first;
         }
         ++it->second;
-        FrameState &frame = frameFor(traceFrameKey(static_cast<int>(c), d),
+        FrameState &frame = frameFor(traceFrameKey(static_cast<int>(c), Pfn{d}),
                                      false);
         ++frame.trackedRefs;
         break;
@@ -355,7 +355,7 @@ InvariantChecker::consume(const TraceEvent &event)
             violation(event, "object count underflow on knode inode=%llu",
                       (unsigned long long)a);
         }
-        const uint64_t key = traceFrameKey(static_cast<int>(c), d);
+        const uint64_t key = traceFrameKey(static_cast<int>(c), Pfn{d});
         auto fit = _frames.find(key);
         if (fit == _frames.end()) {
             violation(event,
@@ -432,14 +432,14 @@ InvariantChecker::consume(const TraceEvent &event)
       }
 
       case TraceEventType::FramePin: {
-        FrameState &frame = frameFor(traceFrameKey(static_cast<int>(a), b),
+        FrameState &frame = frameFor(traceFrameKey(static_cast<int>(a), Pfn{b}),
                                      false);
         ++frame.pins;
         break;
       }
 
       case TraceEventType::FrameUnpin: {
-        const uint64_t key = traceFrameKey(static_cast<int>(a), b);
+        const uint64_t key = traceFrameKey(static_cast<int>(a), Pfn{b});
         auto it = _frames.find(key);
         if (it == _frames.end()) {
             violation(event, "unpin of unknown frame tier=%llu pfn=%llu",
@@ -498,6 +498,7 @@ uint64_t
 InvariantChecker::outstandingPins() const
 {
     uint64_t pinned = 0;
+    // klint: allow(determinism) — order-independent reduction.
     for (const auto &[key, frame] : _frames) {
         (void)key;
         if (frame.pins > 0)

@@ -111,7 +111,7 @@ parseTraceEvent(const std::string &line, TraceEvent &out)
         return false;
     if (tickTok.empty() || tickTok[0] != '@')
         return false;
-    out.tick = std::strtoll(tickTok.c_str() + 1, nullptr, 10);
+    out.tick = Tick{std::strtoll(tickTok.c_str() + 1, nullptr, 10)};
 
     out.type = TraceEventType::NumTypes;
     for (unsigned t = 0; t < kNumTraceEventTypes; ++t) {

@@ -26,7 +26,7 @@
 #include <vector>
 
 #include "base/units.hh"
-#include "sim/clock.hh"
+#include "base/clock.hh"
 
 namespace kloc {
 
@@ -94,7 +94,7 @@ const char *const *traceEventArgNames(TraceEventType type);
 struct TraceEvent
 {
     uint64_t seq = 0;   ///< emission order (monotonic from 0)
-    Tick tick = 0;      ///< virtual time of emission
+    Tick tick{};        ///< virtual time of emission
     TraceEventType type = TraceEventType::NumTypes;
     uint64_t args[4] = {};
 
@@ -130,7 +130,7 @@ traceKeyTier(uint64_t key)
 constexpr Pfn
 traceKeyPfn(uint64_t key)
 {
-    return key & ((1ULL << 48) - 1);
+    return Pfn{key & ((1ULL << 48) - 1)};
 }
 
 /** Render one event as a stable single-line record. */

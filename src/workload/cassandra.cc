@@ -42,7 +42,7 @@ CassandraWorkload::writeSstable(System &sys)
     const int fd = sys.fs().create(name);
     if (fd < 0)
         return;
-    for (Bytes off = 0; off < kSstableBytes; off += kChunkBytes) {
+    for (Bytes off{}; off < kSstableBytes; off += kChunkBytes) {
         rotateCpu(sys);
         touchArena(sys, off / kPageSize, kChunkBytes, AccessType::Read);
         sys.fs().write(fd, off, kChunkBytes);
@@ -68,7 +68,7 @@ CassandraWorkload::doRead(System &sys, int sd, uint64_t key)
             (key * _sstables.size() / _numKeys) % _sstables.size();
         const int fd = _fdCache.get(sys, _sstables[pos]);
         if (fd >= 0) {
-            sys.fs().read(fd, 0, kPageSize);
+            sys.fs().read(fd, Bytes{0}, kPageSize);
             const uint64_t blocks = kSstableBytes / kPageSize;
             sys.fs().read(fd, (1 + key % (blocks - 1)) * kPageSize,
                           kPageSize);
@@ -95,7 +95,7 @@ CassandraWorkload::doWrite(System &sys, int sd, uint64_t key)
 
     _memtableFill += kRowBytes;
     if (_memtableFill >= kSstableBytes) {
-        _memtableFill = 0;
+        _memtableFill = Bytes{};
         writeSstable(sys);
         // Size-tiered compaction keeps the table count bounded.
         if (_sstables.size() > 48) {

@@ -23,8 +23,8 @@ namespace kloc {
 class CassandraWorkload : public Workload
 {
   public:
-    static constexpr Bytes kRowBytes = 1024;
-    static constexpr Bytes kRequestBytes = 64;
+    static constexpr Bytes kRowBytes{1024};
+    static constexpr Bytes kRequestBytes{64};
     static constexpr Bytes kSstableBytes = 4 * kMiB;
     static constexpr Bytes kChunkBytes = 64 * kKiB;
     static constexpr unsigned kClients = 16;
@@ -33,7 +33,7 @@ class CassandraWorkload : public Workload
     /** App-cache hit probability (the 512 MB row cache). */
     static constexpr double kCacheHitRate = 0.65;
     /** JVM + serialization overhead per request. */
-    static constexpr Tick kJavaOverhead = 2000;
+    static constexpr Tick kJavaOverhead{2000};
 
     explicit CassandraWorkload(const WorkloadConfig &config);
 
@@ -54,9 +54,9 @@ class CassandraWorkload : public Workload
     uint64_t _nextSstableId = 0;
     uint64_t _numKeys;
     int _commitlogFd = -1;
-    Bytes _commitlogCursor = 0;
+    Bytes _commitlogCursor{};
     uint64_t _commitlogAppends = 0;
-    Bytes _memtableFill = 0;
+    Bytes _memtableFill{};
     std::unique_ptr<ZipfianGenerator> _zipf;
 };
 

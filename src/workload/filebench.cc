@@ -14,7 +14,7 @@ FilebenchWorkload::setup(System &sys)
     _fileBytes = scaled(_config.smallInput ? 10 * kGiB : 32 * kGiB);
     _fd = sys.fs().create(_fileName);
     KLOC_ASSERT(_fd >= 0, "filebench file already exists");
-    for (Bytes off = 0; off < _fileBytes; off += kLoadChunk) {
+    for (Bytes off{}; off < _fileBytes; off += kLoadChunk) {
         rotateCpu(sys);
         sys.fs().write(_fd, off, kLoadChunk);
         if ((off / kLoadChunk) % 64 == 63)
@@ -40,7 +40,7 @@ FilebenchWorkload::run(System &sys)
         const Bytes offset = page * kIoBytes;
         // Table 3: 50% sequential / 50% random *reads* on the file.
         sys.fs().read(_fd, offset, kIoBytes);
-        touchArena(sys, op, 256, AccessType::Write);
+        touchArena(sys, op, Bytes{256}, AccessType::Write);
         ++result.operations;
     }
     result.elapsed = sys.machine().now() - start;

@@ -37,7 +37,7 @@ class FilebenchWorkload : public Workload
   private:
     const std::string _fileName = "filebench_bigfile";
     int _fd = -1;
-    Bytes _fileBytes = 0;
+    Bytes _fileBytes{};
     uint64_t _seqCursor = 0;
 };
 

@@ -39,7 +39,7 @@ RedisWorkload::bgsave(System &sys)
     // Checkpoint an eighth of the dataset per BGSAVE (incremental
     // rewrite keeps run times bounded; traffic shape is identical).
     const Bytes ckpt_bytes = _datasetBytes / 8;
-    for (Bytes off = 0; off < ckpt_bytes; off += kCkptChunk) {
+    for (Bytes off{}; off < ckpt_bytes; off += kCkptChunk) {
         rotateCpu(sys);
         touchArena(sys, off / kPageSize, kCkptChunk, AccessType::Read);
         sys.fs().write(fd, off, kCkptChunk);

@@ -23,8 +23,8 @@ class RedisWorkload : public Workload
 {
   public:
     static constexpr unsigned kClients = 16;
-    static constexpr Bytes kValueBytes = 1024;
-    static constexpr Bytes kRequestBytes = 64;
+    static constexpr Bytes kValueBytes{1024};
+    static constexpr Bytes kRequestBytes{64};
     static constexpr Bytes kCkptChunk = 1 * kMiB;
 
     explicit RedisWorkload(const WorkloadConfig &config);
@@ -42,7 +42,7 @@ class RedisWorkload : public Workload
 
     std::vector<int> _clients;
     uint64_t _numKeys;
-    Bytes _datasetBytes = 0;
+    Bytes _datasetBytes{};
     uint64_t _checkpoints = 0;
     std::unique_ptr<ZipfianGenerator> _zipf;
 };

@@ -20,7 +20,7 @@ RocksDbWorkload::writeSst(System &sys, const std::string &name)
 {
     const int fd = sys.fs().create(name);
     KLOC_ASSERT(fd >= 0, "sst '%s' already exists", name.c_str());
-    for (Bytes off = 0; off < kSstBytes; off += kChunkBytes) {
+    for (Bytes off{}; off < kSstBytes; off += kChunkBytes) {
         rotateCpu(sys);
         // The flush thread reads the immutable memtable and writes.
         touchArena(sys, off / kPageSize, kChunkBytes, AccessType::Read);
@@ -51,7 +51,7 @@ RocksDbWorkload::setup(System &sys)
 void
 RocksDbWorkload::flushMemtable(System &sys)
 {
-    _memtableFill = 0;
+    _memtableFill = Bytes{};
     writeSst(sys, "sst_" + std::to_string(_nextSstId++));
     ++_flushes;
     if (_flushes % kCompactEvery == 0)
@@ -77,7 +77,7 @@ RocksDbWorkload::compact(System &sys)
         const int fd = _fdCache.get(sys, input);
         if (fd < 0)
             continue;
-        for (Bytes off = 0; off < kSstBytes; off += kChunkBytes) {
+        for (Bytes off{}; off < kSstBytes; off += kChunkBytes) {
             rotateCpu(sys);
             sys.fs().read(fd, off, kChunkBytes);
         }
@@ -109,7 +109,7 @@ void
 RocksDbWorkload::doGet(System &sys, uint64_t key)
 {
     // Memtable probe.
-    touchArena(sys, key % (kSstBytes / kPageSize), 200,
+    touchArena(sys, key % (kSstBytes / kPageSize), Bytes{200},
                AccessType::Read);
     if (_liveSsts.empty())
         return;
@@ -121,7 +121,7 @@ RocksDbWorkload::doGet(System &sys, uint64_t key)
     if (fd < 0)
         return;
     // Index block, then the data block holding the key.
-    sys.fs().read(fd, 0, kPageSize);
+    sys.fs().read(fd, Bytes{0}, kPageSize);
     const uint64_t blocks = kSstBytes / kPageSize;
     const uint64_t block = 1 + key % (blocks - 1);
     sys.fs().read(fd, block * kPageSize, kPageSize);

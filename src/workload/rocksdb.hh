@@ -26,7 +26,7 @@ class RocksDbWorkload : public Workload
 {
   public:
     static constexpr Bytes kSstBytes = 4 * kMiB;
-    static constexpr Bytes kValueBytes = 1024;
+    static constexpr Bytes kValueBytes{1024};
     static constexpr Bytes kChunkBytes = 64 * kKiB;
     static constexpr unsigned kFdCacheCap = 64;
     static constexpr unsigned kCompactEvery = 4;   ///< flushes
@@ -54,7 +54,7 @@ class RocksDbWorkload : public Workload
     std::vector<std::string> _liveSsts;
     uint64_t _nextSstId = 0;
     uint64_t _numKeys;
-    Bytes _memtableFill = 0;
+    Bytes _memtableFill{};
     uint64_t _flushes = 0;
     std::unique_ptr<ZipfianGenerator> _zipf;
 };

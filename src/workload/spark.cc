@@ -23,7 +23,7 @@ SparkWorkload::generate(System &sys)
                                  "_" + std::to_string(part);
         const int fd = sys.fs().create(name);
         KLOC_ASSERT(fd >= 0, "terasort input exists");
-        for (Bytes off = 0; off < _partBytes; off += kChunkBytes) {
+        for (Bytes off{}; off < _partBytes; off += kChunkBytes) {
             rotateCpu(sys);
             // teragen: synthesize rows in app memory, then write.
             touchArena(sys, off / kPageSize + part, kChunkBytes,
@@ -47,7 +47,7 @@ SparkWorkload::sort(System &sys)
         const int fd = sys.fs().open(_inputs[part]);
         if (fd < 0)
             continue;
-        for (Bytes off = 0; off < _partBytes; off += kChunkBytes) {
+        for (Bytes off{}; off < _partBytes; off += kChunkBytes) {
             rotateCpu(sys);
             sys.fs().read(fd, off, kChunkBytes);
             // Shuffle write into a partition-strided buffer region.
@@ -66,7 +66,7 @@ SparkWorkload::sort(System &sys)
         const int fd = sys.fs().create(name);
         if (fd < 0)
             continue;
-        for (Bytes off = 0; off < _partBytes; off += kChunkBytes) {
+        for (Bytes off{}; off < _partBytes; off += kChunkBytes) {
             rotateCpu(sys);
             touchArena(sys,
                        (off / kPageSize) * kPartitions + part,

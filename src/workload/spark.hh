@@ -40,7 +40,7 @@ class SparkWorkload : public Workload
     uint64_t generate(System &sys);
     uint64_t sort(System &sys);
 
-    Bytes _partBytes = 0;
+    Bytes _partBytes{};
     uint64_t _jobId = 0;   ///< distinct file names per run() invocation
     std::vector<std::string> _inputs;
     std::vector<std::string> _outputs;

@@ -29,7 +29,7 @@ VarmailWorkload::deliverMail(System &sys)
     if (fd < 0)
         return;
     touchArena(sys, _nextMailId, kMailBytes, AccessType::Read);
-    sys.fs().write(fd, 0, kMailBytes);
+    sys.fs().write(fd, Bytes{0}, kMailBytes);
     // varmail fsyncs each delivered message.
     sys.fs().fsync(fd);
     sys.fs().close(fd);
@@ -45,7 +45,7 @@ VarmailWorkload::readMail(System &sys)
     const int fd = sys.fs().open(_mailbox[pick]);
     if (fd < 0)
         return;
-    sys.fs().read(fd, 0, kMailBytes);
+    sys.fs().read(fd, Bytes{0}, kMailBytes);
     touchArena(sys, pick, kMailBytes, AccessType::Write);
     sys.fs().close(fd);
 }

@@ -22,7 +22,7 @@ WebserverWorkload::setup(System &sys)
         const std::string name = "doc_" + std::to_string(i);
         const int fd = sys.fs().create(name);
         KLOC_ASSERT(fd >= 0, "corpus file exists");
-        sys.fs().write(fd, 0, kDocBytes);
+        sys.fs().write(fd, Bytes{0}, kDocBytes);
         sys.fs().close(fd);
         _docs.push_back(name);
     }
@@ -41,9 +41,9 @@ WebserverWorkload::serveRequest(System &sys, int sd, uint64_t doc)
     // Serve the file through the page cache (sendfile-style).
     const int fd = _fdCache.get(sys, _docs[doc]);
     if (fd >= 0)
-        sys.fs().read(fd, 0, kDocBytes);
+        sys.fs().read(fd, Bytes{0}, kDocBytes);
     touchArena(sys, doc, 2 * kKiB, AccessType::Write);  // headers
-    sys.net().send(sd, kDocBytes + 512);
+    sys.net().send(sd, kDocBytes + Bytes{512});
 }
 
 WorkloadResult

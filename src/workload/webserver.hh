@@ -25,7 +25,7 @@ namespace kloc {
 class WebserverWorkload : public Workload
 {
   public:
-    static constexpr Bytes kRequestBytes = 512;
+    static constexpr Bytes kRequestBytes{512};
     static constexpr Bytes kDocBytes = 64 * kKiB;
     /** Fraction of connections kept alive across requests. */
     static constexpr double kKeepAliveRate = 0.25;

@@ -58,7 +58,7 @@ Workload::appAlloc(System &sys)
 {
     Frame *frame = sys.heap().allocAppPage();
     if (!frame) {
-        sys.fs().reclaimPages(64);
+        sys.fs().reclaimPages(FrameCount{64});
         frame = sys.heap().allocAppPage();
     }
     return frame;
@@ -85,7 +85,7 @@ Workload::growArena(System &sys, uint64_t count)
         }
         // First-touch (fault + zero).
         sys.mem().touch(frame, frame->bytes(), AccessType::Write);
-        remaining -= std::min(remaining, frame->pages());
+        remaining -= std::min(remaining, frame->pages().value());
         _arena.push_back(frame);
     }
 }

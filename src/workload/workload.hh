@@ -28,7 +28,7 @@ namespace kloc {
 struct WorkloadResult
 {
     uint64_t operations = 0;
-    Tick elapsed = 0;
+    Tick elapsed{};
 
     /** Operations per virtual second. */
     double

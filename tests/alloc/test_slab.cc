@@ -25,8 +25,8 @@ class SlabTest : public ::testing::Test
         TierSpec spec;
         spec.name = "fast";
         spec.capacity = 64 * kPageSize;
-        spec.readLatency = 80;
-        spec.writeLatency = 80;
+        spec.readLatency = Tick{80};
+        spec.writeLatency = Tick{80};
         spec.readBandwidth = 10 * kGiB;
         spec.writeBandwidth = 10 * kGiB;
         fastId = tiers.addTier(spec);
@@ -45,7 +45,7 @@ class SlabTest : public ::testing::Test
 
 TEST_F(SlabTest, ObjectsPackIntoOneSlabPage)
 {
-    KmemCache cache(mem, tiers, "test256", 256, ObjClass::FsSlab);
+    KmemCache cache(mem, tiers, "test256", Bytes{256}, ObjClass::FsSlab);
     EXPECT_EQ(cache.objsPerSlab(), kPageSize / 256);
 
     std::vector<SlabRef> refs;
@@ -72,7 +72,7 @@ TEST_F(SlabTest, ObjectsPackIntoOneSlabPage)
 
 TEST_F(SlabTest, FreeInvalidatesRef)
 {
-    KmemCache cache(mem, tiers, "t", 128, ObjClass::FsSlab);
+    KmemCache cache(mem, tiers, "t", Bytes{128}, ObjClass::FsSlab);
     SlabRef ref = cache.alloc({fastId});
     ASSERT_TRUE(ref.valid());
     cache.free(ref);
@@ -81,7 +81,7 @@ TEST_F(SlabTest, FreeInvalidatesRef)
 
 TEST_F(SlabTest, EmptySlabsRetainedThenReleased)
 {
-    KmemCache cache(mem, tiers, "t", 2048, ObjClass::FsSlab);
+    KmemCache cache(mem, tiers, "t", Bytes{2048}, ObjClass::FsSlab);
     const uint64_t baseline = tiers.liveFrames();
     std::vector<SlabRef> refs;
     for (int i = 0; i < 10; ++i)
@@ -95,7 +95,7 @@ TEST_F(SlabTest, EmptySlabsRetainedThenReleased)
 
 TEST_F(SlabTest, LegacySlabsAreNotRelocatable)
 {
-    KmemCache cache(mem, tiers, "t", 512, ObjClass::FsSlab);
+    KmemCache cache(mem, tiers, "t", Bytes{512}, ObjClass::FsSlab);
     SlabRef ref = cache.alloc({fastId});
     EXPECT_FALSE(ref.frame->relocatable);
     cache.free(ref);
@@ -103,7 +103,7 @@ TEST_F(SlabTest, LegacySlabsAreNotRelocatable)
 
 TEST_F(SlabTest, KlocModeSlabsAreRelocatable)
 {
-    KmemCache cache(mem, tiers, "t", 512, ObjClass::FsSlab);
+    KmemCache cache(mem, tiers, "t", Bytes{512}, ObjClass::FsSlab);
     cache.setKlocMode(true);
     SlabRef ref = cache.alloc({fastId}, 1);
     EXPECT_TRUE(ref.frame->relocatable);
@@ -112,7 +112,7 @@ TEST_F(SlabTest, KlocModeSlabsAreRelocatable)
 
 TEST_F(SlabTest, GroupsGetSeparateSlabs)
 {
-    KmemCache cache(mem, tiers, "t", 256, ObjClass::FsSlab);
+    KmemCache cache(mem, tiers, "t", Bytes{256}, ObjClass::FsSlab);
     cache.setKlocMode(true);
     SlabRef group1 = cache.alloc({fastId}, 1);
     SlabRef group2 = cache.alloc({fastId}, 2);
@@ -150,8 +150,8 @@ TEST_F(SlabTest, ExhaustionReturnsInvalidRef)
     TierSpec spec;
     spec.name = "tiny";
     spec.capacity = 2 * kPageSize;
-    spec.readLatency = 80;
-    spec.writeLatency = 80;
+    spec.readLatency = Tick{80};
+    spec.writeLatency = Tick{80};
     spec.readBandwidth = kGiB;
     spec.writeBandwidth = kGiB;
     const TierId tiny = t.addTier(spec);
@@ -168,7 +168,7 @@ TEST_F(SlabTest, ExhaustionReturnsInvalidRef)
 
 TEST_F(SlabTest, AllocChargesTime)
 {
-    KmemCache cache(mem, tiers, "t", 256, ObjClass::FsSlab);
+    KmemCache cache(mem, tiers, "t", Bytes{256}, ObjClass::FsSlab);
     const Tick before = machine.now();
     SlabRef ref = cache.alloc({fastId});
     EXPECT_GT(machine.now(), before);
@@ -177,7 +177,7 @@ TEST_F(SlabTest, AllocChargesTime)
 
 TEST_F(SlabTest, StatsTrackCumulativeAllocs)
 {
-    KmemCache cache(mem, tiers, "t", 256, ObjClass::FsSlab);
+    KmemCache cache(mem, tiers, "t", Bytes{256}, ObjClass::FsSlab);
     std::vector<SlabRef> refs;
     for (int i = 0; i < 5; ++i)
         refs.push_back(cache.alloc({fastId}));
@@ -191,7 +191,7 @@ TEST_F(SlabTest, DestructorReleasesFrames)
 {
     const uint64_t baseline = tiers.liveFrames();
     {
-        KmemCache cache(mem, tiers, "t", 256, ObjClass::FsSlab);
+        KmemCache cache(mem, tiers, "t", Bytes{256}, ObjClass::FsSlab);
         for (int i = 0; i < 40; ++i)
             cache.alloc({fastId});  // intentionally leaked objects
         EXPECT_GT(tiers.liveFrames(), baseline);

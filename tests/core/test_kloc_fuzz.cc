@@ -47,8 +47,8 @@ TEST_P(KlocFuzz, InvariantsHoldUnderChurn)
     TierSpec spec;
     spec.name = "fast";
     spec.capacity = 512 * kPageSize;
-    spec.readLatency = 80;
-    spec.writeLatency = 80;
+    spec.readLatency = Tick{80};
+    spec.writeLatency = Tick{80};
     spec.readBandwidth = 10 * kGiB;
     spec.writeBandwidth = 10 * kGiB;
     const TierId fast = tiers.addTier(spec);
@@ -131,7 +131,7 @@ TEST_P(KlocFuzz, InvariantsHoldUnderChurn)
                 kloc.markInactive(entry->knode);
         } else if (action < 0.8) {
             machine.charge(
-                static_cast<Tick>(rng.nextBounded(30)) * kMillisecond);
+                static_cast<int64_t>(rng.nextBounded(30)) * kMillisecond);
             kloc.runDemotePass();
             kloc.runPromotePass();
             kloc.runWatermarkPass();

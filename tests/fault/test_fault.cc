@@ -235,15 +235,15 @@ struct FaultStack
         TierSpec spec;
         spec.name = "fast";
         spec.capacity = fast_pages * kPageSize;
-        spec.readLatency = 80;
-        spec.writeLatency = 80;
+        spec.readLatency = Tick{80};
+        spec.writeLatency = Tick{80};
         spec.readBandwidth = 10 * kGiB;
         spec.writeBandwidth = 10 * kGiB;
         fast = tiers.addTier(spec);
         spec.name = "slow";
         spec.capacity = slow_pages * kPageSize;
-        spec.readLatency = 300;
-        spec.writeLatency = 300;
+        spec.readLatency = Tick{300};
+        spec.writeLatency = Tick{300};
         spec.readBandwidth = 2 * kGiB;
         spec.writeBandwidth = 2 * kGiB;
         slow = tiers.addTier(spec);
@@ -538,9 +538,9 @@ TEST(TierOffline, ScheduledEventsFireAtTicks)
     s.migrator.scheduleTierEvents();
 
     EXPECT_TRUE(s.tiers.tier(s.slow).online());
-    s.machine.charge(1100000);
+    s.machine.charge(Tick{1100000});
     EXPECT_FALSE(s.tiers.tier(s.slow).online());
-    s.machine.charge(1000000);
+    s.machine.charge(Tick{1000000});
     EXPECT_TRUE(s.tiers.tier(s.slow).online());
     EXPECT_TRUE(s.checker->clean()) << s.checker->report();
 }
@@ -698,7 +698,7 @@ struct PinChecker : ::testing::Test
     {
         TraceEvent event;
         event.seq = seq++;
-        event.tick = 0;
+        event.tick = Tick{};
         event.type = type;
         event.args[0] = a;
         event.args[1] = b;

@@ -46,15 +46,15 @@ TEST_P(FaultFuzz, InvariantsHoldUnderInjectedFaults)
     TierSpec tspec;
     tspec.name = "fast";
     tspec.capacity = 512 * kPageSize;
-    tspec.readLatency = 80;
-    tspec.writeLatency = 80;
+    tspec.readLatency = Tick{80};
+    tspec.writeLatency = Tick{80};
     tspec.readBandwidth = 10 * kGiB;
     tspec.writeBandwidth = 10 * kGiB;
     const TierId fast = tiers.addTier(tspec);
     tspec.name = "slow";
     tspec.capacity = 1024 * kPageSize;
-    tspec.readLatency = 300;
-    tspec.writeLatency = 300;
+    tspec.readLatency = Tick{300};
+    tspec.writeLatency = Tick{300};
     tspec.readBandwidth = 2 * kGiB;
     tspec.writeBandwidth = 2 * kGiB;
     const TierId slow = tiers.addTier(tspec);
@@ -162,18 +162,18 @@ TEST_P(FaultFuzz, InvariantsHoldUnderInjectedFaults)
             }
         } else if (action < 0.89) {
             // Exercise the migration fault site from both directions.
-            ScanResult scan = lru.scanTier(fast, 64);
+            ScanResult scan = lru.scanTier(fast, FrameCount{64});
             if (!scan.demoteCandidates.empty())
                 migrator.migrate(scan.demoteCandidates, slow);
-            auto hot = lru.collectHot(slow, 32);
+            auto hot = lru.collectHot(slow, FrameCount{32});
             if (!hot.empty())
                 migrator.migrate(hot, fast);
         } else if (action < 0.93) {
-            fs->reclaimPages(1 + rng.nextBounded(32));
+            fs->reclaimPages(FrameCount{1 + rng.nextBounded(32)});
         } else {
             // Idle time lets the daemons and scheduled tier events run.
             machine.charge(
-                static_cast<Tick>(1 + rng.nextBounded(4)) * kMillisecond);
+                static_cast<int64_t>(1 + rng.nextBounded(4)) * kMillisecond);
         }
     }
 

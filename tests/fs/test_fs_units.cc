@@ -29,8 +29,8 @@ class FsUnitTest : public ::testing::Test
         TierSpec spec;
         spec.name = "fast";
         spec.capacity = 512 * kPageSize;
-        spec.readLatency = 80;
-        spec.writeLatency = 80;
+        spec.readLatency = Tick{80};
+        spec.writeLatency = Tick{80};
         spec.readBandwidth = 10 * kGiB;
         spec.writeBandwidth = 10 * kGiB;
         fastId = tiers.addTier(spec);
@@ -64,14 +64,14 @@ TEST_F(FsUnitTest, DeviceSequentialFasterThanRandom)
     BlockDevice::Config config;
     BlockDevice dev(machine, config);
     // Sequential stream.
-    Tick seq_cost = 0;
+    Tick seq_cost{};
     uint64_t sector = 0;
     for (int i = 0; i < 16; ++i) {
         seq_cost += dev.transferCost(sector, 64 * kKiB);
         sector += 64 * kKiB / BlockDevice::kSectorSize;
     }
     // Random stream of the same volume.
-    Tick rand_cost = 0;
+    Tick rand_cost{};
     for (int i = 0; i < 16; ++i)
         rand_cost += dev.transferCost((i * 977 + 13) * 1000000ULL,
                                       64 * kKiB);
@@ -113,7 +113,7 @@ TEST_F(FsUnitTest, JournalLifecycle)
     Journal journal(heap, &kloc, block);
     Knode *knode = kloc.mapKnode(1);
 
-    journal.logMetadata(knode, true, 1, 256);
+    journal.logMetadata(knode, true, 1, Bytes{256});
     EXPECT_EQ(journal.liveRecords(), 1u);
     EXPECT_GT(knode->rbSlab.size(), 0u);
 
@@ -136,7 +136,7 @@ TEST_F(FsUnitTest, JournalDetachInodeAllowsUnmap)
     BlockLayer block(heap, &kloc, device);
     Journal journal(heap, &kloc, block);
     Knode *knode = kloc.mapKnode(1);
-    journal.logMetadata(knode, true, 1, 256);
+    journal.logMetadata(knode, true, 1, Bytes{256});
     ASSERT_GT(knode->objectCount(), 0u);
     journal.detachInode(1);
     EXPECT_EQ(knode->objectCount(), 0u);
@@ -149,7 +149,7 @@ TEST_F(FsUnitTest, JournalCommitTimer)
     BlockLayer block(heap, &kloc, device);
     Journal journal(heap, &kloc, block);
     journal.startCommitTimer(10 * kMillisecond);
-    journal.logMetadata(nullptr, true, 5, 256);
+    journal.logMetadata(nullptr, true, 5, Bytes{256});
     EXPECT_EQ(journal.committedTxs(), 0u);
     machine.charge(11 * kMillisecond);
     EXPECT_EQ(journal.committedTxs(), 1u);

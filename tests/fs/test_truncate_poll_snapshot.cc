@@ -25,7 +25,7 @@ TEST(Truncate, ShrinkFreesPagesAndExtents)
     auto platform = makePlatform();
     System &sys = platform->sys();
     const int fd = sys.fs().create("t");
-    sys.fs().write(fd, 0, 1200 * kPageSize);  // > 2 extents
+    sys.fs().write(fd, Bytes{0}, 1200 * kPageSize);  // > 2 extents
     const uint64_t cached_before = sys.fs().cachedPages();
     ASSERT_TRUE(sys.fs().truncate(fd, 100 * kPageSize));
     EXPECT_EQ(sys.fs().fileSize("t"), 100 * kPageSize);
@@ -34,7 +34,7 @@ TEST(Truncate, ShrinkFreesPagesAndExtents)
     // Reads past the new end return nothing.
     EXPECT_EQ(sys.fs().read(fd, 100 * kPageSize, kPageSize), 0u);
     // Reads below it still work.
-    EXPECT_EQ(sys.fs().read(fd, 0, kPageSize), kPageSize);
+    EXPECT_EQ(sys.fs().read(fd, Bytes{0}, kPageSize), kPageSize);
     sys.fs().close(fd);
 }
 
@@ -43,12 +43,12 @@ TEST(Truncate, ToZeroEmptiesCache)
     auto platform = makePlatform();
     System &sys = platform->sys();
     const int fd = sys.fs().create("t");
-    sys.fs().write(fd, 0, 64 * kPageSize);
-    ASSERT_TRUE(sys.fs().truncate(fd, 0));
+    sys.fs().write(fd, Bytes{0}, 64 * kPageSize);
+    ASSERT_TRUE(sys.fs().truncate(fd, Bytes{0}));
     EXPECT_EQ(sys.fs().fileSize("t"), 0u);
     EXPECT_EQ(sys.fs().cachedPages(), 0u);
     // The file is reusable afterwards.
-    EXPECT_EQ(sys.fs().write(fd, 0, kPageSize), kPageSize);
+    EXPECT_EQ(sys.fs().write(fd, Bytes{0}, kPageSize), kPageSize);
     sys.fs().close(fd);
 }
 
@@ -57,7 +57,7 @@ TEST(Truncate, GrowIsSparse)
     auto platform = makePlatform();
     System &sys = platform->sys();
     const int fd = sys.fs().create("t");
-    sys.fs().write(fd, 0, kPageSize);
+    sys.fs().write(fd, Bytes{0}, kPageSize);
     ASSERT_TRUE(sys.fs().truncate(fd, 100 * kPageSize));
     EXPECT_EQ(sys.fs().fileSize("t"), 100 * kPageSize);
     EXPECT_EQ(sys.fs().cachedPages(), 1u) << "grow must not allocate";
@@ -67,7 +67,7 @@ TEST(Truncate, GrowIsSparse)
 TEST(Truncate, BadFdFails)
 {
     auto platform = makePlatform();
-    EXPECT_FALSE(platform->sys().fs().truncate(999, 0));
+    EXPECT_FALSE(platform->sys().fs().truncate(999, Bytes{0}));
 }
 
 TEST(Poll, ReportsReadinessAndKeepsKlocHot)
@@ -76,13 +76,13 @@ TEST(Poll, ReportsReadinessAndKeepsKlocHot)
     System &sys = platform->sys();
     const int sd = sys.net().socket();
     EXPECT_FALSE(sys.net().poll(sd));
-    sys.net().deliver(sd, 1000);
+    sys.net().deliver(sd, Bytes{1000});
     EXPECT_TRUE(sys.net().poll(sd));
     Knode *knode = sys.net().knodeOf(sd);
     ASSERT_NE(knode, nullptr);
     EXPECT_TRUE(knode->inuse);
     EXPECT_EQ(knode->age, 0u);
-    sys.net().recv(sd, ~0ULL);
+    sys.net().recv(sd, Bytes{~0ULL});
     EXPECT_FALSE(sys.net().poll(sd));
     EXPECT_FALSE(sys.net().poll(12345)) << "unknown sd must be falsy";
     sys.net().closeSocket(sd);
@@ -94,11 +94,11 @@ TEST(Snapshot, ExportsAllSubsystems)
     System &sys = platform->sys();
     sys.fs().startDaemons();
     const int fd = sys.fs().create("s");
-    sys.fs().write(fd, 0, 32 * kPageSize);
+    sys.fs().write(fd, Bytes{0}, 32 * kPageSize);
     sys.fs().close(fd);
     const int sd = sys.net().socket();
-    sys.net().deliver(sd, 5000);
-    sys.net().recv(sd, ~0ULL);
+    sys.net().deliver(sd, Bytes{5000});
+    sys.net().recv(sd, Bytes{~0ULL});
 
     const StatSet stats = sys.snapshot();
     EXPECT_GT(stats.get("time_ms"), 0.0);

@@ -27,8 +27,8 @@ class VfsTest : public ::testing::Test
         TierSpec spec;
         spec.name = "fast";
         spec.capacity = 1024 * kPageSize;
-        spec.readLatency = 80;
-        spec.writeLatency = 80;
+        spec.readLatency = Tick{80};
+        spec.writeLatency = Tick{80};
         spec.readBandwidth = 10 * kGiB;
         spec.writeBandwidth = 10 * kGiB;
         fastId = tiers.addTier(spec);
@@ -79,19 +79,19 @@ TEST_F(VfsTest, CreateOpenCloseSemantics)
 TEST_F(VfsTest, WriteExtendsAndReadClamps)
 {
     const int fd = fs->create("f");
-    EXPECT_EQ(fs->write(fd, 0, 10000), 10000u);
+    EXPECT_EQ(fs->write(fd, Bytes{0}, Bytes{10000}), 10000u);
     EXPECT_EQ(fs->fileSize("f"), 10000u);
-    EXPECT_EQ(fs->write(fd, 5000, 1000), 1000u);  // overwrite
+    EXPECT_EQ(fs->write(fd, Bytes{5000}, Bytes{1000}), 1000u);  // overwrite
     EXPECT_EQ(fs->fileSize("f"), 10000u);
-    EXPECT_EQ(fs->read(fd, 0, 20000), 10000u) << "read past EOF";
-    EXPECT_EQ(fs->read(fd, 10000, 100), 0u);
+    EXPECT_EQ(fs->read(fd, Bytes{0}, Bytes{20000}), 10000u) << "read past EOF";
+    EXPECT_EQ(fs->read(fd, Bytes{10000}, Bytes{100}), 0u);
     fs->close(fd);
 }
 
 TEST_F(VfsTest, UnlinkRules)
 {
     const int fd = fs->create("f");
-    fs->write(fd, 0, kPageSize * 4);
+    fs->write(fd, Bytes{0}, kPageSize * 4);
     EXPECT_FALSE(fs->unlink("f")) << "unlink of an open file";
     fs->close(fd);
     const uint64_t cached_before = fs->cachedPages();
@@ -115,7 +115,7 @@ TEST_F(VfsTest, KnodeLifecycleFollowsFile)
     // Inode + dentry are tracked immediately.
     EXPECT_GE(knode->objectCount(), 2u);
 
-    fs->write(fd, 0, 64 * kKiB);
+    fs->write(fd, Bytes{0}, 64 * kKiB);
     EXPECT_GT(knode->rbCache.size(), 0u) << "cache pages not tracked";
 
     fs->close(fd);
@@ -128,11 +128,11 @@ TEST_F(VfsTest, KnodeLifecycleFollowsFile)
 TEST_F(VfsTest, PageCacheHitsAfterFirstRead)
 {
     const int fd = fs->create("f");
-    fs->write(fd, 0, 256 * kPageSize);
+    fs->write(fd, Bytes{0}, 256 * kPageSize);
     fs->fsync(fd);
     // First read may be served from cache (written pages are
     // uptodate); stats must show pure hits.
-    fs->read(fd, 0, 256 * kPageSize);
+    fs->read(fd, Bytes{0}, 256 * kPageSize);
     EXPECT_EQ(fs->stats().readPageMisses, 0u);
     EXPECT_GT(fs->stats().readPageHits, 0u);
     fs->close(fd);
@@ -141,15 +141,15 @@ TEST_F(VfsTest, PageCacheHitsAfterFirstRead)
 TEST_F(VfsTest, ReadMissHitsDevice)
 {
     const int fd = fs->create("f");
-    fs->write(fd, 0, 64 * kPageSize);
+    fs->write(fd, Bytes{0}, 64 * kPageSize);
     fs->fsync(fd);
     fs->close(fd);
     // Drop the cache via reclaim, then re-read.
-    const uint64_t freed = fs->reclaimPages(64);
+    const uint64_t freed = fs->reclaimPages(FrameCount{64});
     EXPECT_GT(freed, 0u);
     const uint64_t reqs_before = fs->device().requests();
     const int fd2 = fs->open("f");
-    fs->read(fd2, 0, 64 * kPageSize);
+    fs->read(fd2, Bytes{0}, 64 * kPageSize);
     EXPECT_GT(fs->stats().readPageMisses, 0u);
     EXPECT_GT(fs->device().requests(), reqs_before);
     fs->close(fd2);
@@ -158,7 +158,7 @@ TEST_F(VfsTest, ReadMissHitsDevice)
 TEST_F(VfsTest, FsyncCleansDirtyPages)
 {
     const int fd = fs->create("f");
-    fs->write(fd, 0, 128 * kPageSize);
+    fs->write(fd, Bytes{0}, 128 * kPageSize);
     const uint64_t reqs_before = fs->device().requests();
     fs->fsync(fd);
     EXPECT_GT(fs->device().requests(), reqs_before);
@@ -175,7 +175,7 @@ TEST_F(VfsTest, WritebackDaemonDrainsInBackground)
 {
     fs->startDaemons();
     const int fd = fs->create("f");
-    fs->write(fd, 0, 64 * kPageSize);
+    fs->write(fd, Bytes{0}, 64 * kPageSize);
     machine.charge(100 * kMillisecond);
     EXPECT_GE(fs->stats().writebackPages, 64u)
         << "daemon did not write back dirty pages";
@@ -186,13 +186,13 @@ TEST_F(VfsTest, WritebackDaemonDrainsInBackground)
 TEST_F(VfsTest, ReadaheadPrefetchesSequentialStreams)
 {
     const int fd = fs->create("f");
-    fs->write(fd, 0, 256 * kPageSize);
+    fs->write(fd, Bytes{0}, 256 * kPageSize);
     fs->fsync(fd);
     fs->close(fd);
-    fs->reclaimPages(256);
+    fs->reclaimPages(FrameCount{256});
     const int fd2 = fs->open("f");
     // Two sequential reads trigger the prefetcher.
-    fs->read(fd2, 0, kPageSize);
+    fs->read(fd2, Bytes{0}, kPageSize);
     fs->read(fd2, kPageSize, kPageSize);
     EXPECT_GT(fs->stats().readaheadPages, 0u);
     fs->close(fd2);
@@ -201,7 +201,7 @@ TEST_F(VfsTest, ReadaheadPrefetchesSequentialStreams)
 TEST_F(VfsTest, RandomReadsDoNotPrefetch)
 {
     const int fd = fs->create("f");
-    fs->write(fd, 0, 256 * kPageSize);
+    fs->write(fd, Bytes{0}, 256 * kPageSize);
     fs->read(fd, 100 * kPageSize, kPageSize);
     fs->read(fd, 3 * kPageSize, kPageSize);
     fs->read(fd, 77 * kPageSize, kPageSize);
@@ -212,10 +212,10 @@ TEST_F(VfsTest, RandomReadsDoNotPrefetch)
 TEST_F(VfsTest, ReclaimSkipsDirtyButWritesThemBack)
 {
     const int fd = fs->create("f");
-    fs->write(fd, 0, 32 * kPageSize);
+    fs->write(fd, Bytes{0}, 32 * kPageSize);
     // All pages dirty: reclaim writes back, rotates, and may free
     // only what became clean.
-    fs->reclaimPages(8);
+    fs->reclaimPages(FrameCount{8});
     EXPECT_GT(fs->stats().writebackPages, 0u);
     fs->close(fd);
 }
@@ -233,8 +233,8 @@ TEST_F(VfsTest, SyncAllFlushesEverything)
 {
     const int a = fs->create("a");
     const int b = fs->create("b");
-    fs->write(a, 0, 16 * kPageSize);
-    fs->write(b, 0, 16 * kPageSize);
+    fs->write(a, Bytes{0}, 16 * kPageSize);
+    fs->write(b, Bytes{0}, 16 * kPageSize);
     fs->syncAll();
     EXPECT_GE(fs->stats().writebackPages, 32u);
     fs->close(a);
@@ -244,7 +244,7 @@ TEST_F(VfsTest, SyncAllFlushesEverything)
 TEST_F(VfsTest, ReopenReactivatesKnode)
 {
     const int fd = fs->create("f");
-    fs->write(fd, 0, kPageSize);
+    fs->write(fd, Bytes{0}, kPageSize);
     fs->close(fd);
     Knode *knode = fs->knodeOf("f");
     ASSERT_FALSE(knode->inuse);
@@ -266,10 +266,10 @@ TEST_F(VfsDataTest, RoundTripsBytes)
     std::vector<char> out(3 * kPageSize);
     for (size_t i = 0; i < out.size(); ++i)
         out[i] = static_cast<char>((i * 31 + 7) & 0xFF);
-    ASSERT_EQ(fs->write(fd, 0, out.size(), out.data()), out.size());
+    ASSERT_EQ(fs->write(fd, Bytes{0}, Bytes{out.size()}, out.data()), out.size());
 
     std::vector<char> in(out.size(), 0);
-    ASSERT_EQ(fs->read(fd, 0, in.size(), in.data()), in.size());
+    ASSERT_EQ(fs->read(fd, Bytes{0}, Bytes{in.size()}, in.data()), in.size());
     EXPECT_EQ(std::memcmp(out.data(), in.data(), out.size()), 0);
     fs->close(fd);
 }
@@ -278,13 +278,13 @@ TEST_F(VfsDataTest, UnalignedOverwrite)
 {
     const int fd = fs->create("data");
     std::vector<char> base(2 * kPageSize, 'A');
-    fs->write(fd, 0, base.size(), base.data());
+    fs->write(fd, Bytes{0}, Bytes{base.size()}, base.data());
     // Overwrite a span crossing the page boundary.
     std::vector<char> patch(1000, 'B');
-    fs->write(fd, kPageSize - 500, patch.size(), patch.data());
+    fs->write(fd, kPageSize - Bytes{500}, Bytes{patch.size()}, patch.data());
 
     std::vector<char> in(2 * kPageSize, 0);
-    fs->read(fd, 0, in.size(), in.data());
+    fs->read(fd, Bytes{0}, Bytes{in.size()}, in.data());
     EXPECT_EQ(in[kPageSize - 501], 'A');
     EXPECT_EQ(in[kPageSize - 500], 'B');
     EXPECT_EQ(in[kPageSize + 499], 'B');

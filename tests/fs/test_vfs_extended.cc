@@ -86,11 +86,11 @@ TEST(VfsExtended, MemsizeCapDivertsKernelAllocations)
     sys.kloc().setMemLimit(platform->fastTier(), 16 * kPageSize);
 
     const int fd = sys.fs().create("f");
-    sys.fs().write(fd, 0, 256 * kPageSize);
+    sys.fs().write(fd, Bytes{0}, 256 * kPageSize);
     sys.fs().close(fd);
 
     const Tier &fast = sys.tiers().tier(platform->fastTier());
-    Bytes kernel_bytes = 0;
+    Bytes kernel_bytes{};
     for (unsigned c = 0; c < kNumObjClasses; ++c) {
         const auto cls = static_cast<ObjClass>(c);
         if (isKernelClass(cls))
@@ -132,7 +132,7 @@ TEST(VfsExtended, DestroyWithDirtyPagesViaTeardown)
     auto platform = makePlatform();
     System &sys = platform->sys();
     const int fd = sys.fs().create("dirty_file");
-    sys.fs().write(fd, 0, 64 * kPageSize);
+    sys.fs().write(fd, Bytes{0}, 64 * kPageSize);
     sys.fs().close(fd);
     // Unlink with dirty pages pending: pages are deallocated, not
     // written back (the file is gone).
@@ -145,8 +145,8 @@ TEST(VfsExtended, ZeroLengthIo)
     auto platform = makePlatform();
     System &sys = platform->sys();
     const int fd = sys.fs().create("f");
-    EXPECT_EQ(sys.fs().write(fd, 0, 0), 0u);
-    EXPECT_EQ(sys.fs().read(fd, 0, 0), 0u);
+    EXPECT_EQ(sys.fs().write(fd, Bytes{0}, Bytes{0}), 0u);
+    EXPECT_EQ(sys.fs().read(fd, Bytes{0}, Bytes{0}), 0u);
     EXPECT_EQ(sys.fs().fileSize("f"), 0u);
     sys.fs().close(fd);
 }
@@ -160,7 +160,7 @@ TEST(VfsExtended, SparseWriteThenReadHole)
     sys.fs().write(fd, 100 * kPageSize, kPageSize);
     EXPECT_EQ(sys.fs().fileSize("sparse"), 101 * kPageSize);
     // Reading the hole materialises pages through the miss path.
-    const Bytes got = sys.fs().read(fd, 0, 4 * kPageSize);
+    const Bytes got = sys.fs().read(fd, Bytes{0}, 4 * kPageSize);
     EXPECT_EQ(got, 4 * kPageSize);
     sys.fs().close(fd);
 }
@@ -178,7 +178,7 @@ TEST(VfsExtended, ManySmallFilesChurn)
                 std::to_string(i);
             const int fd = sys.fs().create(name);
             ASSERT_GE(fd, 0);
-            sys.fs().write(fd, 0, 2 * kPageSize);
+            sys.fs().write(fd, Bytes{0}, 2 * kPageSize);
             sys.fs().close(fd);
         }
         sys.machine().charge(5 * kMillisecond);

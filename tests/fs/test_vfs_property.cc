@@ -68,8 +68,8 @@ TEST_P(VfsPropertyTest, MatchesReferenceModel)
             auto *entry = random_file();
             if (!entry || entry->second.fd < 0)
                 continue;
-            const Bytes offset = rng.nextBounded(kMaxFile / 2);
-            const Bytes length = 1 + rng.nextBounded(3 * kPageSize);
+            const Bytes offset{rng.nextBounded(kMaxFile / 2)};
+            const Bytes length{1 + rng.nextBounded(3 * kPageSize)};
             std::vector<char> data(length);
             for (auto &b : data)
                 b = static_cast<char>(rng.nextBounded(256));
@@ -89,10 +89,10 @@ TEST_P(VfsPropertyTest, MatchesReferenceModel)
             ASSERT_EQ(fs.fileSize(entry->first), bytes.size());
             if (bytes.empty())
                 continue;
-            const Bytes offset = rng.nextBounded(bytes.size());
-            const Bytes want =
-                std::min<Bytes>(1 + rng.nextBounded(2 * kPageSize),
-                                bytes.size() - offset);
+            const Bytes offset{rng.nextBounded(bytes.size())};
+            const Bytes want{
+                std::min<uint64_t>(1 + rng.nextBounded(2 * kPageSize),
+                                   bytes.size() - offset)};
             std::vector<char> got(want, 0);
             ASSERT_EQ(fs.read(entry->second.fd, offset, want,
                               got.data()),
@@ -138,7 +138,7 @@ TEST_P(VfsPropertyTest, MatchesReferenceModel)
         if (file.bytes.empty())
             continue;
         std::vector<char> got(file.bytes.size(), 0);
-        ASSERT_EQ(fs.read(file.fd, 0, got.size(), got.data()),
+        ASSERT_EQ(fs.read(file.fd, Bytes{0}, Bytes{got.size()}, got.data()),
                   got.size());
         ASSERT_EQ(std::memcmp(got.data(), file.bytes.data(),
                               got.size()),

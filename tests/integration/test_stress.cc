@@ -62,7 +62,7 @@ TEST(Stress, RxPathSurvivesMemoryExhaustion)
         sys.net().deliver(sd, 64 * kPageSize);
     EXPECT_GT(sys.net().stats().rxDrops, 0u);
     // Draining recovers service.
-    sys.net().recv(sd, ~0ULL);
+    sys.net().recv(sd, Bytes{~0ULL});
     const uint64_t delivered_before =
         sys.net().stats().packetsDelivered;
     sys.net().deliver(sd, kPageSize);
@@ -83,8 +83,8 @@ TEST(Stress, FsWriteUnderTotalExhaustionBypassesCache)
     // Write 4x the total memory; the FS must keep going through
     // reclaim + cache bypass.
     const Bytes total = 24 * kMiB;
-    Bytes written = 0;
-    for (Bytes off = 0; off < total; off += 64 * kPageSize)
+    Bytes written{};
+    for (Bytes off{}; off < total; off += 64 * kPageSize)
         written += sys.fs().write(fd, off, 64 * kPageSize);
     EXPECT_EQ(written, total);
     EXPECT_GT(sys.fs().stats().reclaimedPages +
@@ -98,10 +98,10 @@ TEST(Stress, EventQueueClearDropsPending)
     EventQueue events;
     int fired = 0;
     for (int i = 0; i < 100; ++i)
-        events.schedule(i, [&] { ++fired; });
+        events.schedule(Tick{i}, [&] { ++fired; });
     events.clear();
     EXPECT_TRUE(events.empty());
-    EXPECT_EQ(events.runDue(1000), 0u);
+    EXPECT_EQ(events.runDue(Tick{1000}), 0u);
     EXPECT_EQ(fired, 0);
 }
 

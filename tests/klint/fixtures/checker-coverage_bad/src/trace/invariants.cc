@@ -1,0 +1,16 @@
+#include "trace/trace.hh"
+
+namespace kloc {
+
+void
+check(TraceEventType type)
+{
+    switch (type) {
+      case TraceEventType::FrameAlloc:
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace kloc

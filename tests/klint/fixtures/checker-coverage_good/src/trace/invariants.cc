@@ -1,0 +1,18 @@
+#include "trace/trace.hh"
+
+namespace kloc {
+
+void
+check(TraceEventType type)
+{
+    switch (type) {
+      case TraceEventType::FrameAlloc:
+        break;
+      case TraceEventType::FrameFree:
+        break;
+      case TraceEventType::NumTypes:
+        break;
+    }
+}
+
+} // namespace kloc

@@ -1,0 +1,14 @@
+#ifndef KLOC_TRACE_TRACE_HH
+#define KLOC_TRACE_TRACE_HH
+
+namespace kloc {
+
+enum class TraceEventType : unsigned char {
+    FrameAlloc = 0,
+    FrameFree,
+    NumTypes
+};
+
+} // namespace kloc
+
+#endif // KLOC_TRACE_TRACE_HH

@@ -1,0 +1,25 @@
+// Fixture: iterates an unordered container and calls libc rand().
+#include <unordered_set>
+
+namespace kloc {
+
+class Scheduler
+{
+  public:
+    int drain();
+
+  private:
+    std::unordered_set<int> _pending;
+};
+
+int
+Scheduler::drain()
+{
+    int sum = 0;
+    for (int id : _pending)
+        sum += id;
+    sum += rand();
+    return sum;
+}
+
+} // namespace kloc

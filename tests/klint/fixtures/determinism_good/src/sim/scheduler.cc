@@ -1,0 +1,24 @@
+// Fixture: same loop through sortedSnapshot(); no libc randomness.
+#include <unordered_set>
+
+namespace kloc {
+
+class Scheduler
+{
+  public:
+    int drain();
+
+  private:
+    std::unordered_set<int> _pending;
+};
+
+int
+Scheduler::drain()
+{
+    int sum = 0;
+    for (int id : sortedSnapshot(_pending))
+        sum += id;
+    return sum;
+}
+
+} // namespace kloc

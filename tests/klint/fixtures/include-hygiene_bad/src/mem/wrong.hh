@@ -1,0 +1,6 @@
+#ifndef SOME_RANDOM_GUARD
+#define SOME_RANDOM_GUARD
+
+#include "../base/units.hh"
+
+#endif // SOME_RANDOM_GUARD

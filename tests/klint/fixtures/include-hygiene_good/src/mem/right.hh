@@ -1,0 +1,6 @@
+#ifndef KLOC_MEM_RIGHT_HH
+#define KLOC_MEM_RIGHT_HH
+
+#include "base/units.hh"
+
+#endif // KLOC_MEM_RIGHT_HH

@@ -1,0 +1,7 @@
+#ifndef KLOC_MEM_PRESSURE_HH
+#define KLOC_MEM_PRESSURE_HH
+
+// Fixture: mem (layer 3) reaching up into fs (layer 6).
+#include "fs/vfs.hh"
+
+#endif // KLOC_MEM_PRESSURE_HH

@@ -1,0 +1,7 @@
+#ifndef KLOC_FS_PRESSURE_HH
+#define KLOC_FS_PRESSURE_HH
+
+// Fixture: fs (layer 6) depending on mem (layer 3) is fine.
+#include "mem/frame.hh"
+
+#endif // KLOC_FS_PRESSURE_HH

@@ -1,0 +1,19 @@
+#include "trace/trace.hh"
+
+namespace kloc {
+
+struct Tracer
+{
+    void emit(TraceEventType type, unsigned long a = 0,
+              unsigned long b = 0, unsigned long c = 0,
+              unsigned long d = 0);
+};
+
+void
+run(Tracer &tracer)
+{
+    // Fixture: frame_alloc declares 4 args, only 2 passed.
+    tracer.emit(TraceEventType::FrameAlloc, 1, 2);
+}
+
+} // namespace kloc

@@ -1,0 +1,18 @@
+#include "trace/trace.hh"
+
+namespace kloc {
+
+struct Tracer
+{
+    void emit(TraceEventType type, unsigned long a = 0,
+              unsigned long b = 0, unsigned long c = 0,
+              unsigned long d = 0);
+};
+
+void
+run(Tracer &tracer)
+{
+    tracer.emit(TraceEventType::FrameAlloc, 1, 2, 3, 4);
+}
+
+} // namespace kloc

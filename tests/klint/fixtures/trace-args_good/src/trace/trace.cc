@@ -1,0 +1,17 @@
+#include "trace/trace.hh"
+
+namespace kloc {
+
+struct EventSpec
+{
+    const char *name;
+    unsigned argCount;
+    const char *argNames[4];
+};
+
+const EventSpec kEventSpecs[2] = {
+    {"frame_alloc", 4, {"tier", "pfn", "order", "class"}},
+    {"frame_free",  4, {"tier", "pfn", "order", "class"}},
+};
+
+} // namespace kloc

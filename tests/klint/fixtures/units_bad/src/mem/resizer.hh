@@ -1,0 +1,17 @@
+#ifndef KLOC_MEM_RESIZER_HH
+#define KLOC_MEM_RESIZER_HH
+
+#include <cstdint>
+
+namespace kloc {
+
+class Resizer
+{
+  public:
+    // Fixture: a raw byte count should be Bytes.
+    void resize(uint64_t new_bytes);
+};
+
+} // namespace kloc
+
+#endif // KLOC_MEM_RESIZER_HH

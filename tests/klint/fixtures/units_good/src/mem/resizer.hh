@@ -1,0 +1,24 @@
+#ifndef KLOC_MEM_RESIZER_HH
+#define KLOC_MEM_RESIZER_HH
+
+#include <cstdint>
+
+namespace kloc {
+
+class Bytes;
+
+class Resizer
+{
+  public:
+    void resize(Bytes new_bytes);
+    // Identity-like values stay raw by allowlisted name...
+    void attach(uint64_t inode_id);
+
+  private:
+    // ...and private helpers are outside the public surface.
+    void grow(uint64_t amount);
+};
+
+} // namespace kloc
+
+#endif // KLOC_MEM_RESIZER_HH

@@ -61,8 +61,8 @@ class KernelHeapTest : public ::testing::Test
         TierSpec spec;
         spec.name = "fast";
         spec.capacity = 64 * kPageSize;
-        spec.readLatency = 80;
-        spec.writeLatency = 80;
+        spec.readLatency = Tick{80};
+        spec.writeLatency = Tick{80};
         spec.readBandwidth = 10 * kGiB;
         spec.writeBandwidth = 10 * kGiB;
         fastId = tiers.addTier(spec);

@@ -18,7 +18,7 @@ namespace {
 
 TEST(Buddy, FreshAllocatorIsEmpty)
 {
-    BuddyAllocator buddy(1024);
+    BuddyAllocator buddy(FrameCount{1024});
     EXPECT_EQ(buddy.totalFrames(), 1024u);
     EXPECT_EQ(buddy.usedFrames(), 0u);
     EXPECT_EQ(buddy.freeFrames(), 1024u);
@@ -28,7 +28,7 @@ TEST(Buddy, FreshAllocatorIsEmpty)
 
 TEST(Buddy, Order0AllocFree)
 {
-    BuddyAllocator buddy(64);
+    BuddyAllocator buddy(FrameCount{64});
     const Pfn pfn = buddy.alloc(0);
     ASSERT_NE(pfn, kInvalidPfn);
     EXPECT_EQ(buddy.usedFrames(), 1u);
@@ -39,7 +39,7 @@ TEST(Buddy, Order0AllocFree)
 
 TEST(Buddy, HighOrderAlignment)
 {
-    BuddyAllocator buddy(4096);
+    BuddyAllocator buddy(FrameCount{4096});
     for (unsigned order = 1; order <= 10; ++order) {
         const Pfn pfn = buddy.alloc(order);
         ASSERT_NE(pfn, kInvalidPfn);
@@ -53,7 +53,7 @@ TEST(Buddy, HighOrderAlignment)
 
 TEST(Buddy, CoalescingRestoresMaxOrder)
 {
-    BuddyAllocator buddy(1024);
+    BuddyAllocator buddy(FrameCount{1024});
     std::vector<Pfn> pfns;
     for (int i = 0; i < 1024; ++i) {
         const Pfn pfn = buddy.alloc(0);
@@ -69,7 +69,7 @@ TEST(Buddy, CoalescingRestoresMaxOrder)
 
 TEST(Buddy, ExhaustionReturnsInvalid)
 {
-    BuddyAllocator buddy(4);
+    BuddyAllocator buddy(FrameCount{4});
     EXPECT_NE(buddy.alloc(2), kInvalidPfn);
     EXPECT_EQ(buddy.alloc(0), kInvalidPfn);
     EXPECT_EQ(buddy.alloc(2), kInvalidPfn);
@@ -77,7 +77,7 @@ TEST(Buddy, ExhaustionReturnsInvalid)
 
 TEST(Buddy, AllocationsDoNotOverlap)
 {
-    BuddyAllocator buddy(512);
+    BuddyAllocator buddy(FrameCount{512});
     Rng rng(3);
     std::set<Pfn> owned;
     std::vector<std::pair<Pfn, unsigned>> blocks;
@@ -100,7 +100,7 @@ TEST(Buddy, AllocationsDoNotOverlap)
 
 TEST(Buddy, DeterministicLowestAddressFirst)
 {
-    BuddyAllocator a(256), b(256);
+    BuddyAllocator a(FrameCount{256}), b(FrameCount{256});
     for (int i = 0; i < 100; ++i)
         ASSERT_EQ(a.alloc(0), b.alloc(0));
 }
@@ -108,7 +108,7 @@ TEST(Buddy, DeterministicLowestAddressFirst)
 TEST(Buddy, NonPowerOfTwoFrameSpace)
 {
     // 1000 frames: trailing frames covered by smaller blocks.
-    BuddyAllocator buddy(1000);
+    BuddyAllocator buddy(FrameCount{1000});
     buddy.validate();
     std::vector<Pfn> pfns;
     Pfn pfn;
@@ -126,7 +126,7 @@ class BuddyChurn : public ::testing::TestWithParam<int>
 TEST_P(BuddyChurn, RandomAllocFreeKeepsConsistency)
 {
     Rng rng(static_cast<uint64_t>(GetParam()));
-    BuddyAllocator buddy(2048);
+    BuddyAllocator buddy(FrameCount{2048});
     std::vector<std::pair<Pfn, unsigned>> live;
     for (int step = 0; step < 5000; ++step) {
         if (live.empty() || rng.nextBool(0.55)) {

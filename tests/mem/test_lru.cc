@@ -22,8 +22,8 @@ class LruTest : public ::testing::Test
         TierSpec spec;
         spec.name = "fast";
         spec.capacity = 128 * kPageSize;
-        spec.readLatency = 80;
-        spec.writeLatency = 80;
+        spec.readLatency = Tick{80};
+        spec.writeLatency = Tick{80};
         spec.readBandwidth = 10 * kGiB;
         spec.writeBandwidth = 10 * kGiB;
         fastId = tiers.addTier(spec);
@@ -75,9 +75,9 @@ TEST_F(LruTest, ScanDeactivatesUnreferencedActives)
     lru.onAccessed(frame);
     ASSERT_TRUE(frame->onActiveList);
     // First scan clears the referenced bit set by activation...
-    lru.scanTier(fastId, 100);
+    lru.scanTier(fastId, FrameCount{100});
     // ...the next scan (no touches in between) deactivates.
-    lru.scanTier(fastId, 100);
+    lru.scanTier(fastId, FrameCount{100});
     EXPECT_FALSE(frame->onActiveList);
     tiers.free(frame);
 }
@@ -87,7 +87,7 @@ TEST_F(LruTest, ColdInactiveFramesAreDemoteCandidates)
     Frame *hot = alloc(fastId);
     Frame *cold = alloc(fastId);
     lru.onAccessed(hot);  // referenced while inactive
-    ScanResult result = lru.scanTier(fastId, 100);
+    ScanResult result = lru.scanTier(fastId, FrameCount{100});
     ASSERT_EQ(result.demoteCandidates.size(), 1u);
     EXPECT_EQ(result.demoteCandidates[0].get(), cold);
     tiers.free(hot);
@@ -99,7 +99,7 @@ TEST_F(LruTest, ScanChargesPaperCalibratedCost)
     for (int i = 0; i < 100; ++i)
         alloc(fastId);
     const Tick before = machine.now();
-    ScanResult result = lru.scanTier(fastId, 100);
+    ScanResult result = lru.scanTier(fastId, FrameCount{100});
     EXPECT_EQ(result.scanned, 100u);
     // 2 us per page, divided by the background factor of 4.
     EXPECT_EQ(machine.now() - before,
@@ -113,9 +113,9 @@ TEST_F(LruTest, CollectHotRequiresTwoScans)
     lru.onAccessed(frame);
     lru.onAccessed(frame);
     ASSERT_TRUE(frame->onActiveList);
-    auto first = lru.collectHot(slowId, 10);
+    auto first = lru.collectHot(slowId, FrameCount{10});
     EXPECT_TRUE(first.empty()) << "promoted without confirmation scan";
-    auto second = lru.collectHot(slowId, 10);
+    auto second = lru.collectHot(slowId, FrameCount{10});
     ASSERT_EQ(second.size(), 1u);
     EXPECT_EQ(second[0].get(), frame);
     tiers.free(frame);
@@ -157,7 +157,7 @@ TEST_F(LruTest, ScanBudgetLimitsWork)
 {
     for (int i = 0; i < 50; ++i)
         alloc(fastId);
-    ScanResult result = lru.scanTier(fastId, 10);
+    ScanResult result = lru.scanTier(fastId, FrameCount{10});
     EXPECT_EQ(result.scanned, 10u);
     EXPECT_LE(result.demoteCandidates.size(), 10u);
 }

@@ -27,8 +27,8 @@ class MigrationTest : public ::testing::Test
         TierSpec spec;
         spec.name = "fast";
         spec.capacity = 64 * kPageSize;
-        spec.readLatency = 80;
-        spec.writeLatency = 80;
+        spec.readLatency = Tick{80};
+        spec.writeLatency = Tick{80};
         spec.readBandwidth = 10 * kGiB;
         spec.writeBandwidth = 10 * kGiB;
         fastId = tiers.addTier(spec);
@@ -125,8 +125,8 @@ TEST_F(MigrationTest, ParallelismReducesChargedTime)
         TierSpec spec;
         spec.name = "a";
         spec.capacity = 64 * kPageSize;
-        spec.readLatency = 80;
-        spec.writeLatency = 80;
+        spec.readLatency = Tick{80};
+        spec.writeLatency = Tick{80};
         spec.readBandwidth = kGiB;
         spec.writeBandwidth = kGiB;
         const TierId a = t.addTier(spec);

@@ -22,8 +22,8 @@ class TierManagerTest : public ::testing::Test
         TierSpec fast;
         fast.name = "fast";
         fast.capacity = 64 * kPageSize;
-        fast.readLatency = 80;
-        fast.writeLatency = 80;
+        fast.readLatency = Tick{80};
+        fast.writeLatency = Tick{80};
         fast.readBandwidth = 10 * kGiB;
         fast.writeBandwidth = 10 * kGiB;
         fastId = tiers.addTier(fast);
@@ -102,7 +102,7 @@ TEST_F(TierManagerTest, ResidencyAndCumulativeAccounting)
 TEST_F(TierManagerTest, LifetimeHistogramSampled)
 {
     Frame *frame = tiers.alloc(0, ObjClass::FsSlab, true, {fastId});
-    machine.charge(1000);
+    machine.charge(Tick{1000});
     tiers.free(frame);
     const Histogram &hist = tiers.lifetimeHist(ObjClass::FsSlab);
     EXPECT_EQ(hist.dist().count(), 1u);

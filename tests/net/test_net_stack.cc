@@ -25,8 +25,8 @@ class NetTest : public ::testing::Test
         TierSpec spec;
         spec.name = "fast";
         spec.capacity = 2048 * kPageSize;
-        spec.readLatency = 80;
-        spec.writeLatency = 80;
+        spec.readLatency = Tick{80};
+        spec.writeLatency = Tick{80};
         spec.readBandwidth = 10 * kGiB;
         spec.writeBandwidth = 10 * kGiB;
         fastId = tiers.addTier(spec);
@@ -82,10 +82,10 @@ TEST_F(NetTest, DeliverThenRecvRoundTripsBytes)
 {
     auto net = makeStack(false);
     const int sd = net.socket();
-    net.deliver(sd, 10000);
+    net.deliver(sd, Bytes{10000});
     EXPECT_EQ(net.pendingBytes(sd), 10000u);
     EXPECT_EQ(net.stats().packetsDelivered, 3u);  // ceil(10000/4096)
-    const Bytes got = net.recv(sd, 1 << 20);
+    const Bytes got = net.recv(sd, Bytes{1ULL << 20});
     EXPECT_EQ(got, 10000u);
     EXPECT_EQ(net.pendingBytes(sd), 0u);
     EXPECT_EQ(net.stats().packetsReceived, 3u);
@@ -108,7 +108,7 @@ TEST_F(NetTest, SendChargesAndCounts)
     auto net = makeStack(false);
     const int sd = net.socket();
     const Tick before = machine.now();
-    EXPECT_EQ(net.send(sd, 9000), 9000u);
+    EXPECT_EQ(net.send(sd, Bytes{9000}), 9000u);
     EXPECT_GT(machine.now(), before);
     EXPECT_EQ(net.stats().packetsSent, 3u);
     // Egress skbuffs are freed on tx completion: lifetimes recorded.
@@ -167,9 +167,9 @@ TEST_F(NetTest, CloseDropsQueuedBuffers)
 TEST_F(NetTest, UnknownSocketIsNoop)
 {
     auto net = makeStack(false);
-    net.deliver(999, 1000);
-    EXPECT_EQ(net.recv(999, 1000), 0u);
-    EXPECT_EQ(net.send(999, 1000), 0u);
+    net.deliver(999, Bytes{1000});
+    EXPECT_EQ(net.recv(999, Bytes{1000}), 0u);
+    EXPECT_EQ(net.send(999, Bytes{1000}), 0u);
     EXPECT_EQ(net.pendingBytes(999), 0u);
 }
 
@@ -185,7 +185,7 @@ TEST_F(NetTest, RxRingIsBounded)
     // Push far more packets than the ring size; ring pages recycle.
     for (int i = 0; i < 10; ++i) {
         net.deliver(sd, 4 * NetworkStack::kPacketBytes);
-        net.recv(sd, ~0ULL);
+        net.recv(sd, Bytes{~0ULL});
     }
     const uint64_t sock_pages_after =
         tiers.tier(fastId).residentPages(ObjClass::SockBuf) +
@@ -201,8 +201,8 @@ TEST_F(NetTest, KlocDisabledStillWorks)
     heap.setKlocInterface(false);
     NetworkStack net(heap, nullptr, NetworkStack::Config{});
     const int sd = net.socket();
-    net.deliver(sd, 5000);
-    EXPECT_EQ(net.recv(sd, ~0ULL), 5000u);
+    net.deliver(sd, Bytes{5000});
+    EXPECT_EQ(net.recv(sd, Bytes{~0ULL}), 5000u);
     EXPECT_EQ(net.knodeOf(sd), nullptr);
     net.closeSocket(sd);
 }

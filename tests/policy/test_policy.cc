@@ -164,7 +164,7 @@ TEST(AutoNumaTest, BalanceTickMigratesHotAppPagesToTaskSocket)
     platform.moveTaskToSocket(1);
     for (int round = 0; round < 6; ++round) {
         for (Frame *frame : pages)
-            sys.mem().touch(frame, 64, AccessType::Read);
+            sys.mem().touch(frame, Bytes{64}, AccessType::Read);
         sys.machine().charge(60 * kMillisecond);
     }
     uint64_t moved = 0;
@@ -229,10 +229,10 @@ TEST(PlatformTest, InterferenceRaisesLoadedSocketCosts)
     System &sys = platform.sys();
     const TierId s0 = platform.socketTiers()[0];
     const Tick quiet =
-        sys.machine().memModel().rawCost(s0, 4096, AccessType::Read, 0);
+        sys.machine().memModel().rawCost(s0, Bytes{4096}, AccessType::Read, 0);
     platform.setInterference(true);
     const Tick loaded =
-        sys.machine().memModel().rawCost(s0, 4096, AccessType::Read, 0);
+        sys.machine().memModel().rawCost(s0, Bytes{4096}, AccessType::Read, 0);
     EXPECT_GT(loaded, quiet);
     platform.setInterference(false);
 }

@@ -8,7 +8,7 @@
 
 #include <vector>
 
-#include "sim/clock.hh"
+#include "base/clock.hh"
 #include "sim/event_queue.hh"
 #include "sim/machine.hh"
 #include "sim/memory_model.hh"
@@ -20,10 +20,10 @@ TEST(VirtualClock, AdvancesMonotonically)
 {
     VirtualClock clock;
     EXPECT_EQ(clock.now(), 0);
-    clock.advance(100);
-    clock.advance(0);
+    clock.advance(Tick{100});
+    clock.advance(Tick{0});
     EXPECT_EQ(clock.now(), 100);
-    clock.advanceTo(250);
+    clock.advanceTo(Tick{250});
     EXPECT_EQ(clock.now(), 250);
     clock.reset();
     EXPECT_EQ(clock.now(), 0);
@@ -33,13 +33,13 @@ TEST(EventQueue, RunsInDeadlineOrder)
 {
     EventQueue events;
     std::vector<int> order;
-    events.schedule(30, [&] { order.push_back(3); });
-    events.schedule(10, [&] { order.push_back(1); });
-    events.schedule(20, [&] { order.push_back(2); });
+    events.schedule(Tick{30}, [&] { order.push_back(3); });
+    events.schedule(Tick{10}, [&] { order.push_back(1); });
+    events.schedule(Tick{20}, [&] { order.push_back(2); });
     EXPECT_EQ(events.nextDeadline(), 10);
-    EXPECT_EQ(events.runDue(25), 2u);
+    EXPECT_EQ(events.runDue(Tick{25}), 2u);
     EXPECT_EQ(order, (std::vector<int>{1, 2}));
-    EXPECT_EQ(events.runDue(100), 1u);
+    EXPECT_EQ(events.runDue(Tick{100}), 1u);
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
     EXPECT_TRUE(events.empty());
 }
@@ -49,8 +49,8 @@ TEST(EventQueue, TiesBreakByInsertionOrder)
     EventQueue events;
     std::vector<int> order;
     for (int i = 0; i < 5; ++i)
-        events.schedule(50, [&order, i] { order.push_back(i); });
-    events.runDue(50);
+        events.schedule(Tick{50}, [&order, i] { order.push_back(i); });
+    events.runDue(Tick{50});
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
@@ -58,11 +58,11 @@ TEST(EventQueue, EventSchedulingDueEventRunsInSameDrain)
 {
     EventQueue events;
     std::vector<int> order;
-    events.schedule(10, [&] {
+    events.schedule(Tick{10}, [&] {
         order.push_back(1);
-        events.schedule(10, [&] { order.push_back(2); });
+        events.schedule(Tick{10}, [&] { order.push_back(2); });
     });
-    events.runDue(15);
+    events.runDue(Tick{15});
     EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
@@ -70,10 +70,10 @@ TEST(EventQueue, FutureEventStaysQueued)
 {
     EventQueue events;
     int fired = 0;
-    events.schedule(100, [&] { ++fired; });
-    EXPECT_EQ(events.runDue(99), 0u);
+    events.schedule(Tick{100}, [&] { ++fired; });
+    EXPECT_EQ(events.runDue(Tick{99}), 0u);
     EXPECT_EQ(fired, 0);
-    EXPECT_EQ(events.runDue(100), 1u);
+    EXPECT_EQ(events.runDue(Tick{100}), 1u);
     EXPECT_EQ(fired, 1);
 }
 
@@ -83,8 +83,8 @@ TEST(MemoryModel, AccessCostScalesWithSizeAndTier)
     TierSpec fast;
     fast.name = "fast";
     fast.capacity = kMiB;
-    fast.readLatency = 80;
-    fast.writeLatency = 80;
+    fast.readLatency = Tick{80};
+    fast.writeLatency = Tick{80};
     fast.readBandwidth = 30ULL * 1000 * kMiB;
     fast.writeBandwidth = 30ULL * 1000 * kMiB;
     const TierId f = model.addTier(fast);
@@ -107,14 +107,14 @@ TEST(MemoryModel, LlcFilteringReducesExpectedCost)
     TierSpec spec;
     spec.name = "t";
     spec.capacity = kMiB;
-    spec.readLatency = 100;
-    spec.writeLatency = 100;
+    spec.readLatency = Tick{100};
+    spec.writeLatency = Tick{100};
     spec.readBandwidth = 10 * kGiB;
     spec.writeBandwidth = 10 * kGiB;
     const TierId t = model.addTier(spec);
-    const Tick raw = model.accessCost(t, 4096, AccessType::Read, 0);
+    const Tick raw = model.accessCost(t, Bytes{4096}, AccessType::Read, 0);
     model.setLlcHitFraction(0.5);
-    const Tick filtered = model.accessCost(t, 4096, AccessType::Read, 0);
+    const Tick filtered = model.accessCost(t, Bytes{4096}, AccessType::Read, 0);
     EXPECT_LT(filtered, raw);
     EXPECT_GT(filtered, raw / 3);
 }
@@ -125,23 +125,23 @@ TEST(MemoryModel, RemotePenaltyAndInterference)
     TierSpec spec;
     spec.name = "s0";
     spec.capacity = kMiB;
-    spec.readLatency = 80;
-    spec.writeLatency = 80;
+    spec.readLatency = Tick{80};
+    spec.writeLatency = Tick{80};
     spec.readBandwidth = 10 * kGiB;
     spec.writeBandwidth = 10 * kGiB;
     spec.socket = 0;
     const TierId t = model.addTier(spec);
 
-    const Tick local = model.rawCost(t, 64, AccessType::Read, 0);
-    const Tick remote = model.rawCost(t, 64, AccessType::Read, 1);
+    const Tick local = model.rawCost(t, Bytes{64}, AccessType::Read, 0);
+    const Tick remote = model.rawCost(t, Bytes{64}, AccessType::Read, 1);
     EXPECT_GT(remote, local);
 
     model.setInterference(0, 2.0);
-    const Tick loaded = model.rawCost(t, 64, AccessType::Read, 0);
+    const Tick loaded = model.rawCost(t, Bytes{64}, AccessType::Read, 0);
     EXPECT_NEAR(static_cast<double>(loaded),
                 2.0 * static_cast<double>(local), 2.0);
     model.clearInterference();
-    EXPECT_EQ(model.rawCost(t, 64, AccessType::Read, 0), local);
+    EXPECT_EQ(model.rawCost(t, Bytes{64}, AccessType::Read, 0), local);
 }
 
 TEST(Machine, SocketTopology)
@@ -161,10 +161,10 @@ TEST(Machine, ChargeRunsDueEvents)
 {
     Machine machine(1, 1);
     int fired = 0;
-    machine.events().schedule(500, [&] { ++fired; });
-    machine.charge(499);
+    machine.events().schedule(Tick{500}, [&] { ++fired; });
+    machine.charge(Tick{499});
     EXPECT_EQ(fired, 0);
-    machine.charge(1);
+    machine.charge(Tick{1});
     EXPECT_EQ(fired, 1);
 }
 
@@ -173,10 +173,10 @@ TEST(Machine, CpuWorkDividesByParallelism)
     Machine machine(4, 1);
     machine.setCpuParallelism(4);
     const Tick start = machine.now();
-    machine.cpuWork(400);
+    machine.cpuWork(Tick{400});
     EXPECT_EQ(machine.now() - start, 100);
     machine.setCpuParallelism(1);
-    machine.cpuWork(400);
+    machine.cpuWork(Tick{400});
     EXPECT_EQ(machine.now() - start, 500);
 }
 
@@ -186,14 +186,14 @@ TEST(Machine, RefAccountingSplitsDomains)
     TierSpec spec;
     spec.name = "t";
     spec.capacity = kMiB;
-    spec.readLatency = 80;
-    spec.writeLatency = 80;
+    spec.readLatency = Tick{80};
+    spec.writeLatency = Tick{80};
     spec.readBandwidth = kGiB;
     spec.writeBandwidth = kGiB;
     const TierId t = machine.memModel().addTier(spec);
-    machine.access(t, 4096, AccessType::Read, RefDomain::Kernel);
-    machine.access(t, 4096, AccessType::Write, RefDomain::User);
-    machine.access(t, 64, AccessType::Read, RefDomain::Kernel);
+    machine.access(t, Bytes{4096}, AccessType::Read, RefDomain::Kernel);
+    machine.access(t, Bytes{4096}, AccessType::Write, RefDomain::User);
+    machine.access(t, Bytes{64}, AccessType::Read, RefDomain::Kernel);
     EXPECT_EQ(machine.kernelRefs(), 2u);
     EXPECT_EQ(machine.userRefs(), 1u);
     EXPECT_GT(machine.kernelRefTicks(), 0);

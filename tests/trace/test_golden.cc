@@ -47,15 +47,15 @@ struct TraceStack
         TierSpec spec;
         spec.name = "fast";
         spec.capacity = 256 * kPageSize;
-        spec.readLatency = 80;
-        spec.writeLatency = 80;
+        spec.readLatency = Tick{80};
+        spec.writeLatency = Tick{80};
         spec.readBandwidth = 10 * kGiB;
         spec.writeBandwidth = 10 * kGiB;
         fast = tiers.addTier(spec);
         spec.name = "slow";
         spec.capacity = 256 * kPageSize;
-        spec.readLatency = 300;
-        spec.writeLatency = 300;
+        spec.readLatency = Tick{300};
+        spec.writeLatency = Tick{300};
         spec.readBandwidth = 2 * kGiB;
         spec.writeBandwidth = 2 * kGiB;
         slow = tiers.addTier(spec);

@@ -34,7 +34,7 @@ TEST(Tracer, StampsSeqAndVirtualTick)
     Tracer &tracer = machine.tracer();
     tracer.setEnabled(true);
     tracer.emit(TraceEventType::FrameAlloc, 0, 1, 0, kAppClass);
-    machine.charge(1234);
+    machine.charge(Tick{1234});
     tracer.emit(TraceEventType::FrameFree, 0, 1, 0, kAppClass);
 
     const auto events = tracer.events();
@@ -88,7 +88,7 @@ TEST(TraceSerializer, RoundTripsEveryEventType)
     for (unsigned t = 0; t < kNumTraceEventTypes; ++t) {
         TraceEvent event;
         event.seq = 42 + t;
-        event.tick = 1000000007LL + t;
+        event.tick = Tick{1000000007LL + t};
         event.type = static_cast<TraceEventType>(t);
         const unsigned argc = traceEventArgCount(event.type);
         for (unsigned i = 0; i < argc; ++i)
@@ -107,7 +107,7 @@ TEST(TraceSerializer, SerializeParseWholeBuffer)
     Tracer &tracer = machine.tracer();
     tracer.setEnabled(true);
     tracer.emit(TraceEventType::FrameAlloc, 0, 7, 0, kAppClass);
-    machine.charge(50);
+    machine.charge(Tick{50});
     tracer.emit(TraceEventType::MigStart, 0, 7, 1, 9);
     tracer.emit(TraceEventType::MigComplete, 1, 9, 1, 1);
 
@@ -132,7 +132,7 @@ TEST(TraceSerializer, RejectsMalformedLines)
 
 TEST(TraceFrameKey, PacksAndUnpacks)
 {
-    const uint64_t key = traceFrameKey(3, 123456789ULL);
+    const uint64_t key = traceFrameKey(3, Pfn{123456789ULL});
     EXPECT_EQ(traceKeyTier(key), 3);
     EXPECT_EQ(traceKeyPfn(key), 123456789ULL);
 }
@@ -186,7 +186,7 @@ TEST_F(CheckerTest, FreeWithInflightBioFlagged)
 {
     InvariantChecker checker(tracer, true);
     tracer.emit(TraceEventType::FrameAlloc, 0, 5, 0, kAppClass);
-    tracer.emit(TraceEventType::BioSubmit, 1, traceFrameKey(0, 5), 100, 1);
+    tracer.emit(TraceEventType::BioSubmit, 1, traceFrameKey(0, Pfn{5}), 100, 1);
     tracer.emit(TraceEventType::FrameFree, 0, 5, 0, kAppClass);
     expectViolationContaining(checker, "bios in");
 }
@@ -195,7 +195,7 @@ TEST_F(CheckerTest, MigrationWithInflightIoFlagged)
 {
     InvariantChecker checker(tracer, true);
     tracer.emit(TraceEventType::FrameAlloc, 0, 5, 0, kAppClass);
-    tracer.emit(TraceEventType::BioSubmit, 1, traceFrameKey(0, 5), 100, 0);
+    tracer.emit(TraceEventType::BioSubmit, 1, traceFrameKey(0, Pfn{5}), 100, 0);
     tracer.emit(TraceEventType::MigStart, 0, 5, 1, 9);
     expectViolationContaining(checker, "migration of frame");
 }
@@ -208,7 +208,7 @@ TEST_F(CheckerTest, MigrationRekeysFrame)
     tracer.emit(TraceEventType::MigComplete, 1, 9, 1, 1);
     // The frame now lives at (1, 9): freeing it there is clean, and
     // bios against the new key bind correctly.
-    tracer.emit(TraceEventType::BioSubmit, 1, traceFrameKey(1, 9), 0, 1);
+    tracer.emit(TraceEventType::BioSubmit, 1, traceFrameKey(1, Pfn{9}), 0, 1);
     tracer.emit(TraceEventType::BioComplete, 1);
     tracer.emit(TraceEventType::FrameFree, 1, 9, 0, kAppClass);
     EXPECT_TRUE(checker.clean()) << checker.report();

@@ -1,0 +1,128 @@
+#include "tools/klint/klint.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace klint {
+
+namespace fs = std::filesystem;
+
+const SourceFile *
+Context::find(const std::string &path) const
+{
+    auto it = byPath.find(path);
+    return it == byPath.end() ? nullptr : &files[it->second];
+}
+
+namespace {
+
+std::string
+dirOf(const std::string &rel)
+{
+    // First two components for src/<subsys>/..., first one otherwise.
+    const size_t first = rel.find('/');
+    if (first == std::string::npos)
+        return "";
+    if (rel.compare(0, first, "src") == 0) {
+        const size_t second = rel.find('/', first + 1);
+        if (second == std::string::npos)
+            return rel.substr(0, first);
+        return rel.substr(0, second);
+    }
+    return rel.substr(0, first);
+}
+
+Context
+loadContext(const std::string &root)
+{
+    Context ctx;
+    ctx.root = root;
+
+    std::vector<std::string> paths;
+    for (const char *sub : {"src", "tools"}) {
+        const fs::path base = fs::path(root) / sub;
+        if (!fs::exists(base))
+            continue;
+        for (const auto &entry : fs::recursive_directory_iterator(base)) {
+            if (!entry.is_regular_file())
+                continue;
+            const std::string ext = entry.path().extension().string();
+            if (ext != ".hh" && ext != ".cc")
+                continue;
+            paths.push_back(
+                fs::relative(entry.path(), root).generic_string());
+        }
+    }
+    std::sort(paths.begin(), paths.end());
+
+    for (const std::string &rel : paths) {
+        std::ifstream in(fs::path(root) / rel);
+        std::stringstream buf;
+        buf << in.rdbuf();
+
+        SourceFile file;
+        file.path = rel;
+        file.dir = dirOf(rel);
+        file.header = rel.size() > 3 &&
+                      rel.compare(rel.size() - 3, 3, ".hh") == 0;
+        lex(buf.str(), file);
+        ctx.byPath[rel] = ctx.files.size();
+        ctx.files.push_back(std::move(file));
+    }
+    return ctx;
+}
+
+bool
+suppressed(const Context &ctx, const Finding &finding)
+{
+    const SourceFile *file = ctx.find(finding.file);
+    if (!file)
+        return false;
+    const std::string tagRule = "klint: allow(" + finding.rule + ")";
+    const std::string tagAll = "klint: allow(all)";
+    for (int line = finding.line; line >= finding.line - 2; --line) {
+        auto it = file->comments.find(line);
+        if (it == file->comments.end())
+            continue;
+        if (it->second.find(tagRule) != std::string::npos ||
+            it->second.find(tagAll) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<Finding>
+runKlint(const Options &opts)
+{
+    const Context ctx = loadContext(opts.root);
+
+    std::vector<Finding> findings;
+    for (const Rule &rule : ruleCatalogue()) {
+        if (!opts.rules.empty() &&
+            std::find(opts.rules.begin(), opts.rules.end(), rule.name) ==
+                opts.rules.end())
+            continue;
+        rule.fn(ctx, findings);
+    }
+
+    findings.erase(
+        std::remove_if(findings.begin(), findings.end(),
+                       [&](const Finding &f) { return suppressed(ctx, f); }),
+        findings.end());
+
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return findings;
+}
+
+} // namespace klint

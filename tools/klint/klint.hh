@@ -1,0 +1,87 @@
+/**
+ * @file
+ * klint: domain-specific static analysis for the KLOCs simulator.
+ *
+ * klint enforces repo-specific invariants that generic linters
+ * cannot know about:
+ *
+ *   determinism       — no iteration over unordered containers in
+ *                       simulation-order code; no wall-clock or
+ *                       libc randomness outside src/base.
+ *   checker-coverage  — every TraceEventType enumerator is handled
+ *                       by the InvariantChecker.
+ *   layering          — #includes respect the subsystem DAG.
+ *   units             — public APIs in mem/, fs/, alloc/ headers use
+ *                       strong types (Tick/Bytes/Pfn/TierId/
+ *                       FrameCount), not raw 64-bit integers.
+ *   trace-args        — Tracer::emit call sites pass exactly the
+ *                       argument count the event's spec declares.
+ *   include-hygiene   — canonical header guards, no parent-relative
+ *                       includes.
+ *
+ * Findings can be suppressed with a justification comment containing
+ * `klint: allow(<rule>)` (or `allow(all)`) on the finding's line or
+ * one of the two lines above it.
+ *
+ * See docs/ANALYSIS.md for the full rule catalogue and rationale.
+ */
+
+#ifndef KLOC_TOOLS_KLINT_KLINT_HH
+#define KLOC_TOOLS_KLINT_KLINT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/klint/lexer.hh"
+
+namespace klint {
+
+struct Finding
+{
+    std::string rule;
+    std::string file;  ///< repo-relative path
+    int line;
+    std::string message;
+};
+
+struct Options
+{
+    /** Repo root to scan (contains src/ and optionally tools/). */
+    std::string root = ".";
+    /** Rule names to run; empty = all. */
+    std::vector<std::string> rules;
+};
+
+/** Everything the rules see: the lexed repo. */
+struct Context
+{
+    std::string root;
+    std::vector<SourceFile> files;
+    /** path -> index into files. */
+    std::map<std::string, size_t> byPath;
+
+    const SourceFile *find(const std::string &path) const;
+};
+
+using RuleFn = void (*)(const Context &, std::vector<Finding> &);
+
+struct Rule
+{
+    const char *name;
+    const char *summary;
+    RuleFn fn;
+};
+
+/** The ordered rule catalogue. */
+const std::vector<Rule> &ruleCatalogue();
+
+/**
+ * Run the selected rules over @p opts.root. Findings are returned
+ * sorted by (file, line, rule) with suppressed findings removed.
+ */
+std::vector<Finding> runKlint(const Options &opts);
+
+} // namespace klint
+
+#endif // KLOC_TOOLS_KLINT_KLINT_HH

@@ -1,0 +1,206 @@
+#include "tools/klint/lexer.hh"
+
+#include <cctype>
+
+namespace klint {
+
+namespace {
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+} // namespace
+
+void
+lex(const std::string &content, SourceFile &file)
+{
+    const size_t n = content.size();
+    size_t i = 0;
+    int line = 1;
+    bool atLineStart = true;
+
+    auto addComment = [&](int at, const std::string &text) {
+        auto [it, inserted] = file.comments.emplace(at, text);
+        if (!inserted) {
+            it->second += ' ';
+            it->second += text;
+        }
+    };
+
+    while (i < n) {
+        const char c = content[i];
+
+        if (c == '\n') {
+            ++line;
+            ++i;
+            atLineStart = true;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+
+        // Line comment.
+        if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+            size_t end = content.find('\n', i);
+            if (end == std::string::npos)
+                end = n;
+            addComment(line, content.substr(i, end - i));
+            i = end;
+            continue;
+        }
+
+        // Block comment: text is attributed to its starting line.
+        if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+            const int start = line;
+            size_t end = content.find("*/", i + 2);
+            if (end == std::string::npos)
+                end = n;
+            else
+                end += 2;
+            addComment(start, content.substr(i, end - i));
+            for (size_t k = i; k < end; ++k)
+                if (content[k] == '\n')
+                    ++line;
+            i = end;
+            continue;
+        }
+
+        // Preprocessor directive: consume the (continued) line.
+        if (c == '#' && atLineStart) {
+            const int start = line;
+            size_t end = i;
+            while (end < n) {
+                if (content[end] == '\n') {
+                    if (end > 0 && content[end - 1] == '\\') {
+                        ++line;
+                        ++end;
+                        continue;
+                    }
+                    break;
+                }
+                ++end;
+            }
+            const std::string text = content.substr(i, end - i);
+
+            // Directive word after '#' and whitespace.
+            size_t p = 1;
+            while (p < text.size() &&
+                   std::isspace(static_cast<unsigned char>(text[p])))
+                ++p;
+            size_t q = p;
+            while (q < text.size() && identChar(text[q]))
+                ++q;
+            const std::string directive = text.substr(p, q - p);
+
+            auto word = [&](size_t from) {
+                while (from < text.size() &&
+                       std::isspace(static_cast<unsigned char>(text[from])))
+                    ++from;
+                size_t to = from;
+                while (to < text.size() && identChar(text[to]))
+                    ++to;
+                return text.substr(from, to - from);
+            };
+
+            if (directive == "include") {
+                size_t open = text.find_first_of("\"<", q);
+                if (open != std::string::npos) {
+                    const bool angled = text[open] == '<';
+                    const char closer = angled ? '>' : '"';
+                    size_t close = text.find(closer, open + 1);
+                    if (close != std::string::npos) {
+                        file.includes.push_back(
+                            {text.substr(open + 1, close - open - 1),
+                             angled, start});
+                    }
+                }
+            } else if (directive == "ifndef" && file.guardIfndef.empty()) {
+                file.guardIfndef = word(q);
+            } else if (directive == "define" && file.guardDefine.empty() &&
+                       !file.guardIfndef.empty()) {
+                file.guardDefine = word(q);
+            }
+            i = end;
+            continue;
+        }
+
+        atLineStart = false;
+
+        // String and character literals (escape-aware, one token).
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            size_t end = i + 1;
+            while (end < n) {
+                if (content[end] == '\\') {
+                    end += 2;
+                    continue;
+                }
+                if (content[end] == quote) {
+                    ++end;
+                    break;
+                }
+                if (content[end] == '\n')
+                    break;  // unterminated; tolerate
+                ++end;
+            }
+            file.tokens.push_back({Token::Kind::String,
+                                   content.substr(i, end - i), line});
+            i = end;
+            continue;
+        }
+
+        if (identStart(c)) {
+            size_t end = i + 1;
+            while (end < n && identChar(content[end]))
+                ++end;
+            file.tokens.push_back({Token::Kind::Ident,
+                                   content.substr(i, end - i), line});
+            i = end;
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t end = i + 1;
+            while (end < n &&
+                   (identChar(content[end]) || content[end] == '.' ||
+                    content[end] == '\'' ||
+                    ((content[end] == '+' || content[end] == '-') &&
+                     (content[end - 1] == 'e' || content[end - 1] == 'E' ||
+                      content[end - 1] == 'p' || content[end - 1] == 'P'))))
+                ++end;
+            file.tokens.push_back({Token::Kind::Number,
+                                   content.substr(i, end - i), line});
+            i = end;
+            continue;
+        }
+
+        // Punctuation. "::" and "->" are folded into one token; every
+        // other punctuator is a single character, which is all the
+        // rules need.
+        if (c == ':' && i + 1 < n && content[i + 1] == ':') {
+            file.tokens.push_back({Token::Kind::Punct, "::", line});
+            i += 2;
+            continue;
+        }
+        if (c == '-' && i + 1 < n && content[i + 1] == '>') {
+            file.tokens.push_back({Token::Kind::Punct, "->", line});
+            i += 2;
+            continue;
+        }
+        file.tokens.push_back({Token::Kind::Punct, std::string(1, c), line});
+        ++i;
+    }
+}
+
+} // namespace klint

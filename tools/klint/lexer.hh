@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal C++ tokenizer for klint.
+ *
+ * klint does not parse C++; it lexes it. Each rule matches token
+ * patterns (identifiers, punctuation, balanced brackets) instead of
+ * an AST, which keeps the tool dependency-free and fast while being
+ * precise enough for the narrow, codebase-specific properties it
+ * checks. Comments are kept out of the token stream but recorded
+ * per-line so suppression annotations can be honoured; preprocessor
+ * lines are parsed just enough to extract #include targets and
+ * header-guard macros.
+ */
+
+#ifndef KLOC_TOOLS_KLINT_LEXER_HH
+#define KLOC_TOOLS_KLINT_LEXER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace klint {
+
+struct Token
+{
+    enum class Kind { Ident, Number, String, Punct };
+    Kind kind;
+    std::string text;
+    int line;
+
+    bool is(const char *s) const { return text == s; }
+    bool ident() const { return kind == Kind::Ident; }
+};
+
+struct Include
+{
+    std::string target;  ///< path between the quotes/brackets
+    bool angled;         ///< <...> rather than "..."
+    int line;
+};
+
+/** One lexed translation unit or header. */
+struct SourceFile
+{
+    std::string path;  ///< repo-relative, '/'-separated
+    std::string dir;   ///< first two path components, e.g. "src/mem"
+    bool header = false;
+
+    std::vector<Token> tokens;
+    std::vector<Include> includes;
+    /** line -> concatenated comment text appearing on that line. */
+    std::map<int, std::string> comments;
+
+    /** Macro names of the first #ifndef / #define pair, if any. */
+    std::string guardIfndef;
+    std::string guardDefine;
+};
+
+/** Lex @p content into @p file (path/dir must already be set). */
+void lex(const std::string &content, SourceFile &file);
+
+} // namespace klint
+
+#endif // KLOC_TOOLS_KLINT_LEXER_HH

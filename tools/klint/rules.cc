@@ -1,0 +1,637 @@
+/**
+ * @file
+ * The klint rule implementations. Each rule is a pure function over
+ * the lexed repo (Context) appending Findings; docs/ANALYSIS.md is
+ * the human-readable catalogue and must be kept in sync.
+ */
+
+#include "tools/klint/klint.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace klint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool
+underSrc(const SourceFile &file)
+{
+    return file.path.compare(0, 4, "src/") == 0;
+}
+
+/** Index just past the bracket that matches tokens[i] (an opener). */
+size_t
+skipBalanced(const Tokens &toks, size_t i, const char *open,
+             const char *close)
+{
+    int depth = 0;
+    for (; i < toks.size(); ++i) {
+        if (toks[i].is(open))
+            ++depth;
+        else if (toks[i].is(close) && --depth == 0)
+            return i + 1;
+    }
+    return toks.size();
+}
+
+// ---------------------------------------------------------------------------
+// Rule: determinism
+//
+// (a) No iteration (range-for or .begin()) over unordered_map /
+//     unordered_set in simulation code — hash order is not part of
+//     the simulated state, so any loop over it can silently change
+//     trace output or simulation order between standard libraries.
+//     The sanctioned escape is base/ordered.hh's sortedSnapshot().
+// (b) No libc randomness or wall-clock time outside src/base: all
+//     randomness flows through base/rng.hh, all time through the
+//     simulated clock.
+
+void
+collectUnorderedNames(const Context &ctx, std::set<std::string> &names)
+{
+    for (const SourceFile &file : ctx.files) {
+        if (!underSrc(file))
+            continue;
+        const Tokens &toks = file.tokens;
+        for (size_t i = 0; i + 1 < toks.size(); ++i) {
+            if (!toks[i].ident() ||
+                (toks[i].text != "unordered_map" &&
+                 toks[i].text != "unordered_set"))
+                continue;
+            if (!toks[i + 1].is("<"))
+                continue;
+            size_t j = skipBalanced(toks, i + 1, "<", ">");
+            if (j < toks.size() && toks[j].ident())
+                names.insert(toks[j].text);
+        }
+    }
+}
+
+void
+ruleDeterminism(const Context &ctx, std::vector<Finding> &findings)
+{
+    std::set<std::string> unordered;
+    collectUnorderedNames(ctx, unordered);
+
+    static const std::set<std::string> kBannedIdents = {
+        "rand", "srand", "drand48", "random_device", "system_clock",
+    };
+
+    for (const SourceFile &file : ctx.files) {
+        if (!underSrc(file) || file.dir == "src/base")
+            continue;
+        const Tokens &toks = file.tokens;
+
+        for (size_t i = 0; i < toks.size(); ++i) {
+            // Range-for over an unordered container.
+            if (toks[i].ident() && toks[i].text == "for" &&
+                i + 1 < toks.size() && toks[i + 1].is("(")) {
+                const size_t end = skipBalanced(toks, i + 1, "(", ")");
+                // Locate the range-for ':' at paren depth 1.
+                int depth = 0;
+                size_t colon = 0;
+                for (size_t j = i + 1; j < end; ++j) {
+                    if (toks[j].is("(") || toks[j].is("[") ||
+                        toks[j].is("{"))
+                        ++depth;
+                    else if (toks[j].is(")") || toks[j].is("]") ||
+                             toks[j].is("}"))
+                        --depth;
+                    else if (toks[j].is(":") && depth == 1) {
+                        colon = j;
+                        break;
+                    } else if (toks[j].is(";") && depth == 1) {
+                        break;  // classic for-loop
+                    }
+                }
+                if (colon != 0) {
+                    bool snapshot = false;
+                    std::string culprit;
+                    for (size_t j = colon + 1; j + 1 < end; ++j) {
+                        if (!toks[j].ident())
+                            continue;
+                        if (toks[j].text == "sortedSnapshot")
+                            snapshot = true;
+                        else if (unordered.count(toks[j].text))
+                            culprit = toks[j].text;
+                    }
+                    if (!snapshot && !culprit.empty()) {
+                        findings.push_back(
+                            {"determinism", file.path, toks[i].line,
+                             "iteration over unordered container '" +
+                                 culprit +
+                                 "' — hash order is nondeterministic; "
+                                 "use sortedSnapshot() "
+                                 "(base/ordered.hh)"});
+                    }
+                }
+            }
+
+            // .begin()/.cbegin() on an unordered container.
+            if (i + 2 < toks.size() && toks[i].ident() &&
+                unordered.count(toks[i].text) &&
+                (toks[i + 1].is(".") || toks[i + 1].is("->")) &&
+                (toks[i + 2].text == "begin" ||
+                 toks[i + 2].text == "cbegin")) {
+                findings.push_back(
+                    {"determinism", file.path, toks[i].line,
+                     "'" + toks[i].text +
+                         "." + toks[i + 2].text +
+                         "()' iterates an unordered container in hash "
+                         "order; use sortedSnapshot() (base/ordered.hh)"});
+            }
+
+            // Banned randomness / wall-clock identifiers.
+            if (toks[i].ident() && kBannedIdents.count(toks[i].text)) {
+                findings.push_back(
+                    {"determinism", file.path, toks[i].line,
+                     "'" + toks[i].text +
+                         "' is nondeterministic; use base/rng.hh or the "
+                         "simulated clock"});
+            }
+            // time(...) — but not member calls or qualified names
+            // other than std::time.
+            if (toks[i].ident() && toks[i].text == "time" &&
+                i + 1 < toks.size() && toks[i + 1].is("(")) {
+                const bool member =
+                    i > 0 && (toks[i - 1].is(".") || toks[i - 1].is("->"));
+                const bool qualifiedNonStd =
+                    i > 1 && toks[i - 1].is("::") &&
+                    toks[i - 2].text != "std";
+                if (!member && !qualifiedNonStd) {
+                    findings.push_back(
+                        {"determinism", file.path, toks[i].line,
+                         "'time()' reads the wall clock; use the "
+                         "simulated clock"});
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: checker-coverage
+//
+// Every TraceEventType enumerator must appear in a `case` of the
+// InvariantChecker's dispatch in src/trace/invariants.cc, so new
+// trace events cannot silently bypass invariant checking. Events
+// that are intentionally not checked go on the allowlist below with
+// a justification.
+
+/** Enumerators (name, line) of TraceEventType, in declaration order. */
+std::vector<std::pair<std::string, int>>
+parseTraceEnum(const Context &ctx)
+{
+    std::vector<std::pair<std::string, int>> out;
+    const SourceFile *file = ctx.find("src/trace/trace.hh");
+    if (!file)
+        return out;
+    const Tokens &toks = file->tokens;
+    for (size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (!(toks[i].is("enum") && toks[i + 1].is("class") &&
+              toks[i + 2].text == "TraceEventType"))
+            continue;
+        size_t j = i + 3;
+        while (j < toks.size() && !toks[j].is("{"))
+            ++j;
+        bool expectName = true;
+        for (++j; j < toks.size() && !toks[j].is("}"); ++j) {
+            if (toks[j].is(",")) {
+                expectName = true;
+            } else if (expectName && toks[j].ident()) {
+                out.emplace_back(toks[j].text, toks[j].line);
+                expectName = false;
+            }
+        }
+        break;
+    }
+    return out;
+}
+
+void
+ruleCheckerCoverage(const Context &ctx, std::vector<Finding> &findings)
+{
+    const auto enumerators = parseTraceEnum(ctx);
+    if (enumerators.empty())
+        return;
+
+    const SourceFile *inv = ctx.find("src/trace/invariants.cc");
+    if (!inv)
+        return;
+
+    // Enumerators intentionally not checked, with justification.
+    static const std::set<std::string> kAllowedUnchecked = {
+        // (none today — extend with a reason when an event is
+        // deliberately outside the checker's model)
+    };
+
+    std::set<std::string> handled;
+    const Tokens &toks = inv->tokens;
+    for (size_t i = 0; i + 3 < toks.size(); ++i) {
+        if (toks[i].is("case") && toks[i + 1].text == "TraceEventType" &&
+            toks[i + 2].is("::") && toks[i + 3].ident())
+            handled.insert(toks[i + 3].text);
+    }
+
+    for (const auto &[name, line] : enumerators) {
+        if (name == "NumTypes" || handled.count(name) ||
+            kAllowedUnchecked.count(name))
+            continue;
+        findings.push_back(
+            {"checker-coverage", "src/trace/trace.hh", line,
+             "TraceEventType::" + name +
+                 " has no case in InvariantChecker "
+                 "(src/trace/invariants.cc) and is not allowlisted"});
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: layering
+//
+// #includes must respect the subsystem DAG (see docs/ANALYSIS.md):
+//
+//   base < {trace, fault} < sim < {mem, alloc} < kobj < core
+//        < {fs, net} < {policy, platform, workload} < tools
+//
+// A file may include headers of its own layer or lower layers only;
+// an upward include inverts the dependency graph.
+
+const std::map<std::string, int> &
+layerRanks()
+{
+    static const std::map<std::string, int> kRanks = {
+        {"src/base", 0},
+        {"src/trace", 1}, {"src/fault", 1},
+        {"src/sim", 2},
+        {"src/mem", 3}, {"src/alloc", 3},
+        {"src/kobj", 4},
+        {"src/core", 5},
+        {"src/fs", 6}, {"src/net", 6},
+        {"src/policy", 7}, {"src/platform", 7}, {"src/workload", 7},
+        {"tools", 8},
+    };
+    return kRanks;
+}
+
+void
+ruleLayering(const Context &ctx, std::vector<Finding> &findings)
+{
+    const auto &ranks = layerRanks();
+    for (const SourceFile &file : ctx.files) {
+        auto mine = ranks.find(file.dir);
+        if (mine == ranks.end())
+            continue;
+        for (const Include &inc : file.includes) {
+            if (inc.angled)
+                continue;
+            // Project includes are rooted at src/ ("mem/frame.hh")
+            // except tools', which are repo-rooted.
+            std::string dir = inc.target.substr(0, inc.target.find('/'));
+            auto theirs = ranks.find(
+                dir == "tools" ? "tools" : "src/" + dir);
+            if (theirs == ranks.end())
+                continue;
+            if (theirs->second > mine->second) {
+                findings.push_back(
+                    {"layering", file.path, inc.line,
+                     file.dir + " (layer " +
+                         std::to_string(mine->second) +
+                         ") must not include " + inc.target +
+                         " (layer " + std::to_string(theirs->second) +
+                         ") — upward dependency"});
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: units
+//
+// Public APIs in mem/, fs/ and alloc/ headers must not take raw
+// uint64_t/int64_t parameters where a strong unit exists
+// (Tick/Bytes/Pfn/TierId/FrameCount, base/units.hh). Identity-like
+// values that have no unit (inode numbers, sectors, keys, indices,
+// seeds, transaction ids, generation counters) are recognised by
+// parameter-name suffix and stay raw.
+
+bool
+unitAllowlisted(const std::string &name)
+{
+    static const std::vector<std::string> kSuffixes = {
+        "id", "ino", "sector", "key", "seed", "index", "tx",
+        "generation", "cpu", "socket",
+    };
+    for (const std::string &suffix : kSuffixes) {
+        if (name.size() >= suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0)
+            return true;
+    }
+    return false;
+}
+
+void
+ruleUnits(const Context &ctx, std::vector<Finding> &findings)
+{
+    static const std::set<std::string> kScopedDirs = {
+        "src/mem", "src/fs", "src/alloc",
+    };
+
+    for (const SourceFile &file : ctx.files) {
+        if (!file.header || !kScopedDirs.count(file.dir))
+            continue;
+        const Tokens &toks = file.tokens;
+
+        // Scope tracking: struct members/params default public,
+        // class ones private; tokens inside function bodies (plain
+        // blocks) are skipped.
+        enum class FrameType { Class, Struct, Namespace, Enum, Block };
+        struct ScopeFrame { FrameType type; bool publicAccess; };
+        std::vector<ScopeFrame> scopes;
+        bool pendingValid = false;
+        ScopeFrame pending{FrameType::Block, true};
+        int parenDepth = 0;
+
+        auto innermostRecord = [&]() -> const ScopeFrame * {
+            for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+                if (it->type == FrameType::Class ||
+                    it->type == FrameType::Struct)
+                    return &*it;
+                if (it->type == FrameType::Block)
+                    return nullptr;  // inside a function body
+            }
+            return nullptr;
+        };
+
+        for (size_t i = 0; i < toks.size(); ++i) {
+            const Token &tok = toks[i];
+
+            if (tok.ident() && tok.text == "template" &&
+                i + 1 < toks.size() && toks[i + 1].is("<")) {
+                i = skipBalanced(toks, i + 1, "<", ">") - 1;
+                continue;
+            }
+            if (tok.ident() &&
+                (tok.text == "class" || tok.text == "struct") &&
+                !(i > 0 && toks[i - 1].is("enum"))) {
+                pendingValid = true;
+                pending = {tok.text == "class" ? FrameType::Class
+                                               : FrameType::Struct,
+                           tok.text == "struct"};
+                continue;
+            }
+            if (tok.ident() && tok.text == "namespace") {
+                pendingValid = true;
+                pending = {FrameType::Namespace, true};
+                continue;
+            }
+            if (tok.ident() && tok.text == "enum") {
+                pendingValid = true;
+                pending = {FrameType::Enum, true};
+                continue;
+            }
+            if (tok.is(";") && parenDepth == 0) {
+                pendingValid = false;  // forward declaration
+                continue;
+            }
+            if (tok.is("{")) {
+                scopes.push_back(pendingValid
+                                     ? pending
+                                     : ScopeFrame{FrameType::Block, true});
+                pendingValid = false;
+                continue;
+            }
+            if (tok.is("}")) {
+                if (!scopes.empty())
+                    scopes.pop_back();
+                continue;
+            }
+            if (tok.is("("))
+                ++parenDepth;
+            else if (tok.is(")"))
+                parenDepth = parenDepth > 0 ? parenDepth - 1 : 0;
+
+            if (tok.ident() &&
+                (tok.text == "uint64_t" || tok.text == "int64_t") &&
+                parenDepth >= 1) {
+                // Parameter position: next token is the name.
+                if (i + 1 >= toks.size() || !toks[i + 1].ident())
+                    continue;
+                // Not inside a function body (inline for-loops etc.).
+                const ScopeFrame *record = innermostRecord();
+                if (!scopes.empty() &&
+                    scopes.back().type == FrameType::Block)
+                    continue;
+                // Private members' params are an implementation
+                // detail; the rule polices the public surface.
+                if (record && !record->publicAccess)
+                    continue;
+                // Exclude classic for(...;...;...) heads: a param
+                // list never contains ';' before its ')'.
+                bool isLoopHead = false;
+                int depth = 1;
+                for (size_t j = i + 1; j < toks.size() && depth > 0; ++j) {
+                    if (toks[j].is("("))
+                        ++depth;
+                    else if (toks[j].is(")"))
+                        --depth;
+                    else if (toks[j].is(";") && depth == 1) {
+                        isLoopHead = true;
+                        break;
+                    }
+                }
+                if (isLoopHead)
+                    continue;
+                const std::string &name = toks[i + 1].text;
+                if (unitAllowlisted(name))
+                    continue;
+                findings.push_back(
+                    {"units", file.path, tok.line,
+                     "raw " + tok.text + " parameter '" + name +
+                         "' in a public " + file.dir +
+                         " API; use a strong unit from base/units.hh "
+                         "(Tick/Bytes/Pfn/TierId/FrameCount) or an "
+                         "allowlisted identity name"});
+            }
+
+            if (tok.ident() &&
+                (tok.text == "public" || tok.text == "private" ||
+                 tok.text == "protected") &&
+                i + 1 < toks.size() && toks[i + 1].is(":") &&
+                !scopes.empty() &&
+                (scopes.back().type == FrameType::Class ||
+                 scopes.back().type == FrameType::Struct)) {
+                scopes.back().publicAccess = tok.text == "public";
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: trace-args
+//
+// Every Tracer::emit(TraceEventType::X, ...) call site must pass
+// exactly the number of payload arguments that X's EventSpec in
+// src/trace/trace.cc declares. Fewer args silently records zeros
+// under named columns; more args is a spec drift.
+
+void
+ruleTraceArgs(const Context &ctx, std::vector<Finding> &findings)
+{
+    const auto enumerators = parseTraceEnum(ctx);
+    const SourceFile *tcc = ctx.find("src/trace/trace.cc");
+    if (enumerators.empty() || !tcc)
+        return;
+
+    // argCounts in kEventSpecs order (== enum order).
+    std::vector<unsigned> counts;
+    const Tokens &toks = tcc->tokens;
+    for (size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (!(toks[i].ident() && toks[i].text == "kEventSpecs"))
+            continue;
+        size_t j = i;
+        while (j < toks.size() && !toks[j].is("{"))
+            ++j;
+        const size_t end = skipBalanced(toks, j, "{", "}");
+        int depth = 0;
+        bool wantCount = false;
+        for (; j < end; ++j) {
+            if (toks[j].is("{")) {
+                ++depth;
+                if (depth == 2)
+                    wantCount = true;  // entry opened; count follows name
+            } else if (toks[j].is("}")) {
+                --depth;
+            } else if (wantCount && depth == 2 &&
+                       toks[j].kind == Token::Kind::Number) {
+                counts.push_back(
+                    static_cast<unsigned>(std::stoul(toks[j].text)));
+                wantCount = false;
+            }
+        }
+        break;
+    }
+
+    std::map<std::string, unsigned> spec;
+    for (size_t i = 0; i < enumerators.size() && i < counts.size(); ++i)
+        spec[enumerators[i].first] = counts[i];
+
+    for (const SourceFile &file : ctx.files) {
+        if (!underSrc(file))
+            continue;
+        const Tokens &ts = file.tokens;
+        for (size_t i = 0; i + 5 < ts.size(); ++i) {
+            if (!(ts[i].ident() && ts[i].text == "emit" &&
+                  ts[i + 1].is("(") && ts[i + 2].text == "TraceEventType" &&
+                  ts[i + 3].is("::") && ts[i + 4].ident()))
+                continue;
+            const std::string &event = ts[i + 4].text;
+            auto it = spec.find(event);
+            if (it == spec.end())
+                continue;
+            const size_t end = skipBalanced(ts, i + 1, "(", ")");
+            unsigned commas = 0;
+            int depth = 0;
+            for (size_t j = i + 1; j < end; ++j) {
+                if (ts[j].is("(") || ts[j].is("{") || ts[j].is("["))
+                    ++depth;
+                else if (ts[j].is(")") || ts[j].is("}") || ts[j].is("]"))
+                    --depth;
+                else if (ts[j].is(",") && depth == 1)
+                    ++commas;
+            }
+            if (commas != it->second) {
+                findings.push_back(
+                    {"trace-args", file.path, ts[i].line,
+                     "emit(TraceEventType::" + event + ") passes " +
+                         std::to_string(commas) + " args but the "
+                         "EventSpec declares " +
+                         std::to_string(it->second)});
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: include-hygiene
+//
+// Headers carry a canonical KLOC_<PATH>_HH guard (#ifndef/#define
+// pair); includes never use parent-relative paths.
+
+void
+ruleIncludeHygiene(const Context &ctx, std::vector<Finding> &findings)
+{
+    for (const SourceFile &file : ctx.files) {
+        if (file.header) {
+            std::string expected = file.path;
+            if (expected.compare(0, 4, "src/") == 0)
+                expected = expected.substr(4);
+            for (char &c : expected) {
+                if (c == '/' || c == '.')
+                    c = '_';
+                else
+                    c = static_cast<char>(std::toupper(
+                        static_cast<unsigned char>(c)));
+            }
+            expected = "KLOC_" + expected;
+
+            if (file.guardIfndef.empty()) {
+                findings.push_back({"include-hygiene", file.path, 1,
+                                    "missing header guard (expected " +
+                                        expected + ")"});
+            } else if (file.guardIfndef != expected) {
+                findings.push_back(
+                    {"include-hygiene", file.path, 1,
+                     "header guard " + file.guardIfndef +
+                         " does not match canonical " + expected});
+            } else if (file.guardDefine != file.guardIfndef) {
+                findings.push_back(
+                    {"include-hygiene", file.path, 1,
+                     "#ifndef " + file.guardIfndef +
+                         " is not followed by a matching #define"});
+            }
+        }
+        for (const Include &inc : file.includes) {
+            if (inc.target.find("../") != std::string::npos) {
+                findings.push_back(
+                    {"include-hygiene", file.path, inc.line,
+                     "parent-relative include \"" + inc.target +
+                         "\"; include repo-rooted paths instead"});
+            }
+        }
+    }
+}
+
+} // namespace
+
+const std::vector<Rule> &
+ruleCatalogue()
+{
+    static const std::vector<Rule> kRules = {
+        {"determinism",
+         "no unordered iteration / wall-clock / libc randomness in "
+         "simulation code",
+         ruleDeterminism},
+        {"checker-coverage",
+         "every TraceEventType is handled by the InvariantChecker",
+         ruleCheckerCoverage},
+        {"layering",
+         "#includes respect the subsystem DAG",
+         ruleLayering},
+        {"units",
+         "public mem/fs/alloc APIs use strong units, not raw 64-bit ints",
+         ruleUnits},
+        {"trace-args",
+         "emit() argument counts match the event specs",
+         ruleTraceArgs},
+        {"include-hygiene",
+         "canonical header guards; no parent-relative includes",
+         ruleIncludeHygiene},
+    };
+    return kRules;
+}
+
+} // namespace klint

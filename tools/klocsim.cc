@@ -45,7 +45,7 @@ struct Args
     uint64_t ops = 60000;
     unsigned scale = 64;
     unsigned ratio = 8;
-    Bytes fastGb = 8;
+    uint64_t fastGb = 8;
     bool hugePages = false;
     bool fullStats = false;
     std::string tracePath;

@@ -110,6 +110,7 @@ driveTreeShape(bool split)
 int
 main()
 {
+    JsonReport report("ablation_percpu");
     section("Ablation: per-CPU knode fast-path lists (§4.3)");
     const LookupResult with_lists = driveLookups(true);
     const LookupResult without = driveLookups(false);
@@ -143,5 +144,19 @@ main()
     std::printf("%-18s %16.1f %16.1f\n", "single tree", one_ins, one_rem);
     std::printf("-> paper: a single tree costs ~10 references per "
                 "traversal; the split roughly halves the depth\n");
+
+    report.add("percpu_lists.hit_rate", with_lists.hitRate, "ratio",
+               "higher", true);
+    report.add("percpu_lists.tree_visits",
+               static_cast<double>(with_lists.treeVisits), "visits",
+               "lower", true);
+    report.add("kmap_only.tree_visits",
+               static_cast<double>(without.treeVisits), "visits", "lower",
+               true);
+    report.add("split_trees.insert_visits_per_op", split_ins, "visits",
+               "lower", true);
+    report.add("single_tree.insert_visits_per_op", one_ins, "visits",
+               "lower", true);
+    report.write();
     return 0;
 }

@@ -40,6 +40,7 @@ run(const std::string &workload_name, StrategyKind kind, bool readahead)
 int
 main()
 {
+    JsonReport report("ablation_prefetch");
     for (const char *workload : {"rocksdb", "filebench"}) {
         std::printf("\n==== Ablation: readahead x strategy (%s, "
                     "memory-scarce) ====\n", workload);
@@ -54,8 +55,12 @@ main()
                         strategyName(kind), off, on,
                         off > 0 ? on / off : 1.0);
             std::fflush(stdout);
+            report.add(std::string(workload) + "." +
+                           strategyName(kind) + ".readahead_gain",
+                       off > 0 ? on / off : 1.0, "x", "higher", true);
         }
     }
+    report.write();
     std::printf("\npaper: prefetching helps KLOCs most (~1.26x on "
                 "RocksDB) because cold prefetched pages are demoted "
                 "promptly\n");

@@ -38,6 +38,7 @@ main()
     section("Extension: transparent huge pages for the app arena (§5)");
     std::printf("%-11s %-18s %12s %12s %8s\n", "workload", "strategy",
                 "4KB pages", "2MB pages", "gain");
+    JsonReport report("ablation_thp");
     for (const char *workload : {"redis", "cassandra"}) {
         for (const StrategyKind kind :
              {StrategyKind::NimblePlusPlus, StrategyKind::Kloc}) {
@@ -47,8 +48,13 @@ main()
                         strategyName(kind), base, huge,
                         base > 0 ? huge / base : 1.0);
             std::fflush(stdout);
+            report.add(std::string(workload) + "." +
+                           strategyName(kind) + ".thp_gain",
+                       base > 0 ? huge / base : 1.0, "x", "higher",
+                       true);
         }
     }
+    report.write();
     std::printf("\npaper (§5) hypothesised KLOCs gains with THP; in "
                 "this model huge pages\n*reduce* tiering effectiveness: "
                 "2 MB blocks hold hot and cold data\nhostage together "

@@ -84,6 +84,7 @@ characterize(const std::string &workload_name, bool small_input)
 int
 main()
 {
+    JsonReport report("fig2_characterization");
     std::vector<std::pair<std::string, Characterization>> large;
     std::vector<std::pair<std::string, Characterization>> small;
     for (const std::string &name : workloadNames()) {
@@ -102,6 +103,10 @@ main()
             if (isKernelClass(static_cast<ObjClass>(i)))
                 kernel += c.pagesByClass[i];
         }
+        const double os_share =
+            total ? 100.0 * static_cast<double>(kernel) /
+                    static_cast<double>(total)
+                  : 0.0;
         std::printf(
             "%-11s %10llu %10llu %8llu %8llu %8llu %8llu | %5.1f%%\n",
             name.c_str(),
@@ -111,9 +116,13 @@ main()
             (unsigned long long)c.pagesByClass[3],
             (unsigned long long)c.pagesByClass[4],
             (unsigned long long)c.pagesByClass[5],
-            total ? 100.0 * static_cast<double>(kernel) /
-                    static_cast<double>(total)
-                  : 0.0);
+            os_share);
+        report.add(name + ".os_page_share_pct", os_share, "%", "higher",
+                   true);
+        report.add(name + ".slab_lifetime_ms", c.slabLifetimeMs, "ms",
+                   "lower", true);
+        report.add(name + ".cache_lifetime_ms", c.cacheLifetimeMs, "ms",
+                   "lower", true);
     }
 
     section("Figure 2b: OS share of page allocations, Small vs Large");
@@ -140,10 +149,13 @@ main()
     std::printf("%-11s %10s\n", "workload", "OS refs");
     for (auto &[name, c] : large) {
         const uint64_t total = c.kernelRefs + c.userRefs;
-        std::printf("%-11s %9.1f%%\n", name.c_str(),
-                    total ? 100.0 * static_cast<double>(c.kernelRefs) /
-                            static_cast<double>(total)
-                          : 0.0);
+        const double ref_share =
+            total ? 100.0 * static_cast<double>(c.kernelRefs) /
+                    static_cast<double>(total)
+                  : 0.0;
+        std::printf("%-11s %9.1f%%\n", name.c_str(), ref_share);
+        report.add(name + ".kernel_ref_share_pct", ref_share, "%",
+                   "higher", true);
     }
 
     section("Figure 2d: mean object lifetimes (ms, log-scale in paper)");
@@ -190,5 +202,6 @@ main()
     }
     std::printf("\nexpected shape: slab objects live ~ms, cache pages "
                 "somewhat longer, app pages orders of magnitude longer\n");
+    report.write();
     return 0;
 }

@@ -11,14 +11,41 @@
  * the upper bound.
  */
 
+#include <algorithm>
+#include <ctime>
+
 #include "bench/harness.hh"
 
 using namespace kloc;
 using namespace kloc::bench;
 
+namespace {
+
+/**
+ * Process-CPU milliseconds of one (workload, Kloc) run. CPU time
+ * rather than wall clock: on shared (or single-core) runners, wall
+ * time includes whatever the host steals, and the trace-overhead
+ * delta is a few percent — well under that noise.
+ */
+double
+cpuMs(const std::string &workload, bool trace)
+{
+    timespec start{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &start);
+    runTwoTier(workload, StrategyKind::Kloc, twoTierConfig(),
+               workloadConfig(), trace);
+    timespec end{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &end);
+    return 1e3 * (static_cast<double>(end.tv_sec - start.tv_sec)) +
+           1e-6 * (static_cast<double>(end.tv_nsec - start.tv_nsec));
+}
+
+} // namespace
+
 int
 main()
 {
+    JsonReport report("fig4_twotier");
     const std::vector<StrategyKind> strategies = {
         StrategyKind::AllSlow,         StrategyKind::Naive,
         StrategyKind::Nimble,          StrategyKind::NimblePlusPlus,
@@ -53,9 +80,59 @@ main()
                         all_slow > 0 ? outcome.throughput / all_slow
                                      : 1.0);
             std::fflush(stdout);
+            // Simulated-time throughput is machine-independent, so
+            // it gates regressions; so do migration rates.
+            report.add(workload + "." + strategyName(kind) +
+                           ".ops_per_s",
+                       outcome.throughput, "ops/s", "higher", true);
+            if (kind == StrategyKind::Kloc && all_slow > 0) {
+                report.add(workload + ".klocs.speedup_vs_all_slow",
+                           outcome.throughput / all_slow, "x", "higher",
+                           true);
+                report.add(workload + ".klocs.migrated_pages",
+                           static_cast<double>(
+                               outcome.migration.migratedPages),
+                           "pages", "higher", true);
+            }
         }
         std::printf("\n");
     }
     std::printf("\nvalues: ops/s (speedup vs all_slow)\n");
+
+    // --trace overhead: the same run, stopwatch-timed, with the event
+    // ring off and on. CPU time varies by host and compiler, so it
+    // never gates — it exists for before/after comparison of the
+    // emit fast path.
+    section("--trace overhead (process CPU time, klocs strategy)");
+    const std::string overhead_wl = workloadNames().front();
+    cpuMs(overhead_wl, false);  // warm-up
+    // Run off/on back-to-back pairs and take the median per-pair
+    // overhead: the two halves of a pair share the host's frequency
+    // regime, so drift across the binary's lifetime cancels, and the
+    // median discards pairs a regime change split down the middle.
+    std::vector<double> off_samples, on_samples, pct_samples;
+    for (int rep = 0; rep < 5; ++rep) {
+        const double off = cpuMs(overhead_wl, false);
+        const double on = cpuMs(overhead_wl, true);
+        off_samples.push_back(off);
+        on_samples.push_back(on);
+        pct_samples.push_back(off > 0 ? 100.0 * (on - off) / off : 0.0);
+    }
+    const auto median = [](std::vector<double> v) {
+        std::sort(v.begin(), v.end());
+        return v[v.size() / 2];
+    };
+    const double off_ms = median(off_samples);
+    const double on_ms = median(on_samples);
+    const double overhead_pct = median(pct_samples);
+    std::printf("%s: trace off %.1f ms, trace on %.1f ms "
+                "(overhead %.1f%%)\n",
+                overhead_wl.c_str(), off_ms, on_ms, overhead_pct);
+    report.add("trace_overhead.cpu_ms_off", off_ms, "ms", "lower",
+               false);
+    report.add("trace_overhead.cpu_ms_on", on_ms, "ms", "lower", false);
+    report.add("trace_overhead.pct", overhead_pct, "%", "lower", false);
+
+    report.write();
     return 0;
 }

@@ -84,6 +84,7 @@ main()
         std::printf(" %16s", row.label);
     std::printf("\n");
 
+    JsonReport report("fig5a_optane");
     for (const std::string &workload : workloadNames()) {
         std::printf("%-11s", workload.c_str());
         std::fflush(stdout);
@@ -96,9 +97,12 @@ main()
             std::printf(" %8.0f (%4.2fx)", throughput,
                         baseline > 0 ? throughput / baseline : 1.0);
             std::fflush(stdout);
+            report.add(workload + "." + row.label + ".ops_per_s",
+                       throughput, "ops/s", "higher", true);
         }
         std::printf("\n");
     }
     std::printf("\nvalues: ops/s (speedup vs all-remote)\n");
+    report.write();
     return 0;
 }

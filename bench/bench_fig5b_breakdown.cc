@@ -30,6 +30,7 @@ main()
     std::printf("%-18s %14s %12s %10s %10s %9s\n", "strategy",
                 "slow pagecache", "slow slab", "demoted", "promoted",
                 "demote%");
+    JsonReport report("fig5b_breakdown");
     for (const StrategyKind kind : strategies) {
         const RunOutcome outcome = runTwoTier(
             "rocksdb", kind, twoTierConfig(), workloadConfig());
@@ -47,6 +48,21 @@ main()
                             static_cast<double>(total)
                           : 0.0);
         std::fflush(stdout);
+        const std::string prefix =
+            std::string("rocksdb.") + strategyName(kind);
+        report.add(prefix + ".slow_pagecache_pages",
+                   static_cast<double>(outcome.slowPageCacheAllocPages),
+                   "pages", "lower", true);
+        report.add(prefix + ".slow_slab_pages",
+                   static_cast<double>(outcome.slowSlabAllocPages),
+                   "pages", "lower", true);
+        report.add(prefix + ".demoted_pages",
+                   static_cast<double>(outcome.migration.demotedPages),
+                   "pages", "lower", true);
+        report.add(prefix + ".promoted_pages",
+                   static_cast<double>(outcome.migration.promotedPages),
+                   "pages", "lower", true);
     }
+    report.write();
     return 0;
 }

@@ -72,6 +72,7 @@ main()
         std::printf(" %12s", step.label);
     std::printf("\n");
 
+    JsonReport report("fig5c_objtypes");
     for (const std::string &workload : workloadNames()) {
         std::printf("%-11s", workload.c_str());
         std::fflush(stdout);
@@ -83,9 +84,12 @@ main()
             std::printf("       %4.2fx", base > 0 ? throughput / base
                                                   : 1.0);
             std::fflush(stdout);
+            report.add(workload + "." + step.label + ".ops_per_s",
+                       throughput, "ops/s", "higher", true);
         }
         std::printf("\n");
     }
     std::printf("\nvalues: speedup vs app-only tiering\n");
+    report.write();
     return 0;
 }

@@ -42,6 +42,7 @@ main()
         std::printf(" %24s", strategyName(kind));
     std::printf("\n");
 
+    JsonReport report("fig6_sensitivity");
     for (const Bytes capacity : capacities) {
         for (const unsigned ratio : ratios) {
             TwoTierPlatform::Config platform_config = twoTierConfig();
@@ -67,13 +68,20 @@ main()
                     lo = std::min(lo, speedup);
                     hi = std::max(hi, speedup);
                 }
-                std::printf("   %5.2fx [%4.2f..%4.2f]",
-                            sum / static_cast<double>(workloads.size()),
-                            lo, hi);
+                const double avg =
+                    sum / static_cast<double>(workloads.size());
+                std::printf("   %5.2fx [%4.2f..%4.2f]", avg, lo, hi);
                 std::fflush(stdout);
+                char cell[64];
+                std::snprintf(cell, sizeof(cell),
+                              "fast%llugb_ratio%u.%s.avg_speedup",
+                              (unsigned long long)(capacity / kGiB),
+                              ratio, strategyName(kind));
+                report.add(cell, avg, "x", "higher", true);
             }
             std::printf("\n");
         }
     }
+    report.write();
     return 0;
 }

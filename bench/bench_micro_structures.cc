@@ -2,8 +2,15 @@
  * @file
  * Microbenchmarks of the kernel substrates (google-benchmark):
  * rbtree, radix tree, buddy allocator, slab allocator, LRU scan
- * rate (validating the paper's 2 s per million pages, §3.3), and
+ * rate (validating the paper's 2 s per million pages, §3.3), the
+ * LRU scan/promote hot path, tier alloc/free, trace emission, and
  * the event queue.
+ *
+ * Results are mirrored into BENCH_micro_structures.json via the
+ * common kloc-bench-v1 schema: each benchmark contributes a
+ * wall-clock ns_per_op metric (gate:false — machine-dependent) and
+ * any user counters (counters named sim_* derive from virtual time
+ * and gate the regression compare).
  */
 
 #include <benchmark/benchmark.h>
@@ -15,10 +22,12 @@
 #include "base/radix_tree.hh"
 #include "base/rbtree.hh"
 #include "base/rng.hh"
+#include "bench/report.hh"
 #include "mem/buddy_allocator.hh"
 #include "mem/lru.hh"
 #include "sim/event_queue.hh"
 #include "sim/machine.hh"
+#include "trace/trace.hh"
 
 namespace kloc {
 namespace {
@@ -109,6 +118,19 @@ BM_BuddyAllocFree(benchmark::State &state)
 }
 BENCHMARK(BM_BuddyAllocFree);
 
+TierSpec
+benchTierSpec(uint64_t frames)
+{
+    TierSpec spec;
+    spec.name = "t";
+    spec.capacity = frames * kPageSize;
+    spec.readLatency = Tick{80};
+    spec.writeLatency = Tick{80};
+    spec.readBandwidth = 10 * kGiB;
+    spec.writeBandwidth = 10 * kGiB;
+    return spec;
+}
+
 void
 BM_SlabAllocFree(benchmark::State &state)
 {
@@ -116,14 +138,7 @@ BM_SlabAllocFree(benchmark::State &state)
     TierManager tiers(machine);
     LruEngine lru(machine, tiers);
     MemAccessor mem(machine, lru);
-    TierSpec spec;
-    spec.name = "t";
-    spec.capacity = 4096 * kPageSize;
-    spec.readLatency = Tick{80};
-    spec.writeLatency = Tick{80};
-    spec.readBandwidth = 10 * kGiB;
-    spec.writeBandwidth = 10 * kGiB;
-    const TierId tier = tiers.addTier(spec);
+    const TierId tier = tiers.addTier(benchTierSpec(4096));
     KmemCache cache(mem, tiers, "bench", Bytes{256}, ObjClass::FsSlab);
     std::vector<SlabRef> refs;
     refs.reserve(512);
@@ -140,6 +155,33 @@ BM_SlabAllocFree(benchmark::State &state)
 BENCHMARK(BM_SlabAllocFree);
 
 /**
+ * The TierManager frame alloc/free fast path: buddy carve, frame
+ * arena slot, LRU observer fan-out, and the placement-preference
+ * walk. This is the path every page-granularity allocation in the
+ * simulator takes.
+ */
+void
+BM_TierAllocFree(benchmark::State &state)
+{
+    Machine machine(4, 1);
+    TierManager tiers(machine);
+    LruEngine lru(machine, tiers);
+    const TierId tier = tiers.addTier(benchTierSpec(8192));
+    std::vector<Frame *> frames;
+    frames.reserve(1024);
+    for (auto _ : state) {
+        for (int i = 0; i < 1024; ++i)
+            frames.push_back(tiers.alloc(0, ObjClass::App, true, {tier}));
+        for (Frame *frame : frames)
+            tiers.free(frame);
+        frames.clear();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            2048);
+}
+BENCHMARK(BM_TierAllocFree);
+
+/**
  * The paper's §3.3 calibration: scanning one million pages costs
  * ~2 seconds of kernel time. Our LRU charges 2 us per visited page;
  * this benchmark reports the simulated scan rate for verification.
@@ -150,23 +192,17 @@ BM_LruScanRate(benchmark::State &state)
     Machine machine(4, 1);
     TierManager tiers(machine);
     LruEngine lru(machine, tiers);
-    TierSpec spec;
-    spec.name = "t";
-    spec.capacity = 8192 * kPageSize;
-    spec.readLatency = Tick{80};
-    spec.writeLatency = Tick{80};
-    spec.readBandwidth = 10 * kGiB;
-    spec.writeBandwidth = 10 * kGiB;
-    const TierId tier = tiers.addTier(spec);
+    const TierId tier = tiers.addTier(benchTierSpec(8192));
     std::vector<Frame *> frames;
     for (int i = 0; i < 8192; ++i)
         frames.push_back(tiers.alloc(0, ObjClass::App, true, {tier}));
 
     Tick sim_time{};
     uint64_t scanned = 0;
+    ScanResult result;
     for (auto _ : state) {
         const Tick before = machine.now();
-        ScanResult result = lru.scanTier(tier, FrameCount{8192});
+        lru.scanTier(tier, FrameCount{8192}, result);
         sim_time += machine.now() - before;
         scanned += result.scanned;
     }
@@ -182,6 +218,98 @@ BM_LruScanRate(benchmark::State &state)
         tiers.free(frame);
 }
 BENCHMARK(BM_LruScanRate);
+
+/**
+ * The policy-tick hot path: one demotion scan over a cold tier plus
+ * one promotion collection over a hot tier, per op — exactly what
+ * GreedyStrategy::scanTick does every period. Steady-state this must
+ * not allocate: the scan and candidate scratch is reused across ops.
+ */
+void
+BM_LruScanPromoteOps(benchmark::State &state)
+{
+    Machine machine(4, 1);
+    TierManager tiers(machine);
+    LruEngine lru(machine, tiers);
+    const TierId cold_tier = tiers.addTier(benchTierSpec(4096));
+    const TierId hot_tier = tiers.addTier(benchTierSpec(4096));
+
+    // Cold tier: 2048 never-touched inactive frames (demote source).
+    std::vector<Frame *> frames;
+    for (int i = 0; i < 2048; ++i)
+        frames.push_back(
+            tiers.alloc(0, ObjClass::PageCache, true, {cold_tier}));
+    // Hot tier: 2048 frames touched twice => active list (promote
+    // source); collectHot's two-scan confirmation saturates after the
+    // first op, so steady-state ops do identical work.
+    for (int i = 0; i < 2048; ++i) {
+        Frame *frame =
+            tiers.alloc(0, ObjClass::App, true, {hot_tier});
+        lru.onAccessed(frame);
+        lru.onAccessed(frame);
+        frames.push_back(frame);
+    }
+
+    ScanResult scan;
+    std::vector<FrameRef> hot;
+    uint64_t candidates = 0;
+    for (auto _ : state) {
+        lru.scanTier(cold_tier, FrameCount{64}, scan);
+        candidates += scan.demoteCandidates.size();
+        lru.collectHot(hot_tier, FrameCount{64}, hot);
+        candidates += hot.size();
+        benchmark::DoNotOptimize(candidates);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+    state.counters["candidates_per_op"] = benchmark::Counter(
+        state.iterations()
+            ? static_cast<double>(candidates) /
+              static_cast<double>(state.iterations())
+            : 0,
+        benchmark::Counter::kDefaults);
+    for (Frame *frame : frames)
+        tiers.free(frame);
+}
+BENCHMARK(BM_LruScanPromoteOps);
+
+/** Per-event cost of an enabled tracer, unbatched emission. */
+void
+BM_TraceEmitDirect(benchmark::State &state)
+{
+    Machine machine(4, 1);
+    Tracer &tracer = machine.tracer();
+    tracer.setEnabled(true);
+    uint64_t pfn = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 1024; ++i)
+            tracer.emit(TraceEventType::LruActivate, 0, pfn++);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            1024);
+}
+BENCHMARK(BM_TraceEmitDirect);
+
+/**
+ * Per-event cost of an enabled tracer inside a TraceBatch window —
+ * the fast path LRU scans and migration loops use. The serialized
+ * trace is byte-identical to direct emission.
+ */
+void
+BM_TraceEmitBatched(benchmark::State &state)
+{
+    Machine machine(4, 1);
+    Tracer &tracer = machine.tracer();
+    tracer.setEnabled(true);
+    uint64_t pfn = 0;
+    for (auto _ : state) {
+        TraceBatch batch(tracer);
+        for (int i = 0; i < 1024; ++i)
+            tracer.emit(TraceEventType::LruActivate, 0, pfn++);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            1024);
+}
+BENCHMARK(BM_TraceEmitBatched);
 
 void
 BM_EventQueueChurn(benchmark::State &state)
@@ -199,7 +327,66 @@ BM_EventQueueChurn(benchmark::State &state)
 }
 BENCHMARK(BM_EventQueueChurn);
 
+/**
+ * Console output as usual, plus every run mirrored into the common
+ * kloc-bench-v1 JSON artifact. Counters named sim_* are virtual-time
+ * derived (deterministic) and gate the regression compare; wall-clock
+ * ns_per_op never gates.
+ */
+class JsonCollectingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit JsonCollectingReporter(bench::JsonReport &report)
+        : _report(report)
+    {
+    }
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.error_occurred)
+                continue;
+            std::string name = run.benchmark_name();
+            for (char &c : name) {
+                if (c == '/')
+                    c = '.';
+            }
+            _report.add(name + ".ns_per_op", run.GetAdjustedRealTime(),
+                        "ns", "lower", false);
+            for (const auto &[counter_name, counter] : run.counters) {
+                if (counter_name == "items_per_second") {
+                    _report.add(name + ".items_per_s",
+                                counter.value, "items/s", "higher",
+                                false);
+                    continue;
+                }
+                const bool simulated =
+                    counter_name.rfind("sim_", 0) == 0;
+                _report.add(name + "." + counter_name, counter.value,
+                            "", "lower", simulated);
+            }
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+  private:
+    bench::JsonReport &_report;
+};
+
 } // namespace
 } // namespace kloc
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    kloc::bench::JsonReport report("micro_structures");
+    kloc::JsonCollectingReporter reporter(report);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    report.write();
+    return 0;
+}

@@ -29,6 +29,7 @@ main()
                  {"cassandra", 12},
                  {"spark", 43}};
 
+    JsonReport report("table6_memusage");
     for (const auto &row : paper) {
         const RunOutcome outcome =
             runTwoTier(row.name, StrategyKind::Kloc, twoTierConfig(),
@@ -41,7 +42,10 @@ main()
         std::printf("%-11s %16.1f %22.1f %10d\n", row.name, sim_kib,
                     paper_scale_mib, row.paperMb);
         std::fflush(stdout);
+        report.add(std::string(row.name) + ".kloc_metadata_kib", sim_kib,
+                   "KiB", "lower", true);
     }
     std::printf("\nexpected: tens of MB at paper scale, <1%% of memory\n");
+    report.write();
     return 0;
 }

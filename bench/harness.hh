@@ -9,6 +9,8 @@
  *   KLOC_BENCH_QUICK=1   quarter-size runs for smoke testing
  *   KLOC_BENCH_OPS=N     override measured operations per run
  *   KLOC_BENCH_SCALE=N   override the 1:N platform scale
+ *   KLOC_BENCH_TRACE=1   run with event tracing enabled
+ *   KLOC_BENCH_OUTDIR=D  where BENCH_<name>.json artifacts land
  */
 
 #ifndef KLOC_BENCH_HARNESS_HH
@@ -20,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/report.hh"
 #include "platform/optane.hh"
 #include "platform/two_tier.hh"
 #include "workload/runner.hh"
@@ -70,7 +73,8 @@ struct RunOutcome
 inline RunOutcome
 runTwoTier(const std::string &workload_name, StrategyKind kind,
            TwoTierPlatform::Config platform_config,
-           WorkloadConfig workload_config)
+           WorkloadConfig workload_config,
+           bool trace = std::getenv("KLOC_BENCH_TRACE") != nullptr)
 {
     // The AllFast bound needs a fast tier that holds everything.
     if (kind == StrategyKind::AllFast) {
@@ -78,6 +82,8 @@ runTwoTier(const std::string &workload_name, StrategyKind kind,
     }
     TwoTierPlatform platform(platform_config);
     System &sys = platform.sys();
+    if (trace)
+        sys.machine().tracer().setEnabled(true);
     platform.applyStrategy(kind);
     sys.fs().startDaemons();
 

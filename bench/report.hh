@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Common machine-readable result artifact for every bench binary.
+ *
+ * Each bench emits BENCH_<name>.json next to its stdout tables so
+ * scripts/bench.sh can aggregate a whole run into BENCH_results.json
+ * and gate regressions against the checked-in baseline.
+ *
+ * Schema ("kloc-bench-v1"):
+ *
+ *   {
+ *     "schema": "kloc-bench-v1",
+ *     "bench": "<binary name without bench_ prefix>",
+ *     "peak_rss_kb": <ru_maxrss>,
+ *     "metrics": [
+ *       {"name": "...", "value": <number>, "unit": "...",
+ *        "better": "higher"|"lower", "gate": true|false},
+ *       ...
+ *     ]
+ *   }
+ *
+ * Only metrics with "gate": true participate in the regression
+ * compare: those derive from virtual (simulated) time, which is
+ * bit-deterministic across machines and build hosts. Wall-clock
+ * metrics (ns/op and friends) are recorded for local before/after
+ * comparisons but never gate CI.
+ */
+
+#ifndef KLOC_BENCH_REPORT_HH
+#define KLOC_BENCH_REPORT_HH
+
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace kloc {
+namespace bench {
+
+/** One reported measurement. */
+struct Metric
+{
+    std::string name;
+    double value = 0.0;
+    std::string unit;
+    std::string better;  ///< "higher" or "lower"
+    bool gate = false;   ///< deterministic; compared against baseline
+};
+
+/** Collects metrics and writes the common JSON artifact. */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string bench) : _bench(std::move(bench)) {}
+
+    void
+    add(std::string name, double value, std::string unit,
+        std::string better, bool gate)
+    {
+        _metrics.push_back(Metric{std::move(name), value, std::move(unit),
+                                  std::move(better), gate});
+    }
+
+    /** Peak resident set size of this process in KiB. */
+    static long
+    peakRssKb()
+    {
+        struct rusage usage = {};
+        getrusage(RUSAGE_SELF, &usage);
+        return usage.ru_maxrss;
+    }
+
+    /**
+     * Write BENCH_<bench>.json under $KLOC_BENCH_OUTDIR (default:
+     * current directory). Returns false on I/O failure.
+     */
+    bool
+    write() const
+    {
+        std::string dir = ".";
+        if (const char *env = std::getenv("KLOC_BENCH_OUTDIR"))
+            dir = env;
+        const std::string path = dir + "/BENCH_" + _bench + ".json";
+        std::FILE *out = std::fopen(path.c_str(), "w");
+        if (out == nullptr) {
+            std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+            return false;
+        }
+        std::fprintf(out,
+                     "{\n"
+                     "  \"schema\": \"kloc-bench-v1\",\n"
+                     "  \"bench\": \"%s\",\n"
+                     "  \"peak_rss_kb\": %ld,\n"
+                     "  \"metrics\": [",
+                     _bench.c_str(), peakRssKb());
+        for (size_t i = 0; i < _metrics.size(); ++i) {
+            const Metric &m = _metrics[i];
+            std::fprintf(out,
+                         "%s\n    {\"name\": \"%s\", \"value\": %.17g, "
+                         "\"unit\": \"%s\", \"better\": \"%s\", "
+                         "\"gate\": %s}",
+                         i == 0 ? "" : ",", m.name.c_str(), m.value,
+                         m.unit.c_str(), m.better.c_str(),
+                         m.gate ? "true" : "false");
+        }
+        std::fprintf(out, "\n  ]\n}\n");
+        std::fclose(out);
+        std::printf("bench json: %s\n", path.c_str());
+        return true;
+    }
+
+  private:
+    std::string _bench;
+    std::vector<Metric> _metrics;
+};
+
+} // namespace bench
+} // namespace kloc
+
+#endif // KLOC_BENCH_REPORT_HH

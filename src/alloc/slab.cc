@@ -55,7 +55,7 @@ KmemCache::partialList(uint64_t group_key)
 }
 
 KmemCache::Slab *
-KmemCache::newSlab(const std::vector<TierId> &pref, uint64_t group_key)
+KmemCache::newSlab(const TierPreference &pref, uint64_t group_key)
 {
     Frame *frame = _tiers.alloc(_order, _cls, _klocMode, pref);
     if (!frame)
@@ -90,7 +90,7 @@ KmemCache::releaseSlab(Slab *slab)
 }
 
 SlabRef
-KmemCache::alloc(const std::vector<TierId> &pref, uint64_t group_key)
+KmemCache::alloc(const TierPreference &pref, uint64_t group_key)
 {
     // Magazine fast path applies only to the shared (ungrouped) pool.
     const unsigned cpu = _mem.machine().currentCpu();

@@ -86,7 +86,7 @@ class KmemCache
      *                  the shared pool.
      * @return handle, or an invalid SlabRef when memory is exhausted.
      */
-    SlabRef alloc(const std::vector<TierId> &pref, uint64_t group_key = 0);
+    SlabRef alloc(const TierPreference &pref, uint64_t group_key = 0);
 
     /** Release one object. */
     void free(SlabRef &ref);
@@ -114,7 +114,7 @@ class KmemCache
         bool onPartial = false;
     };
 
-    Slab *newSlab(const std::vector<TierId> &pref, uint64_t group_key);
+    Slab *newSlab(const TierPreference &pref, uint64_t group_key);
     void releaseSlab(Slab *slab);
     std::vector<Slab *> &partialList(uint64_t group_key);
 

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fixed-capacity inline vector for hot-path value lists.
+ *
+ * The allocation fast path consults the placement policy on every
+ * single allocation; returning a std::vector<TierId> there means one
+ * heap allocation (plus a free) per simulated alloc. An InlineVec
+ * stores its elements in the object itself, so building, copying and
+ * returning one is allocation-free. Capacity is a hard compile-time
+ * bound — exceeding it is a programming error, not a resize.
+ *
+ * Only the operations the hot paths need are provided; this is not a
+ * general-purpose container.
+ */
+
+#ifndef KLOC_BASE_INLINE_VEC_HH
+#define KLOC_BASE_INLINE_VEC_HH
+
+#include <cstddef>
+#include <initializer_list>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+
+namespace kloc {
+
+/** Vector of up to @p N trivially-copyable @p T, stored inline. */
+template <typename T, size_t N>
+class InlineVec
+{
+  public:
+    constexpr InlineVec() = default;
+
+    constexpr InlineVec(std::initializer_list<T> init)
+    {
+        KLOC_ASSERT(init.size() <= N, "InlineVec overflow: %zu > %zu",
+                    init.size(), N);
+        for (const T &v : init)
+            _items[_size++] = v;
+    }
+
+    static constexpr size_t capacity() { return N; }
+
+    constexpr size_t size() const { return _size; }
+    constexpr bool empty() const { return _size == 0; }
+
+    constexpr void
+    push_back(T v)
+    {
+        KLOC_ASSERT(_size < N, "InlineVec overflow: capacity %zu", N);
+        _items[_size++] = v;
+    }
+
+    constexpr void clear() { _size = 0; }
+
+    constexpr T &operator[](size_t i) { return _items[i]; }
+    constexpr const T &operator[](size_t i) const { return _items[i]; }
+
+    constexpr T &front() { return _items[0]; }
+    constexpr const T &front() const { return _items[0]; }
+
+    constexpr T &back() { return _items[_size - 1]; }
+    constexpr const T &back() const { return _items[_size - 1]; }
+
+    constexpr T *begin() { return _items; }
+    constexpr T *end() { return _items + _size; }
+    constexpr const T *begin() const { return _items; }
+    constexpr const T *end() const { return _items + _size; }
+
+    constexpr bool
+    operator==(const InlineVec &other) const
+    {
+        if (_size != other._size)
+            return false;
+        for (size_t i = 0; i < _size; ++i) {
+            if (!(_items[i] == other._items[i]))
+                return false;
+        }
+        return true;
+    }
+
+    constexpr bool operator!=(const InlineVec &o) const { return !(*this == o); }
+
+  private:
+    T _items[N] = {};
+    size_t _size = 0;
+};
+
+/**
+ * Tier preference order consulted on every allocation. Machines top
+ * out at a handful of tiers (two per socket on the Optane platform),
+ * so 8 slots cover every configuration with room to spare.
+ */
+using TierPreference = InlineVec<TierId, 8>;
+
+} // namespace kloc
+
+#endif // KLOC_BASE_INLINE_VEC_HH

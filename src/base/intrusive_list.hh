@@ -129,12 +129,61 @@ class IntrusiveList
         return obj;
     }
 
-    /** Move @p obj to the front; it must already be on this list. */
+    /**
+     * Move @p obj to the front; it must already be on this list.
+     * Relinks in place — the hook never observes an unlinked state,
+     * and a node already at the front is left untouched.
+     */
     void
     moveToFront(T *obj)
     {
-        remove(obj);
-        pushFront(obj);
+        ListHook *hook = &(obj->*HookMember);
+        KLOC_ASSERT(hook->linked(), "moveToFront of unlinked node");
+        if (_head.next == hook)
+            return;
+        hook->prev->next = hook->next;
+        hook->next->prev = hook->prev;
+        hook->next = _head.next;
+        hook->prev = &_head;
+        _head.next->prev = hook;
+        _head.next = hook;
+    }
+
+    /** Move @p obj to the back; it must already be on this list. */
+    void
+    moveToBack(T *obj)
+    {
+        ListHook *hook = &(obj->*HookMember);
+        KLOC_ASSERT(hook->linked(), "moveToBack of unlinked node");
+        if (_head.prev == hook)
+            return;
+        hook->prev->next = hook->next;
+        hook->next->prev = hook->prev;
+        hook->prev = _head.prev;
+        hook->next = &_head;
+        _head.prev->next = hook;
+        _head.prev = hook;
+    }
+
+    /**
+     * Splice every element of @p other onto this list's back in
+     * order, leaving @p other empty. O(1) regardless of length.
+     */
+    void
+    spliceBack(IntrusiveList &other)
+    {
+        if (other.empty())
+            return;
+        ListHook *first = other._head.next;
+        ListHook *last = other._head.prev;
+        first->prev = _head.prev;
+        _head.prev->next = first;
+        last->next = &_head;
+        _head.prev = last;
+        _size += other._size;
+        other._head.prev = &other._head;
+        other._head.next = &other._head;
+        other._size = 0;
     }
 
     /** Element before @p obj, or nullptr when @p obj is the front. */

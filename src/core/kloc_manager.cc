@@ -56,10 +56,10 @@ dropFromList(std::vector<Knode *> &list, const Knode *knode)
 } // namespace
 
 void
-KlocManager::setTierOrder(std::vector<TierId> order)
+KlocManager::setTierOrder(const TierPreference &order)
 {
     KLOC_ASSERT(!order.empty(), "empty tier order");
-    _tierOrder = std::move(order);
+    _tierOrder = order;
     _memLimits.assign(_heap.tiers().tierCount(), Bytes{});
 }
 
@@ -77,6 +77,8 @@ KlocManager::mapKnode(uint64_t inode_id)
         return nullptr;
     KLOC_ASSERT(!_tierOrder.empty(), "KLOC enabled without tier order");
 
+    // A new kernel object is born here, not per-event churn: one
+    // knode per mapped inode, freed at unmap. klint: allow(hot-path-alloc)
     auto *knode = new Knode(inode_id);
     // Knodes are slab-allocated for speed and always placed in fast
     // memory; they are few and small (§4.2.2).

@@ -74,7 +74,7 @@ class KlocManager
      * Tier order from fastest to slowest; index 0 is the target of
      * promotions, the last entry the target of demotions.
      */
-    void setTierOrder(std::vector<TierId> order);
+    void setTierOrder(const TierPreference &order);
 
     TierId fastTier() const { return _tierOrder.front(); }
     TierId slowTier() const { return _tierOrder.back(); }
@@ -244,7 +244,7 @@ class KlocManager
     Machine &_machine;
 
     bool _enabled = false;
-    std::vector<TierId> _tierOrder;
+    TierPreference _tierOrder;
 
     /** Global kmap of all knodes (Fig. 1). */
     KnodeTree _kmap;

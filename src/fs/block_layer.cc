@@ -40,7 +40,9 @@ BlockLayer::submit(Knode *knode, bool active, uint64_t sector, Bytes length,
 {
     Machine &machine = _heap.mem().machine();
 
-    // Allocate the bio and run the dispatch path.
+    // Allocate the bio and run the dispatch path. The bio is the
+    // modelled object itself (kernel bios are born per request too),
+    // not bookkeeping churn. klint: allow(hot-path-alloc)
     auto bio = std::make_unique<Bio>();
     bio->sector = sector;
     bio->length = length;

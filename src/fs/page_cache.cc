@@ -137,11 +137,12 @@ PageCache::clearDirty(PageCachePage *page)
 }
 
 std::vector<PageCachePage *>
-PageCache::dirtyPages(uint64_t start_index, unsigned max)
+PageCache::dirtyPages(uint64_t start_index, FrameCount max)
 {
     std::vector<PageCachePage *> result;
-    for (auto &[index, item] : _tree.gangLookupTag(start_index, max,
-                                                   RadixTag::Dirty)) {
+    for (auto &[index, item] : _tree.gangLookupTag(
+             start_index, static_cast<unsigned>(max.value()),
+             RadixTag::Dirty)) {
         result.push_back(static_cast<PageCachePage *>(item));
     }
     return result;

@@ -60,7 +60,8 @@ class PageCache
     void clearDirty(PageCachePage *page);
 
     /** Up to @p max dirty pages with index >= @p start, in order. */
-    std::vector<PageCachePage *> dirtyPages(uint64_t start_index, unsigned max);
+    std::vector<PageCachePage *> dirtyPages(uint64_t start_index,
+                                            FrameCount max);
 
     /** Visit every cached page. */
     void forEachPage(const std::function<void(PageCachePage *)> &fn);

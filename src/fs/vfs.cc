@@ -471,7 +471,7 @@ FileSystem::issueReadahead(InodeInfo &info, uint64_t next_index)
 }
 
 uint64_t
-FileSystem::writebackInode(InodeInfo &info, unsigned max_pages,
+FileSystem::writebackInode(InodeInfo &info, FrameCount max_pages,
                            bool foreground)
 {
     // Coalesce contiguous dirty pages into large bios, like the

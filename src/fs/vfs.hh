@@ -56,7 +56,7 @@ class FileSystem
         bool dataBacked = false;
         Tick journalCommitPeriod = 50 * kMillisecond;
         Tick writebackPeriod = 10 * kMillisecond;
-        unsigned writebackBatch = 1024;
+        FrameCount writebackBatch{1024};
         unsigned readaheadPages = 8;
         bool readaheadEnabled = true;
         unsigned dentryCacheCap = 4096;
@@ -195,7 +195,7 @@ class FileSystem
     void issueReadahead(InodeInfo &info, uint64_t next_index);
     /** @return pages successfully written back (failed runs stay
      *  dirty, so callers can detect lack of progress). */
-    uint64_t writebackInode(InodeInfo &info, unsigned max_pages,
+    uint64_t writebackInode(InodeInfo &info, FrameCount max_pages,
                             bool foreground);
     void writebackTick();
     Dentry *lookupDentry(const std::string &name);

@@ -37,7 +37,7 @@ KernelHeap::cache(KobjKind kind)
 }
 
 void
-KernelHeap::maybeKswapd(const std::vector<TierId> &pref, bool hot)
+KernelHeap::maybeKswapd(const TierPreference &pref, bool hot)
 {
     if (!_reclaim || !hot || pref.size() < 2)
         return;

@@ -128,7 +128,7 @@ class KernelHeap
     static constexpr uint64_t kKswapdLowWater = 256;
     static constexpr uint64_t kKswapdBatch = 512;
 
-    void maybeKswapd(const std::vector<TierId> &pref, bool hot);
+    void maybeKswapd(const TierPreference &pref, bool hot);
 
     MemAccessor &_mem;
     TierManager &_tiers;

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Chunked arena backing every Frame in the machine.
+ *
+ * Frames must have stable addresses for their whole lifetime: kernel
+ * objects hold Frame pointers and migration re-homes frames in place,
+ * so the backing store may never relocate them. A flat vector is out;
+ * a deque qualifies but libstdc++ sizes its blocks at 512 bytes —
+ * about five Frames per node — so pool walks chase a block pointer
+ * every few frames and the per-node overhead is paid thousands of
+ * times. The arena instead hands frames out of large fixed chunks:
+ * addresses never move, creation-order iteration is sequential within
+ * each chunk, and the steady-state create() is an index increment.
+ */
+
+#ifndef KLOC_MEM_FRAME_ARENA_HH
+#define KLOC_MEM_FRAME_ARENA_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "mem/frame.hh"
+
+namespace kloc {
+
+/** Stable-address, creation-ordered pool of Frames. */
+class FrameArena
+{
+  public:
+    static constexpr size_t kChunkShift = 12;
+    static constexpr size_t kChunkFrames = size_t{1} << kChunkShift;
+
+    /** Frames ever created (recycled slots included). */
+    size_t size() const { return _count; }
+
+    /** Default-construct the next frame; never moves existing ones. */
+    Frame *
+    create()
+    {
+        const size_t chunk = _count >> kChunkShift;
+        const size_t slot = _count & (kChunkFrames - 1);
+        if (chunk == _chunks.size())
+            _chunks.push_back(std::make_unique<Frame[]>(kChunkFrames));
+        ++_count;
+        return &_chunks[chunk][slot];
+    }
+
+    /** Frame @p index in creation order (0 .. size()-1). */
+    Frame &
+    at(size_t index)
+    {
+        return _chunks[index >> kChunkShift][index & (kChunkFrames - 1)];
+    }
+
+    /**
+     * Visit every frame ever created, in creation order — the
+     * deterministic iteration the tier-drain work list depends on.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (size_t chunk = 0; chunk * kChunkFrames < _count; ++chunk) {
+            Frame *base = _chunks[chunk].get();
+            const size_t limit =
+                _count - chunk * kChunkFrames < kChunkFrames
+                    ? _count - chunk * kChunkFrames
+                    : kChunkFrames;
+            for (size_t slot = 0; slot < limit; ++slot)
+                fn(base[slot]);
+        }
+    }
+
+  private:
+    std::vector<std::unique_ptr<Frame[]>> _chunks;
+    size_t _count = 0;
+};
+
+} // namespace kloc
+
+#endif // KLOC_MEM_FRAME_ARENA_HH

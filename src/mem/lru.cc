@@ -5,8 +5,18 @@ namespace kloc {
 LruEngine::LruEngine(Machine &machine, TierManager &tiers)
     : _machine(machine), _tiers(tiers)
 {
-    _tiers.addAllocObserver([this](Frame *frame) { onAllocated(frame); });
-    _tiers.addFreeObserver([this](Frame *frame) { onFreed(frame); });
+    // Captureless trampolines: the observer fan-out stays a plain
+    // indirect call on the per-alloc/per-free fast path.
+    _tiers.addAllocObserver(
+        [](void *ctx, Frame *frame) {
+            static_cast<LruEngine *>(ctx)->onAllocated(frame);
+        },
+        this);
+    _tiers.addFreeObserver(
+        [](void *ctx, Frame *frame) {
+            static_cast<LruEngine *>(ctx)->onFreed(frame);
+        },
+        this);
 }
 
 void
@@ -104,11 +114,14 @@ LruEngine::requeue(Frame *frame)
         t.inactiveList().moveToFront(frame);
 }
 
-ScanResult
-LruEngine::scanTier(TierId tier, FrameCount max_scan)
+void
+LruEngine::scanTier(TierId tier, FrameCount max_scan, ScanResult &out)
 {
-    ScanResult result;
+    out.clear();
     Tier &t = _tiers.tier(tier);
+    // Scans emit LruDeactivate in bulk; stage the run and deliver it
+    // in one pass instead of paying listener fan-out per frame.
+    TraceBatch batch(_machine.tracer());
 
     // Pass 1: age the active list from the cold end. Referenced
     // frames get another round; unreferenced ones deactivate.
@@ -118,7 +131,8 @@ LruEngine::scanTier(TierId tier, FrameCount max_scan)
         Frame *frame = t.activeList().back();
         --active_len;
         --budget;
-        ++result.scanned;
+        ++out.scanned;
+        out.pagesVisited += 1ULL << frame->order;
         if (frame->referenced) {
             frame->referenced = false;
             t.activeList().moveToFront(frame);
@@ -137,7 +151,8 @@ LruEngine::scanTier(TierId tier, FrameCount max_scan)
         Frame *frame = t.inactiveList().back();
         --inactive_len;
         --budget;
-        ++result.scanned;
+        ++out.scanned;
+        out.pagesVisited += 1ULL << frame->order;
         if (frame->referenced) {
             // Referenced while inactive: second chance.
             frame->referenced = false;
@@ -146,30 +161,35 @@ LruEngine::scanTier(TierId tier, FrameCount max_scan)
             // Cold. Rotate so the next scan sees different frames,
             // and report as a demotion candidate.
             t.inactiveList().moveToFront(frame);
-            result.demoteCandidates.emplace_back(frame);
+            out.demoteCandidates.emplace_back(frame);
         }
     }
 
-    _totalScanned += result.scanned;
-    _machine.tracer().emit(TraceEventType::LruScan, tier, result.scanned,
+    _totalScanned += out.scanned;
+    _totalPagesVisited += out.pagesVisited;
+    _machine.tracer().emit(TraceEventType::LruScan, tier, out.scanned,
                            t.activeList().size(), t.inactiveList().size());
     // kswapd-style scans run on a dedicated thread; their cost leaks
-    // into foreground time as background work.
+    // into foreground time as background work. An order-k frame has
+    // 2^k page-table entries to visit, so cost follows pages, not
+    // frames — and truncated scans still pay for what they looked at.
     _machine.backgroundTraffic(
-        kScanCostPerPage * static_cast<int64_t>(result.scanned));
-    return result;
+        kScanCostPerPage * static_cast<int64_t>(out.pagesVisited));
 }
 
-std::vector<FrameRef>
-LruEngine::collectHot(TierId tier, FrameCount max)
+void
+LruEngine::collectHot(TierId tier, FrameCount max,
+                      std::vector<FrameRef> &out)
 {
-    std::vector<FrameRef> hot;
+    out.clear();
     Tier &t = _tiers.tier(tier);
     uint64_t scanned = 0;
+    uint64_t pages = 0;
     for (Frame *frame : t.activeList()) {
-        if (hot.size() >= max)
+        if (out.size() >= max)
             break;
         ++scanned;
+        pages += 1ULL << frame->order;
         // Two-scan confirmation, like NUMA-balancing's fault
         // sampling: a frame is only promotion-eligible once a prior
         // scan has already seen it hot. This is the detection
@@ -179,37 +199,41 @@ LruEngine::collectHot(TierId tier, FrameCount max)
             frame->scanMarks = 1;
             continue;
         }
-        hot.emplace_back(frame);
+        out.emplace_back(frame);
     }
     _totalScanned += scanned;
+    _totalPagesVisited += pages;
     _machine.backgroundTraffic(
-        kScanCostPerPage * static_cast<int64_t>(scanned));
-    return hot;
+        kScanCostPerPage * static_cast<int64_t>(pages));
 }
 
-std::vector<FrameRef>
-LruEngine::collectReferenced(TierId tier, FrameCount max)
+void
+LruEngine::collectReferenced(TierId tier, FrameCount max,
+                             std::vector<FrameRef> &out)
 {
-    std::vector<FrameRef> hot;
+    out.clear();
     Tier &t = _tiers.tier(tier);
     uint64_t scanned = 0;
+    uint64_t pages = 0;
     for (Frame *frame : t.activeList()) {
-        if (hot.size() >= max)
+        if (out.size() >= max)
             break;
         ++scanned;
-        hot.emplace_back(frame);
+        pages += 1ULL << frame->order;
+        out.emplace_back(frame);
     }
     for (Frame *frame : t.inactiveList()) {
-        if (hot.size() >= max)
+        if (out.size() >= max)
             break;
         ++scanned;
+        pages += 1ULL << frame->order;
         if (frame->referenced)
-            hot.emplace_back(frame);
+            out.emplace_back(frame);
     }
     _totalScanned += scanned;
+    _totalPagesVisited += pages;
     _machine.backgroundTraffic(
-        kScanCostPerPage * static_cast<int64_t>(scanned));
-    return hot;
+        kScanCostPerPage * static_cast<int64_t>(pages));
 }
 
 uint64_t

@@ -23,13 +23,28 @@
 
 namespace kloc {
 
-/** Result of one LRU scan pass over a tier. */
+/**
+ * Result of one LRU scan pass over a tier. Policies that scan every
+ * period keep one ScanResult alive and pass it back in — clear()
+ * empties the candidate list but keeps its capacity, so steady-state
+ * scanning allocates nothing.
+ */
 struct ScanResult
 {
     /** Cold frames eligible for demotion/reclaim, coldest first. */
     std::vector<FrameRef> demoteCandidates;
     /** Frames scanned (for cost accounting and stats). */
     uint64_t scanned = 0;
+    /** Pages visited: an order-k frame counts 2^k (cost accounting). */
+    uint64_t pagesVisited = 0;
+
+    void
+    clear()
+    {
+        demoteCandidates.clear();
+        scanned = 0;
+        pagesVisited = 0;
+    }
 };
 
 /** Two-list LRU bookkeeping and scanning. */
@@ -70,27 +85,64 @@ class LruEngine
 
     /**
      * Age @p tier's lists, visiting at most @p max_scan frames, and
-     * return cold demotion candidates. Charges scan cost.
+     * append cold demotion candidates to @p out (cleared first,
+     * capacity preserved). Charges scan cost per page visited —
+     * an order-k frame costs 2^k pages, and truncated scans are
+     * charged for every frame actually looked at.
      */
-    ScanResult scanTier(TierId tier, FrameCount max_scan);
+    void scanTier(TierId tier, FrameCount max_scan, ScanResult &out);
+
+    /** Convenience wrapper allocating a fresh result. */
+    ScanResult
+    scanTier(TierId tier, FrameCount max_scan)
+    {
+        ScanResult result;
+        scanTier(tier, max_scan, result);
+        return result;
+    }
 
     /**
      * Collect up to @p max hot frames resident on @p tier (promotion
-     * candidates for policies that upgrade to fast memory). Walks the
-     * active list from the hot end; charges scan cost.
+     * candidates for policies that upgrade to fast memory) into
+     * @p out (cleared first, capacity preserved). Walks the active
+     * list from the hot end; charges scan cost per page visited.
      */
-    std::vector<FrameRef> collectHot(TierId tier, FrameCount max);
+    void collectHot(TierId tier, FrameCount max,
+                    std::vector<FrameRef> &out);
+
+    /** Convenience wrapper allocating a fresh vector. */
+    std::vector<FrameRef>
+    collectHot(TierId tier, FrameCount max)
+    {
+        std::vector<FrameRef> hot;
+        collectHot(tier, max, hot);
+        return hot;
+    }
 
     /**
      * Collect up to @p max frames on @p tier that were referenced
      * since the last call (active standing or referenced bit) —
-     * the sampling NUMA-balancing hinting faults provide. Walks
-     * both lists from the hot end; charges scan cost.
+     * the sampling NUMA-balancing hinting faults provide — into
+     * @p out (cleared first, capacity preserved). Walks both lists
+     * from the hot end; charges scan cost per page visited.
      */
-    std::vector<FrameRef> collectReferenced(TierId tier, FrameCount max);
+    void collectReferenced(TierId tier, FrameCount max,
+                           std::vector<FrameRef> &out);
+
+    /** Convenience wrapper allocating a fresh vector. */
+    std::vector<FrameRef>
+    collectReferenced(TierId tier, FrameCount max)
+    {
+        std::vector<FrameRef> hot;
+        collectReferenced(tier, max, hot);
+        return hot;
+    }
 
     /** Total frames scanned to date. */
     uint64_t totalScanned() const { return _totalScanned; }
+
+    /** Total pages visited to date (order-k frames count 2^k). */
+    uint64_t totalPagesVisited() const { return _totalPagesVisited; }
 
     /** Frames currently on @p tier's active list. */
     uint64_t activeCount(TierId tier);
@@ -105,6 +157,7 @@ class LruEngine
     Machine &_machine;
     TierManager &_tiers;
     uint64_t _totalScanned = 0;
+    uint64_t _totalPagesVisited = 0;
 };
 
 } // namespace kloc

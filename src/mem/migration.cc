@@ -128,6 +128,10 @@ MigrationEngine::migrate(const std::vector<FrameRef> &batch, TierId dst)
     Tick fixed_cost{};
     uint64_t moved_pages = 0;
     bool fail_fast = false;
+    // Each successful move emits a MigStart/MigComplete bracket plus
+    // the LRU transitions in between; deliver the whole batch's run
+    // in bulk instead of paying listener fan-out per event.
+    TraceBatch trace_batch(_machine.tracer());
     for (const FrameRef &ref : batch) {
         if (!ref.valid()) {
             ++_stats.failedStale;
@@ -172,6 +176,7 @@ MigrationEngine::offlineTier(TierId id)
     std::vector<bool> exhausted(_tiers.tierCount(), false);
     uint64_t moved_pages = 0;
     uint64_t stranded = 0;
+    TraceBatch trace_batch(_machine.tracer());
     for (const FrameRef &ref : frames) {
         if (!ref.valid() || ref.get()->tier != id)
             continue;  // freed or relocated by async work meanwhile

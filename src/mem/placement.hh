@@ -11,14 +11,17 @@
 #ifndef KLOC_MEM_PLACEMENT_HH
 #define KLOC_MEM_PLACEMENT_HH
 
-#include <vector>
-
+#include "base/inline_vec.hh"
 #include "mem/frame.hh"
 #include "sim/memory_model.hh"
 
 namespace kloc {
 
-/** Allocation-time tier preference oracle. */
+/**
+ * Allocation-time tier preference oracle. Preferences are returned
+ * as inline-storage TierPreference values: the policy is consulted
+ * on every allocation, so this path must stay allocation-free.
+ */
 class PlacementPolicy
 {
   public:
@@ -29,33 +32,32 @@ class PlacementPolicy
      * @param knode_active Whether the owning KLOC is active (only
      *        meaningful for KLOC-family policies; others ignore it).
      */
-    virtual std::vector<TierId>
+    virtual TierPreference
     kernelPreference(ObjClass cls, bool knode_active) = 0;
 
     /** Tier preference for an application page allocation. */
-    virtual std::vector<TierId> appPreference() = 0;
+    virtual TierPreference appPreference() = 0;
 };
 
 /** Fixed-order placement (used for AllFast / AllSlow / tests). */
 class StaticPlacement : public PlacementPolicy
 {
   public:
-    StaticPlacement(std::vector<TierId> kernel_pref,
-                    std::vector<TierId> app_pref)
-        : _kernelPref(std::move(kernel_pref)), _appPref(std::move(app_pref))
+    StaticPlacement(TierPreference kernel_pref, TierPreference app_pref)
+        : _kernelPref(kernel_pref), _appPref(app_pref)
     {}
 
-    std::vector<TierId>
+    TierPreference
     kernelPreference(ObjClass, bool) override
     {
         return _kernelPref;
     }
 
-    std::vector<TierId> appPreference() override { return _appPref; }
+    TierPreference appPreference() override { return _appPref; }
 
   private:
-    std::vector<TierId> _kernelPref;
-    std::vector<TierId> _appPref;
+    TierPreference _kernelPref;
+    TierPreference _appPref;
 };
 
 } // namespace kloc

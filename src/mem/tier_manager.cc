@@ -48,7 +48,7 @@ TierManager::tier(TierId id) const
 
 Frame *
 TierManager::alloc(unsigned order, ObjClass cls, bool relocatable,
-                   const std::vector<TierId> &preference)
+                   const TierPreference &preference)
 {
     for (const TierId tid : preference) {
         Tier &t = tier(tid);
@@ -66,7 +66,7 @@ TierManager::alloc(unsigned order, ObjClass cls, bool relocatable,
             *frame = Frame{};
             frame->generation = gen;
         } else {
-            frame = &_framePool.emplace_back();
+            frame = _frameArena.create();
         }
         frame->tier = tid;
         frame->pfn = pfn;
@@ -80,8 +80,8 @@ TierManager::alloc(unsigned order, ObjClass cls, bool relocatable,
         _cumAllocPagesByClass[static_cast<unsigned>(cls)] += frame->pages();
         ++_liveFrames;
 
-        for (const auto &obs : _allocObservers)
-            obs(frame);
+        for (const FrameObserver &obs : _allocObservers)
+            obs.fn(obs.ctx, frame);
         _machine.tracer().emit(TraceEventType::FrameAlloc, tid, pfn, order,
                                static_cast<uint64_t>(cls));
         return frame;
@@ -95,8 +95,8 @@ TierManager::free(Frame *frame)
     KLOC_ASSERT(frame != nullptr, "free of null frame");
     KLOC_ASSERT(frame->tier != kInvalidTier, "double free of frame");
 
-    for (const auto &obs : _freeObservers)
-        obs(frame);
+    for (const FrameObserver &obs : _freeObservers)
+        obs.fn(obs.ctx, frame);
     KLOC_ASSERT(!frame->lruHook.linked(),
                 "freeing frame still on an LRU list");
     _machine.tracer().emit(TraceEventType::FrameFree, frame->tier,
@@ -178,25 +178,25 @@ std::vector<FrameRef>
 TierManager::collectFramesOn(TierId id)
 {
     std::vector<FrameRef> frames;
-    // Deque order is allocation order and deterministic; freed slots
+    // Arena order is creation order and deterministic; freed slots
     // are recognised by their invalid tier.
-    for (Frame &frame : _framePool) {
+    _frameArena.forEach([&](Frame &frame) {
         if (frame.tier == id)
             frames.emplace_back(&frame);
-    }
+    });
     return frames;
 }
 
 void
-TierManager::addAllocObserver(FrameObserver obs)
+TierManager::addAllocObserver(void (*fn)(void *, Frame *), void *ctx)
 {
-    _allocObservers.push_back(std::move(obs));
+    _allocObservers.push_back(FrameObserver{fn, ctx});
 }
 
 void
-TierManager::addFreeObserver(FrameObserver obs)
+TierManager::addFreeObserver(void (*fn)(void *, Frame *), void *ctx)
 {
-    _freeObservers.push_back(std::move(obs));
+    _freeObservers.push_back(FrameObserver{fn, ctx});
 }
 
 void

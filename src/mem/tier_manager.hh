@@ -12,12 +12,12 @@
 #ifndef KLOC_MEM_TIER_MANAGER_HH
 #define KLOC_MEM_TIER_MANAGER_HH
 
-#include <deque>
-#include <functional>
 #include <memory>
 #include <vector>
 
+#include "base/inline_vec.hh"
 #include "base/stats.hh"
+#include "mem/frame_arena.hh"
 #include "mem/tier.hh"
 #include "sim/machine.hh"
 
@@ -41,7 +41,19 @@ const char *migrateResultName(MigrateResult result);
 class TierManager
 {
   public:
-    using FrameObserver = std::function<void(Frame *)>;
+    /**
+     * Flat observer slot: a plain function pointer plus context, so
+     * the per-alloc/per-free fan-out is a direct indirect call with
+     * no type-erasure dispatch. Captureless lambdas convert.
+     */
+    struct FrameObserver
+    {
+        void (*fn)(void *ctx, Frame *frame);
+        void *ctx;
+    };
+
+    /** Observer slots available per direction (alloc / free). */
+    static constexpr size_t kMaxObservers = 4;
 
     /** Migration count beyond which a page is retained (no demote). */
     static constexpr uint8_t kRetainThreshold = 8;
@@ -61,7 +73,7 @@ class TierManager
      * @return the frame, or nullptr when every tier is full.
      */
     Frame *alloc(unsigned order, ObjClass cls, bool relocatable,
-                 const std::vector<TierId> &preference);
+                 const TierPreference &preference);
 
     /** Release @p frame and record its lifetime. */
     void free(Frame *frame);
@@ -88,10 +100,10 @@ class TierManager
     std::vector<FrameRef> collectFramesOn(TierId id);
 
     /** Observer invoked after a successful alloc(). */
-    void addAllocObserver(FrameObserver obs);
+    void addAllocObserver(void (*fn)(void *, Frame *), void *ctx);
 
     /** Observer invoked just before a frame is freed. */
-    void addFreeObserver(FrameObserver obs);
+    void addFreeObserver(void (*fn)(void *, Frame *), void *ctx);
 
     /** Live frames across all tiers. */
     uint64_t liveFrames() const { return _liveFrames; }
@@ -117,16 +129,16 @@ class TierManager
     Machine &_machine;
     std::vector<std::unique_ptr<Tier>> _tiers;
 
-    // Frame pool with stable addresses.
-    std::deque<Frame> _framePool;
+    // Frame pool with stable addresses; freed frames recycle LIFO.
+    FrameArena _frameArena;
     std::vector<Frame *> _freeFrameObjs;
     uint64_t _liveFrames = 0;
 
     uint64_t _cumAllocPagesByClass[kNumObjClasses] = {};
     Histogram _lifetimes[kNumObjClasses];
 
-    std::vector<FrameObserver> _allocObservers;
-    std::vector<FrameObserver> _freeObservers;
+    InlineVec<FrameObserver, kMaxObservers> _allocObservers;
+    InlineVec<FrameObserver, kMaxObservers> _freeObservers;
 };
 
 } // namespace kloc

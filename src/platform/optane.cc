@@ -43,8 +43,11 @@ OptanePlatform::OptanePlatform(const Config &config) : _config(config)
     }
 
     _system->buildSubsystems();
+    TierPreference socket_pref;
+    for (const TierId tier : _socketTiers)
+        socket_pref.push_back(tier);
     _teardownPlacement = std::make_unique<StaticPlacement>(
-        _socketTiers, _socketTiers);
+        socket_pref, socket_pref);
     _system->heap().setPolicy(_teardownPlacement.get());
 }
 

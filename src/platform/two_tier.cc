@@ -33,8 +33,8 @@ TwoTierPlatform::TwoTierPlatform(const Config &config) : _config(config)
 
     _system->buildSubsystems();
     _teardownPlacement = std::make_unique<StaticPlacement>(
-        std::vector<TierId>{_fast, _slow},
-        std::vector<TierId>{_fast, _slow});
+        TierPreference{_fast, _slow},
+        TierPreference{_fast, _slow});
     _system->heap().setPolicy(_teardownPlacement.get());
 }
 

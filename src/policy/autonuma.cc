@@ -30,10 +30,10 @@ AutoNumaPolicy::localTier() const
     return _socketTiers[static_cast<size_t>(socket)];
 }
 
-std::vector<TierId>
+TierPreference
 AutoNumaPolicy::localFirst() const
 {
-    std::vector<TierId> pref;
+    TierPreference pref;
     pref.push_back(localTier());
     for (const TierId tier : _socketTiers) {
         if (tier != pref.front())
@@ -42,7 +42,7 @@ AutoNumaPolicy::localFirst() const
     return pref;
 }
 
-std::vector<TierId>
+TierPreference
 AutoNumaPolicy::kernelPreference(ObjClass, bool)
 {
     // Kernel objects allocate on the socket running the allocating
@@ -50,7 +50,7 @@ AutoNumaPolicy::kernelPreference(ObjClass, bool)
     return localFirst();
 }
 
-std::vector<TierId>
+TierPreference
 AutoNumaPolicy::appPreference()
 {
     return localFirst();
@@ -92,13 +92,13 @@ AutoNumaPolicy::balanceTick()
     for (const TierId tier : _socketTiers) {
         if (tier == local)
             continue;
-        auto hot = _lru.collectReferenced(tier, _config.migrateBatch);
-        std::vector<FrameRef> movers;
-        for (const FrameRef &ref : hot) {
+        _lru.collectReferenced(tier, _config.migrateBatch, _hotScratch);
+        _movers.clear();
+        for (const FrameRef &ref : _hotScratch) {
             if (ref.valid() && ref->objClass == ObjClass::App)
-                movers.push_back(ref);
+                _movers.push_back(ref);
         }
-        _migrator.migrate(movers, local);
+        _migrator.migrate(_movers, local);
     }
 
     if (_mode == Mode::Kloc && _kloc) {

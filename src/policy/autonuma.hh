@@ -69,15 +69,15 @@ class AutoNumaPolicy : public PlacementPolicy
     TierId localTier() const;
 
     // -- PlacementPolicy ----------------------------------------------------
-    std::vector<TierId> kernelPreference(ObjClass cls,
-                                         bool knode_active) override;
-    std::vector<TierId> appPreference() override;
+    TierPreference kernelPreference(ObjClass cls,
+                                    bool knode_active) override;
+    TierPreference appPreference() override;
 
     uint64_t balanceTicks() const { return _ticks; }
 
   private:
     void balanceTick();
-    std::vector<TierId> localFirst() const;
+    TierPreference localFirst() const;
 
     /** Liveness token for scheduled tick lambdas (see strategy.hh). */
     std::shared_ptr<int> _alive = std::make_shared<int>(0);
@@ -91,6 +91,10 @@ class AutoNumaPolicy : public PlacementPolicy
     Config _config;
     bool _running = false;
     uint64_t _ticks = 0;
+
+    /** Per-tick scratch buffers, reused so balancing doesn't allocate. */
+    std::vector<FrameRef> _hotScratch;
+    std::vector<FrameRef> _movers;
 };
 
 } // namespace kloc

@@ -81,7 +81,7 @@ TieringStrategy::usesKernelScanMigration() const
     return _kind == StrategyKind::NimblePlusPlus;
 }
 
-std::vector<TierId>
+TierPreference
 TieringStrategy::kernelPreference(ObjClass cls, bool knode_active)
 {
     switch (_kind) {
@@ -109,13 +109,13 @@ TieringStrategy::kernelPreference(ObjClass cls, bool knode_active)
             return {_fast, _slow};
         if (_kloc && _kloc->overMemLimit(_fast))
             return {_slow, _fast};
-        return knode_active ? std::vector<TierId>{_fast, _slow}
-                            : std::vector<TierId>{_slow, _fast};
+        return knode_active ? TierPreference{_fast, _slow}
+                            : TierPreference{_slow, _fast};
     }
     return {_fast, _slow};
 }
 
-std::vector<TierId>
+TierPreference
 TieringStrategy::appPreference()
 {
     switch (_kind) {
@@ -141,38 +141,40 @@ TieringStrategy::scanTick()
 
     const bool kernel_scope = usesKernelScanMigration();
 
-    // Demote cold pages off the fast tier under pressure.
+    // Demote cold pages off the fast tier under pressure. The scan
+    // and filter scratch buffers persist across ticks so the
+    // steady-state scan loop allocates nothing.
     if (tiers.tier(_fast).utilization() > _config.demoteWatermark) {
-        ScanResult result = _lru.scanTier(_fast, _config.scanBatch);
-        std::vector<FrameRef> victims;
-        for (const FrameRef &ref : result.demoteCandidates) {
+        _lru.scanTier(_fast, _config.scanBatch, _scanScratch);
+        _victims.clear();
+        for (const FrameRef &ref : _scanScratch.demoteCandidates) {
             if (!ref.valid())
                 continue;
             const ObjClass cls = ref->objClass;
             if (cls == ObjClass::App ||
                 (kernel_scope && isKernelClass(cls) &&
                  cls != ObjClass::KlocMeta)) {
-                victims.push_back(ref);
+                _victims.push_back(ref);
             }
         }
-        _migrator.migrate(victims, _slow);
+        _migrator.migrate(_victims, _slow);
     }
 
     // Promote hot pages from the slow tier when there is headroom.
     if (tiers.tier(_fast).utilization() < _config.promoteWatermark) {
-        auto hot = _lru.collectHot(_slow, _config.promoteBatch);
-        std::vector<FrameRef> rising;
-        for (const FrameRef &ref : hot) {
+        _lru.collectHot(_slow, _config.promoteBatch, _hotScratch);
+        _victims.clear();
+        for (const FrameRef &ref : _hotScratch) {
             if (!ref.valid())
                 continue;
             const ObjClass cls = ref->objClass;
             if (cls == ObjClass::App ||
                 (kernel_scope && isKernelClass(cls) &&
                  cls != ObjClass::KlocMeta)) {
-                rising.push_back(ref);
+                _victims.push_back(ref);
             }
         }
-        _migrator.migrate(rising, _fast);
+        _migrator.migrate(_victims, _fast);
     }
 
     machine.events().schedule(

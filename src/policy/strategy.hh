@@ -100,9 +100,9 @@ class TieringStrategy : public PlacementPolicy
     void stop();
 
     // -- PlacementPolicy ----------------------------------------------------
-    std::vector<TierId> kernelPreference(ObjClass cls,
-                                         bool knode_active) override;
-    std::vector<TierId> appPreference() override;
+    TierPreference kernelPreference(ObjClass cls,
+                                    bool knode_active) override;
+    TierPreference appPreference() override;
 
     /** Scan ticks executed (diagnostics). */
     uint64_t scanTicks() const { return _scanTicks; }
@@ -129,6 +129,11 @@ class TieringStrategy : public PlacementPolicy
     Config _config;
     bool _running = false;
     uint64_t _scanTicks = 0;
+
+    /** Per-tick scratch buffers, reused so scans don't allocate. */
+    ScanResult _scanScratch;
+    std::vector<FrameRef> _hotScratch;
+    std::vector<FrameRef> _victims;
 };
 
 } // namespace kloc

@@ -1,5 +1,6 @@
 #include "trace/trace.hh"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -157,12 +158,28 @@ parseTrace(const std::string &text)
 }
 
 void
+Tracer::setEnabled(bool on)
+{
+    _enabled = on;
+    // Pre-size the ring so the steady-state insert never pays a
+    // vector growth reallocation.
+    if (on && _ring.capacity() < _capacity)
+        _ring.reserve(_capacity);
+}
+
+void
 Tracer::setCapacity(size_t capacity)
 {
     KLOC_ASSERT(capacity > 0, "trace ring needs capacity");
-    _capacity = capacity;
+    size_t pow2 = 1;
+    while (pow2 < capacity)
+        pow2 <<= 1;
+    _capacity = pow2;
+    _mask = pow2 - 1;
     _ring.clear();
     _ring.shrink_to_fit();
+    if (_enabled)
+        _ring.reserve(_capacity);
     _next = 0;
 }
 
@@ -184,7 +201,7 @@ Tracer::record(TraceEventType type, uint64_t a, uint64_t b, uint64_t c,
     } else {
         // Ring is full: overwrite the oldest slot.
         _ring[_next] = event;
-        _next = (_next + 1) % _capacity;
+        _next = (_next + 1) & _mask;
         ++_dropped;
     }
 
@@ -192,9 +209,47 @@ Tracer::record(TraceEventType type, uint64_t a, uint64_t b, uint64_t c,
         listener(event);
 }
 
+void
+Tracer::flushBatch()
+{
+    if (_stagedCount == 0)
+        return;
+    emitBatch(_staged.data(), _stagedCount);
+    _stagedCount = 0;
+}
+
+void
+Tracer::emitBatch(const TraceEvent *events, size_t count)
+{
+    // Append while there is room, then overwrite oldest slots in at
+    // most two contiguous spans (the wrap splits the run once), so
+    // the steady-state full-ring path is bulk copies, not a
+    // per-event wrap check.
+    const size_t room = _capacity - _ring.size();
+    const size_t take = count < room ? count : room;
+    _ring.insert(_ring.end(), events, events + take);
+    for (size_t i = take; i < count;) {
+        const size_t span = std::min(count - i, _capacity - _next);
+        std::copy(events + i, events + i + span, _ring.begin() + _next);
+        _next = (_next + span) & _mask;
+        i += span;
+    }
+    _dropped += count - take;
+
+    if (!_listeners.empty()) {
+        for (size_t i = 0; i < count; ++i) {
+            for (const auto &[id, listener] : _listeners)
+                listener(events[i]);
+        }
+    }
+}
+
 std::vector<TraceEvent>
 Tracer::events() const
 {
+    KLOC_ASSERT(_stagedCount == 0,
+                "reading the trace inside an open batch window; "
+                "flushBatch() first");
     std::vector<TraceEvent> out;
     out.reserve(_ring.size());
     // _next is the oldest slot once the ring has wrapped.
@@ -210,6 +265,7 @@ Tracer::clear()
     _next = 0;
     _emitted = 0;
     _dropped = 0;
+    _stagedCount = 0;
 }
 
 int

@@ -19,6 +19,7 @@
 #ifndef KLOC_TRACE_TRACE_HH
 #define KLOC_TRACE_TRACE_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -148,6 +149,8 @@ bool parseTraceEvent(const std::string &line, TraceEvent &out);
  */
 std::vector<TraceEvent> parseTrace(const std::string &text);
 
+class TraceBatch;
+
 /** Fixed-capacity ring buffer of trace events plus live listeners. */
 class Tracer
 {
@@ -156,25 +159,52 @@ class Tracer
 
     static constexpr size_t kDefaultCapacity = 1 << 16;
 
+    /** Staging slots available to an open TraceBatch window. */
+    static constexpr size_t kBatchCapacity = 128;
+
     explicit Tracer(const VirtualClock &clock) : _clock(clock) {}
 
     bool enabled() const { return _enabled; }
 
-    void setEnabled(bool on) { _enabled = on; }
+    void setEnabled(bool on);
 
-    /** Resize the ring (drops currently buffered events). */
+    /**
+     * Resize the ring (drops currently buffered events). The
+     * capacity is rounded up to a power of two so the wrap-around
+     * index on the per-event fast path is a mask, not a division.
+     */
     void setCapacity(size_t capacity);
 
     size_t capacity() const { return _capacity; }
 
-    /** Record one event if tracing is enabled (hot-path entry). */
+    /**
+     * Record one event if tracing is enabled (hot-path entry).
+     * Inside a TraceBatch window the event is staged — stamped with
+     * its seq/tick immediately but delivered to the ring and the
+     * listeners in bulk when the window flushes — so batched and
+     * direct emission produce byte-identical serialized traces.
+     */
     void
     emit(TraceEventType type, uint64_t a = 0, uint64_t b = 0,
          uint64_t c = 0, uint64_t d = 0)
     {
-        if (__builtin_expect(_enabled, 0))
-            record(type, a, b, c, d);
+        if (__builtin_expect(_enabled, 0)) {
+            if (_batchDepth)
+                stage(type, a, b, c, d);
+            else
+                record(type, a, b, c, d);
+        }
     }
+
+    /**
+     * Deliver every staged event to the ring and listeners now.
+     * Useful mid-window before handing control somewhere that will
+     * inspect the buffered trace; a no-op with nothing staged.
+     */
+    void flushBatch();
+
+    /** Staged-but-undelivered events in the open batch window. */
+    size_t stagedCount() const { return _stagedCount; }
 
     /** Events emitted since construction/clear (including dropped). */
     uint64_t emitted() const { return _emitted; }
@@ -203,18 +233,84 @@ class Tracer
     std::string serialize() const;
 
   private:
+    friend class TraceBatch;
+
     void record(TraceEventType type, uint64_t a, uint64_t b, uint64_t c,
                 uint64_t d);
+
+    /** Stamp seq/tick now, park the record until the window flushes. */
+    void
+    stage(TraceEventType type, uint64_t a, uint64_t b, uint64_t c,
+          uint64_t d)
+    {
+        if (_stagedCount == kBatchCapacity)
+            flushBatch();
+        TraceEvent &event = _staged[_stagedCount++];
+        event.seq = _emitted++;
+        event.tick = _clock.now();
+        event.type = type;
+        event.args[0] = a;
+        event.args[1] = b;
+        event.args[2] = c;
+        event.args[3] = d;
+    }
+
+    /** Bulk ring insert + listener fan-out for a pre-stamped run. */
+    void emitBatch(const TraceEvent *events, size_t count);
+
+    void beginBatch() { ++_batchDepth; }
+
+    void
+    endBatch()
+    {
+        if (--_batchDepth == 0)
+            flushBatch();
+    }
 
     const VirtualClock &_clock;
     bool _enabled = false;
     size_t _capacity = kDefaultCapacity;
+    size_t _mask = kDefaultCapacity - 1;
     std::vector<TraceEvent> _ring;
     size_t _next = 0;          ///< ring slot for the next event
     uint64_t _emitted = 0;
     uint64_t _dropped = 0;
+    unsigned _batchDepth = 0;  ///< nested TraceBatch windows open
+    size_t _stagedCount = 0;
+    std::array<TraceEvent, kBatchCapacity> _staged;
     int _nextListenerId = 1;
     std::vector<std::pair<int, Listener>> _listeners;
+};
+
+/**
+ * RAII batch window for hot loops that emit many events back to back
+ * (LRU scans, migration batches). While a window is open, every
+ * Tracer::emit stages its event instead of immediately touching the
+ * ring and running listener callbacks; the run is delivered in one
+ * pass when the outermost window closes (or the staging area fills).
+ * Seq and tick are stamped at emit time, so the resulting trace is
+ * byte-identical to unbatched emission — windows only defer listener
+ * delivery, never reorder it. Windows nest; only the outermost close
+ * flushes.
+ */
+class TraceBatch
+{
+  public:
+    explicit TraceBatch(Tracer &tracer) : _tracer(tracer)
+    {
+        _tracer.beginBatch();
+    }
+
+    TraceBatch(const TraceBatch &) = delete;
+    TraceBatch &operator=(const TraceBatch &) = delete;
+
+    ~TraceBatch() { _tracer.endBatch(); }
+
+    /** Deliver staged events now (e.g. for a mid-loop trace read). */
+    void flush() { _tracer.flushBatch(); }
+
+  private:
+    Tracer &_tracer;
 };
 
 } // namespace kloc

@@ -14,6 +14,7 @@
 #ifndef KLOC_WORKLOAD_RUNNER_HH
 #define KLOC_WORKLOAD_RUNNER_HH
 
+#include "trace/trace.hh"
 #include "workload/workload.hh"
 
 namespace kloc {
@@ -25,10 +26,17 @@ inline constexpr Tick kQuiesceWindow = 200 * kMillisecond;
  * Run @p workload on @p sys under the currently installed strategy:
  * setup, quiesce, measure. The caller tears down afterwards (or
  * reuses the loaded state for more measurements).
+ *
+ * The whole run sits inside a TraceBatch window: the workload op
+ * loop is the biggest bulk emitter there is, and staging amortises
+ * ring insertion across every event it produces. Seq and tick are
+ * stamped at emit time, so the serialized trace is byte-identical
+ * to an unbatched run.
  */
 inline WorkloadResult
 runMeasured(System &sys, Workload &workload)
 {
+    TraceBatch batch(sys.machine().tracer());
     workload.setup(sys);
     sys.fs().syncAll();
     sys.machine().charge(kQuiesceWindow);

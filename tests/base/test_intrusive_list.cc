@@ -77,6 +77,108 @@ TEST(IntrusiveList, MoveToFrontRotation)
     EXPECT_EQ(list.front(), &c);
 }
 
+TEST(IntrusiveList, MoveToBackRotation)
+{
+    List list;
+    Node a(1), b(2), c(3);
+    list.pushBack(&a);
+    list.pushBack(&b);
+    list.pushBack(&c);
+    list.moveToBack(&a);  // [b c a]
+    EXPECT_EQ(list.front(), &b);
+    EXPECT_EQ(list.back(), &a);
+    EXPECT_EQ(list.size(), 3u);
+    list.moveToBack(&a);  // already at the back: no-op
+    EXPECT_EQ(list.back(), &a);
+    std::vector<int> seen;
+    for (Node *node : list)
+        seen.push_back(node->value);
+    EXPECT_EQ(seen, (std::vector<int>{2, 3, 1}));
+}
+
+TEST(IntrusiveList, MoveToFrontPreservesNeighborLinks)
+{
+    // The direct-relink rotation must leave the remaining chain
+    // intact in both directions, including from a middle position.
+    List list;
+    Node a(1), b(2), c(3), d(4);
+    list.pushBack(&a);
+    list.pushBack(&b);
+    list.pushBack(&c);
+    list.pushBack(&d);
+    list.moveToFront(&c);  // [c a b d]
+    std::vector<int> forward;
+    for (Node *node : list)
+        forward.push_back(node->value);
+    EXPECT_EQ(forward, (std::vector<int>{3, 1, 2, 4}));
+    std::vector<int> backward;
+    for (Node *node = list.back(); node; node = list.prev(node))
+        backward.push_back(node->value);
+    EXPECT_EQ(backward, (std::vector<int>{4, 2, 1, 3}));
+}
+
+TEST(IntrusiveList, SpliceBackAppendsAndEmptiesSource)
+{
+    List list1, list2;
+    Node a(1), b(2), c(3), d(4);
+    list1.pushBack(&a);
+    list1.pushBack(&b);
+    list2.pushBack(&c);
+    list2.pushBack(&d);
+    list1.spliceBack(list2);  // [a b c d], list2 empty
+    EXPECT_TRUE(list2.empty());
+    EXPECT_EQ(list2.size(), 0u);
+    EXPECT_EQ(list1.size(), 4u);
+    std::vector<int> seen;
+    for (Node *node : list1)
+        seen.push_back(node->value);
+    EXPECT_EQ(seen, (std::vector<int>{1, 2, 3, 4}));
+    // Back-pointer chain must be intact after the splice.
+    std::vector<int> backward;
+    for (Node *node = list1.back(); node; node = list1.prev(node))
+        backward.push_back(node->value);
+    EXPECT_EQ(backward, (std::vector<int>{4, 3, 2, 1}));
+}
+
+TEST(IntrusiveList, SpliceBackFromEmptyAndIntoEmpty)
+{
+    List list1, list2;
+    Node a(1);
+    list1.pushBack(&a);
+    list1.spliceBack(list2);  // empty source: no-op
+    EXPECT_EQ(list1.size(), 1u);
+    EXPECT_EQ(list1.front(), &a);
+
+    List list3;
+    list3.spliceBack(list1);  // into empty destination
+    EXPECT_TRUE(list1.empty());
+    EXPECT_EQ(list3.size(), 1u);
+    EXPECT_EQ(list3.front(), &a);
+    EXPECT_EQ(list3.back(), &a);
+}
+
+TEST(IntrusiveList, SpliceIsConstantTime)
+{
+    // O(1) splice: splicing a long list must not touch its interior
+    // nodes. Verify by value: interior hooks keep their neighbours.
+    List list1, list2;
+    std::vector<Node> nodes;
+    nodes.reserve(10000);
+    for (int i = 0; i < 10000; ++i)
+        nodes.emplace_back(i);
+    for (int i = 0; i < 5000; ++i)
+        list1.pushBack(&nodes[static_cast<size_t>(i)]);
+    for (int i = 5000; i < 10000; ++i)
+        list2.pushBack(&nodes[static_cast<size_t>(i)]);
+    list1.spliceBack(list2);
+    EXPECT_EQ(list1.size(), 10000u);
+    EXPECT_EQ(list1.front()->value, 0);
+    EXPECT_EQ(list1.back()->value, 9999);
+    // Spot-check the seam.
+    Node *seam = &nodes[5000];
+    EXPECT_EQ(list1.prev(seam)->value, 4999);
+}
+
 TEST(IntrusiveList, PopBothEnds)
 {
     List list;

@@ -37,8 +37,8 @@ class KlocTest : public ::testing::Test
         slowId = tiers.addTier(spec);
 
         placement = std::make_unique<StaticPlacement>(
-            std::vector<TierId>{fastId, slowId},
-            std::vector<TierId>{fastId, slowId});
+            TierPreference{fastId, slowId},
+            TierPreference{fastId, slowId});
         heap.setPolicy(placement.get());
         heap.setKlocInterface(true);
         kloc.setEnabled(true);

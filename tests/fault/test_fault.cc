@@ -249,8 +249,8 @@ struct FaultStack
         slow = tiers.addTier(spec);
 
         placement = std::make_unique<StaticPlacement>(
-            std::vector<TierId>{fast, slow},
-            std::vector<TierId>{fast, slow});
+            TierPreference{fast, slow},
+            TierPreference{fast, slow});
         heap.setPolicy(placement.get());
         heap.setKlocInterface(true);
         kloc.setEnabled(true);

@@ -38,8 +38,8 @@ class FsUnitTest : public ::testing::Test
         spec.capacity = 512 * kPageSize;
         slowId = tiers.addTier(spec);
         placement = std::make_unique<StaticPlacement>(
-            std::vector<TierId>{fastId, slowId},
-            std::vector<TierId>{fastId, slowId});
+            TierPreference{fastId, slowId},
+            TierPreference{fastId, slowId});
         heap.setPolicy(placement.get());
         heap.setKlocInterface(true);
         kloc.setEnabled(true);
@@ -184,12 +184,12 @@ TEST_F(FsUnitTest, PageCacheDirtyTracking)
     cache.markDirty(a);
     cache.markDirty(a);  // idempotent
     EXPECT_EQ(cache.dirtyCount(), 1u);
-    auto dirty = cache.dirtyPages(0, 10);
+    auto dirty = cache.dirtyPages(0, FrameCount{10});
     ASSERT_EQ(dirty.size(), 1u);
     EXPECT_EQ(dirty[0], a);
     cache.clearDirty(a);
     EXPECT_EQ(cache.dirtyCount(), 0u);
-    EXPECT_TRUE(cache.dirtyPages(0, 10).empty());
+    EXPECT_TRUE(cache.dirtyPages(0, FrameCount{10}).empty());
     cache.removeAndFree(a);
     cache.removeAndFree(b);
 }

@@ -36,8 +36,8 @@ class VfsTest : public ::testing::Test
         spec.capacity = 4096 * kPageSize;
         slowId = tiers.addTier(spec);
         placement = std::make_unique<StaticPlacement>(
-            std::vector<TierId>{fastId, slowId},
-            std::vector<TierId>{fastId, slowId});
+            TierPreference{fastId, slowId},
+            TierPreference{fastId, slowId});
         heap.setPolicy(placement.get());
         heap.setKlocInterface(true);
         kloc.setEnabled(true);

@@ -1,0 +1,25 @@
+#include "mem/hot.hh"
+
+namespace kloc {
+
+// Per-event heap allocation inside a trace-emitting hot path: every
+// frame alloc news a tracking node. The rule must flag both the raw
+// new and the make_unique.
+void
+Engine::onAllocated(Frame *frame)
+{
+    auto *node = new TrackNode(frame);
+    _nodes.push_back(node);
+    _tracer.emit(TraceEventType::FrameAlloc, frame->tier, frame->pfn);
+}
+
+void
+Engine::onFreed(Frame *frame)
+{
+    if (frame->tracked) {
+        _tracer.emit(TraceEventType::FrameFree, frame->tier, frame->pfn);
+        _log = std::make_unique<FreeRecord>(frame);
+    }
+}
+
+} // namespace kloc

@@ -1,0 +1,33 @@
+#include "mem/hot.hh"
+
+namespace kloc {
+
+// The hot path reuses scratch storage; no allocation near the emit.
+void
+Engine::onAllocated(Frame *frame)
+{
+    _scratch.push_back(frame);
+    _tracer.emit(TraceEventType::FrameAlloc, frame->tier, frame->pfn);
+}
+
+// Setup-time allocation in a function that never emits is fine.
+void
+Engine::setup()
+{
+    _arena = std::make_unique<Arena>();
+    _nodes = new TrackNode[kMaxNodes];
+}
+
+// Deliberate amortised growth next to an emit, justified and
+// suppressed.
+void
+Engine::onFreed(Frame *frame)
+{
+    if (_chunks.full()) {
+        // Amortised: one chunk per 4096 frees. klint: allow(hot-path-alloc)
+        _chunks.push_back(std::make_unique<Chunk>());
+    }
+    _tracer.emit(TraceEventType::FrameFree, frame->tier, frame->pfn);
+}
+
+} // namespace kloc

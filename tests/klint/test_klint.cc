@@ -62,6 +62,7 @@ INSTANTIATE_TEST_SUITE_P(AllRules, KlintRuleFixtures,
                          ::testing::Values("determinism",
                                            "checker-coverage", "layering",
                                            "units", "trace-args",
+                                           "hot-path-alloc",
                                            "include-hygiene"),
                          [](const auto &info) {
                              std::string name = info.param;

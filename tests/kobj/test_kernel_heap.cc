@@ -70,8 +70,8 @@ class KernelHeapTest : public ::testing::Test
         spec.capacity = 256 * kPageSize;
         slowId = tiers.addTier(spec);
         placement = std::make_unique<StaticPlacement>(
-            std::vector<TierId>{fastId, slowId},
-            std::vector<TierId>{fastId, slowId});
+            TierPreference{fastId, slowId},
+            TierPreference{fastId, slowId});
         heap.setPolicy(placement.get());
     }
 

@@ -162,5 +162,162 @@ TEST_F(LruTest, ScanBudgetLimitsWork)
     EXPECT_LE(result.demoteCandidates.size(), 10u);
 }
 
+TEST_F(LruTest, ScanChargesPerPageForHighOrderFrames)
+{
+    // 8 order-2 frames: 8 list entries but 32 pages of page-table
+    // walking. Scan cost must follow pages, not frames.
+    std::vector<Frame *> frames;
+    for (int i = 0; i < 8; ++i) {
+        Frame *frame = tiers.alloc(2, ObjClass::App, true, {fastId});
+        ASSERT_NE(frame, nullptr);
+        frames.push_back(frame);
+    }
+    const Tick before = machine.now();
+    ScanResult result = lru.scanTier(fastId, FrameCount{8});
+    EXPECT_EQ(result.scanned, 8u);
+    EXPECT_EQ(result.pagesVisited, 32u);
+    EXPECT_EQ(machine.now() - before,
+              32 * LruEngine::kScanCostPerPage / 4);
+    EXPECT_EQ(lru.totalPagesVisited(), 32u);
+    for (Frame *frame : frames)
+        tiers.free(frame);
+}
+
+TEST_F(LruTest, TruncatedScanChargesVisitedPages)
+{
+    // A scan that early-exits on budget still pays for every page it
+    // actually looked at — no free peeking.
+    for (int i = 0; i < 50; ++i)
+        alloc(fastId);
+    const Tick before = machine.now();
+    ScanResult result = lru.scanTier(fastId, FrameCount{10});
+    EXPECT_EQ(result.scanned, 10u);
+    EXPECT_EQ(result.pagesVisited, 10u);
+    EXPECT_EQ(machine.now() - before,
+              10 * LruEngine::kScanCostPerPage / 4);
+}
+
+TEST_F(LruTest, CollectHotChargesPerPage)
+{
+    // 4 order-1 frames = 8 pages visited per collection pass.
+    std::vector<Frame *> frames;
+    for (int i = 0; i < 4; ++i) {
+        Frame *frame = tiers.alloc(1, ObjClass::App, true, {slowId});
+        ASSERT_NE(frame, nullptr);
+        lru.onAccessed(frame);
+        lru.onAccessed(frame);
+        frames.push_back(frame);
+    }
+    const uint64_t before = lru.totalPagesVisited();
+    std::vector<FrameRef> hot;
+    lru.collectHot(slowId, FrameCount{10}, hot);
+    EXPECT_EQ(lru.totalPagesVisited() - before, 8u);
+    for (Frame *frame : frames)
+        tiers.free(frame);
+}
+
+TEST_F(LruTest, ScratchReuseClearsBetweenScans)
+{
+    // Policies keep one ScanResult/vector alive across ticks; each
+    // call must start from cleared state, not accumulate.
+    for (int i = 0; i < 20; ++i)
+        alloc(fastId);
+    ScanResult scratch;
+    lru.scanTier(fastId, FrameCount{20}, scratch);
+    EXPECT_EQ(scratch.scanned, 20u);
+    const size_t first_candidates = scratch.demoteCandidates.size();
+    EXPECT_GT(first_candidates, 0u);
+    // Second scan with the same scratch: the inactive frames were
+    // rotated, results must not stack on top of the first pass.
+    lru.scanTier(fastId, FrameCount{20}, scratch);
+    EXPECT_EQ(scratch.scanned, 20u);
+    EXPECT_LE(scratch.demoteCandidates.size(), 20u);
+    // An empty tier yields an empty (but reusable) result.
+    lru.scanTier(slowId, FrameCount{20}, scratch);
+    EXPECT_EQ(scratch.scanned, 0u);
+    EXPECT_TRUE(scratch.demoteCandidates.empty());
+    std::vector<FrameRef> hot;
+    lru.collectHot(fastId, FrameCount{10}, hot);
+    lru.collectHot(slowId, FrameCount{10}, hot);
+    EXPECT_TRUE(hot.empty());
+}
+
+TEST_F(LruTest, MembershipFollowsBatchMigration)
+{
+    MigrationEngine migrator(machine, tiers, lru);
+    std::vector<Frame *> frames;
+    std::vector<FrameRef> batch;
+    for (int i = 0; i < 16; ++i) {
+        Frame *frame = alloc(fastId);
+        if (i % 2 == 1) {
+            lru.onAccessed(frame);
+            lru.onAccessed(frame);
+        }
+        frames.push_back(frame);
+        batch.emplace_back(frame);
+    }
+    ASSERT_EQ(lru.activeCount(fastId), 8u);
+    ASSERT_EQ(lru.inactiveCount(fastId), 8u);
+
+    // Demote the whole batch: membership moves tiers and demotion
+    // strips active standing, so every frame lands inactive on slow.
+    EXPECT_EQ(migrator.migrate(batch, slowId), 16u);
+    EXPECT_EQ(lru.activeCount(fastId), 0u);
+    EXPECT_EQ(lru.inactiveCount(fastId), 0u);
+    EXPECT_EQ(lru.activeCount(slowId), 0u);
+    EXPECT_EQ(lru.inactiveCount(slowId), 16u);
+    for (Frame *frame : frames) {
+        EXPECT_EQ(frame->tier, slowId);
+        EXPECT_FALSE(frame->onActiveList);
+    }
+
+    // Promote half back: promotion preserves earned standing.
+    std::vector<FrameRef> promote;
+    for (int i = 0; i < 8; ++i) {
+        lru.onAccessed(frames[static_cast<size_t>(i)]);
+        lru.onAccessed(frames[static_cast<size_t>(i)]);
+        promote.emplace_back(frames[static_cast<size_t>(i)]);
+    }
+    ASSERT_EQ(lru.activeCount(slowId), 8u);
+    EXPECT_EQ(migrator.migrate(promote, fastId), 8u);
+    EXPECT_EQ(lru.activeCount(fastId), 8u);
+    EXPECT_EQ(lru.inactiveCount(fastId), 0u);
+    EXPECT_EQ(lru.activeCount(slowId), 0u);
+    EXPECT_EQ(lru.inactiveCount(slowId), 8u);
+    for (Frame *frame : frames)
+        tiers.free(frame);
+    EXPECT_EQ(lru.activeCount(fastId) + lru.inactiveCount(fastId) +
+                  lru.activeCount(slowId) + lru.inactiveCount(slowId),
+              0u);
+}
+
+TEST_F(LruTest, MembershipSurvivesTierOffline)
+{
+    MigrationEngine migrator(machine, tiers, lru);
+    std::vector<Frame *> frames;
+    for (int i = 0; i < 12; ++i) {
+        Frame *frame = alloc(slowId);
+        if (i % 3 == 0) {
+            lru.onAccessed(frame);
+            lru.onAccessed(frame);
+        }
+        frames.push_back(frame);
+    }
+    ASSERT_EQ(lru.activeCount(slowId), 4u);
+    ASSERT_EQ(lru.inactiveCount(slowId), 8u);
+
+    // Offlining drains every frame to the remaining tier; no frame
+    // may keep LRU membership on the dead tier.
+    migrator.offlineTier(slowId);
+    EXPECT_EQ(lru.activeCount(slowId), 0u);
+    EXPECT_EQ(lru.inactiveCount(slowId), 0u);
+    EXPECT_EQ(lru.activeCount(fastId) + lru.inactiveCount(fastId), 12u);
+    for (Frame *frame : frames)
+        EXPECT_EQ(frame->tier, fastId);
+    for (Frame *frame : frames)
+        tiers.free(frame);
+    EXPECT_EQ(lru.activeCount(fastId) + lru.inactiveCount(fastId), 0u);
+}
+
 } // namespace
 } // namespace kloc

@@ -176,8 +176,10 @@ TEST_F(TierManagerTest, FrameRefDetectsFreeAndRecycle)
 TEST_F(TierManagerTest, ObserversFire)
 {
     int allocs = 0, frees = 0;
-    tiers.addAllocObserver([&](Frame *) { ++allocs; });
-    tiers.addFreeObserver([&](Frame *) { ++frees; });
+    tiers.addAllocObserver(
+        [](void *ctx, Frame *) { ++*static_cast<int *>(ctx); }, &allocs);
+    tiers.addFreeObserver(
+        [](void *ctx, Frame *) { ++*static_cast<int *>(ctx); }, &frees);
     Frame *frame = tiers.alloc(0, ObjClass::App, true, {fastId});
     EXPECT_EQ(allocs, 1);
     EXPECT_EQ(frees, 0);

@@ -34,8 +34,8 @@ class NetTest : public ::testing::Test
         spec.capacity = 2048 * kPageSize;
         slowId = tiers.addTier(spec);
         placement = std::make_unique<StaticPlacement>(
-            std::vector<TierId>{fastId, slowId},
-            std::vector<TierId>{fastId, slowId});
+            TierPreference{fastId, slowId},
+            TierPreference{fastId, slowId});
         heap.setPolicy(placement.get());
         heap.setKlocInterface(true);
         kloc.setEnabled(true);

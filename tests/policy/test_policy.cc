@@ -25,7 +25,7 @@ class StrategyTest : public ::testing::Test
         platform = std::make_unique<TwoTierPlatform>(config);
     }
 
-    std::vector<TierId>
+    TierPreference
     kernelPref(StrategyKind kind, ObjClass cls, bool active)
     {
         TieringStrategy &strategy = platform->applyStrategy(kind);
@@ -40,9 +40,9 @@ TEST_F(StrategyTest, AllFastAllSlowAreStatic)
     const TierId fast = platform->fastTier();
     const TierId slow = platform->slowTier();
     EXPECT_EQ(kernelPref(StrategyKind::AllFast, ObjClass::PageCache, true),
-              std::vector<TierId>{fast});
+              TierPreference{fast});
     EXPECT_EQ(kernelPref(StrategyKind::AllSlow, ObjClass::PageCache, true),
-              std::vector<TierId>{slow});
+              TierPreference{slow});
 }
 
 TEST_F(StrategyTest, NaiveIsGreedyFastFirst)

@@ -60,11 +60,11 @@ struct TraceStack
         spec.writeBandwidth = 2 * kGiB;
         slow = tiers.addTier(spec);
 
-        const std::vector<TierId> kernel_pref =
-            kernel_fast_first ? std::vector<TierId>{fast, slow}
-                              : std::vector<TierId>{slow, fast};
+        const TierPreference kernel_pref =
+            kernel_fast_first ? TierPreference{fast, slow}
+                              : TierPreference{slow, fast};
         placement = std::make_unique<StaticPlacement>(
-            kernel_pref, std::vector<TierId>{fast, slow});
+            kernel_pref, TierPreference{fast, slow});
         heap.setPolicy(placement.get());
         heap.setKlocInterface(true);
         kloc.setEnabled(true);

@@ -83,6 +83,110 @@ TEST(Tracer, ListenersSeeEveryEventPastWrap)
     EXPECT_EQ(delivered, 10u);
 }
 
+TEST(TraceBatch, BatchedEmissionMatchesDirectByteForByte)
+{
+    // The same emission sequence — including clock advances between
+    // events — must serialize identically whether or not a batch
+    // window is open: seq and tick are stamped at emit time.
+    auto drive = [](Machine &machine, bool batched) {
+        Tracer &tracer = machine.tracer();
+        tracer.setEnabled(true);
+        auto run = [&] {
+            for (uint64_t i = 0; i < 20; ++i) {
+                tracer.emit(TraceEventType::LruActivate, 0, i);
+                machine.charge(Tick{100});
+                tracer.emit(TraceEventType::LruDeactivate, 0, i);
+            }
+        };
+        if (batched) {
+            TraceBatch batch(tracer);
+            run();
+        } else {
+            run();
+        }
+        return tracer.serialize();
+    };
+    Machine direct(1, 1);
+    Machine batched(1, 1);
+    EXPECT_EQ(drive(direct, false), drive(batched, true));
+}
+
+TEST(TraceBatch, DefersListenerDeliveryWithoutReordering)
+{
+    Machine machine(1, 1);
+    Tracer &tracer = machine.tracer();
+    tracer.setEnabled(true);
+    std::vector<uint64_t> seqs;
+    tracer.addListener(
+        [&](const TraceEvent &event) { seqs.push_back(event.seq); });
+    {
+        TraceBatch batch(tracer);
+        for (uint64_t i = 0; i < 5; ++i)
+            tracer.emit(TraceEventType::LruActivate, 0, i);
+        EXPECT_TRUE(seqs.empty()) << "listener ran inside the window";
+        EXPECT_EQ(tracer.stagedCount(), 5u);
+    }
+    EXPECT_EQ(tracer.stagedCount(), 0u);
+    EXPECT_EQ(seqs, (std::vector<uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(TraceBatch, WindowsNestAndFlushAtOutermostClose)
+{
+    Machine machine(1, 1);
+    Tracer &tracer = machine.tracer();
+    tracer.setEnabled(true);
+    uint64_t delivered = 0;
+    tracer.addListener([&](const TraceEvent &) { ++delivered; });
+    {
+        TraceBatch outer(tracer);
+        tracer.emit(TraceEventType::LruActivate, 0, 1);
+        {
+            TraceBatch inner(tracer);
+            tracer.emit(TraceEventType::LruActivate, 0, 2);
+        }
+        // Inner close must not flush: the outer window is open.
+        EXPECT_EQ(delivered, 0u);
+        EXPECT_EQ(tracer.stagedCount(), 2u);
+    }
+    EXPECT_EQ(delivered, 2u);
+}
+
+TEST(TraceBatch, OverflowAutoFlushesKeepingOrder)
+{
+    Machine machine(1, 1);
+    Tracer &tracer = machine.tracer();
+    tracer.setEnabled(true);
+    const uint64_t total = 3 * Tracer::kBatchCapacity + 7;
+    std::vector<uint64_t> seqs;
+    tracer.addListener(
+        [&](const TraceEvent &event) { seqs.push_back(event.seq); });
+    {
+        TraceBatch batch(tracer);
+        for (uint64_t i = 0; i < total; ++i)
+            tracer.emit(TraceEventType::LruActivate, 0, i);
+        // The staging area filled and flushed mid-window.
+        EXPECT_GE(seqs.size(), 3 * Tracer::kBatchCapacity);
+    }
+    ASSERT_EQ(seqs.size(), total);
+    for (uint64_t i = 0; i < total; ++i)
+        EXPECT_EQ(seqs[i], i);
+    EXPECT_EQ(tracer.emitted(), total);
+}
+
+TEST(TraceBatch, MidWindowFlushExposesBufferedEvents)
+{
+    Machine machine(1, 1);
+    Tracer &tracer = machine.tracer();
+    tracer.setEnabled(true);
+    TraceBatch batch(tracer);
+    tracer.emit(TraceEventType::LruActivate, 0, 1);
+    batch.flush();
+    EXPECT_EQ(tracer.stagedCount(), 0u);
+    const auto events = tracer.events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].args[1], 1u);
+}
+
 TEST(TraceSerializer, RoundTripsEveryEventType)
 {
     for (unsigned t = 0; t < kNumTraceEventTypes; ++t) {

@@ -16,6 +16,10 @@
  *                       FrameCount), not raw 64-bit integers.
  *   trace-args        — Tracer::emit call sites pass exactly the
  *                       argument count the event's spec declares.
+ *   hot-path-alloc    — no per-event heap allocation (new,
+ *                       make_unique, make_shared) in function bodies
+ *                       that emit trace events; hot paths reuse
+ *                       scratch or arena storage.
  *   include-hygiene   — canonical header guards, no parent-relative
  *                       includes.
  *

@@ -556,6 +556,130 @@ ruleTraceArgs(const Context &ctx, std::vector<Finding> &findings)
 }
 
 // ---------------------------------------------------------------------------
+// Rule: hot-path-alloc
+//
+// A function body that emits trace events is a per-event hot path:
+// frame alloc/free, LRU transitions, and migration loops run for
+// every simulated page operation. An explicit heap allocation there
+// (`new`, `std::make_unique`, `std::make_shared`) is per-event
+// churn that the arena/scratch-reuse design removed; steady-state
+// hot paths must reuse memory. Deliberate amortised growth (e.g. an
+// arena appending a chunk) is suppressed with a justification
+// comment: `klint: allow(hot-path-alloc)`.
+
+void
+ruleHotPathAlloc(const Context &ctx, std::vector<Finding> &findings)
+{
+    for (const SourceFile &file : ctx.files) {
+        if (!underSrc(file))
+            continue;
+        const Tokens &toks = file.tokens;
+
+        // One frame per open '{'. Function-body frames collect
+        // allocations and emit sightings; plain blocks (if/for/
+        // namespace/class bodies) forward both to their parent so
+        // an emit in one branch pairs with an allocation in another
+        // branch of the same function.
+        struct BodyFrame
+        {
+            bool function = false;
+            bool emits = false;
+            std::vector<size_t> allocs;  ///< token indices
+        };
+        std::vector<BodyFrame> stack;
+
+        auto isFunctionOpen = [&](size_t open) {
+            size_t j = open;
+            while (j > 0 && toks[j - 1].ident() &&
+                   (toks[j - 1].text == "const" ||
+                    toks[j - 1].text == "noexcept" ||
+                    toks[j - 1].text == "override" ||
+                    toks[j - 1].text == "final" ||
+                    toks[j - 1].text == "mutable")) {
+                --j;
+            }
+            if (j == 0 || !toks[j - 1].is(")"))
+                return false;
+            // Find the matching '(' and make sure this is not a
+            // control-flow head (if/for/while/switch/catch).
+            int depth = 0;
+            size_t k = j - 1;
+            while (true) {
+                if (toks[k].is(")"))
+                    ++depth;
+                else if (toks[k].is("(") && --depth == 0)
+                    break;
+                if (k == 0)
+                    return false;
+                --k;
+            }
+            if (k == 0)
+                return true;
+            const Token &head = toks[k - 1];
+            return !(head.ident() &&
+                     (head.text == "if" || head.text == "for" ||
+                      head.text == "while" || head.text == "switch" ||
+                      head.text == "catch"));
+        };
+
+        for (size_t i = 0; i < toks.size(); ++i) {
+            const Token &tok = toks[i];
+            if (tok.is("{")) {
+                BodyFrame frame;
+                frame.function = isFunctionOpen(i);
+                stack.push_back(std::move(frame));
+                continue;
+            }
+            if (tok.is("}")) {
+                if (stack.empty())
+                    continue;
+                BodyFrame frame = std::move(stack.back());
+                stack.pop_back();
+                if (frame.function) {
+                    if (frame.emits) {
+                        for (const size_t alloc : frame.allocs) {
+                            findings.push_back(
+                                {"hot-path-alloc", file.path,
+                                 toks[alloc].line,
+                                 "heap allocation ('" +
+                                     toks[alloc].text +
+                                     "') in a trace-emitting hot "
+                                     "path; reuse scratch/arena "
+                                     "storage, or justify with "
+                                     "klint: allow(hot-path-alloc)"});
+                        }
+                    }
+                } else if (!stack.empty()) {
+                    BodyFrame &parent = stack.back();
+                    parent.emits = parent.emits || frame.emits;
+                    parent.allocs.insert(parent.allocs.end(),
+                                         frame.allocs.begin(),
+                                         frame.allocs.end());
+                }
+                continue;
+            }
+            if (stack.empty() || !tok.ident())
+                continue;
+            if (tok.text == "emit" && i + 4 < toks.size() &&
+                toks[i + 1].is("(") &&
+                toks[i + 2].text == "TraceEventType" &&
+                toks[i + 3].is("::")) {
+                stack.back().emits = true;
+            } else if (tok.text == "new") {
+                if (!(i > 0 && toks[i - 1].ident() &&
+                      toks[i - 1].text == "operator"))
+                    stack.back().allocs.push_back(i);
+            } else if ((tok.text == "make_unique" ||
+                        tok.text == "make_shared") &&
+                       i + 1 < toks.size() &&
+                       (toks[i + 1].is("<") || toks[i + 1].is("("))) {
+                stack.back().allocs.push_back(i);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: include-hygiene
 //
 // Headers carry a canonical KLOC_<PATH>_HH guard (#ifndef/#define
@@ -627,6 +751,9 @@ ruleCatalogue()
         {"trace-args",
          "emit() argument counts match the event specs",
          ruleTraceArgs},
+        {"hot-path-alloc",
+         "no per-event heap allocation in trace-emitting hot paths",
+         ruleHotPathAlloc},
         {"include-hygiene",
          "canonical header guards; no parent-relative includes",
          ruleIncludeHygiene},

@@ -10,6 +10,7 @@
  */
 
 #include "bench/harness.hh"
+#include "bench/parallel.hh"
 
 using namespace kloc;
 using namespace kloc::bench;
@@ -25,9 +26,9 @@ struct LookupResult
 
 /** Drive the knode lookup path like syscall-heavy file churn. */
 LookupResult
-driveLookups(bool use_per_cpu)
+driveLookups(const BenchConfig &config, bool use_per_cpu)
 {
-    TwoTierPlatform platform(twoTierConfig());
+    TwoTierPlatform platform(twoTierConfig(config));
     System &sys = platform.sys();
     platform.applyStrategy(StrategyKind::Kloc);
     KlocManager &kloc = sys.kloc();
@@ -68,9 +69,9 @@ driveLookups(bool use_per_cpu)
 
 /** Measure per-knode object-tree traversal work, split vs merged. */
 std::pair<double, double>
-driveTreeShape(bool split)
+driveTreeShape(const BenchConfig &config, bool split)
 {
-    TwoTierPlatform platform(twoTierConfig());
+    TwoTierPlatform platform(twoTierConfig(config));
     System &sys = platform.sys();
     platform.applyStrategy(StrategyKind::Kloc);
     KlocManager &kloc = sys.kloc();
@@ -110,10 +111,23 @@ driveTreeShape(bool split)
 int
 main()
 {
-    JsonReport report("ablation_percpu");
+    const BenchConfig config = BenchConfig::fromEnv();
+
+    // Four independent drivers; mixed result types, so slots + one
+    // pool rather than a typed sweep().
+    LookupResult with_lists, without;
+    std::pair<double, double> split_shape, one_shape;
+    {
+        RunPool pool(config.jobs);
+        pool.submit([&] { with_lists = driveLookups(config, true); });
+        pool.submit([&] { without = driveLookups(config, false); });
+        pool.submit([&] { split_shape = driveTreeShape(config, true); });
+        pool.submit([&] { one_shape = driveTreeShape(config, false); });
+        pool.wait();
+    }
+
+    JsonReport report("ablation_percpu", config.outdir);
     section("Ablation: per-CPU knode fast-path lists (§4.3)");
-    const LookupResult with_lists = driveLookups(true);
-    const LookupResult without = driveLookups(false);
     std::printf("%-18s %10s %14s %12s\n", "config", "hit rate",
                 "tree visits", "time (ms)");
     std::printf("%-18s %9.1f%% %14llu %12.2f\n", "per-cpu lists",
@@ -135,8 +149,8 @@ main()
                 "access-count reduction, not the lock scaling)\n");
 
     section("Ablation: split rbtree-cache/rbtree-slab vs single tree");
-    const auto [split_ins, split_rem] = driveTreeShape(true);
-    const auto [one_ins, one_rem] = driveTreeShape(false);
+    const auto [split_ins, split_rem] = split_shape;
+    const auto [one_ins, one_rem] = one_shape;
     std::printf("%-18s %16s %16s\n", "config", "insert visits/op",
                 "remove visits/op");
     std::printf("%-18s %16.1f %16.1f\n", "split trees", split_ins,

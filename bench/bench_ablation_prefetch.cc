@@ -10,6 +10,7 @@
  */
 
 #include "bench/harness.hh"
+#include "bench/parallel.hh"
 
 using namespace kloc;
 using namespace kloc::bench;
@@ -17,11 +18,12 @@ using namespace kloc::bench;
 namespace {
 
 double
-run(const std::string &workload_name, StrategyKind kind, bool readahead)
+run(const BenchConfig &config, const std::string &workload_name,
+    StrategyKind kind, bool readahead)
 {
     // Memory-scarce configuration: total memory below the dataset so
     // cold reads exist and prefetching has something to hide.
-    TwoTierPlatform::Config platform_config = twoTierConfig();
+    TwoTierPlatform::Config platform_config = twoTierConfig(config);
     platform_config.fastCapacity = 4 * kGiB;
     platform_config.slowCapacity = 16 * kGiB;
     platform_config.system.fs.readaheadEnabled = readahead;
@@ -29,7 +31,7 @@ run(const std::string &workload_name, StrategyKind kind, bool readahead)
     System &sys = platform.sys();
     platform.applyStrategy(kind);
     sys.fs().startDaemons();
-    auto workload = makeWorkload(workload_name, workloadConfig());
+    auto workload = makeWorkload(workload_name, workloadConfig(config));
     const WorkloadResult result = runMeasured(sys, *workload);
     workload->teardown(sys);
     return result.throughput();
@@ -40,23 +42,40 @@ run(const std::string &workload_name, StrategyKind kind, bool readahead)
 int
 main()
 {
-    JsonReport report("ablation_prefetch");
-    for (const char *workload : {"rocksdb", "filebench"}) {
+    const BenchConfig config = BenchConfig::fromEnv();
+    const std::vector<std::string> workloads = {"rocksdb", "filebench"};
+    const std::vector<StrategyKind> strategies = {
+        StrategyKind::Naive, StrategyKind::NimblePlusPlus,
+        StrategyKind::Kloc};
+
+    // (workload, strategy, readahead) grid in print order; readahead
+    // off is the even slot of each pair.
+    const size_t runs = workloads.size() * strategies.size() * 2;
+    const auto throughputs = sweep<double>(config, runs, [&](size_t i) {
+        const std::string &workload =
+            workloads[i / (strategies.size() * 2)];
+        const StrategyKind kind =
+            strategies[(i / 2) % strategies.size()];
+        return run(config, workload, kind, i % 2 == 1);
+    });
+
+    JsonReport report("ablation_prefetch", config.outdir);
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        const std::string &workload = workloads[w];
         std::printf("\n==== Ablation: readahead x strategy (%s, "
-                    "memory-scarce) ====\n", workload);
+                    "memory-scarce) ====\n", workload.c_str());
         std::printf("%-18s %14s %14s %10s\n", "strategy", "no prefetch",
                     "prefetch", "gain");
-        for (const StrategyKind kind :
-             {StrategyKind::Naive, StrategyKind::NimblePlusPlus,
-              StrategyKind::Kloc}) {
-            const double off = run(workload, kind, false);
-            const double on = run(workload, kind, true);
+        for (size_t s = 0; s < strategies.size(); ++s) {
+            const StrategyKind kind = strategies[s];
+            const size_t base = (w * strategies.size() + s) * 2;
+            const double off = throughputs[base];
+            const double on = throughputs[base + 1];
             std::printf("%-18s %14.0f %14.0f %9.2fx\n",
                         strategyName(kind), off, on,
                         off > 0 ? on / off : 1.0);
-            std::fflush(stdout);
-            report.add(std::string(workload) + "." +
-                           strategyName(kind) + ".readahead_gain",
+            report.add(workload + "." + strategyName(kind) +
+                           ".readahead_gain",
                        off > 0 ? on / off : 1.0, "x", "higher", true);
         }
     }

@@ -9,6 +9,7 @@
  */
 
 #include "bench/harness.hh"
+#include "bench/parallel.hh"
 
 using namespace kloc;
 using namespace kloc::bench;
@@ -16,13 +17,14 @@ using namespace kloc::bench;
 namespace {
 
 double
-run(const std::string &workload_name, StrategyKind kind, bool huge)
+run(const BenchConfig &bench_config, const std::string &workload_name,
+    StrategyKind kind, bool huge)
 {
-    TwoTierPlatform platform(twoTierConfig());
+    TwoTierPlatform platform(twoTierConfig(bench_config));
     System &sys = platform.sys();
     platform.applyStrategy(kind);
     sys.fs().startDaemons();
-    WorkloadConfig config = workloadConfig();
+    WorkloadConfig config = workloadConfig(bench_config);
     config.hugePages = huge;
     auto workload = makeWorkload(workload_name, config);
     const WorkloadResult result = runMeasured(sys, *workload);
@@ -35,21 +37,37 @@ run(const std::string &workload_name, StrategyKind kind, bool huge)
 int
 main()
 {
+    const BenchConfig config = BenchConfig::fromEnv();
+    const std::vector<std::string> workloads = {"redis", "cassandra"};
+    const std::vector<StrategyKind> strategies = {
+        StrategyKind::NimblePlusPlus, StrategyKind::Kloc};
+
+    // (workload, strategy, page size) grid in print order; huge pages
+    // are the odd slot of each pair.
+    const size_t runs = workloads.size() * strategies.size() * 2;
+    const auto throughputs = sweep<double>(config, runs, [&](size_t i) {
+        const std::string &workload =
+            workloads[i / (strategies.size() * 2)];
+        const StrategyKind kind =
+            strategies[(i / 2) % strategies.size()];
+        return run(config, workload, kind, i % 2 == 1);
+    });
+
     section("Extension: transparent huge pages for the app arena (§5)");
     std::printf("%-11s %-18s %12s %12s %8s\n", "workload", "strategy",
                 "4KB pages", "2MB pages", "gain");
-    JsonReport report("ablation_thp");
-    for (const char *workload : {"redis", "cassandra"}) {
-        for (const StrategyKind kind :
-             {StrategyKind::NimblePlusPlus, StrategyKind::Kloc}) {
-            const double base = run(workload, kind, false);
-            const double huge = run(workload, kind, true);
-            std::printf("%-11s %-18s %12.0f %12.0f %7.2fx\n", workload,
-                        strategyName(kind), base, huge,
-                        base > 0 ? huge / base : 1.0);
-            std::fflush(stdout);
-            report.add(std::string(workload) + "." +
-                           strategyName(kind) + ".thp_gain",
+    JsonReport report("ablation_thp", config.outdir);
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        for (size_t s = 0; s < strategies.size(); ++s) {
+            const StrategyKind kind = strategies[s];
+            const size_t slot = (w * strategies.size() + s) * 2;
+            const double base = throughputs[slot];
+            const double huge = throughputs[slot + 1];
+            std::printf("%-11s %-18s %12.0f %12.0f %7.2fx\n",
+                        workloads[w].c_str(), strategyName(kind), base,
+                        huge, base > 0 ? huge / base : 1.0);
+            report.add(workloads[w] + "." + strategyName(kind) +
+                           ".thp_gain",
                        base > 0 ? huge / base : 1.0, "x", "higher",
                        true);
         }

@@ -12,10 +12,13 @@
  *      ~160 ms).
  *
  * Characterisation runs on the stock greedy (Naive) configuration:
- * it measures the workloads, not a tiering policy.
+ * it measures the workloads, not a tiering policy. All runs (the
+ * large/small grid plus the RocksDB lifetime-detail run) execute on
+ * the RunPool; tables print from the ordered results.
  */
 
 #include "bench/harness.hh"
+#include "bench/parallel.hh"
 
 using namespace kloc;
 using namespace kloc::bench;
@@ -32,15 +35,25 @@ struct Characterization
     double cacheLifetimeMs = 0;
 };
 
-Characterization
-characterize(const std::string &workload_name, bool small_input)
+/** One row of the Fig. 2d lifetime-distribution detail table. */
+struct LifetimeDetailRow
 {
-    TwoTierPlatform platform(twoTierConfig());
+    const char *label = "";
+    double p50Ms = 0;
+    double p99Ms = 0;
+    uint64_t count = 0;
+};
+
+Characterization
+characterize(const BenchConfig &bench_config,
+             const std::string &workload_name, bool small_input)
+{
+    TwoTierPlatform platform(twoTierConfig(bench_config));
     System &sys = platform.sys();
     platform.applyStrategy(StrategyKind::Naive);
     sys.fs().startDaemons();
 
-    WorkloadConfig config = workloadConfig();
+    WorkloadConfig config = workloadConfig(bench_config);
     config.smallInput = small_input;
     auto workload = makeWorkload(workload_name, config);
     runMeasured(sys, *workload);
@@ -79,17 +92,74 @@ characterize(const std::string &workload_name, bool small_input)
     return result;
 }
 
+/** The Fig. 2d detail run: RocksDB per-kind lifetime percentiles. */
+std::vector<LifetimeDetailRow>
+lifetimeDetail(const BenchConfig &bench_config)
+{
+    TwoTierPlatform platform(twoTierConfig(bench_config));
+    System &sys = platform.sys();
+    platform.applyStrategy(StrategyKind::Naive);
+    sys.fs().startDaemons();
+    auto workload = makeWorkload("rocksdb", workloadConfig(bench_config));
+    runMeasured(sys, *workload);
+    workload->teardown(sys);
+    const struct
+    {
+        const char *label;
+        KobjKind kind;
+    } kinds[] = {{"journal_record", KobjKind::JournalRecord},
+                 {"bio", KobjKind::Bio},
+                 {"dentry", KobjKind::Dentry},
+                 {"radix_node", KobjKind::RadixNode},
+                 {"page_cache", KobjKind::PageCachePage}};
+    std::vector<LifetimeDetailRow> rows;
+    for (const auto &row : kinds) {
+        const Histogram &hist = sys.heap().objLifetimeHist(row.kind);
+        if (hist.dist().count() == 0)
+            continue;
+        LifetimeDetailRow out;
+        out.label = row.label;
+        out.p50Ms = static_cast<double>(hist.percentileUpperBound(0.5)) /
+                    kMillisecond;
+        out.p99Ms = static_cast<double>(hist.percentileUpperBound(0.99)) /
+                    kMillisecond;
+        out.count = hist.dist().count();
+        rows.push_back(out);
+    }
+    return rows;
+}
+
 } // namespace
 
 int
 main()
 {
-    JsonReport report("fig2_characterization");
-    std::vector<std::pair<std::string, Characterization>> large;
-    std::vector<std::pair<std::string, Characterization>> small;
-    for (const std::string &name : workloadNames()) {
-        large.emplace_back(name, characterize(name, false));
-        small.emplace_back(name, characterize(name, true));
+    const BenchConfig config = BenchConfig::fromEnv();
+    JsonReport report("fig2_characterization", config.outdir);
+    const std::vector<std::string> names = workloadNames();
+
+    // Run grid: per workload a large and a small characterisation,
+    // plus one trailing RocksDB lifetime-detail run. Everything is
+    // independent, so the whole set shares one pool.
+    std::vector<std::pair<std::string, Characterization>> large(
+        names.size());
+    std::vector<std::pair<std::string, Characterization>> small(
+        names.size());
+    std::vector<LifetimeDetailRow> detail;
+    {
+        RunPool pool(config.jobs);
+        for (size_t i = 0; i < names.size(); ++i) {
+            pool.submit([&, i] {
+                large[i] = {names[i], characterize(config, names[i],
+                                                   false)};
+            });
+            pool.submit([&, i] {
+                small[i] = {names[i], characterize(config, names[i],
+                                                   true)};
+            });
+        }
+        pool.submit([&] { detail = lifetimeDetail(config); });
+        pool.wait();
     }
 
     section("Figure 2a: page allocations by class (Large inputs)");
@@ -167,38 +237,12 @@ main()
                     c.cacheLifetimeMs);
     }
     std::printf("\nlifetime distribution detail (RocksDB, ms):\n");
-    {
-        TwoTierPlatform platform(twoTierConfig());
-        System &sys = platform.sys();
-        platform.applyStrategy(StrategyKind::Naive);
-        sys.fs().startDaemons();
-        auto workload = makeWorkload("rocksdb", workloadConfig());
-        runMeasured(sys, *workload);
-        workload->teardown(sys);
-        const struct
-        {
-            const char *label;
-            KobjKind kind;
-        } kinds[] = {{"journal_record", KobjKind::JournalRecord},
-                     {"bio", KobjKind::Bio},
-                     {"dentry", KobjKind::Dentry},
-                     {"radix_node", KobjKind::RadixNode},
-                     {"page_cache", KobjKind::PageCachePage}};
-        std::printf("  %-16s %10s %10s %10s\n", "kind", "p50", "p99",
-                    "count");
-        for (const auto &row : kinds) {
-            const Histogram &hist = sys.heap().objLifetimeHist(row.kind);
-            if (hist.dist().count() == 0)
-                continue;
-            std::printf("  %-16s %10.2f %10.2f %10llu\n", row.label,
-                        static_cast<double>(
-                            hist.percentileUpperBound(0.5)) /
-                            kMillisecond,
-                        static_cast<double>(
-                            hist.percentileUpperBound(0.99)) /
-                            kMillisecond,
-                        (unsigned long long)hist.dist().count());
-        }
+    std::printf("  %-16s %10s %10s %10s\n", "kind", "p50", "p99",
+                "count");
+    for (const LifetimeDetailRow &row : detail) {
+        std::printf("  %-16s %10.2f %10.2f %10llu\n", row.label,
+                    row.p50Ms, row.p99Ms,
+                    (unsigned long long)row.count);
     }
     std::printf("\nexpected shape: slab objects live ~ms, cache pages "
                 "somewhat longer, app pages orders of magnitude longer\n");

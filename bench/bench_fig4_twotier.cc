@@ -9,12 +9,17 @@
  * Expected shape (paper): KLOCs outperforms Naive/Nimble/Nimble++
  * everywhere except Cassandra (where it ties Nimble++); AllFast is
  * the upper bound.
+ *
+ * The (workload x strategy) grid runs on the RunPool (see
+ * bench/parallel.hh); rows are printed and reported from the ordered
+ * result vector, so the JSON artifact is identical at any KLOC_JOBS.
  */
 
 #include <algorithm>
 #include <ctime>
 
 #include "bench/harness.hh"
+#include "bench/parallel.hh"
 
 using namespace kloc;
 using namespace kloc::bench;
@@ -25,15 +30,17 @@ namespace {
  * Process-CPU milliseconds of one (workload, Kloc) run. CPU time
  * rather than wall clock: on shared (or single-core) runners, wall
  * time includes whatever the host steals, and the trace-overhead
- * delta is a few percent — well under that noise.
+ * delta is a few percent — well under that noise. Runs serially
+ * (after the pool has drained): a timing probe must not share the
+ * machine with concurrent runs.
  */
 double
-cpuMs(const std::string &workload, bool trace)
+cpuMs(const BenchConfig &config, const std::string &workload, bool trace)
 {
     timespec start{};
     clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &start);
-    runTwoTier(workload, StrategyKind::Kloc, twoTierConfig(),
-               workloadConfig(), trace);
+    runTwoTier(workload, StrategyKind::Kloc, twoTierConfig(config),
+               workloadConfig(config), trace);
     timespec end{};
     clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &end);
     return 1e3 * (static_cast<double>(end.tv_sec - start.tv_sec)) +
@@ -45,41 +52,54 @@ cpuMs(const std::string &workload, bool trace)
 int
 main()
 {
-    JsonReport report("fig4_twotier");
+    const BenchConfig config = BenchConfig::fromEnv();
+    JsonReport report("fig4_twotier", config.outdir);
     const std::vector<StrategyKind> strategies = {
         StrategyKind::AllSlow,         StrategyKind::Naive,
         StrategyKind::Nimble,          StrategyKind::NimblePlusPlus,
         StrategyKind::KlocNoMigration, StrategyKind::Kloc,
         StrategyKind::AllFast,
     };
+    const std::vector<std::string> workloads = workloadNames();
+
+    // Workload-major, strategy-minor: the order the table prints in.
+    const size_t runs = workloads.size() * strategies.size();
+    const auto outcomes = sweep<RunOutcome>(
+        config, runs, [&](size_t i) {
+            const std::string &workload = workloads[i / strategies.size()];
+            const StrategyKind kind = strategies[i % strategies.size()];
+            return runTwoTier(workload, kind, twoTierConfig(config),
+                              workloadConfig(config), config.trace);
+        });
 
     section("Figure 4: two-tier speedup vs All Slow Mem");
     std::printf("platform: fast %llu MiB @ 1:%u bandwidth ratio, "
                 "%llu ops/run, scale 1:%u\n",
                 static_cast<unsigned long long>(
-                    twoTierConfig().fastCapacity / defaultScale() / kMiB),
-                twoTierConfig().bandwidthRatio,
-                static_cast<unsigned long long>(defaultOps()),
-                defaultScale());
+                    twoTierConfig(config).fastCapacity / config.scale /
+                    kMiB),
+                twoTierConfig(config).bandwidthRatio,
+                static_cast<unsigned long long>(config.ops),
+                config.scale);
 
     std::printf("\n%-11s", "workload");
     for (const StrategyKind kind : strategies)
         std::printf(" %17s", strategyName(kind));
     std::printf("\n");
 
-    for (const std::string &workload : workloadNames()) {
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        const std::string &workload = workloads[w];
         std::printf("%-11s", workload.c_str());
-        std::fflush(stdout);
         double all_slow = 0.0;
-        for (const StrategyKind kind : strategies) {
-            const RunOutcome outcome = runTwoTier(
-                workload, kind, twoTierConfig(), workloadConfig());
+        for (size_t s = 0; s < strategies.size(); ++s) {
+            const StrategyKind kind = strategies[s];
+            const RunOutcome &outcome =
+                outcomes[w * strategies.size() + s];
             if (kind == StrategyKind::AllSlow)
                 all_slow = outcome.throughput;
             std::printf(" %9.0f (%4.2fx)", outcome.throughput,
                         all_slow > 0 ? outcome.throughput / all_slow
                                      : 1.0);
-            std::fflush(stdout);
             // Simulated-time throughput is machine-independent, so
             // it gates regressions; so do migration rates.
             report.add(workload + "." + strategyName(kind) +
@@ -104,16 +124,16 @@ main()
     // never gates — it exists for before/after comparison of the
     // emit fast path.
     section("--trace overhead (process CPU time, klocs strategy)");
-    const std::string overhead_wl = workloadNames().front();
-    cpuMs(overhead_wl, false);  // warm-up
+    const std::string overhead_wl = workloads.front();
+    cpuMs(config, overhead_wl, false);  // warm-up
     // Run off/on back-to-back pairs and take the median per-pair
     // overhead: the two halves of a pair share the host's frequency
     // regime, so drift across the binary's lifetime cancels, and the
     // median discards pairs a regime change split down the middle.
     std::vector<double> off_samples, on_samples, pct_samples;
     for (int rep = 0; rep < 5; ++rep) {
-        const double off = cpuMs(overhead_wl, false);
-        const double on = cpuMs(overhead_wl, true);
+        const double off = cpuMs(config, overhead_wl, false);
+        const double on = cpuMs(config, overhead_wl, true);
         off_samples.push_back(off);
         on_samples.push_back(on);
         pct_samples.push_back(off > 0 ? 100.0 * (on - off) / off : 0.0);

@@ -17,6 +17,7 @@
  */
 
 #include "bench/harness.hh"
+#include "bench/parallel.hh"
 
 using namespace kloc;
 using namespace kloc::bench;
@@ -24,18 +25,19 @@ using namespace kloc::bench;
 namespace {
 
 double
-runOptane(const std::string &workload_name, AutoNumaPolicy::Mode mode,
+runOptane(const BenchConfig &bench_config,
+          const std::string &workload_name, AutoNumaPolicy::Mode mode,
           bool ideal_local)
 {
     OptanePlatform::Config config;
-    config.scale = defaultScale();
+    config.scale = bench_config.scale;
     OptanePlatform platform(config);
     System &sys = platform.sys();
     platform.setInterference(true);
     platform.applyPolicy(mode);
     sys.fs().startDaemons();
 
-    WorkloadConfig wl_config = workloadConfig();
+    WorkloadConfig wl_config = workloadConfig(bench_config);
     wl_config.cpus = platform.taskCpus();
 
     // Setup runs on the interfered socket (or directly on the quiet
@@ -64,6 +66,7 @@ runOptane(const std::string &workload_name, AutoNumaPolicy::Mode mode,
 int
 main()
 {
+    const BenchConfig config = BenchConfig::fromEnv();
     struct Row
     {
         const char *label;
@@ -77,6 +80,15 @@ main()
         {"klocs", AutoNumaPolicy::Mode::Kloc, false},
         {"ideal-local", AutoNumaPolicy::Mode::Static, true},
     };
+    const std::vector<std::string> workloads = workloadNames();
+
+    // Workload-major, policy-minor: the order the table prints in.
+    const size_t runs = workloads.size() * rows.size();
+    const auto throughputs = sweep<double>(config, runs, [&](size_t i) {
+        const std::string &workload = workloads[i / rows.size()];
+        const Row &row = rows[i % rows.size()];
+        return runOptane(config, workload, row.mode, row.idealLocal);
+    });
 
     section("Figure 5a: Optane Memory Mode, speedup vs all-remote");
     std::printf("%-11s", "workload");
@@ -84,19 +96,18 @@ main()
         std::printf(" %16s", row.label);
     std::printf("\n");
 
-    JsonReport report("fig5a_optane");
-    for (const std::string &workload : workloadNames()) {
+    JsonReport report("fig5a_optane", config.outdir);
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        const std::string &workload = workloads[w];
         std::printf("%-11s", workload.c_str());
-        std::fflush(stdout);
         double baseline = 0;
-        for (const Row &row : rows) {
-            const double throughput =
-                runOptane(workload, row.mode, row.idealLocal);
+        for (size_t r = 0; r < rows.size(); ++r) {
+            const Row &row = rows[r];
+            const double throughput = throughputs[w * rows.size() + r];
             if (baseline == 0)
                 baseline = throughput;
             std::printf(" %8.0f (%4.2fx)", throughput,
                         baseline > 0 ? throughput / baseline : 1.0);
-            std::fflush(stdout);
             report.add(workload + "." + row.label + ".ops_per_s",
                        throughput, "ops/s", "higher", true);
         }

@@ -11,6 +11,7 @@
  */
 
 #include "bench/harness.hh"
+#include "bench/parallel.hh"
 
 using namespace kloc;
 using namespace kloc::bench;
@@ -18,6 +19,7 @@ using namespace kloc::bench;
 int
 main()
 {
+    const BenchConfig config = BenchConfig::fromEnv();
     const std::vector<StrategyKind> strategies = {
         StrategyKind::Naive,
         StrategyKind::Nimble,
@@ -26,14 +28,21 @@ main()
         StrategyKind::Kloc,
     };
 
+    const auto outcomes = sweep<RunOutcome>(
+        config, strategies.size(), [&](size_t i) {
+            return runTwoTier("rocksdb", strategies[i],
+                              twoTierConfig(config),
+                              workloadConfig(config));
+        });
+
     section("Figure 5b: RocksDB slow-memory allocations and migrations");
     std::printf("%-18s %14s %12s %10s %10s %9s\n", "strategy",
                 "slow pagecache", "slow slab", "demoted", "promoted",
                 "demote%");
-    JsonReport report("fig5b_breakdown");
-    for (const StrategyKind kind : strategies) {
-        const RunOutcome outcome = runTwoTier(
-            "rocksdb", kind, twoTierConfig(), workloadConfig());
+    JsonReport report("fig5b_breakdown", config.outdir);
+    for (size_t s = 0; s < strategies.size(); ++s) {
+        const StrategyKind kind = strategies[s];
+        const RunOutcome &outcome = outcomes[s];
         const uint64_t total = outcome.migration.demotedPages +
                                outcome.migration.promotedPages;
         std::printf("%-18s %14llu %12llu %10llu %10llu %8.1f%%\n",
@@ -47,7 +56,6 @@ main()
                                 outcome.migration.demotedPages) /
                             static_cast<double>(total)
                           : 0.0);
-        std::fflush(stdout);
         const std::string prefix =
             std::string("rocksdb.") + strategyName(kind);
         report.add(prefix + ".slow_pagecache_pages",

@@ -13,6 +13,7 @@
  */
 
 #include "bench/harness.hh"
+#include "bench/parallel.hh"
 
 using namespace kloc;
 using namespace kloc::bench;
@@ -20,14 +21,15 @@ using namespace kloc::bench;
 namespace {
 
 double
-runWithMask(const std::string &workload_name, uint32_t mask)
+runWithMask(const BenchConfig &config, const std::string &workload_name,
+            uint32_t mask)
 {
-    TwoTierPlatform platform(twoTierConfig());
+    TwoTierPlatform platform(twoTierConfig(config));
     System &sys = platform.sys();
     platform.applyStrategy(StrategyKind::Kloc);
     sys.kloc().setManagedClasses(mask);
     sys.fs().startDaemons();
-    auto workload = makeWorkload(workload_name, workloadConfig());
+    auto workload = makeWorkload(workload_name, workloadConfig(config));
     const WorkloadResult result = runMeasured(sys, *workload);
     workload->teardown(sys);
     return result.throughput();
@@ -44,6 +46,7 @@ bit(ObjClass cls)
 int
 main()
 {
+    const BenchConfig config = BenchConfig::fromEnv();
     struct Step
     {
         const char *label;
@@ -66,25 +69,34 @@ main()
     mask |= bit(ObjClass::BlockIo);
     steps.push_back({"+blockio", mask});
 
+    const std::vector<std::string> workloads = workloadNames();
+
+    // Workload-major, step-minor: the order the table prints in.
+    const size_t runs = workloads.size() * steps.size();
+    const auto throughputs = sweep<double>(config, runs, [&](size_t i) {
+        const std::string &workload = workloads[i / steps.size()];
+        const Step &step = steps[i % steps.size()];
+        return runWithMask(config, workload, step.mask);
+    });
+
     section("Figure 5c: incremental kernel-object coverage (KLOCs)");
     std::printf("%-11s", "workload");
     for (const Step &step : steps)
         std::printf(" %12s", step.label);
     std::printf("\n");
 
-    JsonReport report("fig5c_objtypes");
-    for (const std::string &workload : workloadNames()) {
+    JsonReport report("fig5c_objtypes", config.outdir);
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        const std::string &workload = workloads[w];
         std::printf("%-11s", workload.c_str());
-        std::fflush(stdout);
         double base = 0;
-        for (const Step &step : steps) {
-            const double throughput = runWithMask(workload, step.mask);
+        for (size_t s = 0; s < steps.size(); ++s) {
+            const double throughput = throughputs[w * steps.size() + s];
             if (base == 0)
                 base = throughput;
             std::printf("       %4.2fx", base > 0 ? throughput / base
                                                   : 1.0);
-            std::fflush(stdout);
-            report.add(workload + "." + step.label + ".ops_per_s",
+            report.add(workload + "." + steps[s].label + ".ops_per_s",
                        throughput, "ops/s", "higher", true);
         }
         std::printf("\n");

@@ -8,9 +8,15 @@
  *
  * Paper: KLOCs wins across all cells, gains grow with the bandwidth
  * differential and shrink as fast capacity covers the footprint.
+ *
+ * The AllSlow baseline is deterministic, so each (cell, workload)
+ * pair runs it exactly once and every strategy in that cell shares
+ * the result — the serial version re-ran it per strategy, tripling
+ * the baseline cost for identical numbers.
  */
 
 #include "bench/harness.hh"
+#include "bench/parallel.hh"
 
 using namespace kloc;
 using namespace kloc::bench;
@@ -18,6 +24,7 @@ using namespace kloc::bench;
 int
 main()
 {
+    const BenchConfig config = BenchConfig::fromEnv();
     // The paper sweeps {4, 8, 32} GB; the 64 GB row is added here to
     // show convergence once the fast tier covers the whole cached
     // footprint (our simulated footprint is the full dataset, so the
@@ -35,6 +42,32 @@ main()
     const std::vector<std::string> workloads = {"rocksdb", "redis",
                                                 "filebench", "cassandra"};
 
+    // Per (capacity, ratio) cell: one AllSlow baseline per workload,
+    // then strategy x workload runs. All cells share one pool.
+    const size_t cells = capacities.size() * ratios.size();
+    const size_t baseline_runs = workloads.size();
+    const size_t strategy_runs = strategies.size() * workloads.size();
+    const size_t per_cell = baseline_runs + strategy_runs;
+    const auto throughputs = sweep<double>(
+        config, cells * per_cell, [&](size_t i) {
+            const size_t cell = i / per_cell;
+            const size_t slot = i % per_cell;
+            TwoTierPlatform::Config platform_config = twoTierConfig(config);
+            platform_config.fastCapacity = capacities[cell / ratios.size()];
+            platform_config.bandwidthRatio = ratios[cell % ratios.size()];
+            StrategyKind kind = StrategyKind::AllSlow;
+            size_t workload;
+            if (slot < baseline_runs) {
+                workload = slot;
+            } else {
+                kind = strategies[(slot - baseline_runs) / workloads.size()];
+                workload = (slot - baseline_runs) % workloads.size();
+            }
+            return runTwoTier(workloads[workload], kind, platform_config,
+                              workloadConfig(config))
+                .throughput;
+        });
+
     section("Figure 6: capacity x bandwidth sensitivity "
             "(speedup vs all_slow, avg[min..max] across workloads)");
     std::printf("%-14s %6s", "config", "ratio");
@@ -42,28 +75,25 @@ main()
         std::printf(" %24s", strategyName(kind));
     std::printf("\n");
 
-    JsonReport report("fig6_sensitivity");
-    for (const Bytes capacity : capacities) {
-        for (const unsigned ratio : ratios) {
-            TwoTierPlatform::Config platform_config = twoTierConfig();
-            platform_config.fastCapacity = capacity;
-            platform_config.bandwidthRatio = ratio;
+    JsonReport report("fig6_sensitivity", config.outdir);
+    for (size_t c = 0; c < capacities.size(); ++c) {
+        for (size_t r = 0; r < ratios.size(); ++r) {
+            const Bytes capacity = capacities[c];
+            const unsigned ratio = ratios[r];
+            const size_t cell_base = (c * ratios.size() + r) * per_cell;
 
             std::printf("fast %3lluGB     1:%-4u",
                         (unsigned long long)(capacity / kGiB), ratio);
-            std::fflush(stdout);
-            for (const StrategyKind kind : strategies) {
+            for (size_t s = 0; s < strategies.size(); ++s) {
+                const StrategyKind kind = strategies[s];
                 double sum = 0, lo = 1e30, hi = 0;
-                for (const std::string &workload : workloads) {
-                    const RunOutcome slow_run =
-                        runTwoTier(workload, StrategyKind::AllSlow,
-                                   platform_config, workloadConfig());
-                    const RunOutcome run = runTwoTier(
-                        workload, kind, platform_config,
-                        workloadConfig());
-                    const double speedup = slow_run.throughput > 0
-                        ? run.throughput / slow_run.throughput
-                        : 1.0;
+                for (size_t w = 0; w < workloads.size(); ++w) {
+                    const double slow_tp = throughputs[cell_base + w];
+                    const double tp =
+                        throughputs[cell_base + baseline_runs +
+                                    s * workloads.size() + w];
+                    const double speedup =
+                        slow_tp > 0 ? tp / slow_tp : 1.0;
                     sum += speedup;
                     lo = std::min(lo, speedup);
                     hi = std::max(hi, speedup);
@@ -71,7 +101,6 @@ main()
                 const double avg =
                     sum / static_cast<double>(workloads.size());
                 std::printf("   %5.2fx [%4.2f..%4.2f]", avg, lo, hi);
-                std::fflush(stdout);
                 char cell[64];
                 std::snprintf(cell, sizeof(cell),
                               "fast%llugb_ratio%u.%s.avg_speedup",

@@ -22,6 +22,7 @@
 #include "base/radix_tree.hh"
 #include "base/rbtree.hh"
 #include "base/rng.hh"
+#include "bench/harness.hh"
 #include "bench/report.hh"
 #include "mem/buddy_allocator.hh"
 #include "mem/lru.hh"
@@ -383,7 +384,12 @@ main(int argc, char **argv)
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
-    kloc::bench::JsonReport report("micro_structures");
+    // Stays serial by design: google-benchmark owns the timing loops,
+    // and wall-clock microbenchmarks sharing cores would measure each
+    // other. BenchConfig is still parsed once for the artifact outdir.
+    const kloc::bench::BenchConfig config =
+        kloc::bench::BenchConfig::fromEnv();
+    kloc::bench::JsonReport report("micro_structures", config.outdir);
     kloc::JsonCollectingReporter reporter(report);
     benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();

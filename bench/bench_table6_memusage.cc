@@ -9,6 +9,7 @@
  */
 
 #include "bench/harness.hh"
+#include "bench/parallel.hh"
 
 using namespace kloc;
 using namespace kloc::bench;
@@ -16,9 +17,7 @@ using namespace kloc::bench;
 int
 main()
 {
-    section("Table 6: KLOC metadata memory increase");
-    std::printf("%-11s %16s %22s %10s\n", "workload", "sim peak (KiB)",
-                "at paper scale (MiB)", "paper (MB)");
+    const BenchConfig config = BenchConfig::fromEnv();
     const struct
     {
         const char *name;
@@ -28,20 +27,27 @@ main()
                  {"filebench", 44},
                  {"cassandra", 12},
                  {"spark", 43}};
+    const size_t runs = sizeof(paper) / sizeof(paper[0]);
 
-    JsonReport report("table6_memusage");
-    for (const auto &row : paper) {
-        const RunOutcome outcome =
-            runTwoTier(row.name, StrategyKind::Kloc, twoTierConfig(),
-                       workloadConfig());
+    const auto outcomes = sweep<RunOutcome>(config, runs, [&](size_t i) {
+        return runTwoTier(paper[i].name, StrategyKind::Kloc,
+                          twoTierConfig(config), workloadConfig(config));
+    });
+
+    section("Table 6: KLOC metadata memory increase");
+    std::printf("%-11s %16s %22s %10s\n", "workload", "sim peak (KiB)",
+                "at paper scale (MiB)", "paper (MB)");
+    JsonReport report("table6_memusage", config.outdir);
+    for (size_t i = 0; i < runs; ++i) {
+        const auto &row = paper[i];
+        const RunOutcome &outcome = outcomes[i];
         const double sim_kib =
             static_cast<double>(outcome.klocPeakMetadata) / kKiB;
         const double paper_scale_mib =
             static_cast<double>(outcome.klocPeakMetadata) *
-            defaultScale() / static_cast<double>(kMiB);
+            config.scale / static_cast<double>(kMiB);
         std::printf("%-11s %16.1f %22.1f %10d\n", row.name, sim_kib,
                     paper_scale_mib, row.paperMb);
-        std::fflush(stdout);
         report.add(std::string(row.name) + ".kloc_metadata_kib", sim_kib,
                    "KiB", "lower", true);
     }

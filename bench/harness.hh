@@ -4,13 +4,15 @@
  *
  * Each figure binary builds fresh platforms per configuration, runs
  * the measured protocol (setup -> quiesce -> measure), and prints
- * the same rows/series the paper reports. Environment knobs:
+ * the same rows/series the paper reports. Environment knobs (parsed
+ * ONCE into a BenchConfig at startup — see BenchConfig::fromEnv):
  *
  *   KLOC_BENCH_QUICK=1   quarter-size runs for smoke testing
  *   KLOC_BENCH_OPS=N     override measured operations per run
  *   KLOC_BENCH_SCALE=N   override the 1:N platform scale
  *   KLOC_BENCH_TRACE=1   run with event tracing enabled
  *   KLOC_BENCH_OUTDIR=D  where BENCH_<name>.json artifacts land
+ *   KLOC_JOBS=N          run-executor worker count (bench/parallel.hh)
  */
 
 #ifndef KLOC_BENCH_HARNESS_HH
@@ -22,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "base/run_pool.hh"
 #include "bench/report.hh"
 #include "platform/optane.hh"
 #include "platform/two_tier.hh"
@@ -31,27 +34,42 @@
 namespace kloc {
 namespace bench {
 
-/** Measured operations per run (paper-shape default). */
-inline uint64_t
-defaultOps()
+/**
+ * Every environment knob the bench pipeline honours, parsed once at
+ * startup and passed to runs explicitly. Runs never call getenv()
+ * themselves: repeated lookups were both wasteful and a data race
+ * waiting to happen once runs execute on RunPool workers (setenv on
+ * the main thread against getenv on a worker is UB).
+ */
+struct BenchConfig
 {
-    if (const char *env = std::getenv("KLOC_BENCH_OPS"))
-        return std::strtoull(env, nullptr, 10);
-    if (std::getenv("KLOC_BENCH_QUICK"))
-        return 15000;
-    return 60000;
-}
+    bool quick = false;       ///< quarter-size smoke runs
+    uint64_t ops = 60000;     ///< measured operations per run
+    unsigned scale = 64;      ///< 1:N platform/dataset scale divisor
+    bool trace = false;       ///< run with event tracing enabled
+    unsigned jobs = 1;        ///< run-executor worker threads
+    std::string outdir = "."; ///< BENCH_<name>.json destination
 
-/** Platform/dataset scale divisor. */
-inline unsigned
-defaultScale()
-{
-    if (const char *env = std::getenv("KLOC_BENCH_SCALE"))
-        return static_cast<unsigned>(std::strtoul(env, nullptr, 10));
-    if (std::getenv("KLOC_BENCH_QUICK"))
-        return 256;
-    return 64;
-}
+    /** Parse the KLOC_BENCH_* / KLOC_JOBS environment, once. */
+    static BenchConfig
+    fromEnv()
+    {
+        BenchConfig config;
+        config.quick = std::getenv("KLOC_BENCH_QUICK") != nullptr;
+        config.ops = config.quick ? 15000 : 60000;
+        if (const char *env = std::getenv("KLOC_BENCH_OPS"))
+            config.ops = std::strtoull(env, nullptr, 10);
+        config.scale = config.quick ? 256 : 64;
+        if (const char *env = std::getenv("KLOC_BENCH_SCALE"))
+            config.scale =
+                static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+        config.trace = std::getenv("KLOC_BENCH_TRACE") != nullptr;
+        config.jobs = RunPool::defaultWorkers();
+        if (const char *env = std::getenv("KLOC_BENCH_OUTDIR"))
+            config.outdir = env;
+        return config;
+    }
+};
 
 /** Outcome of one measured two-tier run. */
 struct RunOutcome
@@ -68,13 +86,14 @@ struct RunOutcome
 
 /**
  * Build a two-tier platform, apply @p kind, run @p workload_name
- * once, and collect the outcome.
+ * once, and collect the outcome. Shared-nothing: every call builds
+ * its own platform and trace sink from the explicit configs, so
+ * calls may run concurrently on RunPool workers.
  */
 inline RunOutcome
 runTwoTier(const std::string &workload_name, StrategyKind kind,
            TwoTierPlatform::Config platform_config,
-           WorkloadConfig workload_config,
-           bool trace = std::getenv("KLOC_BENCH_TRACE") != nullptr)
+           WorkloadConfig workload_config, bool trace = false)
 {
     // The AllFast bound needs a fast tier that holds everything.
     if (kind == StrategyKind::AllFast) {
@@ -109,23 +128,23 @@ runTwoTier(const std::string &workload_name, StrategyKind kind,
     return outcome;
 }
 
-/** Default two-tier platform config at bench scale. */
+/** Default two-tier platform config at @p config's bench scale. */
 inline TwoTierPlatform::Config
-twoTierConfig()
+twoTierConfig(const BenchConfig &config)
 {
-    TwoTierPlatform::Config config;
-    config.scale = defaultScale();
-    return config;
+    TwoTierPlatform::Config platform_config;
+    platform_config.scale = config.scale;
+    return platform_config;
 }
 
-/** Default workload config at bench scale. */
+/** Default workload config at @p config's bench scale. */
 inline WorkloadConfig
-workloadConfig()
+workloadConfig(const BenchConfig &config)
 {
-    WorkloadConfig config;
-    config.scale = defaultScale();
-    config.operations = defaultOps();
-    return config;
+    WorkloadConfig workload_config;
+    workload_config.scale = config.scale;
+    workload_config.operations = config.ops;
+    return workload_config;
 }
 
 /** Print a separator + section title. */

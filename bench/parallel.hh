@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Parallel sweep support for the bench binaries.
+ *
+ * A figure is a grid of independent configurations. Every binary
+ * follows the same three-phase shape so any RunPool worker count
+ * produces byte-identical kloc-bench-v1 JSON:
+ *
+ *   1. ENUMERATE the configuration grid into a vector, in the order
+ *      the figure prints it.
+ *   2. EXECUTE the per-configuration closures on the pool with
+ *      sweep() — results come back in submission order, regardless
+ *      of completion order. Closures are shared-nothing (each builds
+ *      its own platform/trace sink from explicit configs) and MUST
+ *      NOT print or touch the JsonReport; both stay owned by the
+ *      main thread.
+ *   3. REPORT serially: walk the result vector in order, print the
+ *      tables, and append metrics to the JsonReport.
+ *
+ * Because phase 3 is a pure function of the result vector and the
+ * vector's order is fixed by submission, KLOC_JOBS=1 and
+ * KLOC_JOBS=64 runs emit identical metric rows — the parallel
+ * identity tests (tests/integration/test_parallel_identity.cc) and
+ * `scripts/bench.sh --compare` hold this line.
+ */
+
+#ifndef KLOC_BENCH_PARALLEL_HH
+#define KLOC_BENCH_PARALLEL_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "base/run_pool.hh"
+#include "bench/harness.hh"
+
+namespace kloc {
+namespace bench {
+
+/**
+ * Run @p fn(0..n-1) on a pool sized by @p config.jobs and return the
+ * results in index order.
+ */
+template <typename T, typename Fn>
+std::vector<T>
+sweep(const BenchConfig &config, size_t n, Fn fn)
+{
+    RunPool pool(config.jobs);
+    return runIndexed<T>(pool, n, std::move(fn));
+}
+
+} // namespace bench
+} // namespace kloc
+
+#endif // KLOC_BENCH_PARALLEL_HH

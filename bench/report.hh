@@ -54,7 +54,16 @@ struct Metric
 class JsonReport
 {
   public:
-    explicit JsonReport(std::string bench) : _bench(std::move(bench)) {}
+    /**
+     * @param bench   binary name without the bench_ prefix
+     * @param outdir  artifact directory (BenchConfig::outdir; the
+     *                environment is parsed once at startup, never
+     *                here)
+     */
+    explicit JsonReport(std::string bench, std::string outdir = ".")
+        : _bench(std::move(bench)), _outdir(std::move(outdir))
+    {
+    }
 
     void
     add(std::string name, double value, std::string unit,
@@ -74,16 +83,13 @@ class JsonReport
     }
 
     /**
-     * Write BENCH_<bench>.json under $KLOC_BENCH_OUTDIR (default:
-     * current directory). Returns false on I/O failure.
+     * Write BENCH_<bench>.json under the configured outdir.
+     * Returns false on I/O failure.
      */
     bool
     write() const
     {
-        std::string dir = ".";
-        if (const char *env = std::getenv("KLOC_BENCH_OUTDIR"))
-            dir = env;
-        const std::string path = dir + "/BENCH_" + _bench + ".json";
+        const std::string path = _outdir + "/BENCH_" + _bench + ".json";
         std::FILE *out = std::fopen(path.c_str(), "w");
         if (out == nullptr) {
             std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
@@ -114,6 +120,7 @@ class JsonReport
 
   private:
     std::string _bench;
+    std::string _outdir;
     std::vector<Metric> _metrics;
 };
 

@@ -4,10 +4,17 @@
 # klocsim runs must dump byte-identical traces, with the invariant
 # checker clean on both).
 #
+# Independent simulation runs execute concurrently: the a/b trace
+# pairs run as background shell jobs, and the fault-fuzz sweep runs
+# its seeds on the in-process RunPool with KLOC_JOBS workers. All
+# comparisons stay byte-exact — parallelism never touches sim time.
+#
 # Optional stages (any combination, default is build+test+determinism):
 #   --lint      run klint and, when available, clang-tidy over src/
 #   --sanitize  rebuild with -DKLOC_SANITIZE=ON (ASan+UBSan) in
 #               BUILD_DIR-asan and run the full test suite there
+#   --tsan      rebuild with -DKLOC_TSAN=ON in BUILD_DIR-tsan and run
+#               the RunPool/parallel-identity/fuzz-sweep tests there
 #   --all       everything above
 set -euo pipefail
 
@@ -15,15 +22,19 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
 JOBS=${JOBS:-$(nproc)}
+export KLOC_JOBS=${KLOC_JOBS:-$(nproc)}
 
 DO_LINT=0
 DO_SANITIZE=0
+DO_TSAN=0
 for arg in "$@"; do
     case "$arg" in
       --lint) DO_LINT=1 ;;
       --sanitize) DO_SANITIZE=1 ;;
-      --all) DO_LINT=1; DO_SANITIZE=1 ;;
-      *) echo "usage: check.sh [--lint] [--sanitize] [--all]" >&2; exit 2 ;;
+      --tsan) DO_TSAN=1 ;;
+      --all) DO_LINT=1; DO_SANITIZE=1; DO_TSAN=1 ;;
+      *) echo "usage: check.sh [--lint] [--sanitize] [--tsan] [--all]" >&2
+         exit 2 ;;
     esac
 done
 
@@ -32,15 +43,17 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 # Golden-style determinism check on the CLI path: same command, two
-# fresh processes, identical serialized traces, zero violations.
+# fresh processes, identical serialized traces, zero violations. The
+# two runs are independent processes, so they run concurrently.
 tracedir=$(mktemp -d)
 trap 'rm -rf "$tracedir"' EXIT
 run_traced() {
     "$BUILD_DIR"/tools/klocsim run --workload rocksdb --ops 2000 \
         --scale 16 --trace "$1" --check > "$1.out"
 }
-run_traced "$tracedir/a.trace"
-run_traced "$tracedir/b.trace"
+run_traced "$tracedir/a.trace" &
+run_traced "$tracedir/b.trace" &
+wait
 cmp "$tracedir/a.trace" "$tracedir/b.trace" || {
     echo "FAIL: klocsim traces differ between identical runs" >&2
     exit 1
@@ -61,15 +74,18 @@ run_faulted() {
         --scale 16 --fault-spec "$tracedir/faults.txt" \
         --trace "$1" --check > "$1.out"
 }
-run_faulted "$tracedir/fa.trace"
-run_faulted "$tracedir/fb.trace"
+run_faulted "$tracedir/fa.trace" &
+run_faulted "$tracedir/fb.trace" &
+wait
 cmp "$tracedir/fa.trace" "$tracedir/fb.trace" || {
     echo "FAIL: klocsim traces differ between identical faulted runs" >&2
     exit 1
 }
 
-# The randomized fault fuzz must be invariant-clean on every seed.
-"$BUILD_DIR"/tests/test_fault --gtest_filter='Seeds/*' > /dev/null || {
+# The randomized fault fuzz must be invariant-clean on every seed;
+# the sweep fans the seeds out over KLOC_JOBS RunPool workers.
+"$BUILD_DIR"/tests/test_fault --gtest_filter='FaultFuzzSweep*' \
+    > /dev/null || {
     echo "FAIL: fault fuzz reported invariant violations" >&2
     exit 1
 }
@@ -103,6 +119,20 @@ if [ "$DO_SANITIZE" = 1 ]; then
     cmake --build "$ASAN_DIR" -j "$JOBS"
     ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$JOBS"
     echo "check.sh: sanitizer stage OK"
+fi
+
+if [ "$DO_TSAN" = 1 ]; then
+    # ThreadSanitizer smoke over the concurrency surface: the pool
+    # itself, the parallel-vs-serial identity tests, and the pooled
+    # fuzz sweep. The rest of the suite is single-threaded and runs
+    # under ASan/UBSan above.
+    TSAN_DIR="${BUILD_DIR}-tsan"
+    cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DKLOC_TSAN=ON
+    cmake --build "$TSAN_DIR" -j "$JOBS"
+    ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
+        -R 'RunPool|ParallelIdentity|FaultFuzz'
+    echo "check.sh: tsan stage OK"
 fi
 
 echo "check.sh: build, tests, trace and fault determinism all OK"

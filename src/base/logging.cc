@@ -12,7 +12,7 @@ Logger::instance()
 void
 Logger::log(LogLevel level, const char *fmt, va_list args)
 {
-    if (static_cast<int>(level) < static_cast<int>(_level))
+    if (static_cast<int>(level) < static_cast<int>(this->level()))
         return;
     const char *prefix = "";
     switch (level) {
@@ -21,9 +21,14 @@ Logger::log(LogLevel level, const char *fmt, va_list args)
       case LogLevel::Warn:  prefix = "warn: ";  break;
       case LogLevel::Error: prefix = "error: "; break;
     }
-    std::fputs(prefix, stderr);
-    std::vfprintf(stderr, fmt, args);
-    std::fputc('\n', stderr);
+    // One buffer, one write: POSIX stdio calls are atomic per call,
+    // so concurrent RunPool workers never interleave mid-message.
+    char message[512];
+    const int used = std::snprintf(message, sizeof(message), "%s", prefix);
+    if (used >= 0 && static_cast<size_t>(used) < sizeof(message)) {
+        std::vsnprintf(message + used, sizeof(message) - used, fmt, args);
+    }
+    std::fprintf(stderr, "%s\n", message);
 }
 
 void

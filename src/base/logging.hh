@@ -10,6 +10,7 @@
 #ifndef KLOC_BASE_LOGGING_HH
 #define KLOC_BASE_LOGGING_HH
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +24,12 @@ enum class LogLevel { Debug, Info, Warn, Error };
 /**
  * Global log sink. Messages below the threshold are suppressed.
  * Defaults to Warn so simulations stay quiet unless asked.
+ *
+ * This is the one sanctioned mutable global (klint
+ * no-mutable-global allow-list): runs on RunPool workers log
+ * through it concurrently, so the level is atomic and each message
+ * is formatted to a private buffer and written with one stdio call —
+ * messages from concurrent runs never interleave mid-line.
  */
 class Logger
 {
@@ -31,10 +38,16 @@ class Logger
     static Logger &instance();
 
     /** Set the minimum level that will be printed. */
-    void setLevel(LogLevel level) { _level = level; }
+    void setLevel(LogLevel level)
+    {
+        _level.store(level, std::memory_order_relaxed);
+    }
 
     /** Current minimum level. */
-    LogLevel level() const { return _level; }
+    LogLevel level() const
+    {
+        return _level.load(std::memory_order_relaxed);
+    }
 
     /** Emit one formatted message if @p level passes the threshold. */
     void log(LogLevel level, const char *fmt, va_list args);
@@ -42,7 +55,7 @@ class Logger
   private:
     Logger() = default;
 
-    LogLevel _level = LogLevel::Warn;
+    std::atomic<LogLevel> _level{LogLevel::Warn};
 };
 
 /** Print an informational message (LogLevel::Info). */

@@ -296,8 +296,16 @@ std::vector<std::pair<uint64_t, void *>>
 RadixTree::gangLookup(uint64_t start, unsigned max_items) const
 {
     std::vector<std::pair<uint64_t, void *>> out;
-    gangWalk(_root, 0, start, max_items, -1, out);
+    gangLookup(start, max_items, out);
     return out;
+}
+
+void
+RadixTree::gangLookup(uint64_t start, unsigned max_items,
+                      std::vector<std::pair<uint64_t, void *>> &out) const
+{
+    out.clear();
+    gangWalk(_root, 0, start, max_items, -1, out);
 }
 
 std::vector<std::pair<uint64_t, void *>>
@@ -305,8 +313,16 @@ RadixTree::gangLookupTag(uint64_t start, unsigned max_items,
                          RadixTag tag) const
 {
     std::vector<std::pair<uint64_t, void *>> out;
-    gangWalk(_root, 0, start, max_items, static_cast<int>(tag), out);
+    gangLookupTag(start, max_items, tag, out);
     return out;
+}
+
+void
+RadixTree::gangLookupTag(uint64_t start, unsigned max_items, RadixTag tag,
+                         std::vector<std::pair<uint64_t, void *>> &out) const
+{
+    out.clear();
+    gangWalk(_root, 0, start, max_items, static_cast<int>(tag), out);
 }
 
 void

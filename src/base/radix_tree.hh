@@ -93,9 +93,22 @@ class RadixTree
     std::vector<std::pair<uint64_t, void *>>
     gangLookup(uint64_t start, unsigned max_items) const;
 
+    /**
+     * gangLookup into a caller-provided buffer. @p out is cleared
+     * first; once it has grown to a steady-state capacity repeated
+     * calls are allocation-free, which is what the writeback path
+     * wants on every daemon tick.
+     */
+    void gangLookup(uint64_t start, unsigned max_items,
+                    std::vector<std::pair<uint64_t, void *>> &out) const;
+
     /** gangLookup restricted to slots carrying @p tag. */
     std::vector<std::pair<uint64_t, void *>>
     gangLookupTag(uint64_t start, unsigned max_items, RadixTag tag) const;
+
+    /** Tagged gang lookup into a caller-provided buffer (see above). */
+    void gangLookupTag(uint64_t start, unsigned max_items, RadixTag tag,
+                       std::vector<std::pair<uint64_t, void *>> &out) const;
 
     /** Remove all entries (does not free the items). */
     void clear();

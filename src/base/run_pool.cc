@@ -1,0 +1,110 @@
+#include "base/run_pool.hh"
+
+#include <cstdlib>
+#include <string>
+
+namespace kloc {
+
+RunPool::RunPool(unsigned workers)
+{
+    if (workers == 0)
+        workers = 1;
+    _threads.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        _threads.emplace_back([this] { workerLoop(); });
+}
+
+RunPool::~RunPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _allDone.wait(lock, [this] { return _inFlight == 0; });
+        _stopping = true;
+    }
+    _workReady.notify_all();
+    for (std::thread &thread : _threads)
+        thread.join();
+}
+
+unsigned
+RunPool::defaultWorkers()
+{
+    if (const char *env = std::getenv("KLOC_JOBS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0)
+            return static_cast<unsigned>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+size_t
+RunPool::submit(std::function<void()> fn)
+{
+    size_t index;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        index = _nextIndex++;
+        _queue.push_back(Job{index, std::move(fn)});
+        ++_inFlight;
+    }
+    _workReady.notify_one();
+    return index;
+}
+
+void
+RunPool::wait()
+{
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _allDone.wait(lock, [this] { return _inFlight == 0; });
+        error = _firstError;
+        _firstError = nullptr;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
+RunPool::workerLoop()
+{
+    while (true) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _workReady.wait(lock,
+                            [this] { return _stopping || !_queue.empty(); });
+            if (_queue.empty())
+                return;  // stopping with nothing left to do
+            job = std::move(_queue.front());
+            _queue.pop_front();
+        }
+        runJob(std::move(job));
+    }
+}
+
+void
+RunPool::runJob(Job &&job)
+{
+    std::exception_ptr error;
+    try {
+        job.fn();
+    } catch (...) {
+        error = std::current_exception();
+    }
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (error &&
+            (!_firstError || job.index < _firstErrorIndex)) {
+            _firstError = error;
+            _firstErrorIndex = job.index;
+        }
+        if (--_inFlight == 0) {
+            // Last run out wakes wait()/the destructor.
+            _allDone.notify_all();
+        }
+    }
+}
+
+} // namespace kloc

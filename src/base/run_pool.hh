@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Parallel run executor: a fixed-size worker thread pool for
+ * independent simulation runs.
+ *
+ * The simulator is single-threaded *per Machine*, but a sweep —
+ * bench configurations, fuzz seeds, fault-spec seeds, golden-trace
+ * replays — is a set of shared-nothing runs: each one builds its own
+ * platform, trace sink, and RNG state from an explicit config. The
+ * RunPool fans such runs out across cores without touching the
+ * determinism guarantees:
+ *
+ *   - Runs carry no shared mutable state. Each closure owns
+ *     everything it touches; the klint `no-mutable-global` rule
+ *     polices the src/ tree so nothing leaks in through a global.
+ *   - Results are collected per-run and merged in **submission
+ *     order** (see runIndexed), so serial and parallel executions
+ *     produce byte-identical output regardless of completion order
+ *     or worker count.
+ *   - A run that throws does not poison the pool: the remaining
+ *     queued runs still execute, and wait() rethrows the first
+ *     exception in submission order after the queue drains.
+ *
+ * Worker count comes from KLOC_JOBS (default: the hardware
+ * concurrency); see docs/PERF.md for the determinism contract.
+ */
+
+#ifndef KLOC_BASE_RUN_POOL_HH
+#define KLOC_BASE_RUN_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace kloc {
+
+/** Fixed-size worker pool executing independent run closures. */
+class RunPool
+{
+  public:
+    /**
+     * Spin up @p workers threads (clamped to >= 1). One worker makes
+     * the pool a FIFO executor: runs execute one at a time in
+     * submission order, which is the serial reference behaviour the
+     * byte-identity tests compare against.
+     */
+    explicit RunPool(unsigned workers);
+
+    RunPool(const RunPool &) = delete;
+    RunPool &operator=(const RunPool &) = delete;
+
+    /** Drains outstanding runs, then joins the workers. */
+    ~RunPool();
+
+    /**
+     * Worker count from the environment: KLOC_JOBS if set to a
+     * positive integer, otherwise std::thread::hardware_concurrency
+     * (at least 1).
+     */
+    static unsigned defaultWorkers();
+
+    unsigned workers() const { return static_cast<unsigned>(_threads.size()); }
+
+    /**
+     * Queue one run. Returns the run's submission index (monotonic
+     * from 0 since construction). Thread-safe, but the deterministic
+     * merge contract assumes one submitting thread.
+     */
+    size_t submit(std::function<void()> fn);
+
+    /**
+     * Block until every submitted run has finished. If any run threw,
+     * rethrows the exception of the *lowest submission index* (the
+     * same one a serial loop would have hit first) after the queue
+     * has fully drained; subsequent exceptions are dropped. The pool
+     * remains usable after wait() returns or throws.
+     */
+    void wait();
+
+  private:
+    struct Job
+    {
+        size_t index;
+        std::function<void()> fn;
+    };
+
+    void workerLoop();
+    void runJob(Job &&job);
+
+    std::mutex _mutex;
+    std::condition_variable _workReady;   ///< workers: queue or stop
+    std::condition_variable _allDone;     ///< wait(): inFlight drained
+    std::deque<Job> _queue;
+    std::vector<std::thread> _threads;
+    size_t _nextIndex = 0;   ///< submission index of the next submit()
+    size_t _inFlight = 0;    ///< queued + currently executing
+    bool _stopping = false;
+    /** First-by-submission-index exception since the last wait(). */
+    std::exception_ptr _firstError;
+    size_t _firstErrorIndex = 0;
+};
+
+/**
+ * Run @p fn(0..n-1) on @p pool and return the results in index
+ * (= submission) order. This is the deterministic-merge primitive
+ * every sweep uses: completion order never leaks into the result
+ * vector, so any worker count produces the same output as a serial
+ * loop. Rethrows the first-by-index exception; results of runs after
+ * a throwing one are still produced (their slots are filled before
+ * the rethrow happens in wait()).
+ */
+template <typename T, typename Fn>
+std::vector<T>
+runIndexed(RunPool &pool, size_t n, Fn fn)
+{
+    std::vector<T> out(n);
+    for (size_t i = 0; i < n; ++i)
+        pool.submit([&out, &fn, i] { out[i] = fn(i); });
+    pool.wait();
+    return out;
+}
+
+/** runIndexed for closures with no result. */
+template <typename Fn>
+void
+runIndexedVoid(RunPool &pool, size_t n, Fn fn)
+{
+    for (size_t i = 0; i < n; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+}
+
+} // namespace kloc
+
+#endif // KLOC_BASE_RUN_POOL_HH

@@ -140,12 +140,20 @@ std::vector<PageCachePage *>
 PageCache::dirtyPages(uint64_t start_index, FrameCount max)
 {
     std::vector<PageCachePage *> result;
-    for (auto &[index, item] : _tree.gangLookupTag(
-             start_index, static_cast<unsigned>(max.value()),
-             RadixTag::Dirty)) {
-        result.push_back(static_cast<PageCachePage *>(item));
-    }
+    collectDirty(start_index, max, result);
     return result;
+}
+
+void
+PageCache::collectDirty(uint64_t start_index, FrameCount max,
+                        std::vector<PageCachePage *> &out)
+{
+    out.clear();
+    _tree.gangLookupTag(start_index, static_cast<unsigned>(max.value()),
+                        RadixTag::Dirty, _gangScratch);
+    out.reserve(_gangScratch.size());
+    for (auto &[index, item] : _gangScratch)
+        out.push_back(static_cast<PageCachePage *>(item));
 }
 
 void
@@ -153,12 +161,12 @@ PageCache::forEachPage(const std::function<void(PageCachePage *)> &fn)
 {
     uint64_t start = 0;
     while (true) {
-        auto chunk = _tree.gangLookup(start, 256);
-        if (chunk.empty())
+        _tree.gangLookup(start, 256, _gangScratch);
+        if (_gangScratch.empty())
             return;
-        for (auto &[index, item] : chunk)
+        for (auto &[index, item] : _gangScratch)
             fn(static_cast<PageCachePage *>(item));
-        start = chunk.back().first + 1;
+        start = _gangScratch.back().first + 1;
     }
 }
 

@@ -63,6 +63,18 @@ class PageCache
     std::vector<PageCachePage *> dirtyPages(uint64_t start_index,
                                             FrameCount max);
 
+    /**
+     * Allocation-free form of dirtyPages(): fill @p out (cleared
+     * first) with up to @p max dirty pages with index >= @p start,
+     * in index order. The writeback daemon calls this every tick
+     * with a reused buffer, so the steady state allocates nothing.
+     * The walk is not charged simulated cost — writeback already
+     * pays per-page when it touches frames and submits bios — so
+     * batching here cannot move sim-time metrics.
+     */
+    void collectDirty(uint64_t start_index, FrameCount max,
+                      std::vector<PageCachePage *> &out);
+
     /** Visit every cached page. */
     void forEachPage(const std::function<void(PageCachePage *)> &fn);
 
@@ -86,6 +98,8 @@ class PageCache
     /** Kernel objects backing interior radix nodes (LIFO pool). */
     std::vector<std::unique_ptr<RadixNodeObj>> _radixNodes;
     uint64_t _dirtyCount = 0;
+    /** Reused gang-lookup buffer (collectDirty / forEachPage). */
+    std::vector<std::pair<uint64_t, void *>> _gangScratch;
 };
 
 } // namespace kloc

@@ -476,8 +476,18 @@ FileSystem::writebackInode(InodeInfo &info, FrameCount max_pages,
 {
     // Coalesce contiguous dirty pages into large bios, like the
     // writeback code building multi-page requests — the device sees
-    // sequential bandwidth, not per-page latency.
-    auto dirty = info.cache->dirtyPages(0, max_pages);
+    // sequential bandwidth, not per-page latency. The walk batches
+    // through the radix tree's tagged gang lookup into a per-depth
+    // scratch buffer: one tree walk per batch instead of per-page
+    // descents, and no allocation once the buffers have grown.
+    if (_writebackDepth == _writebackScratch.size()) {
+        _writebackScratch.push_back(  // klint: allow(hot-path-alloc)
+            std::make_unique<std::vector<PageCachePage *>>());
+    }
+    std::vector<PageCachePage *> &dirty =
+        *_writebackScratch[_writebackDepth];
+    ++_writebackDepth;
+    info.cache->collectDirty(0, max_pages, dirty);
     uint64_t written = 0;
     size_t i = 0;
     while (i < dirty.size()) {
@@ -519,6 +529,7 @@ FileSystem::writebackInode(InodeInfo &info, FrameCount max_pages,
         _dirtyInodes.erase(info.inode->inodeId);
         info.onDirtyList = false;
     }
+    --_writebackDepth;
     return written;
 }
 

@@ -229,6 +229,18 @@ class FileSystem
     /** Inodes with dirty pages. */
     std::unordered_set<uint64_t> _dirtyInodes;
 
+    /**
+     * Depth-indexed scratch buffers for writebackInode's dirty-page
+     * gang walk. Writeback can re-enter (a device charge can dispatch
+     * the writeback daemon's tick), so each nesting level owns a
+     * stable buffer; the unique_ptr indirection keeps outer levels'
+     * references valid when a deeper level grows the pool. Steady
+     * state allocates nothing.
+     */
+    std::vector<std::unique_ptr<std::vector<PageCachePage *>>>
+        _writebackScratch;
+    unsigned _writebackDepth = 0;
+
     bool _daemonsRunning = false;
     /** Liveness token for the writeback-tick lambdas. */
     std::shared_ptr<int> _alive = std::make_shared<int>(0);

@@ -127,6 +127,63 @@ TEST(RadixTree, GangLookupOrdered)
     EXPECT_EQ(limited.size(), 3u);
 }
 
+TEST(RadixTree, GangLookupOutParamMatchesReturning)
+{
+    RadixTree tree;
+    int values[8];
+    const uint64_t indices[] = {2, 64, 66, 4095, 4096, 1ULL << 30};
+    for (size_t i = 0; i < std::size(indices); ++i)
+        tree.insert(indices[i], &values[i]);
+    tree.setTag(66, RadixTag::Dirty);
+    tree.setTag(4096, RadixTag::Dirty);
+
+    std::vector<std::pair<uint64_t, void *>> out;
+    tree.gangLookup(0, 100, out);
+    EXPECT_EQ(out, tree.gangLookup(0, 100));
+
+    tree.gangLookupTag(0, 100, RadixTag::Dirty, out);
+    EXPECT_EQ(out, tree.gangLookupTag(0, 100, RadixTag::Dirty));
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].first, 66u);
+    EXPECT_EQ(out[1].first, 4096u);
+}
+
+TEST(RadixTree, GangLookupOutParamClearsStaleContents)
+{
+    RadixTree tree;
+    tree.insert(10, &value_a);
+    std::vector<std::pair<uint64_t, void *>> out;
+    out.emplace_back(999, &value_c);  // stale garbage from a prior use
+    tree.gangLookup(0, 100, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].first, 10u);
+
+    out.emplace_back(999, &value_c);
+    tree.gangLookupTag(0, 100, RadixTag::Dirty, out);
+    EXPECT_TRUE(out.empty()) << "untagged tree must yield nothing";
+}
+
+TEST(RadixTree, GangLookupOutParamIsAllocationFreeWhenWarm)
+{
+    RadixTree tree;
+    int values[64];
+    for (uint64_t i = 0; i < 64; ++i) {
+        tree.insert(i * 3, &values[i]);
+        tree.setTag(i * 3, RadixTag::Dirty);
+    }
+    std::vector<std::pair<uint64_t, void *>> out;
+    tree.gangLookupTag(0, 64, RadixTag::Dirty, out);  // warm the buffer
+    ASSERT_EQ(out.size(), 64u);
+    const size_t warm_capacity = out.capacity();
+    const auto *warm_data = out.data();
+    for (int pass = 0; pass < 16; ++pass) {
+        tree.gangLookupTag(0, 64, RadixTag::Dirty, out);
+        EXPECT_EQ(out.capacity(), warm_capacity);
+        EXPECT_EQ(out.data(), warm_data)
+            << "warm gang lookup reallocated its buffer";
+    }
+}
+
 TEST(RadixTree, NodeObserverBalances)
 {
     RadixTree tree;

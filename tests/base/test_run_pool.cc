@@ -1,0 +1,142 @@
+/**
+ * @file
+ * RunPool unit tests: submission-order merging, exception semantics
+ * (first-by-index rethrow after a full drain), reuse after wait(),
+ * and a throw-heavy stress run that must not wedge the pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "base/run_pool.hh"
+
+namespace kloc {
+namespace {
+
+TEST(RunPool, ClampsToAtLeastOneWorker)
+{
+    RunPool pool(0);
+    EXPECT_EQ(pool.workers(), 1u);
+}
+
+TEST(RunPool, ResultsComeBackInSubmissionOrder)
+{
+    RunPool pool(8);
+    // Later submissions sleep less, so completion order inverts
+    // submission order — the result vector must not care.
+    const std::vector<int> out = runIndexed<int>(pool, 32, [](size_t i) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds((32 - i) * 50));
+        return static_cast<int>(i) * 3;
+    });
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i) * 3);
+}
+
+TEST(RunPool, SingleWorkerExecutesSerially)
+{
+    RunPool pool(1);
+    std::vector<size_t> order;
+    runIndexedVoid(pool, 16, [&order](size_t i) { order.push_back(i); });
+    std::vector<size_t> expect(16);
+    std::iota(expect.begin(), expect.end(), size_t{0});
+    EXPECT_EQ(order, expect);
+}
+
+TEST(RunPool, WaitRethrowsLowestSubmissionIndexException)
+{
+    RunPool pool(4);
+    std::atomic<int> ran{0};
+    for (size_t i = 0; i < 16; ++i) {
+        pool.submit([&ran, i] {
+            // Index 9 finishes (and throws) well before index 3, but
+            // wait() must still surface index 3's exception — the one
+            // a serial loop would have hit first.
+            if (i == 9)
+                throw std::runtime_error("late submit, early throw");
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            if (i == 3)
+                throw std::runtime_error("first by submission index");
+            ++ran;
+        });
+    }
+    try {
+        pool.wait();
+        FAIL() << "wait() should have rethrown";
+    } catch (const std::runtime_error &err) {
+        EXPECT_STREQ(err.what(), "first by submission index");
+    }
+    // Every non-throwing run still executed: a throw drains, never
+    // cancels.
+    EXPECT_EQ(ran.load(), 14);
+}
+
+TEST(RunPool, PoolRemainsUsableAfterAThrow)
+{
+    RunPool pool(4);
+    pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+
+    // The error is consumed: the next batch starts clean.
+    const std::vector<int> out =
+        runIndexed<int>(pool, 8, [](size_t i) { return static_cast<int>(i); });
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i));
+}
+
+TEST(RunPool, ThrowHeavyStressDrains)
+{
+    // Half the runs throw, from every worker at once; the pool must
+    // drain all of them and report the first-by-index error.
+    RunPool pool(8);
+    std::atomic<int> completed{0};
+    for (size_t i = 0; i < 256; ++i) {
+        pool.submit([&completed, i] {
+            if (i % 2 == 1)
+                throw std::runtime_error("odd run " + std::to_string(i));
+            ++completed;
+        });
+    }
+    try {
+        pool.wait();
+        FAIL() << "wait() should have rethrown";
+    } catch (const std::runtime_error &err) {
+        EXPECT_STREQ(err.what(), "odd run 1");
+    }
+    EXPECT_EQ(completed.load(), 128);
+}
+
+TEST(RunPool, DestructorDrainsOutstandingRuns)
+{
+    std::atomic<int> ran{0};
+    {
+        RunPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&ran] { ++ran; });
+        // No wait(): the destructor must finish the queue.
+    }
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(RunPool, DefaultWorkersHonoursKlocJobs)
+{
+    // setenv on the test thread while no pool threads exist — the
+    // getenv-vs-setenv race the BenchConfig refactor removed does not
+    // apply here.
+    setenv("KLOC_JOBS", "3", 1);
+    EXPECT_EQ(RunPool::defaultWorkers(), 3u);
+    setenv("KLOC_JOBS", "0", 1);   // non-positive falls back
+    EXPECT_GE(RunPool::defaultWorkers(), 1u);
+    unsetenv("KLOC_JOBS");
+    EXPECT_GE(RunPool::defaultWorkers(), 1u);
+}
+
+} // namespace
+} // namespace kloc

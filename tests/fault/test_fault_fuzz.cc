@@ -8,6 +8,12 @@
  * recovery path must preserve the cross-subsystem ordering rules:
  * pins balance, journal frames are only released inside commit/replay
  * windows, offline tiers take no arrivals, and nothing leaks.
+ *
+ * Seeds run as a sweep on the RunPool (KLOC_JOBS workers): each seed
+ * is a shared-nothing closure that builds its own machine stack and
+ * returns failures as strings; the main thread asserts. Worker
+ * threads must not touch gtest assertion macros — they record into
+ * the per-seed FuzzResult instead.
  */
 
 #include <gtest/gtest.h>
@@ -17,6 +23,7 @@
 #include <vector>
 
 #include "base/rng.hh"
+#include "base/run_pool.hh"
 #include "core/kloc_manager.hh"
 #include "fault/fault.hh"
 #include "fs/vfs.hh"
@@ -28,12 +35,40 @@
 namespace kloc {
 namespace {
 
-class FaultFuzz : public ::testing::TestWithParam<int>
-{};
-
-TEST_P(FaultFuzz, InvariantsHoldUnderInjectedFaults)
+/** Everything one fuzz seed reports back to the asserting thread. */
+struct FuzzResult
 {
-    const uint64_t seed = static_cast<uint64_t>(GetParam());
+    uint64_t seed = 0;
+    uint64_t eventsChecked = 0;
+    std::vector<std::string> errors;
+
+    bool ok() const { return errors.empty(); }
+
+    std::string
+    summary() const
+    {
+        std::string out = "seed " + std::to_string(seed) + ":";
+        for (const std::string &error : errors)
+            out += "\n  " + error;
+        return out;
+    }
+};
+
+/**
+ * Run one fuzz seed to completion. Shared-nothing (fresh machine,
+ * tracer and RNG per call) and gtest-free, so calls may execute
+ * concurrently on RunPool workers.
+ */
+FuzzResult
+runFuzzSeed(uint64_t seed)
+{
+    FuzzResult result;
+    result.seed = seed;
+    auto check = [&result](bool ok, const char *what) {
+        if (!ok)
+            result.errors.push_back(what);
+        return ok;
+    };
 
     Machine machine(4, 1);
     TierManager tiers(machine);
@@ -80,16 +115,19 @@ TEST_P(FaultFuzz, InvariantsHoldUnderInjectedFaults)
     // recovery path runs many times per seed.
     FaultSpec fspec;
     std::string err;
-    ASSERT_TRUE(FaultSpec::parse(
-        "seed " + std::to_string(seed) + "\n"
-        "device_read prob 0.05\n"
-        "device_write prob 0.05\n"
-        "device_timeout prob 0.02\n"
-        "migration_no_space prob 0.2\n"
-        "journal_commit_crash prob 0.25\n"
-        "tier_offline at 30000000 tier 1\n"
-        "tier_online at 60000000 tier 1\n",
-        fspec, &err)) << err;
+    if (!FaultSpec::parse(
+            "seed " + std::to_string(seed) + "\n"
+            "device_read prob 0.05\n"
+            "device_write prob 0.05\n"
+            "device_timeout prob 0.02\n"
+            "migration_no_space prob 0.2\n"
+            "journal_commit_crash prob 0.25\n"
+            "tier_offline at 30000000 tier 1\n"
+            "tier_online at 60000000 tier 1\n",
+            fspec, &err)) {
+        result.errors.push_back("FaultSpec::parse failed: " + err);
+        return result;
+    }
     machine.faults().configure(fspec);
     migrator.scheduleTierEvents();
 
@@ -117,7 +155,8 @@ TEST_P(FaultFuzz, InvariantsHoldUnderInjectedFaults)
             FileState fstate;
             fstate.name = "f" + std::to_string(next_file++);
             fstate.fd = fs->create(fstate.name);
-            ASSERT_GE(fstate.fd, 0);
+            if (!check(fstate.fd >= 0, "create returned a bad fd"))
+                return result;
             files.push_back(fstate);
         } else if (action < 0.16) {
             FileState *f = random_file();
@@ -154,7 +193,8 @@ TEST_P(FaultFuzz, InvariantsHoldUnderInjectedFaults)
             // Unlink a closed file.
             for (size_t i = 0; i < files.size(); ++i) {
                 if (files[i].fd < 0) {
-                    EXPECT_TRUE(fs->unlink(files[i].name));
+                    check(fs->unlink(files[i].name),
+                          "unlink of a closed file failed");
                     files[i] = files.back();
                     files.pop_back();
                     break;
@@ -179,7 +219,7 @@ TEST_P(FaultFuzz, InvariantsHoldUnderInjectedFaults)
 
     // Make sure the scheduled offline *and* online events both fired.
     machine.charge(100 * kMillisecond);
-    EXPECT_TRUE(tiers.tier(slow).online());
+    check(tiers.tier(slow).online(), "slow tier never came back online");
 
     // Heal the device so teardown's flush-and-replay can complete,
     // then tear the filesystem down completely.
@@ -192,23 +232,54 @@ TEST_P(FaultFuzz, InvariantsHoldUnderInjectedFaults)
     }
     fs->stopDaemons();
     fs->syncAll();
-    EXPECT_FALSE(fs->journal().crashed());
+    check(!fs->journal().crashed(), "journal still crashed after syncAll");
     for (FileState &f : files)
-        EXPECT_TRUE(fs->unlink(f.name));
+        check(fs->unlink(f.name), "teardown unlink failed");
     files.clear();
     fs.reset();
 
     // Everything must have come back: no leaked frames beyond slab
     // empty-pool retention, no outstanding pins, no violations.
-    EXPECT_LE(tiers.liveFrames(), 16 * KmemCache::kEmptyRetention);
-    EXPECT_EQ(checker.outstandingPins(), 0u);
-    EXPECT_GT(checker.eventsChecked(), 0u);
-    EXPECT_TRUE(checker.clean()) << checker.report();
+    check(tiers.liveFrames() <= 16 * KmemCache::kEmptyRetention,
+          "frames leaked past slab empty-pool retention");
+    check(checker.outstandingPins() == 0, "outstanding pins at teardown");
+    check(checker.eventsChecked() > 0, "checker saw no events");
+    if (!checker.clean())
+        result.errors.push_back("invariant violations:\n" +
+                                checker.report());
+    result.eventsChecked = checker.eventsChecked();
     machine.tracer().setEnabled(false);
+    return result;
 }
 
-// Acceptance floor is 20 clean seeds; run a few extra.
-INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzz, ::testing::Range(1, 25));
+/** Acceptance floor is 20 clean seeds; run a few extra. */
+constexpr uint64_t kFirstSeed = 1;
+constexpr uint64_t kSeedCount = 24;
+
+TEST(FaultFuzzSweep, AllSeedsCleanUnderInjectedFaults)
+{
+    RunPool pool(RunPool::defaultWorkers());
+    const std::vector<FuzzResult> results = runIndexed<FuzzResult>(
+        pool, kSeedCount,
+        [](size_t i) { return runFuzzSeed(kFirstSeed + i); });
+
+    for (const FuzzResult &result : results) {
+        EXPECT_TRUE(result.ok()) << result.summary();
+        EXPECT_GT(result.eventsChecked, 0u)
+            << "seed " << result.seed << " checked no events";
+    }
+}
+
+/**
+ * A single seed run directly on the test thread — keeps one serial
+ * repro path (`--gtest_filter=FaultFuzzSingle*`) for debugging pool
+ * failures without the pool in the way.
+ */
+TEST(FaultFuzzSingle, SerialReproPath)
+{
+    const FuzzResult result = runFuzzSeed(kFirstSeed);
+    EXPECT_TRUE(result.ok()) << result.summary();
+}
 
 } // namespace
 } // namespace kloc

@@ -194,6 +194,40 @@ TEST_F(FsUnitTest, PageCacheDirtyTracking)
     cache.removeAndFree(b);
 }
 
+TEST_F(FsUnitTest, PageCacheCollectDirtyReusesBuffer)
+{
+    PageCache cache(heap, &kloc, 1, false);
+    std::vector<PageCachePage *> pages;
+    for (uint64_t i = 0; i < 32; ++i) {
+        PageCachePage *page = cache.insertNew(i * 5, true);
+        ASSERT_NE(page, nullptr);
+        cache.markDirty(page);
+        pages.push_back(page);
+    }
+
+    // The out-param walk agrees with the allocating form...
+    std::vector<PageCachePage *> out;
+    cache.collectDirty(0, FrameCount{64}, out);
+    EXPECT_EQ(out, cache.dirtyPages(0, FrameCount{64}));
+    ASSERT_EQ(out.size(), 32u);
+
+    // ...clears stale contents, honours start/max...
+    cache.collectDirty(10 * 5, FrameCount{4}, out);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0], pages[10]);
+
+    // ...and once warm never reallocates the caller's buffer.
+    cache.collectDirty(0, FrameCount{64}, out);
+    const auto *warm_data = out.data();
+    for (int pass = 0; pass < 8; ++pass) {
+        cache.collectDirty(0, FrameCount{64}, out);
+        EXPECT_EQ(out.data(), warm_data);
+    }
+
+    for (PageCachePage *page : pages)
+        cache.removeAndFree(page);
+}
+
 TEST_F(FsUnitTest, RadixNodesAreKernelObjects)
 {
     PageCache cache(heap, &kloc, 1, false);

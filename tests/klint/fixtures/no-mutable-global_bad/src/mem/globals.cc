@@ -1,0 +1,28 @@
+#include "mem/globals.hh"
+
+// Every flavour of mutable static storage the rule must catch: a
+// namespace-scope counter, a static at namespace scope, a
+// function-local static cache, a static data member, and a
+// thread_local scratch buffer.
+
+namespace kloc {
+
+unsigned g_total_frames;
+
+static int s_last_tier = -1;
+
+thread_local char t_scratch[64];
+
+struct FrameIndex
+{
+    static FrameIndex *instance;
+};
+
+unsigned
+bumpEpoch()
+{
+    static unsigned epoch = 0;
+    return ++epoch;
+}
+
+} // namespace kloc

@@ -1,0 +1,38 @@
+#include "mem/globals.hh"
+
+// Static storage is fine when immutable, and instance state is fine
+// anywhere: nothing here outlives or escapes a single run.
+
+namespace kloc {
+
+constexpr unsigned kMaxTiers = 8;
+
+const char *const kTierNames[] = {"fast", "slow"};
+
+static constexpr int kRetries = 3;
+
+static const unsigned kScanBatch = 64;
+
+struct FrameIndex
+{
+    static constexpr unsigned kBuckets = 128;
+    unsigned used = 0;  // instance member: per-run state
+};
+
+unsigned
+bumpEpoch(unsigned epoch)
+{
+    return epoch + 1;
+}
+
+// Justified exception: amortised interning table, guarded upstream.
+// klint: allow(no-mutable-global)
+static unsigned s_interned_count = 0;
+
+unsigned
+internedCount()
+{
+    return s_interned_count;
+}
+
+} // namespace kloc

@@ -63,7 +63,8 @@ INSTANTIATE_TEST_SUITE_P(AllRules, KlintRuleFixtures,
                                            "checker-coverage", "layering",
                                            "units", "trace-args",
                                            "hot-path-alloc",
-                                           "include-hygiene"),
+                                           "include-hygiene",
+                                           "no-mutable-global"),
                          [](const auto &info) {
                              std::string name = info.param;
                              for (char &c : name)

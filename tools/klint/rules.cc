@@ -729,6 +729,206 @@ ruleIncludeHygiene(const Context &ctx, std::vector<Finding> &findings)
     }
 }
 
+// ---------------------------------------------------------------------------
+// Rule: no-mutable-global
+//
+// The RunPool (base/run_pool.hh) executes simulation runs
+// concurrently, and the determinism-under-parallelism contract rests
+// on runs being shared-nothing: every piece of run state hangs off a
+// Machine or something the run closure owns. Mutable static-storage
+// data — namespace-scope variables, function-local `static`s,
+// `static` data members — is shared across concurrently executing
+// runs, so it is both a data race and a cross-run determinism leak
+// (run N observing residue from run N-1). Const/constexpr/constinit
+// data is immutable and fine.
+//
+// The only sanctioned exception is the logging singleton
+// (src/base/logging.cc, atomic level, append-only sink); anything
+// else needs a `klint: allow(no-mutable-global)` justification.
+//
+// Token-level, so two pragmatic blind spots: a type whose const-ness
+// lives behind a typedef is trusted if `const` appears anywhere in
+// the declaration, and a declaration whose template arguments
+// contain '(' (e.g. std::function signatures) reads as a function
+// declaration. Neither pattern occurs at static storage in this
+// repo.
+
+bool
+mutableGlobalAllowed(const SourceFile &file)
+{
+    static const std::set<std::string> kAllow = {
+        "src/base/logging.cc",  // the Logger singleton
+    };
+    return kAllow.count(file.path) > 0;
+}
+
+/**
+ * From toks[i] == "<", the index past the matching ">", treating the
+ * run as template arguments. Returns i + 1 (no skip) if the brackets
+ * do not balance before the statement ends — then '<' was a
+ * comparison, not an argument list.
+ */
+size_t
+skipTemplateArgs(const Tokens &toks, size_t i)
+{
+    int depth = 0;
+    for (size_t j = i; j < toks.size(); ++j) {
+        if (toks[j].is("<"))
+            ++depth;
+        else if (toks[j].is(">") && --depth == 0)
+            return j + 1;
+        else if (toks[j].is(";") || toks[j].is("{"))
+            break;
+    }
+    return i + 1;
+}
+
+/**
+ * Scan one declaration starting at toks[i] and decide whether it is
+ * a mutable variable. Fills @p name with the declared identifier and
+ * @p line with its location. Stops at the declaration's terminator:
+ * ';' '=' or '{' mean a variable (flag unless const-qualified); '('
+ * means a function (never flagged).
+ */
+bool
+declarationIsMutableVariable(const Tokens &toks, size_t i,
+                             std::string &name, int &line)
+{
+    std::string lastIdent;
+    int lastLine = 0;
+    for (size_t j = i; j < toks.size();) {
+        const Token &tok = toks[j];
+        if (tok.ident() &&
+            (tok.text == "const" || tok.text == "constexpr" ||
+             tok.text == "constinit")) {
+            return false;
+        }
+        if (tok.is("(") || tok.is(")"))
+            return false;  // function declarator (or macro call)
+        if (tok.is(";") || tok.is("=") || tok.is("{")) {
+            if (lastIdent.empty())
+                return false;
+            name = lastIdent;
+            line = lastLine;
+            return true;
+        }
+        if (tok.is("<")) {
+            j = skipTemplateArgs(toks, j);
+            continue;
+        }
+        if (tok.is("[")) {  // array extent: the name came before it
+            j = skipBalanced(toks, j, "[", "]");
+            continue;
+        }
+        if (tok.ident()) {
+            lastIdent = tok.text;
+            lastLine = tok.line;
+        }
+        ++j;
+    }
+    return false;
+}
+
+void
+ruleNoMutableGlobal(const Context &ctx, std::vector<Finding> &findings)
+{
+    // Keywords that open a statement which is not a variable
+    // declaration (or that declares a type/alias, not storage).
+    static const std::set<std::string> kNotAVariable = {
+        "namespace", "using",  "typedef", "template", "class",
+        "struct",    "union",  "enum",    "extern",   "friend",
+        "static_assert",       "if",      "for",      "while",
+        "switch",    "return", "public",  "private",  "protected",
+    };
+
+    for (const SourceFile &file : ctx.files) {
+        if (!underSrc(file) || mutableGlobalAllowed(file))
+            continue;
+        const Tokens &toks = file.tokens;
+
+        // Pass 1: every `static` / `thread_local` declaration,
+        // regardless of scope. thread_local counts: a pool worker
+        // reusing a thread across runs would leak state run-to-run.
+        for (size_t i = 0; i < toks.size(); ++i) {
+            if (!toks[i].ident() ||
+                (toks[i].text != "static" &&
+                 toks[i].text != "thread_local"))
+                continue;
+            std::string name;
+            int line = 0;
+            if (declarationIsMutableVariable(toks, i + 1, name, line)) {
+                findings.push_back(
+                    {"no-mutable-global", file.path, line,
+                     "mutable " + toks[i].text + " variable '" + name +
+                         "' is shared across concurrent RunPool runs; "
+                         "hang run state off the Machine, make it "
+                         "const/constexpr, or justify with "
+                         "klint: allow(no-mutable-global)"});
+            }
+        }
+
+        // Pass 2: namespace-scope variables without `static` (still
+        // static storage). Track brace scopes so only declarations at
+        // namespace/global scope are considered.
+        enum class Scope { Namespace, Other };
+        std::vector<Scope> scopes;
+        Scope pending = Scope::Other;
+        bool atNamespaceScope = true;
+        bool statementStart = true;
+        for (size_t i = 0; i < toks.size(); ++i) {
+            const Token &tok = toks[i];
+            if (tok.is("{")) {
+                scopes.push_back(pending);
+                pending = Scope::Other;
+                atNamespaceScope =
+                    std::all_of(scopes.begin(), scopes.end(),
+                                [](Scope s) {
+                                    return s == Scope::Namespace;
+                                });
+                statementStart = true;
+                continue;
+            }
+            if (tok.is("}")) {
+                if (!scopes.empty())
+                    scopes.pop_back();
+                atNamespaceScope =
+                    std::all_of(scopes.begin(), scopes.end(),
+                                [](Scope s) {
+                                    return s == Scope::Namespace;
+                                });
+                statementStart = true;
+                continue;
+            }
+            if (tok.is(";")) {
+                statementStart = true;
+                continue;
+            }
+            if (tok.ident() && tok.text == "namespace")
+                pending = Scope::Namespace;
+
+            if (!statementStart)
+                continue;
+            statementStart = false;
+            if (!atNamespaceScope || !tok.ident())
+                continue;
+            if (kNotAVariable.count(tok.text) ||
+                tok.text == "static" || tok.text == "thread_local")
+                continue;  // pass 1 owns static/thread_local
+            std::string name;
+            int line = 0;
+            if (declarationIsMutableVariable(toks, i, name, line)) {
+                findings.push_back(
+                    {"no-mutable-global", file.path, line,
+                     "mutable namespace-scope variable '" + name +
+                         "' is shared across concurrent RunPool runs; "
+                         "hang run state off the Machine, make it "
+                         "const/constexpr, or justify with "
+                         "klint: allow(no-mutable-global)"});
+            }
+        }
+    }
+}
+
 } // namespace
 
 const std::vector<Rule> &
@@ -757,6 +957,9 @@ ruleCatalogue()
         {"include-hygiene",
          "canonical header guards; no parent-relative includes",
          ruleIncludeHygiene},
+        {"no-mutable-global",
+         "no mutable static-storage state shared across RunPool runs",
+         ruleNoMutableGlobal},
     };
     return kRules;
 }

@@ -28,6 +28,8 @@
 #include "bench/report.hh"
 #include "platform/optane.hh"
 #include "platform/two_tier.hh"
+#include "policy/jenga.hh"
+#include "policy/registry.hh"
 #include "workload/runner.hh"
 #include "workload/workload.hh"
 
@@ -82,28 +84,32 @@ struct RunOutcome
     Bytes klocPeakMetadata{};
     uint64_t kernelRefs = 0;
     uint64_t userRefs = 0;
+    /** Jenga only: promote batch after adaptation, and adaptations. */
+    uint64_t finalPromoteBatch = 0;
+    uint64_t rateAdaptations = 0;
 };
 
 /**
- * Build a two-tier platform, apply @p kind, run @p workload_name
- * once, and collect the outcome. Shared-nothing: every call builds
- * its own platform and trace sink from the explicit configs, so
- * calls may run concurrently on RunPool workers.
+ * Build a two-tier platform, apply the registry policy @p policy_name,
+ * run @p workload_name once, and collect the outcome. Shared-nothing:
+ * every call builds its own platform and trace sink from the explicit
+ * configs, so calls may run concurrently on RunPool workers.
  */
 inline RunOutcome
-runTwoTier(const std::string &workload_name, StrategyKind kind,
-           TwoTierPlatform::Config platform_config,
-           WorkloadConfig workload_config, bool trace = false)
+runTwoTierPolicy(const std::string &workload_name,
+                 const std::string &policy_name,
+                 TwoTierPlatform::Config platform_config,
+                 WorkloadConfig workload_config, bool trace = false)
 {
     // The AllFast bound needs a fast tier that holds everything.
-    if (kind == StrategyKind::AllFast) {
+    if (policy_name == "all_fast") {
         platform_config.fastCapacity += platform_config.slowCapacity;
     }
     TwoTierPlatform platform(platform_config);
     System &sys = platform.sys();
     if (trace)
         sys.machine().tracer().setEnabled(true);
-    platform.applyStrategy(kind);
+    platform.applyPolicyByName(policy_name);
     sys.fs().startDaemons();
 
     auto workload = makeWorkload(workload_name, workload_config);
@@ -124,8 +130,23 @@ runTwoTier(const std::string &workload_name, StrategyKind kind,
     outcome.klocPeakMetadata = sys.kloc().peakMetadataBytes();
     outcome.kernelRefs = sys.machine().kernelRefs();
     outcome.userRefs = sys.machine().userRefs();
+    if (const auto *jenga =
+            dynamic_cast<const JengaStrategy *>(platform.policy())) {
+        outcome.finalPromoteBatch = jenga->promoteBatch().value();
+        outcome.rateAdaptations = jenga->adaptations();
+    }
     workload->teardown(sys);
     return outcome;
+}
+
+/** runTwoTierPolicy with a StrategyKind (the classic benches). */
+inline RunOutcome
+runTwoTier(const std::string &workload_name, StrategyKind kind,
+           TwoTierPlatform::Config platform_config,
+           WorkloadConfig workload_config, bool trace = false)
+{
+    return runTwoTierPolicy(workload_name, strategyName(kind),
+                            platform_config, workload_config, trace);
 }
 
 /** Default two-tier platform config at @p config's bench scale. */

@@ -36,8 +36,10 @@ class MemAccessor
             ? RefDomain::Kernel
             : RefDomain::User;
         _machine.access(frame->tier, bytes, type, domain);
-        if (type == AccessType::Write)
+        if (type == AccessType::Write) {
             frame->dirty = true;
+            frame->lastWriteTick = _machine.now();
+        }
         _lru.onAccessed(frame);
     }
 

@@ -47,6 +47,14 @@ struct Frame
 
     Tick allocTick{};
     Tick lastAccessTick{};
+    Tick lastWriteTick{};          ///< for transactional-copy aborts
+
+    // Nomad-style non-exclusive shadow copy: the slow-tier location
+    // this frame was transactionally promoted from. While set, those
+    // buddy pages stay allocated so a clean demotion is a free remap.
+    TierId shadowTier = kInvalidTier;
+    Pfn shadowPfn = kInvalidPfn;
+    Tick shadowSince{};            ///< promotion time (staleness check)
 
     ListHook lruHook;              ///< tier active/inactive list
 
@@ -66,6 +74,12 @@ struct Frame
     Bytes bytes() const { return pages() * kPageSize; }
 
     bool pinned() const { return pinCount > 0; }
+
+    /** True while a slow-tier shadow copy backs this frame. */
+    bool hasShadow() const { return shadowTier != kInvalidTier; }
+
+    /** Shadow still matches memory: no write since the promotion. */
+    bool shadowClean() const { return lastWriteTick <= shadowSince; }
 };
 
 /**

@@ -4,6 +4,17 @@
 
 namespace kloc {
 
+const char *
+txnAbortReasonName(TxnAbortReason reason)
+{
+    switch (reason) {
+      case TxnAbortReason::WriteRecent: return "write_recent";
+      case TxnAbortReason::NoSpace:     return "no_space";
+      case TxnAbortReason::Blocked:     return "blocked";
+    }
+    return "unknown";
+}
+
 void
 MigrationEngine::setParallelism(unsigned width)
 {
@@ -152,6 +163,234 @@ MigrationEngine::migrate(const std::vector<FrameRef> &batch, TierId dst)
 }
 
 bool
+MigrationEngine::promoteOneTransactional(Frame *frame, TierId dst,
+                                         Tick write_recency_window,
+                                         Tick &copy_cost,
+                                         Tick &fixed_cost,
+                                         bool &fail_fast)
+{
+    ++_stats.attempts;
+    const TierId src = frame->tier;
+    const Pfn src_pfn = frame->pfn;
+    _machine.tracer().emit(TraceEventType::MigTxnBegin, src, src_pfn,
+                           static_cast<uint64_t>(dst));
+    ++_stats.txnBegins;
+
+    // Write-recency abort: the page would be dirtied mid-copy, so
+    // the transaction throws its partial work away. Only half the
+    // source read is charged — never the destination write.
+    const Tick now = _machine.now();
+    if (frame->lastWriteTick > Tick{} &&
+        now - frame->lastWriteTick < write_recency_window) {
+        copy_cost += _machine.memModel().rawCost(
+                         src, frame->bytes(), AccessType::Read,
+                         _machine.currentSocket()) / 2;
+        _machine.tracer().emit(
+            TraceEventType::MigTxnAbort, src, src_pfn,
+            static_cast<uint64_t>(dst),
+            static_cast<uint64_t>(TxnAbortReason::WriteRecent));
+        ++_stats.txnAbortedWrite;
+        _lru.requeue(frame);
+        return false;
+    }
+
+    MigrateResult result;
+    const bool over_budget =
+        _tiers.shadowPages() + frame->pages().value() > _shadowBudget;
+    if (_machine.faults().shouldFire(FaultSite::MigrationNoSpace))
+        result = MigrateResult::NoSpace;
+    else if (over_budget)
+        result = _tiers.migrateEx(frame, dst);
+    else
+        result = _tiers.promoteKeepSource(frame, dst);
+
+    switch (result) {
+      case MigrateResult::Ok:
+        break;
+      case MigrateResult::NoSpace:
+        // Cheap abort, no retry/backoff: the whole point of the
+        // transactional copy is that pressure aborts cost nothing.
+        _machine.tracer().emit(
+            TraceEventType::MigTxnAbort, src, src_pfn,
+            static_cast<uint64_t>(dst),
+            static_cast<uint64_t>(TxnAbortReason::NoSpace));
+        ++_stats.txnAbortedNoSpace;
+        ++_stats.failedNoSpace;
+        _lru.requeue(frame);
+        fail_fast = true;
+        return false;
+      default:
+        _machine.tracer().emit(
+            TraceEventType::MigTxnAbort, src, src_pfn,
+            static_cast<uint64_t>(dst),
+            static_cast<uint64_t>(TxnAbortReason::Blocked));
+        ++_stats.txnAbortedBlocked;
+        switch (result) {
+          case MigrateResult::NotRelocatable:
+            ++_stats.failedNotRelocatable;
+            break;
+          case MigrateResult::Pinned:
+            ++_stats.failedPinned;
+            break;
+          case MigrateResult::Damped:
+            ++_stats.failedDamped;
+            break;
+          case MigrateResult::Offline:
+            ++_stats.failedOffline;
+            break;
+          default:
+            break;
+        }
+        return false;
+    }
+
+    _machine.tracer().emit(TraceEventType::MigStart, src, src_pfn, dst,
+                           frame->pfn);
+    _lru.onMigrated(frame, src);
+    frame->scanMarks = 0;
+    _machine.tracer().emit(TraceEventType::MigComplete, dst, frame->pfn,
+                           frame->pages(), 0);
+    if (frame->hasShadow()) {
+        _machine.tracer().emit(TraceEventType::ShadowMake,
+                               frame->shadowTier, frame->shadowPfn,
+                               static_cast<uint64_t>(dst), frame->pfn);
+        ++_stats.shadowMakes;
+    }
+
+    const Bytes bytes = frame->bytes();
+    copy_cost += _machine.memModel().rawCost(src, bytes, AccessType::Read,
+                                             _machine.currentSocket());
+    copy_cost += _machine.memModel().rawCost(dst, bytes, AccessType::Write,
+                                             _machine.currentSocket());
+    fixed_cost += kPerPageOverhead * frame->pages().value();
+
+    _stats.migratedPages += frame->pages();
+    _stats.migratedPagesByClass[static_cast<unsigned>(frame->objClass)] +=
+        frame->pages();
+    _stats.promotedPages += frame->pages();
+    ++_stats.txnCommits;
+    return true;
+}
+
+uint64_t
+MigrationEngine::promoteTransactional(const std::vector<FrameRef> &batch,
+                                      TierId dst,
+                                      Tick write_recency_window)
+{
+    Tick copy_cost{};
+    Tick fixed_cost{};
+    uint64_t moved_pages = 0;
+    bool fail_fast = false;
+    TraceBatch trace_batch(_machine.tracer());
+    for (const FrameRef &ref : batch) {
+        if (fail_fast)
+            break;  // destination proven exhausted; no txn events
+        if (!ref.valid()) {
+            ++_stats.failedStale;
+            continue;
+        }
+        Frame *frame = ref.get();
+        if (frame->tier == dst)
+            continue;
+        if (promoteOneTransactional(frame, dst, write_recency_window,
+                                    copy_cost, fixed_cost, fail_fast)) {
+            moved_pages += frame->pages();
+        }
+    }
+    _machine.backgroundTraffic(
+        (copy_cost + fixed_cost) / static_cast<int64_t>(_parallelism));
+    return moved_pages;
+}
+
+uint64_t
+MigrationEngine::demoteWithShadows(const std::vector<FrameRef> &batch,
+                                   TierId dst)
+{
+    Tick copy_cost{};
+    Tick fixed_cost{};
+    uint64_t moved_pages = 0;
+    bool fail_fast = false;
+    TraceBatch trace_batch(_machine.tracer());
+    for (const FrameRef &ref : batch) {
+        if (!ref.valid()) {
+            ++_stats.failedStale;
+            continue;
+        }
+        Frame *frame = ref.get();
+        if (frame->tier == dst)
+            continue;
+        // A shadow only helps when it sits on the destination, its
+        // tier is online, and no write dirtied the fast copy since
+        // the promotion. Anything else is released up front so the
+        // frame takes the normal copy path below.
+        if (frame->hasShadow()) {
+            if (!_tiers.tier(frame->shadowTier).online())
+                _tiers.dropShadow(frame, ShadowDropReason::Offline);
+            else if (frame->shadowTier != dst)
+                _tiers.dropShadow(frame, ShadowDropReason::FrameMoved);
+            else if (!frame->shadowClean())
+                _tiers.dropShadow(frame, ShadowDropReason::Stale);
+        }
+        if (frame->hasShadow()) {
+            ++_stats.attempts;
+            const TierId src = frame->tier;
+            const Pfn src_pfn = frame->pfn;
+            const Pfn shadow_pfn = frame->shadowPfn;
+            const MigrateResult result = _tiers.migrateIntoShadow(frame);
+            if (result == MigrateResult::Ok) {
+                // Clean shadow: the demotion is a remap, no copy.
+                _machine.tracer().emit(TraceEventType::ShadowReuse, dst,
+                                       shadow_pfn, src, src_pfn);
+                _machine.tracer().emit(TraceEventType::MigStart, src,
+                                       src_pfn, dst, shadow_pfn);
+                _lru.onMigrated(frame, src);
+                frame->scanMarks = 0;
+                if (dst > src)
+                    _lru.deactivate(frame);
+                _machine.tracer().emit(TraceEventType::MigComplete, dst,
+                                       shadow_pfn, frame->pages(),
+                                       dst > src ? 1 : 0);
+                fixed_cost += kPerPageOverhead * frame->pages().value();
+                _stats.migratedPages += frame->pages();
+                _stats.migratedPagesByClass[
+                    static_cast<unsigned>(frame->objClass)] +=
+                    frame->pages();
+                if (dst > src)
+                    _stats.demotedPages += frame->pages();
+                else
+                    _stats.promotedPages += frame->pages();
+                ++_stats.shadowFreeDemotions;
+                moved_pages += frame->pages();
+                continue;
+            }
+            switch (result) {
+              case MigrateResult::NotRelocatable:
+                ++_stats.failedNotRelocatable;
+                break;
+              case MigrateResult::Pinned:
+                ++_stats.failedPinned;
+                break;
+              case MigrateResult::Damped:
+                ++_stats.failedDamped;
+                break;
+              case MigrateResult::Offline:
+                ++_stats.failedOffline;
+                break;
+              default:
+                break;
+            }
+            continue;
+        }
+        const uint64_t before = _stats.migratedPages;
+        if (moveWithRetry(ref, dst, copy_cost, fixed_cost, fail_fast))
+            moved_pages += _stats.migratedPages - before;
+    }
+    _machine.backgroundTraffic(
+        (copy_cost + fixed_cost) / static_cast<int64_t>(_parallelism));
+    return moved_pages;
+}
+
+bool
 MigrationEngine::migrateOne(Frame *frame, TierId dst)
 {
     Tick copy_cost{};
@@ -168,6 +407,10 @@ uint64_t
 MigrationEngine::offlineTier(TierId id)
 {
     _tiers.setTierOnline(id, false);
+
+    // Shadow copies parked on the tier would pin its buddy pages
+    // forever; they are only an optimisation, so release them.
+    _tiers.dropShadowsOn(id, ShadowDropReason::Offline);
 
     // Drain: every live frame resident on the tier is offered to the
     // remaining online tiers, fastest first. Destinations that prove

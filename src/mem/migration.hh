@@ -51,8 +51,25 @@ struct MigrationStats
     uint64_t failedDamped = 0;    ///< ping-pong damping retained it
     uint64_t failedOffline = 0;   ///< destination tier was offline
     uint64_t noSpaceRetries = 0;  ///< backoff retries (not failures)
+    uint64_t txnBegins = 0;       ///< transactional copies opened
+    uint64_t txnCommits = 0;      ///< transactional copies committed
+    uint64_t txnAbortedWrite = 0; ///< aborted on recent write traffic
+    uint64_t txnAbortedNoSpace = 0; ///< aborted on destination pressure
+    uint64_t txnAbortedBlocked = 0; ///< aborted on a frame obstacle
+    uint64_t shadowMakes = 0;     ///< promotions that kept a shadow
+    uint64_t shadowFreeDemotions = 0; ///< demotions served by a shadow
     uint64_t migratedPagesByClass[kNumObjClasses] = {};
 };
+
+/** Why a transactional copy aborted (MigTxnAbort arg). */
+enum class TxnAbortReason : uint8_t
+{
+    WriteRecent = 0, ///< write traffic dirtied the page mid-copy
+    NoSpace,         ///< destination allocator exhausted
+    Blocked,         ///< pinned / non-relocatable / damped / offline
+};
+
+const char *txnAbortReasonName(TxnAbortReason reason);
 
 /** Moves batches of frames between tiers and charges their cost. */
 class MigrationEngine
@@ -93,6 +110,40 @@ class MigrationEngine
     bool migrateOne(Frame *frame, TierId dst);
 
     /**
+     * Nomad-style transactional promotion of @p batch to @p dst.
+     *
+     * Each frame's copy opens a MigTxnBegin window. The copy aborts
+     * cheaply — charging only the partial source read, never the
+     * destination write — when the page saw write traffic within
+     * @p write_recency_window (it would be dirtied mid-copy), when
+     * the destination proves exhausted, or when a frame-local
+     * obstacle blocks the move. A committed copy keeps the source
+     * pages allocated as a non-exclusive shadow while the shadow
+     * budget allows, so a later clean demotion is a free remap.
+     * @return pages successfully promoted.
+     */
+    uint64_t promoteTransactional(const std::vector<FrameRef> &batch,
+                                  TierId dst, Tick write_recency_window);
+
+    /**
+     * Shadow-aware demotion of @p batch to @p dst: a frame whose
+     * clean shadow already lives on @p dst re-homes into it for just
+     * the fixed remap overhead (no copy traffic); stale or unusable
+     * shadows are dropped and the frame takes the normal copy path.
+     * @return pages successfully demoted.
+     */
+    uint64_t demoteWithShadows(const std::vector<FrameRef> &batch,
+                               TierId dst);
+
+    /**
+     * Cap on pages held by shadow copies; promotions beyond it fall
+     * back to plain exclusive moves. Unlimited by default.
+     */
+    void setShadowBudget(FrameCount pages) { _shadowBudget = pages.value(); }
+
+    uint64_t shadowBudget() const { return _shadowBudget; }
+
+    /**
      * Take @p id offline: no new allocations land there, and its
      * resident relocatable frames are drained to the remaining
      * online tiers (ascending id order). Pinned or non-relocatable
@@ -128,10 +179,17 @@ class MigrationEngine
     bool moveWithRetry(const FrameRef &ref, TierId dst, Tick &copy_cost,
                        Tick &fixed_cost, bool &fail_fast);
 
+    /** Transactional copy of one frame; see promoteTransactional. */
+    bool promoteOneTransactional(Frame *frame, TierId dst,
+                                 Tick write_recency_window,
+                                 Tick &copy_cost, Tick &fixed_cost,
+                                 bool &fail_fast);
+
     Machine &_machine;
     TierManager &_tiers;
     LruEngine &_lru;
     unsigned _parallelism = 1;
+    uint64_t _shadowBudget = ~0ULL;
     MigrationStats _stats;
 };
 

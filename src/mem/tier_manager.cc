@@ -19,6 +19,20 @@ migrateResultName(MigrateResult result)
     return "unknown";
 }
 
+const char *
+shadowDropReasonName(ShadowDropReason reason)
+{
+    switch (reason) {
+      case ShadowDropReason::Stale:      return "stale";
+      case ShadowDropReason::FrameFreed: return "frame_freed";
+      case ShadowDropReason::FrameMoved: return "frame_moved";
+      case ShadowDropReason::Pressure:   return "pressure";
+      case ShadowDropReason::Offline:    return "offline";
+      case ShadowDropReason::PolicyStop: return "policy_stop";
+    }
+    return "unknown";
+}
+
 TierId
 TierManager::addTier(const TierSpec &spec)
 {
@@ -95,6 +109,8 @@ TierManager::free(Frame *frame)
     KLOC_ASSERT(frame != nullptr, "free of null frame");
     KLOC_ASSERT(frame->tier != kInvalidTier, "double free of frame");
 
+    if (frame->hasShadow())
+        dropShadow(frame, ShadowDropReason::FrameFreed);
     for (const FrameObserver &obs : _freeObservers)
         obs.fn(obs.ctx, frame);
     KLOC_ASSERT(!frame->lruHook.linked(),
@@ -151,6 +167,10 @@ TierManager::migrateEx(Frame *frame, TierId dst)
     if (new_pfn == kInvalidPfn)
         return MigrateResult::NoSpace;
 
+    // Past the commit point: a plain move strands any shadow copy.
+    if (frame->hasShadow())
+        dropShadow(frame, ShadowDropReason::FrameMoved);
+
     Tier &from = tier(frame->tier);
     from.noteFree(frame->objClass, frame->pages());
     from.buddy().free(frame->pfn, frame->order);
@@ -160,6 +180,116 @@ TierManager::migrateEx(Frame *frame, TierId dst)
     ++frame->migrateCount;
     to.noteArrive(frame->objClass, frame->pages());
     return MigrateResult::Ok;
+}
+
+MigrateResult
+TierManager::promoteKeepSource(Frame *frame, TierId dst)
+{
+    KLOC_ASSERT(frame->tier != kInvalidTier, "promoting freed frame");
+    KLOC_ASSERT(!frame->hasShadow(),
+                "promoteKeepSource over an existing shadow");
+    if (!frame->relocatable)
+        return MigrateResult::NotRelocatable;
+    if (frame->pinned())
+        return MigrateResult::Pinned;
+    if (frame->tier == dst)
+        return MigrateResult::SameTier;
+    if (frame->migrateCount >= kRetainThreshold && dst > frame->tier)
+        return MigrateResult::Damped;
+    if (frame->migrateCount == 0xFF)
+        return MigrateResult::Damped;
+
+    Tier &to = tier(dst);
+    if (!to.online())
+        return MigrateResult::Offline;
+    const Pfn new_pfn = to.buddy().alloc(frame->order);
+    if (new_pfn == kInvalidPfn)
+        return MigrateResult::NoSpace;
+
+    // The source buddy pages stay allocated as the shadow; only the
+    // class residency moves with the frame.
+    Tier &from = tier(frame->tier);
+    from.noteFree(frame->objClass, frame->pages());
+    frame->shadowTier = frame->tier;
+    frame->shadowPfn = frame->pfn;
+    frame->shadowSince = _machine.now();
+    _shadowPages += frame->pages();
+
+    frame->tier = dst;
+    frame->pfn = new_pfn;
+    ++frame->migrateCount;
+    to.noteArrive(frame->objClass, frame->pages());
+    return MigrateResult::Ok;
+}
+
+MigrateResult
+TierManager::migrateIntoShadow(Frame *frame)
+{
+    KLOC_ASSERT(frame->tier != kInvalidTier, "demoting freed frame");
+    KLOC_ASSERT(frame->hasShadow(), "no shadow to demote into");
+    const TierId dst = frame->shadowTier;
+    if (!frame->relocatable)
+        return MigrateResult::NotRelocatable;
+    if (frame->pinned())
+        return MigrateResult::Pinned;
+    if (frame->tier == dst)
+        return MigrateResult::SameTier;
+    if (frame->migrateCount >= kRetainThreshold && dst > frame->tier)
+        return MigrateResult::Damped;
+    if (frame->migrateCount == 0xFF)
+        return MigrateResult::Damped;
+    Tier &to = tier(dst);
+    if (!to.online())
+        return MigrateResult::Offline;
+
+    Tier &from = tier(frame->tier);
+    from.noteFree(frame->objClass, frame->pages());
+    from.buddy().free(frame->pfn, frame->order);
+
+    // The shadow's buddy pages are already allocated; adopt them.
+    frame->tier = dst;
+    frame->pfn = frame->shadowPfn;
+    _shadowPages -= frame->pages();
+    frame->shadowTier = kInvalidTier;
+    frame->shadowPfn = kInvalidPfn;
+    frame->shadowSince = Tick{};
+    ++frame->migrateCount;
+    to.noteArrive(frame->objClass, frame->pages());
+    return MigrateResult::Ok;
+}
+
+void
+TierManager::dropShadow(Frame *frame, ShadowDropReason reason)
+{
+    if (!frame->hasShadow())
+        return;
+    _machine.tracer().emit(TraceEventType::ShadowDrop, frame->shadowTier,
+                           frame->shadowPfn,
+                           static_cast<uint64_t>(reason));
+    tier(frame->shadowTier).buddy().free(frame->shadowPfn, frame->order);
+    _shadowPages -= frame->pages();
+    ++_shadowDrops;
+    frame->shadowTier = kInvalidTier;
+    frame->shadowPfn = kInvalidPfn;
+    frame->shadowSince = Tick{};
+}
+
+void
+TierManager::dropAllShadows(ShadowDropReason reason)
+{
+    _frameArena.forEach([&](Frame &frame) {
+        if (frame.tier != kInvalidTier && frame.hasShadow())
+            dropShadow(&frame, reason);
+    });
+}
+
+void
+TierManager::dropShadowsOn(TierId id, ShadowDropReason reason)
+{
+    _frameArena.forEach([&](Frame &frame) {
+        if (frame.tier != kInvalidTier && frame.shadowTier == id)
+            dropShadow(&frame, reason);
+    });
 }
 
 void

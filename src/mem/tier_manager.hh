@@ -37,6 +37,19 @@ enum class MigrateResult : uint8_t
 
 const char *migrateResultName(MigrateResult result);
 
+/** Why a Nomad shadow copy was released (ShadowDrop arg). */
+enum class ShadowDropReason : uint8_t
+{
+    Stale = 0,   ///< the fast copy was written since promotion
+    FrameFreed,  ///< the owning frame was freed
+    FrameMoved,  ///< the frame migrated somewhere else
+    Pressure,    ///< shadow budget exceeded
+    Offline,     ///< the shadow's tier went offline
+    PolicyStop,  ///< the owning policy was stopped/replaced
+};
+
+const char *shadowDropReasonName(ShadowDropReason reason);
+
 /** Owner of all tiers and frames. */
 class TierManager
 {
@@ -89,6 +102,38 @@ class TierManager
     MigrateResult migrateEx(Frame *frame, TierId dst);
 
     /**
+     * Re-home @p frame onto @p dst while keeping the source buddy
+     * pages allocated as a non-exclusive shadow copy (Nomad). The
+     * old (tier, pfn) is recorded on the frame; no FrameAlloc can
+     * land there until the shadow is reused or dropped. Space
+     * bookkeeping only — the caller emits trace events and charges
+     * copy costs. Same failure modes as migrateEx().
+     */
+    MigrateResult promoteKeepSource(Frame *frame, TierId dst);
+
+    /**
+     * Demote @p frame back into its shadow location: the resident
+     * copy is freed and the frame re-homes onto the shadow's pages
+     * without a new allocation (the shadow pages are already ours).
+     * The caller must have checked the shadow is clean and its tier
+     * online. Space bookkeeping only. Fails like migrateEx().
+     */
+    MigrateResult migrateIntoShadow(Frame *frame);
+
+    /**
+     * Release @p frame's shadow copy: frees the shadow buddy pages,
+     * emits ShadowDrop, and clears the frame's shadow fields. No-op
+     * without a shadow.
+     */
+    void dropShadow(Frame *frame, ShadowDropReason reason);
+
+    /** Drop every live shadow (policy teardown hygiene). */
+    void dropAllShadows(ShadowDropReason reason);
+
+    /** Drop every shadow resident on @p id (tier offlining). */
+    void dropShadowsOn(TierId id, ShadowDropReason reason);
+
+    /**
      * Take @p id offline or bring it back. Offlining only flips the
      * flag and emits the trace event — draining resident frames is
      * the MigrationEngine's job (it owns cost charging).
@@ -107,6 +152,12 @@ class TierManager
 
     /** Live frames across all tiers. */
     uint64_t liveFrames() const { return _liveFrames; }
+
+    /** Pages currently held by non-exclusive shadow copies. */
+    uint64_t shadowPages() const { return _shadowPages; }
+
+    /** Cumulative shadow copies released, by any reason. */
+    uint64_t shadowDrops() const { return _shadowDrops; }
 
     /** Cumulative page allocations per class (Fig. 2a/2b footprints). */
     uint64_t
@@ -133,6 +184,8 @@ class TierManager
     FrameArena _frameArena;
     std::vector<Frame *> _freeFrameObjs;
     uint64_t _liveFrames = 0;
+    uint64_t _shadowPages = 0;
+    uint64_t _shadowDrops = 0;
 
     uint64_t _cumAllocPagesByClass[kNumObjClasses] = {};
     Histogram _lifetimes[kNumObjClasses];

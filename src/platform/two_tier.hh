@@ -14,13 +14,15 @@
 #define KLOC_PLATFORM_TWO_TIER_HH
 
 #include <memory>
+#include <string>
 
 #include "platform/system.hh"
+#include "policy/registry.hh"
 #include "policy/strategy.hh"
 
 namespace kloc {
 
-/** Two-tier platform builder and strategy host. */
+/** Two-tier platform builder and policy host. */
 class TwoTierPlatform
 {
   public:
@@ -53,15 +55,39 @@ class TwoTierPlatform
     TierId slowTier() const { return _slow; }
 
     /**
+     * Install and start @p policy, replacing (stopping) any previous
+     * one. Centralises the policy lifecycle: non-KLOC policies get
+     * the KLOC runtime and the early-demux driver extension switched
+     * off so a previously applied KLOC policy leaves no residue.
+     */
+    Policy &applyPolicy(std::unique_ptr<Policy> policy);
+
+    /**
+     * Build @p name through the policy registry and apply it.
+     * Asserts on unknown names (see policyNames()).
+     */
+    Policy &applyPolicyByName(const std::string &name);
+
+    /**
      * Install and start @p kind with the given strategy config.
-     * Replaces any previously applied strategy.
+     * Replaces any previously applied policy.
      */
     TieringStrategy &applyStrategy(StrategyKind kind,
                                    TieringStrategy::Config config);
 
     TieringStrategy &applyStrategy(StrategyKind kind);
 
-    TieringStrategy *strategy() { return _strategy.get(); }
+    /** The applied policy, or nullptr before the first apply. */
+    Policy *policy() { return _policy.get(); }
+
+    /**
+     * The applied policy as a TieringStrategy, or nullptr when none
+     * is applied or the policy is not a plain strategy.
+     */
+    TieringStrategy *strategy()
+    {
+        return dynamic_cast<TieringStrategy *>(_policy.get());
+    }
 
     const Config &config() const { return _config; }
 
@@ -76,7 +102,7 @@ class TwoTierPlatform
     std::unique_ptr<System> _system;
     TierId _fast = kInvalidTier;
     TierId _slow = kInvalidTier;
-    std::unique_ptr<TieringStrategy> _strategy;
+    std::unique_ptr<Policy> _policy;
 };
 
 } // namespace kloc

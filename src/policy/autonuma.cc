@@ -21,6 +21,18 @@ AutoNumaPolicy::AutoNumaPolicy(Mode mode, KernelHeap &heap, LruEngine &lru,
                 "KLOC mode requires a KlocManager");
 }
 
+const char *
+AutoNumaPolicy::name() const
+{
+    switch (_mode) {
+      case Mode::Static:    return "numa_static";
+      case Mode::AutoNuma:  return "numa_autonuma";
+      case Mode::NimbleApp: return "numa_nimble";
+      case Mode::Kloc:      return "numa_kloc";
+    }
+    return "numa_unknown";
+}
+
 TierId
 AutoNumaPolicy::localTier() const
 {

@@ -24,12 +24,12 @@
 #include "core/kloc_manager.hh"
 #include "mem/lru.hh"
 #include "mem/migration.hh"
-#include "mem/placement.hh"
+#include "policy/policy.hh"
 
 namespace kloc {
 
 /** NUMA balancing policy variants compared in Fig. 5a. */
-class AutoNumaPolicy : public PlacementPolicy
+class AutoNumaPolicy : public Policy
 {
   public:
     enum class Mode { Static, AutoNuma, NimbleApp, Kloc };
@@ -59,11 +59,15 @@ class AutoNumaPolicy : public PlacementPolicy
 
     Mode mode() const { return _mode; }
 
-    /** Install as the heap's policy; configure KLOC and parallelism. */
-    void install();
+    const char *name() const override;
 
-    void start();
-    void stop();
+    /** Install as the heap's policy; configure KLOC and parallelism. */
+    void install() override;
+
+    void start() override;
+    void stop() override;
+
+    bool usesKloc() const override { return _mode == Mode::Kloc; }
 
     /** Tier local to the task's current socket. */
     TierId localTier() const;

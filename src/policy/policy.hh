@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Policy: the common contract every tiering policy implements.
+ *
+ * A Policy is a PlacementPolicy (where allocations of each class
+ * start) plus a lifecycle (install / start / stop) driving what
+ * migrates when. Platforms own exactly one installed Policy at a
+ * time; the registry (policy/registry.hh) constructs policies by
+ * name so tests and benches pick up new ones automatically.
+ *
+ * Lifecycle contract:
+ *  - install(): make this the heap's placement policy and configure
+ *    machinery (KLOC interface, migration parallelism, budgets).
+ *    Must be idempotent and must not schedule events.
+ *  - start(): begin periodic work (scan ticks, daemons). Idempotent.
+ *  - stop(): cease scheduling further work and release any policy
+ *    private state (e.g. Nomad's shadow copies). Ticks already in
+ *    the event queue must become no-ops (liveness tokens).
+ */
+
+#ifndef KLOC_POLICY_POLICY_HH
+#define KLOC_POLICY_POLICY_HH
+
+#include "mem/placement.hh"
+
+namespace kloc {
+
+/** One installable tiering policy (placement + migration driver). */
+class Policy : public PlacementPolicy
+{
+  public:
+    /** Stable name used by the registry, benches, and reports. */
+    virtual const char *name() const = 0;
+
+    /** Become the heap's policy and configure machinery. */
+    virtual void install() = 0;
+
+    /** Begin periodic scan/migration work. */
+    virtual void start() = 0;
+
+    /** Stop periodic work and release policy-private state. */
+    virtual void stop() = 0;
+
+    /** Whether the platform should enable KLOC-side plumbing
+     *  (early demux etc.) while this policy is installed. */
+    virtual bool usesKloc() const { return false; }
+};
+
+} // namespace kloc
+
+#endif // KLOC_POLICY_POLICY_HH

@@ -1,0 +1,82 @@
+#include "policy/registry.hh"
+
+#include "policy/jenga.hh"
+#include "policy/nomad.hh"
+#include "policy/strategy.hh"
+
+namespace kloc {
+
+namespace {
+
+struct KindEntry
+{
+    const char *name;
+    StrategyKind kind;
+};
+
+constexpr KindEntry kKindEntries[] = {
+    {"all_fast",          StrategyKind::AllFast},
+    {"all_slow",          StrategyKind::AllSlow},
+    {"naive",             StrategyKind::Naive},
+    {"autonuma",          StrategyKind::AutoNuma},
+    {"nimble",            StrategyKind::Nimble},
+    {"nimble++",          StrategyKind::NimblePlusPlus},
+    {"klocs_nomigration", StrategyKind::KlocNoMigration},
+    {"klocs",             StrategyKind::Kloc},
+};
+
+} // namespace
+
+std::unique_ptr<Policy>
+makePolicy(const std::string &name, const PolicyContext &ctx)
+{
+    for (const KindEntry &entry : kKindEntries) {
+        if (name == entry.name) {
+            const bool needs_kloc =
+                entry.kind == StrategyKind::KlocNoMigration ||
+                entry.kind == StrategyKind::Kloc;
+            if (needs_kloc && ctx.kloc == nullptr)
+                return nullptr;
+            return std::make_unique<TieringStrategy>(
+                entry.kind, ctx.heap, ctx.lru, ctx.migrator, ctx.kloc,
+                ctx.fast, ctx.slow);
+        }
+    }
+    if (name == "nomad" || name == "kloc_nomad") {
+        NomadStrategy::Config config;
+        config.composeKloc = name == "kloc_nomad";
+        if (config.composeKloc && ctx.kloc == nullptr)
+            return nullptr;
+        return std::make_unique<NomadStrategy>(ctx.heap, ctx.lru,
+                                               ctx.migrator, ctx.kloc,
+                                               ctx.fast, ctx.slow, config);
+    }
+    if (name == "jenga") {
+        return std::make_unique<JengaStrategy>(ctx.heap, ctx.lru,
+                                               ctx.migrator, ctx.fast,
+                                               ctx.slow);
+    }
+    return nullptr;
+}
+
+const std::vector<std::string> &
+policyNames()
+{
+    static const std::vector<std::string> names = {
+        "all_fast", "all_slow",  "naive",    "autonuma",
+        "nimble",   "nimble++",  "klocs_nomigration", "klocs",
+        "nomad",    "kloc_nomad", "jenga",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+conformancePolicyNames()
+{
+    static const std::vector<std::string> names = {
+        "naive", "autonuma", "klocs", "nomad", "jenga", "kloc_nomad",
+    };
+    return names;
+}
+
+} // namespace kloc

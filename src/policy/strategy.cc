@@ -11,6 +11,7 @@ strategyName(StrategyKind kind)
       case StrategyKind::AllFast:         return "all_fast";
       case StrategyKind::AllSlow:         return "all_slow";
       case StrategyKind::Naive:           return "naive";
+      case StrategyKind::AutoNuma:        return "autonuma";
       case StrategyKind::Nimble:          return "nimble";
       case StrategyKind::NimblePlusPlus:  return "nimble++";
       case StrategyKind::KlocNoMigration: return "klocs_nomigration";
@@ -67,7 +68,9 @@ TieringStrategy::usesAppMigration() const
 {
     // Nimble's app-page tiering is also reused by both KLOC modes
     // (Table 5: "Original Nimble policies ... for application pages").
-    return _kind == StrategyKind::Nimble ||
+    // AutoNuma migrates app pages too, just with a serial page copy.
+    return _kind == StrategyKind::AutoNuma ||
+           _kind == StrategyKind::Nimble ||
            _kind == StrategyKind::NimblePlusPlus ||
            _kind == StrategyKind::KlocNoMigration ||
            _kind == StrategyKind::Kloc;
@@ -90,8 +93,10 @@ TieringStrategy::kernelPreference(ObjClass cls, bool knode_active)
       case StrategyKind::AllSlow:
         return {_slow};
       case StrategyKind::Naive:
+      case StrategyKind::AutoNuma:
       case StrategyKind::NimblePlusPlus:
-        // Greedy: fast until full.
+        // Greedy: fast until full. Stock NUMA balancing ignores
+        // kernel objects, so AutoNuma places them like Naive.
         return {_fast, _slow};
       case StrategyKind::Nimble:
         // Prior art places kernel objects in slow memory on two-tier

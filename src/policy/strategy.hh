@@ -31,15 +31,19 @@
 #include "core/kloc_manager.hh"
 #include "mem/lru.hh"
 #include "mem/migration.hh"
-#include "mem/placement.hh"
+#include "policy/policy.hh"
 
 namespace kloc {
 
-/** The strategies of Table 5 (two-tier platform). */
+/** The strategies of Table 5 (two-tier platform), plus AutoNuma:
+ *  stock NUMA-balancing semantics mapped onto two tiers (app pages
+ *  fast-first with serial scan-driven migration, kernel objects
+ *  greedy like Naive). */
 enum class StrategyKind {
     AllFast,
     AllSlow,
     Naive,
+    AutoNuma,
     Nimble,
     NimblePlusPlus,
     KlocNoMigration,
@@ -49,7 +53,7 @@ enum class StrategyKind {
 const char *strategyName(StrategyKind kind);
 
 /** One configured tiering strategy. */
-class TieringStrategy : public PlacementPolicy
+class TieringStrategy : public Policy
 {
   public:
     struct Config
@@ -84,20 +88,27 @@ class TieringStrategy : public PlacementPolicy
     {}
 
     StrategyKind kind() const { return _kind; }
-    const char *name() const { return strategyName(_kind); }
+    const char *name() const override { return strategyName(_kind); }
 
     /**
      * Apply the strategy: installs itself as the heap's placement
      * policy, flips the KLOC interface / manager state, and sets
      * migration parallelism.
      */
-    void install();
+    void install() override;
 
     /** Begin periodic scan/migration work. */
-    void start();
+    void start() override;
 
     /** Stop periodic work. */
-    void stop();
+    void stop() override;
+
+    bool
+    usesKloc() const override
+    {
+        return _kind == StrategyKind::KlocNoMigration ||
+               _kind == StrategyKind::Kloc;
+    }
 
     // -- PlacementPolicy ----------------------------------------------------
     TierPreference kernelPreference(ObjClass cls,

@@ -96,6 +96,12 @@ InvariantChecker::consume(const TraceEvent &event)
             violation(event, "allocation on offline tier %llu pfn=%llu",
                       (unsigned long long)a, (unsigned long long)b);
         }
+        if (_shadows.count(key)) {
+            violation(event,
+                      "allocation lands on live shadow copy tier=%llu "
+                      "pfn=%llu",
+                      (unsigned long long)a, (unsigned long long)b);
+        }
         FrameState state;
         state.cls = d;
         _frames.emplace(key, state);
@@ -131,6 +137,12 @@ InvariantChecker::consume(const TraceEvent &event)
         }
         if (frame.migrating) {
             violation(event, "frame tier=%llu pfn=%llu freed mid-migration",
+                      (unsigned long long)a, (unsigned long long)b);
+        }
+        if (frame.inTxn) {
+            violation(event,
+                      "frame tier=%llu pfn=%llu freed inside an open "
+                      "transactional copy",
                       (unsigned long long)a, (unsigned long long)b);
         }
         if (frame.pins > 0) {
@@ -236,12 +248,23 @@ InvariantChecker::consume(const TraceEvent &event)
                       "migration arrives on offline tier %llu pfn=%llu",
                       (unsigned long long)c, (unsigned long long)d);
         }
+        if (frame.inTxn) {
+            // The copy committed: the open window closes with the move.
+            frame.inTxn = false;
+            ++_txnCommits;
+        }
         _frames.erase(src_key);
         if (_frames.count(dst_key)) {
             violation(event, "migration lands on live frame tier=%llu "
                       "pfn=%llu",
                       (unsigned long long)c, (unsigned long long)d);
             break;
+        }
+        if (_shadows.count(dst_key)) {
+            violation(event,
+                      "migration lands on live shadow copy tier=%llu "
+                      "pfn=%llu",
+                      (unsigned long long)c, (unsigned long long)d);
         }
         // List membership follows the frame to the destination tier.
         // counts() may grow the tier vector; materialize both entries
@@ -479,12 +502,106 @@ InvariantChecker::consume(const TraceEvent &event)
         break;
       }
 
+      case TraceEventType::MigTxnBegin: {
+        FrameState &frame = frameFor(traceFrameKey(static_cast<int>(a), Pfn{b}),
+                                     false);
+        if (frame.inTxn) {
+            violation(event,
+                      "nested transactional copy on frame tier=%llu "
+                      "pfn=%llu",
+                      (unsigned long long)a, (unsigned long long)b);
+            break;
+        }
+        if (frame.migrating) {
+            violation(event,
+                      "transactional copy of mid-migration frame "
+                      "tier=%llu pfn=%llu",
+                      (unsigned long long)a, (unsigned long long)b);
+        }
+        frame.inTxn = true;
+        ++_txnBegins;
+        break;
+      }
+
+      case TraceEventType::MigTxnAbort: {
+        const uint64_t key = traceFrameKey(static_cast<int>(a), Pfn{b});
+        auto it = _frames.find(key);
+        if (it == _frames.end()) {
+            if (_strict) {
+                violation(event,
+                          "transactional abort on unknown frame tier=%llu "
+                          "pfn=%llu",
+                          (unsigned long long)a, (unsigned long long)b);
+            }
+            break;
+        }
+        if (!it->second.inTxn) {
+            violation(event,
+                      "transactional abort without open window on frame "
+                      "tier=%llu pfn=%llu",
+                      (unsigned long long)a, (unsigned long long)b);
+            break;
+        }
+        it->second.inTxn = false;
+        ++_txnAborts;
+        break;
+      }
+
+      case TraceEventType::ShadowMake: {
+        const uint64_t key = traceFrameKey(static_cast<int>(a), Pfn{b});
+        if (_frames.count(key)) {
+            violation(event,
+                      "shadow created over live frame tier=%llu pfn=%llu",
+                      (unsigned long long)a, (unsigned long long)b);
+            break;
+        }
+        if (_shadows.count(key)) {
+            violation(event,
+                      "shadow created over live shadow tier=%llu pfn=%llu",
+                      (unsigned long long)a, (unsigned long long)b);
+            break;
+        }
+        _shadows.emplace(key, traceFrameKey(static_cast<int>(c), Pfn{d}));
+        break;
+      }
+
+      case TraceEventType::ShadowReuse: {
+        const uint64_t key = traceFrameKey(static_cast<int>(a), Pfn{b});
+        auto it = _shadows.find(key);
+        if (it == _shadows.end()) {
+            if (_strict) {
+                violation(event,
+                          "reuse of unknown shadow tier=%llu pfn=%llu",
+                          (unsigned long long)a, (unsigned long long)b);
+            }
+            break;
+        }
+        _shadows.erase(it);
+        break;
+      }
+
+      case TraceEventType::ShadowDrop: {
+        const uint64_t key = traceFrameKey(static_cast<int>(a), Pfn{b});
+        auto it = _shadows.find(key);
+        if (it == _shadows.end()) {
+            if (_strict) {
+                violation(event,
+                          "drop of unknown shadow tier=%llu pfn=%llu",
+                          (unsigned long long)a, (unsigned long long)b);
+            }
+            break;
+        }
+        _shadows.erase(it);
+        break;
+      }
+
       case TraceEventType::FaultInject:
       case TraceEventType::BioRetry:
       case TraceEventType::BioError:
       case TraceEventType::MigRetry:
       case TraceEventType::MigAbandon:
       case TraceEventType::TierDrain:
+      case TraceEventType::PolicyRateAdapt:
         // Informational; the surrounding brackets carry the state.
         break;
 
@@ -505,6 +622,19 @@ InvariantChecker::outstandingPins() const
             ++pinned;
     }
     return pinned;
+}
+
+uint64_t
+InvariantChecker::openTransactionalCopies() const
+{
+    uint64_t open = 0;
+    // klint: allow(determinism) — order-independent reduction.
+    for (const auto &[key, frame] : _frames) {
+        (void)key;
+        if (frame.inTxn)
+            ++open;
+    }
+    return open;
 }
 
 std::string

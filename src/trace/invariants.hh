@@ -19,6 +19,13 @@
  *    free or migration of a frame while pins are outstanding
  *  - an offlined tier receives no new allocations and no migration
  *    arrivals until it is onlined again
+ *  - shadow copies (Nomad) are consistent: a shadow is never created
+ *    over a live frame or a live shadow, no allocation or migration
+ *    arrival lands on a live shadow location, and every reuse or drop
+ *    names a shadow that exists
+ *  - transactional copies bracket correctly: every MigTxnBegin is
+ *    closed by exactly one MigStart (commit) or MigTxnAbort, with no
+ *    nesting and no free of a frame inside an open window
  *
  * Violations are collected, not fatal, so tests can assert on the
  * full list and tools can report totals.
@@ -70,6 +77,20 @@ class InvariantChecker
     /** Frames currently holding at least one unreleased pin. */
     uint64_t outstandingPins() const;
 
+    /** Live non-exclusive shadow copies in the model. */
+    uint64_t shadowCount() const
+    {
+        return static_cast<uint64_t>(_shadows.size());
+    }
+
+    /** Transactional-copy windows opened / committed / aborted. */
+    uint64_t txnBegins() const { return _txnBegins; }
+    uint64_t txnCommits() const { return _txnCommits; }
+    uint64_t txnAborts() const { return _txnAborts; }
+
+    /** Frames currently inside an open transactional-copy window. */
+    uint64_t openTransactionalCopies() const;
+
     /** All violations joined into a printable report. */
     std::string report() const;
 
@@ -80,6 +101,7 @@ class InvariantChecker
         bool active = false;     ///< on the active LRU list
         bool migrating = false;  ///< between MigStart and MigComplete
         bool adopted = false;    ///< first seen mid-run (no alloc event)
+        bool inTxn = false;      ///< open transactional-copy window
         uint64_t trackedRefs = 0;///< knode objects referencing it
         uint64_t inflightBios = 0;
         uint64_t pins = 0;       ///< frame_pin minus frame_unpin
@@ -106,11 +128,15 @@ class InvariantChecker
     std::unordered_map<uint64_t, FrameState> _frames;  ///< by frame key
     std::unordered_map<uint64_t, uint64_t> _knodes;    ///< inode -> objs
     std::unordered_map<uint64_t, uint64_t> _bioFrames; ///< bio -> key
+    std::unordered_map<uint64_t, uint64_t> _shadows;   ///< shadow -> fast key
     std::vector<TierCounts> _tierCounts;
     std::vector<bool> _tierOffline;    ///< per-tier offline flag
     int _journalWindows = 0;   ///< nesting depth of commit/detach windows
     bool _journalArmed = false;///< a journal subsystem has shown itself
     bool _sawAdoption = false; ///< attach was mid-run; relax counting
+    uint64_t _txnBegins = 0;
+    uint64_t _txnCommits = 0;
+    uint64_t _txnAborts = 0;
     uint64_t _eventsChecked = 0;
     std::vector<std::string> _violations;
 };

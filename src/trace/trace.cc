@@ -57,6 +57,14 @@ const EventSpec kEventSpecs[kNumTraceEventTypes] = {
     {"journal_commit_abort", 1, {"tx", nullptr, nullptr, nullptr}},
     {"journal_replay_start", 3, {"tx", "records", "pages", nullptr}},
     {"journal_replay_end",   2, {"tx", "ok", nullptr, nullptr}},
+    {"mig_txn_begin",        3, {"src_tier", "src_pfn", "dst_tier",
+                                 nullptr}},
+    {"mig_txn_abort",        4, {"src_tier", "src_pfn", "dst_tier",
+                                 "reason"}},
+    {"shadow_make",          4, {"tier", "pfn", "ftier", "fpfn"}},
+    {"shadow_reuse",         4, {"tier", "pfn", "ftier", "fpfn"}},
+    {"shadow_drop",          3, {"tier", "pfn", "reason", nullptr}},
+    {"policy_rate_adapt",    3, {"rate", "reused", "sampled", nullptr}},
 };
 
 const EventSpec &

@@ -76,6 +76,15 @@ enum class TraceEventType : uint8_t {
     JournalCommitAbort, ///< tx
     JournalReplayStart, ///< tx, records, pages
     JournalReplayEnd,   ///< tx, ok
+    // mem/migration: Nomad-style transactional promotion windows.
+    MigTxnBegin,        ///< src_tier, src_pfn, dst_tier
+    MigTxnAbort,        ///< src_tier, src_pfn, dst_tier, reason
+    // mem/tier_manager: non-exclusive shadow copy lifecycle.
+    ShadowMake,         ///< tier, pfn, fast_tier, fast_pfn
+    ShadowReuse,        ///< tier, pfn, fast_tier, fast_pfn
+    ShadowDrop,         ///< tier, pfn, reason
+    // policy/*: adaptive-rate decisions (Jenga).
+    PolicyRateAdapt,    ///< rate, reused, sampled
     NumTypes
 };
 

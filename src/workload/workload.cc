@@ -8,6 +8,7 @@
 #include "workload/redis.hh"
 #include "workload/rocksdb.hh"
 #include "workload/spark.hh"
+#include "workload/thrash.hh"
 #include "workload/varmail.hh"
 #include "workload/webserver.hh"
 
@@ -30,6 +31,8 @@ makeWorkload(const std::string &name, const WorkloadConfig &config)
         return std::make_unique<VarmailWorkload>(config);  // extension
     if (name == "webserver")
         return std::make_unique<WebserverWorkload>(config);  // extension
+    if (name == "thrash")
+        return std::make_unique<ThrashWorkload>(config);  // extension
     fatal("unknown workload '%s'", name.c_str());
 }
 

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Unit coverage for the policy dispatch layer: strategyName() for
+ * every StrategyKind (including the AutoNuma mapping), registry
+ * construction of every registered policy name, and AutoNumaPolicy
+ * edge cases (empty remote tier, a single-frame KLOC following the
+ * task across sockets, all tiers cold).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/kloc_manager.hh"
+#include "fs/objects.hh"
+#include "kobj/kernel_heap.hh"
+#include "mem/placement.hh"
+#include "policy/autonuma.hh"
+#include "policy/registry.hh"
+#include "policy/strategy.hh"
+#include "sim/machine.hh"
+
+namespace kloc {
+namespace {
+
+TEST(StrategyName, CoversEveryKind)
+{
+    EXPECT_STREQ(strategyName(StrategyKind::AllFast), "all_fast");
+    EXPECT_STREQ(strategyName(StrategyKind::AllSlow), "all_slow");
+    EXPECT_STREQ(strategyName(StrategyKind::Naive), "naive");
+    EXPECT_STREQ(strategyName(StrategyKind::AutoNuma), "autonuma");
+    EXPECT_STREQ(strategyName(StrategyKind::Nimble), "nimble");
+    EXPECT_STREQ(strategyName(StrategyKind::NimblePlusPlus), "nimble++");
+    EXPECT_STREQ(strategyName(StrategyKind::KlocNoMigration),
+                 "klocs_nomigration");
+    EXPECT_STREQ(strategyName(StrategyKind::Kloc), "klocs");
+}
+
+/** Minimal two-tier stack for registry construction tests. */
+struct RegistryStack
+{
+    RegistryStack()
+        : machine(2, 1), tiers(machine), lru(machine, tiers),
+          mem(machine, lru), migrator(machine, tiers, lru),
+          heap(mem, tiers), kloc(heap, migrator)
+    {
+        TierSpec spec;
+        spec.name = "fast";
+        spec.capacity = 64 * kPageSize;
+        spec.readLatency = Tick{80};
+        spec.writeLatency = Tick{80};
+        spec.readBandwidth = 10 * kGiB;
+        spec.writeBandwidth = 10 * kGiB;
+        fast = tiers.addTier(spec);
+        spec.name = "slow";
+        spec.capacity = 64 * kPageSize;
+        slow = tiers.addTier(spec);
+    }
+
+    PolicyContext
+    context(bool with_kloc = true)
+    {
+        return PolicyContext{heap, lru, migrator,
+                             with_kloc ? &kloc : nullptr, fast, slow};
+    }
+
+    Machine machine;
+    TierManager tiers;
+    LruEngine lru;
+    MemAccessor mem;
+    MigrationEngine migrator;
+    KernelHeap heap;
+    KlocManager kloc;
+    TierId fast = kInvalidTier;
+    TierId slow = kInvalidTier;
+};
+
+TEST(PolicyRegistry, BuildsEveryRegisteredName)
+{
+    RegistryStack s;
+    for (const std::string &name : policyNames()) {
+        auto policy = makePolicy(name, s.context());
+        ASSERT_NE(policy, nullptr) << "registry failed for " << name;
+        EXPECT_EQ(policy->name(), name);
+    }
+}
+
+TEST(PolicyRegistry, ConformanceNamesAreRegistered)
+{
+    RegistryStack s;
+    const auto &all = policyNames();
+    for (const std::string &name : conformancePolicyNames()) {
+        EXPECT_NE(std::find(all.begin(), all.end(), name), all.end())
+            << name << " not in policyNames()";
+        EXPECT_NE(makePolicy(name, s.context()), nullptr);
+    }
+}
+
+TEST(PolicyRegistry, UnknownNameReturnsNull)
+{
+    RegistryStack s;
+    EXPECT_EQ(makePolicy("definitely_not_a_policy", s.context()),
+              nullptr);
+    EXPECT_EQ(makePolicy("", s.context()), nullptr);
+}
+
+TEST(PolicyRegistry, KlocPoliciesRequireAManager)
+{
+    RegistryStack s;
+    for (const std::string &name :
+         {std::string("klocs"), std::string("klocs_nomigration"),
+          std::string("kloc_nomad")}) {
+        EXPECT_EQ(makePolicy(name, s.context(/*with_kloc=*/false)),
+                  nullptr)
+            << name << " must refuse a null KlocManager";
+    }
+    // Plain Nomad and Jenga don't need one.
+    EXPECT_NE(makePolicy("nomad", s.context(false)), nullptr);
+    EXPECT_NE(makePolicy("jenga", s.context(false)), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// AutoNumaPolicy edge cases (two sockets, one tier each).
+
+/** Two-socket stack: cpus {0,1} on socket 0, {2,3} on socket 1. */
+struct NumaStack
+{
+    explicit NumaStack(AutoNumaPolicy::Mode mode)
+        : machine(4, 2), tiers(machine), lru(machine, tiers),
+          mem(machine, lru), migrator(machine, tiers, lru),
+          heap(mem, tiers), kloc(heap, migrator)
+    {
+        TierSpec spec;
+        spec.name = "socket0";
+        spec.capacity = 128 * kPageSize;
+        spec.readLatency = Tick{100};
+        spec.writeLatency = Tick{100};
+        spec.readBandwidth = 10 * kGiB;
+        spec.writeBandwidth = 10 * kGiB;
+        spec.socket = 0;
+        tier0 = tiers.addTier(spec);
+        spec.name = "socket1";
+        spec.socket = 1;
+        tier1 = tiers.addTier(spec);
+
+        AutoNumaPolicy::Config config;
+        config.scanPeriod = 10 * kMillisecond;
+        policy = std::make_unique<AutoNumaPolicy>(
+            mode, heap, lru, migrator, &kloc,
+            std::vector<TierId>{tier0, tier1}, config);
+        policy->install();
+    }
+
+    Machine machine;
+    TierManager tiers;
+    LruEngine lru;
+    MemAccessor mem;
+    MigrationEngine migrator;
+    KernelHeap heap;
+    KlocManager kloc;
+    std::unique_ptr<AutoNumaPolicy> policy;
+    TierId tier0 = kInvalidTier;
+    TierId tier1 = kInvalidTier;
+};
+
+TEST(AutoNumaEdge, EmptyRemoteTierTicksWithoutMigrating)
+{
+    NumaStack s(AutoNumaPolicy::Mode::AutoNuma);
+    s.machine.setCurrentCpu(0);
+    s.policy->start();
+    // No allocations anywhere: ticks must fire and move nothing.
+    // Charge in scan-period chunks so each tick can reschedule.
+    for (int i = 0; i < 10; ++i)
+        s.machine.charge(10 * kMillisecond);
+    EXPECT_GE(s.policy->balanceTicks(), 2u);
+    EXPECT_EQ(s.migrator.stats().migratedPages, 0u);
+    EXPECT_EQ(s.migrator.stats().attempts, 0u);
+    s.policy->stop();
+}
+
+TEST(AutoNumaEdge, SingleFrameKlocFollowsTheTask)
+{
+    NumaStack s(AutoNumaPolicy::Mode::Kloc);
+    s.machine.setCurrentCpu(0);
+
+    Knode *knode = s.kloc.mapKnode(11);
+    ASSERT_NE(knode, nullptr);
+    s.kloc.markActive(knode);
+    auto obj = std::make_unique<KernelObject>(KobjKind::PageCachePage);
+    ASSERT_TRUE(s.heap.allocBacking(*obj, true, knode->id));
+    s.kloc.addObject(knode, obj.get());
+    ASSERT_EQ(obj->frame()->tier, s.tier0) << "born on the local socket";
+
+    // The scheduler moves the task to socket 1; the KLOC's one frame
+    // must follow on the next balance tick.
+    s.machine.setCurrentCpu(2);
+    s.policy->start();
+    for (int i = 0; i < 5; ++i)
+        s.machine.charge(10 * kMillisecond);
+    EXPECT_EQ(obj->frame()->tier, s.tier1);
+    s.policy->stop();
+
+    s.kloc.removeObject(obj.get());
+    s.heap.freeBacking(*obj);
+    s.kloc.unmapKnode(knode);
+}
+
+TEST(AutoNumaEdge, AllTiersColdMigratesNothing)
+{
+    NumaStack s(AutoNumaPolicy::Mode::AutoNuma);
+    s.machine.setCurrentCpu(2);  // socket 1 allocates...
+    std::vector<Frame *> pages;
+    for (int i = 0; i < 32; ++i) {
+        Frame *frame = s.heap.allocAppPage();
+        ASSERT_NE(frame, nullptr);
+        EXPECT_EQ(frame->tier, s.tier1);
+        pages.push_back(frame);
+    }
+
+    // ...then the task runs on socket 0 without ever touching them.
+    s.machine.setCurrentCpu(0);
+    s.policy->start();
+    // Let the first ticks drain any allocation-time referenced bits.
+    for (int i = 0; i < 5; ++i)
+        s.machine.charge(10 * kMillisecond);
+    const uint64_t settled = s.migrator.stats().migratedPages;
+    for (int i = 0; i < 5; ++i)
+        s.machine.charge(10 * kMillisecond);
+    EXPECT_EQ(s.migrator.stats().migratedPages, settled)
+        << "cold pages kept migrating with no references";
+    s.policy->stop();
+
+    for (Frame *frame : pages)
+        s.heap.freeAppPage(frame);
+}
+
+} // namespace
+} // namespace kloc

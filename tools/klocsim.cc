@@ -8,8 +8,9 @@
  *   klocsim optane [--workload W] [--mode M] [--ops N] [--scale K]
  *   klocsim characterize [--workload W] [--scale K]
  *
- * Strategies: all_fast all_slow naive nimble nimble++
- *             klocs_nomigration klocs
+ * Policies (--strategy): every name in policyNames() — all_fast
+ *             all_slow naive autonuma nimble nimble++
+ *             klocs_nomigration klocs nomad jenga kloc_nomad
  * Optane modes: static autonuma nimble klocs
  *
  * All run commands also accept --trace FILE (dump the event trace),
@@ -18,6 +19,7 @@
  * docs/FAULTS.md) and --fault-seed N (override the spec's seed).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -99,20 +101,6 @@ parseArgs(int argc, char **argv, int first)
     return args;
 }
 
-StrategyKind
-parseStrategy(const std::string &name)
-{
-    for (const StrategyKind kind :
-         {StrategyKind::AllFast, StrategyKind::AllSlow,
-          StrategyKind::Naive, StrategyKind::Nimble,
-          StrategyKind::NimblePlusPlus, StrategyKind::KlocNoMigration,
-          StrategyKind::Kloc}) {
-        if (name == strategyName(kind))
-            return kind;
-    }
-    fatal("unknown strategy '%s'", name.c_str());
-}
-
 AutoNumaPolicy::Mode
 parseMode(const std::string &name)
 {
@@ -134,14 +122,9 @@ cmdList()
     std::printf("workloads:\n");
     for (const auto &name : workloadNames())
         std::printf("  %s\n", name.c_str());
-    std::printf("strategies (two-tier):\n");
-    for (const StrategyKind kind :
-         {StrategyKind::AllFast, StrategyKind::AllSlow,
-          StrategyKind::Naive, StrategyKind::Nimble,
-          StrategyKind::NimblePlusPlus, StrategyKind::KlocNoMigration,
-          StrategyKind::Kloc}) {
-        std::printf("  %s\n", strategyName(kind));
-    }
+    std::printf("policies (two-tier):\n");
+    for (const auto &name : policyNames())
+        std::printf("  %s\n", name.c_str());
     std::printf("optane modes:\n  static\n  autonuma\n  nimble\n"
                 "  klocs\n");
     return 0;
@@ -298,12 +281,17 @@ cmdRun(const Args &args)
     config.scale = args.scale;
     config.fastCapacity = args.fastGb * kGiB;
     config.bandwidthRatio = args.ratio;
-    const StrategyKind kind = parseStrategy(args.strategy);
-    if (kind == StrategyKind::AllFast)
+    const auto &known = policyNames();
+    if (std::find(known.begin(), known.end(), args.strategy) ==
+        known.end()) {
+        fatal("unknown policy '%s' (see klocsim list)",
+              args.strategy.c_str());
+    }
+    if (args.strategy == strategyName(StrategyKind::AllFast))
         config.fastCapacity += config.slowCapacity;
     TwoTierPlatform platform(config);
     System &sys = platform.sys();
-    platform.applyStrategy(kind);
+    platform.applyPolicyByName(args.strategy);
     applyFaults(sys, args);
     sys.fs().startDaemons();
     auto checker = startTracing(sys, args);
@@ -316,7 +304,7 @@ cmdRun(const Args &args)
     const WorkloadResult result = runMeasured(sys, *workload);
 
     std::printf("%s under %s: %.0f ops/s (%llu ops, %.1f ms virtual)\n",
-                args.workload.c_str(), strategyName(kind),
+                args.workload.c_str(), args.strategy.c_str(),
                 result.throughput(),
                 (unsigned long long)result.operations,
                 static_cast<double>(result.elapsed) / kMillisecond);

@@ -27,10 +27,17 @@ KlocManager::KlocManager(KernelHeap &heap, MigrationEngine &migrator)
         _heap.mem(), _heap.tiers(), "knode_cache", kKnodeSize,
         ObjClass::KlocMeta);
     _perCpu.resize(_machine.cpuCount());
+    _migrator.setPoisonNotifyHook(
+        [](void *ctx, Frame *frame, TierId origin, bool data_lost) {
+            static_cast<KlocManager *>(ctx)->onFramePoisoned(frame, origin,
+                                                             data_lost);
+        },
+        this);
 }
 
 KlocManager::~KlocManager()
 {
+    _migrator.setPoisonNotifyHook(nullptr, nullptr);
     // Tear down any knodes subsystems did not unmap.
     while (Knode *knode = _kmap.first()) {
         _kmap.erase(knode);
@@ -45,12 +52,11 @@ namespace {
 void
 dropFromList(std::vector<Knode *> &list, const Knode *knode)
 {
-    for (size_t i = 0; i < list.size(); ++i) {
-        if (list[i] == knode) {
-            list.erase(list.begin() + static_cast<ptrdiff_t>(i));
-            return;
-        }
-    }
+    // Remove every occurrence: unmapKnode relies on this leaving no
+    // dangling entry behind even if a reentrant event handler ever
+    // managed to duplicate one.
+    list.erase(std::remove(list.begin(), list.end(), knode),
+               list.end());
 }
 
 } // namespace
@@ -130,12 +136,16 @@ KlocManager::findKnode(uint64_t inode_id)
         for (size_t i = 0; i < list.size(); ++i) {
             if (list[i]->id == inode_id) {
                 Knode *knode = list[i];
-                _machine.cpuWork(static_cast<int64_t>(i + 1) *
-                                 kListStepCost);
-                // MRU rotation.
+                // MRU rotation first: cpuWork() drains due events,
+                // and a handler that re-enters findKnode() would
+                // otherwise mutate the list under our index and turn
+                // the rotation into a duplicating wrong-element
+                // erase (then unmap leaves a dangling entry).
                 list.erase(list.begin() + static_cast<ptrdiff_t>(i));
                 list.insert(list.begin(), knode);
                 ++_stats.perCpuHits;
+                _machine.cpuWork(static_cast<int64_t>(i + 1) *
+                                 kListStepCost);
                 return knode;
             }
         }
@@ -382,6 +392,49 @@ KlocManager::migrateKnodeObjects(Knode *knode, TierId dst)
     if (batch.empty())
         return 0;
     return _migrator.migrate(batch, dst);
+}
+
+void
+KlocManager::onFramePoisoned(Frame *frame, TierId origin_tier,
+                             bool data_lost)
+{
+    auto *knode = static_cast<Knode *>(frame->owner);
+    if (knode == nullptr)
+        return;  // frame backs no tracked object; nothing to contain
+    if (data_lost) {
+        knode->damaged = true;
+        _machine.tracer().emit(TraceEventType::KlocDamaged, knode->id,
+                               frame->tier, frame->pfn);
+    }
+    // Soft-offline the KLOC's sibling objects away from the tier
+    // that took the error, madvise(MADV_SOFT_OFFLINE)-style. The
+    // containment hook fires mid-access or mid-scan, so the bulk
+    // migration is deferred to the event queue; the knode is
+    // re-looked-up by inode id in case it died meanwhile.
+    const uint64_t inode = knode->id;
+    std::weak_ptr<int> alive = _alive;
+    _machine.events().schedule(
+        _machine.now(), [this, alive, inode, origin_tier] {
+            if (alive.expired())
+                return;
+            Knode *target = findKnode(inode);
+            if (target == nullptr || _tierOrder.empty())
+                return;
+            const TierPreference order =
+                _heap.tiers().preferHealthy(_tierOrder);
+            TierId dst = kInvalidTier;
+            for (const TierId t : order) {
+                if (t != origin_tier && _heap.tiers().tier(t).online()) {
+                    dst = t;
+                    break;
+                }
+            }
+            if (dst == kInvalidTier)
+                return;  // nowhere to shelter the siblings
+            const uint64_t moved = migrateKnodeObjects(target, dst);
+            _machine.tracer().emit(TraceEventType::SoftOffline, inode,
+                                   moved);
+        });
 }
 
 uint64_t

@@ -239,6 +239,15 @@ class KlocManager
     void noteMetadata();
     void daemonTick(Tick period);
 
+    /**
+     * Poison-notify callback from the MigrationEngine: when a
+     * tracked frame takes an uncorrectable error, mark the owning
+     * KLOC damaged on data loss and schedule a soft-offline that
+     * migrates its sibling objects away from the erroring tier.
+     */
+    void onFramePoisoned(Frame *frame, TierId origin_tier,
+                         bool data_lost);
+
     KernelHeap &_heap;
     MigrationEngine &_migrator;
     Machine &_machine;

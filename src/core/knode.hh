@@ -74,6 +74,12 @@ struct Knode
     bool pendingDemote = false;
     /** Queued for the migration daemon's promote pass. */
     bool pendingPromote = false;
+    /**
+     * An uncorrectable memory error destroyed one of this KLOC's
+     * objects (SIGBUS surfaced to the owner). Sticky: subsystems may
+     * fail reads against a damaged inode until it is recreated.
+     */
+    bool damaged = false;
 
     uint64_t objectCount() const { return rbCache.size() + rbSlab.size(); }
 };

@@ -13,6 +13,9 @@ const char *const kSiteNames[kNumFaultSites] = {
     "device_timeout",
     "migration_no_space",
     "journal_commit_crash",
+    "frame_poison_access",
+    "frame_poison_scan",
+    "frame_poison_copy",
 };
 
 /** Odd multiplier decorrelating per-site PRNG streams from one seed. */
@@ -62,7 +65,7 @@ parseFaultSite(const std::string &name, FaultSite &out)
 bool
 FaultSpec::armed() const
 {
-    if (!tierEvents.empty())
+    if (!tierEvents.empty() || !poisonStorms.empty())
         return true;
     for (const FaultRule &rule : rules) {
         if (rule.armed())
@@ -111,7 +114,8 @@ FaultSpec::parse(const std::string &text, FaultSpec &out, std::string *err)
             if (tok.size() != 5 || tok[1] != "at" || tok[3] != "tier" ||
                 !parseU64(tok[2], tick) || !parseU64(tok[4], tier)) {
                 return fail(lineno, "expected '" + tok[0] +
-                                    " at <tick> tier <id>'");
+                                    " at <tick> tier <id>', got '" +
+                                    line + "'");
             }
             TierFaultEvent event;
             event.at = static_cast<Tick>(tick);
@@ -121,36 +125,87 @@ FaultSpec::parse(const std::string &text, FaultSpec &out, std::string *err)
             continue;
         }
 
+        if (tok[0] == "poison_storm") {
+            // poison_storm at <tick> tier <id> frames <n>
+            //              [repeat <k> every <ticks>]
+            PoisonStormEvent event;
+            uint64_t tick = 0, tier = 0;
+            if (tok.size() < 7 || tok[1] != "at" || tok[3] != "tier" ||
+                tok[5] != "frames" || !parseU64(tok[2], tick) ||
+                !parseU64(tok[4], tier)) {
+                return fail(lineno,
+                            "expected 'poison_storm at <tick> tier <id>"
+                            " frames <n>', got '" + line + "'");
+            }
+            if (!parseU64(tok[6], event.frames) || event.frames == 0) {
+                return fail(lineno, "frames needs a positive count, "
+                                    "got '" + tok[6] + "'");
+            }
+            event.at = static_cast<Tick>(tick);
+            event.tier = static_cast<TierId>(tier);
+            if (tok.size() == 11 && tok[7] == "repeat" &&
+                tok[9] == "every") {
+                uint64_t every = 0;
+                if (!parseU64(tok[8], event.repeat) ||
+                    event.repeat == 0) {
+                    return fail(lineno, "repeat needs a positive count,"
+                                        " got '" + tok[8] + "'");
+                }
+                if (!parseU64(tok[10], every) || every == 0) {
+                    return fail(lineno, "every needs a positive tick "
+                                        "count, got '" + tok[10] + "'");
+                }
+                event.every = static_cast<Tick>(every);
+            } else if (tok.size() != 7) {
+                return fail(lineno,
+                            "trailing tokens after 'frames <n>' "
+                            "(expected 'repeat <k> every <ticks>'), "
+                            "got '" + tok[7] + "...'");
+            }
+            out.poisonStorms.push_back(event);
+            continue;
+        }
+
         FaultSite site;
         if (!parseFaultSite(tok[0], site))
             return fail(lineno, "unknown fault site '" + tok[0] + "'");
-        if (tok.size() < 3)
-            return fail(lineno, "expected '<site> <mode> <value>'");
+        if (tok.size() < 3) {
+            return fail(lineno, "expected '<site> <mode> <value>', "
+                                "got '" + line + "'");
+        }
 
         FaultRule rule;
         if (tok[1] == "prob") {
             rule.mode = FaultRule::Mode::Probability;
             if (!parseDouble(tok[2], rule.probability) ||
                 rule.probability < 0.0 || rule.probability > 1.0) {
-                return fail(lineno, "prob needs a value in [0,1]");
+                return fail(lineno, "prob needs a value in [0,1], "
+                                    "got '" + tok[2] + "'");
             }
         } else if (tok[1] == "period") {
             rule.mode = FaultRule::Mode::Period;
-            if (!parseU64(tok[2], rule.period) || rule.period == 0)
-                return fail(lineno, "period needs a positive count");
+            if (!parseU64(tok[2], rule.period) || rule.period == 0) {
+                return fail(lineno, "period needs a positive count, "
+                                    "got '" + tok[2] + "'");
+            }
         } else if (tok[1] == "oneshot") {
             rule.mode = FaultRule::Mode::OneShot;
-            if (!parseU64(tok[2], rule.oneshot) || rule.oneshot == 0)
-                return fail(lineno, "oneshot needs a positive consult #");
+            if (!parseU64(tok[2], rule.oneshot) || rule.oneshot == 0) {
+                return fail(lineno, "oneshot needs a positive consult "
+                                    "#, got '" + tok[2] + "'");
+            }
         } else {
             return fail(lineno, "unknown mode '" + tok[1] + "'");
         }
 
         if (tok.size() == 5 && tok[3] == "max") {
-            if (!parseU64(tok[4], rule.maxFires) || rule.maxFires == 0)
-                return fail(lineno, "max needs a positive count");
+            if (!parseU64(tok[4], rule.maxFires) || rule.maxFires == 0) {
+                return fail(lineno, "max needs a positive count, "
+                                    "got '" + tok[4] + "'");
+            }
         } else if (tok.size() != 3) {
-            return fail(lineno, "trailing tokens (expected 'max <n>')");
+            return fail(lineno, "trailing tokens (expected 'max <n>'), "
+                                "got '" + tok[3] + "'");
         }
         out.rules[static_cast<unsigned>(site)] = rule;
     }

@@ -39,6 +39,9 @@ enum class FaultSite : uint8_t {
     DeviceTimeout,      ///< device stalls, request times out
     MigrationNoSpace,   ///< target tier reports transient OOM
     JournalCommitCrash, ///< crash during a journal commit
+    FramePoisonAccess,  ///< uncorrectable memory error on a CPU access
+    FramePoisonScan,    ///< uncorrectable error surfaced by the LRU scan
+    FramePoisonCopy,    ///< uncorrectable error during a migration copy
     NumSites
 };
 
@@ -73,11 +76,26 @@ struct TierFaultEvent
     bool offline = true;
 };
 
+/**
+ * A scheduled burst of frame poisonings on one tier: at tick @c at
+ * (and then every @c every ticks, @c repeat times total) the first
+ * @c frames live frames of the tier take an uncorrectable error.
+ */
+struct PoisonStormEvent
+{
+    Tick at{};
+    TierId tier = kInvalidTier;
+    uint64_t frames = 1;   ///< frames poisoned per burst
+    uint64_t repeat = 1;   ///< number of bursts
+    Tick every{};          ///< spacing between bursts (repeat > 1)
+};
+
 /** Parsed fault specification (one rule per site + tier schedule). */
 struct FaultSpec
 {
     FaultRule rules[kNumFaultSites];
     std::vector<TierFaultEvent> tierEvents;
+    std::vector<PoisonStormEvent> poisonStorms;
     uint64_t seed = 1;
 
     /** True when any rule or tier event is configured. */
@@ -93,9 +111,11 @@ struct FaultSpec
      *   journal_commit_crash oneshot 3
      *   tier_offline at 5000000 tier 1
      *   tier_online at 9000000 tier 1
+     *   poison_storm at 2000000 tier 0 frames 8 repeat 4 every 1000000
      *
      * @return false on malformed input; @p err (if non-null) gets a
-     *         one-line description naming the offending line.
+     *         one-line description naming the offending line and
+     *         token.
      */
     static bool parse(const std::string &text, FaultSpec &out,
                       std::string *err = nullptr);

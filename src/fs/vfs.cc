@@ -727,6 +727,52 @@ FileSystem::syncAll()
     _journal->commit(true);
 }
 
+PageCachePage *
+FileSystem::pageForFrame(const Frame *frame)
+{
+    // Every cached page sits on the global LRU; a linear walk is
+    // fine here because callers only arrive on the rare hwpoison
+    // containment path, never per-access.
+    for (PageCachePage *page : _globalLru) {
+        if (page->frame() == frame)
+            return page;
+    }
+    return nullptr;
+}
+
+bool
+FileSystem::canRereadFrame(Frame *frame)
+{
+    if (frame->objClass != ObjClass::PageCache || frame->dirty)
+        return false;
+    PageCachePage *page = pageForFrame(frame);
+    return page != nullptr && page->uptodate && !page->dirty;
+}
+
+bool
+FileSystem::rereadFrame(Frame *frame)
+{
+    PageCachePage *page = pageForFrame(frame);
+    if (page == nullptr || page->dirty)
+        return false;
+    InodeInfo *info = infoForId(page->inodeId);
+    if (info == nullptr)
+        return false;
+    ++_stats.poisonRereads;
+    const IoStatus status = _blockLayer->submit(
+        info->knode, info->knode != nullptr && info->knode->inuse,
+        sectorFor(page->inodeId, page->pageIndex), kPageSize,
+        false, true);
+    if (status != IoStatus::Ok) {
+        // The page survives as a mapping but its contents are gone.
+        page->uptodate = false;
+        ++_stats.readErrors;
+        return false;
+    }
+    page->uptodate = true;
+    return true;
+}
+
 FrameCount
 FileSystem::reclaimPages(FrameCount target)
 {

@@ -45,6 +45,7 @@ struct FsStats
     uint64_t cacheBypasses = 0;   ///< allocation failed even after reclaim
     uint64_t readErrors = 0;      ///< reads whose device I/O never succeeded
     uint64_t writebackErrors = 0; ///< writeback runs abandoned after retries
+    uint64_t poisonRereads = 0;   ///< hwpoison recovery reads issued
 };
 
 /** The simulated filesystem. */
@@ -133,6 +134,24 @@ class FileSystem
 
     void stopDaemons();
 
+    // -- hwpoison recovery --------------------------------------------------
+
+    /**
+     * Poison-recovery probe: can @p frame's bytes be rebuilt from
+     * backing storage? True only for clean, up-to-date page-cache
+     * pages owned by this filesystem. The MigrationEngine consults
+     * this (via System's reread hook) before choosing the re-read
+     * containment leg.
+     */
+    bool canRereadFrame(Frame *frame);
+
+    /**
+     * Re-read the page backing @p frame from the device through the
+     * normal block-layer retry path (foreground). @return true when
+     * the device read ultimately succeeded.
+     */
+    bool rereadFrame(Frame *frame);
+
     // -- memory pressure ----------------------------------------------------
 
     /**
@@ -182,6 +201,7 @@ class FileSystem
     };
 
     InodeInfo *infoForFd(int fd);
+    PageCachePage *pageForFrame(const Frame *frame);
     InodeInfo *infoForId(uint64_t inode_id);
     const InodeInfo *infoForId(uint64_t inode_id) const;
     void markActive(InodeInfo &info);

@@ -96,6 +96,26 @@ BuddyAllocator::free(Pfn pfn, unsigned order)
     insertFree(pfn, order);
 }
 
+void
+BuddyAllocator::quarantine(Pfn pfn, unsigned order)
+{
+    KLOC_ASSERT(order <= kMaxOrder, "order %u too large", order);
+    KLOC_ASSERT(pfn + (1ULL << order) <= _totalFrames,
+                "quarantine beyond frame space");
+    KLOC_ASSERT((pfn & ((1ULL << order) - 1)) == 0,
+                "misaligned quarantine of pfn %llu order %u",
+                static_cast<unsigned long long>(pfn), order);
+    KLOC_ASSERT(_freeOrder[pfn] == kNotFreeHead,
+                "quarantine of free pfn %llu",
+                static_cast<unsigned long long>(pfn));
+    // The block moves from used to quarantined accounting but stays
+    // out of the free lists, so alloc() can never return it and the
+    // coalescing walk in free() (which only merges blocks found on a
+    // free list) can never absorb it into a larger free block.
+    _usedFrames -= FrameCount{1ULL << order};
+    _quarantinedFrames += FrameCount{1ULL << order};
+}
+
 int
 BuddyAllocator::maxAvailableOrder() const
 {

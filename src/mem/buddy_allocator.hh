@@ -38,11 +38,26 @@ class BuddyAllocator
     /** Free the block at @p pfn previously allocated with @p order. */
     void free(Pfn pfn, unsigned order);
 
+    /**
+     * Retire the allocated block at @p pfn: it leaves the used
+     * accounting but never re-enters the free lists, so it can never
+     * be handed out again (hwpoison containment). Irreversible for
+     * the allocator's lifetime.
+     */
+    void quarantine(Pfn pfn, unsigned order);
+
     /** Frames currently allocated. */
     FrameCount usedFrames() const { return _usedFrames; }
 
     /** Frames currently free. */
-    FrameCount freeFrames() const { return _totalFrames - _usedFrames; }
+    FrameCount
+    freeFrames() const
+    {
+        return _totalFrames - _usedFrames - _quarantinedFrames;
+    }
+
+    /** Frames permanently retired by quarantine(). */
+    FrameCount quarantinedFrames() const { return _quarantinedFrames; }
 
     FrameCount totalFrames() const { return _totalFrames; }
 
@@ -70,6 +85,7 @@ class BuddyAllocator
     int _traceTier = -1;
     FrameCount _totalFrames;
     FrameCount _usedFrames{};
+    FrameCount _quarantinedFrames{};
     /** Per-order ordered sets of free block base pfns. */
     std::set<Pfn> _freeLists[kMaxOrder + 1];
     /** freeOrder[pfn] = order when a free block starts there. */

@@ -45,6 +45,11 @@ struct Frame
     // Dirty state (writeback interacts with migration).
     bool dirty = false;
 
+    // Hwpoison: an uncorrectable error was injected on this frame and
+    // containment could not relocate it (pinned, unmovable, or no
+    // space). The physical block is quarantined when the frame frees.
+    bool poisoned = false;
+
     Tick allocTick{};
     Tick lastAccessTick{};
     Tick lastWriteTick{};          ///< for transactional-copy aborts

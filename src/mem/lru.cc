@@ -41,10 +41,30 @@ LruEngine::onFreed(Frame *frame)
     }
 }
 
+bool
+LruEngine::maybePoison(Frame *frame, FaultSite site, PoisonOrigin origin)
+{
+    // Only consult while a containment hook is registered, so stacks
+    // without a MigrationEngine draw no per-site fault RNG and their
+    // traces are unchanged by the poison machinery existing.
+    if (_poisonHook.fn == nullptr || frame->poisoned)
+        return false;
+    if (!_machine.faults().shouldFire(site))
+        return false;
+    _poisonHook.fn(_poisonHook.ctx, frame, origin);
+    return true;
+}
+
 void
 LruEngine::onAccessed(Frame *frame)
 {
     frame->lastAccessTick = _machine.now();
+    if (maybePoison(frame, FaultSite::FramePoisonAccess,
+                    PoisonOrigin::Access)) {
+        // Containment ran; the frame may have been re-homed. Its new
+        // location starts cold rather than inheriting this touch.
+        return;
+    }
     if (!frame->lruHook.linked())
         return;
     Tier &t = _tiers.tier(frame->tier);
@@ -125,14 +145,21 @@ LruEngine::scanTier(TierId tier, FrameCount max_scan, ScanResult &out)
 
     // Pass 1: age the active list from the cold end. Referenced
     // frames get another round; unreferenced ones deactivate.
+    // The poison hook can evacuate frames off this tier mid-scan, so
+    // both passes re-check list emptiness rather than trusting the
+    // length snapshot.
     uint64_t budget = max_scan;
     uint64_t active_len = t.activeList().size();
-    while (budget > 0 && active_len > 0) {
+    while (budget > 0 && active_len > 0 && !t.activeList().empty()) {
         Frame *frame = t.activeList().back();
         --active_len;
         --budget;
         ++out.scanned;
         out.pagesVisited += 1ULL << frame->order;
+        if (maybePoison(frame, FaultSite::FramePoisonScan,
+                        PoisonOrigin::Scan)) {
+            continue;
+        }
         if (frame->referenced) {
             frame->referenced = false;
             t.activeList().moveToFront(frame);
@@ -147,21 +174,27 @@ LruEngine::scanTier(TierId tier, FrameCount max_scan, ScanResult &out)
 
     // Pass 2: find cold frames at the tail of the inactive list.
     uint64_t inactive_len = t.inactiveList().size();
-    while (budget > 0 && inactive_len > 0) {
+    while (budget > 0 && inactive_len > 0 && !t.inactiveList().empty()) {
         Frame *frame = t.inactiveList().back();
         --inactive_len;
         --budget;
         ++out.scanned;
         out.pagesVisited += 1ULL << frame->order;
+        if (maybePoison(frame, FaultSite::FramePoisonScan,
+                        PoisonOrigin::Scan)) {
+            continue;
+        }
         if (frame->referenced) {
             // Referenced while inactive: second chance.
             frame->referenced = false;
             t.inactiveList().moveToFront(frame);
         } else {
             // Cold. Rotate so the next scan sees different frames,
-            // and report as a demotion candidate.
+            // and report as a demotion candidate. Frames poisoned in
+            // place are unmovable; never offer them.
             t.inactiveList().moveToFront(frame);
-            out.demoteCandidates.emplace_back(frame);
+            if (!frame->poisoned)
+                out.demoteCandidates.emplace_back(frame);
         }
     }
 
@@ -199,7 +232,8 @@ LruEngine::collectHot(TierId tier, FrameCount max,
             frame->scanMarks = 1;
             continue;
         }
-        out.emplace_back(frame);
+        if (!frame->poisoned)
+            out.emplace_back(frame);
     }
     _totalScanned += scanned;
     _totalPagesVisited += pages;
@@ -220,14 +254,15 @@ LruEngine::collectReferenced(TierId tier, FrameCount max,
             break;
         ++scanned;
         pages += 1ULL << frame->order;
-        out.emplace_back(frame);
+        if (!frame->poisoned)
+            out.emplace_back(frame);
     }
     for (Frame *frame : t.inactiveList()) {
         if (out.size() >= max)
             break;
         ++scanned;
         pages += 1ULL << frame->order;
-        if (frame->referenced)
+        if (frame->referenced && !frame->poisoned)
             out.emplace_back(frame);
     }
     _totalScanned += scanned;

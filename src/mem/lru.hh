@@ -57,6 +57,22 @@ class LruEngine
     LruEngine(Machine &machine, TierManager &tiers);
 
     /**
+     * Containment callback for frame_poison_access/_scan faults. The
+     * access and scan paths consult the injector only while a hook is
+     * registered (the MigrationEngine registers itself), so an
+     * LRU-only stack draws no fault RNG. The hook may evacuate the
+     * frame — re-homing it, moving its list membership, or leaving it
+     * poisoned in place — so callers treat the frame as re-homed
+     * after the call.
+     */
+    void
+    setPoisonHook(void (*fn)(void *, Frame *, PoisonOrigin), void *ctx)
+    {
+        _poisonHook.fn = fn;
+        _poisonHook.ctx = ctx;
+    }
+
+    /**
      * Frame lifecycle notifications. Alloc/free arrive automatically
      * via TierManager observers; access and migration notifications
      * are the caller's responsibility.
@@ -151,11 +167,23 @@ class LruEngine
     uint64_t inactiveCount(TierId tier);
 
   private:
+    struct PoisonHook
+    {
+        void (*fn)(void *ctx, Frame *frame, PoisonOrigin origin) =
+            nullptr;
+        void *ctx = nullptr;
+    };
+
     void onAllocated(Frame *frame);
     void onFreed(Frame *frame);
 
+    /** Consult the injector at @p site for @p frame; true = poisoned
+     *  (the hook ran and the caller must not keep scanning it). */
+    bool maybePoison(Frame *frame, FaultSite site, PoisonOrigin origin);
+
     Machine &_machine;
     TierManager &_tiers;
+    PoisonHook _poisonHook;
     uint64_t _totalScanned = 0;
     uint64_t _totalPagesVisited = 0;
 };

@@ -15,6 +15,28 @@ txnAbortReasonName(TxnAbortReason reason)
     return "unknown";
 }
 
+MigrationEngine::MigrationEngine(Machine &machine, TierManager &tiers,
+                                 LruEngine &lru)
+    : _machine(machine), _tiers(tiers), _lru(lru)
+{
+    // Captureless trampolines, same shape as the LRU's frame
+    // observers: the engine is the containment authority for poison
+    // faults surfaced on the access/scan paths, and the drain
+    // authority for tiers whose health fails.
+    _lru.setPoisonHook(
+        [](void *ctx, Frame *frame, PoisonOrigin origin) {
+            static_cast<MigrationEngine *>(ctx)->poisonFrame(frame,
+                                                             origin);
+        },
+        this);
+    _tiers.addHealthObserver(
+        [](void *ctx, TierId tier, TierHealth from, TierHealth to) {
+            static_cast<MigrationEngine *>(ctx)->onTierHealth(tier, from,
+                                                              to);
+        },
+        this);
+}
+
 void
 MigrationEngine::setParallelism(unsigned width)
 {
@@ -29,6 +51,14 @@ MigrationEngine::moveFrame(Frame *frame, TierId dst, Tick &copy_cost,
     ++_stats.attempts;
     const TierId src = frame->tier;
     const Pfn src_pfn = frame->pfn;
+
+    if (_machine.faults().shouldFire(FaultSite::FramePoisonCopy)) {
+        // The copy's source read hit bad cells: the move fails and
+        // the frame enters containment instead.
+        ++_stats.failedPoisoned;
+        poisonFrame(frame, PoisonOrigin::Copy);
+        return MigrateResult::Poisoned;
+    }
 
     MigrateResult result;
     if (_machine.faults().shouldFire(FaultSite::MigrationNoSpace)) {
@@ -51,14 +81,18 @@ MigrationEngine::moveFrame(Frame *frame, TierId dst, Tick &copy_cost,
         ++_stats.failedDamped;
         return result;
       case MigrateResult::SameTier:
+        ++_stats.failedSameTier;
         return result;
       case MigrateResult::Offline:
         ++_stats.failedOffline;
         return result;
       case MigrateResult::NoSpace:
-        // Counted once, at abandonment, by moveWithRetry.
+        // Counted once, at abandonment or retry, by moveWithRetry.
         return result;
+      case MigrateResult::Poisoned:
+        return result;  // unreachable: handled before migrateEx
     }
+    ++_stats.movedFrames;
 
     _machine.tracer().emit(TraceEventType::MigStart, src, src_pfn, dst,
                            frame->pfn);
@@ -194,6 +228,19 @@ MigrationEngine::promoteOneTransactional(Frame *frame, TierId dst,
         return false;
     }
 
+    if (_machine.faults().shouldFire(FaultSite::FramePoisonCopy)) {
+        // The transactional copy's source read hit bad cells: close
+        // the window as a blocked abort, then run containment.
+        _machine.tracer().emit(
+            TraceEventType::MigTxnAbort, src, src_pfn,
+            static_cast<uint64_t>(dst),
+            static_cast<uint64_t>(TxnAbortReason::Blocked));
+        ++_stats.txnAbortedBlocked;
+        ++_stats.failedPoisoned;
+        poisonFrame(frame, PoisonOrigin::Copy);
+        return false;
+    }
+
     MigrateResult result;
     const bool over_budget =
         _tiers.shadowPages() + frame->pages().value() > _shadowBudget;
@@ -238,11 +285,15 @@ MigrationEngine::promoteOneTransactional(Frame *frame, TierId dst,
           case MigrateResult::Offline:
             ++_stats.failedOffline;
             break;
+          case MigrateResult::SameTier:
+            ++_stats.failedSameTier;
+            break;
           default:
             break;
         }
         return false;
     }
+    ++_stats.movedFrames;
 
     _machine.tracer().emit(TraceEventType::MigStart, src, src_pfn, dst,
                            frame->pfn);
@@ -338,6 +389,7 @@ MigrationEngine::demoteWithShadows(const std::vector<FrameRef> &batch,
             const Pfn shadow_pfn = frame->shadowPfn;
             const MigrateResult result = _tiers.migrateIntoShadow(frame);
             if (result == MigrateResult::Ok) {
+                ++_stats.movedFrames;
                 // Clean shadow: the demotion is a remap, no copy.
                 _machine.tracer().emit(TraceEventType::ShadowReuse, dst,
                                        shadow_pfn, src, src_pfn);
@@ -375,6 +427,9 @@ MigrationEngine::demoteWithShadows(const std::vector<FrameRef> &batch,
                 break;
               case MigrateResult::Offline:
                 ++_stats.failedOffline;
+                break;
+              case MigrateResult::SameTier:
+                ++_stats.failedSameTier;
                 break;
               default:
                 break;
@@ -474,6 +529,251 @@ MigrationEngine::scheduleTierEvents()
                 offlineTier(event.tier);
             else
                 onlineTier(event.tier);
+        });
+    }
+    for (const PoisonStormEvent &storm :
+         _machine.faults().spec().poisonStorms) {
+        for (uint64_t burst = 0; burst < storm.repeat; ++burst) {
+            const Tick at =
+                storm.at + storm.every * static_cast<int64_t>(burst);
+            _machine.events().schedule(at, [this, storm] {
+                firePoisonStorm(storm.tier, storm.frames);
+            });
+        }
+    }
+}
+
+void
+MigrationEngine::emitDataLoss(Frame *frame, DataLossReason reason)
+{
+    ++_poisonStats.dataLoss;
+    _machine.tracer().emit(TraceEventType::DataLoss, frame->tier,
+                           frame->pfn, static_cast<uint64_t>(reason),
+                           static_cast<uint64_t>(frame->objClass));
+}
+
+bool
+MigrationEngine::poisonFrame(Frame *frame, PoisonOrigin origin)
+{
+    if (frame == nullptr || frame->tier == kInvalidTier || frame->poisoned)
+        return false;
+
+    frame->poisoned = true;
+    const TierId src = frame->tier;
+    ++_poisonStats.poisonedFrames;
+    if (origin == PoisonOrigin::Storm)
+        ++_poisonStats.stormFrames;
+    _machine.tracer().emit(TraceEventType::FramePoison, src, frame->pfn,
+                           static_cast<uint64_t>(origin),
+                           static_cast<uint64_t>(frame->objClass));
+    _tiers.recordTierError(src);
+
+    // Recovery ladder, cheapest source first. Each leg fully resolves
+    // the frame: either its bytes land on a healthy tier or a
+    // DataLoss records the SIGBUS. The poisoned block quarantines
+    // immediately on evacuation, or at free time when stuck in place.
+    Tick copy_cost{};
+    Tick fixed_cost{};
+    bool recovered = false;
+    if (!frame->relocatable || frame->pinned()) {
+        // Unmovable: the error stays resident until the frame is
+        // released; its block quarantines on free.
+        emitDataLoss(frame, DataLossReason::Unmovable);
+    } else if (frame->hasShadow() && frame->shadowClean() &&
+               frame->shadowTier != src &&
+               _tiers.tier(frame->shadowTier).online()) {
+        recovered = recoverViaShadow(frame, fixed_cost);
+    } else if (_rereadProbe != nullptr && _rereadProbe(_rereadCtx, frame)) {
+        recovered = recoverViaReread(frame, copy_cost, fixed_cost);
+    } else {
+        // No clean shadow and no backing copy: the bytes are gone.
+        emitDataLoss(frame, DataLossReason::NoSource);
+    }
+
+    const Tick total =
+        (copy_cost + fixed_cost) / static_cast<int64_t>(_parallelism);
+    if (total > Tick{})
+        _machine.backgroundTraffic(total);
+    notifyPoisonOwner(frame, src, !recovered);
+    return recovered;
+}
+
+bool
+MigrationEngine::recoverViaShadow(Frame *frame, Tick &fixed_cost)
+{
+    const TierId src = frame->tier;
+    const Pfn src_pfn = frame->pfn;
+    const unsigned order = frame->order;
+    const TierId dst = frame->shadowTier;
+    const Pfn shadow_pfn = frame->shadowPfn;
+    const MigrateResult result = _tiers.evacuateIntoShadow(frame);
+    // The caller pre-checked every failure leg (relocatable, unpinned,
+    // distinct online shadow tier), so adoption cannot fail.
+    KLOC_ASSERT(result == MigrateResult::Ok, "shadow recovery failed: %s",
+                migrateResultName(result));
+    _machine.tracer().emit(TraceEventType::ShadowReuse, dst, shadow_pfn,
+                           src, src_pfn);
+    _machine.tracer().emit(TraceEventType::MigStart, src, src_pfn, dst,
+                           shadow_pfn);
+    _lru.onMigrated(frame, src);
+    frame->scanMarks = 0;
+    if (dst > src)
+        _lru.deactivate(frame);
+    _machine.tracer().emit(TraceEventType::MigComplete, dst, shadow_pfn,
+                           frame->pages(), dst > src ? 1 : 0);
+    _tiers.noteQuarantined(src, src_pfn, order);
+    _machine.tracer().emit(TraceEventType::MemRecover,
+                           traceFrameKey(dst, shadow_pfn),
+                           traceFrameKey(src, src_pfn),
+                           static_cast<uint64_t>(RecoverySource::Shadow));
+    fixed_cost += kPerPageOverhead * frame->pages().value();
+    ++_poisonStats.recoveredShadow;
+    return true;
+}
+
+bool
+MigrationEngine::recoverViaReread(Frame *frame, Tick &copy_cost,
+                                  Tick &fixed_cost)
+{
+    const TierId src = frame->tier;
+    const Pfn src_pfn = frame->pfn;
+    const unsigned order = frame->order;
+
+    // Land the replacement frame on the fastest online tier with
+    // room; recovery placement is not a policy decision.
+    MigrateResult result = MigrateResult::NoSpace;
+    for (size_t t = 0; t < _tiers.tierCount(); ++t) {
+        const TierId dst_id = static_cast<TierId>(t);
+        if (dst_id == src || !_tiers.tier(dst_id).online())
+            continue;
+        result = _tiers.evacuate(frame, dst_id);
+        if (result == MigrateResult::Ok)
+            break;
+    }
+    if (result != MigrateResult::Ok) {
+        // Nowhere to rebuild the page: poisoned in place, block
+        // quarantines on free.
+        emitDataLoss(frame, DataLossReason::NoSpace);
+        return false;
+    }
+    const TierId dst = frame->tier;
+    const Pfn dst_pfn = frame->pfn;
+    _machine.tracer().emit(TraceEventType::MigStart, src, src_pfn, dst,
+                           dst_pfn);
+    _lru.onMigrated(frame, src);
+    frame->scanMarks = 0;
+    if (dst > src)
+        _lru.deactivate(frame);
+    _machine.tracer().emit(TraceEventType::MigComplete, dst, dst_pfn,
+                           frame->pages(), dst > src ? 1 : 0);
+    _tiers.noteQuarantined(src, src_pfn, order);
+
+    // The destination write is copy traffic; the device read inside
+    // the hook charges itself through the block layer. Pin the frame
+    // across the read — the I/O charge can dispatch daemon work that
+    // would otherwise migrate or free it mid-recovery.
+    copy_cost += _machine.memModel().rawCost(dst, frame->bytes(),
+                                             AccessType::Write,
+                                             _machine.currentSocket());
+    fixed_cost += kPerPageOverhead * frame->pages().value();
+    ++frame->pinCount;
+    _machine.tracer().emit(TraceEventType::FramePin, dst, dst_pfn);
+    const bool read_ok = _rereadFn != nullptr && _rereadFn(_rereadCtx, frame);
+    _machine.tracer().emit(TraceEventType::FrameUnpin, dst, dst_pfn);
+    --frame->pinCount;
+
+    if (!read_ok) {
+        // The frame moved but its bytes did not: the device gave up.
+        emitDataLoss(frame, DataLossReason::RereadFailed);
+        return false;
+    }
+    _machine.tracer().emit(TraceEventType::MemRecover,
+                           traceFrameKey(dst, dst_pfn),
+                           traceFrameKey(src, src_pfn),
+                           static_cast<uint64_t>(RecoverySource::Reread));
+    ++_poisonStats.recoveredReread;
+    return true;
+}
+
+void
+MigrationEngine::notifyPoisonOwner(Frame *frame, TierId origin_tier,
+                                   bool data_lost)
+{
+    if (_poisonNotifyFn != nullptr)
+        _poisonNotifyFn(_poisonNotifyCtx, frame, origin_tier, data_lost);
+}
+
+void
+MigrationEngine::firePoisonStorm(TierId tier, uint64_t frames)
+{
+    if (tier < 0 || static_cast<size_t>(tier) >= _tiers.tierCount()) {
+        // Specs are written against arbitrary topologies; a storm
+        // aimed at a tier this machine lacks is a no-op, recorded.
+        _machine.tracer().emit(TraceEventType::PoisonStorm,
+                               static_cast<uint64_t>(tier), frames, 0);
+        return;
+    }
+    const std::vector<FrameRef> victims = _tiers.collectFramesOn(tier);
+    uint64_t fired = 0;
+    for (const FrameRef &ref : victims) {
+        if (fired >= frames)
+            break;
+        // Containment charges time, and charged time can run async
+        // work that frees or moves later victims — re-validate.
+        if (!ref.valid() || ref.get()->tier != tier ||
+            ref.get()->poisoned) {
+            continue;
+        }
+        poisonFrame(ref.get(), PoisonOrigin::Storm);
+        ++fired;
+    }
+    _machine.tracer().emit(TraceEventType::PoisonStorm,
+                           static_cast<uint64_t>(tier), frames, fired);
+}
+
+void
+MigrationEngine::onTierHealth(TierId tier, TierHealth from, TierHealth to)
+{
+    const size_t idx = static_cast<size_t>(tier);
+    if (_healthOfflined.size() <= idx)
+        _healthOfflined.resize(idx + 1, 0);
+    // Transitions arrive synchronously from recordTierError() or the
+    // health tick — possibly mid-scan or mid-batch — so the heavy
+    // drain/readmission runs from the event queue, re-checking health
+    // at fire time.
+    if (to == TierHealth::Failed) {
+        _machine.events().schedule(_machine.now(), [this, tier, idx] {
+            if (_tiers.health(tier) != TierHealth::Failed ||
+                !_tiers.tier(tier).online()) {
+                return;
+            }
+            // Never drain the last online tier: a failed-but-present
+            // tier still serves; an empty machine panics on the next
+            // kernel allocation. The tier is readmitted (or drained)
+            // once another tier comes back.
+            bool other_online = false;
+            for (size_t t = 0; t < _tiers.tierCount(); ++t) {
+                if (t != idx &&
+                    _tiers.tier(static_cast<TierId>(t)).online()) {
+                    other_online = true;
+                    break;
+                }
+            }
+            if (!other_online)
+                return;
+            _healthOfflined[idx] = 1;
+            offlineTier(tier);
+        });
+    } else if (from == TierHealth::Failed) {
+        _machine.events().schedule(_machine.now(), [this, tier, idx] {
+            // Readmit only tiers this engine drained for health;
+            // operator-offlined tiers stay down until their own
+            // online event.
+            if (_tiers.health(tier) != TierHealth::Failed &&
+                _healthOfflined[idx] != 0 && !_tiers.tier(tier).online()) {
+                _healthOfflined[idx] = 0;
+                onlineTier(tier);
+            }
         });
     }
 }

@@ -41,6 +41,7 @@ namespace kloc {
 struct MigrationStats
 {
     uint64_t attempts = 0;
+    uint64_t movedFrames = 0;     ///< attempts that moved a frame
     uint64_t migratedPages = 0;
     uint64_t demotedPages = 0;    ///< toward slower tiers (higher id)
     uint64_t promotedPages = 0;   ///< toward faster tiers (lower id)
@@ -50,6 +51,8 @@ struct MigrationStats
     uint64_t failedPinned = 0;    ///< in-flight I/O held the frame
     uint64_t failedDamped = 0;    ///< ping-pong damping retained it
     uint64_t failedOffline = 0;   ///< destination tier was offline
+    uint64_t failedSameTier = 0;  ///< already resident on destination
+    uint64_t failedPoisoned = 0;  ///< poison fault fired mid-copy
     uint64_t noSpaceRetries = 0;  ///< backoff retries (not failures)
     uint64_t txnBegins = 0;       ///< transactional copies opened
     uint64_t txnCommits = 0;      ///< transactional copies committed
@@ -59,6 +62,32 @@ struct MigrationStats
     uint64_t shadowMakes = 0;     ///< promotions that kept a shadow
     uint64_t shadowFreeDemotions = 0; ///< demotions served by a shadow
     uint64_t migratedPagesByClass[kNumObjClasses] = {};
+
+    /**
+     * Every attempt resolves into exactly one outcome counter. The
+     * conformance suite asserts this identity; failedStale sits
+     * outside it (stale frames are rejected before an attempt opens)
+     * and txnAbortedNoSpace double-counts into failedNoSpace by
+     * design (a transactional NoSpace abort is also an abandonment).
+     */
+    uint64_t
+    resolvedAttempts() const
+    {
+        return movedFrames + failedNotRelocatable + failedPinned +
+               failedDamped + failedSameTier + failedOffline +
+               failedPoisoned + failedNoSpace + noSpaceRetries +
+               txnAbortedWrite;
+    }
+};
+
+/** Counters describing the hwpoison containment machinery. */
+struct PoisonStats
+{
+    uint64_t poisonedFrames = 0;   ///< FramePoison events emitted
+    uint64_t stormFrames = 0;      ///< poisoned by poison_storm bursts
+    uint64_t recoveredShadow = 0;  ///< recovered from a clean shadow
+    uint64_t recoveredReread = 0;  ///< recovered by device re-read
+    uint64_t dataLoss = 0;         ///< DataLoss events emitted
 };
 
 /** Why a transactional copy aborted (MigTxnAbort arg). */
@@ -84,9 +113,7 @@ class MigrationEngine
     /** First retry delay; doubles per attempt. */
     static constexpr Tick kRetryBackoffBase = 50 * kMicrosecond;
 
-    MigrationEngine(Machine &machine, TierManager &tiers, LruEngine &lru)
-        : _machine(machine), _tiers(tiers), _lru(lru)
-    {}
+    MigrationEngine(Machine &machine, TierManager &tiers, LruEngine &lru);
 
     /**
      * Parallel page-copy width (Nimble's optimisation). 1 means the
@@ -156,12 +183,65 @@ class MigrationEngine
     void onlineTier(TierId id);
 
     /**
-     * Schedule the fault spec's tier offline/online events on the
-     * machine's event queue. Call once after configuring faults.
+     * Schedule the fault spec's tier offline/online events and
+     * poison-storm bursts on the machine's event queue. Call once
+     * after configuring faults.
      */
     void scheduleTierEvents();
 
+    /**
+     * Contain an uncorrectable error on @p frame (hwpoison).
+     *
+     * The frame's tier records the error against its health EWMA and
+     * recovery is attempted in order: a clean Nomad shadow is
+     * re-adopted for free; a re-readable page-cache page is evacuated
+     * to a fresh frame and re-read through the block layer; otherwise
+     * a SIGBUS-like DataLoss is emitted and the owner is notified.
+     * Either way the poisoned block ends quarantined — immediately
+     * when the frame evacuates, or on free when it is stuck in place
+     * (pinned, non-relocatable, or nowhere to go).
+     *
+     * Idempotent: an already-poisoned frame is left alone.
+     * @return true when the frame's bytes were recovered.
+     */
+    bool poisonFrame(Frame *frame, PoisonOrigin origin);
+
+    /**
+     * Register the page-cache re-read recovery path. @p probe
+     * answers whether @p frame's bytes can be re-read from backing
+     * storage (clean page-cache page); @p reread performs the read
+     * through the block layer, charging device time, and reports
+     * success. The FileSystem registers itself at construction.
+     */
+    void
+    setRereadHook(bool (*probe)(void *, Frame *),
+                  bool (*reread)(void *, Frame *), void *ctx)
+    {
+        _rereadProbe = probe;
+        _rereadFn = reread;
+        _rereadCtx = ctx;
+    }
+
+    /**
+     * Register the owner-notification hook, called once per poisoned
+     * frame after containment resolves: @p origin_tier is where the
+     * error struck (the frame may have evacuated elsewhere since) and
+     * @p data_lost says whether the bytes survived. The KlocManager
+     * uses it to mark the owning KLOC damaged and soft-offline its
+     * sibling objects away from the erroring tier.
+     */
+    void
+    setPoisonNotifyHook(void (*fn)(void *, Frame *, TierId origin_tier,
+                                   bool data_lost),
+                        void *ctx)
+    {
+        _poisonNotifyFn = fn;
+        _poisonNotifyCtx = ctx;
+    }
+
     const MigrationStats &stats() const { return _stats; }
+
+    const PoisonStats &poisonStats() const { return _poisonStats; }
 
     void resetStats() { _stats = MigrationStats{}; }
 
@@ -185,12 +265,44 @@ class MigrationEngine
                                  Tick &copy_cost, Tick &fixed_cost,
                                  bool &fail_fast);
 
+    /** Shadow-recovery leg of poisonFrame; true = bytes recovered. */
+    bool recoverViaShadow(Frame *frame, Tick &fixed_cost);
+
+    /**
+     * Evacuate-then-reread leg of poisonFrame; true = bytes
+     * recovered. Emits its own DataLoss when evacuation finds no
+     * space or the device read fails.
+     */
+    bool recoverViaReread(Frame *frame, Tick &copy_cost,
+                          Tick &fixed_cost);
+
+    /** Emit DataLoss for @p frame and bump the counter. */
+    void emitDataLoss(Frame *frame, DataLossReason reason);
+
+    /** One poison_storm burst on @p tier. */
+    void firePoisonStorm(TierId tier, uint64_t frames);
+
+    /** Health observer: failed tiers drain, readmitted ones return. */
+    void onTierHealth(TierId tier, TierHealth from, TierHealth to);
+
+    void notifyPoisonOwner(Frame *frame, TierId origin_tier,
+                           bool data_lost);
+
     Machine &_machine;
     TierManager &_tiers;
     LruEngine &_lru;
     unsigned _parallelism = 1;
     uint64_t _shadowBudget = ~0ULL;
     MigrationStats _stats;
+    PoisonStats _poisonStats;
+    bool (*_rereadProbe)(void *, Frame *) = nullptr;
+    bool (*_rereadFn)(void *, Frame *) = nullptr;
+    void *_rereadCtx = nullptr;
+    void (*_poisonNotifyFn)(void *, Frame *, TierId, bool) = nullptr;
+    void *_poisonNotifyCtx = nullptr;
+    /** Tiers this engine offlined for health (vs. operator events),
+     *  so readmission never onlines an operator-offlined tier. */
+    std::vector<uint8_t> _healthOfflined;
 };
 
 } // namespace kloc

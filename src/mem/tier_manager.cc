@@ -15,6 +15,52 @@ migrateResultName(MigrateResult result)
       case MigrateResult::SameTier:       return "same_tier";
       case MigrateResult::Offline:        return "offline";
       case MigrateResult::NoSpace:        return "no_space";
+      case MigrateResult::Poisoned:       return "poisoned";
+    }
+    return "unknown";
+}
+
+const char *
+poisonOriginName(PoisonOrigin origin)
+{
+    switch (origin) {
+      case PoisonOrigin::Access: return "access";
+      case PoisonOrigin::Scan:   return "scan";
+      case PoisonOrigin::Copy:   return "copy";
+      case PoisonOrigin::Storm:  return "storm";
+    }
+    return "unknown";
+}
+
+const char *
+recoverySourceName(RecoverySource source)
+{
+    switch (source) {
+      case RecoverySource::Shadow: return "shadow";
+      case RecoverySource::Reread: return "reread";
+    }
+    return "unknown";
+}
+
+const char *
+dataLossReasonName(DataLossReason reason)
+{
+    switch (reason) {
+      case DataLossReason::Unmovable:    return "unmovable";
+      case DataLossReason::NoSource:     return "no_source";
+      case DataLossReason::RereadFailed: return "reread_failed";
+      case DataLossReason::NoSpace:      return "no_space";
+    }
+    return "unknown";
+}
+
+const char *
+tierHealthName(TierHealth health)
+{
+    switch (health) {
+      case TierHealth::Healthy:  return "healthy";
+      case TierHealth::Degraded: return "degraded";
+      case TierHealth::Failed:   return "failed";
     }
     return "unknown";
 }
@@ -41,6 +87,7 @@ TierManager::addTier(const TierSpec &spec)
                 "tier id out of sync with memory model");
     _tiers.push_back(std::make_unique<Tier>(id, spec));
     _tiers.back()->buddy().setTrace(&_machine.tracer(), id);
+    _health.push_back(HealthState{});
     return id;
 }
 
@@ -125,7 +172,13 @@ TierManager::free(Frame *frame)
 
     Tier &t = tier(frame->tier);
     t.noteFree(frame->objClass, frame->pages());
-    t.buddy().free(frame->pfn, frame->order);
+    if (frame->poisoned) {
+        // A poisoned block never returns to the allocator: it is
+        // retired into quarantine the moment its frame dies.
+        quarantineBlock(t, frame->pfn, frame->order);
+    } else {
+        t.buddy().free(frame->pfn, frame->order);
+    }
 
     frame->tier = kInvalidTier;
     frame->pfn = kInvalidPfn;
@@ -258,6 +311,77 @@ TierManager::migrateIntoShadow(Frame *frame)
     return MigrateResult::Ok;
 }
 
+MigrateResult
+TierManager::evacuate(Frame *frame, TierId dst)
+{
+    KLOC_ASSERT(frame->tier != kInvalidTier, "evacuating freed frame");
+    KLOC_ASSERT(frame->poisoned, "evacuating healthy frame");
+    if (!frame->relocatable)
+        return MigrateResult::NotRelocatable;
+    if (frame->pinned())
+        return MigrateResult::Pinned;
+    if (frame->tier == dst)
+        return MigrateResult::SameTier;
+    Tier &to = tier(dst);
+    if (!to.online())
+        return MigrateResult::Offline;
+    const Pfn new_pfn = to.buddy().alloc(frame->order);
+    if (new_pfn == kInvalidPfn)
+        return MigrateResult::NoSpace;
+
+    // A stale shadow cannot serve recovery; a clean one would have
+    // been adopted by evacuateIntoShadow() instead. Either way the
+    // frame leaves it behind.
+    if (frame->hasShadow())
+        dropShadow(frame, ShadowDropReason::FrameMoved);
+
+    Tier &from = tier(frame->tier);
+    from.noteFree(frame->objClass, frame->pages());
+    from.buddy().quarantine(frame->pfn, frame->order);
+
+    frame->tier = dst;
+    frame->pfn = new_pfn;
+    frame->poisoned = false;
+    ++frame->migrateCount;
+    to.noteArrive(frame->objClass, frame->pages());
+    return MigrateResult::Ok;
+}
+
+MigrateResult
+TierManager::evacuateIntoShadow(Frame *frame)
+{
+    KLOC_ASSERT(frame->tier != kInvalidTier, "evacuating freed frame");
+    KLOC_ASSERT(frame->poisoned, "evacuating healthy frame");
+    KLOC_ASSERT(frame->hasShadow(), "no shadow to recover from");
+    const TierId dst = frame->shadowTier;
+    if (!frame->relocatable)
+        return MigrateResult::NotRelocatable;
+    if (frame->pinned())
+        return MigrateResult::Pinned;
+    if (frame->tier == dst)
+        return MigrateResult::SameTier;
+    Tier &to = tier(dst);
+    if (!to.online())
+        return MigrateResult::Offline;
+
+    Tier &from = tier(frame->tier);
+    from.noteFree(frame->objClass, frame->pages());
+    from.buddy().quarantine(frame->pfn, frame->order);
+
+    // The clean shadow's buddy pages carry the pre-error bytes;
+    // adopt them as the frame's new home.
+    frame->tier = dst;
+    frame->pfn = frame->shadowPfn;
+    frame->poisoned = false;
+    _shadowPages -= frame->pages();
+    frame->shadowTier = kInvalidTier;
+    frame->shadowPfn = kInvalidPfn;
+    frame->shadowSince = Tick{};
+    ++frame->migrateCount;
+    to.noteArrive(frame->objClass, frame->pages());
+    return MigrateResult::Ok;
+}
+
 void
 TierManager::dropShadow(Frame *frame, ShadowDropReason reason)
 {
@@ -315,6 +439,164 @@ TierManager::collectFramesOn(TierId id)
             frames.emplace_back(&frame);
     });
     return frames;
+}
+
+void
+TierManager::quarantineBlock(Tier &t, Pfn pfn, unsigned order)
+{
+    t.buddy().quarantine(pfn, order);
+    _machine.tracer().emit(TraceEventType::FrameQuarantine, t.id(), pfn,
+                           order);
+}
+
+void
+TierManager::noteQuarantined(TierId tier, Pfn pfn, unsigned order)
+{
+    _machine.tracer().emit(TraceEventType::FrameQuarantine,
+                           static_cast<uint64_t>(tier), pfn, order);
+}
+
+TierHealth
+TierManager::health(TierId id) const
+{
+    KLOC_ASSERT(id >= 0 && static_cast<size_t>(id) < _health.size(),
+                "bad tier id %d", id);
+    return _health[static_cast<size_t>(id)].health;
+}
+
+uint64_t
+TierManager::healthScore(TierId id) const
+{
+    KLOC_ASSERT(id >= 0 && static_cast<size_t>(id) < _health.size(),
+                "bad tier id %d", id);
+    return _health[static_cast<size_t>(id)].score;
+}
+
+void
+TierManager::transitionHealth(TierId id, TierHealth to)
+{
+    HealthState &state = _health[static_cast<size_t>(id)];
+    const TierHealth from = state.health;
+    if (from == to)
+        return;
+    state.health = to;
+    _machine.tracer().emit(TraceEventType::TierHealth,
+                           static_cast<uint64_t>(id),
+                           static_cast<uint64_t>(from),
+                           static_cast<uint64_t>(to), state.score);
+    for (const HealthObserver &obs : _healthObservers)
+        obs.fn(obs.ctx, id, from, to);
+}
+
+void
+TierManager::applyUpwardTransitions(TierId id)
+{
+    HealthState &state = _health[static_cast<size_t>(id)];
+    if (state.health == TierHealth::Healthy &&
+        state.score >= kDegradeScore) {
+        transitionHealth(id, TierHealth::Degraded);
+    }
+    if (state.health == TierHealth::Degraded &&
+        state.score >= kFailScore) {
+        transitionHealth(id, TierHealth::Failed);
+    }
+}
+
+void
+TierManager::recordTierError(TierId id)
+{
+    KLOC_ASSERT(id >= 0 && static_cast<size_t>(id) < _health.size(),
+                "bad tier id %d", id);
+    HealthState &state = _health[static_cast<size_t>(id)];
+    state.score += kErrorScore;
+    applyUpwardTransitions(id);
+    if (!_healthTickArmed) {
+        // Armed lazily on the first error ever recorded, so an
+        // error-free run schedules nothing and its trace is
+        // byte-identical to a build without the health machinery.
+        _healthTickArmed = true;
+        _machine.events().schedule(_machine.now() + kHealthTickPeriod,
+                                   [this] { healthTick(); });
+    }
+}
+
+void
+TierManager::healthTick()
+{
+    bool busy = false;
+    for (size_t i = 0; i < _health.size(); ++i) {
+        HealthState &state = _health[i];
+        // 25% multiplicative decay per tick; small residues snap to
+        // zero so scores actually reach rest.
+        state.score -= state.score / 4;
+        if (state.score < kErrorScore / 16)
+            state.score = 0;
+        const TierId id = static_cast<TierId>(i);
+        if (state.health == TierHealth::Failed &&
+            state.score <= kReadmitScore) {
+            transitionHealth(id, TierHealth::Degraded);
+        }
+        if (state.health == TierHealth::Degraded &&
+            state.score <= kRecoverScore) {
+            transitionHealth(id, TierHealth::Healthy);
+        }
+        if (state.score > 0 || state.health != TierHealth::Healthy)
+            busy = true;
+    }
+    if (busy) {
+        _machine.events().schedule(_machine.now() + kHealthTickPeriod,
+                                   [this] { healthTick(); });
+    } else {
+        _healthTickArmed = false;
+    }
+}
+
+TierPreference
+TierManager::preferHealthy(const TierPreference &preference) const
+{
+    // Stable three-way partition by health band. Most calls see all
+    // tiers healthy; return the input untouched then.
+    bool all_healthy = true;
+    for (const TierId id : preference) {
+        if (health(id) != TierHealth::Healthy) {
+            all_healthy = false;
+            break;
+        }
+    }
+    if (all_healthy)
+        return preference;
+
+    TierPreference out;
+    for (const TierId id : preference) {
+        if (health(id) == TierHealth::Healthy)
+            out.push_back(id);
+    }
+    for (const TierId id : preference) {
+        if (health(id) == TierHealth::Degraded)
+            out.push_back(id);
+    }
+    for (const TierId id : preference) {
+        if (health(id) == TierHealth::Failed)
+            out.push_back(id);
+    }
+    return out;
+}
+
+uint64_t
+TierManager::quarantinedPages() const
+{
+    uint64_t pages = 0;
+    for (const auto &t : _tiers)
+        pages += static_cast<uint64_t>(t->buddy().quarantinedFrames());
+    return pages;
+}
+
+void
+TierManager::addHealthObserver(void (*fn)(void *, TierId, TierHealth,
+                                          TierHealth),
+                               void *ctx)
+{
+    _healthObservers.push_back(HealthObserver{fn, ctx});
 }
 
 void

@@ -33,9 +33,41 @@ enum class MigrateResult : uint8_t
     SameTier,        ///< already resident on the destination
     Offline,         ///< destination tier is offline
     NoSpace,         ///< destination allocator is exhausted
+    Poisoned,        ///< an uncorrectable error fired mid-copy
 };
 
 const char *migrateResultName(MigrateResult result);
+
+/** Where a frame poisoning surfaced (FramePoison arg). */
+enum class PoisonOrigin : uint8_t
+{
+    Access = 0,  ///< CPU access (MCE-style synchronous fault)
+    Scan,        ///< LRU scan touched the bad cells
+    Copy,        ///< migration copy read the bad cells
+    Storm,       ///< scheduled poison_storm burst
+};
+
+const char *poisonOriginName(PoisonOrigin origin);
+
+/** How a poisoned frame's bytes were recovered (MemRecover arg). */
+enum class RecoverySource : uint8_t
+{
+    Shadow = 0,  ///< clean Nomad shadow copy re-adopted (free)
+    Reread,      ///< clean page-cache page re-read from the device
+};
+
+const char *recoverySourceName(RecoverySource source);
+
+/** Why poisoned bytes could not be recovered (DataLoss arg). */
+enum class DataLossReason : uint8_t
+{
+    Unmovable = 0,  ///< pinned or non-relocatable: poisoned in place
+    NoSource,       ///< no shadow and no re-readable backing
+    RereadFailed,   ///< device re-read exhausted its retries
+    NoSpace,        ///< no online tier could host the evacuation
+};
+
+const char *dataLossReasonName(DataLossReason reason);
 
 /** Why a Nomad shadow copy was released (ShadowDrop arg). */
 enum class ShadowDropReason : uint8_t
@@ -49,6 +81,21 @@ enum class ShadowDropReason : uint8_t
 };
 
 const char *shadowDropReasonName(ShadowDropReason reason);
+
+/**
+ * Per-tier health: an error-rate EWMA with hysteresis. Transitions
+ * are always adjacent (healthy ↔ degraded ↔ failed); the thresholds
+ * live in TierManager and are mirrored by the InvariantChecker's
+ * tier_health rule.
+ */
+enum class TierHealth : uint8_t
+{
+    Healthy = 0,
+    Degraded,  ///< error rate high: policies deprioritize the tier
+    Failed,    ///< error rate critical: the tier auto-drains offline
+};
+
+const char *tierHealthName(TierHealth health);
 
 /** Owner of all tiers and frames. */
 class TierManager
@@ -65,11 +112,32 @@ class TierManager
         void *ctx;
     };
 
+    /** Flat observer slot for health transitions. */
+    struct HealthObserver
+    {
+        void (*fn)(void *ctx, TierId tier, TierHealth from,
+                   TierHealth to);
+        void *ctx;
+    };
+
     /** Observer slots available per direction (alloc / free). */
     static constexpr size_t kMaxObservers = 4;
 
     /** Migration count beyond which a page is retained (no demote). */
     static constexpr uint8_t kRetainThreshold = 8;
+
+    // Health EWMA tuning. Every recorded error adds kErrorScore to
+    // the tier's score; every health tick decays the score by 25%.
+    // The up/down threshold pairs (degrade at 4000 / recover at 1000,
+    // fail at 16000 / readmit at 6000) overlap nowhere, which is the
+    // hysteresis: a tier sitting at a threshold cannot oscillate.
+    // The InvariantChecker's tier_health rule mirrors these literals.
+    static constexpr uint64_t kErrorScore = 1000;
+    static constexpr uint64_t kDegradeScore = 4000;
+    static constexpr uint64_t kRecoverScore = 1000;
+    static constexpr uint64_t kFailScore = 16000;
+    static constexpr uint64_t kReadmitScore = 6000;
+    static constexpr Tick kHealthTickPeriod = 10 * kMillisecond;
 
     explicit TierManager(Machine &machine) : _machine(machine) {}
 
@@ -121,6 +189,27 @@ class TierManager
     MigrateResult migrateIntoShadow(Frame *frame);
 
     /**
+     * Re-home @p frame off its poisoned block onto @p dst. Like
+     * migrateEx() but skips ping-pong damping (containment is not a
+     * policy decision) and quarantines the source block instead of
+     * freeing it. Any shadow is dropped. The caller emits the
+     * MigStart/MigComplete bracket and then FrameQuarantine for the
+     * abandoned block — after the bracket, so the checker sees the
+     * frame leave the block before the block is retired.
+     */
+    MigrateResult evacuate(Frame *frame, TierId dst);
+
+    /**
+     * Re-home @p frame off its poisoned block into its clean shadow
+     * copy. Like migrateIntoShadow() but skips damping and
+     * quarantines the abandoned block. Event duties as evacuate().
+     */
+    MigrateResult evacuateIntoShadow(Frame *frame);
+
+    /** Emit FrameQuarantine for a block retired via evacuate(). */
+    void noteQuarantined(TierId tier, Pfn pfn, unsigned order);
+
+    /**
      * Release @p frame's shadow copy: frees the shadow buddy pages,
      * emits ShadowDrop, and clears the frame's shadow fields. No-op
      * without a shadow.
@@ -150,6 +239,34 @@ class TierManager
     /** Observer invoked just before a frame is freed. */
     void addFreeObserver(void (*fn)(void *, Frame *), void *ctx);
 
+    /** Observer invoked on every health transition (after the trace
+     *  event). Called synchronously — defer heavy work via events. */
+    void addHealthObserver(void (*fn)(void *, TierId, TierHealth,
+                                      TierHealth),
+                           void *ctx);
+
+    TierHealth health(TierId id) const;
+
+    /** Current (decayed-at-last-tick) error score of @p id. */
+    uint64_t healthScore(TierId id) const;
+
+    /**
+     * Record one uncorrectable memory error on @p id: bumps the
+     * error EWMA, applies any upward health transitions, and arms
+     * the periodic decay tick. Error-free runs never schedule the
+     * tick, so their traces are untouched.
+     */
+    void recordTierError(TierId id);
+
+    /**
+     * Reorder @p preference by health: healthy tiers first, degraded
+     * next, failed last, preserving relative order within each band.
+     */
+    TierPreference preferHealthy(const TierPreference &preference) const;
+
+    /** Pages quarantined across all tiers. */
+    uint64_t quarantinedPages() const;
+
     /** Live frames across all tiers. */
     uint64_t liveFrames() const { return _liveFrames; }
 
@@ -177,8 +294,23 @@ class TierManager
     void resetCumulativeStats();
 
   private:
+    /** Per-tier health machinery state. */
+    struct HealthState
+    {
+        TierHealth health = TierHealth::Healthy;
+        uint64_t score = 0;
+        Tick lastDecay{};
+    };
+
+    void quarantineBlock(Tier &t, Pfn pfn, unsigned order);
+    void transitionHealth(TierId id, TierHealth to);
+    void applyUpwardTransitions(TierId id);
+    void healthTick();
+
     Machine &_machine;
     std::vector<std::unique_ptr<Tier>> _tiers;
+    std::vector<HealthState> _health;
+    bool _healthTickArmed = false;
 
     // Frame pool with stable addresses; freed frames recycle LIFO.
     FrameArena _frameArena;
@@ -192,6 +324,7 @@ class TierManager
 
     InlineVec<FrameObserver, kMaxObservers> _allocObservers;
     InlineVec<FrameObserver, kMaxObservers> _freeObservers;
+    InlineVec<HealthObserver, kMaxObservers> _healthObservers;
 };
 
 } // namespace kloc

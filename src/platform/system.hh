@@ -55,6 +55,17 @@ class System
     {
         _fs = std::make_unique<FileSystem>(_heap, &_kloc, _config.fs);
         _net = std::make_unique<NetworkStack>(_heap, &_kloc, _config.net);
+        // hwpoison containment recovers clean page-cache pages by
+        // re-reading them from the device through the block layer.
+        _migrator.setRereadHook(
+            [](void *ctx, Frame *frame) {
+                return static_cast<FileSystem *>(ctx)->canRereadFrame(
+                    frame);
+            },
+            [](void *ctx, Frame *frame) {
+                return static_cast<FileSystem *>(ctx)->rereadFrame(frame);
+            },
+            _fs.get());
     }
 
     Machine &machine() { return _machine; }

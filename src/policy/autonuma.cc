@@ -58,14 +58,16 @@ TierPreference
 AutoNumaPolicy::kernelPreference(ObjClass, bool)
 {
     // Kernel objects allocate on the socket running the allocating
-    // CPU — what every stock kernel does (§3.3).
-    return localFirst();
+    // CPU — what every stock kernel does (§3.3). Health degradation
+    // reorders that: a degraded local tier falls behind healthy
+    // remote ones.
+    return _heap.tiers().preferHealthy(localFirst());
 }
 
 TierPreference
 AutoNumaPolicy::appPreference()
 {
-    return localFirst();
+    return _heap.tiers().preferHealthy(localFirst());
 }
 
 void

@@ -37,14 +37,15 @@ TierPreference
 JengaStrategy::kernelPreference(ObjClass, bool)
 {
     // Application tiering only; kernel objects go slow like other
-    // prior-art two-tier policies (§3.2).
-    return {_slow, _fast};
+    // prior-art two-tier policies (§3.2). Health degradation can
+    // reorder either preference.
+    return _heap.tiers().preferHealthy(TierPreference{_slow, _fast});
 }
 
 TierPreference
 JengaStrategy::appPreference()
 {
-    return {_fast, _slow};
+    return _heap.tiers().preferHealthy(TierPreference{_fast, _slow});
 }
 
 void

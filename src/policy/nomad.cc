@@ -42,6 +42,13 @@ NomadStrategy::install()
 TierPreference
 NomadStrategy::kernelPreference(ObjClass cls, bool knode_active)
 {
+    // Health degradation reorders, never replaces, the placement.
+    return _heap.tiers().preferHealthy(kernelPlacement(cls, knode_active));
+}
+
+TierPreference
+NomadStrategy::kernelPlacement(ObjClass cls, bool knode_active)
+{
     if (_config.composeKloc) {
         // KLOC placement (§4.2.2), identical to StrategyKind::Kloc.
         if (cls == ObjClass::KlocMeta)
@@ -61,7 +68,7 @@ NomadStrategy::kernelPreference(ObjClass cls, bool knode_active)
 TierPreference
 NomadStrategy::appPreference()
 {
-    return {_fast, _slow};
+    return _heap.tiers().preferHealthy(TierPreference{_fast, _slow});
 }
 
 void

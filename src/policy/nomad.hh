@@ -84,6 +84,10 @@ class NomadStrategy : public Policy
   private:
     void scanTick();
 
+    /** Health-blind placement order; kernelPreference reorders it
+     *  with TierManager::preferHealthy. */
+    TierPreference kernelPlacement(ObjClass cls, bool knode_active);
+
     /** Liveness token for scheduled tick lambdas (see strategy.hh). */
     std::shared_ptr<int> _alive = std::make_shared<int>(0);
 

@@ -27,6 +27,12 @@ constexpr KindEntry kKindEntries[] = {
 
 } // namespace
 
+TierManager &
+PolicyContext::tiers() const
+{
+    return heap.tiers();
+}
+
 std::unique_ptr<Policy>
 makePolicy(const std::string &name, const PolicyContext &ctx)
 {

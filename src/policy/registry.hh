@@ -30,6 +30,8 @@ class LruEngine;
 class MigrationEngine;
 class KlocManager;
 
+class TierManager;
+
 /** Everything a two-tier policy constructor may need. */
 struct PolicyContext
 {
@@ -39,6 +41,14 @@ struct PolicyContext
     KlocManager *kloc;  ///< may be null; KLOC policies then fail
     TierId fast;
     TierId slow;
+
+    /**
+     * The tier manager behind @p heap. Policies consult its health
+     * state (TierManager::preferHealthy) so degraded tiers fall
+     * behind healthy ones in every TierPreference; see
+     * docs/POLICIES.md for the health callback contract.
+     */
+    TierManager &tiers() const;
 };
 
 /**

@@ -87,6 +87,15 @@ TieringStrategy::usesKernelScanMigration() const
 TierPreference
 TieringStrategy::kernelPreference(ObjClass cls, bool knode_active)
 {
+    // Health degradation reorders, never replaces, the placement
+    // order: degraded tiers fall behind healthy ones and failed
+    // tiers become the last resort.
+    return _heap.tiers().preferHealthy(kernelPlacement(cls, knode_active));
+}
+
+TierPreference
+TieringStrategy::kernelPlacement(ObjClass cls, bool knode_active)
+{
     switch (_kind) {
       case StrategyKind::AllFast:
         return {_fast};
@@ -122,6 +131,12 @@ TieringStrategy::kernelPreference(ObjClass cls, bool knode_active)
 
 TierPreference
 TieringStrategy::appPreference()
+{
+    return _heap.tiers().preferHealthy(appPlacement());
+}
+
+TierPreference
+TieringStrategy::appPlacement()
 {
     switch (_kind) {
       case StrategyKind::AllFast:

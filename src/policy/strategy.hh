@@ -123,6 +123,11 @@ class TieringStrategy : public Policy
     bool usesKernelScanMigration() const;
     void scanTick();
 
+    /** Health-blind placement order; the public preference methods
+     *  reorder it with TierManager::preferHealthy. */
+    TierPreference kernelPlacement(ObjClass cls, bool knode_active);
+    TierPreference appPlacement();
+
     /**
      * Liveness token for scheduled tick lambdas: events capture a
      * weak_ptr so a tick scheduled before this strategy was replaced

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "base/objclass.hh"
+#include "fault/fault.hh"
 
 namespace kloc {
 
@@ -100,6 +101,11 @@ InvariantChecker::consume(const TraceEvent &event)
             violation(event,
                       "allocation lands on live shadow copy tier=%llu "
                       "pfn=%llu",
+                      (unsigned long long)a, (unsigned long long)b);
+        }
+        if (_quarantined.count(key)) {
+            violation(event,
+                      "allocation on quarantined block tier=%llu pfn=%llu",
                       (unsigned long long)a, (unsigned long long)b);
         }
         FrameState state;
@@ -266,6 +272,15 @@ InvariantChecker::consume(const TraceEvent &event)
                       "pfn=%llu",
                       (unsigned long long)c, (unsigned long long)d);
         }
+        if (_quarantined.count(dst_key)) {
+            violation(event,
+                      "migration lands on quarantined block tier=%llu "
+                      "pfn=%llu",
+                      (unsigned long long)c, (unsigned long long)d);
+        }
+        // The only migration a poisoned frame may make is its
+        // containment evacuation, which scrubs the poison.
+        frame.poisoned = false;
         // List membership follows the frame to the destination tier.
         // counts() may grow the tier vector; materialize both entries
         // before taking references or the first one dangles.
@@ -561,6 +576,13 @@ InvariantChecker::consume(const TraceEvent &event)
                       (unsigned long long)a, (unsigned long long)b);
             break;
         }
+        if (_quarantined.count(key)) {
+            violation(event,
+                      "shadow created on quarantined block tier=%llu "
+                      "pfn=%llu",
+                      (unsigned long long)a, (unsigned long long)b);
+            break;
+        }
         _shadows.emplace(key, traceFrameKey(static_cast<int>(c), Pfn{d}));
         break;
       }
@@ -595,7 +617,184 @@ InvariantChecker::consume(const TraceEvent &event)
         break;
       }
 
+      case TraceEventType::FramePoison: {
+        FrameState &frame = frameFor(traceFrameKey(static_cast<int>(a), Pfn{b}),
+                                     false);
+        if (frame.poisoned) {
+            violation(event,
+                      "re-poison of already-poisoned frame tier=%llu "
+                      "pfn=%llu",
+                      (unsigned long long)a, (unsigned long long)b);
+            break;
+        }
+        if (c > 3) {
+            violation(event, "unknown poison origin %llu",
+                      (unsigned long long)c);
+        }
+        frame.poisoned = true;
+        break;
+      }
+
+      case TraceEventType::FrameQuarantine: {
+        const uint64_t key = traceFrameKey(static_cast<int>(a), Pfn{b});
+        if (_frames.count(key)) {
+            violation(event,
+                      "quarantine of live frame tier=%llu pfn=%llu",
+                      (unsigned long long)a, (unsigned long long)b);
+            break;
+        }
+        if (_shadows.count(key)) {
+            violation(event,
+                      "quarantine of live shadow copy tier=%llu pfn=%llu",
+                      (unsigned long long)a, (unsigned long long)b);
+            break;
+        }
+        if (!_quarantined.insert(key).second) {
+            violation(event,
+                      "double quarantine of block tier=%llu pfn=%llu",
+                      (unsigned long long)a, (unsigned long long)b);
+        }
+        break;
+      }
+
+      case TraceEventType::MemRecover: {
+        // args: new frame key, quarantined old key, recovery source.
+        if (!_frames.count(a)) {
+            violation(event, "recovery into unknown frame key=%llu",
+                      (unsigned long long)a);
+        }
+        if (!_quarantined.count(b)) {
+            violation(event,
+                      "recovery from unquarantined location key=%llu",
+                      (unsigned long long)b);
+        }
+        if (c > 1) {
+            violation(event, "unknown recovery source %llu",
+                      (unsigned long long)c);
+        }
+        break;
+      }
+
+      case TraceEventType::DataLoss: {
+        if (!_frames.count(traceFrameKey(static_cast<int>(a), Pfn{b})) &&
+            _strict) {
+            violation(event, "data loss on unknown frame tier=%llu "
+                      "pfn=%llu",
+                      (unsigned long long)a, (unsigned long long)b);
+        }
+        if (c > 3) {
+            violation(event, "unknown data-loss reason %llu",
+                      (unsigned long long)c);
+        }
+        break;
+      }
+
+      case TraceEventType::TierHealth: {
+        if (a >= _tierHealth.size())
+            _tierHealth.resize(a + 1, 0);
+        if (b != _tierHealth[a]) {
+            violation(event,
+                      "health transition on tier %llu from %llu but "
+                      "model says %llu",
+                      (unsigned long long)a, (unsigned long long)b,
+                      (unsigned long long)_tierHealth[a]);
+        }
+        const int64_t step =
+            static_cast<int64_t>(c) - static_cast<int64_t>(b);
+        if (c > 2 || (step != 1 && step != -1)) {
+            violation(event,
+                      "non-adjacent health transition %llu -> %llu on "
+                      "tier %llu",
+                      (unsigned long long)b, (unsigned long long)c,
+                      (unsigned long long)a);
+            _tierHealth[a] = c <= 2 ? c : _tierHealth[a];
+            break;
+        }
+        // Hysteresis thresholds mirror TierManager's constants
+        // (kDegradeScore/kFailScore/kReadmitScore/kRecoverScore);
+        // tier_manager.hh points back here to keep them in sync.
+        if (b == 0 && c == 1 && d < 4000) {
+            violation(event,
+                      "tier %llu degraded below threshold (score %llu)",
+                      (unsigned long long)a, (unsigned long long)d);
+        } else if (b == 1 && c == 2 && d < 16000) {
+            violation(event,
+                      "tier %llu failed below threshold (score %llu)",
+                      (unsigned long long)a, (unsigned long long)d);
+        } else if (b == 2 && c == 1 && d > 6000) {
+            violation(event,
+                      "tier %llu readmitted above threshold (score %llu)",
+                      (unsigned long long)a, (unsigned long long)d);
+        } else if (b == 1 && c == 0 && d > 1000) {
+            violation(event,
+                      "tier %llu recovered above threshold (score %llu)",
+                      (unsigned long long)a, (unsigned long long)d);
+        }
+        _tierHealth[a] = c;
+        break;
+      }
+
+      case TraceEventType::KlocDamaged:
+        if (!_knodes.count(a)) {
+            if (_strict) {
+                violation(event, "damage report on unknown knode "
+                          "inode=%llu", (unsigned long long)a);
+            } else {
+                _sawAdoption = true;
+                _knodes.emplace(a, 0);
+            }
+        }
+        break;
+
+      case TraceEventType::SoftOffline:
+        if (!_knodes.count(a) && _strict) {
+            violation(event, "soft-offline of unknown knode inode=%llu",
+                      (unsigned long long)a);
+        }
+        break;
+
+      case TraceEventType::PoisonStorm:
+        if (c > b) {
+            violation(event,
+                      "poison storm on tier %llu poisoned %llu frames "
+                      "but only %llu were requested",
+                      (unsigned long long)a, (unsigned long long)c,
+                      (unsigned long long)b);
+        }
+        break;
+
       case TraceEventType::FaultInject:
+        // Exhaustive over FaultSite so the fault-site-coverage klint
+        // rule can anchor every injection site to a checker rule:
+        // the named cases below are the contract that each site's
+        // firings flow through this model.
+        if (a >= static_cast<uint64_t>(FaultSite::NumSites)) {
+            violation(event, "fault injection at unknown site %llu",
+                      (unsigned long long)a);
+            break;
+        }
+        switch (static_cast<FaultSite>(a)) {
+          case FaultSite::DeviceRead:
+          case FaultSite::DeviceWrite:
+          case FaultSite::DeviceTimeout:
+            // Device faults surface as BioRetry/BioError brackets.
+            break;
+          case FaultSite::MigrationNoSpace:
+            // Surfaces as MigRetry/MigAbandon or MigTxnAbort.
+            break;
+          case FaultSite::JournalCommitCrash:
+            // Surfaces as JournalCrash closing its commit window.
+            break;
+          case FaultSite::FramePoisonAccess:
+          case FaultSite::FramePoisonScan:
+          case FaultSite::FramePoisonCopy:
+            // Surfaces as FramePoison -> quarantine/recovery events.
+            break;
+          case FaultSite::NumSites:
+            break;  // unreachable: range-checked above
+        }
+        break;
+
       case TraceEventType::BioRetry:
       case TraceEventType::BioError:
       case TraceEventType::MigRetry:

@@ -26,6 +26,14 @@
  *  - transactional copies bracket correctly: every MigTxnBegin is
  *    closed by exactly one MigStart (commit) or MigTxnAbort, with no
  *    nesting and no free of a frame inside an open window
+ *  - hwpoison containment is sound: a frame is never poisoned twice,
+ *    quarantine retires only dead locations and never the same block
+ *    twice, nothing ever allocates, migrates into, or shadows onto a
+ *    quarantined block, and every recovery names a live destination
+ *    and a quarantined source
+ *  - tier health moves one step at a time (healthy <-> degraded <->
+ *    failed) from the state the model last saw, and every transition
+ *    respects the hysteresis thresholds its score reports
  *
  * Violations are collected, not fatal, so tests can assert on the
  * full list and tools can report totals.
@@ -37,6 +45,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "trace/trace.hh"
@@ -91,6 +100,12 @@ class InvariantChecker
     /** Frames currently inside an open transactional-copy window. */
     uint64_t openTransactionalCopies() const;
 
+    /** Blocks retired into quarantine, never to be allocated again. */
+    uint64_t quarantinedCount() const
+    {
+        return static_cast<uint64_t>(_quarantined.size());
+    }
+
     /** All violations joined into a printable report. */
     std::string report() const;
 
@@ -102,6 +117,7 @@ class InvariantChecker
         bool migrating = false;  ///< between MigStart and MigComplete
         bool adopted = false;    ///< first seen mid-run (no alloc event)
         bool inTxn = false;      ///< open transactional-copy window
+        bool poisoned = false;   ///< hwpoison pending containment
         uint64_t trackedRefs = 0;///< knode objects referencing it
         uint64_t inflightBios = 0;
         uint64_t pins = 0;       ///< frame_pin minus frame_unpin
@@ -131,6 +147,8 @@ class InvariantChecker
     std::unordered_map<uint64_t, uint64_t> _shadows;   ///< shadow -> fast key
     std::vector<TierCounts> _tierCounts;
     std::vector<bool> _tierOffline;    ///< per-tier offline flag
+    std::unordered_set<uint64_t> _quarantined; ///< retired frame keys
+    std::vector<uint64_t> _tierHealth; ///< per-tier health (0/1/2)
     int _journalWindows = 0;   ///< nesting depth of commit/detach windows
     bool _journalArmed = false;///< a journal subsystem has shown itself
     bool _sawAdoption = false; ///< attach was mid-run; relax counting

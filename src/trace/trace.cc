@@ -65,6 +65,15 @@ const EventSpec kEventSpecs[kNumTraceEventTypes] = {
     {"shadow_reuse",         4, {"tier", "pfn", "ftier", "fpfn"}},
     {"shadow_drop",          3, {"tier", "pfn", "reason", nullptr}},
     {"policy_rate_adapt",    3, {"rate", "reused", "sampled", nullptr}},
+    {"frame_poison",         4, {"tier", "pfn", "origin", "class"}},
+    {"frame_quarantine",     3, {"tier", "pfn", "order", nullptr}},
+    {"mem_recover",          3, {"frame", "old", "source", nullptr}},
+    {"data_loss",            4, {"tier", "pfn", "reason", "class"}},
+    {"tier_health",          4, {"tier", "from", "to", "score"}},
+    {"kloc_damaged",         3, {"inode", "tier", "pfn", nullptr}},
+    {"soft_offline",         2, {"inode", "moved", nullptr, nullptr}},
+    {"poison_storm",         3, {"tier", "requested", "poisoned",
+                                 nullptr}},
 };
 
 const EventSpec &

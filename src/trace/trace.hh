@@ -85,6 +85,16 @@ enum class TraceEventType : uint8_t {
     ShadowDrop,         ///< tier, pfn, reason
     // policy/*: adaptive-rate decisions (Jenga).
     PolicyRateAdapt,    ///< rate, reused, sampled
+    // mem/*: hwpoison containment — poisoned frames, quarantine,
+    // recovery, and the per-tier health state machine.
+    FramePoison,        ///< tier, pfn, origin, class
+    FrameQuarantine,    ///< tier, pfn, order
+    MemRecover,         ///< frame_key, old_key, source
+    DataLoss,           ///< tier, pfn, reason, class
+    TierHealth,         ///< tier, from, to, score
+    KlocDamaged,        ///< inode, tier, pfn
+    SoftOffline,        ///< inode, moved
+    PoisonStorm,        ///< tier, requested, poisoned
     NumTypes
 };
 

@@ -768,5 +768,573 @@ TEST_F(PinChecker, OfflineTierMigrationArrivalViolates)
     EXPECT_FALSE(checker.clean());
 }
 
+// ---------------------------------------------------------------------------
+// FaultSpec parser diagnostics: every rejection names the line and
+// the offending token, so a bad chaos spec is debuggable from the
+// error string alone.
+// ---------------------------------------------------------------------------
+
+/** Parse expecting failure; return the diagnostic. */
+std::string
+diagnose(const std::string &text)
+{
+    FaultSpec spec;
+    std::string err;
+    EXPECT_FALSE(FaultSpec::parse(text, spec, &err)) << text;
+    EXPECT_FALSE(err.empty()) << text;
+    return err;
+}
+
+bool
+mentions(const std::string &err, const std::string &needle)
+{
+    return err.find(needle) != std::string::npos;
+}
+
+TEST(FaultSpecDiagnostics, NamesTheFailingLine)
+{
+    const std::string err = diagnose("seed 1\n"
+                                     "device_read period 50\n"
+                                     "device_read warble 3\n");
+    EXPECT_TRUE(mentions(err, "line 3")) << err;
+    EXPECT_TRUE(mentions(err, "'warble'")) << err;
+}
+
+TEST(FaultSpecDiagnostics, UnknownSiteNamesToken)
+{
+    const std::string err = diagnose("not_a_site prob 0.5\n");
+    EXPECT_TRUE(mentions(err, "line 1")) << err;
+    EXPECT_TRUE(mentions(err, "unknown fault site 'not_a_site'")) << err;
+}
+
+TEST(FaultSpecDiagnostics, ProbabilityRangeNamesValue)
+{
+    const std::string err = diagnose("device_read prob 1.5\n");
+    EXPECT_TRUE(mentions(err, "prob needs a value in [0,1]")) << err;
+    EXPECT_TRUE(mentions(err, "'1.5'")) << err;
+}
+
+TEST(FaultSpecDiagnostics, ZeroPeriodRejected)
+{
+    const std::string err = diagnose("device_read period 0\n");
+    EXPECT_TRUE(mentions(err, "period needs a positive count")) << err;
+    EXPECT_TRUE(mentions(err, "'0'")) << err;
+}
+
+TEST(FaultSpecDiagnostics, ZeroOneshotRejected)
+{
+    const std::string err = diagnose("device_write oneshot 0\n");
+    EXPECT_TRUE(mentions(err, "oneshot needs a positive consult"))
+        << err;
+}
+
+TEST(FaultSpecDiagnostics, ZeroMaxRejected)
+{
+    const std::string err = diagnose("device_read period 2 max 0\n");
+    EXPECT_TRUE(mentions(err, "max needs a positive count")) << err;
+}
+
+TEST(FaultSpecDiagnostics, TrailingTokensNamed)
+{
+    const std::string err = diagnose("device_read period 2 bogus\n");
+    EXPECT_TRUE(mentions(err, "trailing tokens")) << err;
+    EXPECT_TRUE(mentions(err, "'bogus'")) << err;
+}
+
+TEST(FaultSpecDiagnostics, MalformedSeed)
+{
+    EXPECT_TRUE(mentions(diagnose("seed x\n"), "expected 'seed <n>'"));
+}
+
+TEST(FaultSpecDiagnostics, MalformedTierEventEchoesLine)
+{
+    const std::string err = diagnose("tier_offline at 5 socket 1\n");
+    EXPECT_TRUE(mentions(err, "tier_offline at <tick> tier <id>"))
+        << err;
+    EXPECT_TRUE(mentions(err, "socket")) << err;
+}
+
+TEST(FaultSpecDiagnostics, PoisonStormGrammarErrors)
+{
+    EXPECT_TRUE(mentions(diagnose("poison_storm at 5 tier 0\n"),
+                         "poison_storm at <tick> tier <id> frames"));
+    EXPECT_TRUE(mentions(
+        diagnose("poison_storm at 5 tier 0 frames 0\n"),
+        "frames needs a positive count"));
+    EXPECT_TRUE(mentions(
+        diagnose("poison_storm at 5 tier 0 frames 2 repeat 0 every 9\n"),
+        "repeat needs a positive count"));
+    EXPECT_TRUE(mentions(
+        diagnose("poison_storm at 5 tier 0 frames 2 repeat 3 every 0\n"),
+        "every needs a positive tick count"));
+    const std::string err =
+        diagnose("poison_storm at 5 tier 0 frames 2 repeat 3\n");
+    EXPECT_TRUE(mentions(err, "trailing tokens")) << err;
+    EXPECT_TRUE(mentions(err, "'repeat...")) << err;
+}
+
+TEST(FaultSpecDiagnostics, PoisonStormFullGrammarParses)
+{
+    FaultSpec spec;
+    std::string err;
+    ASSERT_TRUE(FaultSpec::parse(
+        "poison_storm at 2000000 tier 1 frames 8 repeat 4 every 500000\n"
+        "poison_storm at 7000000 tier 0 frames 2\n",
+        spec, &err)) << err;
+    EXPECT_TRUE(spec.armed());
+    ASSERT_EQ(spec.poisonStorms.size(), 2u);
+    EXPECT_EQ(spec.poisonStorms[0].at, Tick{2000000});
+    EXPECT_EQ(spec.poisonStorms[0].tier, 1);
+    EXPECT_EQ(spec.poisonStorms[0].frames, 8u);
+    EXPECT_EQ(spec.poisonStorms[0].repeat, 4u);
+    EXPECT_EQ(spec.poisonStorms[0].every, Tick{500000});
+    EXPECT_EQ(spec.poisonStorms[1].frames, 2u);
+    EXPECT_EQ(spec.poisonStorms[1].repeat, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Hwpoison containment: the poisonFrame recovery ladder
+// ---------------------------------------------------------------------------
+
+TEST(PoisonLifecycle, PinnedFrameIsDataLossInPlace)
+{
+    FaultStack s;
+    Frame *frame = s.tiers.alloc(0, ObjClass::PageCache, true, {s.fast});
+    ASSERT_NE(frame, nullptr);
+    ++frame->pinCount;
+
+    EXPECT_FALSE(s.migrator.poisonFrame(frame, PoisonOrigin::Access));
+    EXPECT_TRUE(frame->poisoned);
+    EXPECT_EQ(frame->tier, s.fast);  // contained in place, not moved
+    EXPECT_EQ(s.migrator.poisonStats().poisonedFrames, 1u);
+    EXPECT_EQ(s.migrator.poisonStats().dataLoss, 1u);
+    EXPECT_EQ(countEvents(s.machine.tracer(), TraceEventType::FramePoison),
+              1u);
+    EXPECT_EQ(countEvents(s.machine.tracer(), TraceEventType::DataLoss),
+              1u);
+
+    // Re-poisoning the same frame is idempotent: no second event.
+    EXPECT_FALSE(s.migrator.poisonFrame(frame, PoisonOrigin::Scan));
+    EXPECT_EQ(countEvents(s.machine.tracer(), TraceEventType::FramePoison),
+              1u);
+
+    --frame->pinCount;
+    s.tiers.free(frame);
+    // Freeing a poisoned frame quarantines its block instead of
+    // returning it to the buddy allocator.
+    EXPECT_EQ(countEvents(s.machine.tracer(),
+                          TraceEventType::FrameQuarantine), 1u);
+    EXPECT_EQ(s.tiers.quarantinedPages(), 1u);
+    EXPECT_TRUE(s.checker->clean()) << s.checker->report();
+}
+
+TEST(PoisonLifecycle, QuarantinedBlockNeverReallocated)
+{
+    FaultStack s(/*fast_pages=*/8, /*slow_pages=*/8);
+    Frame *frame = s.tiers.alloc(0, ObjClass::App, true, {s.fast});
+    ASSERT_NE(frame, nullptr);
+    const Pfn bad = frame->pfn;
+
+    // No shadow, no reread hook: the poison is unrecoverable data
+    // loss and the frame stays in place until its owner frees it.
+    EXPECT_FALSE(s.migrator.poisonFrame(frame, PoisonOrigin::Access));
+    EXPECT_EQ(s.migrator.poisonStats().dataLoss, 1u);
+    s.tiers.free(frame);
+    ASSERT_EQ(s.tiers.quarantinedPages(), 1u);
+
+    // Drain the whole tier: the quarantined pfn never comes back.
+    std::vector<Frame *> all;
+    while (Frame *f = s.tiers.alloc(0, ObjClass::App, true, {s.fast})) {
+        EXPECT_NE(f->pfn, bad);
+        all.push_back(f);
+    }
+    EXPECT_EQ(all.size(), 7u);  // 8 pages minus the quarantined one
+    for (Frame *f : all)
+        s.tiers.free(f);
+    EXPECT_TRUE(s.checker->clean()) << s.checker->report();
+}
+
+TEST(PoisonLifecycle, CleanShadowRecoversForFree)
+{
+    FaultStack s;
+    Frame *frame = s.tiers.alloc(0, ObjClass::App, true, {s.slow});
+    ASSERT_NE(frame, nullptr);
+
+    // Transactional promotion leaves a clean slow-tier shadow behind.
+    ASSERT_EQ(s.migrator.promoteTransactional({FrameRef(frame)}, s.fast,
+                                              Tick{0}), 1u);
+    ASSERT_TRUE(frame->hasShadow());
+    ASSERT_TRUE(frame->shadowClean());
+    const Pfn shadow_pfn = frame->shadowPfn;
+
+    EXPECT_TRUE(s.migrator.poisonFrame(frame, PoisonOrigin::Access));
+    // The frame re-adopted its shadow: back on slow, poison cleared,
+    // the poisoned fast block quarantined.
+    EXPECT_EQ(frame->tier, s.slow);
+    EXPECT_EQ(frame->pfn, shadow_pfn);
+    EXPECT_FALSE(frame->poisoned);
+    EXPECT_FALSE(frame->hasShadow());
+    EXPECT_EQ(s.migrator.poisonStats().recoveredShadow, 1u);
+    EXPECT_EQ(s.migrator.poisonStats().dataLoss, 0u);
+    EXPECT_EQ(countEvents(s.machine.tracer(), TraceEventType::MemRecover),
+              1u);
+    EXPECT_EQ(s.tiers.quarantinedPages(), 1u);
+
+    s.tiers.free(frame);
+    EXPECT_TRUE(s.checker->clean()) << s.checker->report();
+}
+
+TEST(PoisonLifecycle, RereadHookRecoversPageCacheFrame)
+{
+    FaultStack s;
+    s.migrator.setRereadHook(
+        [](void *, Frame *) { return true; },
+        [](void *, Frame *) { return true; },
+        nullptr);
+    Frame *frame = s.tiers.alloc(0, ObjClass::PageCache, true, {s.fast});
+    ASSERT_NE(frame, nullptr);
+
+    EXPECT_TRUE(s.migrator.poisonFrame(frame, PoisonOrigin::Scan));
+    // Evacuated off the poisoned block and re-read from the device.
+    EXPECT_EQ(frame->tier, s.slow);
+    EXPECT_FALSE(frame->poisoned);
+    EXPECT_EQ(s.migrator.poisonStats().recoveredReread, 1u);
+    EXPECT_EQ(countEvents(s.machine.tracer(), TraceEventType::MemRecover),
+              1u);
+    EXPECT_EQ(s.tiers.quarantinedPages(), 1u);
+    // The pin held across the device read was released.
+    EXPECT_EQ(countEvents(s.machine.tracer(), TraceEventType::FramePin),
+              countEvents(s.machine.tracer(), TraceEventType::FrameUnpin));
+
+    s.tiers.free(frame);
+    EXPECT_TRUE(s.checker->clean()) << s.checker->report();
+    EXPECT_EQ(s.checker->outstandingPins(), 0u);
+}
+
+TEST(PoisonLifecycle, RereadFailureIsDataLoss)
+{
+    FaultStack s;
+    s.migrator.setRereadHook(
+        [](void *, Frame *) { return true; },
+        [](void *, Frame *) { return false; },  // device read fails
+        nullptr);
+    Frame *frame = s.tiers.alloc(0, ObjClass::PageCache, true, {s.fast});
+    ASSERT_NE(frame, nullptr);
+
+    EXPECT_FALSE(s.migrator.poisonFrame(frame, PoisonOrigin::Access));
+    EXPECT_EQ(s.migrator.poisonStats().recoveredReread, 0u);
+    EXPECT_EQ(s.migrator.poisonStats().dataLoss, 1u);
+    EXPECT_EQ(countEvents(s.machine.tracer(), TraceEventType::DataLoss),
+              1u);
+
+    s.tiers.free(frame);
+    EXPECT_TRUE(s.checker->clean()) << s.checker->report();
+}
+
+TEST(PoisonLifecycle, NoShadowNoBackingIsDataLoss)
+{
+    FaultStack s;
+    Frame *frame = s.tiers.alloc(0, ObjClass::App, true, {s.fast});
+    ASSERT_NE(frame, nullptr);
+
+    EXPECT_FALSE(s.migrator.poisonFrame(frame, PoisonOrigin::Copy));
+    EXPECT_TRUE(frame->poisoned);
+    EXPECT_EQ(s.migrator.poisonStats().dataLoss, 1u);
+
+    s.tiers.free(frame);
+    EXPECT_EQ(s.tiers.quarantinedPages(), 1u);
+    EXPECT_TRUE(s.checker->clean()) << s.checker->report();
+}
+
+TEST(PoisonLifecycle, StormBurstsFireOnSchedule)
+{
+    FaultStack s;
+    std::vector<Frame *> frames;
+    for (int i = 0; i < 8; ++i) {
+        Frame *f = s.tiers.alloc(0, ObjClass::App, true, {s.fast});
+        ASSERT_NE(f, nullptr);
+        frames.push_back(f);
+    }
+    s.configureFaults(
+        "poison_storm at 1000000 tier 0 frames 3 repeat 2 every 1000000\n");
+    s.migrator.scheduleTierEvents();
+
+    s.machine.charge(Tick{1100000});
+    EXPECT_EQ(s.migrator.poisonStats().stormFrames, 3u);
+    EXPECT_EQ(countEvents(s.machine.tracer(), TraceEventType::PoisonStorm),
+              1u);
+    s.machine.charge(Tick{1000000});
+    EXPECT_EQ(s.migrator.poisonStats().stormFrames, 6u);
+    EXPECT_EQ(countEvents(s.machine.tracer(), TraceEventType::PoisonStorm),
+              2u);
+
+    for (Frame *f : frames)
+        s.tiers.free(f);
+    EXPECT_EQ(s.tiers.quarantinedPages(), 6u);
+    EXPECT_TRUE(s.checker->clean()) << s.checker->report();
+}
+
+TEST(PoisonLifecycle, StormOnMissingTierIsHarmless)
+{
+    FaultStack s;
+    s.configureFaults("poison_storm at 1000 tier 9 frames 4\n");
+    s.migrator.scheduleTierEvents();
+    s.machine.charge(Tick{2000});
+    EXPECT_EQ(s.migrator.poisonStats().stormFrames, 0u);
+    // The burst still traces, reporting zero frames poisoned.
+    EXPECT_EQ(countEvents(s.machine.tracer(), TraceEventType::PoisonStorm),
+              1u);
+    EXPECT_TRUE(s.checker->clean()) << s.checker->report();
+}
+
+// ---------------------------------------------------------------------------
+// Tier health state machine
+// ---------------------------------------------------------------------------
+
+TEST(TierHealthMachine, ErrorsDegradeThenFailThenAutoDrain)
+{
+    FaultStack s;
+    Frame *resident = s.tiers.alloc(0, ObjClass::App, true, {s.slow});
+    ASSERT_NE(resident, nullptr);
+
+    // kDegradeScore / kErrorScore errors flip the tier to Degraded.
+    for (int i = 0; i < 4; ++i)
+        s.tiers.recordTierError(s.slow);
+    EXPECT_EQ(s.tiers.health(s.slow), TierHealth::Degraded);
+    EXPECT_GE(countEvents(s.machine.tracer(), TraceEventType::TierHealth),
+              1u);
+
+    // Degraded tiers sink to the back of any preference order.
+    const TierPreference pref = s.tiers.preferHealthy({s.slow, s.fast});
+    ASSERT_EQ(pref.size(), 2u);
+    EXPECT_EQ(pref[0], s.fast);
+    EXPECT_EQ(pref[1], s.slow);
+
+    // Push on to Failed: the tier schedules its own offline drain.
+    for (int i = 0; i < 12; ++i)
+        s.tiers.recordTierError(s.slow);
+    EXPECT_EQ(s.tiers.health(s.slow), TierHealth::Failed);
+    s.machine.charge(Tick{1});
+    EXPECT_FALSE(s.tiers.tier(s.slow).online());
+    EXPECT_EQ(resident->tier, s.fast);  // drained off the failed tier
+
+    // Idle decay walks the score back down; recovery re-onlines the
+    // tier because health (not an operator) took it out. Each charge
+    // dispatches one pending tick, so idle time comes in tick-sized
+    // slices (as it does in any real run).
+    for (int i = 0; i < 40; ++i)
+        s.machine.charge(TierManager::kHealthTickPeriod);
+    EXPECT_EQ(s.tiers.health(s.slow), TierHealth::Healthy);
+    EXPECT_TRUE(s.tiers.tier(s.slow).online());
+
+    s.tiers.free(resident);
+    EXPECT_TRUE(s.checker->clean()) << s.checker->report();
+}
+
+TEST(TierHealthMachine, DegradedRecoversWithoutOffline)
+{
+    FaultStack s;
+    for (int i = 0; i < 4; ++i)
+        s.tiers.recordTierError(s.slow);
+    EXPECT_EQ(s.tiers.health(s.slow), TierHealth::Degraded);
+    EXPECT_TRUE(s.tiers.tier(s.slow).online());  // degraded ≠ offline
+
+    for (int i = 0; i < 40; ++i)
+        s.machine.charge(TierManager::kHealthTickPeriod);
+    EXPECT_EQ(s.tiers.health(s.slow), TierHealth::Healthy);
+    EXPECT_EQ(s.tiers.healthScore(s.slow), 0u);
+    EXPECT_TRUE(s.checker->clean()) << s.checker->report();
+}
+
+TEST(TierHealthMachine, OperatorOfflineIsNotReadmittedByHealth)
+{
+    FaultStack s;
+    s.migrator.offlineTier(s.slow);  // operator action, not health
+    for (int i = 0; i < 16; ++i)
+        s.tiers.recordTierError(s.slow);
+    EXPECT_EQ(s.tiers.health(s.slow), TierHealth::Failed);
+
+    // Health recovery must NOT online a tier an operator took out.
+    for (int i = 0; i < 40; ++i)
+        s.machine.charge(TierManager::kHealthTickPeriod);
+    EXPECT_EQ(s.tiers.health(s.slow), TierHealth::Healthy);
+    EXPECT_FALSE(s.tiers.tier(s.slow).online());
+
+    s.migrator.onlineTier(s.slow);
+    EXPECT_TRUE(s.tiers.tier(s.slow).online());
+    EXPECT_TRUE(s.checker->clean()) << s.checker->report();
+}
+
+TEST(TierHealthMachine, HealthObserverSeesTransitions)
+{
+    FaultStack s;
+    struct Seen
+    {
+        std::vector<std::pair<TierHealth, TierHealth>> transitions;
+    } seen;
+    s.tiers.addHealthObserver(
+        [](void *ctx, TierId, TierHealth from, TierHealth to) {
+            static_cast<Seen *>(ctx)->transitions.emplace_back(from, to);
+        },
+        &seen);
+
+    for (int i = 0; i < 16; ++i)
+        s.tiers.recordTierError(s.fast);
+    ASSERT_EQ(seen.transitions.size(), 2u);
+    EXPECT_EQ(seen.transitions[0].first, TierHealth::Healthy);
+    EXPECT_EQ(seen.transitions[0].second, TierHealth::Degraded);
+    EXPECT_EQ(seen.transitions[1].first, TierHealth::Degraded);
+    EXPECT_EQ(seen.transitions[1].second, TierHealth::Failed);
+}
+
+// ---------------------------------------------------------------------------
+// Containment invariant rules (synthetic event streams)
+// ---------------------------------------------------------------------------
+
+using PoisonChecker = PinChecker;
+
+TEST_F(PoisonChecker, QuarantineThenReallocationViolates)
+{
+    checker.consume(make(TraceEventType::FrameAlloc, 0, 5, 0, 1));
+    checker.consume(make(TraceEventType::FramePoison, 0, 5, 0, 0));
+    checker.consume(make(TraceEventType::FrameFree, 0, 5, 0, 1));
+    checker.consume(make(TraceEventType::FrameQuarantine, 0, 5, 0));
+    EXPECT_TRUE(checker.clean()) << checker.report();
+    checker.consume(make(TraceEventType::FrameAlloc, 0, 5, 0, 1));
+    EXPECT_FALSE(checker.clean());
+}
+
+TEST_F(PoisonChecker, DoubleQuarantineViolates)
+{
+    checker.consume(make(TraceEventType::FrameAlloc, 0, 5, 0, 1));
+    checker.consume(make(TraceEventType::FramePoison, 0, 5, 0, 0));
+    checker.consume(make(TraceEventType::FrameFree, 0, 5, 0, 1));
+    checker.consume(make(TraceEventType::FrameQuarantine, 0, 5, 0));
+    checker.consume(make(TraceEventType::FrameQuarantine, 0, 5, 0));
+    EXPECT_FALSE(checker.clean());
+}
+
+TEST_F(PoisonChecker, QuarantineOfLiveFrameViolates)
+{
+    checker.consume(make(TraceEventType::FrameAlloc, 0, 5, 0, 1));
+    checker.consume(make(TraceEventType::FrameQuarantine, 0, 5, 0));
+    EXPECT_FALSE(checker.clean());
+}
+
+TEST_F(PoisonChecker, RePoisonViolates)
+{
+    checker.consume(make(TraceEventType::FrameAlloc, 0, 5, 0, 1));
+    checker.consume(make(TraceEventType::FramePoison, 0, 5, 0, 0));
+    checker.consume(make(TraceEventType::FramePoison, 0, 5, 1, 0));
+    EXPECT_FALSE(checker.clean());
+}
+
+TEST_F(PoisonChecker, UnknownPoisonOriginViolates)
+{
+    checker.consume(make(TraceEventType::FrameAlloc, 0, 5, 0, 1));
+    checker.consume(make(TraceEventType::FramePoison, 0, 5, 9, 0));
+    EXPECT_FALSE(checker.clean());
+}
+
+TEST_F(PoisonChecker, RecoveryFromUnquarantinedSourceViolates)
+{
+    // MemRecover's old frame key was never quarantined.
+    checker.consume(make(TraceEventType::FrameAlloc, 0, 5, 0, 1));
+    checker.consume(make(TraceEventType::MemRecover,
+                         traceFrameKey(0, Pfn{5}),
+                         traceFrameKey(1, Pfn{9}), 0));
+    EXPECT_FALSE(checker.clean());
+}
+
+TEST_F(PoisonChecker, ValidRecoverySequenceIsClean)
+{
+    // The stream the real engine emits for a reread recovery, reduced
+    // to its checker-visible spine: poison, evacuate (the MigStart
+    // scrubs the poison bit off the moving frame), quarantine the old
+    // block, then record the recovery old→new.
+    checker.consume(make(TraceEventType::FrameAlloc, 0, 5, 0, 1));
+    checker.consume(make(TraceEventType::FramePoison, 0, 5, 0, 0));
+    checker.consume(make(TraceEventType::MigStart, 0, 5, 1, 9));
+    checker.consume(make(TraceEventType::MigComplete, 1, 9, 1, 1));
+    checker.consume(make(TraceEventType::FrameQuarantine, 0, 5, 0));
+    checker.consume(make(TraceEventType::MemRecover,
+                         traceFrameKey(1, Pfn{9}),
+                         traceFrameKey(0, Pfn{5}), 1));
+    checker.consume(make(TraceEventType::FrameFree, 1, 9, 0, 1));
+    EXPECT_TRUE(checker.clean()) << checker.report();
+    EXPECT_EQ(checker.quarantinedCount(), 1u);
+}
+
+TEST_F(PoisonChecker, TierHealthTransitionsMustBeAdjacent)
+{
+    checker.consume(make(TraceEventType::TierHealth, 0, 0, 2, 20000));
+    EXPECT_FALSE(checker.clean());
+}
+
+TEST_F(PoisonChecker, TierHealthFromMustMatchModel)
+{
+    // Model says tier 0 is Healthy; the event claims Degraded→Failed.
+    checker.consume(make(TraceEventType::TierHealth, 0, 1, 2, 20000));
+    EXPECT_FALSE(checker.clean());
+}
+
+TEST_F(PoisonChecker, DegradeBelowThresholdViolates)
+{
+    checker.consume(make(TraceEventType::TierHealth, 0, 0, 1, 1000));
+    EXPECT_FALSE(checker.clean());
+}
+
+TEST_F(PoisonChecker, ValidHealthCycleIsClean)
+{
+    checker.consume(make(TraceEventType::TierHealth, 0, 0, 1, 4000));
+    checker.consume(make(TraceEventType::TierHealth, 0, 1, 2, 16000));
+    checker.consume(make(TraceEventType::TierHealth, 0, 2, 1, 5000));
+    checker.consume(make(TraceEventType::TierHealth, 0, 1, 0, 900));
+    EXPECT_TRUE(checker.clean()) << checker.report();
+}
+
+TEST_F(PoisonChecker, StormCountExceedingRequestViolates)
+{
+    checker.consume(make(TraceEventType::PoisonStorm, 0, 2, 3));
+    EXPECT_FALSE(checker.clean());
+}
+
+TEST_F(PoisonChecker, DataLossOnUnknownFrameViolatesInStrict)
+{
+    checker.consume(make(TraceEventType::DataLoss, 0, 5, 0, 1));
+    EXPECT_FALSE(checker.clean());
+}
+
+// ---------------------------------------------------------------------------
+// Journal crash-replay racing a tier-offline drain
+// ---------------------------------------------------------------------------
+
+TEST_F(JournalCrashTest, ReplayAfterTierOfflineDrain)
+{
+    logSomeMetadata();
+    s.configureFaults("journal_commit_crash oneshot 1\n");
+    journal.commit(/*foreground=*/true);
+    ASSERT_TRUE(journal.crashed());
+    s.machine.faults().clear();
+
+    // While the journal sits crashed, the fast tier (where its
+    // buffers live) drains offline. The crashed transaction's records
+    // must survive the relocation and replay cleanly afterwards. A
+    // pinned journal buffer may legitimately strand on the offline
+    // tier; everything else must move.
+    const uint64_t stranded = s.migrator.offlineTier(s.fast);
+    EXPECT_LE(stranded, 1u);
+    ASSERT_FALSE(s.tiers.tier(s.fast).online());
+
+    journal.commit(/*foreground=*/true);
+    EXPECT_FALSE(journal.crashed());
+    EXPECT_EQ(journal.recoveredTxs(), 1u);
+    EXPECT_EQ(journal.liveRecords(), 0u);
+
+    s.migrator.onlineTier(s.fast);
+    EXPECT_TRUE(s.checker->clean()) << s.checker->report();
+    EXPECT_EQ(s.checker->outstandingPins(), 0u);
+}
+
 } // namespace
 } // namespace kloc

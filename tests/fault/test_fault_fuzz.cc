@@ -42,6 +42,7 @@ struct FuzzResult
     uint64_t seed = 0;
     uint64_t eventsChecked = 0;
     MigrationStats migration;
+    PoisonStats poison;
     std::vector<std::string> errors;
 
     bool ok() const { return errors.empty(); }
@@ -66,9 +67,15 @@ struct FuzzResult
  * name hosts that registry-built policy instead, so its scan ticks,
  * transactional copies, and shadow bookkeeping all run under the
  * same fault storm.
+ *
+ * With @p poison set, the hwpoison sites arm too (access/scan/copy
+ * probabilities plus scheduled poison_storm bursts on both tiers) and
+ * the page-cache reread hook is wired, so the full containment ladder
+ * runs inside the storm.
  */
 FuzzResult
-runFuzzSeed(uint64_t seed, const std::string &policy_name = {})
+runFuzzSeed(uint64_t seed, const std::string &policy_name = {},
+            bool poison = false)
 {
     FuzzResult result;
     result.seed = seed;
@@ -131,22 +138,42 @@ runFuzzSeed(uint64_t seed, const std::string &policy_name = {})
     config.journalCommitPeriod = 20 * kMillisecond;
     config.writebackPeriod = 5 * kMillisecond;
     auto fs = std::make_unique<FileSystem>(heap, &kloc, config);
+    if (poison) {
+        migrator.setRereadHook(
+            [](void *ctx, Frame *frame) {
+                return static_cast<FileSystem *>(ctx)->canRereadFrame(
+                    frame);
+            },
+            [](void *ctx, Frame *frame) {
+                return static_cast<FileSystem *>(ctx)->rereadFrame(frame);
+            },
+            fs.get());
+    }
 
     // Arm every fault site at once, plus a mid-run offline/online
     // cycle of the slow tier. Rates are high enough that every
     // recovery path runs many times per seed.
+    std::string spec_text =
+        "seed " + std::to_string(seed) + "\n"
+        "device_read prob 0.05\n"
+        "device_write prob 0.05\n"
+        "device_timeout prob 0.02\n"
+        "migration_no_space prob 0.2\n"
+        "journal_commit_crash prob 0.25\n"
+        "tier_offline at 30000000 tier 1\n"
+        "tier_online at 60000000 tier 1\n";
+    if (poison) {
+        spec_text +=
+            "frame_poison_access prob 0.0005\n"
+            "frame_poison_scan prob 0.001\n"
+            "frame_poison_copy prob 0.002\n"
+            "poison_storm at 10000000 tier 0 frames 4 repeat 3"
+            " every 15000000\n"
+            "poison_storm at 40000000 tier 1 frames 2\n";
+    }
     FaultSpec fspec;
     std::string err;
-    if (!FaultSpec::parse(
-            "seed " + std::to_string(seed) + "\n"
-            "device_read prob 0.05\n"
-            "device_write prob 0.05\n"
-            "device_timeout prob 0.02\n"
-            "migration_no_space prob 0.2\n"
-            "journal_commit_crash prob 0.25\n"
-            "tier_offline at 30000000 tier 1\n"
-            "tier_online at 60000000 tier 1\n",
-            fspec, &err)) {
+    if (!FaultSpec::parse(spec_text, fspec, &err)) {
         result.errors.push_back("FaultSpec::parse failed: " + err);
         return result;
     }
@@ -289,6 +316,7 @@ runFuzzSeed(uint64_t seed, const std::string &policy_name = {})
                                 checker.report());
     result.eventsChecked = checker.eventsChecked();
     result.migration = migrator.stats();
+    result.poison = migrator.poisonStats();
     machine.tracer().setEnabled(false);
     return result;
 }
@@ -358,6 +386,37 @@ TEST(FaultFuzzPolicySweep, NomadAndJengaStayInvariantClean)
             EXPECT_GT(txn_begins, 0u);
             EXPECT_GT(shadow_makes, 0u);
         }
+    }
+}
+
+/**
+ * Poison-armed sweep: the same per-policy fuzz runs again with the
+ * hwpoison sites live and storms scheduled on both tiers, so frame
+ * quarantine, shadow/reread recovery, and tier-health degradation all
+ * interleave with device faults, journal crashes, and the tier
+ * offline/online storm. Strict-checker clean, and non-vacuous: every
+ * policy's sweep must poison frames and land storm bursts.
+ */
+TEST(FaultFuzzPoisonSweep, PoisonStormsStayInvariantClean)
+{
+    constexpr uint64_t kPoisonFirstSeed = 301;
+    constexpr uint64_t kPoisonSeedCount = 8;
+    RunPool pool(RunPool::defaultWorkers());
+
+    for (const std::string policy : {"nomad", "jenga"}) {
+        const std::vector<FuzzResult> results = runIndexed<FuzzResult>(
+            pool, kPoisonSeedCount, [&policy](size_t i) {
+                return runFuzzSeed(kPoisonFirstSeed + i, policy,
+                                   /*poison=*/true);
+            });
+        uint64_t poisoned = 0, storms = 0;
+        for (const FuzzResult &result : results) {
+            EXPECT_TRUE(result.ok()) << policy << " " << result.summary();
+            poisoned += result.poison.poisonedFrames;
+            storms += result.poison.stormFrames;
+        }
+        EXPECT_GT(poisoned, 0u) << policy << ": no frame ever poisoned";
+        EXPECT_GT(storms, 0u) << policy << ": no storm burst landed";
     }
 }
 

@@ -1,0 +1,16 @@
+#ifndef KLOC_FS_DEVICE_HH
+#define KLOC_FS_DEVICE_HH
+
+#include "fault/fault.hh"
+
+namespace kloc {
+
+inline bool
+consult(bool (*should_fire)(FaultSite))
+{
+    return should_fire(FaultSite::DeviceRead);
+}
+
+} // namespace kloc
+
+#endif // KLOC_FS_DEVICE_HH

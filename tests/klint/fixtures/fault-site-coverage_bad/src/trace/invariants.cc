@@ -1,0 +1,16 @@
+#include "fault/fault.hh"
+
+namespace kloc {
+
+void
+check(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::DeviceRead:
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace kloc

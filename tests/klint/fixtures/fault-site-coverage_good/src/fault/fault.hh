@@ -1,0 +1,14 @@
+#ifndef KLOC_FAULT_FAULT_HH
+#define KLOC_FAULT_FAULT_HH
+
+namespace kloc {
+
+enum class FaultSite : unsigned char {
+    DeviceRead = 0,
+    DeviceWrite,
+    NumSites
+};
+
+} // namespace kloc
+
+#endif // KLOC_FAULT_FAULT_HH

@@ -1,0 +1,20 @@
+#ifndef KLOC_FS_DEVICE_HH
+#define KLOC_FS_DEVICE_HH
+
+#include "fault/fault.hh"
+
+namespace kloc {
+
+// Indirect consults count: the site flows through a variable into
+// the shouldFire call, mirroring the real device submit path.
+inline bool
+consult(bool (*should_fire)(FaultSite), bool write)
+{
+    const FaultSite site =
+        write ? FaultSite::DeviceWrite : FaultSite::DeviceRead;
+    return should_fire(site);
+}
+
+} // namespace kloc
+
+#endif // KLOC_FS_DEVICE_HH

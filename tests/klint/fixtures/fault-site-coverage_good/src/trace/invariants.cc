@@ -1,0 +1,18 @@
+#include "fault/fault.hh"
+
+namespace kloc {
+
+void
+check(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::DeviceRead:
+        break;
+      case FaultSite::DeviceWrite:
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace kloc

@@ -60,7 +60,9 @@ TEST_P(KlintRuleFixtures, QuietOnGoodFixture)
 
 INSTANTIATE_TEST_SUITE_P(AllRules, KlintRuleFixtures,
                          ::testing::Values("determinism",
-                                           "checker-coverage", "layering",
+                                           "checker-coverage",
+                                           "fault-site-coverage",
+                                           "layering",
                                            "units", "trace-args",
                                            "hot-path-alloc",
                                            "include-hygiene",
@@ -78,6 +80,14 @@ TEST(Klint, DeterminismBadFixtureFlagsBothPatterns)
     const auto findings = runRule("determinism", "determinism_bad");
     // The fixture seeds an unordered range-for AND a rand() call.
     EXPECT_GE(countOf(findings, "determinism"), 2);
+}
+
+TEST(Klint, FaultSiteCoverageFlagsBothGaps)
+{
+    const auto findings =
+        runRule("fault-site-coverage", "fault-site-coverage_bad");
+    // OrphanSite is neither consulted nor checked: one finding each.
+    EXPECT_EQ(countOf(findings, "fault-site-coverage"), 2);
 }
 
 TEST(Klint, RuleFilterRunsOnlySelectedRules)

@@ -262,6 +262,9 @@ TEST_P(PolicyConformance, PinBalanceAcrossAbortedTransactionalCopies)
     EXPECT_EQ(mig.txnBegins, mig.txnCommits + mig.txnAbortedWrite +
                                  mig.txnAbortedNoSpace +
                                  mig.txnAbortedBlocked);
+    // And every attempt resolved into exactly one outcome counter —
+    // the abandon path must not drop or double-book attempts.
+    EXPECT_EQ(mig.attempts, mig.resolvedAttempts());
 }
 
 TEST_P(PolicyConformance, DeterministicTraceAcrossSeedsAndJobs)

@@ -328,6 +328,74 @@ runThrashNomad()
     return out;
 }
 
+/**
+ * Golden poison-recovery scenario: app pages promoted under a Nomad
+ * window keep clean slow-tier shadows; an hwpoison burst on the fast
+ * tier then recovers straight out of those shadows for free, while a
+ * dirtied page (stale shadow, no backing) records a DataLoss. The
+ * serialized trace pins the whole containment choreography —
+ * FramePoison, ShadowReuse, FrameQuarantine, MemRecover, TierHealth —
+ * as a reviewable artifact.
+ */
+GoldenOutcome
+runPoisonRecoveryNomad()
+{
+    GoldenOutcome out;
+    ShadowStack s;
+    auto check = [&out](bool ok, const char *what) {
+        if (!ok)
+            out.errors.push_back(what);
+        return ok;
+    };
+
+    std::vector<Frame *> pages;
+    for (int i = 0; i < 8; ++i) {
+        Frame *frame = s.heap.allocAppPage();
+        if (!check(frame != nullptr && frame->tier == s.slow,
+                   "slow app page allocation failed"))
+            return out;
+        pages.push_back(frame);
+    }
+
+    // Promote everything transactionally: each page now lives on fast
+    // with a clean shadow left behind on slow.
+    std::vector<FrameRef> batch(pages.begin(), pages.end());
+    if (!check(s.migrator.promoteTransactional(batch, s.fast, Tick{0}) ==
+                   pages.size(),
+               "transactional promotion did not commit"))
+        return out;
+
+    // One page takes write traffic, staling its shadow.
+    s.mem.touch(pages[5], 4 * kKiB, AccessType::Write);
+
+    // Poison three clean-promoted pages and the dirtied one.
+    for (const size_t victim : {0u, 2u, 4u}) {
+        check(s.migrator.poisonFrame(pages[victim], PoisonOrigin::Access),
+              "clean shadow recovery failed");
+        check(pages[victim]->tier == s.slow && !pages[victim]->poisoned,
+              "recovered page not back on its shadow");
+    }
+    check(!s.migrator.poisonFrame(pages[5], PoisonOrigin::Scan),
+          "stale shadow must not recover");
+
+    const PoisonStats &poison = s.migrator.poisonStats();
+    check(poison.recoveredShadow == 3, "expected 3 shadow recoveries");
+    check(poison.dataLoss == 1, "expected 1 data loss");
+    check(s.tiers.quarantinedPages() == 3,
+          "evacuated blocks not quarantined");
+
+    for (Frame *frame : pages)
+        s.heap.freeAppPage(frame);
+    check(s.tiers.quarantinedPages() == 4,
+          "in-place poisoned block not quarantined on free");
+    if (!s.checker->clean())
+        out.errors.push_back("invariant violations:\n" +
+                             s.checker->report());
+    out.trace = s.machine.tracer().serialize();
+    s.machine.tracer().setEnabled(false);
+    return out;
+}
+
 std::string
 goldenPath(const std::string &name)
 {
@@ -366,6 +434,27 @@ TEST(NomadGolden, ThrashTraceDeterministicAndGolden)
         << "trace not deterministic across runs";
     EXPECT_GT(parseTrace(first.trace).size(), 0u);
     compareGolden("thrash_nomad", first.trace);
+}
+
+TEST(NomadGolden, PoisonRecoveryTraceDeterministicAndGolden)
+{
+    const GoldenOutcome first = runPoisonRecoveryNomad();
+    ASSERT_TRUE(first.errors.empty()) << first.errors.front();
+    const GoldenOutcome second = runPoisonRecoveryNomad();
+    ASSERT_TRUE(second.errors.empty()) << second.errors.front();
+    EXPECT_EQ(first.trace, second.trace)
+        << "trace not deterministic across runs";
+    // The artifact must actually contain the containment choreography.
+    uint64_t recovers = 0, quarantines = 0, losses = 0;
+    for (const TraceEvent &event : parseTrace(first.trace)) {
+        recovers += event.type == TraceEventType::MemRecover;
+        quarantines += event.type == TraceEventType::FrameQuarantine;
+        losses += event.type == TraceEventType::DataLoss;
+    }
+    EXPECT_EQ(recovers, 3u);
+    EXPECT_EQ(quarantines, 4u);
+    EXPECT_EQ(losses, 1u);
+    compareGolden("poison_recovery_nomad", first.trace);
 }
 
 TEST(NomadGolden, ThrashTraceIdenticalAcrossPoolWorkerCounts)

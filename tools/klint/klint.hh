@@ -10,6 +10,9 @@
  *                       libc randomness outside src/base.
  *   checker-coverage  — every TraceEventType enumerator is handled
  *                       by the InvariantChecker.
+ *   fault-site-coverage — every FaultSite enumerator is consulted at
+ *                       a call site and checked by the
+ *                       InvariantChecker's FaultInject dispatch.
  *   layering          — #includes respect the subsystem DAG.
  *   units             — public APIs in mem/, fs/, alloc/ headers use
  *                       strong types (Tick/Bytes/Pfn/TierId/

@@ -181,18 +181,23 @@ ruleDeterminism(const Context &ctx, std::vector<Finding> &findings)
 // that are intentionally not checked go on the allowlist below with
 // a justification.
 
-/** Enumerators (name, line) of TraceEventType, in declaration order. */
+/**
+ * Enumerators (name, line) of `enum class @p enum_name` declared in
+ * @p path, in declaration order. Empty when the file or enum is
+ * absent.
+ */
 std::vector<std::pair<std::string, int>>
-parseTraceEnum(const Context &ctx)
+parseEnumerators(const Context &ctx, const std::string &path,
+                 const std::string &enum_name)
 {
     std::vector<std::pair<std::string, int>> out;
-    const SourceFile *file = ctx.find("src/trace/trace.hh");
+    const SourceFile *file = ctx.find(path);
     if (!file)
         return out;
     const Tokens &toks = file->tokens;
     for (size_t i = 0; i + 2 < toks.size(); ++i) {
         if (!(toks[i].is("enum") && toks[i + 1].is("class") &&
-              toks[i + 2].text == "TraceEventType"))
+              toks[i + 2].text == enum_name))
             continue;
         size_t j = i + 3;
         while (j < toks.size() && !toks[j].is("{"))
@@ -209,6 +214,14 @@ parseTraceEnum(const Context &ctx)
         break;
     }
     return out;
+}
+
+/** Enumerators (name, line) of TraceEventType, in declaration order. */
+std::vector<std::pair<std::string, int>>
+parseTraceEnum(const Context &ctx)
+{
+    return parseEnumerators(ctx, "src/trace/trace.hh",
+                            "TraceEventType");
 }
 
 void
@@ -245,6 +258,75 @@ ruleCheckerCoverage(const Context &ctx, std::vector<Finding> &findings)
              "TraceEventType::" + name +
                  " has no case in InvariantChecker "
                  "(src/trace/invariants.cc) and is not allowlisted"});
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: fault-site-coverage
+//
+// Every FaultSite enumerator must be (a) consulted somewhere in the
+// simulator — the name appears at a call site outside src/fault and
+// outside the checker — and (b) validated by the InvariantChecker —
+// a `case FaultSite::X` in src/trace/invariants.cc's FaultInject
+// dispatch. A site that is declared but never consulted is dead
+// grammar (specs naming it silently do nothing); a site the checker
+// does not know about lets faulted runs emit FaultInject events the
+// invariant model never sanity-checks.
+
+void
+ruleFaultSiteCoverage(const Context &ctx, std::vector<Finding> &findings)
+{
+    const auto enumerators =
+        parseEnumerators(ctx, "src/fault/fault.hh", "FaultSite");
+    if (enumerators.empty())
+        return;
+
+    // Consult side: any `FaultSite :: Name` outside the declaring
+    // header and the checker. Matching the bare qualified name (not
+    // just shouldFire(FaultSite::X)) deliberately accepts indirect
+    // consults — e.g. `write ? FaultSite::DeviceWrite : ...` feeding
+    // a shouldFire(site) call.
+    std::set<std::string> consulted;
+    for (const SourceFile &file : ctx.files) {
+        if (!underSrc(file) || file.dir == "src/fault" ||
+            file.path == "src/trace/invariants.cc")
+            continue;
+        const Tokens &toks = file.tokens;
+        for (size_t i = 0; i + 2 < toks.size(); ++i) {
+            if (toks[i].text == "FaultSite" && toks[i + 1].is("::") &&
+                toks[i + 2].ident())
+                consulted.insert(toks[i + 2].text);
+        }
+    }
+
+    // Checker side: `case FaultSite :: Name` in invariants.cc.
+    std::set<std::string> checked;
+    if (const SourceFile *inv = ctx.find("src/trace/invariants.cc")) {
+        const Tokens &toks = inv->tokens;
+        for (size_t i = 0; i + 3 < toks.size(); ++i) {
+            if (toks[i].is("case") && toks[i + 1].text == "FaultSite" &&
+                toks[i + 2].is("::") && toks[i + 3].ident())
+                checked.insert(toks[i + 3].text);
+        }
+    }
+
+    for (const auto &[name, line] : enumerators) {
+        if (name == "NumSites")
+            continue;
+        if (!consulted.count(name)) {
+            findings.push_back(
+                {"fault-site-coverage", "src/fault/fault.hh", line,
+                 "FaultSite::" + name +
+                     " is never consulted (no use outside src/fault "
+                     "and the checker) — dead fault grammar"});
+        }
+        if (!checked.count(name)) {
+            findings.push_back(
+                {"fault-site-coverage", "src/fault/fault.hh", line,
+                 "FaultSite::" + name +
+                     " has no case in the InvariantChecker's "
+                     "FaultInject dispatch (src/trace/invariants.cc)"});
+        }
     }
 }
 
@@ -942,6 +1024,10 @@ ruleCatalogue()
         {"checker-coverage",
          "every TraceEventType is handled by the InvariantChecker",
          ruleCheckerCoverage},
+        {"fault-site-coverage",
+         "every FaultSite is consulted in the simulator and checked "
+         "by the InvariantChecker",
+         ruleFaultSiteCoverage},
         {"layering",
          "#includes respect the subsystem DAG",
          ruleLayering},

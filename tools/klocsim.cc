@@ -199,6 +199,26 @@ printFaultStats(System &sys)
                     (unsigned long long)journal.commitAborts(),
                     journal.crashed() ? " (still crashed)" : "");
     }
+    const PoisonStats &poison = sys.migrator().poisonStats();
+    if (poison.poisonedFrames > 0) {
+        std::printf("  hwpoison        %llu poisoned (%llu storm), "
+                    "%llu shadow + %llu reread recovered, "
+                    "%llu data loss, %llu pages quarantined\n",
+                    (unsigned long long)poison.poisonedFrames,
+                    (unsigned long long)poison.stormFrames,
+                    (unsigned long long)poison.recoveredShadow,
+                    (unsigned long long)poison.recoveredReread,
+                    (unsigned long long)poison.dataLoss,
+                    (unsigned long long)sys.tiers().quarantinedPages());
+        for (size_t t = 0; t < sys.tiers().tierCount(); ++t) {
+            const auto id = static_cast<TierId>(t);
+            const TierHealth health = sys.tiers().health(id);
+            if (health != TierHealth::Healthy) {
+                std::printf("  tier %zu          health %s\n", t,
+                            tierHealthName(health));
+            }
+        }
+    }
 }
 
 /**

@@ -86,7 +86,7 @@ void
 BM_RadixInsertLookupErase(benchmark::State &state)
 {
     const auto count = static_cast<uint64_t>(state.range(0));
-    static int slot;
+    int slot;  // address-only sentinel; a local keeps it run-private
     for (auto _ : state) {
         RadixTree tree;
         for (uint64_t i = 0; i < count; ++i)

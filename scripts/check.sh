@@ -11,11 +11,16 @@
 #
 # Optional stages (any combination, default is build+test+determinism):
 #   --lint      run klint and, when available, clang-tidy over src/
+#   --lint-fast build only the klint target and run it against the
+#               on-disk index cache, skipping everything else — the
+#               seconds-fast pre-commit / CI lint path. Extra klint
+#               flags (e.g. --github) pass through via KLINT_FLAGS.
 #   --sanitize  rebuild with -DKLOC_SANITIZE=ON (ASan+UBSan) in
 #               BUILD_DIR-asan and run the full test suite there
 #   --tsan      rebuild with -DKLOC_TSAN=ON in BUILD_DIR-tsan and run
 #               the RunPool/parallel-identity/fuzz-sweep tests there
-#   --all       everything above
+#   --all       everything above (except --lint-fast, which --lint
+#               subsumes)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,18 +30,35 @@ JOBS=${JOBS:-$(nproc)}
 export KLOC_JOBS=${KLOC_JOBS:-$(nproc)}
 
 DO_LINT=0
+DO_LINT_FAST=0
 DO_SANITIZE=0
 DO_TSAN=0
 for arg in "$@"; do
     case "$arg" in
       --lint) DO_LINT=1 ;;
+      --lint-fast) DO_LINT_FAST=1 ;;
       --sanitize) DO_SANITIZE=1 ;;
       --tsan) DO_TSAN=1 ;;
       --all) DO_LINT=1; DO_SANITIZE=1; DO_TSAN=1 ;;
-      *) echo "usage: check.sh [--lint] [--sanitize] [--tsan] [--all]" >&2
+      *) echo "usage: check.sh [--lint] [--lint-fast] [--sanitize]" \
+              "[--tsan] [--all]" >&2
          exit 2 ;;
     esac
 done
+
+if [ "$DO_LINT_FAST" = 1 ]; then
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+    cmake --build "$BUILD_DIR" -j "$JOBS" --target klint
+    # shellcheck disable=SC2086  # KLINT_FLAGS is a flag list
+    "$BUILD_DIR"/tools/klint --root=. \
+        --cache="${KLINT_CACHE:-$BUILD_DIR/klint-cache.txt}" \
+        ${KLINT_FLAGS:-} || {
+        echo "FAIL: klint reported findings" >&2
+        exit 1
+    }
+    echo "check.sh: lint-fast OK"
+    exit 0
+fi
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$JOBS"

@@ -27,25 +27,30 @@ KmemCache::~KmemCache()
 {
     // Free every backing frame still held, live objects included;
     // subsystems are expected to have drained first, but teardown
-    // must not leak simulated frames.
+    // must not leak simulated frames. Collect first, free after:
+    // TierManager::free charges time, and charged time can dispatch
+    // events that land back in this cache's lists mid-walk.
+    std::vector<Frame *> frames;
     for (auto &[key, list] : _partial) {
         for (Slab *slab : list) {
             if (slab->frame)
-                _tiers.free(slab->frame);
+                frames.push_back(slab->frame);
             slab->frame = nullptr;
         }
     }
     for (Slab *slab : _emptyPool) {
         if (slab->frame)
-            _tiers.free(slab->frame);
+            frames.push_back(slab->frame);
         slab->frame = nullptr;
     }
     // Full slabs are not on any list; sweep the pool for the rest.
     for (Slab &slab : _slabPool) {
         if (slab.frame)
-            _tiers.free(slab.frame);
+            frames.push_back(slab.frame);
         slab.frame = nullptr;
     }
+    for (Frame *frame : frames)
+        _tiers.free(frame);
 }
 
 std::vector<KmemCache::Slab *> &

@@ -14,7 +14,7 @@
  * or .begin()) over unordered_map/unordered_set members outside
  * src/base/ — wrap the container in sortedSnapshot() or, for loops
  * that are provably order-independent reductions, add a
- * `// klint: allow(determinism)` justification.
+ * `// klint:allow(determinism): <why>` justification.
  */
 
 #ifndef KLOC_BASE_ORDERED_HH

@@ -84,7 +84,8 @@ KlocManager::mapKnode(uint64_t inode_id)
     KLOC_ASSERT(!_tierOrder.empty(), "KLOC enabled without tier order");
 
     // A new kernel object is born here, not per-event churn: one
-    // knode per mapped inode, freed at unmap. klint: allow(hot-path-alloc)
+    // knode per mapped inode, freed at unmap.
+    // klint:allow(hot-path-alloc): object birth, not per-event churn.
     auto *knode = new Knode(inode_id);
     // Knodes are slab-allocated for speed and always placed in fast
     // memory; they are few and small (§4.2.2).

@@ -42,7 +42,8 @@ BlockLayer::submit(Knode *knode, bool active, uint64_t sector, Bytes length,
 
     // Allocate the bio and run the dispatch path. The bio is the
     // modelled object itself (kernel bios are born per request too),
-    // not bookkeeping churn. klint: allow(hot-path-alloc)
+    // not bookkeeping churn. klint:allow(hot-path-alloc): the bio
+    // is the modelled object, born per request by design.
     auto bio = std::make_unique<Bio>();
     bio->sector = sector;
     bio->length = length;

@@ -14,14 +14,23 @@ Journal::~Journal()
     // Drop any uncommitted transaction state. This is an abort, not a
     // commit, but it still releases journal objects — open a detach
     // window so the invariant checker sees a sanctioned release.
+    // Move the queues into locals before releasing anything: freeing
+    // charges time, charged time dispatches events, and the commit
+    // timer firing mid-teardown must find the queues already empty
+    // instead of half-released.
     Tracer &tracer = _heap.mem().machine().tracer();
     tracer.emit(TraceEventType::JournalDetachStart, 0);
-    for (auto &rec : _records) {
+    std::vector<std::unique_ptr<JournalRecord>> records =
+        std::move(_records);
+    _records.clear();
+    std::vector<std::unique_ptr<JournalPage>> pages = std::move(_pages);
+    _pages.clear();
+    for (auto &rec : records) {
         if (_kloc && rec->knode)
             _kloc->removeObject(rec.get());
         _heap.freeBacking(*rec);
     }
-    for (auto &page : _pages) {
+    for (auto &page : pages) {
         if (_kloc && page->knode)
             _kloc->removeObject(page.get());
         _heap.freeBacking(*page);
@@ -66,18 +75,25 @@ Journal::logMetadata(Knode *knode, bool active, uint64_t inode_id,
 void
 Journal::releaseTransaction()
 {
-    for (auto &rec : _records) {
+    // Same shape as the destructor: take the queues first, release
+    // after. removeObject/freeBacking charge time, and a dispatched
+    // event re-entering the journal must see the transaction as
+    // already gone.
+    std::vector<std::unique_ptr<JournalRecord>> records =
+        std::move(_records);
+    _records.clear();
+    std::vector<std::unique_ptr<JournalPage>> pages = std::move(_pages);
+    _pages.clear();
+    for (auto &rec : records) {
         if (_kloc && rec->knode)
             _kloc->removeObject(rec.get());
         _heap.freeBacking(*rec);
     }
-    for (auto &page : _pages) {
+    for (auto &page : pages) {
         if (_kloc && page->knode)
             _kloc->removeObject(page.get());
         _heap.freeBacking(*page);
     }
-    _records.clear();
-    _pages.clear();
 }
 
 void
@@ -132,6 +148,7 @@ Journal::commit(bool foreground)
     for (size_t i = 0; i < _pages.size(); i += batch_pages) {
         const size_t run = std::min(batch_pages, _pages.size() - i);
         for (size_t j = i; j < i + run; ++j)
+            // klint:allow(reentrancy-hazard): _committing is latched for the whole batch loop, so charged time cannot re-enter commit and free _pages
             _heap.touchObject(*_pages[j], AccessType::Read);
         const IoStatus status =
             _block.submit(nullptr, false, _journalSector, run * kPageSize,
@@ -188,6 +205,7 @@ Journal::recover(bool foreground)
     for (size_t i = 0; i < _pages.size(); i += batch_pages) {
         const size_t run = std::min(batch_pages, _pages.size() - i);
         for (size_t j = i; j < i + run; ++j)
+            // klint:allow(reentrancy-hazard): _committing is latched for the whole batch loop, so charged time cannot re-enter commit and free _pages
             _heap.touchObject(*_pages[j], AccessType::Read);
         const IoStatus status =
             _block.submit(nullptr, false, _journalSector, run * kPageSize,
@@ -223,14 +241,23 @@ Journal::detachInode(uint64_t inode_id)
 {
     Tracer &tracer = _heap.mem().machine().tracer();
     tracer.emit(TraceEventType::JournalDetachStart, inode_id);
+    // removeObject charges time, and charged time can fire the commit
+    // timer. Latch _committing so a timer tick cannot run
+    // releaseTransaction under these walks (save/restore: detach may
+    // itself run inside a commit).
+    const bool was_committing = _committing;
+    _committing = true;
     for (auto &rec : _records) {
         if (rec->inodeId == inode_id && _kloc && rec->knode)
+            // klint:allow(iterator-invalidation): the _committing latch above keeps the commit timer out of releaseTransaction mid-walk
             _kloc->removeObject(rec.get());
     }
     for (auto &page : _pages) {
         if (page->inodeId == inode_id && _kloc && page->knode)
+            // klint:allow(iterator-invalidation): the _committing latch above keeps the commit timer out of releaseTransaction mid-walk
             _kloc->removeObject(page.get());
     }
+    _committing = was_committing;
     tracer.emit(TraceEventType::JournalDetachEnd, inode_id);
 }
 

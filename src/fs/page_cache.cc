@@ -159,15 +159,23 @@ PageCache::collectDirty(uint64_t start_index, FrameCount max,
 void
 PageCache::forEachPage(const std::function<void(PageCachePage *)> &fn)
 {
+    // Unlike the tag walks above, this one runs an arbitrary visitor
+    // mid-batch, and a visitor that re-enters this cache (writeback,
+    // reclaim) would refill the shared member scratch under us. Take
+    // the buffer for the duration of the walk: a re-entrant walk then
+    // grows its own, and the swap-back keeps the capacity amortised.
+    std::vector<std::pair<uint64_t, void *>> scratch;
+    scratch.swap(_gangScratch);
     uint64_t start = 0;
     while (true) {
-        _tree.gangLookup(start, 256, _gangScratch);
-        if (_gangScratch.empty())
-            return;
-        for (auto &[index, item] : _gangScratch)
+        _tree.gangLookup(start, 256, scratch);
+        if (scratch.empty())
+            break;
+        for (auto &[index, item] : scratch)
             fn(static_cast<PageCachePage *>(item));
-        start = _gangScratch.back().first + 1;
+        start = scratch.back().first + 1;
     }
+    scratch.swap(_gangScratch);
 }
 
 } // namespace kloc

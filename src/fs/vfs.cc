@@ -481,7 +481,8 @@ FileSystem::writebackInode(InodeInfo &info, FrameCount max_pages,
     // scratch buffer: one tree walk per batch instead of per-page
     // descents, and no allocation once the buffers have grown.
     if (_writebackDepth == _writebackScratch.size()) {
-        _writebackScratch.push_back(  // klint: allow(hot-path-alloc)
+        // klint:allow(hot-path-alloc): amortised, one buffer per depth, reused forever.
+        _writebackScratch.push_back(
             std::make_unique<std::vector<PageCachePage *>>());
     }
     std::vector<PageCachePage *> &dirty =
@@ -502,6 +503,7 @@ FileSystem::writebackInode(InodeInfo &info, FrameCount max_pages,
         // re-entrant writeback triggered by the device charge does
         // not pick the same run up again.
         for (size_t j = i; j < i + run; ++j) {
+            // klint:allow(reentrancy-hazard): a re-entrant writeback runs one depth deeper and owns a distinct _writebackScratch buffer, so this depth's indexes stay valid
             _heap.mem().touch(dirty[j]->frame(), kPageSize,
                               AccessType::Read);
             info.cache->clearDirty(dirty[j]);

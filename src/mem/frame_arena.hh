@@ -68,6 +68,7 @@ class FrameArena
                     ? _count - chunk * kChunkFrames
                     : kChunkFrames;
             for (size_t slot = 0; slot < limit; ++slot)
+                // klint:allow(reentrancy-hazard): a visitor that allocates appends chunks; unique_ptr'd chunk blocks never move and `chunk` indexes an append-only vector
                 fn(base[slot]);
         }
     }

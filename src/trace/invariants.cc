@@ -814,7 +814,7 @@ uint64_t
 InvariantChecker::outstandingPins() const
 {
     uint64_t pinned = 0;
-    // klint: allow(determinism) — order-independent reduction.
+    // klint:allow(determinism): order-independent reduction.
     for (const auto &[key, frame] : _frames) {
         (void)key;
         if (frame.pins > 0)
@@ -827,7 +827,7 @@ uint64_t
 InvariantChecker::openTransactionalCopies() const
 {
     uint64_t open = 0;
-    // klint: allow(determinism) — order-independent reduction.
+    // klint:allow(determinism): order-independent reduction.
     for (const auto &[key, frame] : _frames) {
         (void)key;
         if (frame.inTxn)

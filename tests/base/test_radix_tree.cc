@@ -15,9 +15,8 @@
 namespace kloc {
 namespace {
 
-int value_a = 1;
-int value_b = 2;
-int value_c = 3;
+// klint:allow(no-mutable-global): address-only sentinels, never written — the tree stores void*, which rules out const objects
+int value_a = 1, value_b = 2, value_c = 3;
 
 TEST(RadixTree, EmptyLookups)
 {
@@ -221,7 +220,7 @@ TEST_P(RadixProperty, MatchesReferenceModel)
     Rng rng(static_cast<uint64_t>(GetParam()));
     RadixTree tree;
     std::map<uint64_t, void *> model;
-    static int slots[8];
+    int slots[8] = {};  // address-only sentinels; locals stay run-private
 
     for (int step = 0; step < 6000; ++step) {
         // Mix of dense-low and sparse-high indices.

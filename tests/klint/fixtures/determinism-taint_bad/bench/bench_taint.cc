@@ -1,0 +1,22 @@
+#include <unordered_map>
+
+// Seeded violation: a benchmark metric that keeps whichever map
+// entry the hash order visits last, then reports it.
+
+struct JsonReport {
+    void add(const char *name, double value) {
+        (void)name;
+        (void)value;
+    }
+};
+
+int main() {
+    std::unordered_map<int, long> counts;
+    counts[1] = 10;
+    long peak = 0;
+    for (const auto &kv : counts)
+        peak = kv.second;
+    JsonReport report;
+    report.add("peak_count", static_cast<double>(peak));
+    return 0;
+}

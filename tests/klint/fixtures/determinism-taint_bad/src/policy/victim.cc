@@ -1,0 +1,35 @@
+#include <unordered_map>
+
+// Seeded violations: values derived from unordered-container
+// iteration order flowing into a policy decision (the function's
+// return value) and into trace emission, with no sortedSnapshot().
+
+enum class TraceEventType { VictimPick };
+
+struct Tracer {
+    void emit(TraceEventType type, long value) {
+        (void)type;
+        (void)value;
+    }
+};
+
+struct VictimPolicy {
+    long pickVictim() {
+        long victim = -1;
+        for (const auto &kv : _heat) {
+            if (victim < 0)
+                victim = kv.first;
+        }
+        return victim;
+    }
+
+    void tracePick() {
+        long last = 0;
+        for (const auto &kv : _heat)
+            last = kv.first;
+        _tracer.emit(TraceEventType::VictimPick, last);
+    }
+
+    std::unordered_map<long, long> _heat;
+    Tracer _tracer;
+};

@@ -1,0 +1,22 @@
+#include <unordered_map>
+
+// Clean form: the reported metric is an order-independent sum over
+// the map, so hash iteration order cannot change the output.
+
+struct JsonReport {
+    void add(const char *name, double value) {
+        (void)name;
+        (void)value;
+    }
+};
+
+int main() {
+    std::unordered_map<int, long> counts;
+    counts[1] = 10;
+    long sum = 0;
+    for (const auto &kv : counts)
+        sum += kv.second;
+    JsonReport report;
+    report.add("total_count", static_cast<double>(sum));
+    return 0;
+}

@@ -1,0 +1,25 @@
+#include <unordered_map>
+
+// Clean forms: decisions read the container through sortedSnapshot(),
+// and raw-order loops only feed commutative reductions, whose result
+// does not depend on visit order.
+
+struct VictimPolicy {
+    long pickVictim() {
+        long victim = -1;
+        for (const auto &kv : sortedSnapshot(_heat)) {
+            if (victim < 0)
+                victim = kv.first;
+        }
+        return victim;
+    }
+
+    long totalHeat() {
+        long total = 0;
+        for (const auto &kv : _heat)
+            total += kv.second;
+        return total;
+    }
+
+    std::unordered_map<long, long> _heat;
+};

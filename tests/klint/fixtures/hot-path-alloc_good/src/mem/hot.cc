@@ -24,7 +24,7 @@ void
 Engine::onFreed(Frame *frame)
 {
     if (_chunks.full()) {
-        // Amortised: one chunk per 4096 frees. klint: allow(hot-path-alloc)
+        // klint:allow(hot-path-alloc): amortised, one chunk per 4096 frees.
         _chunks.push_back(std::make_unique<Chunk>());
     }
     _tracer.emit(TraceEventType::FrameFree, frame->tier, frame->pfn);

@@ -1,0 +1,36 @@
+#include <cstddef>
+#include <vector>
+
+// Seeded violations: erasing from a container inside a range-for
+// over that container, and mutating a gang-walked table while the
+// scratch vector of pointers it produced is still being consumed.
+
+struct FrameTable {
+    std::size_t gangLookup(int tag, std::vector<int *> &out) {
+        out.clear();
+        return tag >= 0 ? out.size() : 0;
+    }
+    void insert(int *slot) { _slots.push_back(slot); }
+    std::vector<int *> _slots;
+};
+
+struct PageCache {
+    void dropStale() {
+        for (int *frame : _dirty) {
+            if (frame == nullptr)
+                _dirty.erase(_dirty.begin());
+        }
+    }
+
+    void evictCold() {
+        const std::size_t n = _table.gangLookup(1, _scratch);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (_scratch[i] != nullptr)
+                _table.insert(nullptr);
+        }
+    }
+
+    FrameTable _table;
+    std::vector<int *> _dirty;
+    std::vector<int *> _scratch;
+};

@@ -1,0 +1,41 @@
+#include <cstddef>
+#include <vector>
+
+// Fixed forms: the range-for only counts, with the mutation deferred
+// past the loop; the gang-walk consumer finishes reading the scratch
+// results before any insert can resize the table behind them.
+
+struct FrameTable {
+    std::size_t gangLookup(int tag, std::vector<int *> &out) {
+        out.clear();
+        return tag >= 0 ? out.size() : 0;
+    }
+    void insert(int *slot) { _slots.push_back(slot); }
+    std::vector<int *> _slots;
+};
+
+struct PageCache {
+    void dropStale() {
+        std::size_t keep = 0;
+        for (int *frame : _dirty) {
+            if (frame != nullptr)
+                ++keep;
+        }
+        _dirty.resize(keep);
+    }
+
+    void evictCold() {
+        const std::size_t n = _table.gangLookup(1, _scratch);
+        std::size_t dead = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (_scratch[i] == nullptr)
+                ++dead;
+        }
+        for (std::size_t k = 0; k < dead; ++k)
+            _table.insert(nullptr);
+    }
+
+    FrameTable _table;
+    std::vector<int *> _dirty;
+    std::vector<int *> _scratch;
+};

@@ -26,7 +26,8 @@ bumpEpoch(unsigned epoch)
 }
 
 // Justified exception: amortised interning table, guarded upstream.
-// klint: allow(no-mutable-global)
+// klint:allow(no-mutable-global): amortised interning table,
+// guarded upstream.
 static unsigned s_interned_count = 0;
 
 unsigned

@@ -1,0 +1,64 @@
+#include <cstddef>
+#include <vector>
+
+// Seeded violation: the findKnode bug class from the accounting-drain
+// incident. A scheduled callback rotates the per-CPU list; findNode
+// drains pending callbacks mid-loop (cpuWork -> charge -> runDue ->
+// _hook()) while still holding index i, then uses the stale index.
+
+struct Machine {
+    void cpuWork(int ticks) { charge(ticks); }
+    void charge(int ticks) {
+        if (ticks > 0)
+            runDue();
+    }
+    void runDue() {
+        if (_hook != nullptr)
+            _hook();
+    }
+    void (*_hook)() = nullptr;
+};
+
+static bool matches(int *entry, int key) { return entry != nullptr && key >= 0; }
+
+struct Manager {
+    void setup() {
+        schedule([this] { rotateFront(); });
+    }
+
+    template <typename F>
+    void schedule(F fn) {
+        _armed = true;
+        (void)fn;
+    }
+
+    void rotateFront() {
+        auto &list = _perCpu[0];
+        if (list.empty())
+            return;
+        int *head = list[0];
+        list.erase(list.begin());
+        list.insert(list.begin(), head);
+    }
+
+    int *findNode(int key) {
+        auto &list = _perCpu[_cpu];
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            if (matches(list[i], key)) {
+                _machine.cpuWork(10);
+                if (i != 0) {
+                    int *node = list[i];
+                    list.erase(list.begin() + i);
+                    list.insert(list.begin(), node);
+                }
+                return list[0];
+            }
+        }
+        return nullptr;
+    }
+
+    Machine _machine;
+    bool _armed = false;
+    int _cpu = 0;
+    std::vector<int *> _perCpu[4];
+};

@@ -1,0 +1,64 @@
+#include <cstddef>
+#include <vector>
+
+// Fixed form of the findNode pattern: the rotation happens while the
+// index is still valid, and the drain (which can re-enter rotateFront
+// through the scheduled callback) runs only after every index and
+// element reference derived from the loop is dead.
+
+struct Machine {
+    void cpuWork(int ticks) { charge(ticks); }
+    void charge(int ticks) {
+        if (ticks > 0)
+            runDue();
+    }
+    void runDue() {
+        if (_hook != nullptr)
+            _hook();
+    }
+    void (*_hook)() = nullptr;
+};
+
+static bool matches(int *entry, int key) { return entry != nullptr && key >= 0; }
+
+struct Manager {
+    void setup() {
+        schedule([this] { rotateFront(); });
+    }
+
+    template <typename F>
+    void schedule(F fn) {
+        _armed = true;
+        (void)fn;
+    }
+
+    void rotateFront() {
+        auto &list = _perCpu[0];
+        if (list.empty())
+            return;
+        int *head = list[0];
+        list.erase(list.begin());
+        list.insert(list.begin(), head);
+    }
+
+    int *findNode(int key) {
+        auto &list = _perCpu[_cpu];
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            if (matches(list[i], key)) {
+                int *node = list[i];
+                if (i != 0) {
+                    list.erase(list.begin() + i);
+                    list.insert(list.begin(), node);
+                }
+                _machine.cpuWork(10);
+                return node;
+            }
+        }
+        return nullptr;
+    }
+
+    Machine _machine;
+    bool _armed = false;
+    int _cpu = 0;
+    std::vector<int *> _perCpu[4];
+};

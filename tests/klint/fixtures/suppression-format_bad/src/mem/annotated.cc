@@ -1,0 +1,18 @@
+// Seeded violations: suppression comments that name no rule, use the
+// retired free-form style, or reference a rule that does not exist.
+// None of these actually suppress anything, which is exactly why the
+// rule flags them instead of letting them rot silently.
+
+struct Annotated {
+    void tick() {
+        // klint: allow(determinism) — legacy form, rationale not delimited
+        int x = 0;
+        // klint:allow(hot-path-alloc)
+        int y = 0;
+        // klint:allow(imaginary-rule): the rule name is not in the catalogue
+        int z = 0;
+        (void)x;
+        (void)y;
+        (void)z;
+    }
+};

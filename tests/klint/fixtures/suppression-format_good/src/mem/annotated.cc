@@ -1,0 +1,17 @@
+// Valid suppressions: rule name plus a rationale after the colon, or
+// the blanket allow(all) form. Prose that merely mentions the tool
+// name is not a suppression attempt and is left alone.
+
+struct Annotated {
+    void tick() {
+        // klint:allow(determinism): order-independent reduction over a scratch map.
+        int x = 0;
+        // klint:allow(all): fixture exercising the blanket form.
+        int y = 0;
+        (void)x;
+        (void)y;
+    }
+};
+
+// This comment mentions klint in passing without an allow clause.
+// And neither is allow(things) a suppression without the tool prefix.

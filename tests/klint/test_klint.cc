@@ -66,7 +66,11 @@ INSTANTIATE_TEST_SUITE_P(AllRules, KlintRuleFixtures,
                                            "units", "trace-args",
                                            "hot-path-alloc",
                                            "include-hygiene",
-                                           "no-mutable-global"),
+                                           "no-mutable-global",
+                                           "determinism-taint",
+                                           "reentrancy-hazard",
+                                           "iterator-invalidation",
+                                           "suppression-format"),
                          [](const auto &info) {
                              std::string name = info.param;
                              for (char &c : name)
@@ -88,6 +92,57 @@ TEST(Klint, FaultSiteCoverageFlagsBothGaps)
         runRule("fault-site-coverage", "fault-site-coverage_bad");
     // OrphanSite is neither consulted nor checked: one finding each.
     EXPECT_EQ(countOf(findings, "fault-site-coverage"), 2);
+}
+
+TEST(Klint, ReentrancyHazardCatchesFindKnodePattern)
+{
+    // The seeded bug is the findKnode incident: a classic loop holds
+    // index i into _perCpu[cpu], calls into the machine (which drains
+    // a scheduled callback that rotates the list), then keeps using i.
+    const auto findings =
+        runRule("reentrancy-hazard", "reentrancy-hazard_bad");
+    ASSERT_GE(countOf(findings, "reentrancy-hazard"), 1);
+    bool namesDrainChain = false;
+    for (const Finding &f : findings)
+        if (f.message.find("cpuWork") != std::string::npos &&
+            f.message.find("_perCpu[]") != std::string::npos)
+            namesDrainChain = true;
+    EXPECT_TRUE(namesDrainChain)
+        << "witness chain should name the draining call and container";
+}
+
+TEST(Klint, DeterminismTaintFlagsAllThreeSinkKinds)
+{
+    // Policy return, trace emit, and bench report.add() sinks.
+    const auto findings =
+        runRule("determinism-taint", "determinism-taint_bad");
+    EXPECT_GE(countOf(findings, "determinism-taint"), 3);
+}
+
+TEST(Klint, IteratorInvalidationFlagsRangeForAndGangWalk)
+{
+    const auto findings =
+        runRule("iterator-invalidation", "iterator-invalidation_bad");
+    EXPECT_GE(countOf(findings, "iterator-invalidation"), 2);
+}
+
+TEST(Klint, SuppressionGrammarRequiresRuleAndRationale)
+{
+    using klint::suppressionCovers;
+    EXPECT_TRUE(suppressionCovers(
+        "// klint:allow(determinism): order-free.", "determinism"));
+    EXPECT_TRUE(suppressionCovers(
+        "// klint:allow(all): blanket.", "determinism"));
+    // Legacy free-form, rationale-less, and wrong-rule comments must
+    // not silence anything.
+    EXPECT_FALSE(suppressionCovers(
+        "// klint: allow(determinism) legacy prose", "determinism"));
+    EXPECT_FALSE(suppressionCovers(
+        "// klint:allow(determinism)", "determinism"));
+    EXPECT_FALSE(suppressionCovers(
+        "// klint:allow(determinism):", "determinism"));
+    EXPECT_FALSE(suppressionCovers(
+        "// klint:allow(units): wrong rule.", "determinism"));
 }
 
 TEST(Klint, RuleFilterRunsOnlySelectedRules)

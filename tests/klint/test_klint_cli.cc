@@ -1,0 +1,201 @@
+/**
+ * @file
+ * klint CLI and cache tests: exit codes (0 clean, 1 findings,
+ * 2 usage), the --json report schema with stable finding IDs, and
+ * index-cache invalidation when a file's content hash changes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/klint/cli.hh"
+#include "tools/klint/klint.hh"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using klint::Options;
+using klint::RunStats;
+
+std::string
+fixture(const std::string &name)
+{
+    return std::string(KLINT_FIXTURE_DIR) + "/" + name;
+}
+
+struct CliResult {
+    int code;
+    std::string out;
+    std::string err;
+};
+
+CliResult
+runCli(const std::vector<std::string> &args)
+{
+    std::ostringstream out;
+    std::ostringstream err;
+    const int code = klint::cliMain(args, out, err);
+    return {code, out.str(), err.str()};
+}
+
+TEST(KlintCli, CleanTreeExitsZero)
+{
+    const auto r = runCli({"--root=" + fixture("determinism_good"),
+                           "--rules=determinism"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_TRUE(r.err.empty()) << r.err;
+}
+
+TEST(KlintCli, FindingsExitOne)
+{
+    const auto r = runCli({"--root=" + fixture("determinism_bad"),
+                           "--rules=determinism"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.out.find("[determinism]"), std::string::npos) << r.out;
+    EXPECT_NE(r.err.find("finding"), std::string::npos) << r.err;
+}
+
+TEST(KlintCli, UnknownArgumentExitsTwo)
+{
+    const auto r = runCli({"--frobnicate"});
+    EXPECT_EQ(r.code, 2);
+    EXPECT_NE(r.err.find("usage:"), std::string::npos) << r.err;
+}
+
+TEST(KlintCli, JsonReportMatchesSchema)
+{
+    const auto r = runCli({"--root=" + fixture("determinism_bad"),
+                           "--rules=determinism", "--json"});
+    EXPECT_EQ(r.code, 1);
+    // Golden schema fragments: version, findings array with stable
+    // ids, and the stats block the CI cache job monitors.
+    EXPECT_NE(r.out.find("\"version\": 1"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("\"findings\": ["), std::string::npos);
+    EXPECT_NE(r.out.find("\"id\": \""), std::string::npos);
+    EXPECT_NE(r.out.find("\"rule\": \"determinism\""), std::string::npos);
+    EXPECT_NE(r.out.find("\"line\": "), std::string::npos);
+    EXPECT_NE(r.out.find("\"stats\": {\"filesScanned\": "),
+              std::string::npos);
+
+    // IDs are content-hashed, so a re-run is byte-identical.
+    const auto again = runCli({"--root=" + fixture("determinism_bad"),
+                               "--rules=determinism", "--json"});
+    EXPECT_EQ(r.out, again.out);
+}
+
+TEST(KlintCli, GithubModeEmitsAnnotations)
+{
+    const auto r = runCli({"--root=" + fixture("determinism_bad"),
+                           "--rules=determinism", "--github"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.out.find("::error file="), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("title=klint(determinism)"), std::string::npos);
+}
+
+TEST(KlintCli, ListRulesNamesTheFullCatalogue)
+{
+    const auto r = runCli({"--list-rules"});
+    EXPECT_EQ(r.code, 0);
+    for (const char *rule :
+         {"determinism", "determinism-taint", "reentrancy-hazard",
+          "iterator-invalidation", "suppression-format",
+          "no-mutable-global"})
+        EXPECT_NE(r.out.find(rule), std::string::npos)
+            << "missing rule in --list-rules: " << rule;
+}
+
+class KlintCacheTest : public ::testing::Test {
+  protected:
+    void SetUp() override
+    {
+        // ctest runs each TEST_F as its own process, possibly in
+        // parallel: the tree must be unique per process and test.
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        _root = fs::temp_directory_path() /
+                (std::string("klint_cache_test_") + info->name() + "_" +
+                 std::to_string(static_cast<long>(::getpid())));
+        fs::remove_all(_root);
+        fs::create_directories(_root / "src/mem");
+        write("src/mem/a.cc", "int alpha() { return 1; }\n");
+        write("src/mem/b.cc", "int beta() { return 2; }\n");
+    }
+
+    void TearDown() override { fs::remove_all(_root); }
+
+    void write(const std::string &rel, const std::string &text)
+    {
+        std::ofstream f(_root / rel);
+        f << text;
+    }
+
+    RunStats run()
+    {
+        Options opts;
+        opts.root = _root.string();
+        opts.rules = {"determinism"};
+        opts.cachePath = (_root / "cache.txt").string();
+        RunStats stats;
+        opts.stats = &stats;
+        klint::runKlint(opts);
+        return stats;
+    }
+
+    fs::path _root;
+};
+
+TEST_F(KlintCacheTest, SecondRunServedEntirelyFromCache)
+{
+    const RunStats cold = run();
+    EXPECT_EQ(cold.filesScanned, 2u);
+    EXPECT_EQ(cold.indexCacheHits, 0u);
+    EXPECT_EQ(cold.indexCacheMisses, 2u);
+
+    const RunStats warm = run();
+    EXPECT_EQ(warm.indexCacheHits, 2u);
+    EXPECT_EQ(warm.indexCacheMisses, 0u);
+}
+
+TEST_F(KlintCacheTest, EditInvalidatesOnlyTheChangedFile)
+{
+    run();
+    write("src/mem/b.cc", "int beta() { return 3; }\n");
+    const RunStats after = run();
+    EXPECT_EQ(after.indexCacheHits, 1u);
+    EXPECT_EQ(after.indexCacheMisses, 1u);
+}
+
+TEST_F(KlintCacheTest, CachedRunFindingsMatchColdRun)
+{
+    // Seed a real violation so the finding set is non-trivial, then
+    // check cached indexing does not change the diagnostics.
+    write("src/mem/c.cc",
+          "#include <unordered_map>\n"
+          "int walk(std::unordered_map<int,int> &m) {\n"
+          "    int last = 0;\n"
+          "    for (auto &kv : m) last = kv.first;\n"
+          "    return last;\n"
+          "}\n");
+    Options opts;
+    opts.root = _root.string();
+    opts.cachePath = (_root / "cache.txt").string();
+    const auto cold = klint::runKlint(opts);
+    const auto warm = klint::runKlint(opts);
+    ASSERT_EQ(cold.size(), warm.size());
+    for (size_t i = 0; i < cold.size(); ++i) {
+        EXPECT_EQ(cold[i].rule, warm[i].rule);
+        EXPECT_EQ(cold[i].file, warm[i].file);
+        EXPECT_EQ(cold[i].line, warm[i].line);
+        EXPECT_EQ(cold[i].message, warm[i].message);
+    }
+}
+
+} // namespace

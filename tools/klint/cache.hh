@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Indexed-symbol cache keyed by file hash.
+ *
+ * Indexing (function extraction, alias analysis, call/mutation
+ * summaries) is the expensive part of a klint run as the tree grows.
+ * The cache persists each file's FileIndex next to its FNV-1a
+ * content hash; an incremental run re-indexes only files whose hash
+ * changed and reuses the serialized summaries for the rest, keeping
+ * warm runs under a second.
+ *
+ * The format is a versioned, line-oriented text file. Any parse
+ * error or version mismatch discards the cache wholesale — the
+ * cache is an accelerator, never a source of truth.
+ */
+
+#ifndef KLOC_TOOLS_KLINT_CACHE_HH
+#define KLOC_TOOLS_KLINT_CACHE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "tools/klint/indexer.hh"
+
+namespace klint {
+
+class SymbolCache
+{
+  public:
+    struct Entry
+    {
+        uint64_t hash = 0;
+        FileIndex index;
+    };
+
+    /** Load from @p path; false (and empty cache) on any mismatch. */
+    bool load(const std::string &path);
+
+    /** Persist the current entries to @p path (best-effort). */
+    bool store(const std::string &path) const;
+
+    /** Cached index for (path, hash), or nullptr on miss. */
+    const FileIndex *lookup(const std::string &file,
+                            uint64_t hash) const;
+
+    void
+    put(const std::string &file, uint64_t hash, FileIndex index)
+    {
+        _entries[file] = Entry{hash, std::move(index)};
+    }
+
+    size_t size() const { return _entries.size(); }
+
+  private:
+    std::map<std::string, Entry> _entries;
+};
+
+} // namespace klint
+
+#endif // KLOC_TOOLS_KLINT_CACHE_HH

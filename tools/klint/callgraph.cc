@@ -1,0 +1,229 @@
+#include "tools/klint/callgraph.hh"
+
+namespace klint {
+
+namespace {
+
+bool
+isMemberRoot(const std::string &root)
+{
+    return !root.empty() && root[0] == '_';
+}
+
+bool
+isParamRoot(const std::string &root)
+{
+    return !root.empty() && root[0] == '%';
+}
+
+/**
+ * Member-root identity is (defining file, name): a `_records` in the
+ * journal is never the `_records` of some other subsystem.
+ */
+std::string
+qualify(const std::string &file, const std::string &root)
+{
+    return file + "::" + root;
+}
+
+} // namespace
+
+void
+CallGraph::build(
+    const std::vector<std::pair<std::string, const FileIndex *>> &files)
+{
+    for (const auto &[path, index] : files) {
+        for (const FunctionDef &fn : index->functions) {
+            const int id = static_cast<int>(_nodes.size());
+            _nodes.push_back({&fn, path});
+            if (!fn.isLambda)
+                _byName[fn.name].push_back(id);
+            if (!fn.registeredVia.empty())
+                _pool.push_back(id);
+        }
+    }
+
+    _mutRoots.resize(_nodes.size());
+    _mutParams.resize(_nodes.size());
+
+    // Seed with direct mutations.
+    for (size_t f = 0; f < _nodes.size(); ++f) {
+        for (const Mutation &m : _nodes[f].def->mutations) {
+            if (isMemberRoot(m.root)) {
+                const std::string q = qualify(_nodes[f].file, m.root);
+                _mutRoots[f].insert(q);
+                _via.emplace(std::make_pair(static_cast<int>(f), q),
+                             m.method + "()");
+            } else if (isParamRoot(m.root)) {
+                _mutParams[f].insert(std::stoi(m.root.substr(1)));
+            }
+        }
+    }
+
+    // Fixpoint: propagate callee mutations to callers, binding
+    // by-reference parameter mutations through argument roots.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t f = 0; f < _nodes.size(); ++f) {
+            for (const CallSite &call : _nodes[f].def->calls) {
+                for (const int g : targets(call)) {
+                    if (g == static_cast<int>(f))
+                        continue;  // self-edges propagate nothing new
+                    // Snapshot the callee's sets: on a mutual-recursion
+                    // edge the insert below would otherwise write the
+                    // container being walked.
+                    const std::vector<std::string> calleeRoots(
+                        _mutRoots[g].begin(), _mutRoots[g].end());
+                    const std::vector<int> calleeParams(
+                        _mutParams[g].begin(), _mutParams[g].end());
+                    for (const std::string &root : calleeRoots) {
+                        if (_mutRoots[f].insert(root).second) {
+                            changed = true;
+                            _via.emplace(
+                                std::make_pair(static_cast<int>(f),
+                                               root),
+                                call.callee);
+                        }
+                    }
+                    for (const int k : calleeParams) {
+                        if (k >= static_cast<int>(
+                                     call.argRoots.size()))
+                            continue;
+                        const std::string &bound = call.argRoots[k];
+                        if (isMemberRoot(bound)) {
+                            const std::string q =
+                                qualify(_nodes[f].file, bound);
+                            if (_mutRoots[f].insert(q).second) {
+                                changed = true;
+                                _via.emplace(
+                                    std::make_pair(
+                                        static_cast<int>(f), q),
+                                    call.callee);
+                            }
+                        } else if (isParamRoot(bound)) {
+                            if (_mutParams[f]
+                                    .insert(std::stoi(bound.substr(1)))
+                                    .second)
+                                changed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+const std::vector<int> &
+CallGraph::byName(const std::string &name) const
+{
+    static const std::vector<int> kNone;
+    auto it = _byName.find(name);
+    return it == _byName.end() ? kNone : it->second;
+}
+
+const std::set<std::string> &
+CallGraph::mutatedRoots(int node) const
+{
+    return _mutRoots[static_cast<size_t>(node)];
+}
+
+const std::set<int> &
+CallGraph::mutatedParams(int node) const
+{
+    return _mutParams[static_cast<size_t>(node)];
+}
+
+std::vector<int>
+CallGraph::targets(const CallSite &call) const
+{
+    // Name resolution prunes candidates whose parameter count does
+    // not match the argument count: `hook->unlink()` is never
+    // `FileSystem::unlink(path)`. Trailing default arguments are a
+    // documented blind spot. Pool edges skip the filter — a slot
+    // dispatch rarely spells out the stored lambda's signature.
+    std::vector<int> out;
+    for (const int g : byName(call.callee)) {
+        if (static_cast<int>(_nodes[g].def->params.size()) ==
+            call.argCount)
+            out.push_back(g);
+    }
+    if (call.indirect)
+        out.insert(out.end(), _pool.begin(), _pool.end());
+    return out;
+}
+
+bool
+CallGraph::callMutates(int caller, const CallSite &call,
+                       const std::string &root) const
+{
+    const std::string q = qualify(_nodes[caller].file, root);
+    for (const int g : targets(call)) {
+        if (_mutRoots[g].count(q))
+            return true;
+        // Binding: the callee mutates a by-ref parameter we pass
+        // this very container through.
+        for (const int k : _mutParams[g]) {
+            if (k < static_cast<int>(call.argRoots.size()) &&
+                call.argRoots[k] == root)
+                return true;
+        }
+    }
+    return false;
+}
+
+std::string
+CallGraph::witness(int caller, const CallSite &call,
+                   const std::string &root) const
+{
+    const std::string q = qualify(_nodes[caller].file, root);
+    for (const int g : targets(call)) {
+        if (!_mutRoots[g].count(q))
+            continue;
+        std::string chain = call.callee;
+        int at = g;
+        // Follow the via-links; each hop names the next callee.
+        for (int hops = 0; hops < 8; ++hops) {
+            auto it = _via.find({at, q});
+            if (it == _via.end())
+                break;
+            chain += " -> " + it->second;
+            if (it->second.size() >= 2 &&
+                it->second.compare(it->second.size() - 2, 2, "()") == 0)
+                break;  // reached the direct mutator
+            // Next hop: any target of `at` still holding the root.
+            const std::vector<int> &cands = byName(it->second);
+            int next = -1;
+            for (const int c : cands) {
+                if (_mutRoots[c].count(q)) {
+                    next = c;
+                    break;
+                }
+            }
+            if (next < 0) {
+                // The hop went through the callback pool.
+                for (const int c : _pool) {
+                    if (_mutRoots[c].count(q)) {
+                        next = c;
+                        break;
+                    }
+                }
+                if (next < 0)
+                    break;
+            }
+            at = next;
+        }
+        return chain;
+    }
+    for (const int g : targets(call)) {
+        for (const int k : _mutParams[g]) {
+            if (k < static_cast<int>(call.argRoots.size()) &&
+                call.argRoots[k] == root)
+                return call.callee + " (mutates its parameter " +
+                       std::to_string(k) + ")";
+        }
+    }
+    return call.callee;
+}
+
+} // namespace klint

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Project-wide call graph over the indexed function definitions.
+ *
+ * Resolution is by unqualified name (an over-approximation: a call
+ * to `free` reaches every indexed function named `free`), plus two
+ * callback edges that make observer-heavy code analysable:
+ *
+ *   - every lambda passed to a registration API (`add*Observer`,
+ *     `set*Hook`, `register*`, `schedule`) joins the *callback
+ *     pool*;
+ *   - every *indirect* call site (a call through a slot named
+ *     fn/cb/probe/callback/handler/hook, or directly through a
+ *     stored `_fnPtr` member) is an edge to the whole pool.
+ *
+ * On top of the graph a fixpoint computes, per function, the set of
+ * container roots it can mutate *transitively* — including mutations
+ * of by-reference parameters bound to member containers at call
+ * sites. `witness()` reconstructs a human-readable call chain for
+ * diagnostics.
+ *
+ * Member roots are qualified by their defining *file*
+ * ("src/fs/journal.cc::_records") when they enter the graph, so a
+ * `_records` member in one subsystem never aliases a same-named
+ * member in another. The known blind spot: a class whose methods are
+ * split across files sees its members as two distinct roots.
+ */
+
+#ifndef KLOC_TOOLS_KLINT_CALLGRAPH_HH
+#define KLOC_TOOLS_KLINT_CALLGRAPH_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/klint/indexer.hh"
+
+namespace klint {
+
+class CallGraph
+{
+  public:
+    struct Node
+    {
+        const FunctionDef *def;
+        std::string file;  ///< repo-relative path
+    };
+
+    /** Build over the given (file, index) pairs. */
+    void build(const std::vector<std::pair<std::string,
+                                           const FileIndex *>> &files);
+
+    const std::vector<Node> &nodes() const { return _nodes; }
+
+    /** Indices of functions with unqualified name @p name. */
+    const std::vector<int> &byName(const std::string &name) const;
+
+    /** File-qualified member roots @p node can mutate, transitively. */
+    const std::set<std::string> &mutatedRoots(int node) const;
+
+    /** By-ref parameter indices @p node can mutate, transitively. */
+    const std::set<int> &mutatedParams(int node) const;
+
+    /**
+     * Can the call site @p call (inside @p caller) reach a mutator
+     * of @p root (unqualified, resolved in the caller's file)?
+     * Checks both the callees' transitive member mutations and
+     * by-reference argument binding at this site.
+     */
+    bool callMutates(int caller, const CallSite &call,
+                     const std::string &root) const;
+
+    /**
+     * Human-readable chain for a positive callMutates() answer,
+     * e.g. "cpuWork -> charge -> runDue -> <callback pool> ->
+     * cacheOnCpu".
+     */
+    std::string witness(int caller, const CallSite &call,
+                        const std::string &root) const;
+
+  private:
+    std::vector<int>
+    targets(const CallSite &call) const;
+
+    std::vector<Node> _nodes;
+    std::map<std::string, std::vector<int>> _byName;
+    std::vector<int> _pool;  ///< registered callbacks
+    std::vector<std::set<std::string>> _mutRoots;
+    std::vector<std::set<int>> _mutParams;
+    /** (node, root) -> next hop description, for witness chains. */
+    std::map<std::pair<int, std::string>, std::string> _via;
+};
+
+} // namespace klint
+
+#endif // KLOC_TOOLS_KLINT_CALLGRAPH_HH

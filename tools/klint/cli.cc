@@ -1,0 +1,159 @@
+#include "tools/klint/cli.hh"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "tools/klint/klint.hh"
+
+namespace klint {
+
+namespace {
+
+constexpr const char *kUsage =
+    "usage: klint [--root=PATH] [--rules=a,b,c] [--cache=PATH]\n"
+    "             [--json] [--github] [--list-rules]\n";
+
+/** JSON string escaping for the --json report. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                std::ostringstream hex;
+                hex << "\\u" << std::hex << std::setw(4)
+                    << std::setfill('0') << static_cast<int>(c);
+                out += hex.str();
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Stable finding ID: hash of rule, file and message — deliberately
+ * not the line number, so a finding keeps its identity when
+ * unrelated edits shift the file, and CI can diff runs.
+ */
+std::string
+findingId(const Finding &finding)
+{
+    const uint64_t hash =
+        fnv1a(finding.rule + "|" + finding.file + "|" + finding.message);
+    std::ostringstream hex;
+    hex << std::hex << std::setw(16) << std::setfill('0') << hash;
+    return hex.str();
+}
+
+void
+printJson(const std::vector<Finding> &findings, const RunStats &stats,
+          const std::string &root, std::ostream &out)
+{
+    out << "{\n"
+        << "  \"version\": 1,\n"
+        << "  \"root\": \"" << jsonEscape(root) << "\",\n"
+        << "  \"findings\": [";
+    for (size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        out << (i ? ",\n    {" : "\n    {")
+            << "\"id\": \"" << findingId(f) << "\", "
+            << "\"rule\": \"" << jsonEscape(f.rule) << "\", "
+            << "\"file\": \"" << jsonEscape(f.file) << "\", "
+            << "\"line\": " << f.line << ", "
+            << "\"message\": \"" << jsonEscape(f.message) << "\"}";
+    }
+    out << (findings.empty() ? "],\n" : "\n  ],\n")
+        << "  \"stats\": {\"filesScanned\": " << stats.filesScanned
+        << ", \"indexCacheHits\": " << stats.indexCacheHits
+        << ", \"indexCacheMisses\": " << stats.indexCacheMisses
+        << "}\n"
+        << "}\n";
+}
+
+} // namespace
+
+int
+cliMain(const std::vector<std::string> &args, std::ostream &out,
+        std::ostream &err)
+{
+    Options opts;
+    RunStats stats;
+    opts.stats = &stats;
+    bool json = false;
+    bool github = false;
+
+    for (const std::string &arg : args) {
+        if (arg.rfind("--root=", 0) == 0) {
+            opts.root = arg.substr(7);
+        } else if (arg.rfind("--rules=", 0) == 0) {
+            const std::string list = arg.substr(8);
+            size_t pos = 0;
+            while (pos <= list.size()) {
+                size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                if (comma > pos)
+                    opts.rules.push_back(list.substr(pos, comma - pos));
+                pos = comma + 1;
+            }
+        } else if (arg.rfind("--cache=", 0) == 0) {
+            opts.cachePath = arg.substr(8);
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--github") {
+            github = true;
+        } else if (arg == "--list-rules") {
+            for (const Rule &rule : ruleCatalogue()) {
+                out << rule.name;
+                for (size_t pad = std::string(rule.name).size();
+                     pad < 22; ++pad)
+                    out << ' ';
+                out << rule.summary << "\n";
+            }
+            return 0;
+        } else if (arg == "-h" || arg == "--help") {
+            out << kUsage;
+            return 0;
+        } else {
+            err << "klint: unknown argument '" << arg << "'\n" << kUsage;
+            return 2;
+        }
+    }
+
+    const std::vector<Finding> findings = runKlint(opts);
+
+    if (json) {
+        printJson(findings, stats, opts.root, out);
+    } else {
+        for (const Finding &f : findings) {
+            if (github) {
+                // GitHub Actions annotation: surfaces on the PR diff.
+                out << "::error file=" << f.file << ",line=" << f.line
+                    << ",title=klint(" << f.rule << ")::" << f.message
+                    << "\n";
+            } else {
+                out << f.file << ":" << f.line << ": [" << f.rule
+                    << "] " << f.message << "\n";
+            }
+        }
+    }
+
+    if (!findings.empty()) {
+        err << "klint: " << findings.size() << " finding"
+            << (findings.size() == 1 ? "" : "s") << "\n";
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace klint

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * klint command-line front end, split from main() so the test suite
+ * can drive argument parsing, output formats and exit codes through
+ * in-memory streams.
+ *
+ * Exit codes: 0 = clean, 1 = findings, 2 = usage error.
+ */
+
+#ifndef KLOC_TOOLS_KLINT_CLI_HH
+#define KLOC_TOOLS_KLINT_CLI_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace klint {
+
+/**
+ * Run the CLI with @p args (argv[1..]), writing reports to @p out
+ * and diagnostics to @p err. Returns the process exit code.
+ */
+int cliMain(const std::vector<std::string> &args, std::ostream &out,
+            std::ostream &err);
+
+} // namespace klint
+
+#endif // KLOC_TOOLS_KLINT_CLI_HH

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "tools/klint/cache.hh"
+
 namespace klint {
 
 namespace fs = std::filesystem;
@@ -14,6 +16,24 @@ Context::find(const std::string &path) const
 {
     auto it = byPath.find(path);
     return it == byPath.end() ? nullptr : &files[it->second];
+}
+
+const FileIndex *
+Context::findIndex(const std::string &path) const
+{
+    auto it = byPath.find(path);
+    return it == byPath.end() ? nullptr : &indexes[it->second];
+}
+
+uint64_t
+fnv1a(const std::string &data)
+{
+    uint64_t hash = 1469598103934665603ULL;
+    for (const char c : data) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ULL;
+    }
+    return hash;
 }
 
 namespace {
@@ -41,7 +61,7 @@ loadContext(const std::string &root)
     ctx.root = root;
 
     std::vector<std::string> paths;
-    for (const char *sub : {"src", "tools"}) {
+    for (const char *sub : {"src", "tools", "bench", "tests"}) {
         const fs::path base = fs::path(root) / sub;
         if (!fs::exists(base))
             continue;
@@ -51,8 +71,13 @@ loadContext(const std::string &root)
             const std::string ext = entry.path().extension().string();
             if (ext != ".hh" && ext != ".cc")
                 continue;
-            paths.push_back(
-                fs::relative(entry.path(), root).generic_string());
+            const std::string rel =
+                fs::relative(entry.path(), root).generic_string();
+            // Rule fixtures are deliberate violations; never lint
+            // them as part of the tree they live in.
+            if (rel.rfind("tests/klint/fixtures/", 0) == 0)
+                continue;
+            paths.push_back(rel);
         }
     }
     std::sort(paths.begin(), paths.end());
@@ -67,11 +92,52 @@ loadContext(const std::string &root)
         file.dir = dirOf(rel);
         file.header = rel.size() > 3 &&
                       rel.compare(rel.size() - 3, 3, ".hh") == 0;
+        file.contentHash = fnv1a(buf.str());
         lex(buf.str(), file);
         ctx.byPath[rel] = ctx.files.size();
         ctx.files.push_back(std::move(file));
     }
     return ctx;
+}
+
+void
+buildIndexes(Context &ctx, const Options &opts)
+{
+    SymbolCache cache;
+    const bool useCache = !opts.cachePath.empty();
+    if (useCache)
+        cache.load(opts.cachePath);
+
+    RunStats stats;
+    stats.filesScanned = ctx.files.size();
+    ctx.indexes.resize(ctx.files.size());
+    for (size_t i = 0; i < ctx.files.size(); ++i) {
+        const SourceFile &file = ctx.files[i];
+        if (const FileIndex *hit =
+                cache.lookup(file.path, file.contentHash)) {
+            ctx.indexes[i] = *hit;
+            ++stats.indexCacheHits;
+        } else {
+            ctx.indexes[i] = indexFile(file);
+            ++stats.indexCacheMisses;
+            if (useCache)
+                cache.put(file.path, file.contentHash, ctx.indexes[i]);
+        }
+    }
+    if (useCache && stats.indexCacheMisses > 0)
+        cache.store(opts.cachePath);
+    if (opts.stats)
+        *opts.stats = stats;
+
+    // The interprocedural rules reason over simulator code only:
+    // bench/tests fixtures sharing method names with src/ classes
+    // must not pollute mutation summaries.
+    std::vector<std::pair<std::string, const FileIndex *>> srcFiles;
+    for (size_t i = 0; i < ctx.files.size(); ++i) {
+        if (ctx.files[i].path.compare(0, 4, "src/") == 0)
+            srcFiles.emplace_back(ctx.files[i].path, &ctx.indexes[i]);
+    }
+    ctx.graph.build(srcFiles);
 }
 
 bool
@@ -80,14 +146,11 @@ suppressed(const Context &ctx, const Finding &finding)
     const SourceFile *file = ctx.find(finding.file);
     if (!file)
         return false;
-    const std::string tagRule = "klint: allow(" + finding.rule + ")";
-    const std::string tagAll = "klint: allow(all)";
     for (int line = finding.line; line >= finding.line - 2; --line) {
         auto it = file->comments.find(line);
         if (it == file->comments.end())
             continue;
-        if (it->second.find(tagRule) != std::string::npos ||
-            it->second.find(tagAll) != std::string::npos)
+        if (suppressionCovers(it->second, finding.rule))
             return true;
     }
     return false;
@@ -95,10 +158,44 @@ suppressed(const Context &ctx, const Finding &finding)
 
 } // namespace
 
+bool
+suppressionCovers(const std::string &comment, const std::string &rule)
+{
+    size_t pos = 0;
+    while ((pos = comment.find("klint:", pos)) != std::string::npos) {
+        size_t p = pos + 6;
+        while (p < comment.size() && comment[p] == ' ')
+            ++p;
+        pos += 6;
+        if (comment.compare(p, 6, "allow(") != 0)
+            continue;
+        p += 6;
+        const size_t close = comment.find(')', p);
+        if (close == std::string::npos)
+            continue;
+        const std::string name = comment.substr(p, close - p);
+        p = close + 1;
+        while (p < comment.size() && comment[p] == ' ')
+            ++p;
+        // The v2 format demands `: <rationale>` after the rule name.
+        if (p >= comment.size() || comment[p] != ':')
+            continue;
+        ++p;
+        while (p < comment.size() && comment[p] == ' ')
+            ++p;
+        if (p >= comment.size())
+            continue;  // colon but no rationale
+        if (name == rule || name == "all")
+            return true;
+    }
+    return false;
+}
+
 std::vector<Finding>
 runKlint(const Options &opts)
 {
-    const Context ctx = loadContext(opts.root);
+    Context ctx = loadContext(opts.root);
+    buildIndexes(ctx, opts);
 
     std::vector<Finding> findings;
     for (const Rule &rule : ruleCatalogue()) {

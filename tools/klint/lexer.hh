@@ -15,6 +15,7 @@
 #ifndef KLOC_TOOLS_KLINT_LEXER_HH
 #define KLOC_TOOLS_KLINT_LEXER_HH
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -45,6 +46,7 @@ struct SourceFile
     std::string path;  ///< repo-relative, '/'-separated
     std::string dir;   ///< first two path components, e.g. "src/mem"
     bool header = false;
+    uint64_t contentHash = 0;  ///< FNV-1a of the raw content
 
     std::vector<Token> tokens;
     std::vector<Include> includes;

@@ -1,65 +1,18 @@
 /**
  * @file
- * klint CLI. Usage:
- *
- *   klint [--root=PATH] [--rules=a,b,c] [--list-rules]
- *
- * Scans <root>/src and <root>/tools, prints findings in
- * file:line: [rule] message form, and exits non-zero when any
- * finding survives suppression.
+ * klint CLI entry point; the real front end lives in cli.cc so tests
+ * can drive it. Run `klint --help` for usage.
  */
 
-#include <cstdio>
-#include <cstring>
+#include <iostream>
 #include <string>
+#include <vector>
 
-#include "tools/klint/klint.hh"
+#include "tools/klint/cli.hh"
 
 int
 main(int argc, char **argv)
 {
-    klint::Options opts;
-
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg.rfind("--root=", 0) == 0) {
-            opts.root = arg.substr(7);
-        } else if (arg.rfind("--rules=", 0) == 0) {
-            std::string list = arg.substr(8);
-            size_t pos = 0;
-            while (pos <= list.size()) {
-                size_t comma = list.find(',', pos);
-                if (comma == std::string::npos)
-                    comma = list.size();
-                if (comma > pos)
-                    opts.rules.push_back(list.substr(pos, comma - pos));
-                pos = comma + 1;
-            }
-        } else if (arg == "--list-rules") {
-            for (const klint::Rule &rule : klint::ruleCatalogue())
-                std::printf("%-18s %s\n", rule.name, rule.summary);
-            return 0;
-        } else if (arg == "-h" || arg == "--help") {
-            std::printf(
-                "usage: klint [--root=PATH] [--rules=a,b,c] "
-                "[--list-rules]\n");
-            return 0;
-        } else {
-            std::fprintf(stderr, "klint: unknown argument '%s'\n",
-                         arg.c_str());
-            return 2;
-        }
-    }
-
-    const auto findings = klint::runKlint(opts);
-    for (const auto &finding : findings) {
-        std::printf("%s:%d: [%s] %s\n", finding.file.c_str(), finding.line,
-                    finding.rule.c_str(), finding.message.c_str());
-    }
-    if (!findings.empty()) {
-        std::fprintf(stderr, "klint: %zu finding%s\n", findings.size(),
-                     findings.size() == 1 ? "" : "s");
-        return 1;
-    }
-    return 0;
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    return klint::cliMain(args, std::cout, std::cerr);
 }

@@ -22,6 +22,15 @@ underSrc(const SourceFile &file)
     return file.path.compare(0, 4, "src/") == 0;
 }
 
+/** Code that runs inside (or drives) RunPool runs: the simulator
+ *  itself, the benches, and the test suite. */
+bool
+underRunScope(const SourceFile &file)
+{
+    return underSrc(file) || file.path.compare(0, 6, "bench/") == 0 ||
+           file.path.compare(0, 6, "tests/") == 0;
+}
+
 /** Index just past the bracket that matches tokens[i] (an opener). */
 size_t
 skipBalanced(const Tokens &toks, size_t i, const char *open,
@@ -647,7 +656,7 @@ ruleTraceArgs(const Context &ctx, std::vector<Finding> &findings)
 // churn that the arena/scratch-reuse design removed; steady-state
 // hot paths must reuse memory. Deliberate amortised growth (e.g. an
 // arena appending a chunk) is suppressed with a justification
-// comment: `klint: allow(hot-path-alloc)`.
+// comment of the form `klint:allow(hot-path-alloc): <why>`.
 
 void
 ruleHotPathAlloc(const Context &ctx, std::vector<Finding> &findings)
@@ -728,7 +737,8 @@ ruleHotPathAlloc(const Context &ctx, std::vector<Finding> &findings)
                                      "') in a trace-emitting hot "
                                      "path; reuse scratch/arena "
                                      "storage, or justify with "
-                                     "klint: allow(hot-path-alloc)"});
+                                     "klint:allow(hot-path-alloc): "
+                                     "<why>"});
                         }
                     }
                 } else if (!stack.empty()) {
@@ -822,11 +832,13 @@ ruleIncludeHygiene(const Context &ctx, std::vector<Finding> &findings)
 // `static` data members — is shared across concurrently executing
 // runs, so it is both a data race and a cross-run determinism leak
 // (run N observing residue from run N-1). Const/constexpr/constinit
-// data is immutable and fine.
+// data is immutable and fine. The rule covers bench/ and tests/ too:
+// both drive pooled runs (bench sweeps, the fuzz harness), so a
+// mutable global there leaks state across runs just the same.
 //
 // The only sanctioned exception is the logging singleton
 // (src/base/logging.cc, atomic level, append-only sink); anything
-// else needs a `klint: allow(no-mutable-global)` justification.
+// else needs a `klint:allow(no-mutable-global): <why>` justification.
 //
 // Token-level, so two pragmatic blind spots: a type whose const-ness
 // lives behind a typedef is trusted if `const` appears anywhere in
@@ -924,7 +936,7 @@ ruleNoMutableGlobal(const Context &ctx, std::vector<Finding> &findings)
     };
 
     for (const SourceFile &file : ctx.files) {
-        if (!underSrc(file) || mutableGlobalAllowed(file))
+        if (!underRunScope(file) || mutableGlobalAllowed(file))
             continue;
         const Tokens &toks = file.tokens;
 
@@ -945,7 +957,7 @@ ruleNoMutableGlobal(const Context &ctx, std::vector<Finding> &findings)
                          "' is shared across concurrent RunPool runs; "
                          "hang run state off the Machine, make it "
                          "const/constexpr, or justify with "
-                         "klint: allow(no-mutable-global)"});
+                         "klint:allow(no-mutable-global): <why>"});
             }
         }
 
@@ -983,6 +995,11 @@ ruleNoMutableGlobal(const Context &ctx, std::vector<Finding> &findings)
             }
             if (tok.is(";")) {
                 statementStart = true;
+                // `using namespace x;` and `namespace a = b;` end
+                // here without opening a brace: the pending marker
+                // must not leak onto the next unrelated '{' (which
+                // would score a function body as namespace scope).
+                pending = Scope::Other;
                 continue;
             }
             if (tok.ident() && tok.text == "namespace")
@@ -1005,13 +1022,97 @@ ruleNoMutableGlobal(const Context &ctx, std::vector<Finding> &findings)
                          "' is shared across concurrent RunPool runs; "
                          "hang run state off the Machine, make it "
                          "const/constexpr, or justify with "
-                         "klint: allow(no-mutable-global)"});
+                         "klint:allow(no-mutable-global): <why>"});
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: suppression-format
+//
+// A suppression that names no rule or gives no reason defeats the
+// audit trail: six months later nobody knows what was waived or why.
+// The only accepted form is
+//
+//     klint:allow(<rule>): <rationale>
+//
+// with <rule> a name from the catalogue (or "all"). Anything that
+// *looks* like a suppression attempt — "klint" followed by ":" and
+// "allow" — but deviates from that form is flagged and, critically,
+// suppresses nothing (see suppressionCovers in klint.cc). Rule-name
+// placeholders in documentation (`allow(<rule>)`) are ignored.
+
+void
+ruleSuppressionFormat(const Context &ctx, std::vector<Finding> &findings)
+{
+    std::set<std::string> known = {"all"};
+    for (const Rule &rule : ruleCatalogue())
+        known.insert(rule.name);
+
+    for (const SourceFile &file : ctx.files) {
+        for (const auto &[line, comment] : file.comments) {
+            size_t pos = 0;
+            while ((pos = comment.find("klint", pos)) !=
+                   std::string::npos) {
+                size_t p = pos + 5;
+                pos += 5;
+                while (p < comment.size() && comment[p] == ' ')
+                    ++p;
+                if (p >= comment.size() || comment[p] != ':')
+                    continue;  // prose mention, not a suppression
+                ++p;
+                while (p < comment.size() && comment[p] == ' ')
+                    ++p;
+                if (comment.compare(p, 5, "allow") != 0)
+                    continue;
+                p += 5;
+                // From here on this is a suppression attempt; it
+                // must parse as allow(<known-rule>): <rationale>.
+                std::string name;
+                if (p < comment.size() && comment[p] == '(') {
+                    const size_t close = comment.find(')', p);
+                    if (close != std::string::npos) {
+                        name = comment.substr(p + 1, close - p - 1);
+                        p = close + 1;
+                    }
+                }
+                if (name.find('<') != std::string::npos)
+                    continue;  // documentation placeholder
+                if (name.empty()) {
+                    findings.push_back(
+                        {"suppression-format", file.path, line,
+                         "suppression names no rule; use "
+                         "klint:allow(<rule>): <rationale>"});
+                    continue;
+                }
+                if (!known.count(name)) {
+                    findings.push_back(
+                        {"suppression-format", file.path, line,
+                         "suppression names unknown rule '" + name +
+                             "'; see klint --list-rules"});
+                    continue;
+                }
+                if (!suppressionCovers(comment, name)) {
+                    findings.push_back(
+                        {"suppression-format", file.path, line,
+                         "suppression of '" + name +
+                             "' lacks a rationale and is ignored; use "
+                         "klint:allow(" + name + "): <rationale>"});
+                }
             }
         }
     }
 }
 
 } // namespace
+
+// Interprocedural rules, implemented over the symbol index and call
+// graph in rules_graph.cc.
+void ruleReentrancyHazardEntry(const Context &, std::vector<Finding> &);
+void ruleIteratorInvalidationEntry(const Context &,
+                                   std::vector<Finding> &);
+void ruleDeterminismTaintEntry(const Context &, std::vector<Finding> &);
 
 const std::vector<Rule> &
 ruleCatalogue()
@@ -1021,6 +1122,18 @@ ruleCatalogue()
          "no unordered iteration / wall-clock / libc randomness in "
          "simulation code",
          ruleDeterminism},
+        {"determinism-taint",
+         "unordered-iteration-order values stay out of traces, "
+         "policy decisions and BENCH metrics",
+         ruleDeterminismTaintEntry},
+        {"reentrancy-hazard",
+         "no index into a container held across a call reaching a "
+         "mutator of it",
+         ruleReentrancyHazardEntry},
+        {"iterator-invalidation",
+         "no mutation of a container during a range-for or gang "
+         "walk over it",
+         ruleIteratorInvalidationEntry},
         {"checker-coverage",
          "every TraceEventType is handled by the InvariantChecker",
          ruleCheckerCoverage},
@@ -1046,6 +1159,9 @@ ruleCatalogue()
         {"no-mutable-global",
          "no mutable static-storage state shared across RunPool runs",
          ruleNoMutableGlobal},
+        {"suppression-format",
+         "suppression comments carry a rule name and a rationale",
+         ruleSuppressionFormat},
     };
     return kRules;
 }

@@ -7,6 +7,10 @@
  *  (2) Split rbtree-cache/rbtree-slab vs. a single per-knode tree.
  *      The paper measured ~10 memory references per traversal of a
  *      single big tree, motivating the split.
+ *  (3) Per-CPU frame lists (Linux pcp lists) vs. buddy-only order-0
+ *      allocation. The lists are the allocator default
+ *      (TierManager::setUsePerCpuFrameLists); this section measures
+ *      the buddy split/coalesce work they absorb.
  */
 
 #include "bench/harness.hh"
@@ -106,6 +110,60 @@ driveTreeShape(const BenchConfig &config, bool split)
     return {insert_visits, remove_visits};
 }
 
+/** Outcome of one order-0 frame-churn run. */
+struct FrameChurnResult
+{
+    uint64_t splits = 0;
+    uint64_t coalesces = 0;
+    uint64_t cached = 0;
+};
+
+/**
+ * Drive kernel-style frame churn: every CPU alternates short-lived
+ * order-0 allocations over a small live window — the pattern the
+ * per-CPU frame lists exist to absorb. Counts the buddy
+ * split/coalesce events that reach the tracer.
+ */
+FrameChurnResult
+driveFrameChurn(const BenchConfig &config, bool use_lists)
+{
+    TwoTierPlatform platform(twoTierConfig(config));
+    System &sys = platform.sys();
+    sys.tiers().setUsePerCpuFrameLists(use_lists);
+    sys.machine().tracer().setEnabled(true);
+
+    const uint64_t ops = config.ops / 2;
+    constexpr size_t kLiveWindow = 64;
+    std::vector<Frame *> live;
+    size_t next = 0;
+    for (uint64_t i = 0; i < ops; ++i) {
+        sys.machine().setCurrentCpu(
+            static_cast<unsigned>(i % sys.machine().cpuCount()));
+        Frame *frame = sys.tiers().alloc(0, ObjClass::App, true,
+                                         {platform.fastTier()});
+        if (frame == nullptr)
+            continue;
+        if (live.size() < kLiveWindow) {
+            live.push_back(frame);
+        } else {
+            sys.tiers().free(live[next]);
+            live[next] = frame;
+            next = (next + 1) % kLiveWindow;
+        }
+    }
+    FrameChurnResult result;
+    result.cached = sys.tiers().tier(platform.fastTier()).pcpCached();
+    for (Frame *frame : live)
+        sys.tiers().free(frame);
+    for (const TraceEvent &event : sys.machine().tracer().events()) {
+        if (event.type == TraceEventType::BuddySplit)
+            ++result.splits;
+        else if (event.type == TraceEventType::BuddyCoalesce)
+            ++result.coalesces;
+    }
+    return result;
+}
+
 } // namespace
 
 int
@@ -113,16 +171,19 @@ main()
 {
     const BenchConfig config = BenchConfig::fromEnv();
 
-    // Four independent drivers; mixed result types, so slots + one
+    // Six independent drivers; mixed result types, so slots + one
     // pool rather than a typed sweep().
     LookupResult with_lists, without;
     std::pair<double, double> split_shape, one_shape;
+    FrameChurnResult pcp_frames, buddy_only;
     {
         RunPool pool(config.jobs);
         pool.submit([&] { with_lists = driveLookups(config, true); });
         pool.submit([&] { without = driveLookups(config, false); });
         pool.submit([&] { split_shape = driveTreeShape(config, true); });
         pool.submit([&] { one_shape = driveTreeShape(config, false); });
+        pool.submit([&] { pcp_frames = driveFrameChurn(config, true); });
+        pool.submit([&] { buddy_only = driveFrameChurn(config, false); });
         pool.wait();
     }
 
@@ -159,6 +220,27 @@ main()
     std::printf("-> paper: a single tree costs ~10 references per "
                 "traversal; the split roughly halves the depth\n");
 
+    section("Ablation: per-CPU frame lists vs buddy-only order-0");
+    std::printf("%-18s %14s %14s %12s\n", "config", "buddy splits",
+                "coalesces", "pcp cached");
+    std::printf("%-18s %14llu %14llu %12llu\n", "pcp frame lists",
+                (unsigned long long)pcp_frames.splits,
+                (unsigned long long)pcp_frames.coalesces,
+                (unsigned long long)pcp_frames.cached);
+    std::printf("%-18s %14llu %14llu %12llu\n", "buddy only",
+                (unsigned long long)buddy_only.splits,
+                (unsigned long long)buddy_only.coalesces,
+                (unsigned long long)buddy_only.cached);
+    if (buddy_only.splits + buddy_only.coalesces > 0) {
+        const double with_ops = static_cast<double>(pcp_frames.splits +
+                                                    pcp_frames.coalesces);
+        const double without_ops = static_cast<double>(
+            buddy_only.splits + buddy_only.coalesces);
+        std::printf("-> frame lists absorb %.0f%% of buddy "
+                    "split/coalesce work under churn\n",
+                    100.0 * (1.0 - with_ops / without_ops));
+    }
+
     report.add("percpu_lists.hit_rate", with_lists.hitRate, "ratio",
                "higher", true);
     report.add("percpu_lists.tree_visits",
@@ -171,6 +253,15 @@ main()
                "lower", true);
     report.add("single_tree.insert_visits_per_op", one_ins, "visits",
                "lower", true);
+    report.add("pcp_frames.buddy_splits",
+               static_cast<double>(pcp_frames.splits), "events", "lower",
+               true);
+    report.add("pcp_frames.buddy_coalesces",
+               static_cast<double>(pcp_frames.coalesces), "events",
+               "lower", true);
+    report.add("buddy_only.buddy_splits",
+               static_cast<double>(buddy_only.splits), "events", "lower",
+               true);
     report.write();
     return 0;
 }

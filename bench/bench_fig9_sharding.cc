@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Figure 9 (extension): sharded simulation core scaling.
+ *
+ * One fixed giant fleet scenario (workload/fleet.hh) runs at worker
+ * counts 1, 2, 4, 8 (the KLOC_SHARDS axis). The logical shard
+ * decomposition never changes — only how many threads advance shards
+ * between epoch barriers — so every simulated metric, and the full
+ * serialized trace, must be identical at every worker count.
+ *
+ * Gated metrics are therefore of two kinds: the serial run's
+ * simulated results (elapsed virtual time, promotions, demotions,
+ * barrier messages), and hard zero-drift gates (max deviation of any
+ * simulated metric across worker counts, and trace byte-identity as
+ * a 0/1 flag). Wall-clock speedup is reported but never gates: on a
+ * single-core runner the worker threads time-slice one CPU, so the
+ * speedup is structural, not observable here (see docs/PERF.md).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <ctime>
+
+#include "bench/harness.hh"
+#include "workload/fleet.hh"
+
+using namespace kloc;
+using namespace kloc::bench;
+
+namespace {
+
+TierSpec
+fleetTier(const char *name, Bytes capacity, Tick latency, Bytes bw)
+{
+    TierSpec spec;
+    spec.name = name;
+    spec.capacity = capacity;
+    spec.readLatency = latency;
+    spec.writeLatency = latency;
+    spec.readBandwidth = bw;
+    spec.writeBandwidth = bw;
+    return spec;
+}
+
+/** The fixed giant scenario every worker count replays. */
+FleetConfig
+fleetConfig(const BenchConfig &config)
+{
+    FleetConfig fleet;
+    fleet.shards = 8;
+    fleet.epochs = config.quick ? 8 : 32;
+    fleet.opsPerEpoch = config.quick ? 500 : 2000;
+    fleet.pagesPerShard = 1024;
+    fleet.hotPages = 128;
+    fleet.migrateBatch = 16;
+    fleet.seed = 42;
+    return fleet;
+}
+
+struct ShardRun
+{
+    FleetResult result;
+    double wallMs = 0.0;
+    std::string trace;
+};
+
+/** One fleet run on a fresh System with @p workers threads. */
+ShardRun
+runShards(const BenchConfig &config, unsigned workers, bool capture_trace)
+{
+    System::Config sys_config;
+    sys_config.cpus = 8;
+    sys_config.sockets = 2;
+    System sys(sys_config);
+
+    FleetConfig fleet_config = fleetConfig(config);
+    fleet_config.workers = workers;
+    // Fast tier well under the combined hot set, so barrier-applied
+    // promotions contend for real capacity.
+    const uint64_t fast_pages =
+        fleet_config.shards * fleet_config.hotPages * 2 / 3;
+    const uint64_t slow_pages =
+        fleet_config.shards * fleet_config.pagesPerShard + fast_pages;
+    fleet_config.fastTier = sys.tiers().addTier(
+        fleetTier("fast", fast_pages * kPageSize, Tick{80}, 10 * kGiB));
+    fleet_config.slowTier = sys.tiers().addTier(
+        fleetTier("slow", slow_pages * kPageSize, Tick{300}, 2 * kGiB));
+
+    if (capture_trace)
+        sys.machine().tracer().setEnabled(true);
+
+    FleetScenario fleet(sys, fleet_config);
+    fleet.setup();
+    timespec start{};
+    clock_gettime(CLOCK_MONOTONIC, &start);
+    ShardRun run;
+    run.result = fleet.run();
+    timespec end{};
+    clock_gettime(CLOCK_MONOTONIC, &end);
+    fleet.teardown();
+    run.wallMs = 1e3 * static_cast<double>(end.tv_sec - start.tv_sec) +
+                 1e-6 * static_cast<double>(end.tv_nsec - start.tv_nsec);
+    if (capture_trace)
+        run.trace = sys.machine().tracer().serialize();
+    return run;
+}
+
+/** Relative deviation of @p value from @p base (0 when both 0). */
+double
+drift(double base, double value)
+{
+    if (base == 0.0)
+        return value == 0.0 ? 0.0 : 1.0;
+    return std::abs(value - base) / std::abs(base);
+}
+
+} // namespace
+
+int
+main()
+{
+    const BenchConfig config = BenchConfig::fromEnv();
+    const std::vector<unsigned> worker_counts = {1, 2, 4, 8};
+
+    // Serial timing probes: each run must own the whole machine, so
+    // no RunPool here — the run *under* measurement is the thing
+    // being scaled.
+    std::vector<ShardRun> runs;
+    for (const unsigned workers : worker_counts)
+        runs.push_back(runShards(config, workers, /*capture_trace=*/false));
+
+    // Separate trace-enabled runs for the byte-identity gate; traces
+    // perturb timing, so they stay out of the wall-clock probes.
+    const ShardRun traced_serial =
+        runShards(config, 1, /*capture_trace=*/true);
+    const ShardRun traced_wide =
+        runShards(config, 4, /*capture_trace=*/true);
+    const bool traces_identical = traced_serial.trace == traced_wide.trace;
+
+    const FleetResult &base = runs[0].result;
+    double max_drift = 0.0;
+    for (const ShardRun &run : runs) {
+        const FleetResult &r = run.result;
+        max_drift = std::max(
+            {max_drift,
+             drift(static_cast<double>(base.elapsed),
+                   static_cast<double>(r.elapsed)),
+             drift(static_cast<double>(base.promotedPages),
+                   static_cast<double>(r.promotedPages)),
+             drift(static_cast<double>(base.demotedPages),
+                   static_cast<double>(r.demotedPages)),
+             drift(static_cast<double>(base.messages),
+                   static_cast<double>(r.messages)),
+             drift(static_cast<double>(base.operations),
+                   static_cast<double>(r.operations))});
+    }
+
+    section("Figure 9: sharded core scaling (fixed fleet scenario)");
+    std::printf("%-8s %12s %12s %12s %10s %10s\n", "workers",
+                "sim time(ms)", "wall (ms)", "speedup", "promoted",
+                "demoted");
+    for (size_t i = 0; i < runs.size(); ++i) {
+        const FleetResult &r = runs[i].result;
+        std::printf("%-8u %12.2f %12.1f %11.2fx %10llu %10llu\n",
+                    worker_counts[i],
+                    static_cast<double>(r.elapsed) / kMillisecond,
+                    runs[i].wallMs, runs[0].wallMs / runs[i].wallMs,
+                    (unsigned long long)r.promotedPages,
+                    (unsigned long long)r.demotedPages);
+    }
+    std::printf("-> max simulated-metric drift across worker counts: "
+                "%.3g (must be 0)\n", max_drift);
+    std::printf("-> trace byte-identity, 1 vs 4 workers: %s\n",
+                traces_identical ? "identical" : "DIVERGED");
+    std::printf("   (wall-clock speedup needs real cores; single-core "
+                "runners time-slice\n    the workers and report ~1x — "
+                "the determinism gates are the contract)\n");
+
+    JsonReport report("fig9_sharding", config.outdir);
+    report.add("fleet.sim_elapsed_ms",
+               static_cast<double>(base.elapsed) / kMillisecond, "ms",
+               "lower", true);
+    report.add("fleet.promoted_pages",
+               static_cast<double>(base.promotedPages), "pages", "higher",
+               true);
+    report.add("fleet.demoted_pages",
+               static_cast<double>(base.demotedPages), "pages", "higher",
+               true);
+    report.add("fleet.barrier_messages",
+               static_cast<double>(base.messages), "msgs", "higher", true);
+    report.add("fleet.events_merged",
+               static_cast<double>(traced_serial.result.eventsMerged),
+               "events", "higher", true);
+    report.add("shard.metric_drift", max_drift, "ratio", "lower", true);
+    report.add("shard.trace_identical", traces_identical ? 1.0 : 0.0,
+               "bool", "higher", true);
+    for (size_t i = 0; i < runs.size(); ++i) {
+        report.add("wall_ms.workers_" + std::to_string(worker_counts[i]),
+                   runs[i].wallMs, "ms", "lower", false);
+    }
+    report.add("wall_speedup.workers_4", runs[0].wallMs / runs[2].wallMs,
+               "x", "higher", false);
+    report.write();
+    return (max_drift == 0.0 && traces_identical) ? 0 : 1;
+}

@@ -55,7 +55,7 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 
 BENCHES=(micro_structures fig2_characterization fig4_twotier
          fig5a_optane fig5b_breakdown fig5c_objtypes fig6_sensitivity
-         fig7_policies fig8_degradation table6_memusage
+         fig7_policies fig8_degradation fig9_sharding table6_memusage
          ablation_percpu ablation_prefetch
          ablation_thp)
 if [ ${#ONLY[@]} -gt 0 ]; then

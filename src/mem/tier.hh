@@ -8,6 +8,7 @@
 #define KLOC_MEM_TIER_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "base/intrusive_list.hh"
 #include "mem/buddy_allocator.hh"
@@ -43,8 +44,110 @@ class Tier
     FrameList &inactiveList() { return _inactive; }
 
     FrameCount totalPages() const { return _buddy.totalFrames(); }
-    FrameCount usedPages() const { return _buddy.usedFrames(); }
-    FrameCount freePages() const { return _buddy.freeFrames(); }
+
+    /**
+     * Pages handed out to frames. Blocks parked in the per-CPU
+     * caches are held by the buddy but are immediately allocatable,
+     * so they count as free, not used.
+     */
+    FrameCount
+    usedPages() const
+    {
+        return _buddy.usedFrames() - FrameCount{_pcpCached};
+    }
+
+    FrameCount
+    freePages() const
+    {
+        return _buddy.freeFrames() + FrameCount{_pcpCached};
+    }
+
+    // -- per-CPU frame cache (Linux pcp lists) ---------------------------
+    /** Blocks moved between a CPU cache and the buddy per refill/flush. */
+    static constexpr size_t kPcpBatch = 8;
+    /** Cache depth that triggers a flush back to the buddy. */
+    static constexpr size_t kPcpCap = 2 * kPcpBatch;
+
+    /**
+     * Size (or drop) the per-CPU caches of order-0 blocks. Called by
+     * TierManager at tier creation and from its
+     * setUsePerCpuFrameLists toggle; disabling drains first.
+     */
+    void
+    configurePcp(unsigned cpus, bool enabled)
+    {
+        drainPcp();
+        _pcp.clear();
+        if (enabled)
+            _pcp.resize(cpus);
+    }
+
+    bool pcpEnabled() const { return !_pcp.empty(); }
+
+    /** Order-0 blocks currently parked in CPU caches. */
+    uint64_t pcpCached() const { return _pcpCached; }
+
+    /**
+     * Allocate one order-0 block via @p cpu's cache: LIFO pop for
+     * locality, batch refill from the buddy on miss.
+     */
+    Pfn
+    pcpAlloc(unsigned cpu)
+    {
+        if (_pcp.empty())
+            return _buddy.alloc(0);
+        std::vector<Pfn> &cache = _pcp[cpu];
+        if (cache.empty()) {
+            for (size_t i = 0; i < kPcpBatch; ++i) {
+                const Pfn pfn = _buddy.alloc(0);
+                if (pfn == kInvalidPfn)
+                    break;
+                cache.push_back(pfn);
+                ++_pcpCached;
+            }
+            if (cache.empty())
+                return kInvalidPfn;
+        }
+        const Pfn pfn = cache.back();
+        cache.pop_back();
+        --_pcpCached;
+        return pfn;
+    }
+
+    /**
+     * Return one order-0 block to @p cpu's cache; past the cap the
+     * coldest batch flushes back to the buddy (where it can
+     * coalesce).
+     */
+    void
+    pcpFree(unsigned cpu, Pfn pfn)
+    {
+        if (_pcp.empty()) {
+            _buddy.free(pfn, 0);
+            return;
+        }
+        std::vector<Pfn> &cache = _pcp[cpu];
+        cache.push_back(pfn);
+        ++_pcpCached;
+        if (cache.size() > kPcpCap) {
+            for (size_t i = 0; i < kPcpBatch; ++i)
+                _buddy.free(cache[i], 0);
+            cache.erase(cache.begin(), cache.begin() + kPcpBatch);
+            _pcpCached -= kPcpBatch;
+        }
+    }
+
+    /** Flush every CPU cache to the buddy (offline, toggle-off). */
+    void
+    drainPcp()
+    {
+        for (std::vector<Pfn> &cache : _pcp) {
+            for (const Pfn pfn : cache)
+                _buddy.free(pfn, 0);
+            _pcpCached -= cache.size();
+            cache.clear();
+        }
+    }
 
     /** Fraction of the tier currently allocated, in [0,1]. */
     double
@@ -101,6 +204,9 @@ class Tier
     BuddyAllocator _buddy;
     FrameList _active;
     FrameList _inactive;
+    /** Per-CPU caches of order-0 pfn blocks; empty = disabled. */
+    std::vector<std::vector<Pfn>> _pcp;
+    uint64_t _pcpCached = 0;
     FrameCount _residentPages[kNumObjClasses] = {};
     FrameCount _cumAllocPages[kNumObjClasses] = {};
 };

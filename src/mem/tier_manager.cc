@@ -87,8 +87,36 @@ TierManager::addTier(const TierSpec &spec)
                 "tier id out of sync with memory model");
     _tiers.push_back(std::make_unique<Tier>(id, spec));
     _tiers.back()->buddy().setTrace(&_machine.tracer(), id);
+    _tiers.back()->configurePcp(_machine.cpuCount(), _usePcpLists);
     _health.push_back(HealthState{});
     return id;
+}
+
+void
+TierManager::setUsePerCpuFrameLists(bool enabled)
+{
+    if (_usePcpLists == enabled)
+        return;
+    _usePcpLists = enabled;
+    for (auto &t : _tiers)
+        t->configurePcp(_machine.cpuCount(), enabled);
+}
+
+Pfn
+TierManager::allocBlock(Tier &t, unsigned order)
+{
+    if (order == 0)
+        return t.pcpAlloc(_machine.currentCpu());
+    return t.buddy().alloc(order);
+}
+
+void
+TierManager::freeBlock(Tier &t, Pfn pfn, unsigned order)
+{
+    if (order == 0)
+        t.pcpFree(_machine.currentCpu(), pfn);
+    else
+        t.buddy().free(pfn, order);
 }
 
 Tier &
@@ -115,7 +143,7 @@ TierManager::alloc(unsigned order, ObjClass cls, bool relocatable,
         Tier &t = tier(tid);
         if (!t.online())
             continue;
-        const Pfn pfn = t.buddy().alloc(order);
+        const Pfn pfn = allocBlock(t, order);
         if (pfn == kInvalidPfn)
             continue;
 
@@ -177,7 +205,7 @@ TierManager::free(Frame *frame)
         // retired into quarantine the moment its frame dies.
         quarantineBlock(t, frame->pfn, frame->order);
     } else {
-        t.buddy().free(frame->pfn, frame->order);
+        freeBlock(t, frame->pfn, frame->order);
     }
 
     frame->tier = kInvalidTier;
@@ -216,7 +244,7 @@ TierManager::migrateEx(Frame *frame, TierId dst)
     Tier &to = tier(dst);
     if (!to.online())
         return MigrateResult::Offline;
-    const Pfn new_pfn = to.buddy().alloc(frame->order);
+    const Pfn new_pfn = allocBlock(to, frame->order);
     if (new_pfn == kInvalidPfn)
         return MigrateResult::NoSpace;
 
@@ -226,7 +254,7 @@ TierManager::migrateEx(Frame *frame, TierId dst)
 
     Tier &from = tier(frame->tier);
     from.noteFree(frame->objClass, frame->pages());
-    from.buddy().free(frame->pfn, frame->order);
+    freeBlock(from, frame->pfn, frame->order);
 
     frame->tier = dst;
     frame->pfn = new_pfn;
@@ -255,7 +283,7 @@ TierManager::promoteKeepSource(Frame *frame, TierId dst)
     Tier &to = tier(dst);
     if (!to.online())
         return MigrateResult::Offline;
-    const Pfn new_pfn = to.buddy().alloc(frame->order);
+    const Pfn new_pfn = allocBlock(to, frame->order);
     if (new_pfn == kInvalidPfn)
         return MigrateResult::NoSpace;
 
@@ -297,7 +325,7 @@ TierManager::migrateIntoShadow(Frame *frame)
 
     Tier &from = tier(frame->tier);
     from.noteFree(frame->objClass, frame->pages());
-    from.buddy().free(frame->pfn, frame->order);
+    freeBlock(from, frame->pfn, frame->order);
 
     // The shadow's buddy pages are already allocated; adopt them.
     frame->tier = dst;
@@ -325,7 +353,7 @@ TierManager::evacuate(Frame *frame, TierId dst)
     Tier &to = tier(dst);
     if (!to.online())
         return MigrateResult::Offline;
-    const Pfn new_pfn = to.buddy().alloc(frame->order);
+    const Pfn new_pfn = allocBlock(to, frame->order);
     if (new_pfn == kInvalidPfn)
         return MigrateResult::NoSpace;
 
@@ -390,7 +418,7 @@ TierManager::dropShadow(Frame *frame, ShadowDropReason reason)
     _machine.tracer().emit(TraceEventType::ShadowDrop, frame->shadowTier,
                            frame->shadowPfn,
                            static_cast<uint64_t>(reason));
-    tier(frame->shadowTier).buddy().free(frame->shadowPfn, frame->order);
+    freeBlock(tier(frame->shadowTier), frame->shadowPfn, frame->order);
     _shadowPages -= frame->pages();
     ++_shadowDrops;
     frame->shadowTier = kInvalidTier;
@@ -423,6 +451,10 @@ TierManager::setTierOnline(TierId id, bool online)
     if (t.online() == online)
         return;
     t.setOnline(online);
+    // An offline tier's cached blocks go back to the buddy so the
+    // drain below sees the tier's true free space.
+    if (!online)
+        t.drainPcp();
     _machine.tracer().emit(online ? TraceEventType::TierOnline
                                   : TraceEventType::TierOffline,
                            static_cast<uint64_t>(id));

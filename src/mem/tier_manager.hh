@@ -144,6 +144,18 @@ class TierManager
     /** Create a tier (also registered with the machine's MemoryModel). */
     TierId addTier(const TierSpec &spec);
 
+    /**
+     * Per-CPU frame lists (Linux pcp): order-0 allocations and frees
+     * go through a cache keyed by the current CPU, refilled and
+     * flushed in Tier::kPcpBatch blocks. On by default — this is the
+     * allocator configuration the benches baseline against; the
+     * toggle exists for the ablation bench and for tests that want
+     * raw buddy placement. Disabling drains every cache.
+     */
+    void setUsePerCpuFrameLists(bool enabled);
+
+    bool usePerCpuFrameLists() const { return _usePcpLists; }
+
     Tier &tier(TierId id);
     const Tier &tier(TierId id) const;
     size_t tierCount() const { return _tiers.size(); }
@@ -307,10 +319,16 @@ class TierManager
     void applyUpwardTransitions(TierId id);
     void healthTick();
 
+    /** Block alloc/free routed through the current CPU's pcp cache
+     *  for order 0; higher orders go straight to the buddy. */
+    Pfn allocBlock(Tier &t, unsigned order);
+    void freeBlock(Tier &t, Pfn pfn, unsigned order);
+
     Machine &_machine;
     std::vector<std::unique_ptr<Tier>> _tiers;
     std::vector<HealthState> _health;
     bool _healthTickArmed = false;
+    bool _usePcpLists = true;
 
     // Frame pool with stable addresses; freed frames recycle LIFO.
     FrameArena _frameArena;

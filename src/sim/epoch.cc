@@ -1,0 +1,143 @@
+#include "sim/epoch.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace kloc {
+
+ShardedEngine::ShardedEngine(Machine &machine, Config config)
+    : _machine(machine), _config(config),
+      _pool(config.workers ? config.workers : defaultWorkers())
+{
+    KLOC_ASSERT(_config.shards >= 1, "engine needs at least one shard");
+    KLOC_ASSERT(_config.epochLength > 0, "epoch length must be positive");
+    _shards.reserve(_config.shards);
+    for (unsigned i = 0; i < _config.shards; ++i) {
+        // Spread shards round-robin over the simulated CPUs so
+        // socket-aware access costs differ per shard on multi-socket
+        // topologies.
+        const unsigned cpu = i % machine.cpuCount();
+        _shards.push_back(std::make_unique<ShardContext>(
+            i, machine.core(), cpu));
+    }
+}
+
+unsigned
+ShardedEngine::defaultWorkers()
+{
+    // klint:allow(no-mutable-global): reading the environment once.
+    if (const char *env = std::getenv("KLOC_SHARDS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0)
+            return static_cast<unsigned>(parsed);
+    }
+    return 1;
+}
+
+void
+ShardedEngine::addBarrierHook(BarrierHook hook)
+{
+    _hooks.push_back(std::move(hook));
+}
+
+void
+ShardedEngine::run(uint64_t epochs, const ShardBody &body)
+{
+    for (uint64_t e = 0; e < epochs; ++e) {
+        const uint64_t epoch = _epochsRun;
+        const Tick barrier_tick = _machine.now() + _config.epochLength;
+        const bool tracing = _machine.tracer().enabled();
+        for (auto &shard : _shards)
+            shard->setTraceEnabledAtBarrier(tracing);
+
+        // Fan the epoch out. Each closure touches only its own
+        // shard (and const MachineCore reads), so any worker count
+        // computes identical per-shard state.
+        runIndexedVoid(_pool, _shards.size(), [&](size_t i) {
+            ShardContext &shard = *_shards[i];
+            body(shard, epoch);
+            shard.parkAtBarrier(barrier_tick);
+        });
+
+        barrier(epoch, barrier_tick);
+    }
+}
+
+void
+ShardedEngine::barrier(uint64_t epoch, Tick barrier_tick)
+{
+    // The epoch ends where the last shard stopped: a shard whose
+    // final charge overshot the barrier stretches the epoch for
+    // everyone, keeping all clocks aligned and monotonic.
+    Tick epoch_end = barrier_tick;
+    for (const auto &shard : _shards)
+        epoch_end = std::max(epoch_end, shard->now());
+
+    // 1. Merge staged trace events. Each shard's staging buffer is
+    // tick-ordered, so a stable sort of the shard-order concatenation
+    // yields (tick, shard, local seq) order — the worker-count-
+    // invariant global order. absorb() restamps the global seq.
+    std::vector<TraceEvent> merged;
+    std::vector<uint64_t> staged_counts(_shards.size(), 0);
+    for (size_t i = 0; i < _shards.size(); ++i) {
+        std::vector<TraceEvent> staged = _shards[i]->takeStagedAtBarrier();
+        staged_counts[i] = staged.size();
+        merged.insert(merged.end(), staged.begin(), staged.end());
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const TraceEvent &x, const TraceEvent &y) {
+                         return x.tick < y.tick;
+                     });
+    Tracer &tracer = _machine.tracer();
+    tracer.absorb(merged.data(), merged.size());
+    _eventsMerged += merged.size();
+
+    // 2. Advance the global clock to the epoch end, running global
+    // async work that became due. Its events are stamped at or after
+    // every absorbed tick, keeping the trace tick-monotonic.
+    _machine.advanceTo(epoch_end);
+
+    // 3. Per-shard epoch summaries, in shard order.
+    std::vector<uint64_t> epoch_ops(_shards.size(), 0);
+    for (size_t i = 0; i < _shards.size(); ++i) {
+        epoch_ops[i] = _shards[i]->takeOpsAtBarrier();
+        tracer.emit(TraceEventType::ShardWork, _shards[i]->id(), epoch,
+                    epoch_ops[i], staged_counts[i]);
+    }
+
+    // 4. Drain mailboxes: shard order, posting order within a shard,
+    // applied serially against the global platform.
+    uint64_t drained = 0;
+    for (auto &shard : _shards) {
+        std::vector<ShardMessage> mailbox = shard->takeMailboxAtBarrier();
+        for (size_t seq = 0; seq < mailbox.size(); ++seq) {
+            tracer.emit(TraceEventType::ShardMsg, shard->id(), epoch,
+                        seq, mailbox[seq].kind);
+            if (mailbox[seq].apply)
+                mailbox[seq].apply();
+        }
+        drained += mailbox.size();
+    }
+    _messagesDrained += drained;
+    // Applies may have scheduled global work already due.
+    _machine.events().runDue(_machine.now());
+
+    // 5. Fold shard-local stats into the shared core.
+    for (auto &shard : _shards)
+        _machine.core().foldRefsAtBarrier(shard->takeRefsAtBarrier());
+
+    // 6. Re-align shard clocks for the next epoch.
+    for (auto &shard : _shards)
+        shard->syncClockAtBarrier(epoch_end);
+
+    // 7. Serial barrier hooks (policy adaptation etc.).
+    for (const auto &hook : _hooks)
+        hook(epoch);
+
+    // 8. Close the epoch.
+    tracer.emit(TraceEventType::EpochBarrier, epoch, _shards.size(),
+                merged.size(), drained);
+    ++_epochsRun;
+}
+
+} // namespace kloc

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * ShardedEngine: deterministic epoch-barrier execution of N shards.
+ *
+ * One run is decomposed into a fixed number of logical shards that
+ * advance virtual time independently for one epoch, then synchronize
+ * at a barrier where the coordinator — always serial — applies every
+ * cross-shard effect in a deterministic order:
+ *
+ *   1. merge shard-staged trace events by (tick, shard, local seq)
+ *      and absorb them into the global tracer,
+ *   2. advance the global Machine clock to the epoch end (running
+ *      due global async work),
+ *   3. emit one ShardWork summary per shard (shard order),
+ *   4. drain shard mailboxes in shard order, emitting a ShardMsg per
+ *      message and applying it against the global platform,
+ *   5. fold shard-local RefStats into the shared MachineCore,
+ *   6. re-align every shard clock with the epoch end,
+ *   7. run barrier hooks (policy adaptation), and
+ *   8. emit the closing EpochBarrier event.
+ *
+ * KLOC_SHARDS sets the *worker-thread count* only; the logical shard
+ * decomposition is fixed by the scenario. Per-shard execution is
+ * single-threaded and the merge order is worker-count-invariant, so
+ * serialized traces are byte-identical at any KLOC_SHARDS value —
+ * the same contract RunPool gives whole-run sweeps, applied inside
+ * one run. See docs/SHARDING.md for the invariant list.
+ */
+
+#ifndef KLOC_SIM_EPOCH_HH
+#define KLOC_SIM_EPOCH_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "base/run_pool.hh"
+#include "base/units.hh"
+#include "sim/machine.hh"
+#include "sim/shard.hh"
+
+namespace kloc {
+
+/** Epoch-barrier coordinator over a Machine and its shards. */
+class ShardedEngine
+{
+  public:
+    struct Config
+    {
+        /** Logical shards; fixed by the scenario, not the host. */
+        unsigned shards = 4;
+        /** Virtual time between barriers. */
+        Tick epochLength{100000};
+        /** Worker threads; 0 means defaultWorkers(). */
+        unsigned workers = 0;
+    };
+
+    /** Per-shard epoch body: runs concurrently, shard-local only. */
+    using ShardBody = std::function<void(ShardContext &, uint64_t epoch)>;
+
+    /** Serial barrier hook (policy adaptation, stats sampling). */
+    using BarrierHook = std::function<void(uint64_t epoch)>;
+
+    ShardedEngine(Machine &machine, Config config);
+
+    /**
+     * Worker-thread count from the environment: KLOC_SHARDS if set
+     * to a positive integer, otherwise 1 (serial execution; the
+     * deterministic reference every other count must match).
+     */
+    static unsigned defaultWorkers();
+
+    unsigned shardCount() const { return static_cast<unsigned>(_shards.size()); }
+    unsigned workers() const { return _pool.workers(); }
+    Tick epochLength() const { return _config.epochLength; }
+
+    ShardContext &shard(unsigned i) { return *_shards.at(i); }
+    const ShardContext &shard(unsigned i) const { return *_shards.at(i); }
+
+    /** Register a serial hook run at every barrier (step 7). */
+    void addBarrierHook(BarrierHook hook);
+
+    /**
+     * Execute @p epochs epochs of @p body over all shards.
+     * Bodies run concurrently across the worker pool; the barrier
+     * after each epoch is serial. Callable repeatedly; the epoch
+     * counter keeps rising across calls.
+     */
+    void run(uint64_t epochs, const ShardBody &body);
+
+    /** Barriers executed since construction. */
+    uint64_t epochsRun() const { return _epochsRun; }
+
+    /** Cross-shard messages drained since construction. */
+    uint64_t messagesDrained() const { return _messagesDrained; }
+
+    /** Shard-staged trace events merged since construction. */
+    uint64_t eventsMerged() const { return _eventsMerged; }
+
+  private:
+    void barrier(uint64_t epoch, Tick barrier_tick);
+
+    Machine &_machine;
+    Config _config;
+    RunPool _pool;
+    std::vector<std::unique_ptr<ShardContext>> _shards;
+    std::vector<BarrierHook> _hooks;
+    uint64_t _epochsRun = 0;
+    uint64_t _messagesDrained = 0;
+    uint64_t _eventsMerged = 0;
+};
+
+} // namespace kloc
+
+#endif // KLOC_SIM_EPOCH_HH

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <vector>
 
@@ -32,11 +33,18 @@ class EventQueue
         _events.push(Event{when, _sequence++, std::move(fn)});
     }
 
-    /** Deadline of the earliest pending event; -1 when empty. */
-    Tick
+    /**
+     * Deadline of the earliest pending event, or nullopt when the
+     * queue is empty. (A Tick{-1} sentinel here was a strong-units
+     * footgun: -1 compares less-than every real deadline, so the
+     * "empty" case silently won every min().)
+     */
+    std::optional<Tick>
     nextDeadline() const
     {
-        return _events.empty() ? Tick{-1} : _events.top().when;
+        if (_events.empty())
+            return std::nullopt;
+        return _events.top().when;
     }
 
     bool empty() const { return _events.empty(); }

@@ -3,9 +3,12 @@
  * Machine: the composition hub every subsystem charges work through.
  *
  * Owns the virtual clock, the event queue for asynchronous kernel
- * work, the memory timing model, and the simulated CPU topology.
- * It also keeps the reference-accounting counters behind Fig. 2c
- * (memory references to kernel objects vs. application data).
+ * work, and the simulated CPU topology. The shard-shared half —
+ * topology, memory timing model, and the reference-accounting
+ * counters behind Fig. 2c — lives in MachineCore (machine_core.hh);
+ * Machine delegates so serial code keeps its one-object view while
+ * the sharded engine (sim/shard.hh) shares the core between
+ * ShardContexts.
  */
 
 #ifndef KLOC_SIM_MACHINE_HH
@@ -18,13 +21,11 @@
 #include "fault/fault.hh"
 #include "base/clock.hh"
 #include "sim/event_queue.hh"
+#include "sim/machine_core.hh"
 #include "sim/memory_model.hh"
 #include "trace/trace.hh"
 
 namespace kloc {
-
-/** Attribution of a memory reference for Fig. 2c accounting. */
-enum class RefDomain { User, Kernel };
 
 /** The simulated machine. */
 class Machine
@@ -37,16 +38,11 @@ class Machine
     explicit Machine(unsigned num_cpus = 16, unsigned num_sockets = 1);
 
     // -- topology ---------------------------------------------------------
-    unsigned cpuCount() const { return _numCpus; }
-    unsigned socketCount() const { return _numSockets; }
+    unsigned cpuCount() const { return _core.cpuCount(); }
+    unsigned socketCount() const { return _core.socketCount(); }
 
     /** Socket hosting @p cpu. */
-    int
-    socketOf(unsigned cpu) const
-    {
-        return static_cast<int>(cpu / ((_numCpus + _numSockets - 1) /
-                                       _numSockets));
-    }
+    int socketOf(unsigned cpu) const { return _core.socketOf(cpu); }
 
     /** CPU the current simulated thread of control runs on. */
     unsigned currentCpu() const { return _currentCpu; }
@@ -55,11 +51,15 @@ class Machine
     void
     setCurrentCpu(unsigned cpu)
     {
-        KLOC_ASSERT(cpu < _numCpus, "cpu %u out of range", cpu);
+        KLOC_ASSERT(cpu < _core.cpuCount(), "cpu %u out of range", cpu);
         _currentCpu = cpu;
     }
 
-    int currentSocket() const { return socketOf(_currentCpu); }
+    int currentSocket() const { return _core.socketOf(_currentCpu); }
+
+    /** The shard-shared half (topology, timing, global stats). */
+    MachineCore &core() { return _core; }
+    const MachineCore &core() const { return _core; }
 
     // -- time -------------------------------------------------------------
     Tick now() const { return _clock.now(); }
@@ -73,6 +73,18 @@ class Machine
     }
 
     /**
+     * Jump the clock forward to @p when (an epoch-barrier tick) and
+     * run the async work that became due. Used by the sharded
+     * engine's coordinator; serial code charges costs instead.
+     */
+    void
+    advanceTo(Tick when)
+    {
+        _clock.advanceTo(when);
+        _events.runDue(_clock.now());
+    }
+
+    /**
      * Charge pure CPU work (no memory attribution). The simulation
      * serialises all worker threads onto one clock; compute-bound
      * work overlaps across real cores, so it is divided by the CPU
@@ -80,15 +92,10 @@ class Machine
      * bandwidth is the shared bottleneck the paper's platforms
      * expose.
      */
-    void cpuWork(Tick cost) { charge(cost / _cpuParallelism); }
+    void cpuWork(Tick cost) { charge(cost / _core.cpuParallelism()); }
 
     /** Set the effective overlap factor for CPU-bound work. */
-    void
-    setCpuParallelism(unsigned factor)
-    {
-        KLOC_ASSERT(factor >= 1, "cpu parallelism below 1");
-        _cpuParallelism = static_cast<int64_t>(factor);
-    }
+    void setCpuParallelism(unsigned factor) { _core.setCpuParallelism(factor); }
 
     EventQueue &events() { return _events; }
     VirtualClock &clock() { return _clock; }
@@ -103,8 +110,8 @@ class Machine
     const FaultInjector &faults() const { return _faults; }
 
     // -- memory -----------------------------------------------------------
-    MemoryModel &memModel() { return _memModel; }
-    const MemoryModel &memModel() const { return _memModel; }
+    MemoryModel &memModel() { return _core.memModel(); }
+    const MemoryModel &memModel() const { return _core.memModel(); }
 
     /**
      * Charge one memory access of @p bytes against @p tier from the
@@ -114,16 +121,10 @@ class Machine
     Tick
     access(TierId tier, Bytes bytes, AccessType type, RefDomain domain)
     {
-        const Tick cost =
-            _memModel.accessCost(tier, bytes, type, currentSocket());
+        const Tick cost = _core.memModel().accessCost(tier, bytes, type,
+                                                      currentSocket());
         charge(cost);
-        if (domain == RefDomain::Kernel) {
-            ++_kernelRefs;
-            _kernelRefTicks += cost;
-        } else {
-            ++_userRefs;
-            _userRefTicks += cost;
-        }
+        _core.accountRef(domain, cost);
         return cost;
     }
 
@@ -141,29 +142,21 @@ class Machine
     }
 
     // -- Fig. 2c accounting -------------------------------------------------
-    uint64_t kernelRefs() const { return _kernelRefs; }
-    uint64_t userRefs() const { return _userRefs; }
-    Tick kernelRefTicks() const { return _kernelRefTicks; }
-    Tick userRefTicks() const { return _userRefTicks; }
+    uint64_t kernelRefs() const { return _core.refs().kernelRefs; }
+    uint64_t userRefs() const { return _core.refs().userRefs; }
+    Tick kernelRefTicks() const { return _core.refs().kernelRefTicks; }
+    Tick userRefTicks() const { return _core.refs().userRefTicks; }
 
     /** Reset clock, events, and counters between experiment runs. */
     void reset();
 
   private:
+    MachineCore _core;
     VirtualClock _clock;
     EventQueue _events;
-    MemoryModel _memModel;
     Tracer _tracer{_clock};
     FaultInjector _faults{_tracer};
-    unsigned _numCpus;
-    unsigned _numSockets;
     unsigned _currentCpu = 0;
-    int64_t _cpuParallelism = 8;
-
-    uint64_t _kernelRefs = 0;
-    uint64_t _userRefs = 0;
-    Tick _kernelRefTicks{};
-    Tick _userRefTicks{};
 };
 
 } // namespace kloc

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * MachineCore: the shard-shared half of the simulated machine.
+ *
+ * The sharded simulation core (docs/SHARDING.md) splits the old
+ * monolithic Machine into
+ *
+ *   - MachineCore — topology, memory timing, and the global
+ *     reference-accounting stats. Shared by every shard; read-only
+ *     during an epoch, mutated only from barrier-drain methods
+ *     (methods named *AtBarrier), which the klint
+ *     `shard-confinement` rule enforces.
+ *   - ShardContext (sim/shard.hh) — a local clock, local event
+ *     queue, and local trace staging buffer per shard.
+ *
+ * The serial Machine keeps its public API by owning a MachineCore
+ * and delegating; single-threaded code never sees the split.
+ */
+
+#ifndef KLOC_SIM_MACHINE_CORE_HH
+#define KLOC_SIM_MACHINE_CORE_HH
+
+#include <cstdint>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+#include "sim/memory_model.hh"
+
+namespace kloc {
+
+/** Attribution of a memory reference for Fig. 2c accounting. */
+enum class RefDomain { User, Kernel };
+
+/** Fig. 2c reference counters (kernel vs. user memory traffic). */
+struct RefStats
+{
+    uint64_t kernelRefs = 0;
+    uint64_t userRefs = 0;
+    Tick kernelRefTicks{};
+    Tick userRefTicks{};
+
+    void
+    account(RefDomain domain, Tick cost)
+    {
+        if (domain == RefDomain::Kernel) {
+            ++kernelRefs;
+            kernelRefTicks += cost;
+        } else {
+            ++userRefs;
+            userRefTicks += cost;
+        }
+    }
+
+    void
+    reset()
+    {
+        kernelRefs = 0;
+        userRefs = 0;
+        kernelRefTicks = Tick{};
+        userRefTicks = Tick{};
+    }
+};
+
+/** The shard-shared machine state: topology, timing, global stats. */
+class MachineCore
+{
+  public:
+    MachineCore(unsigned num_cpus, unsigned num_sockets)
+        : _numCpus(num_cpus), _numSockets(num_sockets)
+    {
+        KLOC_ASSERT(num_cpus > 0, "machine needs at least one cpu");
+        KLOC_ASSERT(num_sockets > 0 && num_sockets <= num_cpus,
+                    "bad socket count %u", num_sockets);
+    }
+
+    // -- topology (immutable after construction) --------------------------
+    unsigned cpuCount() const { return _numCpus; }
+    unsigned socketCount() const { return _numSockets; }
+
+    /** Socket hosting @p cpu. */
+    int
+    socketOf(unsigned cpu) const
+    {
+        return static_cast<int>(cpu / ((_numCpus + _numSockets - 1) /
+                                       _numSockets));
+    }
+
+    // -- timing -----------------------------------------------------------
+    MemoryModel &memModel() { return _memModel; }
+    const MemoryModel &memModel() const { return _memModel; }
+
+    int64_t cpuParallelism() const { return _cpuParallelism; }
+
+    /** Set the effective overlap factor for CPU-bound work. */
+    void
+    setCpuParallelism(unsigned factor)
+    {
+        KLOC_ASSERT(factor >= 1, "cpu parallelism below 1");
+        _cpuParallelism = static_cast<int64_t>(factor);
+    }
+
+    // -- global stats (mutate only at barriers / from serial code) --------
+    const RefStats &refs() const { return _refs; }
+
+    /** Serial-path accounting (the Machine facade's access()). */
+    void accountRef(RefDomain domain, Tick cost) { _refs.account(domain, cost); }
+
+    /**
+     * Fold one shard's epoch-local reference counters into the
+     * global stats. Barrier-drain method: only the EpochBarrier
+     * coordinator may call this (klint `shard-confinement`).
+     */
+    void
+    foldRefsAtBarrier(const RefStats &local)
+    {
+        _refs.kernelRefs += local.kernelRefs;
+        _refs.userRefs += local.userRefs;
+        _refs.kernelRefTicks += local.kernelRefTicks;
+        _refs.userRefTicks += local.userRefTicks;
+    }
+
+    /** Reset the global counters (between experiment runs). */
+    void resetStatsAtBarrier() { _refs.reset(); }
+
+  private:
+    unsigned _numCpus;
+    unsigned _numSockets;
+    int64_t _cpuParallelism = 8;
+    MemoryModel _memModel;
+    RefStats _refs;
+};
+
+} // namespace kloc
+
+#endif // KLOC_SIM_MACHINE_CORE_HH

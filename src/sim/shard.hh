@@ -1,0 +1,250 @@
+/**
+ * @file
+ * ShardContext: the per-shard half of the sharded simulation core.
+ *
+ * A sharded run (sim/epoch.hh, docs/SHARDING.md) executes N shards
+ * that advance virtual time independently between deterministic
+ * epoch barriers. Each shard owns
+ *
+ *   - a local VirtualClock and EventQueue (shard-local async work),
+ *   - a trace staging buffer (events merged at the barrier in
+ *     (tick, shard, local-seq) order, so the global trace is
+ *     byte-identical for any worker count),
+ *   - local RefStats folded into the shared MachineCore at barriers,
+ *   - an outbound mailbox of cross-shard messages, drained serially
+ *     at the barrier in shard order.
+ *
+ * During an epoch a shard body may touch only its ShardContext and
+ * const MachineCore state; every mutation of shared state must go
+ * through a mailbox message applied at the barrier. The klint
+ * `shard-confinement` rule enforces the MachineCore half of this
+ * contract: only *AtBarrier methods may mutate core-shared state.
+ */
+
+#ifndef KLOC_SIM_SHARD_HH
+#define KLOC_SIM_SHARD_HH
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "base/clock.hh"
+#include "base/logging.hh"
+#include "base/units.hh"
+#include "sim/event_queue.hh"
+#include "sim/machine_core.hh"
+#include "trace/trace.hh"
+
+namespace kloc {
+
+/**
+ * One cross-shard effect, posted during an epoch and applied by the
+ * barrier coordinator against the global platform. @c kind is an
+ * opaque workload-defined tag carried into the ShardMsg trace event;
+ * @c apply runs serially in (shard, posting) order.
+ */
+struct ShardMessage
+{
+    uint64_t kind = 0;
+    std::function<void()> apply;
+};
+
+/** Per-shard execution context: local time, events, trace, stats. */
+class ShardContext
+{
+  public:
+    /**
+     * @param id    Shard index (dense from 0).
+     * @param core  The shared machine half; const during epochs.
+     * @param cpu   Representative CPU for socket-aware access costs.
+     */
+    ShardContext(unsigned id, const MachineCore &core, unsigned cpu)
+        : _id(id), _core(core), _cpu(cpu)
+    {
+        KLOC_ASSERT(cpu < core.cpuCount(), "shard cpu %u out of range",
+                    cpu);
+    }
+
+    ShardContext(const ShardContext &) = delete;
+    ShardContext &operator=(const ShardContext &) = delete;
+
+    unsigned id() const { return _id; }
+    const MachineCore &core() const { return _core; }
+
+    /** CPU this shard's thread of control runs on. */
+    unsigned cpu() const { return _cpu; }
+
+    void
+    setCpu(unsigned cpu)
+    {
+        KLOC_ASSERT(cpu < _core.cpuCount(), "shard cpu %u out of range",
+                    cpu);
+        _cpu = cpu;
+    }
+
+    int socket() const { return _core.socketOf(_cpu); }
+
+    // -- shard-local time -------------------------------------------------
+    Tick now() const { return _clock.now(); }
+
+    /** Advance the local clock by @p cost and run due local events. */
+    void
+    charge(Tick cost)
+    {
+        _clock.advance(cost);
+        _events.runDue(_clock.now());
+    }
+
+    /** Charge CPU-bound work divided by the core's overlap factor. */
+    void cpuWork(Tick cost) { charge(cost / _core.cpuParallelism()); }
+
+    /** Shard-local async work (runs when this shard's clock passes). */
+    void schedule(Tick when, EventQueue::Callback fn)
+    {
+        _events.schedule(when, std::move(fn));
+    }
+
+    EventQueue &events() { return _events; }
+
+    /**
+     * Charge one memory access against @p tier from this shard's
+     * socket, attributed to @p domain in the shard-local counters.
+     * The shared MemoryModel is read-only here (accessCost is const),
+     * so concurrent shards can price accesses without coordination.
+     * @return the cost charged.
+     */
+    Tick
+    access(TierId tier, Bytes bytes, AccessType type, RefDomain domain)
+    {
+        const Tick cost = _core.memModel().accessCost(tier, bytes, type,
+                                                      socket());
+        charge(cost);
+        _refs.account(domain, cost);
+        ++_ops;
+        return cost;
+    }
+
+    /** Count one workload operation (throughput accounting). */
+    void noteOp() { ++_ops; }
+
+    uint64_t ops() const { return _ops; }
+
+    /** Shard-local reference counters for the current epoch. */
+    const RefStats &refs() const { return _refs; }
+
+    // -- shard-local tracing ----------------------------------------------
+    /** Mirror of Tracer::enabled(), set by the engine each epoch. */
+    bool traceEnabled() const { return _traceEnabled; }
+
+    /**
+     * Stage one trace event at the shard-local tick. The local seq
+     * orders same-tick events within this shard; the barrier merge
+     * restamps the global seq (Tracer::absorb).
+     */
+    void
+    emit(TraceEventType type, uint64_t a = 0, uint64_t b = 0,
+         uint64_t c = 0, uint64_t d = 0)
+    {
+        if (__builtin_expect(!_traceEnabled, 1))
+            return;
+        TraceEvent event;
+        event.seq = _localSeq++;
+        event.tick = _clock.now();
+        event.type = type;
+        event.args[0] = a;
+        event.args[1] = b;
+        event.args[2] = c;
+        event.args[3] = d;
+        _staged.push_back(event);
+    }
+
+    size_t stagedCount() const { return _staged.size(); }
+
+    // -- cross-shard mailbox ----------------------------------------------
+    /** Post a cross-shard effect; applied at the next barrier. */
+    void post(ShardMessage msg) { _mailbox.push_back(std::move(msg)); }
+
+    size_t mailboxCount() const { return _mailbox.size(); }
+
+    // -- barrier protocol (coordinator only; serial) ----------------------
+    /**
+     * Finish the epoch: run local events due by @p barrier and park
+     * the clock there. A shard whose last charge overshot the
+     * barrier stays at its later tick — the coordinator stretches
+     * the epoch end to cover it.
+     */
+    void
+    parkAtBarrier(Tick barrier)
+    {
+        if (_clock.now() < barrier)
+            _clock.advanceTo(barrier);
+        _events.runDue(_clock.now());
+    }
+
+    /** Move out the staged trace events (tick-ordered). */
+    std::vector<TraceEvent>
+    takeStagedAtBarrier()
+    {
+        std::vector<TraceEvent> out = std::move(_staged);
+        _staged.clear();
+        _localSeq = 0;
+        return out;
+    }
+
+    /** Move out the epoch's outbound mailbox (posting order). */
+    std::vector<ShardMessage>
+    takeMailboxAtBarrier()
+    {
+        std::vector<ShardMessage> out = std::move(_mailbox);
+        _mailbox.clear();
+        return out;
+    }
+
+    /** Move out the epoch's local ref counters (and reset them). */
+    RefStats
+    takeRefsAtBarrier()
+    {
+        RefStats out = _refs;
+        _refs.reset();
+        return out;
+    }
+
+    /** Ops performed this epoch (and reset the counter). */
+    uint64_t
+    takeOpsAtBarrier()
+    {
+        const uint64_t out = _ops;
+        _ops = 0;
+        return out;
+    }
+
+    /** Re-align the local clock with the global epoch end. */
+    void
+    syncClockAtBarrier(Tick epoch_end)
+    {
+        KLOC_ASSERT(_clock.now() <= epoch_end,
+                    "shard %u clock past epoch end", _id);
+        _clock.advanceTo(epoch_end);
+    }
+
+    /** Propagate the tracer's enabled flag (engine, per epoch). */
+    void setTraceEnabledAtBarrier(bool on) { _traceEnabled = on; }
+
+  private:
+    unsigned _id;
+    const MachineCore &_core;
+    unsigned _cpu;
+    bool _traceEnabled = false;
+    VirtualClock _clock;
+    EventQueue _events;
+    RefStats _refs;
+    uint64_t _ops = 0;
+    uint64_t _localSeq = 0;
+    std::vector<TraceEvent> _staged;
+    std::vector<ShardMessage> _mailbox;
+};
+
+} // namespace kloc
+
+#endif // KLOC_SIM_SHARD_HH

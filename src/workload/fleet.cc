@@ -1,0 +1,195 @@
+#include "workload/fleet.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace kloc {
+
+namespace {
+
+/** Splitmix-style per-tenant seed derivation. */
+constexpr uint64_t
+tenantSeed(uint64_t seed, unsigned shard)
+{
+    return seed + 0x9e3779b97f4a7c15ULL * (shard + 1);
+}
+
+} // namespace
+
+FleetScenario::FleetScenario(System &sys, const FleetConfig &config)
+    : _sys(sys), _config(config)
+{
+    KLOC_ASSERT(_config.shards >= 1, "fleet needs at least one tenant");
+    KLOC_ASSERT(_config.hotPages <= _config.pagesPerShard,
+                "hot window larger than arena");
+}
+
+void
+FleetScenario::setup()
+{
+    _tenants = std::vector<Tenant>(_config.shards);
+    for (unsigned s = 0; s < _config.shards; ++s) {
+        Tenant &tenant = _tenants[s];
+        tenant.rng = Rng(tenantSeed(_config.seed, s));
+        tenant.pages.reserve(_config.pagesPerShard);
+        for (uint64_t i = 0; i < _config.pagesPerShard; ++i) {
+            Frame *frame = _sys.tiers().alloc(0, ObjClass::App, true,
+                                              {_config.slowTier});
+            KLOC_ASSERT(frame, "fleet arena allocation failed "
+                        "(tenant %u page %llu)", s,
+                        (unsigned long long)i);
+            tenant.pages.emplace_back(frame);
+        }
+    }
+}
+
+uint64_t
+FleetScenario::hotBase(uint64_t epoch) const
+{
+    // Slide half a window per epoch so promotions from the last
+    // epoch stay half-useful while fresh slow-tier pages keep
+    // entering the window.
+    return (epoch * (_config.hotPages / 2)) % _config.pagesPerShard;
+}
+
+void
+FleetScenario::tenantEpoch(ShardContext &shard, uint64_t epoch)
+{
+    Tenant &tenant = _tenants[shard.id()];
+    const uint64_t arena = _config.pagesPerShard;
+    const uint64_t base = hotBase(epoch);
+    const auto inWindow = [&](uint64_t idx) {
+        return (idx + arena - base) % arena < _config.hotPages;
+    };
+
+    // Per-CPU fast path: shard-local time only. Frame placement is
+    // stable for the whole epoch (migrations run at barriers), so
+    // reading frame->tier here races with nothing.
+    for (uint64_t op = 0; op < _config.opsPerEpoch; ++op) {
+        uint64_t idx;
+        if (tenant.rng.nextBool(0.75)) {
+            idx = (base + tenant.rng.nextBounded(_config.hotPages)) %
+                  arena;
+        } else {
+            idx = tenant.rng.nextBounded(arena);
+        }
+        const FrameRef &ref = tenant.pages[idx];
+        if (!ref.valid()) {
+            shard.noteOp();
+            continue;
+        }
+        const AccessType type = tenant.rng.nextBool(0.25)
+            ? AccessType::Write : AccessType::Read;
+        const RefDomain domain = tenant.rng.nextBool(0.125)
+            ? RefDomain::Kernel : RefDomain::User;
+        shard.access(ref->tier, kPageSize, type, domain);
+        shard.cpuWork(Tick{200});
+
+        // Periodic pinned kernel burst: the KLOC fast path holds the
+        // object resident while streaming it. Pins balance before
+        // the barrier, so migrations never see them.
+        if ((op & 127u) == 0) {
+            shard.emit(TraceEventType::FramePin, ref->tier, ref->pfn);
+            for (int touch = 0; touch < 3; ++touch) {
+                shard.access(ref->tier, Bytes{64}, AccessType::Read,
+                             RefDomain::Kernel);
+            }
+            shard.emit(TraceEventType::FrameUnpin, ref->tier, ref->pfn);
+        }
+    }
+
+    // Cross-shard slow path: placement changes go through the
+    // mailbox and execute serially at the barrier, where tenants
+    // contend for the shared fast tier through the real
+    // MigrationEngine.
+    uint64_t budget = _config.migrateBatch;
+    for (uint64_t i = 0; i < _config.hotPages && budget; ++i) {
+        const uint64_t idx = (base + i) % arena;
+        const FrameRef &ref = tenant.pages[idx];
+        if (!ref.valid() || ref->tier != _config.slowTier)
+            continue;
+        --budget;
+        ShardMessage msg;
+        msg.kind = kMsgPromote;
+        msg.apply = [this, &tenant, idx] {
+            const FrameRef ref = tenant.pages[idx];
+            if (!ref.valid() || ref->tier != _config.slowTier)
+                return;
+            if (_sys.migrator().migrateOne(ref.get(), _config.fastTier)) {
+                tenant.fastResident.push_back(idx);
+                ++_promotedPages;
+            }
+        };
+        shard.post(std::move(msg));
+    }
+
+    budget = _config.migrateBatch;
+    for (const uint64_t idx : tenant.fastResident) {
+        if (!budget)
+            break;
+        if (inWindow(idx))
+            continue;
+        const FrameRef &ref = tenant.pages[idx];
+        if (!ref.valid() || ref->tier != _config.fastTier)
+            continue;
+        --budget;
+        ShardMessage msg;
+        msg.kind = kMsgDemote;
+        msg.apply = [this, &tenant, idx] {
+            const FrameRef ref = tenant.pages[idx];
+            if (!ref.valid() || ref->tier != _config.fastTier)
+                return;
+            if (_sys.migrator().migrateOne(ref.get(), _config.slowTier)) {
+                auto &fast = tenant.fastResident;
+                fast.erase(std::find(fast.begin(), fast.end(), idx));
+                ++_demotedPages;
+            }
+        };
+        shard.post(std::move(msg));
+    }
+}
+
+FleetResult
+FleetScenario::run()
+{
+    KLOC_ASSERT(!_tenants.empty(), "fleet run() before setup()");
+    ShardedEngine::Config ec;
+    ec.shards = _config.shards;
+    ec.epochLength = _config.epochLength;
+    ec.workers = _config.workers;
+    ShardedEngine engine(_sys.machine(), ec);
+
+    const Tick start = _sys.machine().now();
+    engine.run(_config.epochs,
+               [this](ShardContext &shard, uint64_t epoch) {
+                   tenantEpoch(shard, epoch);
+               });
+
+    FleetResult result;
+    result.operations =
+        _config.epochs * _config.opsPerEpoch * _config.shards;
+    result.elapsed = _sys.machine().now() - start;
+    result.epochs = engine.epochsRun();
+    result.promotedPages = _promotedPages;
+    result.demotedPages = _demotedPages;
+    result.messages = engine.messagesDrained();
+    result.eventsMerged = engine.eventsMerged();
+    return result;
+}
+
+void
+FleetScenario::teardown()
+{
+    for (Tenant &tenant : _tenants) {
+        for (const FrameRef &ref : tenant.pages) {
+            if (ref.valid())
+                _sys.tiers().free(ref.get());
+        }
+        tenant.pages.clear();
+        tenant.fastResident.clear();
+    }
+    _tenants.clear();
+}
+
+} // namespace kloc

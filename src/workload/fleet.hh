@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Fleet scenario: the giant multi-tenant workload the sharded
+ * simulation core (sim/epoch.hh) is benchmarked and tested on.
+ *
+ * N tenants — one per shard — each own a private page arena
+ * allocated from the slow tier. During an epoch every tenant streams
+ * deterministic reads/writes over a sliding hot window of its own
+ * arena, charging shard-local time only (the paper's per-CPU fast
+ * path). Placement changes are the cross-shard slow path: a tenant
+ * that finds hot pages on the slow tier posts promotion messages,
+ * and demotion messages for fast-tier pages its window slid off; the
+ * epoch barrier applies them serially through the real
+ * MigrationEngine, where tenants contend for the shared fast tier
+ * (NoSpace retries and abandons fall out of the real allocator).
+ *
+ * Everything is driven by per-tenant Rngs seeded from the scenario
+ * seed, so a run is bit-reproducible — including its full trace —
+ * at any KLOC_SHARDS worker count.
+ */
+
+#ifndef KLOC_WORKLOAD_FLEET_HH
+#define KLOC_WORKLOAD_FLEET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hh"
+#include "platform/system.hh"
+#include "sim/epoch.hh"
+
+namespace kloc {
+
+/** Scaling knobs for the fleet scenario. */
+struct FleetConfig
+{
+    /** Tenants (= logical shards); fixed by the scenario. */
+    unsigned shards = 4;
+    uint64_t epochs = 32;
+    /** Accesses per tenant per epoch. */
+    uint64_t opsPerEpoch = 1500;
+    /** Barrier interval; epochs stretch if a shard overshoots. */
+    Tick epochLength{100 * kMicrosecond};
+    /** Arena pages per tenant, allocated on the slow tier. */
+    uint64_t pagesPerShard = 1024;
+    /** Sliding hot-window size (pages). */
+    uint64_t hotPages = 128;
+    /** Max promotion + demotion messages posted per tenant/epoch. */
+    uint64_t migrateBatch = 16;
+    uint64_t seed = 42;
+    /** Worker threads; 0 = KLOC_SHARDS (ShardedEngine default). */
+    unsigned workers = 0;
+    TierId fastTier{0};
+    TierId slowTier{1};
+};
+
+/** Outcome of one fleet run. */
+struct FleetResult
+{
+    uint64_t operations = 0;
+    Tick elapsed{};
+    uint64_t epochs = 0;
+    uint64_t promotedPages = 0;
+    uint64_t demotedPages = 0;
+    uint64_t messages = 0;
+    uint64_t eventsMerged = 0;
+
+    double
+    throughput() const
+    {
+        return elapsed <= 0
+            ? 0.0
+            : static_cast<double>(operations) /
+              (static_cast<double>(elapsed) /
+               static_cast<double>(kSecond));
+    }
+};
+
+/** Multi-tenant sharded scenario over one composed System. */
+class FleetScenario
+{
+  public:
+    /** Mailbox message kinds (ShardMsg trace arg 3). */
+    static constexpr uint64_t kMsgPromote = 1;
+    static constexpr uint64_t kMsgDemote = 2;
+
+    FleetScenario(System &sys, const FleetConfig &config);
+
+    /** Allocate every tenant's arena (serial, not measured). */
+    void setup();
+
+    /** Run the configured epochs through a ShardedEngine. */
+    FleetResult run();
+
+    /** Free the arenas (serial, after measuring). */
+    void teardown();
+
+    const FleetConfig &config() const { return _config; }
+
+  private:
+    struct Tenant
+    {
+        std::vector<FrameRef> pages;
+        Rng rng{0};
+        /** Arena indices promoted to the fast tier and still there. */
+        std::vector<uint64_t> fastResident;
+    };
+
+    /** Hot-window base index for @p epoch (slides half a window). */
+    uint64_t hotBase(uint64_t epoch) const;
+
+    /** One tenant's epoch: shard-local accesses + posted messages. */
+    void tenantEpoch(ShardContext &shard, uint64_t epoch);
+
+    System &_sys;
+    FleetConfig _config;
+    std::vector<Tenant> _tenants;
+    uint64_t _operations = 0;
+    uint64_t _promotedPages = 0;
+    uint64_t _demotedPages = 0;
+};
+
+} // namespace kloc
+
+#endif // KLOC_WORKLOAD_FLEET_HH

@@ -1,0 +1,21 @@
+#ifndef FIXTURE_SIM_MACHINE_CORE_HH
+#define FIXTURE_SIM_MACHINE_CORE_HH
+
+// Fixture twin of the real MachineCore: shard-shared state that may
+// only mutate from *AtBarrier barrier-drain methods.
+
+class MachineCore
+{
+  public:
+    long refs() const { return _refs; }
+    int phase() const { return _phase; }
+
+    void foldRefsAtBarrier(long n) { _refs += n; }
+    void setPhase(int phase) { _phase = phase; }
+
+  private:
+    long _refs = 0;
+    int _phase = 0;
+};
+
+#endif

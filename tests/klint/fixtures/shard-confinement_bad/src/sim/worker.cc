@@ -1,0 +1,34 @@
+#include "sim/machine_core.hh"
+
+// Seeded violations: a shard-scoped function (takes a ShardContext&)
+// writes MachineCore-shared state mid-epoch — once directly through
+// a barrier-drain method, once transitively through a helper.
+
+struct ShardContext
+{
+    void charge(long ticks) { _now += ticks; }
+    long now() const { return _now; }
+    long _now = 0;
+};
+
+struct Worker
+{
+    explicit Worker(MachineCore &core) : _core(core) {}
+
+    // BAD: folds into the shared counters while shards are running.
+    void step(ShardContext &shard)
+    {
+        shard.charge(5);
+        _core.foldRefsAtBarrier(1);
+    }
+
+    // BAD: the same write, reached through a helper call.
+    void bumpPhase() { _core.setPhase(1); }
+    void stepIndirect(ShardContext &shard)
+    {
+        shard.charge(1);
+        bumpPhase();
+    }
+
+    MachineCore &_core;
+};

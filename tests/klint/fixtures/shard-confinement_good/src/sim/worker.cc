@@ -1,0 +1,39 @@
+#include "sim/machine_core.hh"
+
+// Clean twin: during the epoch the worker only touches shard-local
+// state through the ShardContext; shared-state writes happen in a
+// barrier-drain (*AtBarrier) method the coordinator calls.
+
+struct ShardContext
+{
+    void charge(long ticks) { _now += ticks; }
+    void noteOp() { ++_ops; }
+    long now() const { return _now; }
+    long ops() const { return _ops; }
+    long _now = 0;
+    long _ops = 0;
+};
+
+struct Worker
+{
+    explicit Worker(MachineCore &core) : _core(core) {}
+
+    // Epoch path: shard-local work only.
+    void step(ShardContext &shard)
+    {
+        shard.charge(5);
+        shard.noteOp();
+        ++_pendingRefs;
+    }
+
+    // Barrier path: the coordinator folds the pending effects in.
+    void drainAtBarrier()
+    {
+        _core.foldRefsAtBarrier(_pendingRefs);
+        _core.setPhaseAtBarrier(1);
+        _pendingRefs = 0;
+    }
+
+    MachineCore &_core;
+    long _pendingRefs = 0;
+};

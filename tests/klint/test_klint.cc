@@ -70,6 +70,7 @@ INSTANTIATE_TEST_SUITE_P(AllRules, KlintRuleFixtures,
                                            "determinism-taint",
                                            "reentrancy-hazard",
                                            "iterator-invalidation",
+                                           "shard-confinement",
                                            "suppression-format"),
                          [](const auto &info) {
                              std::string name = info.param;
@@ -117,6 +118,22 @@ TEST(Klint, DeterminismTaintFlagsAllThreeSinkKinds)
     const auto findings =
         runRule("determinism-taint", "determinism-taint_bad");
     EXPECT_GE(countOf(findings, "determinism-taint"), 3);
+}
+
+TEST(Klint, ShardConfinementFlagsDirectAndTransitiveWrites)
+{
+    // The bad fixture seeds a direct barrier-method call and a write
+    // reached through a helper, both from shard-scoped functions.
+    const auto findings =
+        runRule("shard-confinement", "shard-confinement_bad");
+    EXPECT_GE(countOf(findings, "shard-confinement"), 2);
+    bool namesHelperChain = false;
+    for (const Finding &f : findings)
+        if (f.message.find("bumpPhase") != std::string::npos &&
+            f.message.find("_phase") != std::string::npos)
+            namesHelperChain = true;
+    EXPECT_TRUE(namesHelperChain)
+        << "witness should name the helper chain and the core member";
 }
 
 TEST(Klint, IteratorInvalidationFlagsRangeForAndGangWalk)

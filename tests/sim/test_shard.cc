@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Sharded-simulation-core tests: ShardContext locality, the
+ * epoch-barrier protocol (clock alignment, mailbox drain order,
+ * trace merge), and the headline determinism contract — the fleet
+ * scenario's serialized trace is byte-identical at any worker
+ * count, including under migration-fault fuzzing.
+ *
+ * Regenerate the committed golden trace after an intentional
+ * tracepoint or scenario change with:
+ *
+ *   KLOC_UPDATE_GOLDEN=1 ./test_sim --gtest_filter='ShardGolden.*'
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hh"
+#include "sim/epoch.hh"
+#include "sim/machine.hh"
+#include "sim/shard.hh"
+#include "trace/invariants.hh"
+#include "workload/fleet.hh"
+
+#ifndef KLOC_SHARD_GOLDEN_DIR
+#error "KLOC_SHARD_GOLDEN_DIR must point at tests/sim/golden"
+#endif
+
+namespace kloc {
+namespace {
+
+TierSpec
+testTier(const char *name, Bytes capacity, Tick latency, Bytes bw)
+{
+    TierSpec spec;
+    spec.name = name;
+    spec.capacity = capacity;
+    spec.readLatency = latency;
+    spec.writeLatency = latency;
+    spec.readBandwidth = bw;
+    spec.writeBandwidth = bw;
+    return spec;
+}
+
+TEST(ShardContext, LocalTimeAndRefAccounting)
+{
+    MachineCore core(8, 2);
+    const TierId t = core.memModel().addTier(
+        testTier("t", kMiB, Tick{80}, 10 * kGiB));
+
+    ShardContext shard(1, core, 5);
+    EXPECT_EQ(shard.id(), 1u);
+    EXPECT_EQ(shard.socket(), core.socketOf(5));
+
+    shard.charge(Tick{100});
+    EXPECT_EQ(shard.now(), 100);
+
+    int fired = 0;
+    shard.schedule(Tick{500}, [&] { ++fired; });
+    shard.charge(Tick{300});
+    EXPECT_EQ(fired, 0);
+    shard.charge(Tick{200});
+    EXPECT_EQ(fired, 1);
+
+    const Tick cost =
+        shard.access(t, kPageSize, AccessType::Read, RefDomain::Kernel);
+    EXPECT_GT(cost, 0);
+    shard.access(t, Bytes{64}, AccessType::Write, RefDomain::User);
+    EXPECT_EQ(shard.refs().kernelRefs, 1u);
+    EXPECT_EQ(shard.refs().userRefs, 1u);
+    EXPECT_EQ(shard.ops(), 2u);
+
+    // Shard-local accounting never touched the shared core.
+    EXPECT_EQ(core.refs().kernelRefs, 0u);
+    EXPECT_EQ(core.refs().userRefs, 0u);
+}
+
+TEST(ShardedEngine, BarrierAlignsClocksAndFoldsRefs)
+{
+    Machine machine(8, 1);
+    const TierId t = machine.memModel().addTier(
+        testTier("t", kMiB, Tick{80}, 10 * kGiB));
+
+    ShardedEngine::Config config;
+    config.shards = 3;
+    config.epochLength = Tick{100000};
+    config.workers = 2;
+    ShardedEngine engine(machine, config);
+
+    engine.run(2, [&](ShardContext &shard, uint64_t) {
+        // Unequal per-shard progress; the barrier re-aligns it.
+        for (unsigned i = 0; i <= shard.id(); ++i)
+            shard.access(t, kPageSize, AccessType::Read,
+                         RefDomain::User);
+    });
+
+    EXPECT_EQ(engine.epochsRun(), 2u);
+    EXPECT_EQ(machine.now(), Tick{200000});
+    for (unsigned i = 0; i < engine.shardCount(); ++i)
+        EXPECT_EQ(engine.shard(i).now(), machine.now());
+
+    // 1+2+3 accesses per epoch, two epochs, all folded at barriers.
+    EXPECT_EQ(machine.userRefs(), 12u);
+    EXPECT_GT(machine.userRefTicks(), 0);
+    // Epoch-local counters were consumed by the fold.
+    for (unsigned i = 0; i < engine.shardCount(); ++i)
+        EXPECT_EQ(engine.shard(i).refs().userRefs, 0u);
+}
+
+TEST(ShardedEngine, OvershootStretchesEpochForEveryShard)
+{
+    Machine machine(4, 1);
+    ShardedEngine::Config config;
+    config.shards = 2;
+    config.epochLength = Tick{1000};
+    ShardedEngine engine(machine, config);
+
+    engine.run(1, [&](ShardContext &shard, uint64_t) {
+        if (shard.id() == 0)
+            shard.charge(Tick{2500});  // past the barrier
+    });
+
+    EXPECT_EQ(machine.now(), Tick{2500});
+    EXPECT_EQ(engine.shard(0).now(), Tick{2500});
+    EXPECT_EQ(engine.shard(1).now(), Tick{2500});
+
+    // The next epoch starts where the stretched one ended.
+    engine.run(1, [](ShardContext &, uint64_t) {});
+    EXPECT_EQ(machine.now(), Tick{3500});
+}
+
+TEST(ShardedEngine, GlobalEventsRunAtBarriers)
+{
+    Machine machine(4, 1);
+    std::vector<Tick> fired;
+    machine.events().schedule(Tick{500},
+                              [&] { fired.push_back(machine.now()); });
+    machine.events().schedule(Tick{1500},
+                              [&] { fired.push_back(machine.now()); });
+
+    ShardedEngine::Config config;
+    config.shards = 2;
+    config.epochLength = Tick{1000};
+    ShardedEngine engine(machine, config);
+    engine.run(2, [](ShardContext &, uint64_t) {});
+
+    // Global async work runs when the coordinator advances the
+    // machine clock, i.e. at the barrier tick that passes it.
+    ASSERT_EQ(fired.size(), 2u);
+    EXPECT_EQ(fired[0], Tick{1000});
+    EXPECT_EQ(fired[1], Tick{2000});
+}
+
+TEST(ShardedEngine, MailboxDrainsInShardOrderWithCleanProtocolTrace)
+{
+    Machine machine(4, 1);
+    machine.tracer().setEnabled(true);
+    InvariantChecker checker(machine.tracer(), /*strict=*/true);
+
+    ShardedEngine::Config config;
+    config.shards = 3;
+    config.epochLength = Tick{1000};
+    config.workers = 4;
+    ShardedEngine engine(machine, config);
+
+    std::vector<unsigned> applied;
+    engine.run(2, [&](ShardContext &shard, uint64_t) {
+        // Two messages per shard; applies record the drain order.
+        for (uint64_t m = 0; m < 2; ++m) {
+            ShardMessage msg;
+            msg.kind = shard.id();
+            msg.apply = [&applied, id = shard.id()] {
+                applied.push_back(id);
+            };
+            shard.post(std::move(msg));
+        }
+    });
+
+    EXPECT_EQ(engine.messagesDrained(), 12u);
+    const std::vector<unsigned> want = {0, 0, 1, 1, 2, 2,
+                                        0, 0, 1, 1, 2, 2};
+    EXPECT_EQ(applied, want);
+
+    // Protocol events passed the checker's epoch/order invariants.
+    EXPECT_TRUE(checker.clean()) << checker.report();
+    unsigned barriers = 0, msgs = 0, work = 0;
+    for (const TraceEvent &event : machine.tracer().events()) {
+        switch (event.type) {
+          case TraceEventType::EpochBarrier: ++barriers; break;
+          case TraceEventType::ShardMsg: ++msgs; break;
+          case TraceEventType::ShardWork: ++work; break;
+          default: break;
+        }
+    }
+    EXPECT_EQ(barriers, 2u);
+    EXPECT_EQ(msgs, 12u);
+    EXPECT_EQ(work, 6u);
+}
+
+TEST(ShardedEngine, MergedStagedEventsAreTickOrdered)
+{
+    Machine machine(4, 1);
+    machine.tracer().setEnabled(true);
+
+    ShardedEngine::Config config;
+    config.shards = 3;
+    config.epochLength = Tick{1000};
+    ShardedEngine engine(machine, config);
+
+    engine.run(1, [&](ShardContext &shard, uint64_t) {
+        // Interleave ticks across shards: shard 0 emits at 100/400,
+        // shard 1 at 200/500, shard 2 at 300/600 — and one shared
+        // tick (700) where shard order must break the tie.
+        shard.charge(Tick{100} + Tick{100} * shard.id());
+        shard.emit(TraceEventType::FramePin, shard.id(), 1);
+        shard.charge(Tick{300});
+        shard.emit(TraceEventType::FrameUnpin, shard.id(), 1);
+        shard.charge(Tick{600} - shard.now() + Tick{700});
+    });
+
+    const std::vector<TraceEvent> events = machine.tracer().events();
+    ASSERT_GE(events.size(), 6u);
+    Tick last{};
+    uint64_t seq = 0;
+    for (const TraceEvent &event : events) {
+        EXPECT_GE(event.tick, last) << "trace tick went backwards";
+        EXPECT_EQ(event.seq, seq++) << "absorb broke seq numbering";
+        last = event.tick;
+    }
+    // The merged pin events landed in (tick, shard) order.
+    EXPECT_EQ(events[0].tick, Tick{100});
+    EXPECT_EQ(events[0].args[0], 0u);
+    EXPECT_EQ(events[1].tick, Tick{200});
+    EXPECT_EQ(events[1].args[0], 1u);
+    EXPECT_EQ(events[2].tick, Tick{300});
+    EXPECT_EQ(events[2].args[0], 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet scenario: worker-count byte-identity, golden trace, fault fuzz.
+
+struct FleetRun
+{
+    std::string trace;
+    std::string report;
+    bool clean = false;
+    FleetResult result;
+};
+
+/** One fleet run on a fresh two-tier System with @p workers threads. */
+FleetRun
+runFleet(unsigned workers, uint64_t seed, const std::string &fault_spec,
+         bool small_config)
+{
+    System::Config sys_config;
+    sys_config.cpus = 8;
+    sys_config.sockets = 2;
+    System sys(sys_config);
+
+    FleetConfig config;
+    config.workers = workers;
+    config.seed = seed;
+    if (small_config) {
+        config.shards = 4;
+        config.epochs = 5;
+        config.opsPerEpoch = 250;
+        config.pagesPerShard = 256;
+        config.hotPages = 64;
+        config.migrateBatch = 12;
+    } else {
+        config.shards = 4;
+        config.epochs = 10;
+        config.opsPerEpoch = 600;
+        config.pagesPerShard = 512;
+        config.hotPages = 96;
+        config.migrateBatch = 16;
+    }
+
+    // The fast tier holds well under the fleet's combined hot set,
+    // so barrier-applied promotions contend for real capacity.
+    const uint64_t fast_pages = config.shards * config.hotPages * 2 / 3;
+    const uint64_t slow_pages =
+        config.shards * config.pagesPerShard + fast_pages;
+    config.fastTier = sys.tiers().addTier(
+        testTier("fast", fast_pages * kPageSize, Tick{80}, 10 * kGiB));
+    config.slowTier = sys.tiers().addTier(
+        testTier("slow", slow_pages * kPageSize, Tick{300}, 2 * kGiB));
+
+    if (!fault_spec.empty()) {
+        FaultSpec spec;
+        std::string err;
+        EXPECT_TRUE(FaultSpec::parse(fault_spec, spec, &err)) << err;
+        sys.machine().faults().configure(spec);
+    }
+
+    sys.machine().tracer().setEnabled(true);
+    InvariantChecker checker(sys.machine().tracer(), /*strict=*/true);
+
+    FleetScenario fleet(sys, config);
+    fleet.setup();
+    FleetRun run;
+    run.result = fleet.run();
+    fleet.teardown();
+    run.trace = sys.machine().tracer().serialize();
+    run.report = checker.report();
+    run.clean = checker.clean();
+    return run;
+}
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(KLOC_SHARD_GOLDEN_DIR) + "/" + name + ".trace";
+}
+
+void
+compareGolden(const std::string &name, const std::string &trace)
+{
+    const std::string path = goldenPath(name);
+    if (std::getenv("KLOC_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << trace;
+        GTEST_LOG_(INFO) << "updated golden trace " << path;
+        return;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << "missing golden file " << path
+                    << " (run with KLOC_UPDATE_GOLDEN=1 to create)";
+    std::ostringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(trace, want.str())
+        << "trace diverged from " << path
+        << "; if the change is intentional, regenerate with "
+           "KLOC_UPDATE_GOLDEN=1";
+}
+
+TEST(ShardGolden, FleetByteIdenticalAcrossWorkerCounts)
+{
+    const FleetRun serial = runFleet(1, 42, "", /*small_config=*/false);
+    EXPECT_TRUE(serial.clean) << serial.report;
+    EXPECT_GT(serial.result.promotedPages, 0u);
+    EXPECT_GT(serial.result.demotedPages, 0u);
+    EXPECT_GT(serial.result.eventsMerged, 0u);
+    EXPECT_EQ(serial.result.epochs, 10u);
+
+    for (const unsigned workers : {2u, 4u}) {
+        const FleetRun parallel =
+            runFleet(workers, 42, "", /*small_config=*/false);
+        EXPECT_TRUE(parallel.clean) << parallel.report;
+        EXPECT_EQ(serial.trace, parallel.trace)
+            << "fleet trace diverged at " << workers << " workers";
+        EXPECT_EQ(serial.result.promotedPages,
+                  parallel.result.promotedPages);
+        EXPECT_EQ(serial.result.elapsed, parallel.result.elapsed);
+    }
+
+    EXPECT_GT(parseTrace(serial.trace).size(), 0u);
+    compareGolden("fleet_sharded", serial.trace);
+}
+
+TEST(ShardFuzz, MigrationFaultSeedsByteIdenticalAcrossWorkers)
+{
+    // 24 seeds of transient migration NoSpace faults: the faults
+    // fire inside barrier-applied migrations, so the consult
+    // sequence — and therefore the whole trace — must not depend on
+    // the worker count.
+    for (uint64_t seed = 1; seed <= 24; ++seed) {
+        std::ostringstream spec;
+        spec << "seed " << seed << "\n"
+             << "migration_no_space prob 0."
+             << (seed % 2 ? "2" : "05") << "\n";
+        const FleetRun serial =
+            runFleet(1, seed, spec.str(), /*small_config=*/true);
+        const FleetRun parallel =
+            runFleet(4, seed, spec.str(), /*small_config=*/true);
+        EXPECT_TRUE(serial.clean) << "seed " << seed << ": "
+                                  << serial.report;
+        EXPECT_TRUE(parallel.clean) << "seed " << seed << ": "
+                                    << parallel.report;
+        EXPECT_EQ(serial.trace, parallel.trace)
+            << "fault seed " << seed << " diverged across workers";
+    }
+}
+
+} // namespace
+} // namespace kloc

@@ -36,12 +36,14 @@ TEST(EventQueue, RunsInDeadlineOrder)
     events.schedule(Tick{30}, [&] { order.push_back(3); });
     events.schedule(Tick{10}, [&] { order.push_back(1); });
     events.schedule(Tick{20}, [&] { order.push_back(2); });
-    EXPECT_EQ(events.nextDeadline(), 10);
+    ASSERT_TRUE(events.nextDeadline().has_value());
+    EXPECT_EQ(*events.nextDeadline(), 10);
     EXPECT_EQ(events.runDue(Tick{25}), 2u);
     EXPECT_EQ(order, (std::vector<int>{1, 2}));
     EXPECT_EQ(events.runDue(Tick{100}), 1u);
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
     EXPECT_TRUE(events.empty());
+    EXPECT_EQ(events.nextDeadline(), std::nullopt);
 }
 
 TEST(EventQueue, TiesBreakByInsertionOrder)

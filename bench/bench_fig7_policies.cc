@@ -17,6 +17,12 @@
  *
  * The AllSlow floor is deterministic and shared by every speedup,
  * so it runs exactly once (the Fig. 6 dedup pattern).
+ *
+ * Runs execute thrash's ShardContext port on the epoch engine, with
+ * fig9-style determinism gates (zero metric drift and trace
+ * byte-identity across worker counts {1, 2, 4, 8}) and the engine's
+ * barrier-overhead counters reported as non-gating `shard.*`
+ * metrics.
  */
 
 #include "bench/harness.hh"
@@ -36,9 +42,11 @@ main()
         config, 1 + policies.size(), [&](size_t i) {
             const std::string &policy =
                 i == 0 ? std::string("all_slow") : policies[i - 1];
-            return runTwoTierPolicy("thrash", policy,
-                                    twoTierConfig(config),
-                                    workloadConfig(config));
+            return runTwoTierPolicySharded("thrash", policy,
+                                           twoTierConfig(config),
+                                           workloadConfig(config),
+                                           /*workers=*/0)
+                .outcome;
         });
 
     const double slow_tp = outcomes[0].throughput;
@@ -84,6 +92,13 @@ main()
                        "higher", false);
         }
     }
+
+    // Determinism gates: the adversarial scenario under the headline
+    // policy must not move with the worker count.
+    const bool gates_ok = addShardGates(report, "thrash", "klocs",
+                                        twoTierConfig(config),
+                                        workloadConfig(config));
+
     report.write();
-    return 0;
+    return gates_ok ? 0 : 1;
 }

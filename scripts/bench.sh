@@ -65,6 +65,10 @@ fi
 mkdir -p "$OUTDIR"
 rm -f "$OUTDIR"/BENCH_*.json
 export KLOC_BENCH_OUTDIR="$OUTDIR"
+# Sharded benches (fig6/fig7/fig9) spread epoch bodies over worker
+# threads. The worker count only moves wall-clock — gated metrics and
+# traces are identical at any value — so default it to the machine.
+export KLOC_SHARDS=${KLOC_SHARDS:-$JOBS}
 if [ "$QUICK" = 1 ]; then
     export KLOC_BENCH_QUICK=1
 fi

@@ -2,6 +2,21 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <ctime>
+
+namespace {
+
+/** Monotonic host nanoseconds for the overhead counters. */
+uint64_t
+wallNowNs()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<uint64_t>(ts.tv_sec) * 1000000000ULL +
+           static_cast<uint64_t>(ts.tv_nsec);
+}
+
+} // namespace
 
 namespace kloc {
 
@@ -66,6 +81,7 @@ ShardedEngine::run(uint64_t epochs, const ShardBody &body)
 void
 ShardedEngine::barrier(uint64_t epoch, Tick barrier_tick)
 {
+    const uint64_t barrier_start_ns = wallNowNs();
     // The epoch ends where the last shard stopped: a shard whose
     // final charge overshot the barrier stretches the epoch for
     // everyone, keeping all clocks aligned and monotonic.
@@ -77,6 +93,7 @@ ShardedEngine::barrier(uint64_t epoch, Tick barrier_tick)
     // tick-ordered, so a stable sort of the shard-order concatenation
     // yields (tick, shard, local seq) order — the worker-count-
     // invariant global order. absorb() restamps the global seq.
+    const uint64_t merge_start_ns = wallNowNs();
     std::vector<TraceEvent> merged;
     std::vector<uint64_t> staged_counts(_shards.size(), 0);
     for (size_t i = 0; i < _shards.size(); ++i) {
@@ -91,6 +108,7 @@ ShardedEngine::barrier(uint64_t epoch, Tick barrier_tick)
     Tracer &tracer = _machine.tracer();
     tracer.absorb(merged.data(), merged.size());
     _eventsMerged += merged.size();
+    _mergeWallNs += wallNowNs() - merge_start_ns;
 
     // 2. Advance the global clock to the epoch end, running global
     // async work that became due. Its events are stamped at or after
@@ -138,6 +156,7 @@ ShardedEngine::barrier(uint64_t epoch, Tick barrier_tick)
     tracer.emit(TraceEventType::EpochBarrier, epoch, _shards.size(),
                 merged.size(), drained);
     ++_epochsRun;
+    _barrierWallNs += wallNowNs() - barrier_start_ns;
 }
 
 } // namespace kloc

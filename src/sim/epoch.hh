@@ -98,6 +98,17 @@ class ShardedEngine
     /** Shard-staged trace events merged since construction. */
     uint64_t eventsMerged() const { return _eventsMerged; }
 
+    /**
+     * Host wall-clock nanoseconds spent inside barriers since
+     * construction. Diagnostic only: wall time is nondeterministic,
+     * so this must never feed simulated state or gated metrics —
+     * report it as a non-gating `shard.*` bench metric.
+     */
+    uint64_t barrierWallNs() const { return _barrierWallNs; }
+
+    /** Wall nanoseconds of barrierWallNs() spent merging traces. */
+    uint64_t mergeWallNs() const { return _mergeWallNs; }
+
   private:
     void barrier(uint64_t epoch, Tick barrier_tick);
 
@@ -109,6 +120,8 @@ class ShardedEngine
     uint64_t _epochsRun = 0;
     uint64_t _messagesDrained = 0;
     uint64_t _eventsMerged = 0;
+    uint64_t _barrierWallNs = 0;
+    uint64_t _mergeWallNs = 0;
 };
 
 } // namespace kloc

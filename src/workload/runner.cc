@@ -1,0 +1,77 @@
+#include "workload/runner.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace kloc {
+
+WorkloadResult
+ShardedWorkloadRunner::run(Workload &workload)
+{
+    KLOC_ASSERT(workload.shardable(),
+                "workload '%s' has no ShardContext port; run it serially "
+                "or port it (docs/SHARDING.md)", workload.name());
+    Machine &machine = _sys.machine();
+
+    // Load + quiesce are serial and batched, exactly like
+    // runMeasured; the batch must close before the first epoch
+    // because the barrier's trace merge (Tracer::absorb) requires an
+    // empty staging window.
+    {
+        TraceBatch batch(machine.tracer());
+        workload.setup(_sys);
+        _sys.fs().syncAll();
+        machine.charge(kQuiesceWindow);
+    }
+
+    workload.setupShards(_sys, _plan.shards);
+    uint64_t ops_per_epoch = _plan.opsPerEpoch;
+    if (ops_per_epoch == 0) {
+        const uint64_t per_shard =
+            workload.config().operations / std::max(1u, _plan.shards);
+        ops_per_epoch = std::max<uint64_t>(1, per_shard / 32);
+    }
+    workload.setShardEpochOps(ops_per_epoch);
+
+    ShardedEngine::Config config;
+    config.shards = _plan.shards;
+    config.epochLength = _plan.epochLength;
+    config.workers = _plan.workers;
+    ShardedEngine engine(machine, config);
+    engine.addBarrierHook(
+        [&workload, this](uint64_t epoch) {
+            workload.shardBarrier(_sys, epoch);
+        });
+
+    const Tick start = machine.now();
+    WorkloadResult result;
+    // Completion is driver-defined (op quotas or phase structure);
+    // guard against drivers that stop making progress.
+    unsigned idle_epochs = 0;
+    while (!workload.shardsDone()) {
+        const uint64_t before = workload.shardOpsDone();
+        engine.run(1, [&workload](ShardContext &shard, uint64_t epoch) {
+            workload.shardEpoch(shard, epoch);
+        });
+        idle_epochs = workload.shardOpsDone() == before
+            ? idle_epochs + 1
+            : 0;
+        KLOC_ASSERT(idle_epochs < 4,
+                    "sharded run of '%s' stalled: no slice progressed "
+                    "for %u epochs", workload.name(), idle_epochs);
+    }
+    result.operations = workload.shardOpsDone();
+    result.elapsed = machine.now() - start;
+
+    _stats.shards = engine.shardCount();
+    _stats.workers = engine.workers();
+    _stats.epochs = engine.epochsRun();
+    _stats.messages = engine.messagesDrained();
+    _stats.eventsMerged = engine.eventsMerged();
+    _stats.barrierWallNs = engine.barrierWallNs();
+    _stats.mergeWallNs = engine.mergeWallNs();
+    return result;
+}
+
+} // namespace kloc

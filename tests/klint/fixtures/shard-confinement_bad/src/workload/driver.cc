@@ -1,0 +1,29 @@
+#include "sim/machine_core.hh"
+
+// Seeded violation (workload-body pattern): a figure driver's epoch
+// body — the function the engine runs per shard per epoch — mutates
+// MachineCore-shared phase state mid-epoch through a helper instead
+// of posting the mutation to the epoch mailbox.
+
+struct ShardContext
+{
+    void charge(long ticks) { _now += ticks; }
+    long now() const { return _now; }
+    long _now = 0;
+};
+
+struct Driver
+{
+    explicit Driver(MachineCore &core) : _core(core) {}
+
+    void flushMemtable() { _core.setPhase(2); }
+
+    // BAD: the epoch body flushes shared state while shards run.
+    void shardEpoch(ShardContext &shard)
+    {
+        shard.charge(3);
+        flushMemtable();
+    }
+
+    MachineCore &_core;
+};

@@ -1,0 +1,35 @@
+#include <functional>
+#include <vector>
+
+#include "sim/machine_core.hh"
+
+// Clean twin (workload-body pattern): the epoch body prices work on
+// the shard and routes the shared-phase mutation through a mailbox
+// post; the deferred apply — a lambda running in barrier context —
+// is the only path that touches MachineCore.
+
+struct ShardContext
+{
+    void charge(long ticks) { _now += ticks; }
+    void post(std::function<void()> apply) { _mail.push_back(apply); }
+    long now() const { return _now; }
+    long _now = 0;
+    std::vector<std::function<void()>> _mail;
+};
+
+struct Driver
+{
+    explicit Driver(MachineCore &core) : _core(core) {}
+
+    // Epoch body: shard-local pricing; the flush rides the mailbox.
+    void shardEpoch(ShardContext &shard)
+    {
+        shard.charge(3);
+        shard.post([this] { applyFlushAtBarrier(); });
+    }
+
+    // Barrier drain: the only writer of shared state.
+    void applyFlushAtBarrier() { _core.setPhaseAtBarrier(2); }
+
+    MachineCore &_core;
+};

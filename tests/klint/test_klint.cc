@@ -122,18 +122,26 @@ TEST(Klint, DeterminismTaintFlagsAllThreeSinkKinds)
 
 TEST(Klint, ShardConfinementFlagsDirectAndTransitiveWrites)
 {
-    // The bad fixture seeds a direct barrier-method call and a write
-    // reached through a helper, both from shard-scoped functions.
+    // The bad fixture seeds a direct barrier-method call, a write
+    // reached through a helper, and a workload epoch body flushing
+    // shared state — all from shard-scoped functions.
     const auto findings =
         runRule("shard-confinement", "shard-confinement_bad");
-    EXPECT_GE(countOf(findings, "shard-confinement"), 2);
-    bool namesHelperChain = false;
-    for (const Finding &f : findings)
+    EXPECT_GE(countOf(findings, "shard-confinement"), 3);
+    bool namesHelperChain = false, namesBodyFlush = false;
+    for (const Finding &f : findings) {
         if (f.message.find("bumpPhase") != std::string::npos &&
             f.message.find("_phase") != std::string::npos)
             namesHelperChain = true;
+        if (f.message.find("shardEpoch") != std::string::npos &&
+            f.message.find("flushMemtable") != std::string::npos)
+            namesBodyFlush = true;
+    }
     EXPECT_TRUE(namesHelperChain)
         << "witness should name the helper chain and the core member";
+    EXPECT_TRUE(namesBodyFlush)
+        << "the workload-body pattern (epoch body flushing shared "
+           "state) should be flagged by name";
 }
 
 TEST(Klint, IteratorInvalidationFlagsRangeForAndGangWalk)

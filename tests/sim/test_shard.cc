@@ -202,6 +202,50 @@ TEST(ShardedEngine, MailboxDrainsInShardOrderWithCleanProtocolTrace)
     EXPECT_EQ(work, 6u);
 }
 
+TEST(ShardedEngine, CrossShardPostsApplyIdenticallyAtAnyWorkerCount)
+{
+    // Regression guard for the workload-port pattern: shards post
+    // mutations of *shared* state within the same epoch, with uneven
+    // per-shard post counts. The applied sequence — and therefore
+    // every downstream shared-state read — must not depend on the
+    // worker count racing the bodies.
+    auto run = [](unsigned workers) {
+        Machine machine(4, 1);
+        ShardedEngine::Config config;
+        config.shards = 4;
+        config.epochLength = Tick{1000};
+        config.workers = workers;
+        ShardedEngine engine(machine, config);
+
+        std::vector<uint64_t> journal;  // shared; barrier-only writes
+        engine.run(3, [&](ShardContext &shard, uint64_t epoch) {
+            // Shard i posts i+1 messages per epoch (shard 3 skips
+            // every other epoch) so the drain schedule is ragged.
+            if (shard.id() == 3 && epoch % 2 == 1)
+                return;
+            for (uint64_t m = 0; m <= shard.id(); ++m) {
+                ShardMessage msg;
+                msg.kind = 0x77;
+                msg.apply = [&journal, id = shard.id(), epoch, m] {
+                    journal.push_back((epoch << 16) | (id << 8) | m);
+                };
+                shard.post(std::move(msg));
+            }
+        });
+        return journal;
+    };
+
+    const std::vector<uint64_t> serial = run(1);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(run(2), serial);
+    EXPECT_EQ(run(4), serial);
+    // Within each epoch the journal is (shard, post-order) sorted.
+    for (size_t i = 1; i < serial.size(); ++i) {
+        if ((serial[i] >> 16) == (serial[i - 1] >> 16))
+            EXPECT_GT(serial[i], serial[i - 1]);
+    }
+}
+
 TEST(ShardedEngine, MergedStagedEventsAreTickOrdered)
 {
     Machine machine(4, 1);

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Sharded-workload port tests: every figure workload runs on
+ * ShardContext bodies through ShardedWorkloadRunner and produces
+ * byte-identical traces and identical simulated results at worker
+ * counts 1, 2, and 4 — the same determinism contract the fleet
+ * scenario pins in tests/sim/test_shard.cc, applied to the ports.
+ *
+ * Each workload also pins a compact golden digest (trace byte count,
+ * FNV-1a hash, operations, elapsed) of its workers=1 reference run;
+ * full traces would be megabytes across eight drivers, and the
+ * digest still detects any byte-level change. Regenerate after an
+ * intentional tracepoint or scenario change with:
+ *
+ *   KLOC_UPDATE_GOLDEN=1 ./test_workload \
+ *       --gtest_filter='*ShardedWorkload*GoldenDigest*'
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "platform/two_tier.hh"
+#include "trace/invariants.hh"
+#include "workload/runner.hh"
+#include "workload/workload.hh"
+
+#ifndef KLOC_WORKLOAD_GOLDEN_DIR
+#error "KLOC_WORKLOAD_GOLDEN_DIR must point at tests/workload/golden"
+#endif
+
+namespace kloc {
+namespace {
+
+WorkloadConfig
+tinyConfig()
+{
+    WorkloadConfig config;
+    config.scale = 1024;
+    config.operations = 1200;
+    config.seed = 7;
+    return config;
+}
+
+std::unique_ptr<TwoTierPlatform>
+makePlatform()
+{
+    TwoTierPlatform::Config config;
+    config.scale = 256;
+    auto platform = std::make_unique<TwoTierPlatform>(config);
+    platform->applyStrategy(StrategyKind::Kloc);
+    platform->sys().fs().startDaemons();
+    return platform;
+}
+
+struct ShardedRun
+{
+    WorkloadResult result;
+    ShardRunStats stats;
+    std::string trace;
+    std::string report;
+    bool clean = false;
+};
+
+/** One traced sharded run on a fresh platform. */
+ShardedRun
+runSharded(const char *name, unsigned workers)
+{
+    auto platform = makePlatform();
+    System &sys = platform->sys();
+    sys.machine().tracer().setEnabled(true);
+    InvariantChecker checker(sys.machine().tracer(), /*strict=*/true);
+
+    auto workload = makeWorkload(name, tinyConfig());
+    ShardPlan plan;
+    plan.shards = 4;
+    plan.workers = workers;
+    ShardedWorkloadRunner runner(sys, plan);
+    ShardedRun run;
+    run.result = runner.run(*workload);
+    run.stats = runner.stats();
+    workload->teardown(sys);
+    run.trace = sys.machine().tracer().serialize();
+    run.report = checker.report();
+    run.clean = checker.clean();
+    return run;
+}
+
+/** FNV-1a over the serialized trace. */
+uint64_t
+fnv1a(const std::string &data)
+{
+    uint64_t hash = 1469598103934665603ULL;
+    for (const char c : data) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+std::string
+digestOf(const ShardedRun &run)
+{
+    std::ostringstream out;
+    out << "trace_bytes " << run.trace.size() << "\n"
+        << "trace_fnv1a " << fnv1a(run.trace) << "\n"
+        << "operations " << run.result.operations << "\n"
+        << "elapsed " << run.result.elapsed << "\n";
+    return out.str();
+}
+
+void
+compareGoldenDigest(const std::string &name, const std::string &digest)
+{
+    const std::string path =
+        std::string(KLOC_WORKLOAD_GOLDEN_DIR) + "/" + name + ".digest";
+    if (std::getenv("KLOC_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << digest;
+        GTEST_LOG_(INFO) << "updated golden digest " << path;
+        return;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << "missing golden file " << path
+                    << " (run with KLOC_UPDATE_GOLDEN=1 to create)";
+    std::ostringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(digest, want.str())
+        << "sharded run diverged from " << path
+        << "; if the change is intentional, regenerate with "
+           "KLOC_UPDATE_GOLDEN=1";
+}
+
+class ShardedWorkloadParam : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(ShardedWorkloadParam, ByteIdenticalAcrossWorkerCounts)
+{
+    const ShardedRun serial = runSharded(GetParam(), 1);
+    EXPECT_TRUE(serial.clean) << serial.report;
+    EXPECT_GT(serial.result.operations, 0u);
+    EXPECT_GT(serial.result.elapsed, 0);
+    EXPECT_GT(serial.stats.epochs, 0u);
+    EXPECT_GT(serial.stats.messages, 0u);
+
+    for (const unsigned workers : {2u, 4u}) {
+        const ShardedRun wide = runSharded(GetParam(), workers);
+        EXPECT_TRUE(wide.clean) << wide.report;
+        EXPECT_EQ(serial.trace, wide.trace)
+            << GetParam() << " trace diverged at " << workers
+            << " workers";
+        EXPECT_EQ(serial.result.operations, wide.result.operations);
+        EXPECT_EQ(serial.result.elapsed, wide.result.elapsed);
+        EXPECT_EQ(serial.stats.epochs, wide.stats.epochs);
+        EXPECT_EQ(serial.stats.messages, wide.stats.messages);
+    }
+}
+
+TEST_P(ShardedWorkloadParam, GoldenDigest)
+{
+    const ShardedRun serial = runSharded(GetParam(), 1);
+    compareGoldenDigest(GetParam(), digestOf(serial));
+}
+
+TEST_P(ShardedWorkloadParam, TeardownReleasesMemory)
+{
+    auto platform = makePlatform();
+    System &sys = platform->sys();
+    auto workload = makeWorkload(GetParam(), tinyConfig());
+    ShardedWorkloadRunner runner(sys, ShardPlan{});
+    runner.run(*workload);
+    workload->teardown(sys);
+    EXPECT_EQ(sys.heap().liveAppPages(), 0u) << "app arena leaked";
+    EXPECT_EQ(sys.fs().cachedPages(), 0u) << "page cache leaked";
+    EXPECT_EQ(sys.fs().liveInodes(), 0u) << "inodes leaked";
+    EXPECT_EQ(sys.net().liveSockets(), 0u) << "sockets leaked";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPorted, ShardedWorkloadParam,
+                         ::testing::Values("rocksdb", "redis", "filebench",
+                                           "cassandra", "spark", "varmail",
+                                           "webserver", "thrash"));
+
+TEST(ShardedRunner, RejectsUnportedWorkload)
+{
+    /** A driver without a ShardContext port. */
+    class SerialOnly : public Workload
+    {
+      public:
+        using Workload::Workload;
+        const char *name() const override { return "serial-only"; }
+        void setup(System &) override {}
+        WorkloadResult run(System &) override { return {}; }
+    };
+
+    auto platform = makePlatform();
+    SerialOnly workload(tinyConfig());
+    ShardedWorkloadRunner runner(platform->sys(), ShardPlan{});
+    EXPECT_DEATH({ runner.run(workload); }, "no ShardContext port");
+}
+
+TEST(ShardedRunner, ShardCountIsPartOfTheScenario)
+{
+    // Unlike the worker count, the logical decomposition changes the
+    // simulated run: 2-shard and 4-shard thrash are different
+    // scenarios and must not be compared by the identity gates.
+    auto run_with_shards = [](unsigned shards) {
+        auto platform = makePlatform();
+        auto workload = makeWorkload("thrash", tinyConfig());
+        ShardPlan plan;
+        plan.shards = shards;
+        plan.workers = 1;
+        ShardedWorkloadRunner runner(platform->sys(), plan);
+        const WorkloadResult result = runner.run(*workload);
+        workload->teardown(platform->sys());
+        return result.elapsed;
+    };
+    EXPECT_NE(run_with_shards(2), run_with_shards(4));
+}
+
+} // namespace
+} // namespace kloc
